@@ -1,0 +1,466 @@
+(* Benchmark harness: regenerates every table of the paper's evaluation
+   (Section 4) on the synthetic substitutes described in DESIGN.md, plus
+   ablation sweeps and Bechamel micro-benchmarks of the kernels.
+
+     dune exec bench/main.exe            -- everything
+     dune exec bench/main.exe -- table1  -- one experiment
+       (table1 | table2 | table3 | table4 | ablations | kernels)
+
+   Absolute numbers differ from the paper (different circuits, different
+   hardware, simulator substrate); the *shape* -- who wins, by what rough
+   factor -- is what EXPERIMENTS.md tracks. *)
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let note fmt = Printf.ksprintf (fun s -> Printf.printf "%s\n%!" s) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: reachability analysis with BDD approximations              *)
+(* ------------------------------------------------------------------ *)
+
+type t1_row = {
+  name : string;
+  circuit : Circuit.t;
+  rua : High_density.params;
+  sp : High_density.params;
+  budget : float; (* CPU-seconds granted to each engine *)
+}
+
+let table1_rows () =
+  let hd = High_density.default in
+  [
+    {
+      name = "s3330-like";
+      circuit = Generate.handshake_pipeline ~stages:14;
+      rua = { hd with threshold = 0; quality = 0.9 };
+      sp =
+        {
+          hd with
+          meth = Approx.SP;
+          threshold = 1000;
+          pimg = Some (100000, 40000);
+        };
+      budget = 240.;
+    };
+    {
+      name = "s1269-like";
+      circuit = Generate.shifter_datapath ~width:12;
+      rua = { hd with threshold = 0; quality = 1.0 };
+      sp =
+        {
+          hd with
+          meth = Approx.SP;
+          threshold = 500;
+          pimg = Some (100000, 40000);
+        };
+      budget = 240.;
+    };
+    {
+      name = "s5378-like";
+      circuit = Generate.dense_controller ~latches:26 ~seed:11;
+      rua = { hd with threshold = 2000; quality = 1.4 };
+      sp = { hd with meth = Approx.SP; threshold = 1500 };
+      budget = 240.;
+    };
+    {
+      name = "am2910-like";
+      circuit = Generate.microsequencer ~addr_bits:6 ~stack_depth:2;
+      rua = { hd with threshold = 0; quality = 1.0 };
+      sp = { hd with meth = Approx.SP; threshold = 1000 };
+      budget = 240.;
+    };
+  ]
+
+(* the 1998-sized memory ceiling of DESIGN.md *)
+let table1_node_limit = 1_500_000
+
+let pimg_cell = function
+  | None -> "NA"
+  | Some (a, b) -> Printf.sprintf "%d/%d" a b
+
+let result_cell budget (r : Traversal.result) =
+  if r.Traversal.exact then Printf.sprintf "%.1f" r.Traversal.cpu_seconds
+  else if r.Traversal.cpu_seconds < budget then "mem"
+  else Printf.sprintf ">%.0f" budget
+
+let table1 () =
+  section "Table 1: reachability analysis using BDD approximations";
+  note
+    "(paper: s3330 BFS 3204s vs RUA 562s / SP 1351s; s1269 52691s vs 290/525;";
+  note
+    " s5378opt 1454s vs 1140/575; am2910 BFS >2 weeks vs RUA 217s / SP 224s)";
+  note
+    "all engines run under a %d-node ceiling (the 1998 memory budget of"
+    table1_node_limit;
+  note
+    " DESIGN.md); 'mem' = died on the ceiling, '>N' = exceeded the time budget";
+  let rows =
+    List.map
+      (fun row ->
+        note "running %s (%s)..." row.name (Circuit.stats row.circuit);
+        let fresh () = Trans.build (Compile.compile row.circuit) in
+        let bfs =
+          Bfs.run ~time_limit:row.budget ~node_limit:table1_node_limit
+            (fresh ())
+        in
+        let hd_rua =
+          High_density.run ~time_limit:row.budget
+            ~node_limit:table1_node_limit ~params:row.rua (fresh ())
+        in
+        let hd_sp =
+          High_density.run ~time_limit:row.budget
+            ~node_limit:table1_node_limit ~params:row.sp (fresh ())
+        in
+        let states =
+          List.find_opt
+            (fun (r : Traversal.result) -> r.Traversal.exact)
+            [ bfs; hd_rua; hd_sp ]
+          |> Option.map (fun r -> r.Traversal.states)
+        in
+        [
+          row.name;
+          string_of_int (Circuit.num_latches row.circuit);
+          (match states with
+          | Some s -> Printf.sprintf "%.6g" s
+          | None -> "?");
+          result_cell row.budget bfs;
+          string_of_int row.rua.High_density.threshold;
+          Printf.sprintf "%.1f" row.rua.High_density.quality;
+          pimg_cell row.rua.High_density.pimg;
+          result_cell row.budget hd_rua;
+          string_of_int row.sp.High_density.threshold;
+          pimg_cell row.sp.High_density.pimg;
+          result_cell row.budget hd_sp;
+        ])
+      (table1_rows ())
+  in
+  Tables.print
+    ~headers:
+      [
+        "Ckt"; "FF"; "States"; "BFS time"; "Th"; "Qual"; "PImg"; "RUA time";
+        "Th"; "PImg"; "SP time";
+      ]
+    ~rows
+
+(* ------------------------------------------------------------------ *)
+(* Tables 2 and 3: comparison of approximation methods                 *)
+(* ------------------------------------------------------------------ *)
+
+let shared_pool = lazy (Pool.build ~min_nodes:500 ())
+
+let table2 () =
+  section "Table 2: comparison of approximation methods I (simple methods)";
+  note
+    "(paper, 336 BDDs >= 5000 nodes: F 14449 nodes/0 wins; HB 24.5 nodes/3 wins;";
+  note
+    " SP 41.9/6; UA 28.3/24; RUA 30.4 nodes, 6.04e44 minterms, 219 wins)";
+  let pool = Lazy.force shared_pool in
+  note "pool: %s" (Pool.describe pool);
+  (* the paper's protocol: RUA and UA run at threshold 0 / quality 1, and
+     RUA's result size is the budget given to HB and SP *)
+  let methods =
+    [
+      ("F", fun _ f -> f);
+      ( "HB",
+        fun man f ->
+          let budget = Bdd.size (Remap.approximate man f) in
+          Heavy_branch.approximate man ~threshold:budget f );
+      ( "SP",
+        fun man f ->
+          let budget = Bdd.size (Remap.approximate man f) in
+          Short_paths.approximate man ~threshold:budget f );
+      ("UA", fun man f -> Under_approx.approximate man f);
+      ("RUA", fun man f -> Remap.approximate man f);
+    ]
+  in
+  let rows = Scoreboard.approx_table pool methods in
+  Tables.print ~headers:Scoreboard.approx_headers
+    ~rows:(Scoreboard.approx_rows rows)
+
+let table3 () =
+  section "Table 3: comparison of approximation methods II (compound)";
+  note "(paper: C1 30.3 nodes, 6.14e44, 125 wins; C2 14.7, 2.59e44, 124)";
+  let pool = Lazy.force shared_pool in
+  let methods =
+    [
+      ("C1", fun man f -> Compound.c1 man f);
+      ("C2", fun man f -> Compound.c2 man f);
+    ]
+  in
+  let rows = Scoreboard.approx_table pool methods in
+  Tables.print ~headers:Scoreboard.approx_headers
+    ~rows:(Scoreboard.approx_rows rows)
+
+(* ------------------------------------------------------------------ *)
+(* Table 4: comparison of decomposition methods                        *)
+(* ------------------------------------------------------------------ *)
+
+let decomp_methods =
+  [
+    ("Cofactor", fun man f -> Decomp.conj_cofactor man f);
+    ("Disjoint", fun man f -> Decomp_points.disjoint man f);
+    ("Band", fun man f -> Decomp_points.band man f);
+  ]
+
+let table4 () =
+  section "Table 4: comparison of decomposition methods";
+  note
+    "(paper, >=5000 nodes: Cofactor wins 192/279; Disjoint 57; Band 26;";
+  note " on the 11 BDDs >= 20000 nodes Disjoint wins 8/11)";
+  let pool = Lazy.force shared_pool in
+  let class_of ~min_nodes =
+    List.filter (fun e -> Bdd.size e.Pool.f >= min_nodes) pool
+  in
+  List.iter
+    (fun min_nodes ->
+      let entries = class_of ~min_nodes in
+      if entries <> [] then begin
+        let sizes =
+          List.map (fun e -> float_of_int (Bdd.size e.Pool.f)) entries
+        in
+        note "\nMin. nodes = %d, |f| = %.1f, %d BDDs" min_nodes
+          (Stats.geometric_mean sizes)
+          (List.length entries);
+        let rows = Scoreboard.decomp_table entries decomp_methods in
+        Tables.print ~headers:Scoreboard.decomp_headers
+          ~rows:(Scoreboard.decomp_rows rows)
+      end)
+    [ 500; 2000 ]
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let ablations () =
+  section "Ablation: RUA quality factor sweep";
+  (* sweeps re-run every method several times: bound the pool to its
+     small-to-medium functions to keep the whole suite CI-sized *)
+  let pool =
+    List.filter (fun e -> Bdd.size e.Pool.f <= 8000) (Lazy.force shared_pool)
+  in
+  let methods =
+    List.map
+      (fun q ->
+        ( Printf.sprintf "RUA q=%.1f" q,
+          fun man f -> Remap.approximate man ~quality:q f ))
+      [ 0.5; 0.8; 1.0; 1.2; 1.5; 2.0 ]
+    @ [ ("iterated", fun man f -> Compound.iterated_rua man f) ]
+  in
+  Tables.print ~headers:Scoreboard.approx_headers
+    ~rows:(Scoreboard.approx_rows (Scoreboard.approx_table pool methods));
+
+  section "Ablation: UA convex-combination weight";
+  let methods =
+    List.map
+      (fun w ->
+        ( Printf.sprintf "UA a=%.2f" w,
+          fun man f ->
+            Under_approx.approximate man
+              ~params:{ Under_approx.threshold = 0; weight = w }
+              f ))
+      [ 0.25; 0.5; 0.75 ]
+  in
+  Tables.print ~headers:Scoreboard.approx_headers
+    ~rows:(Scoreboard.approx_rows (Scoreboard.approx_table pool methods));
+
+  section "Ablation: Band placement";
+  let methods =
+    List.map
+      (fun (lo, hi) ->
+        ( Printf.sprintf "Band %.2f-%.2f" lo hi,
+          fun man f -> Decomp_points.band man ~band:(lo, hi) f ))
+      [ (0.1, 0.35); (0.35, 0.65); (0.65, 0.9) ]
+  in
+  Tables.print ~headers:Scoreboard.decomp_headers
+    ~rows:(Scoreboard.decomp_rows (Scoreboard.decomp_table pool methods));
+
+  section "Ablation: over-approximate traversal (machine decomposition)";
+  note "(the dual of Section 2: Cho et al.'s MBM overapproximation, ref [7])";
+  List.iter
+    (fun c ->
+      let compiled = Compile.compile c in
+      let trans = Trans.build compiled in
+      let t0 = Sys.time () in
+      let over = Approx_traversal.run trans in
+      let t_over = Sys.time () -. t0 in
+      let t0 = Sys.time () in
+      let exact = Bfs.run trans in
+      let t_exact = Sys.time () -. t0 in
+      let over_states = Compile.state_count compiled over in
+      note "  %-24s exact %.6g states (%.2fs)   over %.6g states (%.2fs, x%.2f)"
+        (Circuit.name c) exact.Traversal.states t_exact over_states t_over
+        (over_states /. exact.Traversal.states))
+    [
+      Generate.microsequencer ~addr_bits:3 ~stack_depth:2;
+      Generate.handshake_pipeline ~stages:6;
+      Generate.dense_controller ~latches:16 ~seed:11;
+      Generate.lfsr ~bits:8;
+    ];
+
+  section "Ablation: partitioned representation (Narayan et al., refs 19/20)";
+  note "(windows vs monolithic size on the largest pool functions)";
+  let biggest =
+    List.filteri (fun i _ -> i < 8)
+      (List.sort
+         (fun a b -> compare (Bdd.size b.Pool.f) (Bdd.size a.Pool.f))
+         (Lazy.force shared_pool))
+  in
+  List.iter
+    (fun { Pool.man; f; label; _ } ->
+      let p = Partitioned.of_bdd man ~parts:8 f in
+      note "  %-28s |f| = %6d   max window = %6d   shared = %6d (%d windows)"
+        label (Bdd.size f)
+        (Partitioned.max_window_size p)
+        (Partitioned.shared_size p)
+        (List.length (Partitioned.windows p)))
+    biggest;
+
+  section "Ablation: McMillan's canonical conjunctive decomposition";
+  let sample = List.filteri (fun i _ -> i < 12) pool in
+  let factors = ref [] and shared = ref [] and mono = ref [] in
+  List.iter
+    (fun { Pool.man; f; _ } ->
+      let gs = Mcmillan.decompose man f in
+      factors := float_of_int (List.length gs) :: !factors;
+      shared := float_of_int (Bdd.shared_size gs) :: !shared;
+      mono := float_of_int (Bdd.size f) :: !mono)
+    sample;
+  note "  over %d functions: %.1f factors on average, shared size %.1f vs |f| %.1f"
+    (List.length sample)
+    (Stats.arithmetic_mean !factors)
+    (Stats.geometric_mean !shared)
+    (Stats.geometric_mean !mono);
+
+  section "Ablation: replacement types used by RUA";
+  let pool = Lazy.force shared_pool in
+  let totals = ref (0, 0, 0) in
+  List.iter
+    (fun { Pool.man; f; _ } ->
+      let _, st = Remap.approximate_with_stats man f in
+      let a, b, c = !totals in
+      totals :=
+        (a + st.Remap.remaps, b + st.Remap.grandchild, c + st.Remap.zeroes))
+    pool;
+  let r, g, z = !totals in
+  note "across the pool: %d remaps, %d grandchild replacements, %d zeroes" r g z
+
+(* ------------------------------------------------------------------ *)
+(* Density-regime experiment (EXPERIMENTS.md, Table 2 discussion)      *)
+(* ------------------------------------------------------------------ *)
+
+let regimes () =
+  section "Density regimes: RUA vs SP on dense and sparse pools";
+  note
+    "(the paper's pool is sparse industrial functions, where RUA dominates;";
+  note " dense random cones flatter SP's implicant packing — see Table 2)";
+  let netlists =
+    List.map
+      (fun seed ->
+        Generate.random_netlist ~inputs:18 ~gates:120 ~outputs:6 ~seed)
+      (List.init 20 (fun i -> i + 50))
+  in
+  let dense_pool =
+    List.concat_map (Pool.entries_of_circuit ~min_nodes:300) netlists
+  in
+  let sparse_pool =
+    List.concat_map (Pool.product_entries_of_circuit ~min_nodes:300) netlists
+  in
+  let duel name pool =
+    let methods =
+      [
+        ("RUA", fun man f -> Remap.approximate man f);
+        ( "SP",
+          fun man f ->
+            Short_paths.approximate man
+              ~threshold:(Bdd.size (Remap.approximate man f))
+              f );
+      ]
+    in
+    let rows = Scoreboard.approx_table pool methods in
+    let weights =
+      Stats.geometric_mean
+        (List.map (fun e -> Bdd.weight e.Pool.man e.Pool.f) pool)
+    in
+    note "
+%s pool: %s, geo-mean minterm fraction %.2g" name
+      (Pool.describe pool) weights;
+    Tables.print ~headers:Scoreboard.approx_headers
+      ~rows:(Scoreboard.approx_rows rows)
+  in
+  duel "dense" dense_pool;
+  duel "sparse" sparse_pool
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one kernel per table                     *)
+(* ------------------------------------------------------------------ *)
+
+let kernels () =
+  section "Bechamel kernels (one per table)";
+  let open Bechamel in
+  let pool = Lazy.force shared_pool in
+  let entry = List.hd pool in
+  let man = entry.Pool.man and f = entry.Pool.f in
+  note "kernel operand: %s, |f| = %d" entry.Pool.label (Bdd.size f);
+  (* table 1 kernel: one dense-subset + image step *)
+  let circuit = Generate.microsequencer ~addr_bits:3 ~stack_depth:2 in
+  let compiled = Compile.compile circuit in
+  let trans = Trans.build compiled in
+  let front = Image.exact trans compiled.Compile.init in
+  let tman = compiled.Compile.man in
+  let tests =
+    [
+      Test.make ~name:"table1: subset+image step"
+        (Staged.stage (fun () ->
+             let d = Remap.approximate tman front in
+             ignore (Image.exact trans d)));
+      Test.make ~name:"table2: RUA"
+        (Staged.stage (fun () -> ignore (Remap.approximate man f)));
+      Test.make ~name:"table3: C1"
+        (Staged.stage (fun () -> ignore (Compound.c1 man f)));
+      Test.make ~name:"table4: Cofactor decomposition"
+        (Staged.stage (fun () -> ignore (Decomp.conj_cofactor man f)));
+    ]
+  in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None () in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg instances test in
+      let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] -> note "  %-34s %12.0f ns/run" name est
+          | Some _ | None -> note "  %-34s (no estimate)" name)
+        results)
+    tests
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let want =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as rest) -> rest
+    | _ -> [ "table2"; "table3"; "table4"; "ablations"; "kernels"; "table1" ]
+  in
+  List.iter
+    (fun name ->
+      match name with
+      | "table1" -> table1 ()
+      | "table2" -> table2 ()
+      | "table3" -> table3 ()
+      | "table4" -> table4 ()
+      | "ablations" -> ablations ()
+      | "regimes" -> regimes ()
+      | "kernels" -> kernels ()
+      | other ->
+          Printf.eprintf
+            "unknown experiment %s (want table1..table4, ablations, \
+             regimes, kernels)\n"
+            other;
+          exit 1)
+    want

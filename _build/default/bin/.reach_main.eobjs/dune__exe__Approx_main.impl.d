@@ -1,0 +1,1 @@
+bin/approx_main.ml: Approx Arg Bdd Blif Circuit Cmd Cmdliner Generate List Pool Printf Term

@@ -1,0 +1,1 @@
+bin/approx_main.mli:

@@ -1,0 +1,1 @@
+bin/decomp_main.ml: Arg Bdd Blif Circuit Cmd Cmdliner Decomp Decomp_points Generate List Mcmillan Pool Printf Term

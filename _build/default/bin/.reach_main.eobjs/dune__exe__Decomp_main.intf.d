@@ -1,0 +1,1 @@
+bin/decomp_main.mli:

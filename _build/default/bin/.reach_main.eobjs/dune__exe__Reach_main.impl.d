@@ -1,0 +1,1 @@
+bin/reach_main.ml: Approx Arg Bfs Blif Circuit Cmd Cmdliner Compile Format Generate High_density List Printf Term Trans Traversal

@@ -1,0 +1,1 @@
+bin/reach_main.mli:

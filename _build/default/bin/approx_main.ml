@@ -1,0 +1,83 @@
+(* Approximation CLI: apply the paper's underapproximation methods to the
+   output and next-state functions of a circuit and report sizes, minterm
+   counts and densities.
+
+     dune exec bin/approx_main.exe -- --blif design.blif --min-nodes 500
+     dune exec bin/approx_main.exe -- --seed 7 --methods RUA,SP *)
+
+open Cmdliner
+
+let blif_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "blif" ] ~docv:"FILE" ~doc:"Circuit to analyze (BLIF).")
+
+let seed_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "seed" ]
+        ~doc:"Seed for the built-in random netlist used when no BLIF is given.")
+
+let min_nodes_arg =
+  Arg.(
+    value & opt int 200
+    & info [ "min-nodes" ] ~doc:"Only process functions of at least this size.")
+
+let methods_arg =
+  Arg.(
+    value
+    & opt (list string) [ "HB"; "SP"; "UA"; "RUA"; "C1"; "C2" ]
+    & info [ "methods" ] ~doc:"Comma-separated methods to run.")
+
+let threshold_arg =
+  Arg.(value & opt int 0 & info [ "threshold" ] ~doc:"Size target (0 = free).")
+
+let quality_arg =
+  Arg.(value & opt float 1.0 & info [ "quality" ] ~doc:"RUA quality factor.")
+
+let run blif seed min_nodes methods threshold quality =
+  let circuit =
+    match blif with
+    | Some path -> Blif.parse_file path
+    | None -> Generate.random_netlist ~inputs:18 ~gates:120 ~outputs:6 ~seed
+  in
+  let methods =
+    List.map
+      (fun m ->
+        match Approx.method_of_string m with
+        | Some meth -> meth
+        | None -> failwith ("unknown method " ^ m))
+      methods
+  in
+  let entries = Pool.entries_of_circuit ~min_nodes circuit in
+  Printf.printf "%s\npool: %s\n\n" (Circuit.stats circuit)
+    (Pool.describe entries);
+  let params = { Approx.default_params with threshold; quality } in
+  List.iter
+    (fun { Pool.man; f; label; nvars } ->
+      Printf.printf "%s: |f| = %d, ||f|| = %.4g\n" label (Bdd.size f)
+        (Bdd.count_minterms man f ~nvars);
+      List.iter
+        (fun meth ->
+          let g = Approx.under man ~params meth f in
+          Printf.printf
+            "  %-4s |g| = %6d  ||g|| = %12.4g  density = %10.4g  safe: %b\n"
+            (Approx.method_name meth) (Bdd.size g)
+            (Bdd.count_minterms man g ~nvars)
+            (Bdd.density man g ~nvars)
+            (Bdd.density man g ~nvars >= Bdd.density man f ~nvars -. 1e-9))
+        methods)
+    entries
+
+let cmd =
+  let term =
+    Term.(
+      const run $ blif_arg $ seed_arg $ min_nodes_arg $ methods_arg
+      $ threshold_arg $ quality_arg)
+  in
+  Cmd.v
+    (Cmd.info "approx_main" ~doc:"BDD underapproximation methods (DAC'98)")
+    term
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,70 @@
+(* Decomposition CLI: conjunctively decompose the large functions of a
+   circuit with the paper's three two-way methods plus McMillan's canonical
+   decomposition.
+
+     dune exec bin/decomp_main.exe -- --blif design.blif
+     dune exec bin/decomp_main.exe -- --seed 5 --min-nodes 400 *)
+
+open Cmdliner
+
+let blif_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "blif" ] ~docv:"FILE" ~doc:"Circuit to analyze (BLIF).")
+
+let seed_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "seed" ]
+        ~doc:"Seed for the built-in random netlist used when no BLIF is given.")
+
+let min_nodes_arg =
+  Arg.(
+    value & opt int 200
+    & info [ "min-nodes" ] ~doc:"Only process functions of at least this size.")
+
+let mcmillan_arg =
+  Arg.(
+    value & flag
+    & info [ "mcmillan" ] ~doc:"Also run McMillan's canonical decomposition.")
+
+let run blif seed min_nodes mcmillan =
+  let circuit =
+    match blif with
+    | Some path -> Blif.parse_file path
+    | None -> Generate.random_netlist ~inputs:18 ~gates:120 ~outputs:6 ~seed
+  in
+  let entries = Pool.entries_of_circuit ~min_nodes circuit in
+  Printf.printf "%s\npool: %s\n\n" (Circuit.stats circuit)
+    (Pool.describe entries);
+  List.iter
+    (fun { Pool.man; f; label; _ } ->
+      Printf.printf "%s: |f| = %d\n" label (Bdd.size f);
+      List.iter
+        (fun (name, fn) ->
+          let p = fn man f in
+          Printf.printf
+            "  %-8s |G| = %6d  |H| = %6d  shared = %6d  balance = %.2f  ok = %b\n"
+            name (Bdd.size p.Decomp.g) (Bdd.size p.Decomp.h)
+            (Decomp.shared_size p) (Decomp.balance p)
+            (Decomp.verify_conj man f p))
+        [
+          ("Cofactor", Decomp.conj_cofactor);
+          ("Band", fun m g -> Decomp_points.band m g);
+          ("Disjoint", fun m g -> Decomp_points.disjoint m g);
+        ];
+      if mcmillan then begin
+        let gs = Mcmillan.decompose man f in
+        Printf.printf "  McMillan %d factors, shared = %d, ok = %b\n"
+          (List.length gs) (Bdd.shared_size gs) (Mcmillan.verify man f gs)
+      end)
+    entries
+
+let cmd =
+  let term =
+    Term.(const run $ blif_arg $ seed_arg $ min_nodes_arg $ mcmillan_arg)
+  in
+  Cmd.v (Cmd.info "decomp_main" ~doc:"BDD decomposition methods (DAC'98)") term
+
+let () = exit (Cmd.eval cmd)

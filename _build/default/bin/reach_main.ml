@@ -1,0 +1,139 @@
+(* Reachability analysis CLI.
+
+     dune exec bin/reach_main.exe -- --circuit microprogram --engine hd \
+       --method RUA --threshold 0 --quality 1.0 --pimg 20000,5000
+
+   Circuits are either built-in generators (--circuit name, with --param
+   key=value settings) or BLIF files (--blif path). *)
+
+let builtin name params =
+  let p key default =
+    match List.assoc_opt key params with Some v -> v | None -> default
+  in
+  match name with
+  | "counter" -> Generate.counter ~bits:(p "bits" 8)
+  | "counter_en" -> Generate.counter_enabled ~bits:(p "bits" 8)
+  | "ring" -> Generate.ring ~bits:(p "bits" 8)
+  | "johnson" -> Generate.johnson ~bits:(p "bits" 8)
+  | "lfsr" -> Generate.lfsr ~bits:(p "bits" 8)
+  | "fifo" -> Generate.fifo_controller ~depth:(p "depth" 8)
+  | "arbiter" -> Generate.arbiter ~clients:(p "clients" 4)
+  | "traffic" -> Generate.traffic_light ()
+  | "microsequencer" ->
+      Generate.microsequencer ~addr_bits:(p "addr" 4)
+        ~stack_depth:(p "stack" 2)
+  | "microprogram" ->
+      Generate.microprogram ~addr_bits:(p "addr" 5) ~stack_depth:(p "stack" 3)
+        ~seed:(p "seed" 3)
+  | "shifter" -> Generate.shifter_datapath ~width:(p "width" 8)
+  | "handshake" -> Generate.handshake_pipeline ~stages:(p "stages" 8)
+  | "dense" ->
+      Generate.dense_controller ~latches:(p "latches" 24) ~seed:(p "seed" 11)
+  | other -> failwith (Printf.sprintf "unknown circuit %s" other)
+
+open Cmdliner
+
+let circuit_arg =
+  Arg.(
+    value
+    & opt string "microsequencer"
+    & info [ "circuit"; "c" ] ~docv:"NAME"
+        ~doc:
+          "Built-in circuit generator: counter, counter_en, ring, johnson, \
+           lfsr, fifo, arbiter, traffic, microsequencer, microprogram, \
+           shifter, handshake, dense.")
+
+let blif_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "blif" ] ~docv:"FILE" ~doc:"Load the circuit from a BLIF file.")
+
+let params_arg =
+  Arg.(
+    value & opt_all (pair ~sep:'=' string int) []
+    & info [ "param"; "p" ] ~docv:"KEY=INT"
+        ~doc:"Generator parameter, e.g. --param addr=4 --param stack=2.")
+
+let engine_arg =
+  Arg.(
+    value
+    & opt (enum [ ("bfs", `Bfs); ("hd", `Hd) ]) `Hd
+    & info [ "engine"; "e" ] ~doc:"Traversal engine: bfs or hd.")
+
+let method_arg =
+  Arg.(
+    value & opt string "RUA"
+    & info [ "method"; "m" ] ~doc:"Subset method for hd: HB, SP, UA, RUA, C1, C2.")
+
+let threshold_arg =
+  Arg.(value & opt int 0 & info [ "threshold"; "t" ] ~doc:"Subset size target.")
+
+let quality_arg =
+  Arg.(value & opt float 1.0 & info [ "quality"; "q" ] ~doc:"RUA quality factor.")
+
+let pimg_arg =
+  Arg.(
+    value
+    & opt (some (pair ~sep:',' int int)) None
+    & info [ "pimg" ] ~docv:"LIMIT,TH"
+        ~doc:"Partial-image subsetting: trigger node limit and threshold.")
+
+let time_limit_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "time-limit" ] ~docv:"SECONDS" ~doc:"Abort after this CPU time.")
+
+let node_limit_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "node-limit" ] ~docv:"NODES"
+        ~doc:"Abort when the live-node count exceeds this budget.")
+
+let sift_arg =
+  Arg.(value & flag & info [ "sift" ] ~doc:"Enable dynamic reordering.")
+
+let cluster_arg =
+  Arg.(
+    value & opt int 2000
+    & info [ "cluster-limit" ] ~doc:"Transition-relation cluster size limit.")
+
+let run circuit blif params engine meth threshold quality pimg time_limit
+    node_limit sift cluster_limit =
+  let c =
+    match blif with
+    | Some path -> Blif.parse_file path
+    | None -> builtin circuit params
+  in
+  Printf.printf "circuit: %s\n%!" (Circuit.stats c);
+  let trans = Trans.build ~cluster_limit (Compile.compile c) in
+  let result =
+    match engine with
+    | `Bfs -> Bfs.run ?time_limit ?node_limit ~sift trans
+    | `Hd ->
+        let meth =
+          match Approx.method_of_string meth with
+          | Some m -> m
+          | None -> failwith ("unknown method " ^ meth)
+        in
+        High_density.run ?time_limit ?node_limit ~sift
+          ~params:{ High_density.meth; threshold; quality; pimg }
+          trans
+  in
+  Format.printf "%a@." Traversal.pp result
+
+let cmd =
+  let term =
+    Term.(
+      const run $ circuit_arg $ blif_arg $ params_arg $ engine_arg $ method_arg
+      $ threshold_arg $ quality_arg $ pimg_arg $ time_limit_arg
+      $ node_limit_arg $ sift_arg $ cluster_arg)
+  in
+  Cmd.v
+    (Cmd.info "reach_main"
+       ~doc:"Symbolic reachability analysis with BDD approximations (DAC'98)")
+    term
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/decompose_large.ml: Bdd Decomp Decomp_points Generate List Pool Printf

@@ -1,0 +1,1 @@
+examples/decompose_large.mli:

@@ -1,0 +1,1 @@
+examples/model_check_ctl.ml: Circuit Compile Ctl Generate Printf Trans

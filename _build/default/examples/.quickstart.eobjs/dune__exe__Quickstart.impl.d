@@ -1,0 +1,1 @@
+examples/quickstart.ml: Approx Bdd Decomp Decomp_points List Mcmillan Printf String

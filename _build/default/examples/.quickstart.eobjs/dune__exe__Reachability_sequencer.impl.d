@@ -1,0 +1,1 @@
+examples/reachability_sequencer.ml: Approx Bfs Circuit Compile Generate High_density Printf Sys Trans Traversal

@@ -1,0 +1,1 @@
+examples/reachability_sequencer.mli:

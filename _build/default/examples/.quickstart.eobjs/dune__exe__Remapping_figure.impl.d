@@ -1,0 +1,1 @@
+examples/remapping_figure.ml: Bdd Dot Printf

@@ -1,0 +1,1 @@
+examples/remapping_figure.mli:

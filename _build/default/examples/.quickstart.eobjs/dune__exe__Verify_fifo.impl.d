@@ -1,0 +1,1 @@
+examples/verify_fifo.ml: Array Bdd Circuit Compile Format Fun Generate Invariant List Printf Trans Traversal

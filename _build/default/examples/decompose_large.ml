@@ -1,0 +1,31 @@
+(* Decompose the large next-state functions of a synthetic datapath with
+   the three methods of the paper's Table 4 and report balance and shared
+   size.
+
+   Run with: dune exec examples/decompose_large.exe *)
+
+let () =
+  let entries =
+    Pool.entries_of_circuit ~min_nodes:200
+      (Generate.shifter_datapath ~width:10)
+    @ Pool.entries_of_circuit ~min_nodes:200
+        (Generate.random_netlist ~inputs:18 ~gates:120 ~outputs:4 ~seed:9)
+  in
+  Printf.printf "Pool: %s\n\n" (Pool.describe entries);
+  List.iter
+    (fun { Pool.man; f; label; _ } ->
+      Printf.printf "%s  (|f| = %d)\n" label (Bdd.size f);
+      List.iter
+        (fun (name, fn) ->
+          let p = fn man f in
+          Printf.printf
+            "  %-8s  |G| = %5d  |H| = %5d  shared = %5d  balance = %.2f  ok = %b\n"
+            name (Bdd.size p.Decomp.g) (Bdd.size p.Decomp.h)
+            (Decomp.shared_size p) (Decomp.balance p)
+            (Decomp.verify_conj man f p))
+        [
+          ("Cofactor", Decomp.conj_cofactor);
+          ("Band", fun m g -> Decomp_points.band m g);
+          ("Disjoint", fun m g -> Decomp_points.disjoint m g);
+        ])
+    entries

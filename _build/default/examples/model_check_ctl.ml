@@ -1,0 +1,42 @@
+(* CTL model checking of the traffic-light controller: the liveness and
+   safety questions the paper's introduction motivates, answered over the
+   BDD substrate.
+
+   Run with: dune exec examples/model_check_ctl.exe *)
+
+let verdict name ok = Printf.printf "  %-44s %s\n" name (if ok then "holds" else "FAILS")
+
+let () =
+  let circuit = Generate.traffic_light () in
+  Printf.printf "Circuit: %s\n\n" (Circuit.stats circuit);
+  let trans = Trans.build (Compile.compile circuit) in
+  let ck = Ctl.make trans in
+  let ns = Ctl.output_possibly ck "ns_green" in
+  let ew = Ctl.output_possibly ck "ew_green" in
+  Printf.printf "CTL properties:\n";
+  (* safety: the two greens are mutually exclusive everywhere *)
+  verdict "AG ¬(ns_green ∧ ew_green)" (Ctl.holds ck (Ctl.AG (Ctl.Not (Ctl.And (ns, ew)))));
+  (* possibility: from every state a north-south green is reachable *)
+  verdict "AG EF ns_green" (Ctl.holds ck (Ctl.AG (Ctl.EF ns)));
+  (* and an east-west green too *)
+  verdict "AG EF ew_green" (Ctl.holds ck (Ctl.AG (Ctl.EF ew)));
+  (* liveness that fails: without a car, the east-west light never comes *)
+  verdict "AF ew_green (fails: needs a car)" (Ctl.holds ck (Ctl.AF ew));
+  (* the conditional version does hold: once east-west is green it will
+     hand the road back *)
+  verdict "AG (ew_green → AF ns_green)"
+    (Ctl.holds ck (Ctl.AG (Ctl.Implies (ew, Ctl.AF ns))));
+
+  (* and a datapath example: the FIFO controller *)
+  let fifo = Generate.fifo_controller ~depth:4 in
+  Printf.printf "\nCircuit: %s\n\n" (Circuit.stats fifo);
+  let compiled = Compile.compile fifo in
+  let trans = Trans.build compiled in
+  let ck = Ctl.make trans in
+  let full = Ctl.output_possibly ck "full" in
+  let empty = Ctl.output_possibly ck "empty" in
+  Printf.printf "CTL properties:\n";
+  verdict "AG ¬(full ∧ empty)" (Ctl.holds ck (Ctl.AG (Ctl.Not (Ctl.And (full, empty)))));
+  verdict "AG EF full" (Ctl.holds ck (Ctl.AG (Ctl.EF full)));
+  verdict "AG EF empty" (Ctl.holds ck (Ctl.AG (Ctl.EF empty)));
+  verdict "AG (full → EX ¬full)" (Ctl.holds ck (Ctl.AG (Ctl.Implies (full, Ctl.EX (Ctl.Not full)))))

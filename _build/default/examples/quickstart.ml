@@ -1,0 +1,55 @@
+(* Quickstart: build a few BDDs, underapproximate them with every method of
+   the paper, and decompose one conjunctively.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  (* a manager and some variables *)
+  let man = Bdd.create ~nvars:12 () in
+  let v = Bdd.ithvar man in
+
+  (* an awkward function: a disjunction of overlapping products *)
+  let f =
+    Bdd.disj man
+      [
+        Bdd.conj man [ v 0; v 2; v 4 ];
+        Bdd.conj man [ v 1; v 3; v 5 ];
+        Bdd.conj man [ v 0; v 5; Bdd.bnot man (v 7) ];
+        Bdd.conj man [ v 6; v 8; v 10 ];
+        Bdd.conj man [ v 9; Bdd.bnot man (v 2); v 11 ];
+      ]
+  in
+  let nvars = Bdd.nvars man in
+  let describe name g =
+    Printf.printf "  %-4s |g| = %3d  ||g|| = %10.0f  density = %8.2f  g ≤ f: %b\n"
+      name (Bdd.size g)
+      (Bdd.count_minterms man g ~nvars)
+      (Bdd.density man g ~nvars)
+      (Bdd.leq man g f)
+  in
+  Printf.printf "Underapproximations of f (Section 2 of the paper):\n";
+  describe "F" f;
+  List.iter
+    (fun m -> describe (Approx.method_name m) (Approx.under man m f))
+    Approx.all_methods;
+
+  (* overapproximation by duality *)
+  let over = Approx.over man Approx.RUA f in
+  Printf.printf "\nOverapproximation (dual RUA): |g| = %d, f ≤ g: %b\n"
+    (Bdd.size over) (Bdd.leq man f over);
+
+  (* conjunctive decomposition (Section 3) *)
+  Printf.printf "\nConjunctive decompositions of f:\n";
+  let show name (p : Decomp.pair) =
+    Printf.printf "  %-8s |G| = %3d  |H| = %3d  shared = %3d  G∧H = f: %b\n"
+      name (Bdd.size p.Decomp.g) (Bdd.size p.Decomp.h) (Decomp.shared_size p)
+      (Decomp.verify_conj man f p)
+  in
+  show "Cofactor" (Decomp.conj_cofactor man f);
+  show "Band" (Decomp_points.band man f);
+  show "Disjoint" (Decomp_points.disjoint man f);
+  let gs = Mcmillan.decompose man f in
+  Printf.printf "  McMillan %d factors, sizes [%s], ∧ = f: %b\n"
+    (List.length gs)
+    (String.concat "; " (List.map (fun g -> string_of_int (Bdd.size g)) gs))
+    (Mcmillan.verify man f gs)

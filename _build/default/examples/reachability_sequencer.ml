@@ -1,0 +1,33 @@
+(* Reachability analysis of the am2910-like microprogram sequencer: exact
+   breadth-first search vs. high-density traversal with RUA subsetting
+   (the paper's Table 1 experiment, at example scale).
+
+   Run with: dune exec examples/reachability_sequencer.exe *)
+
+let run_engine name f =
+  let t0 = Sys.time () in
+  let r = f () in
+  Printf.printf "  %-22s %12.6g states, %4d iterations, %5d images, %.2fs%s\n%!"
+    name r.Traversal.states r.Traversal.iterations r.Traversal.images
+    (Sys.time () -. t0)
+    (if r.Traversal.exact then "" else "  [incomplete]")
+
+let () =
+  let circuit = Generate.microsequencer ~addr_bits:4 ~stack_depth:2 in
+  Printf.printf "Circuit: %s\n" (Circuit.stats circuit);
+  let fresh () = Trans.build (Compile.compile circuit) in
+  Printf.printf "Traversals:\n";
+  run_engine "BFS (exact)" (fun () -> Bfs.run (fresh ()));
+  run_engine "HD + RUA" (fun () ->
+      High_density.run
+        ~params:{ High_density.default with meth = Approx.RUA }
+        (fresh ()));
+  run_engine "HD + SP (th 500)" (fun () ->
+      High_density.run
+        ~params:
+          { High_density.default with meth = Approx.SP; threshold = 500 }
+        (fresh ()));
+  run_engine "HD + RUA + PImg" (fun () ->
+      High_density.run
+        ~params:{ High_density.default with pimg = Some (5000, 2000) }
+        (fresh ()))

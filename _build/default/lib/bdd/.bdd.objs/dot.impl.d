@@ -1,0 +1,1 @@
+lib/bdd/dot.ml: Bdd Format Hashtbl List Option Printf

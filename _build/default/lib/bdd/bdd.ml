@@ -1,0 +1,717 @@
+type t = { uid : int; node : node }
+
+and node =
+  | Leaf of bool
+  | N of { var : int; hi : t; lo : t }
+
+type view =
+  | False
+  | True
+  | Node of { var : int; hi : t; lo : t }
+
+exception Node_limit
+
+type man = {
+  ff : t;
+  tt : t;
+  mutable node_limit : int option;
+  mutable cache_limit : int;
+  mutable next_uid : int;
+  unique : (int * int * int, t) Hashtbl.t;
+  mutable var_level : int array; (* variable -> level *)
+  mutable level_var : int array; (* level -> variable *)
+  mutable n_vars : int;
+  ite_cache : (int * int * int, t) Hashtbl.t;
+  op_cache : (int * int * int, t) Hashtbl.t; (* (tag, uid1, uid2) *)
+  not_cache : (int, t) Hashtbl.t;
+  exist_cache : (int * int, t) Hashtbl.t;
+  andex_cache : (int * int * int, t) Hashtbl.t;
+  constrain_cache : (int * int, t) Hashtbl.t;
+  restrict_cache : (int * int, t) Hashtbl.t;
+  leq_cache : (int * int, bool) Hashtbl.t;
+  weight_cache : (int, float) Hashtbl.t;
+  mutable nodes_made : int;
+}
+
+let tag_and = 0
+let tag_or = 1
+let tag_xor = 2
+
+(* ------------------------------------------------------------------ *)
+(* Managers and variables                                             *)
+(* ------------------------------------------------------------------ *)
+
+let create ?(nvars = 0) () =
+  let ff = { uid = 0; node = Leaf false } in
+  let tt = { uid = 1; node = Leaf true } in
+  let man =
+    {
+      ff;
+      tt;
+      node_limit = None;
+      cache_limit = 2_000_000;
+      next_uid = 2;
+      unique = Hashtbl.create 4096;
+      var_level = Array.init (max nvars 16) (fun i -> i);
+      level_var = Array.init (max nvars 16) (fun i -> i);
+      n_vars = nvars;
+      ite_cache = Hashtbl.create 4096;
+      op_cache = Hashtbl.create 4096;
+      not_cache = Hashtbl.create 1024;
+      exist_cache = Hashtbl.create 1024;
+      andex_cache = Hashtbl.create 1024;
+      constrain_cache = Hashtbl.create 256;
+      restrict_cache = Hashtbl.create 256;
+      leq_cache = Hashtbl.create 1024;
+      weight_cache = Hashtbl.create 1024;
+      nodes_made = 0;
+    }
+  in
+  man
+
+let nvars man = man.n_vars
+let tt man = man.tt
+let ff man = man.ff
+let id f = f.uid
+let equal f g = f == g
+
+let view f =
+  match f.node with
+  | Leaf false -> False
+  | Leaf true -> True
+  | N { var; hi; lo } -> Node { var; hi; lo }
+
+let is_const f = match f.node with Leaf _ -> true | N _ -> false
+let is_true f = f.uid = 1
+let is_false f = f.uid = 0
+
+let topvar f =
+  match f.node with
+  | N { var; _ } -> var
+  | Leaf _ -> invalid_arg "Bdd.topvar: constant"
+
+let high f =
+  match f.node with
+  | N { hi; _ } -> hi
+  | Leaf _ -> invalid_arg "Bdd.high: constant"
+
+let low f =
+  match f.node with
+  | N { lo; _ } -> lo
+  | Leaf _ -> invalid_arg "Bdd.low: constant"
+
+let level_of_var man v =
+  if v < 0 || v >= man.n_vars then invalid_arg "Bdd.level_of_var";
+  man.var_level.(v)
+
+let var_at_level man l =
+  if l < 0 || l >= man.n_vars then invalid_arg "Bdd.var_at_level";
+  man.level_var.(l)
+
+let order man = Array.sub man.level_var 0 man.n_vars
+
+(* Level of the root node; constants sink below every variable. *)
+let level man f =
+  match f.node with Leaf _ -> max_int | N { var; _ } -> man.var_level.(var)
+
+let grow_vars man n =
+  let cap = Array.length man.var_level in
+  if n > cap then begin
+    let cap' = max n (2 * cap) in
+    let vl = Array.init cap' (fun i -> i)
+    and lv = Array.init cap' (fun i -> i) in
+    Array.blit man.var_level 0 vl 0 man.n_vars;
+    Array.blit man.level_var 0 lv 0 man.n_vars;
+    man.var_level <- vl;
+    man.level_var <- lv
+  end;
+  (* fresh variables enter at the bottom of the order *)
+  for v = man.n_vars to n - 1 do
+    man.var_level.(v) <- v;
+    man.level_var.(v) <- v
+  done;
+  man.n_vars <- max man.n_vars n
+
+(* Unchecked hash-consed constructor: callers guarantee the ordering
+   invariant. *)
+let mk_raw man var hi lo =
+  if hi == lo then hi
+  else
+    let key = (var, hi.uid, lo.uid) in
+    match Hashtbl.find_opt man.unique key with
+    | Some n -> n
+    | None ->
+        (match man.node_limit with
+        | Some limit when Hashtbl.length man.unique >= limit ->
+            raise Node_limit
+        | Some _ | None -> ());
+        let n = { uid = man.next_uid; node = N { var; hi; lo } } in
+        man.next_uid <- man.next_uid + 1;
+        man.nodes_made <- man.nodes_made + 1;
+        Hashtbl.add man.unique key n;
+        n
+
+let mk man ~var ~hi ~lo =
+  if var < 0 || var >= man.n_vars then invalid_arg "Bdd.mk: unknown variable";
+  let lv = man.var_level.(var) in
+  if level man hi <= lv || level man lo <= lv then
+    invalid_arg "Bdd.mk: children must lie below the variable";
+  mk_raw man var hi lo
+
+let ithvar man i =
+  if i < 0 then invalid_arg "Bdd.ithvar";
+  if i >= man.n_vars then grow_vars man (i + 1);
+  mk_raw man i man.tt man.ff
+
+let nithvar man i =
+  if i < 0 then invalid_arg "Bdd.nithvar";
+  if i >= man.n_vars then grow_vars man (i + 1);
+  mk_raw man i man.ff man.tt
+
+let new_var man = ithvar man man.n_vars
+
+(* Cofactors of [f] with respect to the variable at level [lv]. *)
+let cofactors man f lv =
+  match f.node with
+  | Leaf _ -> (f, f)
+  | N { var; hi; lo } -> if man.var_level.(var) = lv then (hi, lo) else (f, f)
+
+(* Bounded cache insertion: operation caches are unbounded hash tables, so
+   a single huge operation could otherwise grow them far beyond the live
+   node count (CUDD bounds its computed table the same way). *)
+let cache_add man tbl key v =
+  if Hashtbl.length tbl >= man.cache_limit then Hashtbl.reset tbl;
+  Hashtbl.add tbl key v
+
+(* ------------------------------------------------------------------ *)
+(* ITE and the binary connectives                                     *)
+(* ------------------------------------------------------------------ *)
+
+let rec ite man f g h =
+  if is_true f then g
+  else if is_false f then h
+  else if g == h then g
+  else if is_true g && is_false h then f
+  else if f == g then ite man f man.tt h
+  else if f == h then ite man f g man.ff
+  else
+    let key = (f.uid, g.uid, h.uid) in
+    match Hashtbl.find_opt man.ite_cache key with
+    | Some r -> r
+    | None ->
+        let lv = min (level man f) (min (level man g) (level man h)) in
+        let v = man.level_var.(lv) in
+        let f1, f0 = cofactors man f lv
+        and g1, g0 = cofactors man g lv
+        and h1, h0 = cofactors man h lv in
+        let r1 = ite man f1 g1 h1 and r0 = ite man f0 g0 h0 in
+        let r = mk_raw man v r1 r0 in
+        cache_add man man.ite_cache key r;
+        r
+
+let rec bnot man f =
+  if is_true f then man.ff
+  else if is_false f then man.tt
+  else
+    match Hashtbl.find_opt man.not_cache f.uid with
+    | Some r -> r
+    | None ->
+        let r = mk_raw man (topvar f) (bnot man (high f)) (bnot man (low f)) in
+        Hashtbl.add man.not_cache f.uid r;
+        Hashtbl.replace man.not_cache r.uid f;
+        r
+
+(* Binary apply with terminal-case functions, sharing one tagged cache. *)
+let rec apply man tag term f g =
+  match term man f g with
+  | Some r -> r
+  | None -> (
+      (* commutative: normalize the argument order for better cache reuse *)
+      let f, g = if f.uid <= g.uid then (f, g) else (g, f) in
+      let key = (tag, f.uid, g.uid) in
+      match Hashtbl.find_opt man.op_cache key with
+      | Some r -> r
+      | None ->
+          let lv = min (level man f) (level man g) in
+          let v = man.level_var.(lv) in
+          let f1, f0 = cofactors man f lv and g1, g0 = cofactors man g lv in
+          let r1 = apply man tag term f1 g1
+          and r0 = apply man tag term f0 g0 in
+          let r = mk_raw man v r1 r0 in
+          cache_add man man.op_cache key r;
+          r)
+
+let and_term man f g =
+  if is_false f || is_false g then Some man.ff
+  else if is_true f then Some g
+  else if is_true g then Some f
+  else if f == g then Some f
+  else None
+
+let or_term man f g =
+  if is_true f || is_true g then Some man.tt
+  else if is_false f then Some g
+  else if is_false g then Some f
+  else if f == g then Some f
+  else None
+
+let xor_term man f g =
+  if f == g then Some man.ff
+  else if is_false f then Some g
+  else if is_false g then Some f
+  else if is_true f then Some (bnot man g)
+  else if is_true g then Some (bnot man f)
+  else None
+
+let band man f g = apply man tag_and and_term f g
+let bor man f g = apply man tag_or or_term f g
+let bxor man f g = apply man tag_xor xor_term f g
+let bnand man f g = bnot man (band man f g)
+let bnor man f g = bnot man (bor man f g)
+let biff man f g = bnot man (bxor man f g)
+let bimp man f g = ite man f g man.tt
+let bdiff man f g = ite man g man.ff f
+let conj man fs = List.fold_left (band man) man.tt fs
+let disj man fs = List.fold_left (bor man) man.ff fs
+
+(* satisfiability of a conjunction without building it *)
+let intersects man f g =
+  let seen = Hashtbl.create 64 in
+  let rec go f g =
+    if is_false f || is_false g then false
+    else if is_true f || is_true g || f == g then true
+    else
+      let f, g = if f.uid <= g.uid then (f, g) else (g, f) in
+      let key = (f.uid, g.uid) in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.add seen key ();
+        let lv = min (level man f) (level man g) in
+        let f1, f0 = cofactors man f lv and g1, g0 = cofactors man g lv in
+        go f1 g1 || go f0 g0
+      end
+  in
+  go f g
+
+let rec leq man f g =
+  if f == g || is_false f || is_true g then true
+  else if is_true f || is_false g then false
+  else
+    let key = (f.uid, g.uid) in
+    match Hashtbl.find_opt man.leq_cache key with
+    | Some r -> r
+    | None ->
+        let lv = min (level man f) (level man g) in
+        let f1, f0 = cofactors man f lv and g1, g0 = cofactors man g lv in
+        let r = leq man f1 g1 && leq man f0 g0 in
+        cache_add man man.leq_cache key r;
+        r
+
+(* ------------------------------------------------------------------ *)
+(* Cofactors, composition                                             *)
+(* ------------------------------------------------------------------ *)
+
+let cofactor man f ~var b =
+  if var < 0 || var >= man.n_vars then invalid_arg "Bdd.cofactor";
+  let lv = man.var_level.(var) in
+  let memo = Hashtbl.create 64 in
+  let rec go f =
+    if level man f > lv then f
+    else if level man f = lv then if b then high f else low f
+    else
+      match Hashtbl.find_opt memo f.uid with
+      | Some r -> r
+      | None ->
+          let r = mk_raw man (topvar f) (go (high f)) (go (low f)) in
+          Hashtbl.add memo f.uid r;
+          r
+  in
+  go f
+
+let vector_compose man f subst =
+  let memo = Hashtbl.create 64 in
+  let rec go f =
+    match f.node with
+    | Leaf _ -> f
+    | N { var; hi; lo } -> (
+        match Hashtbl.find_opt memo f.uid with
+        | Some r -> r
+        | None ->
+            let hi' = go hi and lo' = go lo in
+            let gv =
+              match subst var with Some g -> g | None -> ithvar man var
+            in
+            let r = ite man gv hi' lo' in
+            Hashtbl.add memo f.uid r;
+            r)
+  in
+  go f
+
+let compose man f ~var g =
+  vector_compose man f (fun v -> if v = var then Some g else None)
+
+let permute man f p =
+  vector_compose man f (fun v -> Some (ithvar man (p v)))
+
+(* ------------------------------------------------------------------ *)
+(* Cubes and quantification                                           *)
+(* ------------------------------------------------------------------ *)
+
+let cube man vars =
+  let vars =
+    List.sort_uniq
+      (fun a b -> compare (level_of_var man b) (level_of_var man a))
+      vars
+  in
+  (* deepest variable first so that mk_raw builds bottom-up *)
+  List.fold_left (fun acc v -> mk_raw man v acc man.ff) man.tt vars
+
+let cube_of_literals man lits =
+  let lits =
+    List.sort_uniq
+      (fun (a, _) (b, _) ->
+        compare (level_of_var man b) (level_of_var man a))
+      lits
+  in
+  List.fold_left
+    (fun acc (v, b) ->
+      if b then mk_raw man v acc man.ff else mk_raw man v man.ff acc)
+    man.tt lits
+
+let rec exists man ~vars f =
+  if is_const f || is_true vars then f
+  else if is_false vars then invalid_arg "Bdd.exists: not a cube"
+  else
+    let lf = level man f and lc = level man vars in
+    if lc < lf then exists man ~vars:(high vars) f
+    else
+      let key = (f.uid, vars.uid) in
+      match Hashtbl.find_opt man.exist_cache key with
+      | Some r -> r
+      | None ->
+          let r =
+            if lc = lf then
+              let vars = high vars in
+              bor man (exists man ~vars (high f)) (exists man ~vars (low f))
+            else
+              mk_raw man (topvar f)
+                (exists man ~vars (high f))
+                (exists man ~vars (low f))
+          in
+          cache_add man man.exist_cache key r;
+          r
+
+let forall man ~vars f = bnot man (exists man ~vars (bnot man f))
+
+let rec and_exists man ~vars f g =
+  if is_false f || is_false g then man.ff
+  else if is_true vars then band man f g
+  else if is_true f then exists man ~vars g
+  else if is_true g then exists man ~vars f
+  else if f == g then exists man ~vars f
+  else
+    let f, g = if f.uid <= g.uid then (f, g) else (g, f) in
+    let key = (f.uid, g.uid, vars.uid) in
+    match Hashtbl.find_opt man.andex_cache key with
+    | Some r -> r
+    | None ->
+        let lf = level man f and lg = level man g and lc = level man vars in
+        let lv = min lf lg in
+        let r =
+          if lc < lv then and_exists man ~vars:(high vars) f g
+          else
+            let v = man.level_var.(lv) in
+            let f1, f0 = cofactors man f lv
+            and g1, g0 = cofactors man g lv in
+            if lc = lv then
+              let vars = high vars in
+              bor man
+                (and_exists man ~vars f1 g1)
+                (and_exists man ~vars f0 g0)
+            else
+              mk_raw man v
+                (and_exists man ~vars f1 g1)
+                (and_exists man ~vars f0 g0)
+        in
+        cache_add man man.andex_cache key r;
+        r
+
+(* ------------------------------------------------------------------ *)
+(* Generalized cofactors                                              *)
+(* ------------------------------------------------------------------ *)
+
+let rec constrain_rec man f c =
+  if is_true c || is_const f then f
+  else if f == c then man.tt
+  else
+    let key = (f.uid, c.uid) in
+    match Hashtbl.find_opt man.constrain_cache key with
+    | Some r -> r
+    | None ->
+        let lv = min (level man f) (level man c) in
+        let v = man.level_var.(lv) in
+        let f1, f0 = cofactors man f lv and c1, c0 = cofactors man c lv in
+        let r =
+          if is_false c0 then constrain_rec man f1 c1
+          else if is_false c1 then constrain_rec man f0 c0
+          else mk_raw man v (constrain_rec man f1 c1) (constrain_rec man f0 c0)
+        in
+        cache_add man man.constrain_cache key r;
+        r
+
+let constrain man f c =
+  if is_false c then invalid_arg "Bdd.constrain: empty care set";
+  constrain_rec man f c
+
+let rec restrict_rec man f c =
+  if is_true c || is_const f then f
+  else if f == c then man.tt
+  else
+    let key = (f.uid, c.uid) in
+    match Hashtbl.find_opt man.restrict_cache key with
+    | Some r -> r
+    | None ->
+        let lf = level man f and lc = level man c in
+        let r =
+          if lc < lf then
+            (* the care set constrains a variable f does not mention:
+               quantify it out of c *)
+            restrict_rec man f (bor man (high c) (low c))
+          else
+            let v = topvar f in
+            let c1, c0 = if lc = lf then (high c, low c) else (c, c) in
+            if is_false c0 then restrict_rec man (high f) c1
+            else if is_false c1 then restrict_rec man (low f) c0
+            else
+              mk_raw man v
+                (restrict_rec man (high f) c1)
+                (restrict_rec man (low f) c0)
+        in
+        cache_add man man.restrict_cache key r;
+        r
+
+let restrict man f c =
+  if is_false c then invalid_arg "Bdd.restrict: empty care set";
+  restrict_rec man f c
+
+(* ------------------------------------------------------------------ *)
+(* Counting and analysis                                              *)
+(* ------------------------------------------------------------------ *)
+
+let iter_nodes fn f =
+  let seen = Hashtbl.create 64 in
+  let rec go f =
+    match f.node with
+    | Leaf _ -> ()
+    | N { hi; lo; _ } ->
+        if not (Hashtbl.mem seen f.uid) then begin
+          Hashtbl.add seen f.uid ();
+          go hi;
+          go lo;
+          fn f
+        end
+  in
+  go f
+
+let fold_nodes fn acc f =
+  let acc = ref acc in
+  iter_nodes (fun n -> acc := fn !acc n) f;
+  !acc
+
+let nodes f = List.rev (fold_nodes (fun acc n -> n :: acc) [] f)
+let size f = fold_nodes (fun n _ -> n + 1) 0 f
+
+let shared_size fs =
+  let seen = Hashtbl.create 64 in
+  let count = ref 0 in
+  let rec go f =
+    match f.node with
+    | Leaf _ -> ()
+    | N { hi; lo; _ } ->
+        if not (Hashtbl.mem seen f.uid) then begin
+          Hashtbl.add seen f.uid ();
+          incr count;
+          go hi;
+          go lo
+        end
+  in
+  List.iter go fs;
+  !count
+
+let rec weight man f =
+  if is_false f then 0.
+  else if is_true f then 1.
+  else
+    match Hashtbl.find_opt man.weight_cache f.uid with
+    | Some w -> w
+    | None ->
+        let w = 0.5 *. (weight man (high f) +. weight man (low f)) in
+        Hashtbl.add man.weight_cache f.uid w;
+        w
+
+let count_minterms man f ~nvars = ldexp (weight man f) nvars
+
+let density man f ~nvars =
+  count_minterms man f ~nvars /. float_of_int (max 1 (size f))
+
+let count_paths _man f =
+  let memo = Hashtbl.create 64 in
+  let rec go f =
+    match f.node with
+    | Leaf _ -> 1.
+    | N { hi; lo; _ } -> (
+        match Hashtbl.find_opt memo f.uid with
+        | Some p -> p
+        | None ->
+            let p = go hi +. go lo in
+            Hashtbl.add memo f.uid p;
+            p)
+  in
+  go f
+
+let support man f =
+  let seen = Hashtbl.create 16 in
+  iter_nodes (fun n -> Hashtbl.replace seen (topvar n) ()) f;
+  let vars = Hashtbl.fold (fun v () acc -> v :: acc) seen [] in
+  List.sort
+    (fun a b -> compare (level_of_var man a) (level_of_var man b))
+    vars
+
+let support_cube man f = cube man (support man f)
+
+let eval _man f asg =
+  let rec go f =
+    match f.node with
+    | Leaf b -> b
+    | N { var; hi; lo } -> if asg var then go hi else go lo
+  in
+  go f
+
+let any_sat _man f =
+  let rec go acc f =
+    match f.node with
+    | Leaf true -> List.rev acc
+    | Leaf false -> raise Not_found
+    | N { var; hi; lo } ->
+        if is_false hi then go ((var, false) :: acc) lo
+        else go ((var, true) :: acc) hi
+  in
+  go [] f
+
+let iter_sat _man ?(limit = max_int) f fn =
+  let remaining = ref limit in
+  let exception Done in
+  let rec go acc f =
+    if !remaining <= 0 then raise Done;
+    match f.node with
+    | Leaf false -> ()
+    | Leaf true ->
+        decr remaining;
+        fn (List.rev acc)
+    | N { var; hi; lo } ->
+        go ((var, true) :: acc) hi;
+        go ((var, false) :: acc) lo
+  in
+  try go [] f with Done -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Interval minimization                                              *)
+(* ------------------------------------------------------------------ *)
+
+let squeeze man ~lower ~upper =
+  if not (leq man lower upper) then invalid_arg "Bdd.squeeze: lower > upper";
+  if lower == upper then lower
+  else
+    let care = bor man lower (bnot man upper) in
+    let candidates =
+      if is_false care then [ lower; upper ]
+      else [ restrict man lower care; lower; upper ]
+    in
+    let best g acc = if size g < size acc then g else acc in
+    match candidates with
+    | [] -> lower
+    | first :: rest -> List.fold_left (fun acc g -> best g acc) first rest
+
+(* ------------------------------------------------------------------ *)
+(* Manager maintenance                                                *)
+(* ------------------------------------------------------------------ *)
+
+let clear_caches man =
+  Hashtbl.reset man.ite_cache;
+  Hashtbl.reset man.op_cache;
+  Hashtbl.reset man.not_cache;
+  Hashtbl.reset man.exist_cache;
+  Hashtbl.reset man.andex_cache;
+  Hashtbl.reset man.constrain_cache;
+  Hashtbl.reset man.restrict_cache;
+  Hashtbl.reset man.leq_cache;
+  Hashtbl.reset man.weight_cache
+
+let gc man ~roots =
+  let live = Hashtbl.create 1024 in
+  let rec mark f =
+    match f.node with
+    | Leaf _ -> ()
+    | N { hi; lo; _ } ->
+        if not (Hashtbl.mem live f.uid) then begin
+          Hashtbl.add live f.uid ();
+          mark hi;
+          mark lo
+        end
+  in
+  List.iter mark roots;
+  let before = Hashtbl.length man.unique in
+  let dead = ref [] in
+  Hashtbl.iter
+    (fun key n -> if not (Hashtbl.mem live n.uid) then dead := key :: !dead)
+    man.unique;
+  List.iter (Hashtbl.remove man.unique) !dead;
+  clear_caches man;
+  before - Hashtbl.length man.unique
+
+let unique_size man = Hashtbl.length man.unique
+let set_node_limit man limit = man.node_limit <- limit
+let set_cache_limit man n = man.cache_limit <- max 1024 n
+let node_limit man = man.node_limit
+
+let stats man =
+  [
+    ("nodes_made", man.nodes_made);
+    ("unique_size", Hashtbl.length man.unique);
+    ("ite_cache", Hashtbl.length man.ite_cache);
+    ("op_cache", Hashtbl.length man.op_cache);
+    ("n_vars", man.n_vars);
+  ]
+
+let reorder man ~order:level_var ~roots =
+  if Array.length level_var <> man.n_vars then
+    invalid_arg "Bdd.reorder: bad permutation length";
+  let seen = Array.make man.n_vars false in
+  Array.iter
+    (fun v ->
+      if v < 0 || v >= man.n_vars || seen.(v) then
+        invalid_arg "Bdd.reorder: not a permutation";
+      seen.(v) <- true)
+    level_var;
+  (* Old nodes stay valid records but leave the unique table; new nodes are
+     built under the new order. *)
+  Hashtbl.reset man.unique;
+  clear_caches man;
+  for l = 0 to man.n_vars - 1 do
+    man.level_var.(l) <- level_var.(l);
+    man.var_level.(level_var.(l)) <- l
+  done;
+  let memo = Hashtbl.create 1024 in
+  let rec rebuild f =
+    match f.node with
+    | Leaf _ -> f
+    | N { var; hi; lo } -> (
+        match Hashtbl.find_opt memo f.uid with
+        | Some r -> r
+        | None ->
+            let hi' = rebuild hi and lo' = rebuild lo in
+            let r = ite man (ithvar man var) hi' lo' in
+            Hashtbl.add memo f.uid r;
+            r)
+  in
+  List.map rebuild roots

@@ -1,0 +1,254 @@
+(** Reduced Ordered Binary Decision Diagrams.
+
+    A from-scratch ROBDD package in the style of CUDD [Somenzi 98], built as
+    the substrate for the DAC'98 approximation and decomposition algorithms.
+    Nodes are hash-consed per manager, so two BDDs built in the same manager
+    represent the same function if and only if they are physically equal.
+
+    Unlike CUDD this package does not use complement arcs: every node denotes
+    a positive function.  This removes the complementation-parity
+    restrictions of the paper's Section 2.1.3 at the cost of an O(|f|)
+    negation (see DESIGN.md).
+
+    All operations take the manager explicitly.  Mixing BDDs from different
+    managers is a programming error and is not detected. *)
+
+type man
+(** A BDD manager: unique table, operation caches, and the variable order. *)
+
+type t
+(** A BDD rooted at some node of a manager. *)
+
+(** The shape of a BDD root, for algorithms that traverse the DAG. *)
+type view =
+  | False
+  | True
+  | Node of { var : int; hi : t; lo : t }
+      (** [Node {var; hi; lo}] denotes [var·hi + var'·lo]; [hi] and [lo] are
+          distinct and their top variables lie strictly below [var] in the
+          order. *)
+
+(** {1 Managers and variables} *)
+
+val create : ?nvars:int -> unit -> man
+(** [create ()] returns a fresh manager.  [nvars] pre-declares that many
+    variables (they can also be added on demand with {!ithvar}). *)
+
+val nvars : man -> int
+(** Number of declared variables. *)
+
+val new_var : man -> t
+(** Declare a fresh variable at the bottom of the order and return its
+    positive literal. *)
+
+val ithvar : man -> int -> t
+(** [ithvar man i] is the positive literal of variable [i], declaring
+    variables [nvars man .. i] if needed. *)
+
+val nithvar : man -> int -> t
+(** Negative literal of variable [i]. *)
+
+val level_of_var : man -> int -> int
+(** Current position of a variable in the order (0 = top). *)
+
+val var_at_level : man -> int -> int
+(** Inverse of {!level_of_var}. *)
+
+val order : man -> int array
+(** [order man] is the current order as a level-to-variable array (a copy). *)
+
+(** {1 Structure} *)
+
+val tt : man -> t
+val ff : man -> t
+
+val id : t -> int
+(** Unique id of the root node within its manager.  [ff] has id 0, [tt] id
+    1.  Ids are stable for the lifetime of the manager (they survive
+    {!gc} but reordering creates new nodes with new ids). *)
+
+val view : t -> view
+val equal : t -> t -> bool
+
+val is_const : t -> bool
+val is_true : t -> bool
+val is_false : t -> bool
+
+val topvar : t -> int
+(** Top variable of a non-constant BDD.  @raise Invalid_argument on
+    constants. *)
+
+val high : t -> t
+(** Then-child. @raise Invalid_argument on constants. *)
+
+val low : t -> t
+(** Else-child. @raise Invalid_argument on constants. *)
+
+val mk : man -> var:int -> hi:t -> lo:t -> t
+(** Checked hash-consed constructor: returns the node [var·hi + var'·lo].
+    Returns [hi] when [hi == lo].  @raise Invalid_argument if the top
+    variable of [hi] or [lo] is not strictly below [var] in the order. *)
+
+(** {1 Boolean connectives} *)
+
+val bnot : man -> t -> t
+val band : man -> t -> t -> t
+val bor : man -> t -> t -> t
+val bxor : man -> t -> t -> t
+val bnand : man -> t -> t -> t
+val bnor : man -> t -> t -> t
+val biff : man -> t -> t -> t
+val bimp : man -> t -> t -> t
+(** [bimp man f g] is [¬f ∨ g]. *)
+
+val bdiff : man -> t -> t -> t
+(** [bdiff man f g] is [f ∧ ¬g]. *)
+
+val ite : man -> t -> t -> t -> t
+(** [ite man f g h] is [f·g + f'·h]. *)
+
+val conj : man -> t list -> t
+(** Conjunction of a list (tt for []). *)
+
+val disj : man -> t list -> t
+(** Disjunction of a list (ff for []). *)
+
+val leq : man -> t -> t -> bool
+(** [leq man f g] tests functional containment [f ≤ g] (implication),
+    without building the implication BDD. *)
+
+val intersects : man -> t -> t -> bool
+(** [intersects man f g] tests [f ∧ g ≠ 0] without building the
+    conjunction (with early exit on the first satisfying path). *)
+
+(** {1 Cofactors, composition, quantification} *)
+
+val cofactor : man -> t -> var:int -> bool -> t
+(** Shannon cofactor with respect to a literal. *)
+
+val compose : man -> t -> var:int -> t -> t
+(** [compose man f ~var g] substitutes [g] for [var] in [f]. *)
+
+val vector_compose : man -> t -> (int -> t option) -> t
+(** Simultaneous substitution: every variable [v] with [subst v = Some g]
+    is replaced by [g] in one pass. *)
+
+val cube : man -> int list -> t
+(** Positive cube (conjunction) of a set of variables. *)
+
+val cube_of_literals : man -> (int * bool) list -> t
+(** Cube of literals: [(v, true)] contributes [v], [(v, false)] [v']. *)
+
+val exists : man -> vars:t -> t -> t
+(** [exists man ~vars f] existentially quantifies the variables of the
+    positive cube [vars] out of [f]. *)
+
+val forall : man -> vars:t -> t -> t
+
+val and_exists : man -> vars:t -> t -> t -> t
+(** Relational product: [∃ vars. f ∧ g] without building [f ∧ g]. *)
+
+val constrain : man -> t -> t -> t
+(** Coudert–Madre generalized cofactor ("constrain"): [constrain man f c]
+    agrees with [f] on [c] and satisfies
+    [f ∧ c = c ∧ constrain man f c].  [c] must not be [ff]. *)
+
+val restrict : man -> t -> t -> t
+(** Coudert–Madre sibling-substitution minimization ("restrict"):
+    [restrict man f c] agrees with [f] wherever [c] holds and is
+    heuristically small.  [c] must not be [ff]. *)
+
+val squeeze : man -> lower:t -> upper:t -> t
+(** Interval minimization: returns some [g] with [lower ≤ g ≤ upper],
+    heuristically small ([lower ≤ upper] required). *)
+
+val permute : man -> t -> (int -> int) -> t
+(** [permute man f p] renames every variable [v] of [f] to [p v].  The
+    renaming must be injective on the support of [f]. *)
+
+(** {1 Counting and analysis} *)
+
+val size : t -> int
+(** Number of internal (non-constant) nodes of the DAG, as in the paper's
+    [|f|]. *)
+
+val shared_size : t list -> int
+(** Internal nodes of the union of the DAGs. *)
+
+val weight : man -> t -> float
+(** Fraction of variable assignments (over all declared variables) that
+    satisfy [f]; in [0, 1].  Cached per node. *)
+
+val count_minterms : man -> t -> nvars:int -> float
+(** The paper's [||f||]: number of minterms of [f] viewed as a function of
+    [nvars] variables. *)
+
+val density : man -> t -> nvars:int -> float
+(** [||f|| / |f|], the paper's δ(f).  Infinite for [tt], 0 for [ff]. *)
+
+val count_paths : man -> t -> float
+(** Number of paths from the root to either constant. *)
+
+val support : man -> t -> int list
+(** Variables [f] depends on, sorted by current level. *)
+
+val support_cube : man -> t -> t
+(** Support as a positive cube. *)
+
+val eval : man -> t -> (int -> bool) -> bool
+(** Evaluate under an assignment. *)
+
+val any_sat : man -> t -> (int * bool) list
+(** One satisfying path as a list of literals.  @raise Not_found on [ff]. *)
+
+val iter_sat : man -> ?limit:int -> t -> ((int * bool) list -> unit) -> unit
+(** Iterate over satisfying paths (cubes), at most [limit] of them. *)
+
+val iter_nodes : (t -> unit) -> t -> unit
+(** Apply a function to every internal node of the DAG, once each,
+    children before parents. *)
+
+val nodes : t -> t list
+(** All internal nodes, children before parents. *)
+
+val fold_nodes : ('a -> t -> 'a) -> 'a -> t -> 'a
+
+(** {1 Manager maintenance} *)
+
+val clear_caches : man -> unit
+(** Drop all operation caches (kept results remain valid). *)
+
+val gc : man -> roots:t list -> int
+(** Remove from the unique table every node not reachable from [roots] and
+    clear the caches.  Returns the number of nodes collected.  BDDs other
+    than (subgraphs of) [roots] must not be used afterwards. *)
+
+val unique_size : man -> int
+(** Number of live internal nodes in the unique table. *)
+
+exception Node_limit
+(** Raised by any node-creating operation once the unique table holds
+    {!set_node_limit} nodes — the analogue of CUDD running out of memory.
+    The manager stays consistent: collect garbage and either raise the
+    limit or abandon the computation. *)
+
+val set_node_limit : man -> int option -> unit
+(** Install or clear the hard ceiling on live nodes. *)
+
+val set_cache_limit : man -> int -> unit
+(** Entry bound on each operation cache (default 2M); a cache reaching the
+    bound is dropped and restarted, trading recomputation for bounded
+    memory, as CUDD's fixed-size computed table does. *)
+
+val node_limit : man -> int option
+
+val stats : man -> (string * int) list
+(** Internal counters, for logging. *)
+
+val reorder : man -> order:int array -> roots:t list -> t list
+(** [reorder man ~order ~roots] installs [order] (a level-to-variable
+    permutation of length [nvars man]) as the new variable order, rebuilds
+    [roots] under it and returns them, in order.  Every other BDD of the
+    manager becomes invalid: this is the price of hash-consed immutable
+    nodes (CUDD sifts in place; see DESIGN.md).  Sifting heuristics that
+    choose a good [order] live in {!module:Reorder}. *)

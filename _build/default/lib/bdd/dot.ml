@@ -1,0 +1,66 @@
+let pp man ?(var_name = fun v -> Printf.sprintf "x%d" v)
+    ?(root_name = fun k -> Printf.sprintf "f%d" k) fmt roots =
+  let open Format in
+  fprintf fmt "digraph bdd {@.";
+  fprintf fmt "  rankdir = TB;@.";
+  (* collect shared nodes, grouped by level for ranking *)
+  let by_level = Hashtbl.create 16 in
+  let seen = Hashtbl.create 64 in
+  let rec collect f =
+    match Bdd.view f with
+    | Bdd.False | Bdd.True -> ()
+    | Bdd.Node { var; hi; lo } ->
+        if not (Hashtbl.mem seen (Bdd.id f)) then begin
+          Hashtbl.add seen (Bdd.id f) ();
+          let lv = Bdd.level_of_var man var in
+          let cur = Option.value ~default:[] (Hashtbl.find_opt by_level lv) in
+          Hashtbl.replace by_level lv (f :: cur);
+          collect hi;
+          collect lo
+        end
+  in
+  List.iter collect roots;
+  let levels =
+    List.sort compare (Hashtbl.fold (fun l _ acc -> l :: acc) by_level [])
+  in
+  List.iter
+    (fun lv ->
+      fprintf fmt "  { rank = same;";
+      List.iter
+        (fun f ->
+          fprintf fmt " n%d [label=\"%s\"];" (Bdd.id f)
+            (var_name (Bdd.topvar f)))
+        (Hashtbl.find by_level lv);
+      fprintf fmt " }@.")
+    levels;
+  fprintf fmt "  n0 [shape=box,label=\"0\"]; n1 [shape=box,label=\"1\"];@.";
+  Hashtbl.reset seen;
+  let rec edges f =
+    match Bdd.view f with
+    | Bdd.False | Bdd.True -> ()
+    | Bdd.Node { hi; lo; _ } ->
+        if not (Hashtbl.mem seen (Bdd.id f)) then begin
+          Hashtbl.add seen (Bdd.id f) ();
+          fprintf fmt "  n%d -> n%d [style=solid];@." (Bdd.id f) (Bdd.id hi);
+          fprintf fmt "  n%d -> n%d [style=dashed];@." (Bdd.id f) (Bdd.id lo);
+          edges hi;
+          edges lo
+        end
+  in
+  List.iter edges roots;
+  List.iteri
+    (fun k f ->
+      fprintf fmt "  r%d [shape=plaintext,label=\"%s\"];@." k (root_name k);
+      fprintf fmt "  r%d -> n%d;@." k (Bdd.id f))
+    roots;
+  fprintf fmt "}@."
+
+let to_string man ?var_name roots =
+  Format.asprintf "%a" (fun fmt -> pp man ?var_name fmt) roots
+
+let to_file man ?var_name path roots =
+  let oc = open_out path in
+  let fmt = Format.formatter_of_out_channel oc in
+  pp man ?var_name fmt roots;
+  Format.pp_print_flush fmt ();
+  close_out oc

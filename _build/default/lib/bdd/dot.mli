@@ -1,0 +1,21 @@
+(** DOT (graphviz) export of BDDs.
+
+    Edge conventions follow the paper's Figure 1: solid lines are
+    {e then} arcs, dashed lines are {e else} arcs (this package has no
+    complement arcs). *)
+
+val pp :
+  Bdd.man ->
+  ?var_name:(int -> string) ->
+  ?root_name:(int -> string) ->
+  Format.formatter ->
+  Bdd.t list ->
+  unit
+(** Print a DOT digraph of the shared DAG of the given roots.  Nodes are
+    ranked by level.  [var_name] labels internal nodes (default ["x<i>"]),
+    [root_name] labels the root pointers (default ["f<k>"]). *)
+
+val to_string : Bdd.man -> ?var_name:(int -> string) -> Bdd.t list -> string
+
+val to_file :
+  Bdd.man -> ?var_name:(int -> string) -> string -> Bdd.t list -> unit

@@ -1,0 +1,200 @@
+let shared = Bdd.shared_size
+
+(* Move the element at index [i] of [order] to index [j]. *)
+let move_to order i j =
+  let n = Array.length order in
+  let v = order.(i) in
+  let out = Array.make n 0 in
+  let k = ref 0 in
+  for idx = 0 to n - 1 do
+    if idx <> i then begin
+      if !k = j then incr k;
+      out.(!k) <- order.(idx);
+      incr k
+    end
+  done;
+  out.(j) <- v;
+  out
+
+(* Number of root nodes labelled by each variable. *)
+let occurrences man roots =
+  let occ = Array.make (Bdd.nvars man) 0 in
+  let seen = Hashtbl.create 256 in
+  let rec go f =
+    match Bdd.view f with
+    | Bdd.False | Bdd.True -> ()
+    | Bdd.Node { var; hi; lo } ->
+        if not (Hashtbl.mem seen (Bdd.id f)) then begin
+          Hashtbl.add seen (Bdd.id f) ();
+          occ.(var) <- occ.(var) + 1;
+          go hi;
+          go lo
+        end
+  in
+  List.iter go roots;
+  occ
+
+let sift man ?(max_vars = 12) ?(max_growth = 1.2) roots =
+  let n = Bdd.nvars man in
+  if n <= 2 then roots
+  else begin
+    let occ = occurrences man roots in
+    let candidates =
+      let vars = List.init n (fun v -> v) in
+      let sorted = List.sort (fun a b -> compare occ.(b) occ.(a)) vars in
+      List.filteri (fun i v -> i < max_vars && occ.(v) > 0) sorted
+    in
+    let roots = ref roots in
+    let try_order order =
+      roots := Bdd.reorder man ~order ~roots:!roots;
+      shared !roots
+    in
+    let sift_var v =
+      let start = Bdd.level_of_var man v in
+      let best_size = ref (shared !roots) in
+      let best_pos = ref start in
+      let scan step =
+        let rec go pos last_size =
+          let pos' = pos + step in
+          if pos' < 0 || pos' >= n then ()
+          else begin
+            let size = try_order (move_to (Bdd.order man) (Bdd.level_of_var man v) pos') in
+            if size < !best_size then begin
+              best_size := size;
+              best_pos := pos'
+            end;
+            if
+              float_of_int size
+              <= max_growth *. float_of_int (min last_size !best_size)
+            then go pos' size
+          end
+        in
+        go (Bdd.level_of_var man v) max_int
+      in
+      (* go down first, then back up through the start *)
+      scan 1;
+      scan (-1);
+      let final = Bdd.level_of_var man v in
+      if final <> !best_pos then
+        ignore (try_order (move_to (Bdd.order man) final !best_pos))
+    in
+    List.iter sift_var candidates;
+    !roots
+  end
+
+let window3 man ?(passes = 1) roots =
+  let n = Bdd.nvars man in
+  if n < 3 then roots
+  else begin
+    let roots = ref roots in
+    let try_order order =
+      roots := Bdd.reorder man ~order ~roots:!roots;
+      shared !roots
+    in
+    (* index permutations of a window of three *)
+    let perms = [ [| 0; 2; 1 |]; [| 1; 0; 2 |]; [| 1; 2; 0 |]; [| 2; 0; 1 |]; [| 2; 1; 0 |] ] in
+    for _ = 1 to passes do
+      for l = 0 to n - 3 do
+        let base_size = shared !roots in
+        let base = Bdd.order man in
+        let best = ref base_size and best_order = ref None in
+        List.iter
+          (fun p ->
+            let cand = Array.copy base in
+            for k = 0 to 2 do
+              cand.(l + k) <- base.(l + p.(k))
+            done;
+            let size = try_order cand in
+            if size < !best then begin
+              best := size;
+              best_order := Some cand
+            end)
+          perms;
+        (* land on the best order seen for this window *)
+        let target = match !best_order with Some o -> o | None -> base in
+        if Bdd.order man <> target then ignore (try_order target)
+      done
+    done;
+    !roots
+  end
+
+let interleave groups =
+  let total = List.fold_left (fun acc g -> acc + Array.length g) 0 groups in
+  let out = Array.make total 0 in
+  let k = ref 0 in
+  let longest = List.fold_left (fun acc g -> max acc (Array.length g)) 0 groups in
+  for i = 0 to longest - 1 do
+    List.iter
+      (fun g ->
+        if i < Array.length g then begin
+          out.(!k) <- g.(i);
+          incr k
+        end)
+      groups
+  done;
+  out
+
+(* enumerate permutations of [items] (Heap's algorithm), calling [visit]
+   on each *)
+let permutations items visit =
+  let a = Array.copy items in
+  let n = Array.length a in
+  let swap i j =
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  in
+  let rec go k =
+    if k = 1 then visit a
+    else begin
+      for i = 0 to k - 1 do
+        go (k - 1);
+        if k mod 2 = 0 then swap i (k - 1) else swap 0 (k - 1)
+      done
+    end
+  in
+  if n = 0 then visit a else go n
+
+let exact man ?(max_support = 8) roots =
+  (* the union of the roots' supports; all other variables keep their
+     relative positions *)
+  let sup = Hashtbl.create 16 in
+  List.iter
+    (fun f -> List.iter (fun v -> Hashtbl.replace sup v ()) (Bdd.support man f))
+    roots;
+  let sup_vars = Hashtbl.fold (fun v () acc -> v :: acc) sup [] in
+  if List.length sup_vars > max_support then
+    invalid_arg "Reorder.exact: support too large";
+  if List.length sup_vars <= 1 then roots
+  else begin
+    let base = Bdd.order man in
+    (* positions currently holding support variables, in level order *)
+    let slots =
+      Array.of_list
+        (List.filter (fun l -> Hashtbl.mem sup base.(l))
+           (List.init (Array.length base) Fun.id))
+    in
+    let sup_arr =
+      Array.of_list
+        (List.sort
+           (fun a b -> compare (Bdd.level_of_var man a) (Bdd.level_of_var man b))
+           sup_vars)
+    in
+    let roots = ref roots in
+    let best_size = ref (shared !roots) in
+    let best_perm = ref (Array.copy sup_arr) in
+    permutations sup_arr (fun perm ->
+        let order = Array.copy (Bdd.order man) in
+        Array.iteri (fun k slot -> order.(slot) <- perm.(k)) slots;
+        roots := Bdd.reorder man ~order ~roots:!roots;
+        let size = shared !roots in
+        if size < !best_size then begin
+          best_size := size;
+          best_perm := Array.copy perm
+        end);
+    (* land on the best order found *)
+    let order = Array.copy (Bdd.order man) in
+    Array.iteri (fun k slot -> order.(slot) <- !best_perm.(k)) slots;
+    roots := Bdd.reorder man ~order ~roots:!roots;
+    !roots
+  end

@@ -1,0 +1,37 @@
+(** Variable-reordering heuristics.
+
+    CUDD sifts variables in place inside the unique table; with immutable
+    hash-consed nodes this package instead evaluates candidate orders by
+    rebuilding the live roots through {!Bdd.reorder} (see DESIGN.md).  All
+    functions here therefore take and return the complete set of live roots:
+    every BDD the caller intends to keep using must be passed in, and the
+    returned list (same length, same order) replaces it. *)
+
+val sift :
+  Bdd.man ->
+  ?max_vars:int ->
+  ?max_growth:float ->
+  Bdd.t list ->
+  Bdd.t list
+(** Rudell-style sifting.  Variables are visited in decreasing order of the
+    number of nodes labelled by them ([max_vars] of them, default 12); each
+    is tentatively moved through the order, stopping in a direction when the
+    shared size exceeds [max_growth] (default 1.2) times the best size seen,
+    and committed to its best position. *)
+
+val window3 : Bdd.man -> ?passes:int -> Bdd.t list -> Bdd.t list
+(** Exhaustive permutation of every window of three adjacent levels,
+    repeated [passes] times (default 1).  Cheaper than {!sift} but local. *)
+
+val interleave : int array list -> int array
+(** [interleave groups] builds a level-to-variable order that round-robins
+    the given variable groups: e.g. [[|x0;x1|]; [|y0;y1|]] yields
+    [x0 y0 x1 y1].  Groups may have different lengths.  Standard static
+    order for current/next state variable pairs in transition relations. *)
+
+val exact : Bdd.man -> ?max_support:int -> Bdd.t list -> Bdd.t list
+(** Exhaustive search over all orders of the roots' support variables
+    (other variables keep their relative positions): the optimal order,
+    used mainly as an oracle for judging {!sift}.  Exponential — refuses
+    supports larger than [max_support] (default 8).
+    @raise Invalid_argument when the united support is too large. *)

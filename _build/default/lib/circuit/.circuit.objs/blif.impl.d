@@ -1,0 +1,1 @@
+lib/circuit/blif.ml: Buffer Circuit Fun Hashtbl List Printf String

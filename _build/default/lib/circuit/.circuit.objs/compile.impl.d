@@ -1,0 +1,1 @@
+lib/circuit/compile.ml: Array Bdd Circuit Hashtbl List Option Queue

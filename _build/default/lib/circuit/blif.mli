@@ -1,0 +1,18 @@
+(** BLIF (Berkeley Logic Interchange Format) reader and writer.
+
+    Supports the subset used by the classic benchmark sets: [.model],
+    [.inputs], [.outputs], [.names] (single-output PLA covers, both
+    phases), [.latch] (with optional type/control fields and initial
+    value) and [.end], with [\\] line continuations and [#] comments. *)
+
+exception Parse_error of string
+
+val parse_string : string -> Circuit.t
+(** @raise Parse_error on malformed input. *)
+
+val parse_file : string -> Circuit.t
+
+val to_string : Circuit.t -> string
+(** Write a circuit as BLIF ([.names] covers with one row per gate). *)
+
+val to_file : string -> Circuit.t -> unit

@@ -1,0 +1,229 @@
+type signal = int
+
+type gate =
+  | Const of bool
+  | Input of string
+  | Not of signal
+  | And of signal * signal
+  | Or of signal * signal
+  | Xor of signal * signal
+  | Mux of signal * signal * signal
+  | Latch of { init : bool; next : signal; name : string }
+
+type t = { name : string; gates : gate array; outputs : (string * signal) list }
+
+let name c = c.name
+let gate c s = c.gates.(s)
+let num_signals c = Array.length c.gates
+let outputs c = c.outputs
+
+let latches c =
+  let out = ref [] in
+  Array.iteri
+    (fun i g -> match g with Latch _ -> out := i :: !out | _ -> ())
+    c.gates;
+  List.rev !out
+
+let inputs c =
+  let out = ref [] in
+  Array.iteri
+    (fun i g -> match g with Input n -> out := (n, i) :: !out | _ -> ())
+    c.gates;
+  List.rev !out
+
+let num_latches c = List.length (latches c)
+let num_inputs c = List.length (inputs c)
+
+let stats c =
+  let n = Array.length c.gates in
+  Printf.sprintf "%s: %d inputs, %d latches, %d gates, %d outputs" c.name
+    (num_inputs c) (num_latches c)
+    (n - num_inputs c - num_latches c)
+    (List.length c.outputs)
+
+module Builder = struct
+  (* latches are built in two steps, so the builder keeps a pending-next
+     table and materializes the final immutable gate array in [finish] *)
+  type pre_gate =
+    | PGate of gate
+    | PLatch of { init : bool; name : string }
+
+  type b = {
+    bname : string;
+    mutable cells : pre_gate array;
+    mutable len : int;
+    nexts : (signal, signal) Hashtbl.t;
+    mutable outs : (string * signal) list;
+    share : (gate, signal) Hashtbl.t; (* structural hashing of gates *)
+  }
+
+  let create bname =
+    {
+      bname;
+      cells = Array.make 64 (PGate (Const false));
+      len = 0;
+      nexts = Hashtbl.create 16;
+      outs = [];
+      share = Hashtbl.create 256;
+    }
+
+  let push b cell =
+    if b.len = Array.length b.cells then begin
+      let bigger = Array.make (2 * b.len) (PGate (Const false)) in
+      Array.blit b.cells 0 bigger 0 b.len;
+      b.cells <- bigger
+    end;
+    b.cells.(b.len) <- cell;
+    b.len <- b.len + 1;
+    b.len - 1
+
+  (* structurally hash pure gates so repeated subcircuits share nets *)
+  let gate_signal b g =
+    match Hashtbl.find_opt b.share g with
+    | Some s -> s
+    | None ->
+        let s = push b (PGate g) in
+        Hashtbl.add b.share g s;
+        s
+
+  let const b v = gate_signal b (Const v)
+  let input b n = push b (PGate (Input n))
+  let not_ b a = gate_signal b (Not a)
+
+  let comm b mk a c =
+    (* normalize commutative operands for better sharing *)
+    let a, c = if a <= c then (a, c) else (c, a) in
+    gate_signal b (mk a c)
+
+  let and_ b a c = comm b (fun x y -> And (x, y)) a c
+  let or_ b a c = comm b (fun x y -> Or (x, y)) a c
+  let xor_ b a c = comm b (fun x y -> Xor (x, y)) a c
+  let nand_ b a c = not_ b (and_ b a c)
+  let nor_ b a c = not_ b (or_ b a c)
+  let xnor_ b a c = not_ b (xor_ b a c)
+  let mux b ~sel ~t_ ~e = gate_signal b (Mux (sel, t_, e))
+
+  let and_list b = function
+    | [] -> const b true
+    | s :: rest -> List.fold_left (and_ b) s rest
+
+  let or_list b = function
+    | [] -> const b false
+    | s :: rest -> List.fold_left (or_ b) s rest
+
+  let latch b ?(init = false) name = push b (PLatch { init; name })
+
+  let connect b l ~next =
+    (match b.cells.(l) with
+    | PLatch _ -> ()
+    | PGate _ -> invalid_arg "Circuit.Builder.connect: not a latch");
+    if Hashtbl.mem b.nexts l then
+      invalid_arg "Circuit.Builder.connect: latch already connected";
+    Hashtbl.add b.nexts l next
+
+  let output b n s = b.outs <- (n, s) :: b.outs
+
+  let finish b =
+    let gates =
+      Array.init b.len (fun i ->
+          match b.cells.(i) with
+          | PGate g -> g
+          | PLatch { init; name } -> (
+              match Hashtbl.find_opt b.nexts i with
+              | Some next -> Latch { init; next; name }
+              | None ->
+                  invalid_arg
+                    (Printf.sprintf
+                       "Circuit.Builder.finish: latch %s not connected" name)))
+    in
+    (* combinational cycle check: DFS treating latches as sources *)
+    let state = Array.make b.len 0 in
+    (* 0 unseen, 1 active, 2 done *)
+    let rec visit s =
+      if state.(s) = 1 then
+        invalid_arg "Circuit.Builder.finish: combinational cycle";
+      if state.(s) = 0 then begin
+        state.(s) <- 1;
+        (match gates.(s) with
+        | Const _ | Input _ | Latch _ -> ()
+        | Not a -> visit a
+        | And (a, c) | Or (a, c) | Xor (a, c) ->
+            visit a;
+            visit c
+        | Mux (a, c, d) ->
+            visit a;
+            visit c;
+            visit d);
+        state.(s) <- 2
+      end
+    in
+    Array.iteri
+      (fun _ g -> match g with Latch { next; _ } -> visit next | _ -> ())
+      gates;
+    List.iter (fun (_, s) -> visit s) b.outs;
+    { name = b.bname; gates; outputs = List.rev b.outs }
+
+  (* ---------------- word-level helpers ---------------- *)
+
+  let const_word b ~width k =
+    Array.init width (fun i -> const b (k land (1 lsl i) <> 0))
+
+  let latch_word b ?(init = 0) name ~width =
+    Array.init width (fun i ->
+        latch b
+          ~init:(init land (1 lsl i) <> 0)
+          (Printf.sprintf "%s.%d" name i))
+
+  let connect_word b word ~next =
+    if Array.length word <> Array.length next then
+      invalid_arg "Circuit.Builder.connect_word: width mismatch";
+    Array.iteri (fun i l -> connect b l ~next:next.(i)) word
+
+  let mux_word b ~sel ~t_ ~e =
+    if Array.length t_ <> Array.length e then
+      invalid_arg "Circuit.Builder.mux_word: width mismatch";
+    Array.mapi (fun i t -> mux b ~sel ~t_:t ~e:e.(i)) t_
+
+  let incr_word b w =
+    let carry = ref (const b true) in
+    Array.map
+      (fun bit ->
+        let s = xor_ b bit !carry in
+        carry := and_ b bit !carry;
+        s)
+      w
+
+  let decr_word b w =
+    let borrow = ref (const b true) in
+    Array.map
+      (fun bit ->
+        let s = xor_ b bit !borrow in
+        borrow := and_ b (not_ b bit) !borrow;
+        s)
+      w
+
+  let add_word b x y =
+    if Array.length x <> Array.length y then
+      invalid_arg "Circuit.Builder.add_word: width mismatch";
+    let carry = ref (const b false) in
+    Array.mapi
+      (fun i xb ->
+        let yb = y.(i) in
+        let s = xor_ b (xor_ b xb yb) !carry in
+        let c =
+          or_ b (and_ b xb yb) (and_ b !carry (or_ b xb yb))
+        in
+        carry := c;
+        s)
+      x
+
+  let eq_word b x y =
+    if Array.length x <> Array.length y then
+      invalid_arg "Circuit.Builder.eq_word: width mismatch";
+    and_list b (Array.to_list (Array.mapi (fun i xb -> xnor_ b xb y.(i)) x))
+
+  let eq_const b w k = eq_word b w (const_word b ~width:(Array.length w) k)
+
+  let is_zero b w =
+    not_ b (or_list b (Array.to_list w))
+end

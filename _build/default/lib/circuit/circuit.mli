@@ -1,0 +1,105 @@
+(** Gate-level sequential circuits.
+
+    The paper's experiments run on benchmark FSMs inside VIS; this module is
+    the corresponding substrate: a minimal netlist IR with a builder DSL,
+    validation, and structural queries.  Synthetic benchmark circuits are in
+    {!Generate}, BLIF I/O in {!Blif}, BDD compilation in {!Compile}, and
+    explicit-state simulation in {!Sim}. *)
+
+type signal = int
+(** A net, identified by its index in the gate array. *)
+
+(** The driver of a net. *)
+type gate =
+  | Const of bool
+  | Input of string  (** primary input *)
+  | Not of signal
+  | And of signal * signal
+  | Or of signal * signal
+  | Xor of signal * signal
+  | Mux of signal * signal * signal  (** [Mux (sel, t, e)]: if sel then t else e *)
+  | Latch of { init : bool; next : signal; name : string }
+      (** state element: value at time 0 is [init], then follows [next] *)
+
+type t = private {
+  name : string;
+  gates : gate array;
+  outputs : (string * signal) list;
+}
+
+val name : t -> string
+val gate : t -> signal -> gate
+val num_signals : t -> int
+val outputs : t -> (string * signal) list
+
+val latches : t -> signal list
+(** Latch nets, in declaration order. *)
+
+val inputs : t -> (string * signal) list
+(** Primary inputs, in declaration order. *)
+
+val num_latches : t -> int
+val num_inputs : t -> int
+
+val stats : t -> string
+(** One-line summary: name, #inputs, #latches, #gates. *)
+
+(** Imperative netlist construction.  Latches are declared first and their
+    next-state nets connected later, allowing feedback; {!Builder.finish}
+    checks that every latch is connected and that the combinational part is
+    acyclic. *)
+module Builder : sig
+  type b
+
+  val create : string -> b
+  val const : b -> bool -> signal
+  val input : b -> string -> signal
+  val not_ : b -> signal -> signal
+  val and_ : b -> signal -> signal -> signal
+  val or_ : b -> signal -> signal -> signal
+  val xor_ : b -> signal -> signal -> signal
+  val xnor_ : b -> signal -> signal -> signal
+  val nand_ : b -> signal -> signal -> signal
+  val nor_ : b -> signal -> signal -> signal
+  val mux : b -> sel:signal -> t_:signal -> e:signal -> signal
+  val and_list : b -> signal list -> signal
+  val or_list : b -> signal list -> signal
+
+  val latch : b -> ?init:bool -> string -> signal
+  (** Declare a state element; connect its next-state net with {!connect}
+      before {!finish}. *)
+
+  val connect : b -> signal -> next:signal -> unit
+  (** [connect b l ~next] sets the next-state net of latch [l].
+      @raise Invalid_argument if [l] is not a latch or already connected. *)
+
+  val output : b -> string -> signal -> unit
+
+  val finish : b -> t
+  (** @raise Invalid_argument on unconnected latches or combinational
+      cycles. *)
+
+  (** {2 Word-level helpers} *)
+
+  val const_word : b -> width:int -> int -> signal array
+  (** Little-endian constant. *)
+
+  val latch_word : b -> ?init:int -> string -> width:int -> signal array
+  (** A register of [width] latches named [name.<i>]. *)
+
+  val connect_word : b -> signal array -> next:signal array -> unit
+  val mux_word : b -> sel:signal -> t_:signal array -> e:signal array -> signal array
+
+  val incr_word : b -> signal array -> signal array
+  (** Ripple increment (wraps). *)
+
+  val decr_word : b -> signal array -> signal array
+  (** Ripple decrement (wraps). *)
+
+  val add_word : b -> signal array -> signal array -> signal array
+  (** Ripple adder (sum truncated to the operand width). *)
+
+  val eq_word : b -> signal array -> signal array -> signal
+  val eq_const : b -> signal array -> int -> signal
+  val is_zero : b -> signal array -> signal
+end

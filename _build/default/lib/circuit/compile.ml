@@ -1,0 +1,137 @@
+type latch = { name : string; init : bool; cur : int; next : int; fn : Bdd.t }
+
+type t = {
+  man : Bdd.man;
+  circuit : Circuit.t;
+  latches : latch array;
+  input_vars : (string * int) list;
+  output_fns : (string * Bdd.t) list;
+  init : Bdd.t;
+}
+
+(* Allocate variables in depth-first discovery order from the output and
+   next-state roots, pairing each latch's current and next variables. *)
+let allocate man c =
+  let latch_var = Hashtbl.create 16 in
+  (* signal -> (cur, next) *)
+  let input_var = Hashtbl.create 16 in
+  let seen = Hashtbl.create 64 in
+  let pending_latches = Queue.create () in
+  let fresh () = Bdd.topvar (Bdd.new_var man) in
+  let rec scan s =
+    if not (Hashtbl.mem seen s) then begin
+      Hashtbl.add seen s ();
+      match Circuit.gate c s with
+      | Circuit.Const _ -> ()
+      | Circuit.Input n ->
+          if not (Hashtbl.mem input_var s) then
+            Hashtbl.add input_var s (n, fresh ())
+      | Circuit.Not a -> scan a
+      | Circuit.And (a, b) | Circuit.Or (a, b) | Circuit.Xor (a, b) ->
+          scan a;
+          scan b
+      | Circuit.Mux (a, b, d) ->
+          scan a;
+          scan b;
+          scan d
+      | Circuit.Latch { next; _ } ->
+          if not (Hashtbl.mem latch_var s) then begin
+            let cur = fresh () in
+            let nxt = fresh () in
+            Hashtbl.add latch_var s (cur, nxt);
+            Queue.add next pending_latches
+          end
+    end
+  in
+  List.iter (fun (_, s) -> scan s) (Circuit.outputs c);
+  List.iter scan (Circuit.latches c);
+  while not (Queue.is_empty pending_latches) do
+    scan (Queue.take pending_latches)
+  done;
+  (latch_var, input_var)
+
+let compile ?man c =
+  let man = match man with Some m -> m | None -> Bdd.create () in
+  let latch_var, input_var = allocate man c in
+  let memo = Hashtbl.create 256 in
+  let rec build s =
+    match Hashtbl.find_opt memo s with
+    | Some f -> f
+    | None ->
+        let f =
+          match Circuit.gate c s with
+          | Circuit.Const true -> Bdd.tt man
+          | Circuit.Const false -> Bdd.ff man
+          | Circuit.Input _ -> Bdd.ithvar man (snd (Hashtbl.find input_var s))
+          | Circuit.Not a -> Bdd.bnot man (build a)
+          | Circuit.And (a, b) -> Bdd.band man (build a) (build b)
+          | Circuit.Or (a, b) -> Bdd.bor man (build a) (build b)
+          | Circuit.Xor (a, b) -> Bdd.bxor man (build a) (build b)
+          | Circuit.Mux (sel, t, e) ->
+              Bdd.ite man (build sel) (build t) (build e)
+          | Circuit.Latch _ ->
+              Bdd.ithvar man (fst (Hashtbl.find latch_var s))
+        in
+        Hashtbl.add memo s f;
+        f
+  in
+  let latches =
+    Array.of_list
+      (List.map
+         (fun s ->
+           match Circuit.gate c s with
+           | Circuit.Latch { init; next; name } ->
+               let cur, nxt = Hashtbl.find latch_var s in
+               { name; init; cur; next = nxt; fn = build next }
+           | _ -> assert false)
+         (Circuit.latches c))
+  in
+  let output_fns = List.map (fun (n, s) -> (n, build s)) (Circuit.outputs c) in
+  let init =
+    Bdd.cube_of_literals man
+      (Array.to_list (Array.map (fun l -> (l.cur, l.init)) latches))
+  in
+  let input_vars =
+    Hashtbl.fold (fun _ nv acc -> nv :: acc) input_var []
+    |> List.sort (fun (_, a) (_, b) -> compare a b)
+  in
+  { man; circuit = c; latches; input_vars; output_fns; init }
+
+let cur_vars t = Array.map (fun l -> l.cur) t.latches
+let next_vars t = Array.map (fun l -> l.next) t.latches
+let input_var_array t = Array.of_list (List.map snd t.input_vars)
+
+let rename_map ~from_ ~to_ =
+  let tbl = Hashtbl.create 16 in
+  Array.iteri (fun i v -> Hashtbl.add tbl v to_.(i)) from_;
+  fun v -> Option.value ~default:v (Hashtbl.find_opt tbl v)
+
+let next_to_cur t f =
+  Bdd.permute t.man f (rename_map ~from_:(next_vars t) ~to_:(cur_vars t))
+
+let cur_to_next t f =
+  Bdd.permute t.man f (rename_map ~from_:(cur_vars t) ~to_:(next_vars t))
+
+let state_count t f =
+  (* [f] must range over current-state variables only *)
+  Bdd.count_minterms t.man f ~nvars:(Array.length t.latches)
+
+let roots t =
+  (t.init :: Array.to_list (Array.map (fun l -> l.fn) t.latches))
+  @ List.map snd t.output_fns
+
+let with_roots t roots =
+  match roots with
+  | init :: rest ->
+      let nl = Array.length t.latches in
+      let fns = Array.of_list (List.filteri (fun i _ -> i < nl) rest) in
+      let outs = List.filteri (fun i _ -> i >= nl) rest in
+      if Array.length fns <> nl || List.length outs <> List.length t.output_fns
+      then invalid_arg "Compile.with_roots: length mismatch";
+      {
+        t with
+        init;
+        latches = Array.mapi (fun i l -> { l with fn = fns.(i) }) t.latches;
+        output_fns = List.map2 (fun (n, _) f -> (n, f)) t.output_fns outs;
+      }
+  | [] -> invalid_arg "Compile.with_roots: empty list"

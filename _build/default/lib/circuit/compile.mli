@@ -1,0 +1,49 @@
+(** Compilation of circuits to BDDs.
+
+    Allocates BDD variables for latches and primary inputs and builds the
+    next-state and output functions.  The default variable order interleaves
+    each latch's current- and next-state variables and places the leaves in
+    depth-first discovery order from the outputs — the standard static
+    order for image computation (cf. Jeong et al., the paper's [12]). *)
+
+type latch = {
+  name : string;
+  init : bool;
+  cur : int;  (** current-state BDD variable *)
+  next : int;  (** next-state BDD variable *)
+  fn : Bdd.t;  (** next-state function over current-state and input vars *)
+}
+
+type t = {
+  man : Bdd.man;
+  circuit : Circuit.t;
+  latches : latch array;  (** in {!Circuit.latches} order *)
+  input_vars : (string * int) list;
+  output_fns : (string * Bdd.t) list;
+  init : Bdd.t;  (** the initial-state cube over current-state variables *)
+}
+
+val compile : ?man:Bdd.man -> Circuit.t -> t
+(** Compile into [man] (fresh by default).  When a manager is supplied its
+    existing variables are left alone; new ones are appended. *)
+
+val cur_vars : t -> int array
+val next_vars : t -> int array
+val input_var_array : t -> int array
+
+val next_to_cur : t -> Bdd.t -> Bdd.t
+(** Rename next-state variables to current-state variables. *)
+
+val cur_to_next : t -> Bdd.t -> Bdd.t
+
+val state_count : t -> Bdd.t -> float
+(** Number of states in a predicate over current-state variables. *)
+
+val roots : t -> Bdd.t list
+(** Every BDD the structure owns (initial cube, next-state and output
+    functions) — pass these through {!Bdd.gc} or {!Bdd.reorder} to keep
+    the structure valid across maintenance. *)
+
+val with_roots : t -> Bdd.t list -> t
+(** Rebuild the structure from the list produced by maintenance applied to
+    [roots t] (same length and order). *)

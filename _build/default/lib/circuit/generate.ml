@@ -1,0 +1,546 @@
+module B = Circuit.Builder
+
+(* Deterministic xorshift PRNG so generated circuits are reproducible. *)
+let rng seed =
+  let s = ref (if seed = 0 then 0x9E3779B9 else seed land max_int) in
+  fun bound ->
+    let x = !s in
+    let x = x lxor (x lsl 13) in
+    let x = x lxor (x lsr 7) in
+    let x = x lxor (x lsl 17) in
+    s := x land max_int;
+    if bound <= 0 then 0 else !s mod bound
+
+(* mux chain: first matching condition wins, [default] otherwise *)
+let select_word b cases ~default =
+  List.fold_right
+    (fun (cond, word) acc -> B.mux_word b ~sel:cond ~t_:word ~e:acc)
+    cases default
+
+(* ------------------------------------------------------------------ *)
+(* Small machines with known reachable sets                            *)
+(* ------------------------------------------------------------------ *)
+
+let counter ~bits =
+  let b = B.create (Printf.sprintf "counter%d" bits) in
+  let w = B.latch_word b "c" ~width:bits in
+  B.connect_word b w ~next:(B.incr_word b w);
+  B.output b "msb" w.(bits - 1);
+  B.finish b
+
+let counter_enabled ~bits =
+  let b = B.create (Printf.sprintf "counter_en%d" bits) in
+  let en = B.input b "en" in
+  let w = B.latch_word b "c" ~width:bits in
+  B.connect_word b w ~next:(B.mux_word b ~sel:en ~t_:(B.incr_word b w) ~e:w);
+  B.output b "msb" w.(bits - 1);
+  B.finish b
+
+let ring ~bits =
+  let b = B.create (Printf.sprintf "ring%d" bits) in
+  let w =
+    Array.init bits (fun i -> B.latch b ~init:(i = 0) (Printf.sprintf "r.%d" i))
+  in
+  Array.iteri (fun i l -> B.connect b l ~next:w.((i + bits - 1) mod bits)) w;
+  B.output b "last" w.(bits - 1);
+  B.finish b
+
+let johnson ~bits =
+  let b = B.create (Printf.sprintf "johnson%d" bits) in
+  let w = B.latch_word b "j" ~width:bits in
+  let feedback = B.not_ b w.(bits - 1) in
+  Array.iteri
+    (fun i l -> B.connect b l ~next:(if i = 0 then feedback else w.(i - 1)))
+    w;
+  B.output b "last" w.(bits - 1);
+  B.finish b
+
+(* primitive feedback polynomials (tap positions, 1-based) *)
+let lfsr_taps = function
+  | 3 -> [ 3; 2 ]
+  | 4 -> [ 4; 3 ]
+  | 5 -> [ 5; 3 ]
+  | 6 -> [ 6; 5 ]
+  | 7 -> [ 7; 6 ]
+  | 8 -> [ 8; 6; 5; 4 ]
+  | 16 -> [ 16; 15; 13; 4 ]
+  | n -> invalid_arg (Printf.sprintf "Generate.lfsr: no taps for width %d" n)
+
+let lfsr ~bits =
+  let taps = lfsr_taps bits in
+  let b = B.create (Printf.sprintf "lfsr%d" bits) in
+  let w =
+    Array.init bits (fun i -> B.latch b ~init:(i = 0) (Printf.sprintf "l.%d" i))
+  in
+  let feedback =
+    List.fold_left
+      (fun acc t -> B.xor_ b acc w.(t - 1))
+      (B.const b false) taps
+  in
+  Array.iteri
+    (fun i l -> B.connect b l ~next:(if i = 0 then feedback else w.(i - 1)))
+    w;
+  B.output b "out" w.(bits - 1);
+  B.finish b
+
+let ceil_log2 n =
+  let rec go k = if 1 lsl k >= n then k else go (k + 1) in
+  go 0
+
+let fifo_controller ~depth =
+  let bits = max 1 (ceil_log2 (depth + 1)) in
+  let b = B.create (Printf.sprintf "fifo%d" depth) in
+  let push = B.input b "push" and pop = B.input b "pop" in
+  let count = B.latch_word b "n" ~width:bits in
+  let full = B.eq_const b count depth in
+  let empty = B.is_zero b count in
+  let do_push = B.and_ b push (B.not_ b full) in
+  let do_pop = B.and_ b pop (B.not_ b empty) in
+  let up = B.and_ b do_push (B.not_ b do_pop) in
+  let down = B.and_ b do_pop (B.not_ b do_push) in
+  let next =
+    select_word b
+      [ (up, B.incr_word b count); (down, B.decr_word b count) ]
+      ~default:count
+  in
+  B.connect_word b count ~next;
+  B.output b "full" full;
+  B.output b "empty" empty;
+  B.finish b
+
+let arbiter ~clients =
+  let b = B.create (Printf.sprintf "arbiter%d" clients) in
+  let reqs = Array.init clients (fun i -> B.input b (Printf.sprintf "req%d" i)) in
+  let token =
+    Array.init clients (fun i ->
+        B.latch b ~init:(i = 0) (Printf.sprintf "t.%d" i))
+  in
+  Array.iteri
+    (fun i l -> B.connect b l ~next:token.((i + clients - 1) mod clients))
+    token;
+  Array.iteri
+    (fun i r ->
+      B.output b (Printf.sprintf "gnt%d" i) (B.and_ b token.(i) r))
+    reqs;
+  B.finish b
+
+let traffic_light () =
+  let b = B.create "traffic" in
+  let car = B.input b "car" in
+  let p = B.latch_word b "p" ~width:2 in
+  let t = B.latch b "t" in
+  B.connect b t ~next:(B.not_ b t);
+  (* phases: 0 NS-green, 1 NS-yellow, 2 EW-green, 3 EW-yellow *)
+  let phase k = B.eq_const b p k in
+  let next_p =
+    select_word b
+      [
+        ( phase 0,
+          B.mux_word b
+            ~sel:(B.and_ b car t)
+            ~t_:(B.const_word b ~width:2 1)
+            ~e:(B.const_word b ~width:2 0) );
+        (phase 1, B.const_word b ~width:2 2);
+        ( phase 2,
+          B.mux_word b ~sel:t
+            ~t_:(B.const_word b ~width:2 3)
+            ~e:(B.const_word b ~width:2 2) );
+      ]
+      ~default:(B.const_word b ~width:2 0)
+  in
+  B.connect_word b p ~next:next_p;
+  B.output b "ns_green" (phase 0);
+  B.output b "ew_green" (phase 2);
+  B.finish b
+
+(* ------------------------------------------------------------------ *)
+(* am2910-like microprogram sequencer                                  *)
+(* ------------------------------------------------------------------ *)
+
+let microsequencer ~addr_bits ~stack_depth =
+  if addr_bits < 2 || stack_depth < 1 then
+    invalid_arg "Generate.microsequencer";
+  let b =
+    B.create (Printf.sprintf "useq_a%d_s%d" addr_bits stack_depth)
+  in
+  let instr = Array.init 3 (fun i -> B.input b (Printf.sprintf "i%d" i)) in
+  let cc = B.input b "cc" in
+  let data = Array.init addr_bits (fun i -> B.input b (Printf.sprintf "d%d" i)) in
+  let upc = B.latch_word b "upc" ~width:addr_bits in
+  let ctr = B.latch_word b "ctr" ~width:addr_bits in
+  let sp_bits = max 1 (ceil_log2 (stack_depth + 1)) in
+  let sp = B.latch_word b "sp" ~width:sp_bits in
+  let stack =
+    Array.init stack_depth (fun k ->
+        B.latch_word b (Printf.sprintf "stk%d" k) ~width:addr_bits)
+  in
+  let dec k = B.eq_const b instr k in
+  let upc1 = B.incr_word b upc in
+  let zeros = B.const_word b ~width:addr_bits 0 in
+  (* top of stack: stack[sp-1] *)
+  let top =
+    select_word b
+      (List.init stack_depth (fun k -> (B.eq_const b sp (k + 1), stack.(k))))
+      ~default:zeros
+  in
+  let sp_lt_depth =
+    B.or_list b (List.init stack_depth (fun k -> B.eq_const b sp k))
+  in
+  let sp_gt_0 = B.not_ b (B.is_zero b sp) in
+  let ctr_nz = B.not_ b (B.is_zero b ctr) in
+  (* instructions: 0 CONT, 1 JMP, 2 CJP, 3 PUSH (and load counter),
+     4 RTN, 5 CRTN, 6 RFCT, 7 JZ *)
+  let push = B.and_ b (dec 3) sp_lt_depth in
+  let pop_rtn = dec 4 in
+  let pop_crtn = B.and_ b (dec 5) cc in
+  let pop_rfct = B.and_ b (dec 6) (B.not_ b ctr_nz) in
+  let pop =
+    B.and_ b (B.or_list b [ pop_rtn; pop_crtn; pop_rfct ]) sp_gt_0
+  in
+  let upc_next =
+    select_word b
+      [
+        (dec 1, data);
+        (dec 2, B.mux_word b ~sel:cc ~t_:data ~e:upc1);
+        (dec 4, top);
+        (dec 5, B.mux_word b ~sel:cc ~t_:top ~e:upc1);
+        (dec 6, B.mux_word b ~sel:ctr_nz ~t_:top ~e:upc1);
+        (dec 7, zeros);
+      ]
+      ~default:upc1
+  in
+  let ctr_next =
+    select_word b
+      [
+        (dec 3, data);
+        (B.and_ b (dec 6) ctr_nz, B.decr_word b ctr);
+        (dec 7, zeros);
+      ]
+      ~default:ctr
+  in
+  let sp_next =
+    select_word b
+      [
+        (dec 7, B.const_word b ~width:sp_bits 0);
+        (push, B.incr_word b sp);
+        (pop, B.decr_word b sp);
+      ]
+      ~default:sp
+  in
+  B.connect_word b upc ~next:upc_next;
+  B.connect_word b ctr ~next:ctr_next;
+  B.connect_word b sp ~next:sp_next;
+  Array.iteri
+    (fun k slot ->
+      let write = B.and_ b push (B.eq_const b sp k) in
+      B.connect_word b slot ~next:(B.mux_word b ~sel:write ~t_:upc1 ~e:slot))
+    stack;
+  Array.iteri (fun i s -> B.output b (Printf.sprintf "y%d" i) s) upc;
+  B.finish b
+
+(* A microprogram sequencer driven by a synthesized control store: the
+   instruction and branch target come from a pseudo-random ROM addressed by
+   the micro-PC, leaving only the condition code as a free input.  The
+   machine must walk its microprogram step by step, which gives the deep,
+   narrow-frontier state graphs that starve breadth-first traversal (the
+   am2910 effect in the paper's Table 1). *)
+let microprogram ~addr_bits ~stack_depth ~seed =
+  if addr_bits < 2 || stack_depth < 1 then invalid_arg "Generate.microprogram";
+  let rand = rng seed in
+  let b =
+    B.create (Printf.sprintf "uprog_a%d_s%d_%d" addr_bits stack_depth seed)
+  in
+  let cc = B.input b "cc" in
+  let upc = B.latch_word b "upc" ~width:addr_bits in
+  let ctr = B.latch_word b "ctr" ~width:addr_bits in
+  let sp_bits = max 1 (ceil_log2 (stack_depth + 1)) in
+  let sp = B.latch_word b "sp" ~width:sp_bits in
+  let stack =
+    Array.init stack_depth (fun k ->
+        B.latch_word b (Printf.sprintf "stk%d" k) ~width:addr_bits)
+  in
+  let rom_size = 1 lsl addr_bits in
+  (* a crafted microprogram with a long counted loop: address 0 loads the
+     counter and pushes the loop head; the body mixes sequential flow with
+     condition-code branches (forward, within the body); the loop tail is
+     RFCT, so the machine re-executes the body ctr times before falling
+     through and restarting.  The walk is O(rom_size^2) steps deep, which
+     is what starves breadth-first traversal. *)
+  let body_lo = 1 and body_hi = rom_size - 3 in
+  let rom =
+    Array.init rom_size (fun a ->
+        if a = 0 then (3, rom_size - 1) (* PUSH: ctr := max, push body_lo *)
+        else if a = rom_size - 2 then (6, 0) (* RFCT: loop on the counter *)
+        else if a = rom_size - 1 then (7, 0) (* JZ: restart *)
+        else if a >= body_lo && a <= body_hi && rand 3 = 0 then
+          (* conditional forward branch inside the body *)
+          (2, min body_hi (a + 1 + rand (max 1 (body_hi - a))))
+        else (0, 0) (* CONT *))
+  in
+  (* decode the ROM as a function of upc *)
+  let addressed k = B.eq_const b upc k in
+  let instr_bit j =
+    B.or_list b
+      (List.filter_map
+         (fun a ->
+           let op, _ = rom.(a) in
+           if op land (1 lsl j) <> 0 then Some (addressed a) else None)
+         (List.init rom_size Fun.id))
+  in
+  let data_bit j =
+    B.or_list b
+      (List.filter_map
+         (fun a ->
+           let _, d = rom.(a) in
+           if d land (1 lsl j) <> 0 then Some (addressed a) else None)
+         (List.init rom_size Fun.id))
+  in
+  let instr = Array.init 3 instr_bit in
+  let data = Array.init addr_bits data_bit in
+  let dec k = B.eq_const b instr k in
+  let upc1 = B.incr_word b upc in
+  let zeros = B.const_word b ~width:addr_bits 0 in
+  let top =
+    select_word b
+      (List.init stack_depth (fun k -> (B.eq_const b sp (k + 1), stack.(k))))
+      ~default:zeros
+  in
+  let sp_lt_depth =
+    B.or_list b (List.init stack_depth (fun k -> B.eq_const b sp k))
+  in
+  let sp_gt_0 = B.not_ b (B.is_zero b sp) in
+  let ctr_nz = B.not_ b (B.is_zero b ctr) in
+  let push = B.and_ b (dec 3) sp_lt_depth in
+  let pop_rtn = dec 4 in
+  let pop_crtn = B.and_ b (dec 5) cc in
+  let pop_rfct = B.and_ b (dec 6) (B.not_ b ctr_nz) in
+  let pop = B.and_ b (B.or_list b [ pop_rtn; pop_crtn; pop_rfct ]) sp_gt_0 in
+  let upc_next =
+    select_word b
+      [
+        (dec 1, data);
+        (dec 2, B.mux_word b ~sel:cc ~t_:data ~e:upc1);
+        (dec 4, top);
+        (dec 5, B.mux_word b ~sel:cc ~t_:top ~e:upc1);
+        (dec 6, B.mux_word b ~sel:ctr_nz ~t_:top ~e:upc1);
+        (dec 7, zeros);
+      ]
+      ~default:upc1
+  in
+  let ctr_next =
+    select_word b
+      [
+        (dec 3, data);
+        (B.and_ b (dec 6) ctr_nz, B.decr_word b ctr);
+        (dec 7, zeros);
+      ]
+      ~default:ctr
+  in
+  let sp_next =
+    select_word b
+      [
+        (dec 7, B.const_word b ~width:sp_bits 0);
+        (push, B.incr_word b sp);
+        (pop, B.decr_word b sp);
+      ]
+      ~default:sp
+  in
+  B.connect_word b upc ~next:upc_next;
+  B.connect_word b ctr ~next:ctr_next;
+  B.connect_word b sp ~next:sp_next;
+  Array.iteri
+    (fun k slot ->
+      let write = B.and_ b push (B.eq_const b sp k) in
+      B.connect_word b slot ~next:(B.mux_word b ~sel:write ~t_:upc1 ~e:slot))
+    stack;
+  Array.iteri (fun i s -> B.output b (Printf.sprintf "y%d" i) s) upc;
+  B.finish b
+
+(* ------------------------------------------------------------------ *)
+(* s1269-like shift/accumulate datapath                                *)
+(* ------------------------------------------------------------------ *)
+
+let shifter_datapath ~width =
+  if width < 2 then invalid_arg "Generate.shifter_datapath";
+  let b = B.create (Printf.sprintf "shiftacc%d" width) in
+  let start = B.input b "start" in
+  let din = Array.init width (fun i -> B.input b (Printf.sprintf "din%d" i)) in
+  let sr = B.latch_word b "sr" ~width in
+  let acc = B.latch_word b "acc" ~width in
+  let cnt_bits = max 1 (ceil_log2 (width + 1)) in
+  let cnt = B.latch_word b "cnt" ~width:cnt_bits in
+  let st = B.latch_word b "st" ~width:2 in
+  (* states: 0 IDLE, 1 RUN, 2 DONE *)
+  let idle = B.eq_const b st 0
+  and run = B.eq_const b st 1
+  and done_ = B.eq_const b st 2 in
+  let go = B.and_ b idle start in
+  let rotl = Array.init width (fun i -> sr.((i + width - 1) mod width)) in
+  let sum = B.add_word b acc sr in
+  let cnt1 = B.incr_word b cnt in
+  let last = B.eq_const b cnt1 width in
+  let zw = B.const_word b ~width 0 in
+  let zc = B.const_word b ~width:cnt_bits 0 in
+  B.connect_word b sr
+    ~next:(select_word b [ (go, din); (run, rotl) ] ~default:sr);
+  B.connect_word b acc
+    ~next:(select_word b [ (go, zw); (run, sum) ] ~default:acc);
+  B.connect_word b cnt
+    ~next:(select_word b [ (go, zc); (run, cnt1) ] ~default:cnt);
+  let st_next =
+    select_word b
+      [
+        (go, B.const_word b ~width:2 1);
+        (B.and_ b run last, B.const_word b ~width:2 2);
+        (done_, B.const_word b ~width:2 0);
+      ]
+      ~default:st
+  in
+  B.connect_word b st ~next:st_next;
+  Array.iteri (fun i s -> B.output b (Printf.sprintf "acc%d" i) s) acc;
+  B.output b "done" done_;
+  B.finish b
+
+(* ------------------------------------------------------------------ *)
+(* s3330-like handshake pipeline                                       *)
+(* ------------------------------------------------------------------ *)
+
+let handshake_pipeline ~stages =
+  if stages < 1 then invalid_arg "Generate.handshake_pipeline";
+  let b = B.create (Printf.sprintf "handshake%d" stages) in
+  let in_valid = B.input b "in_valid" in
+  let in_bit = B.input b "in_bit" in
+  let out_ready = B.input b "out_ready" in
+  let v = Array.init stages (fun i -> B.latch b (Printf.sprintf "v.%d" i)) in
+  let d = Array.init stages (fun i -> B.latch b (Printf.sprintf "d.%d" i)) in
+  (* ready ripples backwards from the consumer *)
+  let ready_after = Array.make (stages + 1) (B.const b false) in
+  ready_after.(stages) <- out_ready;
+  for i = stages - 1 downto 0 do
+    ready_after.(i) <-
+      B.or_ b (B.not_ b v.(i)) (B.and_ b v.(i) ready_after.(i + 1))
+  done;
+  for i = 0 to stages - 1 do
+    let go_out = B.and_ b v.(i) ready_after.(i + 1) in
+    let incoming =
+      if i = 0 then B.and_ b in_valid ready_after.(0)
+      else B.and_ b v.(i - 1) ready_after.(i)
+    in
+    let incoming_bit = if i = 0 then in_bit else d.(i - 1) in
+    B.connect b v.(i)
+      ~next:(B.or_ b incoming (B.and_ b v.(i) (B.not_ b go_out)));
+    B.connect b d.(i) ~next:(B.mux b ~sel:incoming ~t_:incoming_bit ~e:d.(i))
+  done;
+  B.output b "out_valid" v.(stages - 1);
+  B.output b "out_bit" d.(stages - 1);
+  B.finish b
+
+(* ------------------------------------------------------------------ *)
+(* s5378-like random controller and random combinational pools         *)
+(* ------------------------------------------------------------------ *)
+
+(* combinational shift-and-add array multiplier: the middle product bits
+   are classic implicant-poor, BDD-hard cones *)
+let multiplier ~bits =
+  if bits < 2 then invalid_arg "Generate.multiplier";
+  let b = B.create (Printf.sprintf "mult%d" bits) in
+  let x = Array.init bits (fun i -> B.input b (Printf.sprintf "x%d" i)) in
+  let y = Array.init bits (fun i -> B.input b (Printf.sprintf "y%d" i)) in
+  let width = 2 * bits in
+  let zero = B.const b false in
+  let acc = ref (Array.make width zero) in
+  for i = 0 to bits - 1 do
+    (* partial product x·y_i shifted left by i *)
+    let partial =
+      Array.init width (fun j ->
+          if j < i || j >= i + bits then zero
+          else B.and_ b x.(j - i) y.(i))
+    in
+    acc := B.add_word b !acc partial
+  done;
+  Array.iteri (fun j s -> B.output b (Printf.sprintf "p%d" j) s) !acc;
+  B.finish b
+
+(* combinational ALU slice: op selects among add, subtract, and, xor *)
+let alu ~width =
+  if width < 2 then invalid_arg "Generate.alu";
+  let b = B.create (Printf.sprintf "alu%d" width) in
+  let x = Array.init width (fun i -> B.input b (Printf.sprintf "a%d" i)) in
+  let y = Array.init width (fun i -> B.input b (Printf.sprintf "b%d" i)) in
+  let op = Array.init 2 (fun i -> B.input b (Printf.sprintf "op%d" i)) in
+  let sum = B.add_word b x y in
+  let diff =
+    (* x - y = x + ¬y + 1 *)
+    let noty = Array.map (B.not_ b) y in
+    B.incr_word b (B.add_word b x noty)
+  in
+  let ands = Array.mapi (fun i xb -> B.and_ b xb y.(i)) x in
+  let xors = Array.mapi (fun i xb -> B.xor_ b xb y.(i)) x in
+  let sel0 = B.eq_const b op 0
+  and sel1 = B.eq_const b op 1
+  and sel2 = B.eq_const b op 2 in
+  let result =
+    select_word b [ (sel0, sum); (sel1, diff); (sel2, ands) ] ~default:xors
+  in
+  Array.iteri (fun i s -> B.output b (Printf.sprintf "r%d" i) s) result;
+  B.output b "zero" (B.is_zero b result);
+  B.finish b
+
+let random_fn b rand sources =
+  let pick () =
+    let s = sources.(rand (Array.length sources)) in
+    if rand 3 = 0 then B.not_ b s else s
+  in
+  let op x y =
+    match rand 4 with
+    | 0 -> B.and_ b x y
+    | 1 -> B.or_ b x y
+    | 2 -> B.xor_ b x y
+    | _ -> B.mux b ~sel:(pick ()) ~t_:x ~e:y
+  in
+  let arity = 3 + rand 2 in
+  let rec build k = if k <= 1 then pick () else op (pick ()) (build (k - 1)) in
+  build arity
+
+let dense_controller ~latches ~seed =
+  if latches < 4 then invalid_arg "Generate.dense_controller";
+  let rand = rng seed in
+  let b = B.create (Printf.sprintf "dense%d_s%d" latches seed) in
+  let nin = max 2 (latches / 8) in
+  let ins = Array.init nin (fun i -> B.input b (Printf.sprintf "w%d" i)) in
+  let regs =
+    Array.init latches (fun i -> B.latch b (Printf.sprintf "q.%d" i))
+  in
+  let sources = Array.append regs ins in
+  Array.iteri
+    (fun i l ->
+      (* bias towards local feedback so the machine has memory *)
+      let f = random_fn b rand sources in
+      let next =
+        if rand 4 = 0 then B.mux b ~sel:(ins.(rand nin)) ~t_:f ~e:regs.(i)
+        else f
+      in
+      B.connect b l ~next)
+    regs;
+  B.output b "o" (random_fn b rand sources);
+  B.finish b
+
+let random_netlist ~inputs ~gates ~outputs ~seed =
+  if inputs < 2 || gates < 1 || outputs < 1 then
+    invalid_arg "Generate.random_netlist";
+  let rand = rng seed in
+  let b = B.create (Printf.sprintf "rand_i%d_g%d_s%d" inputs gates seed) in
+  let nets = ref [||] in
+  let ins = Array.init inputs (fun i -> B.input b (Printf.sprintf "x%d" i)) in
+  nets := ins;
+  for _ = 1 to gates do
+    let g = random_fn b rand !nets in
+    nets := Array.append !nets [| g |]
+  done;
+  let total = Array.length !nets in
+  for k = 0 to outputs - 1 do
+    (* bias outputs towards the deepest cones *)
+    let pick = total - 1 - rand (max 1 (total / 3)) in
+    B.output b (Printf.sprintf "y%d" k) !nets.(pick)
+  done;
+  B.finish b

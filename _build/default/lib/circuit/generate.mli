@@ -1,0 +1,86 @@
+(** Synthetic benchmark circuits.
+
+    The paper evaluates on s3330, s1269, s5378opt and am2910, which are not
+    redistributable; these generators produce parameterized machines with
+    the same reachability character (see DESIGN.md §3 for the mapping).
+    The small machines at the top have closed-form reachable-state counts
+    used by the tests. *)
+
+(** {1 Small machines with known reachable sets} *)
+
+val counter : bits:int -> Circuit.t
+(** Free-running binary counter; 2^bits reachable states. *)
+
+val counter_enabled : bits:int -> Circuit.t
+(** Counter with an enable input; 2^bits reachable states. *)
+
+val ring : bits:int -> Circuit.t
+(** One-hot ring counter initialized to 1; [bits] reachable states. *)
+
+val johnson : bits:int -> Circuit.t
+(** Johnson (twisted-ring) counter; [2·bits] reachable states. *)
+
+val lfsr : bits:int -> Circuit.t
+(** Fibonacci LFSR with primitive feedback (bits ∈ 3..8, 16); seeded with 1,
+    so [2^bits - 1] reachable states.  @raise Invalid_argument for widths
+    without a built-in primitive polynomial. *)
+
+val fifo_controller : depth:int -> Circuit.t
+(** Push/pop occupancy counter clamped to [0, depth]; [depth + 1] reachable
+    states (the remaining codes of the binary counter are unreachable). *)
+
+val arbiter : clients:int -> Circuit.t
+(** Rotating-token round-robin arbiter with request inputs and grant
+    outputs; [clients] reachable states. *)
+
+val traffic_light : unit -> Circuit.t
+(** Four-phase intersection controller with a car sensor and a timer bit;
+    5 reachable states out of 8 codes. *)
+
+(** {1 Scaled stand-ins for the paper's Table 1 circuits} *)
+
+val microsequencer : addr_bits:int -> stack_depth:int -> Circuit.t
+(** am2910-like microprogram sequencer: a micro-PC, a loop counter, a
+    [stack_depth]-deep subroutine stack and a stack pointer, driven by a
+    3-bit instruction, a condition-code input and an [addr_bits]-wide data
+    bus.  Deep, irregular state graph: BFS needs many iterations with wide
+    frontiers. *)
+
+val microprogram : addr_bits:int -> stack_depth:int -> seed:int -> Circuit.t
+(** {!microsequencer} driven by a synthesized pseudo-random control store:
+    the instruction and branch target are ROM functions of the micro-PC
+    and only the condition code remains a free input.  The machine must
+    execute its microprogram step by step, giving the deep state graphs on
+    which breadth-first search needs very many iterations — the paper's
+    am2910 scenario. *)
+
+val shifter_datapath : width:int -> Circuit.t
+(** s1269-like shift/accumulate datapath: a [width]-bit shift register and
+    accumulator under a 2-bit control FSM with a ripple adder in the loop —
+    small latch count, large intermediate BDDs. *)
+
+val handshake_pipeline : stages:int -> Circuit.t
+(** s3330-like chain of req/ack handshake stages, each holding a valid bit
+    and a token bit. *)
+
+val dense_controller : latches:int -> seed:int -> Circuit.t
+(** s5378-like random-logic controller: each latch's next-state function is
+    a random 3–4-literal function of other latches and a few inputs
+    (deterministic in [seed]). *)
+
+(** {1 Combinational pool circuits} *)
+
+val multiplier : bits:int -> Circuit.t
+(** Combinational [bits]×[bits] shift-and-add multiplier; the middle
+    product bits are implicant-poor, BDD-hard cones. *)
+
+val alu : width:int -> Circuit.t
+(** Combinational ALU slice (add / subtract / and / xor by a 2-bit
+    opcode). *)
+
+(** {1 Function pools} *)
+
+val random_netlist :
+  inputs:int -> gates:int -> outputs:int -> seed:int -> Circuit.t
+(** Structured random combinational netlist (for the Table 2–4 function
+    pool). *)

@@ -1,0 +1,98 @@
+type state = bool array
+
+let latch_index c =
+  let tbl = Hashtbl.create 16 in
+  List.iteri (fun i s -> Hashtbl.add tbl s i) (Circuit.latches c);
+  tbl
+
+let initial_state c =
+  let ls = Circuit.latches c in
+  Array.of_list
+    (List.map
+       (fun s ->
+         match Circuit.gate c s with
+         | Circuit.Latch { init; _ } -> init
+         | _ -> assert false)
+       ls)
+
+(* memoized net evaluation for one cycle *)
+let eval_nets c s input =
+  let idx = latch_index c in
+  let memo = Hashtbl.create 64 in
+  let rec value net =
+    match Hashtbl.find_opt memo net with
+    | Some v -> v
+    | None ->
+        let v =
+          match Circuit.gate c net with
+          | Circuit.Const b -> b
+          | Circuit.Input n -> input n
+          | Circuit.Not a -> not (value a)
+          | Circuit.And (a, b) -> value a && value b
+          | Circuit.Or (a, b) -> value a || value b
+          | Circuit.Xor (a, b) -> value a <> value b
+          | Circuit.Mux (sel, t, e) -> if value sel then value t else value e
+          | Circuit.Latch _ -> s.(Hashtbl.find idx net)
+        in
+        Hashtbl.add memo net v;
+        v
+  in
+  value
+
+let step c s input =
+  let value = eval_nets c s input in
+  let next =
+    Array.of_list
+      (List.map
+         (fun l ->
+           match Circuit.gate c l with
+           | Circuit.Latch { next; _ } -> value next
+           | _ -> assert false)
+         (Circuit.latches c))
+  in
+  let outs = List.map (fun (n, sg) -> (n, value sg)) (Circuit.outputs c) in
+  (next, outs)
+
+let eval_output c s input name =
+  let value = eval_nets c s input in
+  value (List.assoc name (Circuit.outputs c))
+
+let encode s =
+  if Array.length s > 62 then invalid_arg "Sim.encode: too many latches";
+  let v = ref 0 in
+  Array.iteri (fun i b -> if b then v := !v lor (1 lsl i)) s;
+  !v
+
+let decode ~nlatches v = Array.init nlatches (fun i -> v land (1 lsl i) <> 0)
+
+let reachable ?(max_states = 1_000_000) c =
+  let ins = List.map fst (Circuit.inputs c) in
+  if List.length ins > 20 then
+    invalid_arg "Sim.reachable: too many inputs for explicit search";
+  let nin = List.length ins in
+  let input_of_mask mask =
+    let tbl = Hashtbl.create 8 in
+    List.iteri (fun i n -> Hashtbl.add tbl n (mask land (1 lsl i) <> 0)) ins;
+    fun n -> Hashtbl.find tbl n
+  in
+  let seen = Hashtbl.create 1024 in
+  let nlatches = Circuit.num_latches c in
+  let queue = Queue.create () in
+  let start = encode (initial_state c) in
+  Hashtbl.add seen start ();
+  Queue.add start queue;
+  while not (Queue.is_empty queue) do
+    let cur = Queue.take queue in
+    let s = decode ~nlatches cur in
+    for mask = 0 to (1 lsl nin) - 1 do
+      let next, _ = step c s (input_of_mask mask) in
+      let code = encode next in
+      if not (Hashtbl.mem seen code) then begin
+        if Hashtbl.length seen >= max_states then
+          failwith "Sim.reachable: state limit exceeded";
+        Hashtbl.add seen code ();
+        Queue.add code queue
+      end
+    done
+  done;
+  seen

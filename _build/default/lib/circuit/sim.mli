@@ -1,0 +1,26 @@
+(** Explicit-state simulation of circuits — the reference semantics used by
+    the tests to validate symbolic reachability, and by the examples to
+    print traces. *)
+
+type state = bool array
+(** Latch values, indexed in the order of {!Circuit.latches}. *)
+
+val initial_state : Circuit.t -> state
+
+val step :
+  Circuit.t -> state -> (string -> bool) -> state * (string * bool) list
+(** [step c s input] returns the next state and the output values under the
+    given input assignment (by input name). *)
+
+val eval_output : Circuit.t -> state -> (string -> bool) -> string -> bool
+(** Value of one named output. @raise Not_found if no such output. *)
+
+val encode : state -> int
+(** Little-endian packing (≤ 62 latches). *)
+
+val decode : nlatches:int -> int -> state
+
+val reachable : ?max_states:int -> Circuit.t -> (int, unit) Hashtbl.t
+(** Explicit breadth-first reachability over all input combinations.
+    Intended for small circuits: requires at most 20 inputs and stops with
+    @raise Failure once [max_states] (default 1_000_000) states are seen. *)

@@ -1,0 +1,1 @@
+lib/core/approx.ml: Bdd Compound Heavy_branch Remap Short_paths String Under_approx

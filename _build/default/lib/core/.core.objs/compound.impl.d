@@ -1,0 +1,1 @@
+lib/core/compound.ml: Bdd List Minimize Remap Short_paths

@@ -1,0 +1,1 @@
+lib/core/decomp.ml: Bdd List

@@ -1,0 +1,1 @@
+lib/core/decomp.mli: Bdd

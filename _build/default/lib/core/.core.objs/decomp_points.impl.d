@@ -1,0 +1,1 @@
+lib/core/decomp_points.ml: Bdd Decomp Hashtbl Levelq

@@ -1,0 +1,1 @@
+lib/core/heavy_branch.mli: Bdd

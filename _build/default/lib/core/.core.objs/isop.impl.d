@@ -1,0 +1,1 @@
+lib/core/isop.ml: Bdd List

@@ -1,0 +1,1 @@
+lib/core/levelq.ml: Array Bdd Hashtbl

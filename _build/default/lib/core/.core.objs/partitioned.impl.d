@@ -1,0 +1,1 @@
+lib/core/partitioned.ml: Bdd Decomp List

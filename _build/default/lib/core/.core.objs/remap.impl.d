@@ -1,0 +1,1 @@
+lib/core/remap.ml: Bdd Hashtbl Levelq List Option

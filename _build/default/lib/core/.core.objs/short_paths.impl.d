@@ -1,0 +1,1 @@
+lib/core/short_paths.ml: Bdd Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/core/under_approx.mli: Bdd

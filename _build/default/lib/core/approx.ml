@@ -1,0 +1,65 @@
+type meth = HB | SP | UA | RUA | C1 | C2
+
+let all_methods = [ HB; SP; UA; RUA; C1; C2 ]
+
+let method_name = function
+  | HB -> "HB"
+  | SP -> "SP"
+  | UA -> "UA"
+  | RUA -> "RUA"
+  | C1 -> "C1"
+  | C2 -> "C2"
+
+let method_of_string s =
+  match String.uppercase_ascii s with
+  | "HB" -> Some HB
+  | "SP" -> Some SP
+  | "UA" -> Some UA
+  | "RUA" -> Some RUA
+  | "C1" -> Some C1
+  | "C2" -> Some C2
+  | _ -> None
+
+let is_simple = function HB | SP | UA | RUA -> true | C1 | C2 -> false
+let is_safe = function RUA | C1 | C2 -> true | HB | SP | UA -> false
+
+type params = { threshold : int; quality : float; ua_weight : float }
+
+let default_params = { threshold = 0; quality = 1.0; ua_weight = 0.5 }
+
+let under man ?(params = default_params) meth f =
+  match meth with
+  | HB ->
+      (* HB needs a positive size budget; as in the paper's experiments,
+         absent one we aim at what RUA would produce *)
+      let threshold =
+        if params.threshold > 0 then params.threshold
+        else Bdd.size (Remap.approximate man ~quality:params.quality f)
+      in
+      Heavy_branch.approximate man ~threshold f
+  | SP ->
+      let threshold =
+        if params.threshold > 0 then params.threshold
+        else Bdd.size (Remap.approximate man ~quality:params.quality f)
+      in
+      Short_paths.approximate man ~threshold f
+  | UA ->
+      Under_approx.approximate man
+        ~params:
+          { Under_approx.threshold = params.threshold; weight = params.ua_weight }
+        f
+  | RUA ->
+      Remap.approximate man ~threshold:params.threshold
+        ~quality:params.quality f
+  | C1 -> Compound.c1 man ~quality:params.quality f
+  | C2 ->
+      let sp_threshold =
+        if params.threshold > 0 then Some params.threshold else None
+      in
+      Compound.c2 man ~quality:params.quality ?sp_threshold f
+
+let over man ?params meth f =
+  (* α(f) ≥ f obtained as ¬α'(¬f) from the underapproximation α' *)
+  Bdd.bnot man (under man ?params meth (Bdd.bnot man f))
+
+let density man f = Bdd.density man f ~nvars:(Bdd.nvars man)

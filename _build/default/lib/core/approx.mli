@@ -1,0 +1,46 @@
+(** Uniform entry point to the paper's approximation algorithms.
+
+    An underapproximation algorithm α returns [α(f) ≤ f]; it is {e safe}
+    (paper, Definition 1) when it never decreases density
+    [δ(f) = ||f|| / |f|].  Overapproximations are obtained by duality:
+    [¬α(¬f) ≥ f]. *)
+
+(** The methods compared in the paper's Tables 2 and 3. *)
+type meth =
+  | HB  (** heavy-branch subsetting ({!Heavy_branch}) *)
+  | SP  (** short-path subsetting ({!Short_paths}) *)
+  | UA  (** bddUnderApprox ({!Under_approx}) *)
+  | RUA  (** remapUnderApprox ({!Remap}) *)
+  | C1  (** RUA then safe minimization ({!Compound.c1}) *)
+  | C2  (** SP then RUA then safe minimization ({!Compound.c2}) *)
+
+val all_methods : meth list
+val method_name : meth -> string
+val method_of_string : string -> meth option
+
+val is_simple : meth -> bool
+(** Simple vs. compound (paper Section 2.2). *)
+
+val is_safe : meth -> bool
+(** Whether the method is safe at default parameters (quality 1). *)
+
+type params = {
+  threshold : int;
+      (** size target: early-stop bound for UA/RUA, node budget for HB/SP.
+          [0] means "no budget": UA/RUA examine every node, HB/SP fall back
+          to the size RUA produces (the paper's Table 2 protocol). *)
+  quality : float;  (** RUA quality factor *)
+  ua_weight : float;  (** UA convex-combination weight α *)
+}
+
+val default_params : params
+(** [{threshold = 0; quality = 1.0; ua_weight = 0.5}]. *)
+
+val under : Bdd.man -> ?params:params -> meth -> Bdd.t -> Bdd.t
+(** Run an underapproximation method. *)
+
+val over : Bdd.man -> ?params:params -> meth -> Bdd.t -> Bdd.t
+(** The dual overapproximation: [¬under(¬f) ≥ f]. *)
+
+val density : Bdd.man -> Bdd.t -> float
+(** δ(f) over all the manager's variables. *)

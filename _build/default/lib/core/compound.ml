@@ -1,0 +1,26 @@
+(* Compound approximation algorithms (paper Section 2.2).
+
+   μ(α(f), f) and α1(α2(f)) are approximation algorithms; both are safe when
+   their components are.  C1 and C2 are the two compounds evaluated in the
+   paper's Table 3. *)
+
+let c1 man ?(quality = 1.0) f =
+  let rua = Remap.approximate man ~quality f in
+  Minimize.minimize man ~lower:rua ~upper:f
+
+let c2 man ?(quality = 1.0) ?sp_threshold f =
+  let sp_threshold =
+    (* the paper sizes SP by what RUA achieves; by default aim at the size
+       RUA alone would produce *)
+    match sp_threshold with
+    | Some t -> t
+    | None -> Bdd.size (Remap.approximate man ~quality f)
+  in
+  let sp = Short_paths.approximate man ~threshold:sp_threshold f in
+  let rua = Remap.approximate man ~quality sp in
+  Minimize.minimize man ~lower:rua ~upper:f
+
+let iterated_rua man ?(qualities = [ 1.5; 1.2; 1.0 ]) f =
+  (* mitigate RUA's greediness: start with a demanding quality factor and
+     relax it towards 1 (paper Section 2.2) *)
+  List.fold_left (fun g q -> Remap.approximate man ~quality:q g) f qualities

@@ -1,0 +1,16 @@
+(** Compound approximation algorithms (paper Section 2.2, Table 3). *)
+
+val c1 : Bdd.man -> ?quality:float -> Bdd.t -> Bdd.t
+(** C1: RUA followed by safe minimization, [μ(RUA(f), f)].  Never loses to
+    plain RUA in density when both components are safe. *)
+
+val c2 : Bdd.man -> ?quality:float -> ?sp_threshold:int -> Bdd.t -> Bdd.t
+(** C2: SP followed by RUA followed by safe minimization,
+    [μ(RUA(SP(f)), f)].  [sp_threshold] sizes the SP stage; by default it
+    is set to the size plain RUA would produce on [f] (the paper's Table 2
+    protocol for sizing SP and HB). *)
+
+val iterated_rua : Bdd.man -> ?qualities:float list -> Bdd.t -> Bdd.t
+(** Repeated RUA with a decreasing quality schedule ending at 1 — the
+    paper's example of mitigating RUA's greediness.  Safe if every quality
+    is ≥ 1. *)

@@ -1,0 +1,56 @@
+type pair = { g : Bdd.t; h : Bdd.t }
+
+let shared_size { g; h } = Bdd.shared_size [ g; h ]
+let max_size { g; h } = max (Bdd.size g) (Bdd.size h)
+
+let balance { g; h } =
+  let a = float_of_int (Bdd.size g) and b = float_of_int (Bdd.size h) in
+  if a = 0. && b = 0. then 1. else min a b /. max a b
+
+let verify_conj man f { g; h } = Bdd.equal f (Bdd.band man g h)
+let verify_disj man f { g; h } = Bdd.equal f (Bdd.bor man g h)
+
+(* Choose the splitting variable minimizing the size of the larger cofactor
+   (our rendering of [Cabodi et al. 96] / [Narayan et al. 97]; the paper
+   Section 4 uses exactly this cost function).  The estimation cost is
+   linear in #variables × |f|. *)
+let best_split_var man f =
+  match Bdd.support man f with
+  | [] -> invalid_arg "Decomp.best_split_var: constant"
+  | sup ->
+      let cost v =
+        let s1 = Bdd.size (Bdd.cofactor man f ~var:v true)
+        and s0 = Bdd.size (Bdd.cofactor man f ~var:v false) in
+        (max s1 s0, s1 + s0)
+      in
+      let best, _ =
+        List.fold_left
+          (fun (bv, bc) v ->
+            let c = cost v in
+            if c < bc then (v, c) else (bv, bc))
+          (List.hd sup, cost (List.hd sup))
+          (List.tl sup)
+      in
+      best
+
+(* Equation (1): f = g·h with g = x + f_x' and h = x' + f_x. *)
+let conj_cofactor_at man f v =
+  let fx = Bdd.cofactor man f ~var:v true
+  and fx' = Bdd.cofactor man f ~var:v false in
+  let x = Bdd.ithvar man v and x' = Bdd.nithvar man v in
+  { g = Bdd.bor man x fx'; h = Bdd.bor man x' fx }
+
+(* The symmetric disjunctive split: f = x·f_x + x'·f_x'. *)
+let disj_cofactor_at man f v =
+  let fx = Bdd.cofactor man f ~var:v true
+  and fx' = Bdd.cofactor man f ~var:v false in
+  let x = Bdd.ithvar man v and x' = Bdd.nithvar man v in
+  { g = Bdd.band man x fx; h = Bdd.band man x' fx' }
+
+let conj_cofactor man f =
+  if Bdd.is_const f then { g = f; h = Bdd.tt man }
+  else conj_cofactor_at man f (best_split_var man f)
+
+let disj_cofactor man f =
+  if Bdd.is_const f then { g = f; h = Bdd.ff man }
+  else disj_cofactor_at man f (best_split_var man f)

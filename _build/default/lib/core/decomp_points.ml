@@ -1,0 +1,167 @@
+(* Generalized conjunctive decomposition by decomposition points (paper
+   Section 3, Fig. 5).
+
+   Factors are built bottom-up.  At a decomposition point with top variable
+   v the factors are Equation (1)'s (v + f_e, v' + f_t); above a point the
+   children's factors are combined either straight or crossed:
+
+     g = v·g_t + v'·g_e ; h = v·h_t + v'·h_e     or
+     g = v·g_t + v'·h_e ; h = v·h_t + v'·g_e
+
+   Either way g·h = v·(g_t·h_t) + v'·(g_e·h_e) = f, so the product is
+   preserved by induction.  The combination is chosen to balance the factor
+   sizes, using a memoized tree-size estimate (cheap, monotone with the
+   actual size) rather than exact DAG sizes. *)
+
+let tree_estimate () =
+  let memo = Hashtbl.create 256 in
+  let rec est f =
+    match Bdd.view f with
+    | Bdd.False | Bdd.True -> 0.
+    | Bdd.Node { hi; lo; _ } -> (
+        match Hashtbl.find_opt memo (Bdd.id f) with
+        | Some e -> e
+        | None ->
+            let e = 1. +. est hi +. est lo in
+            Hashtbl.add memo (Bdd.id f) e;
+            e)
+  in
+  est
+
+let decompose man ~is_point f =
+  let est = tree_estimate () in
+  let cache = Hashtbl.create 256 in
+  let rec go f =
+    match Bdd.view f with
+    | Bdd.False | Bdd.True -> (f, Bdd.tt man)
+    | Bdd.Node { var; hi; lo } -> (
+        match Hashtbl.find_opt cache (Bdd.id f) with
+        | Some gh -> gh
+        | None ->
+            let gh =
+              if is_point f then
+                ( Bdd.mk man ~var ~hi:(Bdd.tt man) ~lo,
+                  Bdd.mk man ~var ~hi ~lo:(Bdd.tt man) )
+              else begin
+                let gt, ht = go hi and ge, he = go lo in
+                let straight =
+                  (Bdd.mk man ~var ~hi:gt ~lo:ge, Bdd.mk man ~var ~hi:ht ~lo:he)
+                and crossed =
+                  (Bdd.mk man ~var ~hi:gt ~lo:he, Bdd.mk man ~var ~hi:ht ~lo:ge)
+                in
+                let skew (g, h) = abs_float (est g -. est h) in
+                if skew straight <= skew crossed then straight else crossed
+              end
+            in
+            Hashtbl.add cache (Bdd.id f) gh;
+            gh)
+  in
+  let g, h = go f in
+  { Decomp.g; h }
+
+(* ------------------------------------------------------------------ *)
+(* Band selection                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let heights f =
+  let tbl = Hashtbl.create 256 in
+  let height n =
+    match Bdd.view n with
+    | Bdd.False | Bdd.True -> 0
+    | Bdd.Node _ -> Hashtbl.find tbl (Bdd.id n)
+  in
+  (* Bdd.iter_nodes visits children before parents *)
+  Bdd.iter_nodes
+    (fun n ->
+      Hashtbl.replace tbl (Bdd.id n)
+        (1 + max (height (Bdd.high n)) (height (Bdd.low n))))
+    f;
+  (tbl, height)
+
+let band_points man ?(band = (0.35, 0.65)) f =
+  ignore man;
+  let lo_frac, hi_frac = band in
+  if Bdd.is_const f then fun _ -> false
+  else begin
+    let _, height = heights f in
+    let top = float_of_int (height f) in
+    let lo = lo_frac *. top and hi = hi_frac *. top in
+    fun n ->
+      match Bdd.view n with
+      | Bdd.False | Bdd.True -> false
+      | Bdd.Node _ ->
+          let h = float_of_int (height n) in
+          h >= lo && h <= hi
+  end
+
+let band man ?band:b f =
+  decompose man ~is_point:(band_points man ?band:b f) f
+
+(* ------------------------------------------------------------------ *)
+(* Disjoint selection                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let disjoint_points man ?(sample = 256) ?(max_sharing = 0.25)
+    ?(min_balance = 0.4) f =
+  if Bdd.is_const f then fun _ -> false
+  else begin
+    (* scan candidates top-down; measuring sharing is one DAG traversal per
+       candidate (quadratic in the worst case, hence the sample cap — the
+       paper makes the same concession) *)
+    let points = Hashtbl.create 64 in
+    let q = Levelq.create man in
+    ignore (Levelq.push q f);
+    let budget = ref sample in
+    let rec scan () =
+      if !budget <= 0 then ()
+      else
+        match Levelq.pop q with
+        | None -> ()
+        | Some n ->
+            (match Bdd.view n with
+            | Bdd.False | Bdd.True -> ()
+            | Bdd.Node { hi; lo; _ } ->
+                if not (Bdd.is_const hi || Bdd.is_const lo) then begin
+                  decr budget;
+                  let sh = Bdd.size hi and sl = Bdd.size lo in
+                  let shared = Bdd.shared_size [ hi; lo ] in
+                  let overlap =
+                    float_of_int (sh + sl - shared)
+                    /. float_of_int (max 1 (min sh sl))
+                  in
+                  let bal =
+                    float_of_int (min sh sl) /. float_of_int (max 1 (max sh sl))
+                  in
+                  if overlap <= max_sharing && bal >= min_balance then
+                    Hashtbl.replace points (Bdd.id n) ()
+                end;
+                ignore (Levelq.push q hi);
+                ignore (Levelq.push q lo));
+            scan ()
+    in
+    scan ();
+    fun n -> Hashtbl.mem points (Bdd.id n)
+  end
+
+let disjoint man ?sample ?max_sharing ?min_balance f =
+  decompose man
+    ~is_point:(disjoint_points man ?sample ?max_sharing ?min_balance f)
+    f
+
+(* ------------------------------------------------------------------ *)
+(* Disjunctive duals                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The paper notes that disjunctive partitioning "is completely symmetric
+   to the conjunctive method": f = g ∨ h is obtained from a conjunctive
+   decomposition of ¬f by De Morgan. *)
+let disjunctive_of man conj_method f =
+  let { Decomp.g; h } = conj_method man (Bdd.bnot man f) in
+  { Decomp.g = Bdd.bnot man g; h = Bdd.bnot man h }
+
+let disj_band man ?band:b f = disjunctive_of man (fun m g -> band m ?band:b g) f
+
+let disj_disjoint man ?sample ?max_sharing ?min_balance f =
+  disjunctive_of man
+    (fun m g -> disjoint m ?sample ?max_sharing ?min_balance g)
+    f

@@ -1,0 +1,58 @@
+(** Generalized conjunctive decomposition by {e decomposition points}
+    (paper Section 3, Fig. 5) with the two point-selection heuristics the
+    paper evaluates in Table 4: {e Band} and {e Disjoint}. *)
+
+val decompose : Bdd.man -> is_point:(Bdd.t -> bool) -> Bdd.t -> Decomp.pair
+(** Bottom-up factor construction: Equation (1) at each decomposition
+    point, balanced straight/crossed combination above them.  For any
+    point predicate the result satisfies [g ∧ h = f]. *)
+
+val band_points : Bdd.man -> ?band:float * float -> Bdd.t -> Bdd.t -> bool
+(** {e Band}: nodes whose height (longest distance from the constants) lies
+    within the given fractional band of the root's height (default
+    [(0.35, 0.65)] — the "middle band").  One pass over the BDD. *)
+
+val band : Bdd.man -> ?band:float * float -> Bdd.t -> Decomp.pair
+(** {!decompose} with {!band_points}. *)
+
+val disjoint_points :
+  Bdd.man ->
+  ?sample:int ->
+  ?max_sharing:float ->
+  ?min_balance:float ->
+  Bdd.t ->
+  Bdd.t ->
+  bool
+(** {e Disjoint}: nodes whose children share few nodes ([overlap <=
+    max_sharing], where overlap is shared nodes over the smaller child)
+    and are balanced ([min|.| / max|.| >= min_balance]).  Measuring a
+    candidate costs a traversal, so at most [sample] candidates (default
+    256) are examined top-down, mirroring the paper's "only a fraction of
+    the nodes are sampled". *)
+
+val disjoint :
+  Bdd.man ->
+  ?sample:int ->
+  ?max_sharing:float ->
+  ?min_balance:float ->
+  Bdd.t ->
+  Decomp.pair
+(** {!decompose} with {!disjoint_points}. *)
+
+val disjunctive_of :
+  Bdd.man -> (Bdd.man -> Bdd.t -> Decomp.pair) -> Bdd.t -> Decomp.pair
+(** Disjunctive decomposition by duality (the paper notes the disjunctive
+    method is completely symmetric): conjunctively decompose [¬f] and
+    negate the factors, giving [g ∨ h = f]. *)
+
+val disj_band : Bdd.man -> ?band:float * float -> Bdd.t -> Decomp.pair
+(** {!band} through {!disjunctive_of}: [g ∨ h = f]. *)
+
+val disj_disjoint :
+  Bdd.man ->
+  ?sample:int ->
+  ?max_sharing:float ->
+  ?min_balance:float ->
+  Bdd.t ->
+  Decomp.pair
+(** {!disjoint} through {!disjunctive_of}: [g ∨ h = f]. *)

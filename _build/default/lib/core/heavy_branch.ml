@@ -1,0 +1,53 @@
+(* Heavy-branch subsetting (HB) [Ravi–Somenzi, ICCAD'95; paper Section 2].
+
+   Two passes: the analysis pass computes the minterm weight of every node
+   (delegated to the manager's cache); the building pass walks down from the
+   root always keeping the heavy child — the one with more minterms — and
+   discarding the light one, until what remains fits in the threshold.  The
+   result is a BDD with a string of nodes at the top, each with one child
+   equal to the constant 0, ending in an intact subgraph of f. *)
+
+let approximate man ~threshold f =
+  if Bdd.is_const f || Bdd.size f <= threshold then f
+  else begin
+    (* heavy path from the root: (node, took_hi) pairs *)
+    let rec path acc n =
+      match Bdd.view n with
+      | Bdd.False | Bdd.True -> (List.rev acc, n)
+      | Bdd.Node { hi; lo; _ } ->
+          let whi = Bdd.weight man hi and wlo = Bdd.weight man lo in
+          if whi >= wlo then path ((n, true) :: acc) hi
+          else path ((n, false) :: acc) lo
+    in
+    let chain, _leaf = path [] f in
+    (* pick the highest cut point k such that k chain nodes plus the intact
+       subgraph rooted at the k-th heavy descendant fit in the threshold *)
+    let rec descend k = function
+      | [] -> None
+      | (n, _) :: rest ->
+          if k + Bdd.size n <= threshold then Some (k, n)
+          else descend (k + 1) rest
+    in
+    let cut =
+      match descend 0 chain with
+      | Some cut -> cut
+      | None ->
+          (* not even a bare chain fits: keep the full heavy path, which has
+             one node per chain element (minimal non-trivial subset) *)
+          (List.length chain, _leaf)
+    in
+    let k, tail = cut in
+    (* rebuild the chain of the first k nodes above [tail] *)
+    let rec rebuild i chain =
+      if i >= k then tail
+      else
+        match chain with
+        | [] -> tail
+        | (n, took_hi) :: rest ->
+            let below = rebuild (i + 1) rest in
+            if took_hi then
+              Bdd.mk man ~var:(Bdd.topvar n) ~hi:below ~lo:(Bdd.ff man)
+            else Bdd.mk man ~var:(Bdd.topvar n) ~hi:(Bdd.ff man) ~lo:below
+    in
+    rebuild 0 chain
+  end

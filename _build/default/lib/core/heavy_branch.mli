@@ -1,0 +1,13 @@
+(** Heavy-branch subsetting (HB) — the first of the two ICCAD'95
+    underapproximation procedures the paper compares against.
+
+    Walks from the root discarding the light branch (the child with fewer
+    minterms) of each node until the residual BDD fits in the threshold:
+    the result is a chain of nodes, each with one constant-0 child, ending
+    in an intact subgraph of [f]. *)
+
+val approximate : Bdd.man -> threshold:int -> Bdd.t -> Bdd.t
+(** [approximate man ~threshold f] returns a subset of [f] of at most
+    [threshold] nodes (except when even a bare chain from the root exceeds
+    it, in which case the heavy path itself — one node per level — is
+    returned).  Returns [f] unchanged when it already fits. *)

@@ -1,0 +1,51 @@
+type cube = (int * bool) list
+
+let cube_to_bdd man c = Bdd.cube_of_literals man c
+
+(* Minato–Morreale recursion.  At each variable v the cover splits into
+   cubes containing v', cubes containing v, and cubes without v; the
+   variable-free residue recurses on what neither signed part covered. *)
+let isop man ~lower ~upper =
+  if not (Bdd.leq man lower upper) then invalid_arg "Isop.isop: lower > upper";
+  let rec go l u =
+    if Bdd.is_false l then ([], Bdd.ff man)
+    else if Bdd.is_true u then ([ [] ], Bdd.tt man)
+    else begin
+      let v =
+        (* top variable of the pair *)
+        let lv vv =
+          if Bdd.is_const vv then max_int
+          else Bdd.level_of_var man (Bdd.topvar vv)
+        in
+        let choose = if lv l <= lv u then l else u in
+        Bdd.topvar choose
+      in
+      let l1 = Bdd.cofactor man l ~var:v true
+      and l0 = Bdd.cofactor man l ~var:v false
+      and u1 = Bdd.cofactor man u ~var:v true
+      and u0 = Bdd.cofactor man u ~var:v false in
+      (* cubes that must carry the literal v' (resp. v): lower-minterms on
+         one side that the other side's upper cannot absorb *)
+      let cubes0, c0 = go (Bdd.bdiff man l0 u1) u0 in
+      let cubes1, c1 = go (Bdd.bdiff man l1 u0) u1 in
+      (* what remains needed on both sides, coverable without v *)
+      let l0' = Bdd.bdiff man l0 c0 and l1' = Bdd.bdiff man l1 c1 in
+      let ld = Bdd.bor man l0' l1' in
+      let cubesd, cd = go ld (Bdd.band man u0 u1) in
+      let cover =
+        Bdd.disj man
+          [
+            Bdd.band man (Bdd.nithvar man v) c0;
+            Bdd.band man (Bdd.ithvar man v) c1;
+            cd;
+          ]
+      in
+      ( List.map (fun c -> (v, false) :: c) cubes0
+        @ List.map (fun c -> (v, true) :: c) cubes1
+        @ cubesd,
+        cover )
+    end
+  in
+  go lower upper
+
+let cover man f = fst (isop man ~lower:f ~upper:f)

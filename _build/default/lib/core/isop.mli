@@ -1,0 +1,21 @@
+(** Irredundant sum-of-products covers from BDDs (Minato–Morreale ISOP).
+
+    Short-path subsetting works because short BDD paths are large
+    implicants; ISOP makes that structure explicit: it extracts, from an
+    interval [l ≤ u], an irredundant cover of cubes [c] with
+    [l ≤ c ≤ u].  With [l = u = f] the cover is exactly [f]. *)
+
+type cube = (int * bool) list
+(** A product term as literals (variable, phase). *)
+
+val isop : Bdd.man -> lower:Bdd.t -> upper:Bdd.t -> cube list * Bdd.t
+(** [isop man ~lower ~upper] returns the cubes and their disjunction [c],
+    with [lower ≤ c ≤ upper] and each cube an implicant of [upper]
+    containing at least one [lower]-minterm no other cube covers
+    (irredundancy, property-tested).
+    @raise Invalid_argument if [lower ≰ upper]. *)
+
+val cover : Bdd.man -> Bdd.t -> cube list
+(** [cover man f]: an irredundant cover of exactly [f]. *)
+
+val cube_to_bdd : Bdd.man -> cube -> Bdd.t

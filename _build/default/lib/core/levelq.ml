@@ -1,0 +1,47 @@
+(* Priority queue over BDD nodes keyed by the level of their top variable,
+   as used by the top-down passes of remapUnderApprox (paper, Figs. 3–4).
+   Each node enters at most once.  Pops return the node with the smallest
+   level; pushes at levels at or above the current pop position are allowed
+   because a node's parents always lie strictly above it. *)
+
+type t = {
+  man : Bdd.man;
+  buckets : Bdd.t list array; (* level -> nodes *)
+  seen : (int, unit) Hashtbl.t;
+  mutable cursor : int; (* no non-empty bucket below this level *)
+}
+
+let create man =
+  {
+    man;
+    buckets = Array.make (max 1 (Bdd.nvars man)) [];
+    seen = Hashtbl.create 64;
+    cursor = 0;
+  }
+
+(* true if the node was not already present *)
+let push q f =
+  match Bdd.view f with
+  | Bdd.False | Bdd.True -> false
+  | Bdd.Node { var; _ } ->
+      if Hashtbl.mem q.seen (Bdd.id f) then false
+      else begin
+        Hashtbl.add q.seen (Bdd.id f) ();
+        let lv = Bdd.level_of_var q.man var in
+        q.buckets.(lv) <- f :: q.buckets.(lv);
+        if lv < q.cursor then q.cursor <- lv;
+        true
+      end
+
+let mem q f = Hashtbl.mem q.seen (Bdd.id f)
+
+let rec pop q =
+  if q.cursor >= Array.length q.buckets then None
+  else
+    match q.buckets.(q.cursor) with
+    | [] ->
+        q.cursor <- q.cursor + 1;
+        pop q
+    | f :: rest ->
+        q.buckets.(q.cursor) <- rest;
+        Some f

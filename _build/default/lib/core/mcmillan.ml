@@ -1,0 +1,39 @@
+(* McMillan's canonical conjunctive decomposition [CAV'96], the "different
+   approach" discussed under Prior Work in the paper's Section 3.
+
+   Project f onto growing prefixes of the variable order:
+   c_k = ∃ v_{k+1} … v_n . f, with c_0 = ∃ all . f.  Each factor is the
+   generalized cofactor g_k = constrain(c_k, c_{k-1}); since c_k ≤ c_{k-1}
+   and f ∧ c = c ∧ constrain(f, c), induction gives ∧_{j ≤ k} g_j = c_k,
+   so the conjunction of all factors is exactly f.  One (possibly trivial)
+   factor per variable, as in the original. *)
+
+let decompose man f =
+  if Bdd.is_false f then [ f ]
+  else begin
+    let sup = Bdd.support man f in
+    (* projections: drop support variables from the bottom of the order up *)
+    let projections =
+      (* c for prefixes of length k = n, n-1, …, 0 *)
+      let rec peel acc c = function
+        | [] -> acc (* acc ends with c_0 *)
+        | v :: above ->
+            let c' = Bdd.exists man ~vars:(Bdd.cube man [ v ]) c in
+            peel (c' :: acc) c' above
+      in
+      peel [ f ] f (List.rev sup)
+    in
+    (* projections = [c_0; c_1; …; c_n = f] *)
+    let rec factors = function
+      | prev :: (cur :: _ as rest) ->
+          Bdd.constrain man cur prev :: factors rest
+      | [ _ ] | [] -> []
+    in
+    match projections with
+    | [] -> [ f ]
+    | c0 :: _ ->
+        if Bdd.is_false c0 then [ Bdd.ff man ]
+        else List.filter (fun g -> not (Bdd.is_true g)) (factors projections)
+  end
+
+let verify man f gs = Bdd.equal f (Bdd.conj man gs)

@@ -1,0 +1,12 @@
+(** McMillan's canonical conjunctive decomposition (CAV'96) — the prior
+    approach discussed in the paper's Section 3.  Produces up to one factor
+    per support variable; the conjunction of the factors is exactly the
+    input, and the total size is linear in the number of factors times the
+    input size. *)
+
+val decompose : Bdd.man -> Bdd.t -> Bdd.t list
+(** [decompose man f] returns factors [g_1 … g_k] with [∧ g_i = f]
+    (trivial [tt] factors are dropped). *)
+
+val verify : Bdd.man -> Bdd.t -> Bdd.t list -> bool
+(** Check [∧ g_i = f]. *)

@@ -1,0 +1,26 @@
+(* Safe minimization μ(l,u) (paper Section 2.2 and [Hong et al., DAC'97]).
+
+   μ(l,u) returns a function in the interval [l,u].  It is *safe* when the
+   result is never larger than either bound.  Sibling substitution
+   (Bdd.restrict) minimizes within the interval but offers no size
+   guarantee, so safety is obtained by falling back on the smaller bound. *)
+
+let minimize man ~lower ~upper =
+  if not (Bdd.leq man lower upper) then
+    invalid_arg "Minimize.minimize: lower > upper";
+  Bdd.squeeze man ~lower ~upper
+
+let restrict_to_interval man ~lower ~upper =
+  if not (Bdd.leq man lower upper) then
+    invalid_arg "Minimize.restrict_to_interval: lower > upper";
+  if Bdd.equal lower upper then lower
+  else
+    (* the care set: where the interval pins the value *)
+    let care = Bdd.bor man lower (Bdd.bnot man upper) in
+    if Bdd.is_false care then lower else Bdd.restrict man lower care
+
+let is_safe man ~lower ~upper result =
+  Bdd.size result <= Bdd.size lower
+  && Bdd.size result <= Bdd.size upper
+  && Bdd.leq man lower result
+  && Bdd.leq man result upper

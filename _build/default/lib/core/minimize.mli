@@ -1,0 +1,18 @@
+(** Safe BDD minimization μ(l,u) (paper Section 2.2, after Hong et al.).
+
+    Given [l ≤ u], a minimization algorithm returns some [g] with
+    [l ≤ g ≤ u]; it is {e safe} when [|g| ≤ |l|] and [|g| ≤ |u|].  Composing
+    a safe μ with a safe underapproximation α as [μ(α(f), f)] yields the
+    paper's compound approximation algorithms (see {!Compound}). *)
+
+val minimize : Bdd.man -> lower:Bdd.t -> upper:Bdd.t -> Bdd.t
+(** Safe minimization: sibling substitution on the interval with a
+    fall-back on whichever bound is smaller.  @raise Invalid_argument if
+    [lower ≰ upper]. *)
+
+val restrict_to_interval : Bdd.man -> lower:Bdd.t -> upper:Bdd.t -> Bdd.t
+(** Pure sibling substitution against the interval's care set
+    [lower ∨ ¬upper] — minimizing but not safe (may grow). *)
+
+val is_safe : Bdd.man -> lower:Bdd.t -> upper:Bdd.t -> Bdd.t -> bool
+(** Check both the interval membership and the safety size bounds. *)

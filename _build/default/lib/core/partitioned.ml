@@ -1,0 +1,93 @@
+type t = { parts : (Bdd.t * Bdd.t) list }
+
+let windows t = t.parts
+
+let orthogonal man parts =
+  let rec disjoint = function
+    | [] -> true
+    | (w, _) :: rest ->
+        List.for_all (fun (w', _) -> not (Bdd.intersects man w w')) rest
+        && disjoint rest
+  in
+  let cover = Bdd.disj man (List.map fst parts) in
+  disjoint parts && Bdd.is_true cover
+
+let of_windows man parts =
+  if not (orthogonal man parts) then
+    invalid_arg "Partitioned.of_windows: windows not orthogonal";
+  { parts }
+
+let of_bdd man ?(parts = 4) f =
+  (* split variables chosen one at a time by the Cofactor criterion *)
+  let rec split k f =
+    if k <= 1 || Bdd.is_const f then [ (Bdd.tt man, f) ]
+    else
+      let v = Decomp.best_split_var man f in
+      let hi = Bdd.cofactor man f ~var:v true
+      and lo = Bdd.cofactor man f ~var:v false in
+      let pos = Bdd.ithvar man v and neg = Bdd.nithvar man v in
+      List.map (fun (w, g) -> (Bdd.band man pos w, g)) (split (k / 2) hi)
+      @ List.map (fun (w, g) -> (Bdd.band man neg w, g)) (split (k / 2) lo)
+  in
+  let rec pow2_floor k = if k < 2 then 1 else 2 * pow2_floor (k / 2) in
+  let raw = split (pow2_floor (max 1 parts)) f in
+  (* minimize each function against its window *)
+  let parts =
+    List.map
+      (fun (w, g) ->
+        if Bdd.is_false w then (w, g)
+        else (w, Bdd.constrain man g w))
+      raw
+    |> List.filter (fun (w, _) -> not (Bdd.is_false w))
+  in
+  { parts }
+
+let to_bdd man t =
+  Bdd.disj man (List.map (fun (w, g) -> Bdd.band man w g) t.parts)
+
+let well_formed man t = orthogonal man t.parts
+
+(* refine both representations onto the pairwise products of their
+   windows, dropping empty intersections *)
+let refine man a b =
+  List.concat_map
+    (fun (wa, fa) ->
+      List.filter_map
+        (fun (wb, fb) ->
+          let w = Bdd.band man wa wb in
+          if Bdd.is_false w then None else Some (w, fa, fb))
+        b.parts)
+    a.parts
+
+let apply man op a b =
+  let parts =
+    List.map
+      (fun (w, fa, fb) -> (w, Bdd.constrain man (op fa fb) w))
+      (refine man a b)
+  in
+  { parts }
+
+let map man fn t =
+  { parts = List.map (fun (w, f) -> (w, Bdd.constrain man (fn f) w)) t.parts }
+
+let band man = apply man (Bdd.band man)
+let bor man = apply man (Bdd.bor man)
+let bnot man = map man (Bdd.bnot man)
+
+let is_false man t =
+  List.for_all (fun (w, f) -> not (Bdd.intersects man w f)) t.parts
+
+let equal man a b =
+  List.for_all
+    (fun (w, fa, fb) ->
+      (* inside w the two functions must agree *)
+      not (Bdd.intersects man w (Bdd.bxor man fa fb)))
+    (refine man a b)
+
+let shared_size t =
+  Bdd.shared_size (List.concat_map (fun (w, f) -> [ w; f ]) t.parts)
+
+let max_window_size t =
+  List.fold_left
+    (fun acc (w, f) -> max acc (Bdd.size w + Bdd.size f))
+    0 t.parts

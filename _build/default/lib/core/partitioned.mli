@@ -1,0 +1,57 @@
+(** Partitioned ROBDDs (Narayan et al., the paper's references [19, 20]) —
+    the representation that Section 3's decompositions feed.
+
+    A function is kept as an orthogonal list of windows
+    [f = ∨ᵢ (wᵢ ∧ fᵢ)] where the window functions [wᵢ] are pairwise
+    disjoint and cover the whole space, and each [fᵢ] is only meaningful
+    inside its window (it is stored constrained by [wᵢ]).  Each window can
+    be far smaller than the monolithic BDD, and windows never need to
+    coexist in full during manipulation. *)
+
+type t
+(** A partitioned representation.  Invariants (checked by {!well_formed}):
+    windows pairwise disjoint, windows cover the space. *)
+
+val windows : t -> (Bdd.t * Bdd.t) list
+(** The [(wᵢ, fᵢ)] pairs. *)
+
+val of_bdd : Bdd.man -> ?parts:int -> Bdd.t -> t
+(** Split along the best cofactoring variables (those minimizing the larger
+    cofactor, as in the paper's {e Cofactor} method), producing at most
+    [parts] windows (default 4; rounded down to a power of two).  Each
+    [fᵢ] is minimized against its window with the generalized cofactor. *)
+
+val of_windows : Bdd.man -> (Bdd.t * Bdd.t) list -> t
+(** Use the given window/function pairs.
+    @raise Invalid_argument if the windows are not orthogonal. *)
+
+val to_bdd : Bdd.man -> t -> Bdd.t
+(** [∨ᵢ (wᵢ ∧ fᵢ)]. *)
+
+val well_formed : Bdd.man -> t -> bool
+
+val apply : Bdd.man -> (Bdd.t -> Bdd.t -> Bdd.t) -> t -> t -> t
+(** Pointwise binary operation.  The two representations are refined to a
+    common orthogonal window set first (the pairwise products of their
+    windows), so any window structures combine. *)
+
+val map : Bdd.man -> (Bdd.t -> Bdd.t) -> t -> t
+(** Pointwise unary operation (e.g. negation) within each window. *)
+
+val band : Bdd.man -> t -> t -> t
+val bor : Bdd.man -> t -> t -> t
+val bnot : Bdd.man -> t -> t
+
+val is_false : Bdd.man -> t -> bool
+(** Satisfiability without rebuilding the monolithic BDD. *)
+
+val equal : Bdd.man -> t -> t -> bool
+(** Functional equality (windows may differ). *)
+
+val shared_size : t -> int
+(** Shared node count of all windows and functions — the "decomposed
+    representation" size the paper's Section 3 wants reduced. *)
+
+val max_window_size : t -> int
+(** The largest [|wᵢ ∧ fᵢ|-ish] component: max over windows of
+    [|wᵢ| + |fᵢ|] — the "individual sizes (for easier manipulation)". *)

@@ -1,0 +1,40 @@
+(** [remapUnderApprox] (RUA) — the paper's Section 2.1.
+
+    A safe underapproximation algorithm: it derives from [f] a BDD [g ≤ f]
+    by replacing selected nodes with (a) one of their children when the
+    function is unate in the node's variable ({e remap}, as in constrain),
+    (b) a shared grandchild ({e replace-by-grandchild}), or (c) the constant
+    0 ({e replace-by-0}).  Replacements are accepted only when a lower bound
+    on the resulting density gain exceeds the [quality] factor, so with
+    [quality >= 1.] the algorithm is {e safe}: [density(g) >= density(f)]
+    (Definition 1 of the paper).
+
+    The implementation follows the paper's three passes: [analyze]
+    (minterm weights and reference counts, Fig. 2), [markNodes] (top-down
+    replacement marking with a by-level priority queue, Fig. 3, using the
+    dominator-counting [nodesSaved] of Fig. 4), and [buildResult]. *)
+
+type stats = {
+  replacements : int;  (** nodes marked for replacement *)
+  remaps : int;  (** of which: replaced by a child *)
+  grandchild : int;  (** of which: replaced by a grandchild *)
+  zeroes : int;  (** of which: replaced by the constant 0 *)
+  estimated_size : int;  (** markNodes' final upper bound on |result| *)
+  estimated_minterm_fraction : float;
+      (** markNodes' exact count of remaining minterms (as a fraction of
+          all assignments) *)
+}
+
+val approximate :
+  Bdd.man -> ?threshold:int -> ?quality:float -> Bdd.t -> Bdd.t
+(** [approximate man ~threshold ~quality f] returns an underapproximation
+    of [f].  [threshold] (default [0]) stops the marking pass early once
+    the estimated result size falls to the threshold or below; [0] lets it
+    examine every node, as in the paper's experiments.  [quality]
+    (default [1.0]) is the minimum acceptable ratio of new to old density;
+    values below 1 make the algorithm more aggressive (and unsafe), values
+    above 1 more conservative. *)
+
+val approximate_with_stats :
+  Bdd.man -> ?threshold:int -> ?quality:float -> Bdd.t -> Bdd.t * stats
+(** Same, also reporting what the marking pass did. *)

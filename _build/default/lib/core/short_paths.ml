@@ -1,0 +1,81 @@
+(* Short-path subsetting (SP) [Ravi–Somenzi, ICCAD'95; paper Section 2].
+
+   Short paths to the constant 1 correspond to large implicants represented
+   with few nodes.  The first pass labels every node with the length of the
+   shortest root-to-1 path through it; the second keeps the nodes whose
+   label does not exceed a bound chosen so that at most [threshold] nodes
+   survive, redirecting arcs into discarded nodes to the constant 0. *)
+
+let infinity_len = max_int / 4
+
+let approximate man ~threshold f =
+  if Bdd.is_const f || Bdd.size f <= threshold then f
+  else begin
+    let all = Bdd.nodes f in
+    (* children-first list; reverse for a parents-first sweep *)
+    let parents_first = List.rev all in
+    let dist_root = Hashtbl.create 256 in
+    let dist_one = Hashtbl.create 256 in
+    let get tbl n default =
+      Option.value ~default (Hashtbl.find_opt tbl (Bdd.id n))
+    in
+    Hashtbl.replace dist_root (Bdd.id f) 0;
+    List.iter
+      (fun n ->
+        let d = get dist_root n infinity_len in
+        let relax c =
+          if not (Bdd.is_const c) then begin
+            let cur = get dist_root c infinity_len in
+            if d + 1 < cur then Hashtbl.replace dist_root (Bdd.id c) (d + 1)
+          end
+        in
+        relax (Bdd.high n);
+        relax (Bdd.low n))
+      parents_first;
+    let dist_to_one n =
+      match Bdd.view n with
+      | Bdd.True -> 0
+      | Bdd.False -> infinity_len
+      | Bdd.Node _ -> get dist_one n infinity_len
+    in
+    List.iter
+      (fun n ->
+        let d =
+          1 + min (dist_to_one (Bdd.high n)) (dist_to_one (Bdd.low n))
+        in
+        Hashtbl.replace dist_one (Bdd.id n) d)
+      all;
+    let splen n = get dist_root n infinity_len + dist_to_one n in
+    (* choose the largest bound keeping at most [threshold] nodes *)
+    let lens = List.map splen all in
+    let sorted = List.sort compare lens in
+    let shortest = match sorted with [] -> 0 | l :: _ -> l in
+    let bound =
+      let rec pick best count = function
+        | [] -> best
+        | l :: rest ->
+            if count + 1 > threshold then best
+            else pick (max best l) (count + 1) rest
+      in
+      max (pick (-1) 0 sorted) shortest
+      (* always keep at least the shortest paths, even if they overshoot
+         the threshold (CUDD applies a hard limit instead; see mli) *)
+    in
+    let keep n = splen n <= bound in
+    let memo = Hashtbl.create 256 in
+    let rec rebuild n =
+      if Bdd.is_const n then n
+      else if not (keep n) then Bdd.ff man
+      else
+        match Hashtbl.find_opt memo (Bdd.id n) with
+        | Some r -> r
+        | None ->
+            let r =
+              Bdd.mk man ~var:(Bdd.topvar n) ~hi:(rebuild (Bdd.high n))
+                ~lo:(rebuild (Bdd.low n))
+            in
+            Hashtbl.add memo (Bdd.id n) r;
+            r
+    in
+    rebuild f
+  end

@@ -1,0 +1,14 @@
+(** Short-path subsetting (SP) — the second ICCAD'95 underapproximation
+    procedure the paper compares against.
+
+    Keeps the nodes that lie on short root-to-1 paths (short paths are
+    large implicants using few nodes) and redirects every arc into a
+    discarded node to the constant 0. *)
+
+val approximate : Bdd.man -> threshold:int -> Bdd.t -> Bdd.t
+(** [approximate man ~threshold f] returns a subset of [f].  The path-length
+    bound is the largest one that keeps at most [threshold] nodes; when even
+    the shortest paths involve more nodes than the threshold the result may
+    exceed it (CUDD's implementation prunes further with a hard limit — we
+    keep the overshoot to preserve at least one implicant).  Returns [f]
+    unchanged when it already fits. *)

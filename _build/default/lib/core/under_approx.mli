@@ -1,0 +1,18 @@
+(** [bddUnderApprox] (UA) — the original underapproximation algorithm of
+    Shiple et al. that RUA refines (paper Section 2.1.3).
+
+    Only replace-by-0 is used, and a replacement is accepted when a convex
+    combination of the (relative) node savings and minterm loss improves:
+    [α·saved/|f| > (1-α)·lost/||f||].  Not safe: density can decrease. *)
+
+type params = {
+  threshold : int;  (** stop once the estimated size reaches this *)
+  weight : float;  (** α ∈ [0,1]: weight of node savings vs. minterm loss *)
+}
+
+val default : params
+(** [{threshold = 0; weight = 0.5}] — the paper's Table 2 setting
+    (threshold 0). *)
+
+val approximate : Bdd.man -> ?params:params -> Bdd.t -> Bdd.t
+(** [approximate man ~params f] returns an underapproximation of [f]. *)

@@ -1,0 +1,1 @@
+lib/harness/pool.ml: Array Bdd Circuit Compile Generate List Printf Stats

@@ -1,0 +1,1 @@
+lib/harness/pool.mli: Bdd Circuit

@@ -1,0 +1,1 @@
+lib/harness/scoreboard.ml: Array Bdd Decomp List Pool Stats Tables

@@ -1,0 +1,1 @@
+lib/harness/scoreboard.mli: Bdd Decomp Pool

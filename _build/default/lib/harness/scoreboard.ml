@@ -1,0 +1,128 @@
+(* Scoring of approximation and decomposition methods over a function pool,
+   producing the rows of the paper's Tables 2, 3 and 4. *)
+
+type approx_row = {
+  name : string;
+  nodes : float;
+  minterms : float;
+  density : float;
+  wins : int;
+  ties : int;
+}
+
+let approx_table entries methods =
+  let per_method_nodes = Array.make (List.length methods) []
+  and per_method_minterms = Array.make (List.length methods) []
+  and per_method_density = Array.make (List.length methods) [] in
+  let per_instance = ref [] in
+  List.iter
+    (fun { Pool.man; f; nvars; _ } ->
+      let scores =
+        Array.of_list
+          (List.mapi
+             (fun m (_, fn) ->
+               let g = fn man f in
+               let nodes = float_of_int (Bdd.size g) in
+               let minterms = Bdd.count_minterms man g ~nvars in
+               let density = minterms /. max nodes 1. in
+               per_method_nodes.(m) <- nodes :: per_method_nodes.(m);
+               per_method_minterms.(m) <- minterms :: per_method_minterms.(m);
+               per_method_density.(m) <- density :: per_method_density.(m);
+               density)
+             methods)
+      in
+      per_instance := scores :: !per_instance)
+    entries;
+  (* density: higher is better; equality up to a tiny relative tolerance *)
+  let better a b = a >= b -. (1e-9 *. abs_float b) in
+  let wt = Stats.wins_and_ties ~better !per_instance in
+  List.mapi
+    (fun m (name, _) ->
+      let wins, ties = wt.(m) in
+      {
+        name;
+        nodes = Stats.geometric_mean per_method_nodes.(m);
+        minterms = Stats.geometric_mean per_method_minterms.(m);
+        density = Stats.geometric_mean per_method_density.(m);
+        wins;
+        ties;
+      })
+    methods
+
+let approx_headers = [ "Method"; "nodes"; "minterms"; "density"; "wins"; "ties" ]
+
+let approx_rows rows =
+  List.map
+    (fun r ->
+      [
+        r.name;
+        Tables.f1 r.nodes;
+        Tables.sci r.minterms;
+        Tables.sci r.density;
+        Tables.int_ r.wins;
+        Tables.int_ r.ties;
+      ])
+    rows
+
+type decomp_row = {
+  dname : string;
+  shared : float;
+  g_size : float;
+  h_size : float;
+  dwins : int;
+  dties : int;
+}
+
+let decomp_table entries methods =
+  let n = List.length methods in
+  let shared = Array.make n []
+  and gs = Array.make n []
+  and hs = Array.make n [] in
+  let per_instance = ref [] in
+  List.iter
+    (fun { Pool.man; f; _ } ->
+      let scores =
+        Array.of_list
+          (List.mapi
+             (fun m (_, fn) ->
+               let pair = fn man f in
+               shared.(m) <-
+                 float_of_int (Decomp.shared_size pair) :: shared.(m);
+               gs.(m) <- float_of_int (Bdd.size pair.Decomp.g) :: gs.(m);
+               hs.(m) <- float_of_int (Bdd.size pair.Decomp.h) :: hs.(m);
+               (* Table 4 scores by the size of the larger factor *)
+               float_of_int (Decomp.max_size pair))
+             methods)
+      in
+      per_instance := scores :: !per_instance)
+    entries;
+  (* smaller max-factor is better *)
+  let better a b = a <= b +. (1e-9 *. abs_float b) in
+  let wt = Stats.wins_and_ties ~better !per_instance in
+  List.mapi
+    (fun m (dname, _) ->
+      let dwins, dties = wt.(m) in
+      {
+        dname;
+        shared = Stats.geometric_mean shared.(m);
+        g_size = Stats.geometric_mean gs.(m);
+        h_size = Stats.geometric_mean hs.(m);
+        dwins;
+        dties;
+      })
+    methods
+
+let decomp_headers = [ "Method"; "Shared"; "G"; "H"; "wins"; "ties" ]
+
+let decomp_rows rows =
+  List.map
+    (fun r ->
+      [
+        r.dname;
+        Tables.f1 r.shared;
+        Tables.f1 r.g_size;
+        Tables.f1 r.h_size;
+        Tables.int_ r.dwins;
+        Tables.int_ r.dties;
+      ])
+    rows

@@ -1,0 +1,38 @@
+(** Scoring of approximation and decomposition methods over a function
+    pool — the rows of the paper's Tables 2, 3 and 4. *)
+
+type approx_row = {
+  name : string;
+  nodes : float;  (** geometric mean of result sizes *)
+  minterms : float;  (** geometric mean of result minterm counts *)
+  density : float;  (** geometric mean of result densities *)
+  wins : int;  (** instances where the method alone is densest *)
+  ties : int;  (** instances where it shares the best density *)
+}
+
+val approx_table :
+  Pool.entry list ->
+  (string * (Bdd.man -> Bdd.t -> Bdd.t)) list ->
+  approx_row list
+(** Run each method on each pool entry.  Include the identity as ["F"] to
+    reproduce the paper's first row. *)
+
+val approx_headers : string list
+val approx_rows : approx_row list -> string list list
+
+type decomp_row = {
+  dname : string;
+  shared : float;  (** geometric mean shared size of the two factors *)
+  g_size : float;
+  h_size : float;
+  dwins : int;  (** by the size of the larger factor, as in Table 4 *)
+  dties : int;
+}
+
+val decomp_table :
+  Pool.entry list ->
+  (string * (Bdd.man -> Bdd.t -> Decomp.pair)) list ->
+  decomp_row list
+
+val decomp_headers : string list
+val decomp_rows : decomp_row list -> string list list

@@ -1,0 +1,63 @@
+(* Summary statistics for the experiment tables. *)
+
+let geometric_mean xs =
+  match xs with
+  | [] -> nan
+  | _ ->
+      let n = List.length xs in
+      (* sum of logs; zero entries are clamped to keep the mean finite *)
+      let logsum =
+        List.fold_left (fun acc x -> acc +. log (max x 1e-300)) 0. xs
+      in
+      exp (logsum /. float_of_int n)
+
+let arithmetic_mean xs =
+  match xs with
+  | [] -> nan
+  | _ -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let median xs =
+  match List.sort compare xs with
+  | [] -> nan
+  | sorted ->
+      let n = List.length sorted in
+      if n mod 2 = 1 then List.nth sorted (n / 2)
+      else (List.nth sorted ((n / 2) - 1) +. List.nth sorted (n / 2)) /. 2.
+
+(* wins/ties per the paper: a method wins on an instance when it is strictly
+   best alone; it ties when it is best together with others.  [better a b]
+   returns true when a is at least as good as b up to tolerance. *)
+let wins_and_ties ~better per_instance_scores =
+  (* per_instance_scores : score array list, one array per instance, indexed
+     by method *)
+  match per_instance_scores with
+  | [] -> [||]
+  | first :: _ ->
+      let nmethods = Array.length first in
+      let wins = Array.make nmethods 0 and ties = Array.make nmethods 0 in
+      List.iter
+        (fun scores ->
+          let best_count = ref 0 in
+          let is_best = Array.make nmethods false in
+          for m = 0 to nmethods - 1 do
+            let beats_all = ref true in
+            for m' = 0 to nmethods - 1 do
+              if m' <> m && not (better scores.(m) scores.(m')) then
+                beats_all := false
+            done;
+            if !beats_all then begin
+              is_best.(m) <- true;
+              incr best_count
+            end
+          done;
+          Array.iteri
+            (fun m best ->
+              if best then
+                if !best_count = 1 then wins.(m) <- wins.(m) + 1
+                else ties.(m) <- ties.(m) + 1)
+            is_best)
+        per_instance_scores;
+      Array.init nmethods (fun m -> (wins.(m), ties.(m)))
+
+let pct_change ~from_ ~to_ =
+  if from_ = 0. then nan else 100. *. (to_ -. from_) /. from_

@@ -1,0 +1,16 @@
+(** Summary statistics for the experiment tables (the paper reports
+    geometric means and wins/ties). *)
+
+val geometric_mean : float list -> float
+val arithmetic_mean : float list -> float
+val median : float list -> float
+
+val wins_and_ties :
+  better:(float -> float -> bool) -> float array list -> (int * int) array
+(** [wins_and_ties ~better scores] — [scores] holds one array per instance,
+    indexed by method; [better a b] says score [a] is at least as good as
+    [b].  Returns per-method (wins, ties): a win is being strictly best
+    alone on an instance, a tie is sharing the best score (the paper's
+    Tables 2–4 convention). *)
+
+val pct_change : from_:float -> to_:float -> float

@@ -1,0 +1,40 @@
+(* Plain-text table rendering for the benchmark reports. *)
+
+let render ~headers ~rows =
+  let ncols = List.length headers in
+  let widths = Array.make ncols 0 in
+  let measure row =
+    List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row
+  in
+  measure headers;
+  List.iter measure rows;
+  let buf = Buffer.create 256 in
+  let line row =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf cell;
+        Buffer.add_string buf (String.make (widths.(i) - String.length cell) ' '))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  line headers;
+  line (List.init ncols (fun i -> String.make widths.(i) '-'));
+  List.iter line rows;
+  Buffer.contents buf
+
+let print ~headers ~rows = print_string (render ~headers ~rows)
+
+let f1 x =
+  if Float.is_nan x then "-"
+  else if Float.is_integer x && abs_float x < 1e15 then
+    Printf.sprintf "%.1f" x
+  else Printf.sprintf "%.1f" x
+
+let sci x =
+  if Float.is_nan x then "-"
+  else if abs_float x < 1e-200 then "0" (* geometric-mean clamp artifact *)
+  else Printf.sprintf "%.2e" x
+
+let int_ n = string_of_int n
+let secs x = Printf.sprintf "%.2f" x

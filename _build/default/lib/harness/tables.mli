@@ -1,0 +1,15 @@
+(** Plain-text table rendering for benchmark reports. *)
+
+val render : headers:string list -> rows:string list list -> string
+val print : headers:string list -> rows:string list list -> unit
+
+(** Cell formatters. *)
+
+val f1 : float -> string
+(** One decimal, like the paper's node counts. *)
+
+val sci : float -> string
+(** Scientific notation, like the paper's minterm counts. *)
+
+val int_ : int -> string
+val secs : float -> string

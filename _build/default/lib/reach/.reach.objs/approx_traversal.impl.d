@@ -1,0 +1,1 @@
+lib/reach/approx_traversal.ml: Array Bdd Compile Hashtbl List Option Trans

@@ -1,0 +1,1 @@
+lib/reach/approx_traversal.mli: Bdd Compile Trans

@@ -1,0 +1,1 @@
+lib/reach/bfs.ml: Array Bdd Compile Image Sys Trans Traversal

@@ -1,0 +1,1 @@
+lib/reach/bfs.mli: Trans Traversal

@@ -1,0 +1,1 @@
+lib/reach/ctl.ml: Array Bdd Compile List Trans

@@ -1,0 +1,1 @@
+lib/reach/ctl.mli: Bdd Trans

@@ -1,0 +1,1 @@
+lib/reach/high_density.ml: Approx Array Bdd Compile Image Option Sys Trans Traversal

@@ -1,0 +1,1 @@
+lib/reach/high_density.mli: Approx Trans Traversal

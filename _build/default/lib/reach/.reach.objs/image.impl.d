@@ -1,0 +1,1 @@
+lib/reach/image.ml: Array Bdd Compile List Trans

@@ -1,0 +1,1 @@
+lib/reach/image.mli: Bdd Trans

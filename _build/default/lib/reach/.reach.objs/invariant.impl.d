@@ -1,0 +1,1 @@
+lib/reach/invariant.ml: Array Bdd Compile Image List Sys Trans Traversal

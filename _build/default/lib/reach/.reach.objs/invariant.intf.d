@@ -1,0 +1,1 @@
+lib/reach/invariant.mli: Bdd Compile Trans Traversal

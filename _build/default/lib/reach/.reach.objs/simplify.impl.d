@@ -1,0 +1,1 @@
+lib/reach/simplify.ml: Bdd Bfs Compile High_density List Trans Traversal

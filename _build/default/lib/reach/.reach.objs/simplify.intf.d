@@ -1,0 +1,1 @@
+lib/reach/simplify.mli: Bdd Compile

@@ -1,0 +1,1 @@
+lib/reach/trans.ml: Array Bdd Compile Hashtbl List

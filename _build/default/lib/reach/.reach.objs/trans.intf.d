@@ -1,0 +1,1 @@
+lib/reach/trans.mli: Bdd Compile

@@ -1,0 +1,1 @@
+lib/reach/traversal.ml: Bdd Format Reorder

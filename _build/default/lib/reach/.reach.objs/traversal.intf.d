@@ -1,0 +1,1 @@
+lib/reach/traversal.mli: Bdd Format

@@ -1,0 +1,136 @@
+let support_set man f =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun v -> Hashtbl.replace tbl v ()) (Bdd.support man f);
+  tbl
+
+let blocks compiled ~max_block =
+  let man = compiled.Compile.man in
+  let latches = compiled.Compile.latches in
+  let n = Array.length latches in
+  let cur_of = Hashtbl.create 16 in
+  Array.iteri (fun i l -> Hashtbl.replace cur_of l.Compile.cur i) latches;
+  let supports =
+    Array.map (fun l -> support_set man l.Compile.fn) latches
+  in
+  (* affinity: how many of j's current-state variables appear in i's
+     next-state support (symmetrized) *)
+  let affinity i j =
+    let count a b =
+      if Hashtbl.mem supports.(a) latches.(b).Compile.cur then 1 else 0
+    in
+    count i j + count j i
+  in
+  let assigned = Array.make n false in
+  let out = ref [] in
+  for i = 0 to n - 1 do
+    if not assigned.(i) then begin
+      assigned.(i) <- true;
+      let block = ref [ i ] in
+      (* greedily add the most affine unassigned latches *)
+      let rec grow () =
+        if List.length !block < max_block then begin
+          let best = ref (-1) and best_score = ref 0 in
+          for j = 0 to n - 1 do
+            if not assigned.(j) then begin
+              let score =
+                List.fold_left (fun acc k -> acc + affinity j k) 0 !block
+              in
+              if score > !best_score then begin
+                best := j;
+                best_score := score
+              end
+            end
+          done;
+          if !best >= 0 then begin
+            assigned.(!best) <- true;
+            block := !best :: !block;
+            grow ()
+          end
+        end
+      in
+      grow ();
+      out := List.rev !block :: !out
+    end
+  done;
+  List.rev !out
+
+let run ?(max_block = 4) ?(refine = 4) trans =
+  let compiled = trans.Trans.compiled in
+  let man = compiled.Compile.man in
+  let latches = compiled.Compile.latches in
+  let groups = blocks compiled ~max_block in
+  let all_cur = Array.to_list (Compile.cur_vars compiled) in
+  let input_vars = Array.to_list (Compile.input_var_array compiled) in
+  (* per-block machinery *)
+  let block_data =
+    List.map
+      (fun group ->
+        let rel =
+          Bdd.conj man
+            (List.map
+               (fun i ->
+                 let l = latches.(i) in
+                 Bdd.biff man (Bdd.ithvar man l.Compile.next) l.Compile.fn)
+               group)
+        in
+        let block_cur = List.map (fun i -> latches.(i).Compile.cur) group in
+        let init_b =
+          (* projection of the initial states onto the block *)
+          let others =
+            List.filter (fun v -> not (List.mem v block_cur)) all_cur
+          in
+          Bdd.exists man ~vars:(Bdd.cube man others) compiled.Compile.init
+        in
+        let quantify = Bdd.cube man (all_cur @ input_vars) in
+        let rename =
+          let tbl = Hashtbl.create 8 in
+          List.iter
+            (fun i ->
+              Hashtbl.replace tbl latches.(i).Compile.next
+                latches.(i).Compile.cur)
+            group;
+          fun v -> Option.value ~default:v (Hashtbl.find_opt tbl v)
+        in
+        (rel, init_b, quantify, rename))
+      groups
+  in
+  let data = Array.of_list block_data in
+  let reached = Array.map (fun (_, i, _, _) -> i) data in
+  let product () = Bdd.conj man (Array.to_list reached) in
+  (* block-local traversal from the block's initial projection, with the
+     other blocks held inside [constraint_] *)
+  let traverse b constraint_ =
+    let rel, init_b, quantify, rename = data.(b) in
+    let rec fix r =
+      let src = Bdd.band man r constraint_ in
+      let img =
+        Bdd.permute man (Bdd.and_exists man ~vars:quantify rel src) rename
+      in
+      let r' = Bdd.bor man r img in
+      if Bdd.equal r r' then r else fix r'
+    in
+    fix init_b
+  in
+  (* first round: the other blocks are free, so every block's result is a
+     true overapproximation of its projection of the reachable set *)
+  Array.iteri (fun b _ -> reached.(b) <- traverse b (Bdd.tt man)) data;
+  (* refinement: re-traverse each block constrained by the current product.
+     The constraint is an overapproximation of the reachable states, so the
+     result still covers the projection, but it can only shrink. *)
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds < refine do
+    changed := false;
+    incr rounds;
+    Array.iteri
+      (fun b _ ->
+        let r' = traverse b (product ()) in
+        if not (Bdd.equal r' reached.(b)) then begin
+          reached.(b) <- r';
+          changed := true
+        end)
+      data
+  done;
+  product ()
+
+let states trans f = Compile.state_count trans.Trans.compiled f

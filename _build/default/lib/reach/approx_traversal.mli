@@ -1,0 +1,27 @@
+(** Approximate FSM traversal by state-space decomposition (Cho, Hachtel,
+    Macii, Plessier, Somenzi — the paper's reference [7]): the complement
+    of Section 2's underapproximations.  The machine is partitioned into
+    blocks of latches; each block is traversed with the other blocks'
+    state variables treated as free (or constrained to the current
+    estimate), and the product of the per-block reached sets is an
+    {e overapproximation} of the reachable states — cheap to compute and
+    usable as a care set or as a proof that bad states are unreachable. *)
+
+val blocks : Compile.t -> max_block:int -> int list list
+(** Partition the latch indices into blocks of at most [max_block],
+    greedily grouping latches whose next-state functions share
+    current-state support. *)
+
+val run : ?max_block:int -> ?refine:int -> Trans.t -> Bdd.t
+(** Machine-by-machine traversal: every block computes its reached set
+    with the other blocks constrained to the running product
+    (starting from free), and the refinement loop repeats until the
+    product stabilizes or [refine] rounds (default 4) pass.
+    [max_block] defaults to 4 latches per block.
+
+    The result is an overapproximation of the reachable state set, over
+    current-state variables: it contains the initial states and every
+    state reachable from them (property-tested against exact BFS). *)
+
+val states : Trans.t -> Bdd.t -> float
+(** State count of a predicate (convenience re-export). *)

@@ -1,0 +1,64 @@
+let run ?(max_iter = max_int) ?time_limit ?node_limit ?gc_start
+    ?(sift = false) trans =
+  let man = Trans.man trans in
+  let start = Sys.time () in
+  let compiled = trans.Trans.compiled in
+  let maint = Traversal.make_maintenance ?gc_start sift in
+  let trans = ref trans in
+  let init = compiled.Compile.init in
+  let reached = ref init and frontier = ref init in
+  let iterations = ref 0 and images = ref 0 in
+  let peak_live = ref (Bdd.unique_size man) and peak_product = ref 0 in
+  let exact = ref false in
+  let expired () =
+    match time_limit with
+    | Some l -> Sys.time () -. start > l
+    | None -> false
+  in
+  Bdd.set_node_limit man node_limit;
+  let roots () = !reached :: !frontier :: Trans.roots !trans in
+  (* one BFS step; Bdd.Node_limit escapes when the node ceiling is hit *)
+  let step () =
+    let img, stats = Image.image !trans !frontier in
+    incr images;
+    peak_product := max !peak_product stats.Image.peak_product;
+    let fresh = Bdd.bdiff man img !reached in
+    peak_live := max !peak_live (Bdd.unique_size man);
+    if Bdd.is_false fresh then begin
+      exact := true;
+      raise Exit
+    end;
+    reached := Bdd.bor man !reached fresh;
+    frontier := fresh;
+    incr iterations;
+    match Traversal.maintain maint man (roots ()) with
+    | r :: f :: rest ->
+        reached := r;
+        frontier := f;
+        trans := Trans.replace_roots !trans rest
+    | _ -> assert false
+  in
+  (try
+     while !iterations < max_iter && not (expired ()) do
+       try step ()
+       with Bdd.Node_limit -> (
+         (* out of "memory": collect and retry the step once; a second
+            blowup means the frontier genuinely does not fit *)
+         ignore (Bdd.gc man ~roots:(roots ()));
+         try step () with Bdd.Node_limit -> raise Exit)
+     done
+   with Exit -> ());
+  Bdd.set_node_limit man None;
+  {
+    Traversal.reached = !reached;
+    states =
+      Bdd.count_minterms man !reached
+        ~nvars:(Array.length compiled.Compile.latches);
+    iterations = !iterations;
+    images = !images;
+    peak_live_nodes = !peak_live;
+    peak_product = !peak_product;
+    partial_approximations = 0;
+    cpu_seconds = Sys.time () -. start;
+    exact = !exact;
+  }

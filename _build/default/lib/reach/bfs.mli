@@ -1,0 +1,20 @@
+(** Exact breadth-first reachability analysis — the baseline the paper's
+    Table 1 compares high-density traversal against. *)
+
+val run :
+  ?max_iter:int ->
+  ?time_limit:float ->
+  ?node_limit:int ->
+  ?gc_start:int ->
+  ?sift:bool ->
+  Trans.t ->
+  Traversal.result
+(** Least fixpoint of [λR. init ∨ Img(R)] by frontier iteration.
+    [time_limit] (CPU seconds) aborts the run, reporting [exact = false]
+    — the analogue of the paper's "> 2 weeks" entry.  [node_limit] aborts
+    when the live-node count still exceeds the limit after a collection —
+    the analogue of the paper's 256 MB memory ceiling (s1269 needed a 1 GB
+    machine; see DESIGN.md on emulating 1998 resource budgets).  [sift]
+    (default false) enables dynamic variable reordering; it invalidates
+    any BDD of the manager not owned by the traversal, including the
+    compiled circuit functions. *)

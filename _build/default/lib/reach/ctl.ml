@@ -1,0 +1,85 @@
+type formula =
+  | True
+  | False
+  | Atom of Bdd.t
+  | Not of formula
+  | And of formula * formula
+  | Or of formula * formula
+  | Implies of formula * formula
+  | EX of formula
+  | EF of formula
+  | EG of formula
+  | EU of formula * formula
+  | AX of formula
+  | AF of formula
+  | AG of formula
+  | AU of formula * formula
+
+type checker = {
+  man : Bdd.man;
+  compiled : Compile.t;
+  relation : Bdd.t; (* T(x, w, y) *)
+  pre_quantify : Bdd.t; (* cube of y and w *)
+}
+
+let make trans =
+  let compiled = trans.Trans.compiled in
+  let man = compiled.Compile.man in
+  {
+    man;
+    compiled;
+    relation = Trans.monolithic compiled;
+    pre_quantify =
+      Bdd.cube man
+        (Array.to_list (Compile.next_vars compiled)
+        @ Array.to_list (Compile.input_var_array compiled));
+  }
+
+(* EX φ: states with a successor (under some input) satisfying φ *)
+let ex ck phi =
+  let phi_next = Compile.cur_to_next ck.compiled phi in
+  Bdd.and_exists ck.man ~vars:ck.pre_quantify ck.relation phi_next
+
+let rec lfp step z =
+  let z' = step z in
+  if Bdd.equal z z' then z else lfp step z'
+
+let rec sat ck = function
+  | True -> Bdd.tt ck.man
+  | False -> Bdd.ff ck.man
+  | Atom p -> p
+  | Not f -> Bdd.bnot ck.man (sat ck f)
+  | And (f, g) -> Bdd.band ck.man (sat ck f) (sat ck g)
+  | Or (f, g) -> Bdd.bor ck.man (sat ck f) (sat ck g)
+  | Implies (f, g) -> Bdd.bimp ck.man (sat ck f) (sat ck g)
+  | EX f -> ex ck (sat ck f)
+  | EF f ->
+      let p = sat ck f in
+      lfp (fun z -> Bdd.bor ck.man p (ex ck z)) (Bdd.ff ck.man)
+  | EG f ->
+      let p = sat ck f in
+      lfp (fun z -> Bdd.band ck.man p (ex ck z)) (Bdd.tt ck.man)
+  | EU (f, g) ->
+      let p = sat ck f and q = sat ck g in
+      lfp
+        (fun z -> Bdd.bor ck.man q (Bdd.band ck.man p (ex ck z)))
+        (Bdd.ff ck.man)
+  | AX f -> Bdd.bnot ck.man (ex ck (Bdd.bnot ck.man (sat ck f)))
+  | AF f -> sat ck (Not (EG (Not f)))
+  | AG f -> sat ck (Not (EF (Not f)))
+  | AU (f, g) ->
+      (* A(f U g) = ¬(E(¬g U ¬f∧¬g) ∨ EG ¬g) *)
+      sat ck (Not (Or (EU (Not g, And (Not f, Not g)), EG (Not g))))
+
+let holds ck f = Bdd.leq ck.man ck.compiled.Compile.init (sat ck f)
+
+let input_cube ck =
+  Bdd.cube ck.man (Array.to_list (Compile.input_var_array ck.compiled))
+
+let output ck name =
+  let f = List.assoc name ck.compiled.Compile.output_fns in
+  Atom (Bdd.forall ck.man ~vars:(input_cube ck) f)
+
+let output_possibly ck name =
+  let f = List.assoc name ck.compiled.Compile.output_fns in
+  Atom (Bdd.exists ck.man ~vars:(input_cube ck) f)

@@ -1,0 +1,50 @@
+(** CTL model checking over a compiled circuit — together with
+    {!Invariant}, the model-checking client the paper's introduction
+    motivates for its BDD machinery.
+
+    Formulas are interpreted over the total transition system of the
+    circuit (primary inputs are resolved existentially by [EX], so
+    [EX φ] holds in a state when {e some} input drives it into a φ-state,
+    and dually [AX φ] requires {e every} input to).  State predicates
+    range over current-state variables. *)
+
+type formula =
+  | True
+  | False
+  | Atom of Bdd.t  (** predicate over current-state variables *)
+  | Not of formula
+  | And of formula * formula
+  | Or of formula * formula
+  | Implies of formula * formula
+  | EX of formula
+  | EF of formula
+  | EG of formula
+  | EU of formula * formula
+  | AX of formula
+  | AF of formula
+  | AG of formula
+  | AU of formula * formula
+
+type checker
+(** Precomputed transition relation and quantification cubes. *)
+
+val make : Trans.t -> checker
+
+val sat : checker -> formula -> Bdd.t
+(** The set of states satisfying the formula (over the full state space,
+    not just the reachable part), by the standard fixpoint
+    characterizations: [EF φ = μZ. φ ∨ EX Z], [EG φ = νZ. φ ∧ EX Z],
+    [E(φ U ψ) = μZ. ψ ∨ (φ ∧ EX Z)], and the universal operators by
+    duality. *)
+
+val holds : checker -> formula -> bool
+(** Whether every initial state satisfies the formula. *)
+
+val output : checker -> string -> formula
+(** [output ck name]: the atom "output [name] is asserted under every
+    input" (inputs quantified universally, so the atom is a pure state
+    predicate).  @raise Not_found if there is no such output. *)
+
+val output_possibly : checker -> string -> formula
+(** Same with inputs quantified existentially: "some input asserts the
+    output". *)

@@ -1,0 +1,123 @@
+type params = {
+  meth : Approx.meth;
+  threshold : int;
+  quality : float;
+  pimg : (int * int) option;
+}
+
+let default = { meth = Approx.RUA; threshold = 0; quality = 1.0; pimg = None }
+
+exception Out_of_budget
+
+let run ?(max_iter = max_int) ?time_limit ?node_limit ?gc_start
+    ?(sift = false) ?(params = default) trans =
+  let man = Trans.man trans in
+  let start = Sys.time () in
+  let nlatches = Array.length trans.Trans.compiled.Compile.latches in
+  let maint = Traversal.make_maintenance ?gc_start sift in
+  let trans = ref trans in
+  let subset_params m threshold =
+    { Approx.default_params with threshold; quality = params.quality }
+    |> fun p -> Approx.under man ~params:p m
+  in
+  let partial =
+    Option.map
+      (fun (limit, threshold) ->
+        (limit, fun p -> subset_params params.meth threshold p))
+      params.pimg
+  in
+  let init = (!trans).Trans.compiled.Compile.init in
+  let reached = ref init and unexpanded = ref init in
+  let iterations = ref 0 and images = ref 0 in
+  let peak_live = ref (Bdd.unique_size man) and peak_product = ref 0 in
+  let papprox = ref 0 in
+  let expired () =
+    match time_limit with
+    | Some l -> Sys.time () -. start > l
+    | None -> false
+  in
+  Bdd.set_node_limit man node_limit;
+  let roots () = !reached :: !unexpanded :: Trans.roots !trans in
+  let step () =
+    let dense =
+      (* below the size target the methods return their input unchanged;
+         skip the pass *)
+      if params.threshold > 0 && Bdd.size !unexpanded <= params.threshold
+      then !unexpanded
+      else subset_params params.meth params.threshold !unexpanded
+    in
+    let dense = if Bdd.is_false dense then !unexpanded else dense in
+    let img, stats = Image.image ?partial !trans dense in
+    incr images;
+    peak_product := max !peak_product stats.Image.peak_product;
+    papprox := !papprox + stats.Image.approximations;
+    let fresh = Bdd.bdiff man img !reached in
+    reached := Bdd.bor man !reached fresh;
+    unexpanded := Bdd.bor man (Bdd.bdiff man !unexpanded dense) fresh;
+    incr iterations;
+    peak_live := max !peak_live (Bdd.unique_size man);
+    match Traversal.maintain maint man (roots ()) with
+    | r :: u :: rest ->
+        reached := r;
+        unexpanded := u;
+        trans := Trans.replace_roots !trans rest
+    | _ -> assert false
+  in
+  (* run a step under the node ceiling: collect and retry once on a
+     blowup, give up on the second *)
+  let guarded_step () =
+    try step ()
+    with Bdd.Node_limit -> (
+      ignore (Bdd.gc man ~roots:(roots ()));
+      try step () with Bdd.Node_limit -> raise Out_of_budget)
+  in
+  let expand_round () =
+    try
+      while
+        (not (Bdd.is_false !unexpanded))
+        && !iterations < max_iter
+        && not (expired ())
+      do
+        guarded_step ()
+      done;
+      true
+    with Out_of_budget -> false
+  in
+  let in_budget = expand_round () in
+  (* partial images may have dropped successors: certify closure with an
+     exact image of the result, and resume if states were missed *)
+  let exact = ref (in_budget && Bdd.is_false !unexpanded) in
+  if params.pimg <> None && !exact then begin
+    let closure_image () =
+      try Some (fst (Image.image !trans !reached))
+      with Bdd.Node_limit -> None
+    in
+    let rec closure () =
+      if !iterations >= max_iter || expired () then exact := false
+      else
+        match closure_image () with
+        | None -> exact := false
+        | Some img ->
+            incr images;
+            let missed = Bdd.bdiff man img !reached in
+            if Bdd.is_false missed then exact := true
+            else begin
+              unexpanded := missed;
+              reached := Bdd.bor man !reached missed;
+              if expand_round () then closure () else exact := false
+            end
+    in
+    closure ()
+  end;
+  Bdd.set_node_limit man None;
+  {
+    Traversal.reached = !reached;
+    states = Bdd.count_minterms man !reached ~nvars:nlatches;
+    iterations = !iterations;
+    images = !images;
+    peak_live_nodes = !peak_live;
+    peak_product = !peak_product;
+    partial_approximations = !papprox;
+    cpu_seconds = Sys.time () -. start;
+    exact = !exact;
+  }

@@ -1,0 +1,76 @@
+type outcome =
+  | Holds of Traversal.result
+  | Violated of { depth : int; trace : (int * bool) list list }
+
+(* restrict a satisfying path to current-state variables, completing the
+   unmentioned latches with [false] so the trace shows full states *)
+let state_cube man compiled f =
+  let lits = Bdd.any_sat man f in
+  let cur = Array.to_list (Compile.cur_vars compiled) in
+  List.map
+    (fun v ->
+      match List.assoc_opt v lits with Some b -> (v, b) | None -> (v, false))
+    cur
+
+let check ?(max_iter = max_int) trans ~bad =
+  let man = Trans.man trans in
+  let compiled = trans.Trans.compiled in
+  let init = compiled.Compile.init in
+  let start = Sys.time () in
+  (* breadth-first rings; ring 0 = init *)
+  let rec forward rings reached frontier iterations images peak =
+    let hit = Bdd.band man frontier bad in
+    if not (Bdd.is_false hit) then `Hit (List.rev rings, iterations)
+    else if iterations >= max_iter then `Bound (reached, iterations, images, peak)
+    else begin
+      let img, stats = Image.image trans frontier in
+      let fresh = Bdd.bdiff man img reached in
+      if Bdd.is_false fresh then `Fix (reached, iterations, images + 1, peak)
+      else
+        forward (fresh :: rings)
+          (Bdd.bor man reached fresh)
+          fresh (iterations + 1) (images + 1)
+          (max peak stats.Image.peak_product)
+    end
+  in
+  match forward [ init ] init init 0 0 0 with
+  | `Fix (reached, iterations, images, peak) | `Bound (reached, iterations, images, peak)
+    ->
+      Holds
+        {
+          Traversal.reached;
+          states =
+            Bdd.count_minterms man reached
+              ~nvars:(Array.length compiled.Compile.latches);
+          iterations;
+          images;
+          peak_live_nodes = Bdd.unique_size man;
+          peak_product = peak;
+          partial_approximations = 0;
+          cpu_seconds = Sys.time () -. start;
+          exact = true;
+        }
+  | `Hit (rings, depth) ->
+      (* rings = [ring0; ring1; …; ring_depth]; walk backwards from a bad
+         state in the last ring through preimages *)
+      let rings = Array.of_list rings in
+      let last = Array.length rings - 1 in
+      let target = ref (Bdd.band man rings.(last) bad) in
+      let states = ref [] in
+      for k = last downto 0 do
+        let here = Bdd.band man !target rings.(k) in
+        let here = if Bdd.is_false here then !target else here in
+        let cube = state_cube man compiled here in
+        states := cube :: !states;
+        if k > 0 then begin
+          let point = Bdd.cube_of_literals man cube in
+          target := Bdd.band man (Image.preimage trans point) rings.(k - 1)
+        end
+      done;
+      Violated { depth; trace = !states }
+
+let output_never compiled name =
+  let out = List.assoc name compiled.Compile.output_fns in
+  let man = compiled.Compile.man in
+  let inputs = Bdd.cube man (Array.to_list (Compile.input_var_array compiled)) in
+  Bdd.exists man ~vars:inputs out

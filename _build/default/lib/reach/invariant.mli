@@ -1,0 +1,28 @@
+(** Invariant checking on top of the reachability engines — the kind of
+    client the paper's introduction motivates (symbolic model checking of
+    safety properties).
+
+    [check] decides whether any state satisfying [bad] is reachable.  When
+    it is, a minimal-length counterexample trace is reconstructed from the
+    breadth-first onion rings by walking preimages backwards. *)
+
+type outcome =
+  | Holds of Traversal.result
+      (** no bad state is reachable; the traversal statistics are those of
+          the exact fixpoint computation *)
+  | Violated of {
+      depth : int;  (** steps from the initial state *)
+      trace : (int * bool) list list;
+          (** one state per step as current-state-variable literals,
+              beginning at the initial state and ending in [bad] *)
+    }
+
+val check : ?max_iter:int -> Trans.t -> bad:Bdd.t -> outcome
+(** [check trans ~bad] — [bad] is a predicate over current-state
+    variables.  Runs breadth-first (rings are needed for trace
+    reconstruction), stopping as soon as [bad] is hit. *)
+
+val output_never : Compile.t -> string -> Bdd.t
+(** [output_never compiled name] builds the bad-state predicate "output
+    [name] can be asserted under some input", i.e. [∃ inputs. out].
+    @raise Not_found if there is no such output. *)

@@ -1,0 +1,29 @@
+let minimize_one man care f =
+  let g = Bdd.restrict man f care in
+  if Bdd.size g < Bdd.size f then g else f
+
+let with_care_set compiled ~care =
+  let man = compiled.Compile.man in
+  if Bdd.is_false care then invalid_arg "Simplify.with_care_set: empty care";
+  let roots = Compile.roots compiled in
+  match roots with
+  | init :: rest ->
+      Compile.with_roots compiled
+        (init :: List.map (minimize_one man care) rest)
+  | [] -> compiled
+
+let with_reachable ?(engine = `Bfs) compiled =
+  let trans = Trans.build compiled in
+  let result =
+    match engine with
+    | `Bfs -> Bfs.run trans
+    | `Hd -> High_density.run trans
+  in
+  let reached = result.Traversal.reached in
+  (with_care_set compiled ~care:reached, reached)
+
+let total_size compiled =
+  (* skip the initial-state cube: only the functional roots matter *)
+  match Compile.roots compiled with
+  | _init :: fns -> Bdd.shared_size fns
+  | [] -> 0

@@ -1,0 +1,23 @@
+(** Don't-care minimization of a compiled circuit against its reachable
+    states — the original use of the {e restrict} operator the paper
+    builds on (Coudert–Madre): unreachable states are don't-cares, so every
+    next-state and output function may be freely rewritten outside the
+    reached set, usually shrinking the BDDs. *)
+
+val with_care_set : Compile.t -> care:Bdd.t -> Compile.t
+(** Rewrite every next-state and output function [f] as
+    [Bdd.restrict f care] — each result agrees with the original wherever
+    [care] holds (guarded to never grow: the original is kept when
+    restrict backfires).  [care] ranges over current-state variables and
+    must not be empty. *)
+
+val with_reachable : ?engine:[ `Bfs | `Hd ] -> Compile.t -> Compile.t * Bdd.t
+(** Compute the reachable states (default engine [`Bfs]) and minimize
+    against them.  Returns the minimized circuit and the reached set.
+    The minimized machine has exactly the same behaviour from the initial
+    states: its reachable set and the restriction of every function to the
+    reached states are unchanged (property-tested). *)
+
+val total_size : Compile.t -> int
+(** Shared size of all next-state and output functions (for before/after
+    comparisons). *)

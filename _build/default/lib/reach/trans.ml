@@ -1,0 +1,124 @@
+type cluster = { rel : Bdd.t; quantify : Bdd.t }
+
+type t = {
+  compiled : Compile.t;
+  clusters : cluster list;
+  frontier_quantify : Bdd.t;
+}
+
+let man t = t.compiled.Compile.man
+
+(* variables to be quantified during image computation: x and w *)
+let quantifiable compiled =
+  let tbl = Hashtbl.create 64 in
+  Array.iter (fun v -> Hashtbl.replace tbl v ()) (Compile.cur_vars compiled);
+  Array.iter
+    (fun v -> Hashtbl.replace tbl v ())
+    (Compile.input_var_array compiled);
+  tbl
+
+(* Given ordered relation parts, group them into clusters and attach the
+   early-quantification schedule. *)
+let schedule compiled parts =
+  let man = compiled.Compile.man in
+  let quantifiable = quantifiable compiled in
+  (* for each variable, the index of the last cluster mentioning it *)
+  let last_use = Hashtbl.create 64 in
+  List.iteri
+    (fun j rel ->
+      List.iter
+        (fun v ->
+          if Hashtbl.mem quantifiable v then Hashtbl.replace last_use v j)
+        (Bdd.support man rel))
+    parts;
+  let nclusters = List.length parts in
+  let vars_at = Array.make (max 1 nclusters) [] in
+  Hashtbl.iter (fun v j -> vars_at.(j) <- v :: vars_at.(j)) last_use;
+  let clusters =
+    List.mapi
+      (fun j rel -> { rel; quantify = Bdd.cube man vars_at.(j) })
+      parts
+  in
+  let unused =
+    Hashtbl.fold
+      (fun v () acc -> if Hashtbl.mem last_use v then acc else v :: acc)
+      quantifiable []
+  in
+  { compiled; clusters; frontier_quantify = Bdd.cube man unused }
+
+let build ?(cluster_limit = 2000) ?(part_order = `Support) compiled =
+  let man = compiled.Compile.man in
+  let parts =
+    Array.to_list
+      (Array.map
+         (fun l ->
+           Bdd.biff man (Bdd.ithvar man l.Compile.next) l.Compile.fn)
+         compiled.Compile.latches)
+  in
+  let parts =
+    match part_order with
+    | `Declaration -> parts
+    | `Support ->
+        (* order the relation parts so that variables can be quantified as
+           early as possible: parts whose present-state/input support sits
+           highest in the order go first (an IWLS'95-style heuristic) *)
+        let quantifiable = quantifiable compiled in
+        let key rel =
+          let levels =
+            List.filter_map
+              (fun v ->
+                if Hashtbl.mem quantifiable v then
+                  Some (Bdd.level_of_var man v)
+                else None)
+              (Bdd.support man rel)
+          in
+          match levels with
+          | [] -> (max_int, max_int)
+          | ls ->
+              ( List.fold_left max min_int ls (* deepest support var *),
+                List.fold_left min max_int ls )
+        in
+        List.stable_sort (fun a b -> compare (key a) (key b)) parts
+  in
+  (* greedy clustering in latch order *)
+  let rec clump acc cur = function
+    | [] -> List.rev (match cur with None -> acc | Some c -> c :: acc)
+    | p :: rest -> (
+        match cur with
+        | None -> clump acc (Some p) rest
+        | Some c ->
+            let merged = Bdd.band man c p in
+            if Bdd.size merged <= cluster_limit then clump acc (Some merged) rest
+            else clump (c :: acc) (Some p) rest)
+  in
+  schedule compiled (clump [] None parts)
+
+let monolithic compiled =
+  let man = compiled.Compile.man in
+  Array.fold_left
+    (fun acc l ->
+      Bdd.band man acc (Bdd.biff man (Bdd.ithvar man l.Compile.next) l.Compile.fn))
+    (Bdd.tt man) compiled.Compile.latches
+
+let roots t =
+  Compile.roots t.compiled
+  @ t.frontier_quantify
+    :: List.concat_map (fun c -> [ c.rel; c.quantify ]) t.clusters
+
+let replace_roots t roots =
+  let ncompiled = List.length (Compile.roots t.compiled) in
+  let compiled_roots = List.filteri (fun i _ -> i < ncompiled) roots in
+  let rest = List.filteri (fun i _ -> i >= ncompiled) roots in
+  let compiled = Compile.with_roots t.compiled compiled_roots in
+  match rest with
+  | frontier_quantify :: rest ->
+      let rec pair = function
+        | rel :: quantify :: more -> { rel; quantify } :: pair more
+        | [] -> []
+        | [ _ ] -> invalid_arg "Trans.replace_roots: odd list"
+      in
+      let clusters = pair rest in
+      if List.length clusters <> List.length t.clusters then
+        invalid_arg "Trans.replace_roots: length mismatch";
+      { compiled; clusters; frontier_quantify }
+  | [] -> invalid_arg "Trans.replace_roots: empty list"

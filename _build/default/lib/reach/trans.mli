@@ -1,0 +1,45 @@
+(** Partitioned transition relations with early-quantification schedules
+    (the paper's reachability substrate; cf. its refs [3, 10, 22, 28]).
+
+    The relation is kept as an ordered list of clusters
+    [T(x, w, y) = ∧ C_j]; each cluster carries the cube of present-state
+    and input variables that can be quantified immediately after it is
+    conjoined during image computation (because they appear in no later
+    cluster). *)
+
+type cluster = {
+  rel : Bdd.t;
+  quantify : Bdd.t;  (** cube of x/w variables dead after this cluster *)
+}
+
+type t = {
+  compiled : Compile.t;
+  clusters : cluster list;
+  frontier_quantify : Bdd.t;
+      (** x/w variables appearing in no cluster at all (quantified from the
+          source set up front) *)
+}
+
+val build :
+  ?cluster_limit:int ->
+  ?part_order:[ `Declaration | `Support ] ->
+  Compile.t ->
+  t
+(** Conjoin per-latch relations [y_i ≡ δ_i] greedily into clusters of at
+    most [cluster_limit] nodes (default 2000), then compute the
+    quantification schedule.  [part_order] (default [`Support]) orders the
+    parts before clustering so that variables can be quantified as early
+    as possible — parts whose support lies highest in the variable order
+    come first (an IWLS'95-style heuristic); [`Declaration] keeps latch
+    declaration order. *)
+
+val monolithic : Compile.t -> Bdd.t
+(** The full relation as one BDD (for tests and small machines). *)
+
+val man : t -> Bdd.man
+val roots : t -> Bdd.t list
+(** Every BDD the structure owns — for reordering and GC. *)
+
+val replace_roots : t -> Bdd.t list -> t
+(** Rebuild the structure from the list produced by {!Bdd.reorder} applied
+    to [roots t] (same length and order). *)

@@ -1,0 +1,45 @@
+(* Shared result record and maintenance hooks for the traversal engines. *)
+
+type result = {
+  reached : Bdd.t;  (* over present-state variables *)
+  states : float;  (* number of reachable states *)
+  iterations : int;
+  images : int;  (* image computations performed *)
+  peak_live_nodes : int;  (* high-water mark of the unique table *)
+  peak_product : int;  (* largest intermediate image product *)
+  partial_approximations : int;  (* times a product was subsetted *)
+  cpu_seconds : float;
+  exact : bool;  (* the full fixpoint was provably reached *)
+}
+
+let pp fmt r =
+  Format.fprintf fmt
+    "states=%.6g iters=%d images=%d peak=%d product=%d papprox=%d time=%.2fs%s"
+    r.states r.iterations r.images r.peak_live_nodes r.peak_product
+    r.partial_approximations r.cpu_seconds
+    (if r.exact then "" else " (INCOMPLETE)")
+
+(* Maintenance: collect garbage when the table grows too large, and
+   optionally re-sift the variable order.  Returns the (possibly rebuilt)
+   traversal roots; the caller must unpack them in order. *)
+type maintenance = {
+  mutable gc_at : int;
+  mutable sift_at : int;
+  sift_enabled : bool;
+}
+
+let make_maintenance ?(gc_start = 200_000) ?(sift_start = 50_000) sift_enabled
+    =
+  { gc_at = gc_start; sift_at = sift_start; sift_enabled }
+
+let maintain m man roots =
+  let roots = ref roots in
+  if m.sift_enabled && Bdd.shared_size !roots > m.sift_at then begin
+    roots := Reorder.sift man ~max_vars:10 !roots;
+    m.sift_at <- 2 * Bdd.shared_size !roots + m.sift_at
+  end;
+  if Bdd.unique_size man > m.gc_at then begin
+    ignore (Bdd.gc man ~roots:!roots);
+    m.gc_at <- max m.gc_at (2 * Bdd.unique_size man)
+  end;
+  !roots

@@ -1,0 +1,35 @@
+(** Shared result record and maintenance hooks for the traversal engines
+    ({!Bfs} and {!High_density}). *)
+
+type result = {
+  reached : Bdd.t;  (** the reached set, over present-state variables *)
+  states : float;  (** number of states in [reached] *)
+  iterations : int;
+  images : int;  (** image computations performed *)
+  peak_live_nodes : int;  (** high-water mark of the unique table *)
+  peak_product : int;  (** largest intermediate image product *)
+  partial_approximations : int;  (** times a product was subsetted (PImg) *)
+  cpu_seconds : float;
+  exact : bool;
+      (** the full fixpoint was provably computed; [false] after hitting an
+          iteration, time or node budget *)
+}
+
+val pp : Format.formatter -> result -> unit
+
+(** {1 Maintenance}
+
+    Garbage collection and optional re-sifting between iterations.  The
+    traversal passes in every root it owns and unpacks the returned list in
+    the same order (reordering rebuilds the roots). *)
+
+type maintenance
+
+val make_maintenance :
+  ?gc_start:int -> ?sift_start:int -> bool -> maintenance
+(** [make_maintenance sift_enabled] — collection starts once the unique
+    table passes [gc_start] (default 200k) nodes and re-arms at twice the
+    live size; sifting (when enabled) triggers at [sift_start] (default
+    50k) shared root nodes. *)
+
+val maintain : maintenance -> Bdd.man -> Bdd.t list -> Bdd.t list

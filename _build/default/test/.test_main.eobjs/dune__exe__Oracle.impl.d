@@ -1,0 +1,1 @@
+test/oracle.ml: Array Bdd Format Fun List Stdlib

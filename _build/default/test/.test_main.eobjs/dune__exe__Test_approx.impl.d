@@ -1,0 +1,1 @@
+test/test_approx.ml: Alcotest Approx Bdd Compound Heavy_branch List Minimize Option QCheck QCheck_alcotest Remap Short_paths Tgen Under_approx

@@ -1,0 +1,1 @@
+test/test_approx_traversal.ml: Alcotest Approx_traversal Array Bdd Bfs Circuit Compile Generate List Printf QCheck QCheck_alcotest Trans Traversal

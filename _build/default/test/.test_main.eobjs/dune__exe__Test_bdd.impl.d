@@ -1,0 +1,1 @@
+test/test_bdd.ml: Alcotest Array Bdd Fun Hashtbl List Oracle QCheck QCheck_alcotest Reorder Tgen

@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Array Bdd Blif Circuit Compile Generate Hashtbl List Option Printf QCheck QCheck_alcotest Sim String

@@ -1,0 +1,1 @@
+test/test_ctl.ml: Alcotest Array Bdd Circuit Compile Ctl Generate Hashtbl List QCheck QCheck_alcotest Sim Trans

@@ -1,0 +1,1 @@
+test/test_decomp.ml: Alcotest Bdd Decomp Decomp_points List Mcmillan Printf QCheck QCheck_alcotest Tgen

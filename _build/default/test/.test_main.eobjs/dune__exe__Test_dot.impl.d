@@ -1,0 +1,1 @@
+test/test_dot.ml: Alcotest Bdd Dot Filename String Sys

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Array Bdd Decomp Decomp_points Float Gen Generate List Pool QCheck QCheck_alcotest Remap Scoreboard Stats String Tables

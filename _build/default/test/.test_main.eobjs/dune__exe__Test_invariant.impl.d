@@ -1,0 +1,1 @@
+test/test_invariant.ml: Alcotest Array Bdd Circuit Compile Generate Hashtbl Invariant List QCheck QCheck_alcotest Sim Trans Traversal

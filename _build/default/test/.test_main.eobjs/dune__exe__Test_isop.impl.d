@@ -1,0 +1,1 @@
+test/test_isop.ml: Alcotest Bdd Isop List QCheck QCheck_alcotest Tgen

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Approx Array Bdd Bfs Compile Generate List Printf Reorder String Tables Trans Traversal

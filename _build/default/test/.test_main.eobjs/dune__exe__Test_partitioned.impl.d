@@ -1,0 +1,1 @@
+test/test_partitioned.ml: Alcotest Bdd Generate List Partitioned Pool QCheck QCheck_alcotest Tgen

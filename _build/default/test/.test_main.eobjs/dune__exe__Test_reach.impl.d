@@ -1,0 +1,1 @@
+test/test_reach.ml: Alcotest Approx Array Bdd Bfs Circuit Compile Generate Hashtbl High_density Image List Printf Sim Trans Traversal

@@ -1,0 +1,1 @@
+test/test_simplify.ml: Alcotest Array Bdd Bfs Circuit Compile Generate Hashtbl List Printf Sim Simplify Trans Traversal

@@ -1,0 +1,1 @@
+test/tgen.ml: Array Bdd Format Fun List Oracle QCheck Random

@@ -1,0 +1,93 @@
+(* Truth-table reference semantics for testing the BDD engine.
+
+   A function of [n] variables (n small) is an array of 2^n booleans indexed
+   by assignments encoded as bit vectors: bit i of the index is the value of
+   variable i. *)
+
+type t = { n : int; bits : bool array }
+
+let create n f =
+  { n;
+    bits = Array.init (1 lsl n) (fun idx -> f (fun v -> idx land (1 lsl v) <> 0))
+  }
+
+let const n b = { n; bits = Array.make (1 lsl n) b }
+let var n v = create n (fun asg -> asg v)
+let eval o asg = o.bits.(asg)
+
+let map2 fn a b =
+  assert (a.n = b.n);
+  { n = a.n; bits = Array.init (1 lsl a.n) (fun i -> fn a.bits.(i) b.bits.(i)) }
+
+let not_ a = { a with bits = Array.map not a.bits }
+let and_ = map2 ( && )
+let or_ = map2 ( || )
+let xor_ = map2 ( <> )
+let imp = map2 (fun x y -> (not x) || y)
+
+let ite f g h =
+  assert (f.n = g.n && g.n = h.n);
+  { n = f.n;
+    bits =
+      Array.init (1 lsl f.n) (fun i ->
+          if f.bits.(i) then g.bits.(i) else h.bits.(i))
+  }
+
+let equal a b = a.n = b.n && a.bits = b.bits
+let leq a b = Array.for_all Fun.id (map2 (fun x y -> (not x) || y) a b).bits
+let count a = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 a.bits
+
+(* Shannon cofactor of variable [v] set to [b]. *)
+let cofactor a v b =
+  { a with
+    bits =
+      Array.init (1 lsl a.n) (fun i ->
+          let i' =
+            if b then i lor (1 lsl v) else i land Stdlib.lnot (1 lsl v)
+          in
+          a.bits.(i'))
+  }
+
+let exists a vs =
+  List.fold_left (fun a v -> or_ (cofactor a v true) (cofactor a v false)) a vs
+
+let forall a vs =
+  List.fold_left (fun a v -> and_ (cofactor a v true) (cofactor a v false)) a vs
+
+(* Substitute [v := g] in [f]. *)
+let compose f v g =
+  assert (f.n = g.n);
+  { n = f.n;
+    bits =
+      Array.init (1 lsl f.n) (fun i ->
+          let i' =
+            if g.bits.(i) then i lor (1 lsl v)
+            else i land Stdlib.lnot (1 lsl v)
+          in
+          f.bits.(i'))
+  }
+
+(* [rename f p]: the function g with g(asg) = f(v ↦ asg(p v)), matching
+   Bdd.permute. *)
+let rename f p =
+  create f.n (fun asg ->
+      let idx = ref 0 in
+      for v = 0 to f.n - 1 do
+        if asg (p v) then idx := !idx lor (1 lsl v)
+      done;
+      eval f !idx)
+
+(* Conversions to and from BDDs (manager must have ≥ n variables). *)
+
+let to_bdd man o =
+  (* Shannon expansion over variables in index order *)
+  let rec build v idx =
+    if v = o.n then if o.bits.(idx) then Bdd.tt man else Bdd.ff man
+    else
+      let hi = build (v + 1) (idx lor (1 lsl v)) and lo = build (v + 1) idx in
+      Bdd.ite man (Bdd.ithvar man v) hi lo
+  in
+  build 0 0
+
+let of_bdd man n f = create n (fun asg -> Bdd.eval man f asg)
+let pp fmt o = Format.fprintf fmt "{n=%d; ones=%d}" o.n (count o)

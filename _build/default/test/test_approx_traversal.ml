@@ -1,0 +1,79 @@
+(* Tests for the approximate (overapproximating) traversal. *)
+
+let qtest ?(count = 40) name prop_arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name prop_arb prop)
+
+let over_contains_exact c =
+  let compiled = Compile.compile c in
+  let man = compiled.Compile.man in
+  let trans = Trans.build compiled in
+  let over = Approx_traversal.run trans in
+  let exact = (Bfs.run trans).Traversal.reached in
+  Bdd.leq man exact over && Bdd.leq man compiled.Compile.init over
+
+let test_over_small_machines () =
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) (Circuit.name c) true (over_contains_exact c))
+    [
+      Generate.counter ~bits:5;
+      Generate.ring ~bits:6;
+      Generate.johnson ~bits:5;
+      Generate.lfsr ~bits:6;
+      Generate.fifo_controller ~depth:6;
+      Generate.traffic_light ();
+      Generate.microsequencer ~addr_bits:3 ~stack_depth:2;
+      Generate.handshake_pipeline ~stages:4;
+    ]
+
+let test_blocks_partition () =
+  let c = Generate.microsequencer ~addr_bits:3 ~stack_depth:2 in
+  let compiled = Compile.compile c in
+  let n = Array.length compiled.Compile.latches in
+  let groups = Approx_traversal.blocks compiled ~max_block:3 in
+  (* every latch exactly once, block sizes bounded *)
+  let seen = Array.make n 0 in
+  List.iter
+    (fun g ->
+      Alcotest.(check bool) "size bound" true (List.length g <= 3);
+      List.iter (fun i -> seen.(i) <- seen.(i) + 1) g)
+    groups;
+  Array.iteri
+    (fun i k -> Alcotest.(check int) (Printf.sprintf "latch %d" i) 1 k)
+    seen
+
+let test_exact_when_one_block () =
+  (* with a block big enough for the whole machine, the "approximation"
+     is the exact reached set *)
+  let c = Generate.johnson ~bits:4 in
+  let compiled = Compile.compile c in
+  let trans = Trans.build compiled in
+  let over = Approx_traversal.run ~max_block:16 trans in
+  let exact = (Bfs.run trans).Traversal.reached in
+  Alcotest.(check bool) "equal" true (Bdd.equal over exact)
+
+let test_refinement_shrinks () =
+  let c = Generate.microsequencer ~addr_bits:3 ~stack_depth:2 in
+  let trans = Trans.build (Compile.compile c) in
+  let loose = Approx_traversal.run ~refine:0 trans in
+  let trans = Trans.build (Compile.compile c) in
+  let tight = Approx_traversal.run ~refine:4 trans in
+  let man = Trans.man trans in
+  Alcotest.(check bool) "tight ⊆ loose" true (Bdd.leq man tight loose)
+
+let prop_random_controllers_over =
+  qtest "overapproximation contains the exact reached set"
+    QCheck.(int_range 1 300)
+    (fun seed ->
+      over_contains_exact (Generate.dense_controller ~latches:9 ~seed))
+
+let tests =
+  ( "approx_traversal",
+    [
+      Alcotest.test_case "small machines" `Quick test_over_small_machines;
+      Alcotest.test_case "blocks partition" `Quick test_blocks_partition;
+      Alcotest.test_case "single block is exact" `Quick
+        test_exact_when_one_block;
+      Alcotest.test_case "refinement shrinks" `Quick test_refinement_shrinks;
+      prop_random_controllers_over;
+    ] )

@@ -1,0 +1,472 @@
+(* Unit and property tests for the BDD engine. *)
+
+let nvars = 6
+let arb = Tgen.arbitrary_expr ~nvars ~depth:6
+
+let qtest ?(count = 300) name prop_arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name prop_arb prop)
+
+let check_same man f o =
+  Oracle.equal (Oracle.of_bdd man nvars f) o
+
+(* ------------------------------------------------------------------ *)
+(* Unit tests                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_constants () =
+  let man = Bdd.create () in
+  Alcotest.(check bool) "tt is true" true (Bdd.is_true (Bdd.tt man));
+  Alcotest.(check bool) "ff is false" true (Bdd.is_false (Bdd.ff man));
+  Alcotest.(check bool) "tt <> ff" false (Bdd.equal (Bdd.tt man) (Bdd.ff man));
+  Alcotest.(check int) "|tt| = 0" 0 (Bdd.size (Bdd.tt man));
+  Alcotest.(check int) "ff id" 0 (Bdd.id (Bdd.ff man));
+  Alcotest.(check int) "tt id" 1 (Bdd.id (Bdd.tt man))
+
+let test_var_structure () =
+  let man = Bdd.create () in
+  let x = Bdd.ithvar man 0 in
+  Alcotest.(check int) "topvar" 0 (Bdd.topvar x);
+  Alcotest.(check bool) "hi = tt" true (Bdd.is_true (Bdd.high x));
+  Alcotest.(check bool) "lo = ff" true (Bdd.is_false (Bdd.low x));
+  Alcotest.(check int) "|x| = 1" 1 (Bdd.size x);
+  let x' = Bdd.ithvar man 0 in
+  Alcotest.(check bool) "hash-consed" true (Bdd.equal x x');
+  let nx = Bdd.nithvar man 0 in
+  Alcotest.(check bool) "nithvar = bnot" true
+    (Bdd.equal nx (Bdd.bnot man x))
+
+let test_const_accessors_raise () =
+  let man = Bdd.create () in
+  Alcotest.check_raises "topvar tt" (Invalid_argument "Bdd.topvar: constant")
+    (fun () -> ignore (Bdd.topvar (Bdd.tt man)));
+  Alcotest.check_raises "high ff" (Invalid_argument "Bdd.high: constant")
+    (fun () -> ignore (Bdd.high (Bdd.ff man)))
+
+let test_mk_checks_order () =
+  let man = Bdd.create ~nvars:3 () in
+  let x2 = Bdd.ithvar man 2 in
+  (* building a node for var 2 whose child is labelled by var 2 *)
+  Alcotest.check_raises "mk bad order"
+    (Invalid_argument "Bdd.mk: children must lie below the variable")
+    (fun () -> ignore (Bdd.mk man ~var:2 ~hi:x2 ~lo:(Bdd.ff man)));
+  let n = Bdd.mk man ~var:0 ~hi:x2 ~lo:(Bdd.ff man) in
+  Alcotest.(check int) "mk ok" 0 (Bdd.topvar n)
+
+let test_parity_size () =
+  let man = Bdd.create ~nvars:8 () in
+  let parity =
+    List.fold_left
+      (fun acc v -> Bdd.bxor man acc (Bdd.ithvar man v))
+      (Bdd.ff man)
+      (List.init 8 Fun.id)
+  in
+  (* without complement arcs the parity of n variables takes 2n-1 nodes *)
+  Alcotest.(check int) "|parity8| = 15" 15 (Bdd.size parity);
+  Alcotest.(check (float 1e-9)) "weight 1/2" 0.5 (Bdd.weight man parity)
+
+let test_majority () =
+  let man = Bdd.create ~nvars:3 () in
+  let v i = Bdd.ithvar man i in
+  let maj =
+    Bdd.disj man
+      [ Bdd.band man (v 0) (v 1); Bdd.band man (v 0) (v 2); Bdd.band man (v 1) (v 2) ]
+  in
+  Alcotest.(check int) "|maj3| = 4" 4 (Bdd.size maj);
+  Alcotest.(check (float 1e-9)) "||maj3|| = 4" 4.0
+    (Bdd.count_minterms man maj ~nvars:3)
+
+let test_cube () =
+  let man = Bdd.create ~nvars:4 () in
+  let c = Bdd.cube man [ 2; 0 ] in
+  Alcotest.(check int) "|cube| = 2" 2 (Bdd.size c);
+  Alcotest.(check (float 1e-9)) "cube minterms" 4.0
+    (Bdd.count_minterms man c ~nvars:4);
+  let c2 = Bdd.band man (Bdd.ithvar man 0) (Bdd.ithvar man 2) in
+  Alcotest.(check bool) "cube = conj" true (Bdd.equal c c2);
+  let lits = Bdd.cube_of_literals man [ (1, false); (3, true) ] in
+  let expect = Bdd.band man (Bdd.nithvar man 1) (Bdd.ithvar man 3) in
+  Alcotest.(check bool) "literal cube" true (Bdd.equal lits expect)
+
+let test_shared_size () =
+  let man = Bdd.create ~nvars:4 () in
+  let f = Bdd.band man (Bdd.ithvar man 0) (Bdd.ithvar man 1) in
+  let g = Bdd.band man (Bdd.ithvar man 1) (Bdd.ithvar man 0) in
+  Alcotest.(check bool) "f == g" true (Bdd.equal f g);
+  Alcotest.(check int) "shared of same" (Bdd.size f) (Bdd.shared_size [ f; g ]);
+  let h = Bdd.bor man (Bdd.ithvar man 2) f in
+  Alcotest.(check bool) "shared <= sum" true
+    (Bdd.shared_size [ f; h ] <= Bdd.size f + Bdd.size h);
+  Alcotest.(check bool) "shared >= max" true
+    (Bdd.shared_size [ f; h ] >= max (Bdd.size f) (Bdd.size h))
+
+let test_gc () =
+  let man = Bdd.create ~nvars:6 () in
+  let keep = Bdd.band man (Bdd.ithvar man 0) (Bdd.ithvar man 1) in
+  let _garbage =
+    Bdd.bxor man
+      (Bdd.bor man (Bdd.ithvar man 2) (Bdd.ithvar man 3))
+      (Bdd.ithvar man 4)
+  in
+  let before = Bdd.unique_size man in
+  let collected = Bdd.gc man ~roots:[ keep ] in
+  Alcotest.(check bool) "collected > 0" true (collected > 0);
+  Alcotest.(check int) "unique = before - collected"
+    (before - collected) (Bdd.unique_size man);
+  (* the kept root still works *)
+  let again = Bdd.band man (Bdd.ithvar man 0) (Bdd.ithvar man 1) in
+  Alcotest.(check bool) "hash-consing intact" true (Bdd.equal keep again)
+
+let test_any_sat_ff () =
+  let man = Bdd.create ~nvars:2 () in
+  Alcotest.check_raises "any_sat ff" Not_found (fun () ->
+      ignore (Bdd.any_sat man (Bdd.ff man)))
+
+let test_interleave () =
+  let o = Reorder.interleave [ [| 0; 1; 2 |]; [| 3; 4 |] ] in
+  Alcotest.(check (list int)) "interleave" [ 0; 3; 1; 4; 2 ]
+    (Array.to_list o)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let prop_semantics =
+  qtest "build matches oracle" arb (fun e ->
+      let man, f, o = Tgen.setup ~nvars e in
+      check_same man f o)
+
+let prop_canonical =
+  qtest "canonicity: same function, same node" arb (fun e ->
+      let man, f, o = Tgen.setup ~nvars e in
+      Bdd.equal f (Oracle.to_bdd man o))
+
+let prop_not_involutive =
+  qtest "bnot involutive" arb (fun e ->
+      let man, f, _ = Tgen.setup ~nvars e in
+      Bdd.equal f (Bdd.bnot man (Bdd.bnot man f)))
+
+let prop_leq =
+  qtest "leq matches oracle"
+    QCheck.(pair arb arb)
+    (fun (e1, e2) ->
+      let man = Bdd.create ~nvars () in
+      let f = Tgen.build_bdd man e1 and g = Tgen.build_bdd man e2 in
+      let fo = Tgen.build_oracle nvars e1 and go = Tgen.build_oracle nvars e2 in
+      Bdd.leq man f g = Oracle.leq fo go)
+
+let prop_exists =
+  qtest "exists matches oracle"
+    QCheck.(pair arb (make (Tgen.var_subset_gen nvars)))
+    (fun (e, vs) ->
+      let man, f, o = Tgen.setup ~nvars e in
+      let r = Bdd.exists man ~vars:(Bdd.cube man vs) f in
+      check_same man r (Oracle.exists o vs))
+
+let prop_forall =
+  qtest "forall matches oracle"
+    QCheck.(pair arb (make (Tgen.var_subset_gen nvars)))
+    (fun (e, vs) ->
+      let man, f, o = Tgen.setup ~nvars e in
+      let r = Bdd.forall man ~vars:(Bdd.cube man vs) f in
+      check_same man r (Oracle.forall o vs))
+
+let prop_and_exists =
+  qtest "and_exists = exists of conjunction"
+    QCheck.(triple arb arb (make (Tgen.var_subset_gen nvars)))
+    (fun (e1, e2, vs) ->
+      let man = Bdd.create ~nvars () in
+      let f = Tgen.build_bdd man e1 and g = Tgen.build_bdd man e2 in
+      let cube = Bdd.cube man vs in
+      Bdd.equal
+        (Bdd.and_exists man ~vars:cube f g)
+        (Bdd.exists man ~vars:cube (Bdd.band man f g)))
+
+let prop_cofactor =
+  qtest "cofactor matches oracle"
+    QCheck.(triple arb (int_bound (nvars - 1)) bool)
+    (fun (e, v, b) ->
+      let man, f, o = Tgen.setup ~nvars e in
+      check_same man (Bdd.cofactor man f ~var:v b) (Oracle.cofactor o v b))
+
+let prop_compose =
+  qtest "compose matches oracle"
+    QCheck.(triple arb (int_bound (nvars - 1)) arb)
+    (fun (e, v, eg) ->
+      let man, f, o = Tgen.setup ~nvars e in
+      let g = Tgen.build_bdd man eg and go = Tgen.build_oracle nvars eg in
+      check_same man (Bdd.compose man f ~var:v g) (Oracle.compose o v go))
+
+let prop_constrain_identity =
+  qtest "f ∧ c = c ∧ constrain(f,c)"
+    QCheck.(pair arb arb)
+    (fun (e1, e2) ->
+      let man = Bdd.create ~nvars () in
+      let f = Tgen.build_bdd man e1 and c = Tgen.build_bdd man e2 in
+      QCheck.assume (not (Bdd.is_false c));
+      Bdd.equal (Bdd.band man f c) (Bdd.band man c (Bdd.constrain man f c)))
+
+let prop_restrict_care =
+  qtest "restrict agrees with f on the care set"
+    QCheck.(pair arb arb)
+    (fun (e1, e2) ->
+      let man = Bdd.create ~nvars () in
+      let f = Tgen.build_bdd man e1 and c = Tgen.build_bdd man e2 in
+      QCheck.assume (not (Bdd.is_false c));
+      let r = Bdd.restrict man f c in
+      (* (r ⊕ f) ∧ c = 0 *)
+      Bdd.is_false (Bdd.band man (Bdd.bxor man r f) c))
+
+let prop_squeeze =
+  qtest "squeeze stays in the interval and is no larger"
+    QCheck.(pair arb arb)
+    (fun (e1, e2) ->
+      let man = Bdd.create ~nvars () in
+      let f = Tgen.build_bdd man e1 and g = Tgen.build_bdd man e2 in
+      let lower = Bdd.band man f g and upper = Bdd.bor man f g in
+      let s = Bdd.squeeze man ~lower ~upper in
+      Bdd.leq man lower s && Bdd.leq man s upper
+      && Bdd.size s <= min (Bdd.size lower) (Bdd.size upper))
+
+let prop_weight =
+  qtest "weight = |ones| / 2^n" arb (fun e ->
+      let man, f, o = Tgen.setup ~nvars e in
+      let expect = float_of_int (Oracle.count o) /. float_of_int (1 lsl nvars) in
+      abs_float (Bdd.weight man f -. expect) < 1e-9)
+
+let prop_minterms =
+  qtest "count_minterms matches oracle count" arb (fun e ->
+      let man, f, o = Tgen.setup ~nvars e in
+      abs_float
+        (Bdd.count_minterms man f ~nvars -. float_of_int (Oracle.count o))
+      < 1e-6)
+
+let prop_permute =
+  qtest "permute matches oracle rename"
+    QCheck.(pair arb (make (Tgen.permutation_gen nvars)))
+    (fun (e, p) ->
+      let man, f, o = Tgen.setup ~nvars e in
+      let g = Bdd.permute man f (fun v -> p.(v)) in
+      check_same man g (Oracle.rename o (fun v -> p.(v))))
+
+let prop_reorder =
+  qtest "reorder preserves semantics"
+    QCheck.(pair arb (make (Tgen.permutation_gen nvars)))
+    (fun (e, order) ->
+      let man, f, o = Tgen.setup ~nvars e in
+      match Bdd.reorder man ~order ~roots:[ f ] with
+      | [ f' ] ->
+          check_same man f' o
+          && Array.to_list (Bdd.order man) = Array.to_list order
+      | _ -> false)
+
+let prop_sift =
+  qtest ~count:60 "sift preserves semantics and never grows"
+    arb
+    (fun e ->
+      let man, f, o = Tgen.setup ~nvars e in
+      let size0 = Bdd.size f in
+      match Reorder.sift man [ f ] with
+      | [ f' ] -> check_same man f' o && Bdd.size f' <= size0
+      | _ -> false)
+
+let prop_window3 =
+  qtest ~count:60 "window3 preserves semantics and never grows"
+    arb
+    (fun e ->
+      let man, f, o = Tgen.setup ~nvars e in
+      let size0 = Bdd.size f in
+      match Reorder.window3 man [ f ] with
+      | [ f' ] -> check_same man f' o && Bdd.size f' <= size0
+      | _ -> false)
+
+let prop_exact_reorder =
+  qtest ~count:40 "exact reordering is optimal (never beaten by sift)"
+    (Tgen.arbitrary_expr ~nvars:5 ~depth:5)
+    (fun e ->
+      let man, f, o = Tgen.setup ~nvars:5 e in
+      match Reorder.exact man [ f ] with
+      | [ best ] ->
+          let best_size = Bdd.size best in
+          (* semantics preserved (note: evaluation is order-independent) *)
+          Oracle.equal (Oracle.of_bdd man 5 best) o
+          &&
+          (* sift from the exact order cannot improve on it *)
+          (match Reorder.sift man [ best ] with
+          | [ sifted ] -> Bdd.size sifted >= best_size || Bdd.size sifted = best_size
+          | _ -> false)
+      | _ -> false)
+
+let test_exact_reorder_refuses_large () =
+  let man = Bdd.create ~nvars:12 () in
+  let f = Bdd.conj man (List.init 12 (Bdd.ithvar man)) in
+  Alcotest.check_raises "too large"
+    (Invalid_argument "Reorder.exact: support too large") (fun () ->
+      ignore (Reorder.exact man [ f ]))
+
+let test_exact_reorder_known () =
+  (* f = x0·x3 + x1·x4 + x2·x5 has size 2^k-ish under the interleaved-bad
+     order but only 6 nodes under the paired order; exact must find 6 *)
+  let man = Bdd.create ~nvars:6 () in
+  let v = Bdd.ithvar man in
+  let f =
+    Bdd.disj man
+      [ Bdd.band man (v 0) (v 3); Bdd.band man (v 1) (v 4);
+        Bdd.band man (v 2) (v 5) ]
+  in
+  match Reorder.exact man [ f ] with
+  | [ best ] -> Alcotest.(check int) "optimal size" 6 (Bdd.size best)
+  | _ -> Alcotest.fail "expected one root"
+
+let prop_support =
+  qtest "support is exactly the essential variables" arb (fun e ->
+      let man, f, o = Tgen.setup ~nvars e in
+      let sup = Bdd.support man f in
+      List.for_all
+        (fun v ->
+          let essential =
+            not (Oracle.equal (Oracle.cofactor o v true) (Oracle.cofactor o v false))
+          in
+          essential = List.mem v sup)
+        (List.init nvars Fun.id))
+
+let prop_any_sat =
+  qtest "any_sat returns a satisfying cube" arb (fun e ->
+      let man, f, _ = Tgen.setup ~nvars e in
+      if Bdd.is_false f then true
+      else
+        let lits = Bdd.any_sat man f in
+        let asg v =
+          match List.assoc_opt v lits with Some b -> b | None -> false
+        in
+        Bdd.eval man f asg)
+
+let prop_iter_sat =
+  qtest "iter_sat cubes cover exactly the minterms" arb (fun e ->
+      let man, f, o = Tgen.setup ~nvars e in
+      let total = ref 0. in
+      Bdd.iter_sat man f (fun lits ->
+          total := !total +. ldexp 1.0 (nvars - List.length lits));
+      abs_float (!total -. float_of_int (Oracle.count o)) < 1e-6)
+
+let prop_count_paths =
+  qtest "count_paths = paths to both constants" arb (fun e ->
+      let man, f, _ = Tgen.setup ~nvars e in
+      (* reference: recursive path count on the view *)
+      let memo = Hashtbl.create 16 in
+      let rec paths f =
+        match Bdd.view f with
+        | Bdd.False | Bdd.True -> 1.
+        | Bdd.Node { hi; lo; _ } -> (
+            match Hashtbl.find_opt memo (Bdd.id f) with
+            | Some p -> p
+            | None ->
+                let p = paths hi +. paths lo in
+                Hashtbl.add memo (Bdd.id f) p;
+                p)
+      in
+      abs_float (Bdd.count_paths man f -. paths f) < 1e-9)
+
+let prop_nodes_ordered =
+  qtest "iter_nodes yields children before parents" arb (fun e ->
+      let man, f, _ = Tgen.setup ~nvars e in
+      ignore man;
+      let seen = Hashtbl.create 16 in
+      let ok = ref true in
+      Bdd.iter_nodes
+        (fun n ->
+          let child_ok c =
+            match Bdd.view c with
+            | Bdd.False | Bdd.True -> true
+            | Bdd.Node _ -> Hashtbl.mem seen (Bdd.id c)
+          in
+          if not (child_ok (Bdd.high n) && child_ok (Bdd.low n)) then
+            ok := false;
+          Hashtbl.add seen (Bdd.id n) ())
+        f;
+      !ok)
+
+let prop_intersects =
+  qtest "intersects = (f ∧ g ≠ 0)"
+    QCheck.(pair arb arb)
+    (fun (e1, e2) ->
+      let man = Bdd.create ~nvars () in
+      let f = Tgen.build_bdd man e1 and g = Tgen.build_bdd man e2 in
+      Bdd.intersects man f g = not (Bdd.is_false (Bdd.band man f g)))
+
+let prop_vector_compose =
+  qtest "vector_compose = iterated compose on disjoint targets"
+    QCheck.(triple arb arb arb)
+    (fun (e, e1, e2) ->
+      let man = Bdd.create ~nvars () in
+      let f = Tgen.build_bdd man e in
+      let g1 = Tgen.build_bdd man e1 and g2 = Tgen.build_bdd man e2 in
+      let o = Tgen.build_oracle nvars e in
+      let o1 = Tgen.build_oracle nvars e1 and o2 = Tgen.build_oracle nvars e2 in
+      let subst v = if v = 0 then Some g1 else if v = 1 then Some g2 else None in
+      let r = Bdd.vector_compose man f subst in
+      (* oracle: simultaneous substitution *)
+      let expect =
+        Oracle.create nvars (fun asg ->
+            let idx = ref 0 in
+            let enc = ref 0 in
+            for v = 0 to nvars - 1 do
+              if asg v then enc := !enc lor (1 lsl v)
+            done;
+            for v = 0 to nvars - 1 do
+              let value =
+                if v = 0 then Oracle.eval o1 !enc
+                else if v = 1 then Oracle.eval o2 !enc
+                else asg v
+              in
+              if value then idx := !idx lor (1 lsl v)
+            done;
+            Oracle.eval o !idx)
+      in
+      check_same man r expect)
+
+let tests =
+  ( "bdd",
+    [
+      Alcotest.test_case "constants" `Quick test_constants;
+      Alcotest.test_case "var structure" `Quick test_var_structure;
+      Alcotest.test_case "const accessors raise" `Quick
+        test_const_accessors_raise;
+      Alcotest.test_case "mk checks order" `Quick test_mk_checks_order;
+      Alcotest.test_case "parity size" `Quick test_parity_size;
+      Alcotest.test_case "majority" `Quick test_majority;
+      Alcotest.test_case "cube" `Quick test_cube;
+      Alcotest.test_case "shared size" `Quick test_shared_size;
+      Alcotest.test_case "gc" `Quick test_gc;
+      Alcotest.test_case "any_sat ff raises" `Quick test_any_sat_ff;
+      Alcotest.test_case "interleave" `Quick test_interleave;
+      prop_semantics;
+      prop_canonical;
+      prop_not_involutive;
+      prop_leq;
+      prop_exists;
+      prop_forall;
+      prop_and_exists;
+      prop_cofactor;
+      prop_compose;
+      prop_constrain_identity;
+      prop_restrict_care;
+      prop_squeeze;
+      prop_weight;
+      prop_minterms;
+      prop_permute;
+      prop_reorder;
+      prop_sift;
+      prop_window3;
+      prop_exact_reorder;
+      Alcotest.test_case "exact reorder refuses large" `Quick
+        test_exact_reorder_refuses_large;
+      Alcotest.test_case "exact reorder known optimum" `Quick
+        test_exact_reorder_known;
+      prop_support;
+      prop_any_sat;
+      prop_iter_sat;
+      prop_count_paths;
+      prop_nodes_ordered;
+      prop_intersects;
+      prop_vector_compose;
+    ] )

@@ -1,0 +1,415 @@
+(* Tests for the circuit substrate: builder, simulator, generators, BLIF
+   round trips, and BDD compilation against the explicit simulator. *)
+
+module B = Circuit.Builder
+
+let qtest ?(count = 100) name prop_arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name prop_arb prop)
+
+(* ------------------------------------------------------------------ *)
+(* Builder                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_unconnected_latch () =
+  let b = B.create "bad" in
+  let _ = B.latch b "l" in
+  Alcotest.check_raises "unconnected"
+    (Invalid_argument "Circuit.Builder.finish: latch l not connected")
+    (fun () -> ignore (B.finish b))
+
+let test_combinational_cycle () =
+  let b = B.create "cyc" in
+  let l = B.latch b "l" in
+  let x = B.input b "x" in
+  (* a gate can only reference existing nets, so a combinational cycle
+     requires going through a latch's next: connect next to a gate that
+     feeds from itself is impossible by construction — instead check that a
+     legal feedback through a latch is fine *)
+  B.connect b l ~next:(B.xor_ b l x);
+  let c = B.finish b in
+  Alcotest.(check int) "one latch" 1 (Circuit.num_latches c)
+
+let test_double_connect () =
+  let b = B.create "dbl" in
+  let l = B.latch b "l" in
+  B.connect b l ~next:l;
+  Alcotest.check_raises "double connect"
+    (Invalid_argument "Circuit.Builder.connect: latch already connected")
+    (fun () -> B.connect b l ~next:l)
+
+let test_structural_sharing () =
+  let b = B.create "share" in
+  let x = B.input b "x" and y = B.input b "y" in
+  let a1 = B.and_ b x y and a2 = B.and_ b y x in
+  Alcotest.(check int) "commutative sharing" a1 a2
+
+(* ------------------------------------------------------------------ *)
+(* Word helpers, checked through the simulator                         *)
+(* ------------------------------------------------------------------ *)
+
+let eval_comb build width_out inputs_vals =
+  (* build : builder -> outputs; returns output bits as ints *)
+  let b = B.create "comb" in
+  let outs = build b in
+  Array.iteri (fun i s -> B.output b (Printf.sprintf "o%d" i) s) outs;
+  let c = B.finish b in
+  let input n = List.assoc n inputs_vals in
+  let s = Sim.initial_state c in
+  let _, outputs = Sim.step c s input in
+  let v = ref 0 in
+  for i = 0 to width_out - 1 do
+    if List.assoc (Printf.sprintf "o%d" i) outputs then v := !v lor (1 lsl i)
+  done;
+  !v
+
+let test_add_word () =
+  let w = 4 in
+  for a = 0 to 15 do
+    for bv = 0 to 15 do
+      let got =
+        eval_comb
+          (fun b ->
+            let xa =
+              Array.init w (fun i -> B.input b (Printf.sprintf "a%d" i))
+            in
+            let xb =
+              Array.init w (fun i -> B.input b (Printf.sprintf "b%d" i))
+            in
+            B.add_word b xa xb)
+          w
+          (List.init w (fun i -> (Printf.sprintf "a%d" i, a land (1 lsl i) <> 0))
+          @ List.init w (fun i ->
+                (Printf.sprintf "b%d" i, bv land (1 lsl i) <> 0)))
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "%d+%d" a bv)
+        ((a + bv) land 15)
+        got
+    done
+  done
+
+let test_incr_decr_word () =
+  let w = 5 in
+  for a = 0 to 31 do
+    let mk_inputs a =
+      List.init w (fun i -> (Printf.sprintf "a%d" i, a land (1 lsl i) <> 0))
+    in
+    let build op b =
+      let xa = Array.init w (fun i -> B.input b (Printf.sprintf "a%d" i)) in
+      op b xa
+    in
+    Alcotest.(check int)
+      (Printf.sprintf "%d+1" a)
+      ((a + 1) land 31)
+      (eval_comb (build B.incr_word) w (mk_inputs a));
+    Alcotest.(check int)
+      (Printf.sprintf "%d-1" a)
+      ((a - 1) land 31)
+      (eval_comb (build B.decr_word) w (mk_inputs a))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Generators: known reachable-state counts                            *)
+(* ------------------------------------------------------------------ *)
+
+let reach_count c = Hashtbl.length (Sim.reachable c)
+
+let test_generator_counts () =
+  Alcotest.(check int) "counter4" 16 (reach_count (Generate.counter ~bits:4));
+  Alcotest.(check int) "counter_en4" 16
+    (reach_count (Generate.counter_enabled ~bits:4));
+  Alcotest.(check int) "ring5" 5 (reach_count (Generate.ring ~bits:5));
+  Alcotest.(check int) "johnson4" 8 (reach_count (Generate.johnson ~bits:4));
+  Alcotest.(check int) "lfsr4" 15 (reach_count (Generate.lfsr ~bits:4));
+  Alcotest.(check int) "lfsr5" 31 (reach_count (Generate.lfsr ~bits:5));
+  Alcotest.(check int) "fifo5" 6
+    (reach_count (Generate.fifo_controller ~depth:5));
+  Alcotest.(check int) "arbiter4" 4 (reach_count (Generate.arbiter ~clients:4));
+  Alcotest.(check int) "traffic" 5 (reach_count (Generate.traffic_light ()))
+
+let test_lfsr_bad_width () =
+  Alcotest.check_raises "no taps"
+    (Invalid_argument "Generate.lfsr: no taps for width 9") (fun () ->
+      ignore (Generate.lfsr ~bits:9))
+
+let test_microsequencer_jz () =
+  (* executing JZ (instr 7) from any state zeroes the micro-PC and stack
+     pointer *)
+  let c = Generate.microsequencer ~addr_bits:3 ~stack_depth:2 in
+  let input n =
+    match n with
+    | "i0" | "i1" | "i2" -> true (* instr = 7 *)
+    | "cc" -> false
+    | _ -> false
+  in
+  (* drive a few arbitrary steps first *)
+  let s = ref (Sim.initial_state c) in
+  let arbitrary n = String.length n > 0 && n.[0] = 'd' in
+  for _ = 1 to 3 do
+    s := fst (Sim.step c !s arbitrary)
+  done;
+  let after = fst (Sim.step c !s input) in
+  (* upc and sp latches come first in declaration order: upc(3) ctr(3) sp(2) *)
+  let names =
+    List.map
+      (fun l ->
+        match Circuit.gate c l with
+        | Circuit.Latch { name; _ } -> name
+        | _ -> assert false)
+      (Circuit.latches c)
+  in
+  List.iteri
+    (fun i n ->
+      if
+        String.length n >= 3
+        && (String.sub n 0 3 = "upc" || String.sub n 0 2 = "sp")
+      then
+        Alcotest.(check bool) (n ^ " cleared") false after.(i))
+    names
+
+let test_microprogram_deep () =
+  (* the crafted control store walks a counted loop: the machine visits many
+     states from a single free input, and the walk is deep (the explicit BFS
+     frontier keeps producing new states well past the first iterations) *)
+  let c = Generate.microprogram ~addr_bits:4 ~stack_depth:2 ~seed:5 in
+  Alcotest.(check int) "one free input" 1 (Circuit.num_inputs c);
+  let n = Hashtbl.length (Sim.reachable c) in
+  Alcotest.(check bool) "deep walk" true (n > 50)
+
+let test_dense_controller_deterministic () =
+  let c1 = Generate.dense_controller ~latches:12 ~seed:5 in
+  let c2 = Generate.dense_controller ~latches:12 ~seed:5 in
+  Alcotest.(check string) "same netlist" (Blif.to_string c1) (Blif.to_string c2);
+  let c3 = Generate.dense_controller ~latches:12 ~seed:6 in
+  Alcotest.(check bool) "different seed differs" false
+    (Blif.to_string c1 = Blif.to_string c3)
+
+let test_multiplier_exhaustive () =
+  let bits = 3 in
+  let c = Generate.multiplier ~bits in
+  for x = 0 to (1 lsl bits) - 1 do
+    for y = 0 to (1 lsl bits) - 1 do
+      let input n =
+        let v = int_of_string (String.sub n 1 (String.length n - 1)) in
+        if n.[0] = 'x' then x land (1 lsl v) <> 0 else y land (1 lsl v) <> 0
+      in
+      let s = Sim.initial_state c in
+      let _, outs = Sim.step c s input in
+      let p = ref 0 in
+      List.iter
+        (fun (name, b) ->
+          if b then
+            let j = int_of_string (String.sub name 1 (String.length name - 1)) in
+            p := !p lor (1 lsl j))
+        outs;
+      Alcotest.(check int) (Printf.sprintf "%d*%d" x y) (x * y) !p
+    done
+  done
+
+let test_alu_exhaustive () =
+  let width = 4 in
+  let c = Generate.alu ~width in
+  let mask = (1 lsl width) - 1 in
+  for a = 0 to mask do
+    for bv = 0 to mask do
+      for op = 0 to 3 do
+        let input n =
+          if String.length n >= 2 && String.sub n 0 2 = "op" then
+            op land (1 lsl int_of_string (String.sub n 2 1)) <> 0
+          else
+            let v = int_of_string (String.sub n 1 (String.length n - 1)) in
+            if n.[0] = 'a' then a land (1 lsl v) <> 0
+            else bv land (1 lsl v) <> 0
+        in
+        let s = Sim.initial_state c in
+        let _, outs = Sim.step c s input in
+        let r = ref 0 in
+        List.iter
+          (fun (name, bit) ->
+            if bit && name.[0] = 'r' then
+              let j =
+                int_of_string (String.sub name 1 (String.length name - 1))
+              in
+              r := !r lor (1 lsl j))
+          outs;
+        let expect =
+          (match op with
+          | 0 -> a + bv
+          | 1 -> a - bv
+          | 2 -> a land bv
+          | _ -> a lxor bv)
+          land mask
+        in
+        Alcotest.(check int)
+          (Printf.sprintf "op%d %d,%d" op a bv)
+          expect !r;
+        Alcotest.(check bool)
+          (Printf.sprintf "zero flag op%d %d,%d" op a bv)
+          (expect = 0) (List.assoc "zero" outs)
+      done
+    done
+  done
+
+(* ------------------------------------------------------------------ *)
+(* BLIF                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let sample_blif =
+  {|# a 2-bit counter with enable
+.model cnt2
+.inputs en
+.outputs msb
+.names q1 msb
+1 1
+.latch n0 q0 0
+.latch n1 q1 0
+.names en q0 n0
+10 1
+01 1
+.names en q0 q1 n1
+1-1 1
+-11 1
+110 1
+# actually: n1 = q1 xor (en and q0)
+.end
+|}
+
+let test_blif_parse () =
+  let c = Blif.parse_string sample_blif in
+  Alcotest.(check int) "latches" 2 (Circuit.num_latches c);
+  Alcotest.(check int) "inputs" 1 (Circuit.num_inputs c);
+  ignore (reach_count c)
+
+let test_blif_bad () =
+  Alcotest.check_raises "bad construct" (Blif.Parse_error
+    "unsupported construct: .subckt") (fun () ->
+      ignore (Blif.parse_string ".model m\n.subckt foo\n.end\n"))
+
+let test_blif_roundtrip_behaviour () =
+  List.iter
+    (fun c ->
+      let c' = Blif.parse_string (Blif.to_string c) in
+      Alcotest.(check int)
+        (Circuit.name c ^ " latches")
+        (Circuit.num_latches c) (Circuit.num_latches c');
+      (* run both machines in lockstep on a deterministic input pattern *)
+      let s = ref (Sim.initial_state c) and s' = ref (Sim.initial_state c') in
+      for t = 0 to 20 do
+        let input n = (Hashtbl.hash (n, t) land 1) = 1 in
+        let n1, o1 = Sim.step c !s input in
+        let n2, o2 = Sim.step c' !s' input in
+        List.iter
+          (fun (name, v) ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%s@%d" name t)
+              v
+              (List.assoc (name ^ "_out") o2))
+          o1;
+        s := n1;
+        s' := n2
+      done)
+    [
+      Generate.counter_enabled ~bits:3;
+      Generate.traffic_light ();
+      Generate.fifo_controller ~depth:3;
+      Generate.microsequencer ~addr_bits:2 ~stack_depth:1;
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Compilation vs. simulation                                          *)
+(* ------------------------------------------------------------------ *)
+
+let assignment_of compiled state input_mask =
+  let tbl = Hashtbl.create 32 in
+  Array.iteri
+    (fun i l -> Hashtbl.add tbl l.Compile.cur state.(i))
+    compiled.Compile.latches;
+  List.iteri
+    (fun i (_, v) -> Hashtbl.add tbl v (input_mask land (1 lsl i) <> 0))
+    compiled.Compile.input_vars;
+  fun v -> Option.value ~default:false (Hashtbl.find_opt tbl v)
+
+let input_fn_of compiled input_mask =
+  let tbl = Hashtbl.create 8 in
+  List.iteri
+    (fun i (n, _) -> Hashtbl.add tbl n (input_mask land (1 lsl i) <> 0))
+    compiled.Compile.input_vars;
+  fun n -> Hashtbl.find tbl n
+
+let check_compile_matches_sim c =
+  let compiled = Compile.compile c in
+  let man = compiled.Compile.man in
+  let nl = Circuit.num_latches c in
+  let ni = Circuit.num_inputs c in
+  let ok = ref true in
+  for trial = 0 to 200 do
+    let smask = Hashtbl.hash (trial, "s") land ((1 lsl nl) - 1) in
+    let imask = Hashtbl.hash (trial, "i") land ((1 lsl ni) - 1) in
+    let state = Sim.decode ~nlatches:nl smask in
+    let asg = assignment_of compiled state imask in
+    let next_sim, outs_sim = Sim.step c state (input_fn_of compiled imask) in
+    Array.iteri
+      (fun i l ->
+        if Bdd.eval man l.Compile.fn asg <> next_sim.(i) then ok := false)
+      compiled.Compile.latches;
+    List.iter
+      (fun (n, f) ->
+        if Bdd.eval man f asg <> List.assoc n outs_sim then ok := false)
+      compiled.Compile.output_fns
+  done;
+  !ok
+
+let test_compile_matches_sim () =
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) (Circuit.name c) true (check_compile_matches_sim c))
+    [
+      Generate.counter_enabled ~bits:4;
+      Generate.lfsr ~bits:6;
+      Generate.fifo_controller ~depth:6;
+      Generate.traffic_light ();
+      Generate.microsequencer ~addr_bits:3 ~stack_depth:2;
+      Generate.shifter_datapath ~width:4;
+      Generate.handshake_pipeline ~stages:4;
+      Generate.dense_controller ~latches:10 ~seed:42;
+    ]
+
+let test_compile_init () =
+  let c = Generate.ring ~bits:4 in
+  let compiled = Compile.compile c in
+  Alcotest.(check (float 1e-9)) "one initial state" 1.0
+    (Compile.state_count compiled compiled.Compile.init)
+
+let prop_random_netlist_compiles =
+  qtest ~count:30 "random netlists compile and evaluate consistently"
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let c = Generate.random_netlist ~inputs:6 ~gates:40 ~outputs:3 ~seed in
+      check_compile_matches_sim c)
+
+let tests =
+  ( "circuit",
+    [
+      Alcotest.test_case "unconnected latch" `Quick test_unconnected_latch;
+      Alcotest.test_case "latch feedback ok" `Quick test_combinational_cycle;
+      Alcotest.test_case "double connect" `Quick test_double_connect;
+      Alcotest.test_case "structural sharing" `Quick test_structural_sharing;
+      Alcotest.test_case "add_word exhaustive" `Quick test_add_word;
+      Alcotest.test_case "incr/decr exhaustive" `Quick test_incr_decr_word;
+      Alcotest.test_case "generator reach counts" `Quick test_generator_counts;
+      Alcotest.test_case "lfsr bad width" `Quick test_lfsr_bad_width;
+      Alcotest.test_case "microsequencer JZ" `Quick test_microsequencer_jz;
+      Alcotest.test_case "microprogram deep" `Quick test_microprogram_deep;
+      Alcotest.test_case "multiplier exhaustive" `Quick
+        test_multiplier_exhaustive;
+      Alcotest.test_case "alu exhaustive" `Quick test_alu_exhaustive;
+      Alcotest.test_case "dense controller deterministic" `Quick
+        test_dense_controller_deterministic;
+      Alcotest.test_case "blif parse" `Quick test_blif_parse;
+      Alcotest.test_case "blif rejects unsupported" `Quick test_blif_bad;
+      Alcotest.test_case "blif roundtrip behaviour" `Quick
+        test_blif_roundtrip_behaviour;
+      Alcotest.test_case "compile matches sim" `Quick test_compile_matches_sim;
+      Alcotest.test_case "compile init cube" `Quick test_compile_init;
+      prop_random_netlist_compiles;
+    ] )

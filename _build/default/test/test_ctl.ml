@@ -1,0 +1,216 @@
+(* CTL model checking validated against an explicit-state evaluator. *)
+
+(* ------------------------------------------------------------------ *)
+(* Explicit-state CTL                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type model = { n : int; succ : int -> int list }
+
+let model_of_circuit c =
+  let nl = Circuit.num_latches c in
+  let ins = List.map fst (Circuit.inputs c) in
+  let nin = List.length ins in
+  let succ code =
+    let s = Sim.decode ~nlatches:nl code in
+    let out = ref [] in
+    for mask = 0 to (1 lsl nin) - 1 do
+      let input n =
+        let rec idx i = function
+          | [] -> assert false
+          | x :: _ when x = n -> i
+          | _ :: rest -> idx (i + 1) rest
+        in
+        mask land (1 lsl idx 0 ins) <> 0
+      in
+      let next, _ = Sim.step c s input in
+      let t = Sim.encode next in
+      if not (List.mem t !out) then out := t :: !out
+    done;
+    !out
+  in
+  { n = nl; succ }
+
+(* sets of states as boolean arrays over all 2^n codes *)
+let universe m = Array.make (1 lsl m.n) true
+let empty m = Array.make (1 lsl m.n) false
+
+let eset_ex m s =
+  Array.init (Array.length s) (fun code ->
+      List.exists (fun t -> s.(t)) (m.succ code))
+
+let rec efix step z =
+  let z' = step z in
+  if z = z' then z else efix step z'
+
+type eformula =
+  | ETrue
+  | EAtom of int (* seed for a pseudo-random predicate *)
+  | ENot of eformula
+  | EAnd of eformula * eformula
+  | EOr of eformula * eformula
+  | Eex of eformula
+  | Eef of eformula
+  | Eeg of eformula
+  | Eeu of eformula * eformula
+  | Eax of eformula
+  | Eaf of eformula
+  | Eag of eformula
+  | Eau of eformula * eformula
+
+let atom_pred seed code = Hashtbl.hash (seed, code) land 7 < 3
+
+let rec esat m = function
+  | ETrue -> universe m
+  | EAtom seed ->
+      Array.init (1 lsl m.n) (fun code -> atom_pred seed code)
+  | ENot f -> Array.map not (esat m f)
+  | EAnd (f, g) -> Array.map2 ( && ) (esat m f) (esat m g)
+  | EOr (f, g) -> Array.map2 ( || ) (esat m f) (esat m g)
+  | Eex f -> eset_ex m (esat m f)
+  | Eef f ->
+      let p = esat m f in
+      efix (fun z -> Array.map2 ( || ) p (eset_ex m z)) (empty m)
+  | Eeg f ->
+      let p = esat m f in
+      efix (fun z -> Array.map2 ( && ) p (eset_ex m z)) (universe m)
+  | Eeu (f, g) ->
+      let p = esat m f and q = esat m g in
+      efix
+        (fun z -> Array.map2 ( || ) q (Array.map2 ( && ) p (eset_ex m z)))
+        (empty m)
+  | Eax f -> Array.map not (eset_ex m (Array.map not (esat m f)))
+  | Eaf f -> esat m (ENot (Eeg (ENot f)))
+  | Eag f -> esat m (ENot (Eef (ENot f)))
+  | Eau (f, g) ->
+      esat m (ENot (EOr (Eeu (ENot g, EAnd (ENot f, ENot g)), Eeg (ENot g))))
+
+(* translate to the symbolic formula, building atom BDDs from the same
+   pseudo-random predicates *)
+let rec symbolic man cur = function
+  | ETrue -> Ctl.True
+  | EAtom seed ->
+      let nl = Array.length cur in
+      let atom = ref (Bdd.ff man) in
+      for code = 0 to (1 lsl nl) - 1 do
+        if atom_pred seed code then
+          atom :=
+            Bdd.bor man !atom
+              (Bdd.cube_of_literals man
+                 (Array.to_list
+                    (Array.mapi (fun i v -> (v, code land (1 lsl i) <> 0)) cur)))
+      done;
+      Ctl.Atom !atom
+  | ENot f -> Ctl.Not (symbolic man cur f)
+  | EAnd (f, g) -> Ctl.And (symbolic man cur f, symbolic man cur g)
+  | EOr (f, g) -> Ctl.Or (symbolic man cur f, symbolic man cur g)
+  | Eex f -> Ctl.EX (symbolic man cur f)
+  | Eef f -> Ctl.EF (symbolic man cur f)
+  | Eeg f -> Ctl.EG (symbolic man cur f)
+  | Eeu (f, g) -> Ctl.EU (symbolic man cur f, symbolic man cur g)
+  | Eax f -> Ctl.AX (symbolic man cur f)
+  | Eaf f -> Ctl.AF (symbolic man cur f)
+  | Eag f -> Ctl.AG (symbolic man cur f)
+  | Eau (f, g) -> Ctl.AU (symbolic man cur f, symbolic man cur g)
+
+let formula_gen depth =
+  let open QCheck.Gen in
+  let leaf =
+    frequency [ (1, return ETrue); (6, map (fun s -> EAtom s) (int_bound 1000)) ]
+  in
+  fix
+    (fun self d ->
+      if d <= 0 then leaf
+      else
+        frequency
+          [
+            (2, leaf);
+            (2, map (fun f -> ENot f) (self (d - 1)));
+            (2, map2 (fun f g -> EAnd (f, g)) (self (d - 1)) (self (d - 1)));
+            (2, map2 (fun f g -> EOr (f, g)) (self (d - 1)) (self (d - 1)));
+            (2, map (fun f -> Eex f) (self (d - 1)));
+            (2, map (fun f -> Eef f) (self (d - 1)));
+            (2, map (fun f -> Eeg f) (self (d - 1)));
+            (1, map2 (fun f g -> Eeu (f, g)) (self (d - 1)) (self (d - 1)));
+            (1, map (fun f -> Eax f) (self (d - 1)));
+            (1, map (fun f -> Eaf f) (self (d - 1)));
+            (1, map (fun f -> Eag f) (self (d - 1)));
+            (1, map2 (fun f g -> Eau (f, g)) (self (d - 1)) (self (d - 1)));
+          ])
+    depth
+
+let check_circuit c ef =
+  let m = model_of_circuit c in
+  let expected = esat m ef in
+  let compiled = Compile.compile c in
+  let man = compiled.Compile.man in
+  let trans = Trans.build compiled in
+  let ck = Ctl.make trans in
+  let got = Ctl.sat ck (symbolic man (Compile.cur_vars compiled) ef) in
+  let cur = Compile.cur_vars compiled in
+  let ok = ref true in
+  Array.iteri
+    (fun code expect ->
+      let asg v =
+        let rec find i = if cur.(i) = v then i else find (i + 1) in
+        (* variables outside the current-state set do not occur *)
+        code land (1 lsl find 0) <> 0
+      in
+      if Bdd.eval man got asg <> expect then ok := false)
+    expected;
+  !ok
+
+let prop_ctl_matches_explicit =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:60 ~name:"symbolic CTL = explicit CTL"
+       (QCheck.make (formula_gen 3))
+       (fun ef ->
+         List.for_all
+           (fun c -> check_circuit c ef)
+           [
+             Generate.traffic_light ();
+             Generate.fifo_controller ~depth:3;
+             Generate.dense_controller ~latches:5 ~seed:9;
+           ]))
+
+let test_ctl_classics () =
+  (* the traffic light: from every state one can reach an NS-green state,
+     and the two greens are mutually exclusive globally *)
+  let c = Generate.traffic_light () in
+  let trans = Trans.build (Compile.compile c) in
+  let ck = Ctl.make trans in
+  Alcotest.(check bool) "AG EF ns_green" true
+    (Ctl.holds ck (Ctl.AG (Ctl.EF (Ctl.output_possibly ck "ns_green"))));
+  Alcotest.(check bool) "AG not both" true
+    (Ctl.holds ck
+       (Ctl.AG
+          (Ctl.Not
+             (Ctl.And
+                (Ctl.output_possibly ck "ns_green",
+                 Ctl.output_possibly ck "ew_green")))));
+  (* liveness that should fail: the light is not always eventually green
+     for EW — the car sensor may never trigger the phase change *)
+  Alcotest.(check bool) "AF ew_green fails" false
+    (Ctl.holds ck (Ctl.AF (Ctl.output_possibly ck "ew_green")))
+
+let test_ctl_counter () =
+  let bits = 4 in
+  let c = Generate.counter ~bits in
+  let compiled = Compile.compile c in
+  let man = compiled.Compile.man in
+  let trans = Trans.build compiled in
+  let ck = Ctl.make trans in
+  let max_state =
+    Bdd.cube man (Array.to_list (Compile.cur_vars compiled))
+  in
+  (* the free-running counter always eventually reaches the max value *)
+  Alcotest.(check bool) "AF max" true (Ctl.holds ck (Ctl.AF (Ctl.Atom max_state)));
+  Alcotest.(check bool) "AG EF max" true
+    (Ctl.holds ck (Ctl.AG (Ctl.EF (Ctl.Atom max_state))))
+
+let tests =
+  ( "ctl",
+    [
+      Alcotest.test_case "classics on traffic light" `Quick test_ctl_classics;
+      Alcotest.test_case "counter liveness" `Quick test_ctl_counter;
+      prop_ctl_matches_explicit;
+    ] )

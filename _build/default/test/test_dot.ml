@@ -1,0 +1,45 @@
+(* Tests for the DOT exporter. *)
+
+let test_structure () =
+  let man = Bdd.create ~nvars:3 () in
+  let f =
+    Bdd.bor man
+      (Bdd.band man (Bdd.ithvar man 0) (Bdd.ithvar man 1))
+      (Bdd.ithvar man 2)
+  in
+  let s = Dot.to_string man [ f ] in
+  let count_substring sub =
+    let n = String.length s and m = String.length sub in
+    let c = ref 0 in
+    for i = 0 to n - m do
+      if String.sub s i m = sub then incr c
+    done;
+    !c
+  in
+  Alcotest.(check bool) "digraph" true (count_substring "digraph" = 1);
+  (* one solid and one dashed edge per internal node *)
+  Alcotest.(check int) "solid edges" (Bdd.size f)
+    (count_substring "style=solid");
+  Alcotest.(check int) "dashed edges" (Bdd.size f)
+    (count_substring "style=dashed");
+  (* both constants boxed, root pointer present *)
+  Alcotest.(check bool) "constants" true (count_substring "shape=box" >= 1);
+  Alcotest.(check bool) "root" true (count_substring "r0 ->" = 1)
+
+let test_to_file () =
+  let man = Bdd.create ~nvars:2 () in
+  let f = Bdd.bxor man (Bdd.ithvar man 0) (Bdd.ithvar man 1) in
+  let path = Filename.temp_file "bdd" ".dot" in
+  Dot.to_file man path [ f ];
+  let ic = open_in path in
+  let line = input_line ic in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check string) "first line" "digraph bdd {" line
+
+let tests =
+  ( "dot",
+    [
+      Alcotest.test_case "structure" `Quick test_structure;
+      Alcotest.test_case "to_file" `Quick test_to_file;
+    ] )

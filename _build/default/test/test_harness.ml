@@ -1,0 +1,157 @@
+(* Tests for the experiment harness: statistics, table rendering, pools and
+   scoreboards. *)
+
+let qtest ?(count = 200) name prop_arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name prop_arb prop)
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_geometric_mean () =
+  Alcotest.(check (float 1e-9)) "gm [2;8]" 4.0 (Stats.geometric_mean [ 2.; 8. ]);
+  Alcotest.(check (float 1e-9)) "gm [5]" 5.0 (Stats.geometric_mean [ 5. ]);
+  Alcotest.(check bool) "gm [] nan" true
+    (Float.is_nan (Stats.geometric_mean []));
+  (* zero entries are clamped, not collapsing the mean to 0 *)
+  Alcotest.(check bool) "gm with 0 finite" true
+    (Stats.geometric_mean [ 0.; 4. ] >= 0.)
+
+let test_means () =
+  Alcotest.(check (float 1e-9)) "am" 3.0 (Stats.arithmetic_mean [ 1.; 2.; 6. ]);
+  Alcotest.(check (float 1e-9)) "median odd" 2.0 (Stats.median [ 6.; 1.; 2. ]);
+  Alcotest.(check (float 1e-9)) "median even" 1.5 (Stats.median [ 2.; 1. ])
+
+let test_wins_and_ties () =
+  (* three methods over four instances, higher is better *)
+  let better a b = a >= b -. 1e-12 in
+  let scores =
+    [
+      [| 3.; 1.; 2. |];
+      (* m0 wins alone *)
+      [| 5.; 5.; 1. |];
+      (* m0 and m1 tie *)
+      [| 0.; 2.; 2. |];
+      (* m1 and m2 tie *)
+      [| 1.; 9.; 2. |];
+      (* m1 wins alone *)
+    ]
+  in
+  let wt = Stats.wins_and_ties ~better scores in
+  Alcotest.(check (list (pair int int)))
+    "wins/ties"
+    [ (1, 1); (1, 2); (0, 1) ]
+    (Array.to_list wt)
+
+let prop_geometric_mean_bounds =
+  qtest "geometric mean lies between min and max"
+    QCheck.(list_of_size Gen.(int_range 1 20) (float_range 0.1 1000.))
+    (fun xs ->
+      QCheck.assume (xs <> []);
+      let gm = Stats.geometric_mean xs in
+      let lo = List.fold_left min infinity xs
+      and hi = List.fold_left max neg_infinity xs in
+      gm >= lo -. 1e-6 && gm <= hi +. 1e-6)
+
+(* ------------------------------------------------------------------ *)
+(* Tables                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_render () =
+  let s =
+    Tables.render ~headers:[ "a"; "bb" ] ~rows:[ [ "xxx"; "y" ]; [ "1"; "22" ] ]
+  in
+  let lines = String.split_on_char '\n' s in
+  Alcotest.(check int) "4 lines + trailing" 5 (List.length lines);
+  (* all non-empty lines align to the same width *)
+  let widths =
+    List.filter_map
+      (fun l -> if l = "" then None else Some (String.length l))
+      lines
+  in
+  List.iter (fun w -> Alcotest.(check int) "aligned" (List.hd widths) w) widths
+
+let test_formatters () =
+  Alcotest.(check string) "f1" "12.3" (Tables.f1 12.34);
+  Alcotest.(check string) "f1 nan" "-" (Tables.f1 nan);
+  Alcotest.(check string) "sci" "1.50e+04" (Tables.sci 15000.);
+  Alcotest.(check string) "secs" "1.50" (Tables.secs 1.5)
+
+(* ------------------------------------------------------------------ *)
+(* Pool and scoreboards                                                *)
+(* ------------------------------------------------------------------ *)
+
+let small_pool () =
+  Pool.entries_of_circuit ~min_nodes:30
+    (Generate.random_netlist ~inputs:10 ~gates:60 ~outputs:4 ~seed:77)
+  @ Pool.entries_of_circuit ~min_nodes:30
+      (Generate.microsequencer ~addr_bits:3 ~stack_depth:2)
+
+let test_pool_filter () =
+  let pool = small_pool () in
+  Alcotest.(check bool) "nonempty" true (pool <> []);
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) (e.Pool.label ^ " min size") true
+        (Bdd.size e.Pool.f >= 30))
+    pool;
+  (* describe mentions the count *)
+  let d = Pool.describe pool in
+  Alcotest.(check bool) "describe" true
+    (String.length d > 0
+    && String.sub d 0 (String.index d ' ')
+       = string_of_int (List.length pool))
+
+let test_approx_scoreboard () =
+  let pool = small_pool () in
+  let methods =
+    [ ("F", fun _ f -> f); ("RUA", fun man f -> Remap.approximate man f) ]
+  in
+  match Scoreboard.approx_table pool methods with
+  | [ frow; rrow ] ->
+      (* RUA is safe, so its mean density must be at least F's *)
+      Alcotest.(check bool) "density >= F" true
+        (rrow.Scoreboard.density >= frow.Scoreboard.density -. 1e-9);
+      Alcotest.(check bool) "nodes <= F" true
+        (rrow.Scoreboard.nodes <= frow.Scoreboard.nodes +. 1e-9);
+      (* wins + ties cannot exceed the instance count *)
+      let n = List.length pool in
+      Alcotest.(check bool) "bounded" true
+        (frow.Scoreboard.wins + frow.Scoreboard.ties <= n
+        && rrow.Scoreboard.wins + rrow.Scoreboard.ties <= n);
+      (* rows render *)
+      Alcotest.(check int) "row cells" 6
+        (List.length (List.hd (Scoreboard.approx_rows [ frow ])))
+  | _ -> Alcotest.fail "expected two rows"
+
+let test_decomp_scoreboard () =
+  let pool = small_pool () in
+  let methods =
+    [
+      ("Cofactor", fun man f -> Decomp.conj_cofactor man f);
+      ("Band", fun man f -> Decomp_points.band man f);
+    ]
+  in
+  match Scoreboard.decomp_table pool methods with
+  | [ c; b ] ->
+      Alcotest.(check bool) "positive sizes" true
+        (c.Scoreboard.shared > 0. && b.Scoreboard.shared > 0.);
+      let n = List.length pool in
+      Alcotest.(check bool) "bounded" true
+        (c.Scoreboard.dwins + c.Scoreboard.dties <= n
+        && b.Scoreboard.dwins + b.Scoreboard.dties <= n)
+  | _ -> Alcotest.fail "expected two rows"
+
+let tests =
+  ( "harness",
+    [
+      Alcotest.test_case "geometric mean" `Quick test_geometric_mean;
+      Alcotest.test_case "means and median" `Quick test_means;
+      Alcotest.test_case "wins and ties" `Quick test_wins_and_ties;
+      prop_geometric_mean_bounds;
+      Alcotest.test_case "table render" `Quick test_render;
+      Alcotest.test_case "formatters" `Quick test_formatters;
+      Alcotest.test_case "pool filter" `Quick test_pool_filter;
+      Alcotest.test_case "approx scoreboard" `Quick test_approx_scoreboard;
+      Alcotest.test_case "decomp scoreboard" `Quick test_decomp_scoreboard;
+    ] )

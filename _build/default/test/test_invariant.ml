@@ -1,0 +1,147 @@
+(* Tests for invariant checking and counterexample reconstruction. *)
+
+let cur_index compiled =
+  let tbl = Hashtbl.create 16 in
+  Array.iteri
+    (fun i l -> Hashtbl.add tbl l.Compile.cur i)
+    compiled.Compile.latches;
+  tbl
+
+let state_of_cube compiled cube =
+  let idx = cur_index compiled in
+  let s = Array.make (Array.length compiled.Compile.latches) false in
+  List.iter (fun (v, b) -> s.(Hashtbl.find idx v) <- b) cube;
+  s
+
+(* a trace is valid when it starts at the initial state and every step is
+   possible under some input assignment *)
+let trace_valid circuit compiled trace =
+  let states = List.map (state_of_cube compiled) trace in
+  match states with
+  | [] -> false
+  | first :: _ ->
+      first = Sim.initial_state circuit
+      && (let ins = List.map fst (Circuit.inputs circuit) in
+          let nin = List.length ins in
+          let step_possible s s' =
+            let rec try_mask mask =
+              if mask >= 1 lsl nin then false
+              else
+                let input n =
+                  let rec idx i = function
+                    | [] -> assert false
+                    | x :: _ when x = n -> i
+                    | _ :: rest -> idx (i + 1) rest
+                  in
+                  mask land (1 lsl idx 0 ins) <> 0
+                in
+                let next, _ = Sim.step circuit s input in
+                next = s' || try_mask (mask + 1)
+            in
+            try_mask 0
+          in
+          let rec pairs = function
+            | a :: (b :: _ as rest) -> step_possible a b && pairs rest
+            | [ _ ] | [] -> true
+          in
+          pairs states)
+
+let test_counter_reaches_max () =
+  let bits = 4 in
+  let circuit = Generate.counter ~bits in
+  let compiled = Compile.compile circuit in
+  let trans = Trans.build compiled in
+  let man = compiled.Compile.man in
+  (* bad: all counter bits set *)
+  let bad =
+    Bdd.cube man (Array.to_list (Compile.cur_vars compiled))
+  in
+  match Invariant.check trans ~bad with
+  | Invariant.Holds _ -> Alcotest.fail "max state is reachable"
+  | Invariant.Violated { depth; trace } ->
+      Alcotest.(check int) "depth" ((1 lsl bits) - 1) depth;
+      Alcotest.(check int) "trace length" (1 lsl bits) (List.length trace);
+      Alcotest.(check bool) "trace valid" true
+        (trace_valid circuit compiled trace)
+
+let test_fifo_never_overflows () =
+  let circuit = Generate.fifo_controller ~depth:5 in
+  let compiled = Compile.compile circuit in
+  let trans = Trans.build compiled in
+  let man = compiled.Compile.man in
+  (* count can never exceed depth: counts 6 and 7 are unreachable *)
+  let cur = Compile.cur_vars compiled in
+  let count_is k =
+    Bdd.cube_of_literals man
+      (Array.to_list (Array.mapi (fun i v -> (v, k land (1 lsl i) <> 0)) cur))
+  in
+  let bad = Bdd.bor man (count_is 6) (count_is 7) in
+  (match Invariant.check trans ~bad with
+  | Invariant.Holds r ->
+      Alcotest.(check (float 1e-6)) "6 states" 6.0 r.Traversal.states
+  | Invariant.Violated _ -> Alcotest.fail "overflow reported");
+  (* but "never full" is violated at depth exactly [depth] *)
+  match Invariant.check trans ~bad:(count_is 5) with
+  | Invariant.Holds _ -> Alcotest.fail "full is reachable"
+  | Invariant.Violated { depth; trace } ->
+      Alcotest.(check int) "depth" 5 depth;
+      Alcotest.(check bool) "trace valid" true
+        (trace_valid circuit compiled trace)
+
+let test_traffic_mutual_exclusion () =
+  let circuit = Generate.traffic_light () in
+  let compiled = Compile.compile circuit in
+  let trans = Trans.build compiled in
+  let man = compiled.Compile.man in
+  let ns = Invariant.output_never compiled "ns_green" in
+  let ew = Invariant.output_never compiled "ew_green" in
+  match Invariant.check trans ~bad:(Bdd.band man ns ew) with
+  | Invariant.Holds r ->
+      Alcotest.(check bool) "exact" true r.Traversal.exact
+  | Invariant.Violated _ -> Alcotest.fail "both green at once"
+
+let test_bad_initial_state () =
+  let circuit = Generate.ring ~bits:3 in
+  let compiled = Compile.compile circuit in
+  let trans = Trans.build compiled in
+  match Invariant.check trans ~bad:compiled.Compile.init with
+  | Invariant.Violated { depth; trace } ->
+      Alcotest.(check int) "depth 0" 0 depth;
+      Alcotest.(check int) "single state" 1 (List.length trace)
+  | Invariant.Holds _ -> Alcotest.fail "initial state is bad"
+
+let qtest ?(count = 25) name prop_arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name prop_arb prop)
+
+let prop_invariant_agrees_with_explicit =
+  qtest "invariant verdicts agree with explicit search"
+    QCheck.(pair (int_range 1 500) (int_range 0 255))
+    (fun (seed, bad_code) ->
+      let circuit = Generate.dense_controller ~latches:8 ~seed in
+      let compiled = Compile.compile circuit in
+      let man = compiled.Compile.man in
+      let trans = Trans.build compiled in
+      let cur = Compile.cur_vars compiled in
+      let bad =
+        Bdd.cube_of_literals man
+          (Array.to_list
+             (Array.mapi (fun i v -> (v, bad_code land (1 lsl i) <> 0)) cur))
+      in
+      let reachable = Sim.reachable circuit in
+      let expected = Hashtbl.mem reachable bad_code in
+      match Invariant.check trans ~bad with
+      | Invariant.Violated { trace; _ } ->
+          expected && trace_valid circuit compiled trace
+      | Invariant.Holds _ -> not expected)
+
+let tests =
+  ( "invariant",
+    [
+      Alcotest.test_case "counter reaches max" `Quick test_counter_reaches_max;
+      Alcotest.test_case "fifo never overflows" `Quick
+        test_fifo_never_overflows;
+      Alcotest.test_case "traffic mutual exclusion" `Quick
+        test_traffic_mutual_exclusion;
+      Alcotest.test_case "bad initial state" `Quick test_bad_initial_state;
+      prop_invariant_agrees_with_explicit;
+    ] )

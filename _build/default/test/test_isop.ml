@@ -1,0 +1,79 @@
+(* Tests for the Minato–Morreale ISOP extraction. *)
+
+let nvars = 7
+let arb = Tgen.arbitrary_expr ~nvars ~depth:7
+
+let qtest ?(count = 250) name prop_arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name prop_arb prop)
+
+let prop_exact_cover =
+  qtest "cover of f is exactly f" arb (fun e ->
+      let man, f, _ = Tgen.setup ~nvars e in
+      let cubes, c = Isop.isop man ~lower:f ~upper:f in
+      Bdd.equal c f
+      && Bdd.equal
+           (Bdd.disj man (List.map (Isop.cube_to_bdd man) cubes))
+           f)
+
+let prop_interval =
+  qtest "interval cover sits between the bounds"
+    QCheck.(pair arb arb)
+    (fun (e1, e2) ->
+      let man = Bdd.create ~nvars () in
+      let f = Tgen.build_bdd man e1 and g = Tgen.build_bdd man e2 in
+      let lower = Bdd.band man f g and upper = Bdd.bor man f g in
+      let cubes, c = Isop.isop man ~lower ~upper in
+      Bdd.leq man lower c && Bdd.leq man c upper
+      && List.for_all
+           (fun cube -> Bdd.leq man (Isop.cube_to_bdd man cube) upper)
+           cubes)
+
+let prop_irredundant =
+  qtest ~count:120 "every cube covers a minterm the others miss" arb (fun e ->
+      let man, f, _ = Tgen.setup ~nvars e in
+      QCheck.assume (not (Bdd.is_const f));
+      let cubes = Isop.cover man f in
+      let bdds = List.map (Isop.cube_to_bdd man) cubes in
+      List.for_all
+        (fun cube ->
+          let others =
+            Bdd.disj man (List.filter (fun b -> not (Bdd.equal b cube)) bdds)
+          in
+          not (Bdd.leq man cube others))
+        bdds)
+
+let prop_cube_count_vs_paths =
+  qtest "cube count never exceeds the path count" arb (fun e ->
+      let man, f, _ = Tgen.setup ~nvars e in
+      float_of_int (List.length (Isop.cover man f))
+      <= Bdd.count_paths man f +. 1.)
+
+let test_isop_raises () =
+  let man = Bdd.create ~nvars:2 () in
+  Alcotest.check_raises "lower > upper"
+    (Invalid_argument "Isop.isop: lower > upper") (fun () ->
+      ignore
+        (Isop.isop man ~lower:(Bdd.ithvar man 0) ~upper:(Bdd.ithvar man 1)))
+
+let test_isop_known () =
+  let man = Bdd.create ~nvars:3 () in
+  let v = Bdd.ithvar man in
+  (* x0 + x1·x2 has exactly the obvious two-cube cover *)
+  let f = Bdd.bor man (v 0) (Bdd.band man (v 1) (v 2)) in
+  Alcotest.(check int) "two cubes" 2 (List.length (Isop.cover man f));
+  (* a tautology is a single empty cube *)
+  let cubes, c = Isop.isop man ~lower:(Bdd.tt man) ~upper:(Bdd.tt man) in
+  Alcotest.(check int) "one cube" 1 (List.length cubes);
+  Alcotest.(check bool) "empty cube" true (List.hd cubes = []);
+  Alcotest.(check bool) "tt" true (Bdd.is_true c)
+
+let tests =
+  ( "isop",
+    [
+      prop_exact_cover;
+      prop_interval;
+      prop_irredundant;
+      prop_cube_count_vs_paths;
+      Alcotest.test_case "raises on bad interval" `Quick test_isop_raises;
+      Alcotest.test_case "known covers" `Quick test_isop_known;
+    ] )

@@ -1,0 +1,19 @@
+let () =
+  Alcotest.run "dac98_bdd"
+    [
+      Test_bdd.tests;
+      Test_approx.tests;
+      Test_decomp.tests;
+      Test_partitioned.tests;
+      Test_isop.tests;
+      Test_circuit.tests;
+      Test_blif.tests;
+      Test_reach.tests;
+      Test_harness.tests;
+      Test_dot.tests;
+      Test_invariant.tests;
+      Test_ctl.tests;
+      Test_approx_traversal.tests;
+      Test_simplify.tests;
+      Test_misc.tests;
+    ]

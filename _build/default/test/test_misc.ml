@@ -1,0 +1,134 @@
+(* Assorted edge-case tests across the libraries. *)
+
+let test_order_maps_are_inverse () =
+  let man = Bdd.create ~nvars:6 () in
+  let f = Bdd.bxor man (Bdd.ithvar man 0) (Bdd.ithvar man 5) in
+  let order = [| 3; 1; 5; 0; 4; 2 |] in
+  ignore (Bdd.reorder man ~order ~roots:[ f ]);
+  for l = 0 to 5 do
+    Alcotest.(check int) (Printf.sprintf "level %d" l) l
+      (Bdd.level_of_var man (Bdd.var_at_level man l))
+  done;
+  Alcotest.(check (list int)) "order readback" (Array.to_list order)
+    (Array.to_list (Bdd.order man))
+
+let test_reorder_rejects_bad_perm () =
+  let man = Bdd.create ~nvars:3 () in
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Bdd.reorder: not a permutation") (fun () ->
+      ignore (Bdd.reorder man ~order:[| 0; 0; 2 |] ~roots:[]));
+  Alcotest.check_raises "length"
+    (Invalid_argument "Bdd.reorder: bad permutation length") (fun () ->
+      ignore (Bdd.reorder man ~order:[| 0; 1 |] ~roots:[]))
+
+let test_support_cube () =
+  let man = Bdd.create ~nvars:5 () in
+  let f = Bdd.band man (Bdd.ithvar man 1) (Bdd.bnot man (Bdd.ithvar man 3)) in
+  let cube = Bdd.support_cube man f in
+  Alcotest.(check bool) "cube = x1 x3" true
+    (Bdd.equal cube (Bdd.cube man [ 1; 3 ]))
+
+let test_iter_sat_limit () =
+  let man = Bdd.create ~nvars:5 () in
+  let f = Bdd.bor man (Bdd.ithvar man 0) (Bdd.ithvar man 2) in
+  let count = ref 0 in
+  Bdd.iter_sat man ~limit:1 f (fun _ -> incr count);
+  Alcotest.(check int) "one cube" 1 !count
+
+let test_node_limit_manager () =
+  let man = Bdd.create ~nvars:10 () in
+  Bdd.set_node_limit man (Some 5);
+  Alcotest.check_raises "blows up" Bdd.Node_limit (fun () ->
+      ignore (Bdd.conj man (List.init 10 (Bdd.ithvar man))));
+  (* clearing the limit lets the same computation finish *)
+  Bdd.set_node_limit man None;
+  let f = Bdd.conj man (List.init 10 (Bdd.ithvar man)) in
+  Alcotest.(check int) "cube built" 10 (Bdd.size f)
+
+let test_compile_into_shared_manager () =
+  (* two circuits in one manager must not clash *)
+  let man = Bdd.create () in
+  let a = Compile.compile ~man (Generate.counter ~bits:3) in
+  let b = Compile.compile ~man (Generate.ring ~bits:4) in
+  let vars c =
+    Array.to_list (Compile.cur_vars c)
+    @ Array.to_list (Compile.next_vars c)
+    @ Array.to_list (Compile.input_var_array c)
+  in
+  List.iter
+    (fun v ->
+      Alcotest.(check bool) "disjoint vars" false (List.mem v (vars b)))
+    (vars a);
+  (* and both traverse correctly in the shared manager *)
+  let ra = Bfs.run (Trans.build a) and rb = Bfs.run (Trans.build b) in
+  Alcotest.(check (float 1e-9)) "counter" 8.0 ra.Traversal.states;
+  Alcotest.(check (float 1e-9)) "ring" 4.0 rb.Traversal.states
+
+let test_interleave_uneven () =
+  Alcotest.(check (list int)) "uneven groups" [ 0; 9; 1; 2 ]
+    (Array.to_list (Reorder.interleave [ [| 0; 1; 2 |]; [| 9 |] ]))
+
+let test_method_classes () =
+  Alcotest.(check bool) "RUA simple" true (Approx.is_simple Approx.RUA);
+  Alcotest.(check bool) "C1 compound" false (Approx.is_simple Approx.C1);
+  Alcotest.(check bool) "RUA safe" true (Approx.is_safe Approx.RUA);
+  Alcotest.(check bool) "HB not safe" false (Approx.is_safe Approx.HB)
+
+let test_render_empty_rows () =
+  let s = Tables.render ~headers:[ "a"; "b" ] ~rows:[] in
+  Alcotest.(check bool) "headers only" true (String.length s > 0)
+
+let test_tiny_cache_limit_still_correct () =
+  (* a pathologically small cache bound forces constant recomputation but
+     must never change results *)
+  let man = Bdd.create ~nvars:8 () in
+  Bdd.set_cache_limit man 0;
+  (* clamped to a small positive bound internally *)
+  let v = Bdd.ithvar man in
+  let f =
+    Bdd.bxor man
+      (Bdd.conj man [ v 0; v 3; v 6 ])
+      (Bdd.disj man [ v 1; Bdd.band man (v 4) (v 7) ])
+  in
+  let g = Bdd.exists man ~vars:(Bdd.cube man [ 3; 4 ]) f in
+  let man2 = Bdd.create ~nvars:8 () in
+  let v2 = Bdd.ithvar man2 in
+  let f2 =
+    Bdd.bxor man2
+      (Bdd.conj man2 [ v2 0; v2 3; v2 6 ])
+      (Bdd.disj man2 [ v2 1; Bdd.band man2 (v2 4) (v2 7) ])
+  in
+  let g2 = Bdd.exists man2 ~vars:(Bdd.cube man2 [ 3; 4 ]) f2 in
+  for idx = 0 to 255 do
+    let asg i = idx land (1 lsl i) <> 0 in
+    Alcotest.(check bool)
+      (Printf.sprintf "agree at %d" idx)
+      (Bdd.eval man2 g2 asg) (Bdd.eval man g asg)
+  done
+
+let test_gc_keeps_weight_correct () =
+  let man = Bdd.create ~nvars:6 () in
+  let f = Bdd.bor man (Bdd.ithvar man 0) (Bdd.band man (Bdd.ithvar man 1) (Bdd.ithvar man 2)) in
+  let w = Bdd.weight man f in
+  ignore (Bdd.gc man ~roots:[ f ]);
+  Alcotest.(check (float 1e-12)) "weight survives gc" w (Bdd.weight man f)
+
+let tests =
+  ( "misc",
+    [
+      Alcotest.test_case "order maps inverse" `Quick test_order_maps_are_inverse;
+      Alcotest.test_case "reorder rejects bad perm" `Quick
+        test_reorder_rejects_bad_perm;
+      Alcotest.test_case "support cube" `Quick test_support_cube;
+      Alcotest.test_case "iter_sat limit" `Quick test_iter_sat_limit;
+      Alcotest.test_case "manager node limit" `Quick test_node_limit_manager;
+      Alcotest.test_case "shared-manager compile" `Quick
+        test_compile_into_shared_manager;
+      Alcotest.test_case "interleave uneven" `Quick test_interleave_uneven;
+      Alcotest.test_case "method classes" `Quick test_method_classes;
+      Alcotest.test_case "render empty" `Quick test_render_empty_rows;
+      Alcotest.test_case "tiny cache limit correct" `Quick
+        test_tiny_cache_limit_still_correct;
+      Alcotest.test_case "weight survives gc" `Quick
+        test_gc_keeps_weight_correct;
+    ] )

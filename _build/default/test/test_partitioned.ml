@@ -1,0 +1,95 @@
+(* Tests for partitioned ROBDDs (Narayan et al.). *)
+
+let nvars = 7
+let arb = Tgen.arbitrary_expr ~nvars ~depth:7
+
+let qtest ?(count = 200) name prop_arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name prop_arb prop)
+
+let prop_roundtrip =
+  qtest "of_bdd / to_bdd round-trips"
+    QCheck.(pair arb (int_range 1 8))
+    (fun (e, parts) ->
+      let man, f, _ = Tgen.setup ~nvars e in
+      let p = Partitioned.of_bdd man ~parts f in
+      Partitioned.well_formed man p && Bdd.equal (Partitioned.to_bdd man p) f)
+
+let prop_ops_pointwise =
+  qtest "apply agrees with the monolithic operation"
+    QCheck.(triple arb arb (int_range 2 4))
+    (fun (e1, e2, parts) ->
+      let man = Bdd.create ~nvars () in
+      let f = Tgen.build_bdd man e1 and g = Tgen.build_bdd man e2 in
+      let pf = Partitioned.of_bdd man ~parts f
+      and pg = Partitioned.of_bdd man ~parts:2 g in
+      Bdd.equal
+        (Partitioned.to_bdd man (Partitioned.band man pf pg))
+        (Bdd.band man f g)
+      && Bdd.equal
+           (Partitioned.to_bdd man (Partitioned.bor man pf pg))
+           (Bdd.bor man f g)
+      && Bdd.equal
+           (Partitioned.to_bdd man (Partitioned.bnot man pf))
+           (Bdd.bnot man f))
+
+let prop_is_false =
+  qtest "is_false without rebuilding" QCheck.(pair arb arb) (fun (e1, e2) ->
+      let man = Bdd.create ~nvars () in
+      let f = Tgen.build_bdd man e1 and g = Tgen.build_bdd man e2 in
+      let p =
+        Partitioned.band man
+          (Partitioned.of_bdd man f)
+          (Partitioned.of_bdd man (Bdd.bnot man g))
+      in
+      Partitioned.is_false man p = Bdd.is_false (Bdd.bdiff man f g))
+
+let prop_equal =
+  qtest "functional equality across window structures"
+    QCheck.(pair arb (int_range 1 8))
+    (fun (e, parts) ->
+      let man, f, _ = Tgen.setup ~nvars e in
+      let a = Partitioned.of_bdd man ~parts f
+      and b = Partitioned.of_bdd man ~parts:2 f in
+      Partitioned.equal man a b)
+
+let test_bad_windows_rejected () =
+  let man = Bdd.create ~nvars:3 () in
+  let x = Bdd.ithvar man 0 in
+  (* overlapping windows *)
+  Alcotest.check_raises "not orthogonal"
+    (Invalid_argument "Partitioned.of_windows: windows not orthogonal")
+    (fun () ->
+      ignore
+        (Partitioned.of_windows man [ (x, Bdd.tt man); (Bdd.tt man, x) ]));
+  (* non-covering windows *)
+  Alcotest.check_raises "no cover"
+    (Invalid_argument "Partitioned.of_windows: windows not orthogonal")
+    (fun () -> ignore (Partitioned.of_windows man [ (x, Bdd.tt man) ]))
+
+let test_windows_shrink_multiplier () =
+  (* the selling point: each window of a hard function is smaller than the
+     monolithic BDD *)
+  let c = Generate.multiplier ~bits:6 in
+  let entries = Pool.entries_of_circuit ~min_nodes:150 c in
+  Alcotest.(check bool) "pool nonempty" true (entries <> []);
+  List.iter
+    (fun { Pool.man; f; label; _ } ->
+      let p = Partitioned.of_bdd man ~parts:8 f in
+      Alcotest.(check bool)
+        (label ^ " windows smaller")
+        true
+        (Partitioned.max_window_size p < Bdd.size f))
+    entries
+
+let tests =
+  ( "partitioned",
+    [
+      prop_roundtrip;
+      prop_ops_pointwise;
+      prop_is_false;
+      prop_equal;
+      Alcotest.test_case "bad windows rejected" `Quick
+        test_bad_windows_rejected;
+      Alcotest.test_case "windows shrink the multiplier" `Quick
+        test_windows_shrink_multiplier;
+    ] )

@@ -1,0 +1,111 @@
+(* Tests for don't-care minimization against the reachable states. *)
+
+let machines () =
+  [
+    Generate.ring ~bits:6;
+    Generate.johnson ~bits:5;
+    Generate.fifo_controller ~depth:5;
+    Generate.traffic_light ();
+    Generate.microsequencer ~addr_bits:3 ~stack_depth:1;
+    Generate.lfsr ~bits:6;
+  ]
+
+let test_behaviour_preserved () =
+  List.iter
+    (fun c ->
+      let compiled = Compile.compile c in
+      let man = compiled.Compile.man in
+      let minimized, reached = Simplify.with_reachable compiled in
+      (* every function agrees with the original on the reachable states *)
+      Array.iteri
+        (fun i l ->
+          let l' = minimized.Compile.latches.(i) in
+          Alcotest.(check bool)
+            (Circuit.name c ^ "." ^ l.Compile.name)
+            true
+            (Bdd.is_false
+               (Bdd.band man reached
+                  (Bdd.bxor man l.Compile.fn l'.Compile.fn))))
+        compiled.Compile.latches;
+      List.iter2
+        (fun (n, f) (_, f') ->
+          Alcotest.(check bool)
+            (Circuit.name c ^ " out " ^ n)
+            true
+            (Bdd.is_false (Bdd.band man reached (Bdd.bxor man f f'))))
+        compiled.Compile.output_fns minimized.Compile.output_fns)
+    (machines ())
+
+let test_reachable_set_unchanged () =
+  List.iter
+    (fun c ->
+      let compiled = Compile.compile c in
+      let man = compiled.Compile.man in
+      let minimized, reached = Simplify.with_reachable compiled in
+      let trans' = Trans.build minimized in
+      let reached' = (Bfs.run trans').Traversal.reached in
+      (* the minimized machine may leave the reached set on unreachable
+         states, but from the initial states it reaches exactly the same
+         set *)
+      Alcotest.(check bool) (Circuit.name c) true
+        (Bdd.equal reached reached');
+      ignore man)
+    (machines ())
+
+let test_never_grows () =
+  List.iter
+    (fun c ->
+      let compiled = Compile.compile c in
+      let before = Simplify.total_size compiled in
+      let minimized, _ = Simplify.with_reachable compiled in
+      Alcotest.(check bool) (Circuit.name c) true
+        (Simplify.total_size minimized <= before))
+    (machines ())
+
+let test_shrinks_sparse_machine () =
+  (* a one-hot ring whose next-state functions carry junk terms that vanish
+     on the reachable (one-hot) states: minimization must strip them *)
+  let n = 6 in
+  let b = Circuit.Builder.create "junk_ring" in
+  let r =
+    Array.init n (fun i ->
+        Circuit.Builder.latch b ~init:(i = 0) (Printf.sprintf "r.%d" i))
+  in
+  Array.iteri
+    (fun i l ->
+      let junk =
+        Circuit.Builder.and_ b r.((i + 2) mod n) r.((i + 3) mod n)
+      in
+      Circuit.Builder.connect b l
+        ~next:(Circuit.Builder.xor_ b r.((i + n - 1) mod n) junk))
+    r;
+  Circuit.Builder.output b "o" r.(0);
+  let c = Circuit.Builder.finish b in
+  (* sanity: on one-hot states the junk is 0, so this is a plain ring *)
+  Alcotest.(check int) "still n reachable states" n
+    (Hashtbl.length (Sim.reachable c));
+  let compiled = Compile.compile c in
+  let before = Simplify.total_size compiled in
+  let minimized, _ = Simplify.with_reachable compiled in
+  Alcotest.(check bool) "strictly smaller" true
+    (Simplify.total_size minimized < before)
+
+let test_empty_care_rejected () =
+  let c = Generate.counter ~bits:3 in
+  let compiled = Compile.compile c in
+  Alcotest.check_raises "empty care"
+    (Invalid_argument "Simplify.with_care_set: empty care") (fun () ->
+      ignore
+        (Simplify.with_care_set compiled ~care:(Bdd.ff compiled.Compile.man)))
+
+let tests =
+  ( "simplify",
+    [
+      Alcotest.test_case "behaviour preserved" `Quick test_behaviour_preserved;
+      Alcotest.test_case "reachable set unchanged" `Quick
+        test_reachable_set_unchanged;
+      Alcotest.test_case "never grows" `Quick test_never_grows;
+      Alcotest.test_case "shrinks sparse machine" `Quick
+        test_shrinks_sparse_machine;
+      Alcotest.test_case "empty care rejected" `Quick test_empty_care_rejected;
+    ] )

@@ -1,0 +1,104 @@
+(* Random boolean expressions for property-based tests: each expression is
+   evaluated both through the BDD engine and through the truth-table
+   oracle. *)
+
+type expr =
+  | T
+  | F
+  | V of int
+  | Not of expr
+  | And of expr * expr
+  | Or of expr * expr
+  | Xor of expr * expr
+  | Imp of expr * expr
+  | Ite of expr * expr * expr
+
+let rec pp_expr fmt = function
+  | T -> Format.fprintf fmt "1"
+  | F -> Format.fprintf fmt "0"
+  | V i -> Format.fprintf fmt "x%d" i
+  | Not e -> Format.fprintf fmt "!%a" pp_expr e
+  | And (a, b) -> Format.fprintf fmt "(%a & %a)" pp_expr a pp_expr b
+  | Or (a, b) -> Format.fprintf fmt "(%a | %a)" pp_expr a pp_expr b
+  | Xor (a, b) -> Format.fprintf fmt "(%a ^ %a)" pp_expr a pp_expr b
+  | Imp (a, b) -> Format.fprintf fmt "(%a -> %a)" pp_expr a pp_expr b
+  | Ite (a, b, c) ->
+      Format.fprintf fmt "ite(%a,%a,%a)" pp_expr a pp_expr b pp_expr c
+
+let expr_gen ~nvars ~depth =
+  let open QCheck.Gen in
+  let leaf = frequency [ (8, map (fun v -> V v) (int_bound (nvars - 1))); (1, return T); (1, return F) ] in
+  fix
+    (fun self d ->
+      if d <= 0 then leaf
+      else
+        frequency
+          [
+            (2, leaf);
+            (2, map (fun e -> Not e) (self (d - 1)));
+            (3, map2 (fun a b -> And (a, b)) (self (d - 1)) (self (d - 1)));
+            (3, map2 (fun a b -> Or (a, b)) (self (d - 1)) (self (d - 1)));
+            (2, map2 (fun a b -> Xor (a, b)) (self (d - 1)) (self (d - 1)));
+            (1, map2 (fun a b -> Imp (a, b)) (self (d - 1)) (self (d - 1)));
+            ( 1,
+              map3
+                (fun a b c -> Ite (a, b, c))
+                (self (d - 1)) (self (d - 1)) (self (d - 1)) );
+          ])
+    depth
+
+let arbitrary_expr ~nvars ~depth =
+  QCheck.make ~print:(Format.asprintf "%a" pp_expr) (expr_gen ~nvars ~depth)
+
+let rec build_bdd man = function
+  | T -> Bdd.tt man
+  | F -> Bdd.ff man
+  | V i -> Bdd.ithvar man i
+  | Not e -> Bdd.bnot man (build_bdd man e)
+  | And (a, b) -> Bdd.band man (build_bdd man a) (build_bdd man b)
+  | Or (a, b) -> Bdd.bor man (build_bdd man a) (build_bdd man b)
+  | Xor (a, b) -> Bdd.bxor man (build_bdd man a) (build_bdd man b)
+  | Imp (a, b) -> Bdd.bimp man (build_bdd man a) (build_bdd man b)
+  | Ite (a, b, c) ->
+      Bdd.ite man (build_bdd man a) (build_bdd man b) (build_bdd man c)
+
+let rec build_oracle n = function
+  | T -> Oracle.const n true
+  | F -> Oracle.const n false
+  | V i -> Oracle.var n i
+  | Not e -> Oracle.not_ (build_oracle n e)
+  | And (a, b) -> Oracle.and_ (build_oracle n a) (build_oracle n b)
+  | Or (a, b) -> Oracle.or_ (build_oracle n a) (build_oracle n b)
+  | Xor (a, b) -> Oracle.xor_ (build_oracle n a) (build_oracle n b)
+  | Imp (a, b) -> Oracle.imp (build_oracle n a) (build_oracle n b)
+  | Ite (a, b, c) ->
+      Oracle.ite (build_oracle n a) (build_oracle n b) (build_oracle n c)
+
+(* A fresh manager with [nvars] variables plus the expression compiled in
+   both semantics. *)
+let setup ~nvars e =
+  let man = Bdd.create ~nvars () in
+  let f = build_bdd man e in
+  let o = build_oracle nvars e in
+  (man, f, o)
+
+let permutation_gen n =
+  let open QCheck.Gen in
+  map
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let a = Array.init n (fun i -> i) in
+      for i = n - 1 downto 1 do
+        let j = Random.State.int st (i + 1) in
+        let t = a.(i) in
+        a.(i) <- a.(j);
+        a.(j) <- t
+      done;
+      a)
+    int
+
+let var_subset_gen n =
+  let open QCheck.Gen in
+  map
+    (fun mask -> List.filter (fun v -> mask land (1 lsl v) <> 0) (List.init n Fun.id))
+    (int_bound ((1 lsl n) - 1))
