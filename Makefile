@@ -1,0 +1,22 @@
+.PHONY: all build test bench smoke check clean
+
+all: build
+
+build:
+	dune build
+
+test: build
+	dune runtest
+
+# A few-second benchmark smoke run exercising the parallel path end to end
+# (2 workers; output is byte-identical for every --jobs value).
+smoke: build
+	dune exec bench/main.exe -- --smoke --jobs 2
+
+check: build test smoke
+
+bench: build
+	dune exec bench/main.exe
+
+clean:
+	dune clean

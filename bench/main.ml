@@ -4,11 +4,21 @@
 
      dune exec bench/main.exe            -- everything
      dune exec bench/main.exe -- table1  -- one experiment
-       (table1 | table2 | table3 | table4 | ablations | kernels)
+       (table1 | table2 | table3 | table4 | ablations | kernels | smoke)
+
+   Flags:
+     --jobs N   worker domains for the pool sweeps and the table-1 engine
+                fan-out (default: Domain.recommended_domain_count).  Table
+                contents are identical for every N; only wall time changes.
+     --smoke    a seconds-long slice of the suite that still exercises the
+                parallel path end to end (for CI; same as the "smoke"
+                experiment name).
 
    Absolute numbers differ from the paper (different circuits, different
    hardware, simulator substrate); the *shape* -- who wins, by what rough
    factor -- is what EXPERIMENTS.md tracks. *)
+
+let jobs = ref (Mt.Runner.default_jobs ())
 
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
@@ -79,10 +89,41 @@ let pimg_cell = function
   | None -> "NA"
   | Some (a, b) -> Printf.sprintf "%d/%d" a b
 
-let result_cell budget (r : Traversal.result) =
-  if r.Traversal.exact then Printf.sprintf "%.1f" r.Traversal.cpu_seconds
-  else if r.Traversal.cpu_seconds < budget then "mem"
-  else Printf.sprintf ">%.0f" budget
+(* what an engine job sends back across the domain boundary: plain data,
+   never a BDD from the worker's private manager *)
+type engine_cell = { exact : bool; wall : float; states : float }
+
+let result_cell budget = function
+  | None -> "err"
+  | Some c ->
+      if c.exact then Printf.sprintf "%.1f" c.wall
+      else if c.wall < budget then "mem"
+      else Printf.sprintf ">%.0f" budget
+
+(* The three engines of one row, as runner jobs over a relation that was
+   built once in the calling domain and is imported per worker. *)
+let table1_engines row exported =
+  let engine label run =
+    Mt.Runner.job ~label:(row.name ^ "." ^ label) (fun man ->
+        let trans = Trans.import man exported in
+        let t0 = Unix.gettimeofday () in
+        let r = run trans in
+        {
+          exact = r.Traversal.exact;
+          wall = Unix.gettimeofday () -. t0;
+          states = r.Traversal.states;
+        })
+  in
+  [
+    engine "bfs" (fun trans ->
+        Bfs.run ~time_limit:row.budget ~node_limit:table1_node_limit trans);
+    engine "rua" (fun trans ->
+        High_density.run ~time_limit:row.budget ~node_limit:table1_node_limit
+          ~params:row.rua trans);
+    engine "sp" (fun trans ->
+        High_density.run ~time_limit:row.budget ~node_limit:table1_node_limit
+          ~params:row.sp trans);
+  ]
 
 let table1 () =
   section "Table 1: reachability analysis using BDD approximations";
@@ -95,28 +136,33 @@ let table1 () =
     table1_node_limit;
   note
     " DESIGN.md); 'mem' = died on the ceiling, '>N' = exceeded the time budget";
-  let rows =
+  (* build each machine's partitioned relation once, export it, and fan the
+     3 engines x 4 machines out over the worker pool *)
+  let specs =
     List.map
       (fun row ->
-        note "running %s (%s)..." row.name (Circuit.stats row.circuit);
-        let fresh () = Trans.build (Compile.compile row.circuit) in
-        let bfs =
-          Bfs.run ~time_limit:row.budget ~node_limit:table1_node_limit
-            (fresh ())
-        in
-        let hd_rua =
-          High_density.run ~time_limit:row.budget
-            ~node_limit:table1_node_limit ~params:row.rua (fresh ())
-        in
-        let hd_sp =
-          High_density.run ~time_limit:row.budget
-            ~node_limit:table1_node_limit ~params:row.sp (fresh ())
-        in
+        note "compiling %s (%s)..." row.name (Circuit.stats row.circuit);
+        (row, Trans.export (Trans.build (Compile.compile row.circuit))))
+      (table1_rows ())
+  in
+  let results =
+    Mt.Runner.run ~jobs:!jobs
+      (List.concat_map (fun (row, x) -> table1_engines row x) specs)
+  in
+  note "\nper-job runner reports:";
+  List.iter
+    (fun (r : _ Mt.Runner.result) ->
+      note "  %s" (Format.asprintf "%a" Mt.Runner.pp_report r.Mt.Runner.report))
+    results;
+  let cells = List.map Mt.Runner.value results in
+  let rec by_row specs cells =
+    match (specs, cells) with
+    | [], [] -> []
+    | (row, _) :: specs', bfs :: rua :: sp :: cells' ->
         let states =
-          List.find_opt
-            (fun (r : Traversal.result) -> r.Traversal.exact)
-            [ bfs; hd_rua; hd_sp ]
-          |> Option.map (fun r -> r.Traversal.states)
+          List.find_map
+            (function Some c when c.exact -> Some c.states | _ -> None)
+            [ bfs; rua; sp ]
         in
         [
           row.name;
@@ -128,12 +174,13 @@ let table1 () =
           string_of_int row.rua.High_density.threshold;
           Printf.sprintf "%.1f" row.rua.High_density.quality;
           pimg_cell row.rua.High_density.pimg;
-          result_cell row.budget hd_rua;
+          result_cell row.budget rua;
           string_of_int row.sp.High_density.threshold;
           pimg_cell row.sp.High_density.pimg;
-          result_cell row.budget hd_sp;
-        ])
-      (table1_rows ())
+          result_cell row.budget sp;
+        ]
+        :: by_row specs' cells'
+    | _ -> assert false
   in
   Tables.print
     ~headers:
@@ -141,13 +188,13 @@ let table1 () =
         "Ckt"; "FF"; "States"; "BFS time"; "Th"; "Qual"; "PImg"; "RUA time";
         "Th"; "PImg"; "SP time";
       ]
-    ~rows
+    ~rows:(by_row specs cells)
 
 (* ------------------------------------------------------------------ *)
 (* Tables 2 and 3: comparison of approximation methods                 *)
 (* ------------------------------------------------------------------ *)
 
-let shared_pool = lazy (Pool.build ~min_nodes:500 ())
+let shared_pool = lazy (Pool.build ~min_nodes:500 ~jobs:!jobs ())
 
 let table2 () =
   section "Table 2: comparison of approximation methods I (simple methods)";
@@ -174,7 +221,7 @@ let table2 () =
       ("RUA", fun man f -> Remap.approximate man f);
     ]
   in
-  let rows = Scoreboard.approx_table pool methods in
+  let rows = Scoreboard.approx_table ~jobs:!jobs pool methods in
   Tables.print ~headers:Scoreboard.approx_headers
     ~rows:(Scoreboard.approx_rows rows)
 
@@ -188,7 +235,7 @@ let table3 () =
       ("C2", fun man f -> Compound.c2 man f);
     ]
   in
-  let rows = Scoreboard.approx_table pool methods in
+  let rows = Scoreboard.approx_table ~jobs:!jobs pool methods in
   Tables.print ~headers:Scoreboard.approx_headers
     ~rows:(Scoreboard.approx_rows rows)
 
@@ -222,7 +269,7 @@ let table4 () =
         note "\nMin. nodes = %d, |f| = %.1f, %d BDDs" min_nodes
           (Stats.geometric_mean sizes)
           (List.length entries);
-        let rows = Scoreboard.decomp_table entries decomp_methods in
+        let rows = Scoreboard.decomp_table ~jobs:!jobs entries decomp_methods in
         Tables.print ~headers:Scoreboard.decomp_headers
           ~rows:(Scoreboard.decomp_rows rows)
       end)
@@ -248,7 +295,7 @@ let ablations () =
     @ [ ("iterated", fun man f -> Compound.iterated_rua man f) ]
   in
   Tables.print ~headers:Scoreboard.approx_headers
-    ~rows:(Scoreboard.approx_rows (Scoreboard.approx_table pool methods));
+    ~rows:(Scoreboard.approx_rows (Scoreboard.approx_table ~jobs:!jobs pool methods));
 
   section "Ablation: UA convex-combination weight";
   let methods =
@@ -262,7 +309,7 @@ let ablations () =
       [ 0.25; 0.5; 0.75 ]
   in
   Tables.print ~headers:Scoreboard.approx_headers
-    ~rows:(Scoreboard.approx_rows (Scoreboard.approx_table pool methods));
+    ~rows:(Scoreboard.approx_rows (Scoreboard.approx_table ~jobs:!jobs pool methods));
 
   section "Ablation: Band placement";
   let methods =
@@ -273,7 +320,7 @@ let ablations () =
       [ (0.1, 0.35); (0.35, 0.65); (0.65, 0.9) ]
   in
   Tables.print ~headers:Scoreboard.decomp_headers
-    ~rows:(Scoreboard.decomp_rows (Scoreboard.decomp_table pool methods));
+    ~rows:(Scoreboard.decomp_rows (Scoreboard.decomp_table ~jobs:!jobs pool methods));
 
   section "Ablation: over-approximate traversal (machine decomposition)";
   note "(the dual of Section 2: Cho et al.'s MBM overapproximation, ref [7])";
@@ -377,7 +424,7 @@ let regimes () =
               f );
       ]
     in
-    let rows = Scoreboard.approx_table pool methods in
+    let rows = Scoreboard.approx_table ~jobs:!jobs pool methods in
     let weights =
       Stats.geometric_mean
         (List.map (fun e -> Bdd.weight e.Pool.man e.Pool.f) pool)
@@ -440,12 +487,96 @@ let kernels () =
     tests
 
 (* ------------------------------------------------------------------ *)
+(* Smoke: a seconds-long slice that still exercises the parallel path   *)
+(* ------------------------------------------------------------------ *)
+
+let smoke () =
+  section "Smoke: parallel pool sweep";
+  let circuits =
+    [
+      Generate.microsequencer ~addr_bits:4 ~stack_depth:2;
+      Generate.shifter_datapath ~width:8;
+      Generate.random_netlist ~inputs:14 ~gates:60 ~outputs:4 ~seed:7;
+    ]
+  in
+  let pool = List.concat_map (Pool.entries_of_circuit ~min_nodes:150) circuits in
+  note "pool: %s" (Pool.describe pool);
+  let methods =
+    [
+      ("F", fun _ f -> f);
+      ( "SP",
+        fun man f ->
+          Short_paths.approximate man
+            ~threshold:(Bdd.size (Remap.approximate man f))
+            f );
+      ("RUA", fun man f -> Remap.approximate man f);
+    ]
+  in
+  Tables.print ~headers:Scoreboard.approx_headers
+    ~rows:(Scoreboard.approx_rows (Scoreboard.approx_table ~jobs:!jobs pool methods));
+  Tables.print ~headers:Scoreboard.decomp_headers
+    ~rows:
+      (Scoreboard.decomp_rows (Scoreboard.decomp_table ~jobs:!jobs pool decomp_methods));
+  (* a tiny reachability fan-out through Trans.export/import: build the
+     relation once, run both engines in worker-private managers *)
+  let compiled = Compile.compile (Generate.microsequencer ~addr_bits:3 ~stack_depth:2) in
+  let x = Trans.export (Trans.build compiled) in
+  let engine label run =
+    Mt.Runner.job ~label (fun man ->
+        let r = run (Trans.import man x) in
+        (r.Traversal.exact, r.Traversal.states))
+  in
+  let results =
+    Mt.Runner.run ~jobs:!jobs
+      [
+        engine "smoke.bfs" (fun t -> Bfs.run ~node_limit:200_000 t);
+        engine "smoke.rua" (fun t ->
+            High_density.run ~node_limit:200_000
+              ~params:{ High_density.default with threshold = 0 }
+              t);
+      ]
+  in
+  List.iter
+    (fun (r : _ Mt.Runner.result) ->
+      match Mt.Runner.value r with
+      | Some (exact, states) ->
+          note "  %-12s %s %.6g states"
+            r.Mt.Runner.report.Mt.Runner.label
+            (if exact then "exact" else "partial")
+            states
+      | None ->
+          note "  %-12s %s" r.Mt.Runner.report.Mt.Runner.label
+            (Format.asprintf "%a" Mt.Runner.pp_outcome r.Mt.Runner.outcome))
+    results
+
+(* ------------------------------------------------------------------ *)
 
 let () =
+  let set_jobs n =
+    match int_of_string_opt n with
+    | Some j when j >= 1 -> jobs := j
+    | _ ->
+        Printf.eprintf "--jobs wants a positive integer, got %s\n" n;
+        exit 1
+  in
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | [ "--jobs" ] ->
+        Printf.eprintf "--jobs wants a positive integer\n";
+        exit 1
+    | "--jobs" :: n :: rest ->
+        set_jobs n;
+        parse acc rest
+    | arg :: rest when String.length arg > 7 && String.sub arg 0 7 = "--jobs=" ->
+        set_jobs (String.sub arg 7 (String.length arg - 7));
+        parse acc rest
+    | "--smoke" :: rest -> parse ("smoke" :: acc) rest
+    | arg :: rest -> parse (arg :: acc) rest
+  in
   let want =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as rest) -> rest
-    | _ -> [ "table2"; "table3"; "table4"; "ablations"; "kernels"; "table1" ]
+    match parse [] (List.tl (Array.to_list Sys.argv)) with
+    | [] -> [ "table2"; "table3"; "table4"; "ablations"; "kernels"; "table1" ]
+    | names -> names
   in
   List.iter
     (fun name ->
@@ -457,10 +588,11 @@ let () =
       | "ablations" -> ablations ()
       | "regimes" -> regimes ()
       | "kernels" -> kernels ()
+      | "smoke" -> smoke ()
       | other ->
           Printf.eprintf
             "unknown experiment %s (want table1..table4, ablations, \
-             regimes, kernels)\n"
+             regimes, kernels, smoke)\n"
             other;
           exit 1)
     want

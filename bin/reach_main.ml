@@ -100,8 +100,27 @@ let cluster_arg =
     value & opt int 2000
     & info [ "cluster-limit" ] ~doc:"Transition-relation cluster size limit.")
 
+let save_reached_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "save-reached" ] ~docv:"FILE"
+        ~doc:
+          "Checkpoint the reached set to $(docv) (compact binary BDD \
+           serialization, loadable into any manager).")
+
+let check_reached_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "check-reached" ] ~docv:"FILE"
+        ~doc:
+          "Load a reached set saved by --save-reached (possibly from a run \
+           with a different variable order) and report whether this run \
+           computed the same set.")
+
 let run circuit blif params engine meth threshold quality pimg time_limit
-    node_limit sift cluster_limit =
+    node_limit sift cluster_limit save_reached check_reached =
   let c =
     match blif with
     | Some path -> Blif.parse_file path
@@ -122,14 +141,33 @@ let run circuit blif params engine meth threshold quality pimg time_limit
           ~params:{ High_density.meth; threshold; quality; pimg }
           trans
   in
-  Format.printf "%a@." Traversal.pp result
+  Format.printf "%a@." Traversal.pp result;
+  let man = Trans.man trans in
+  (match save_reached with
+  | None -> ()
+  | Some path ->
+      Bdd.save path (Bdd.export man result.Traversal.reached);
+      Printf.printf "reached set (%d nodes) saved to %s\n%!"
+        (Bdd.size result.Traversal.reached)
+        path);
+  match check_reached with
+  | None -> ()
+  | Some path ->
+      let previous = Bdd.import man (Bdd.load path) in
+      if Bdd.equal previous result.Traversal.reached then
+        Printf.printf "check-reached: %s matches this run\n%!" path
+      else begin
+        Printf.printf "check-reached: %s DIFFERS from this run\n%!" path;
+        exit 2
+      end
 
 let cmd =
   let term =
     Term.(
       const run $ circuit_arg $ blif_arg $ params_arg $ engine_arg $ method_arg
       $ threshold_arg $ quality_arg $ pimg_arg $ time_limit_arg
-      $ node_limit_arg $ sift_arg $ cluster_arg)
+      $ node_limit_arg $ sift_arg $ cluster_arg $ save_reached_arg
+      $ check_reached_arg)
   in
   Cmd.v
     (Cmd.info "reach_main"

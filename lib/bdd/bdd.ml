@@ -31,11 +31,21 @@ type man = {
   leq_cache : (int * int, bool) Hashtbl.t;
   weight_cache : (int, float) Hashtbl.t;
   mutable nodes_made : int;
+  mutable peak_unique : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable tick : (unit -> unit) option;
+  mutable tick_countdown : int;
 }
 
 let tag_and = 0
 let tag_or = 1
 let tag_xor = 2
+
+(* Node creations between two invocations of the tick hook: frequent enough
+   that a runaway operation is interrupted promptly, rare enough that the
+   hook costs nothing on the hot path. *)
+let tick_period = 256
 
 (* ------------------------------------------------------------------ *)
 (* Managers and variables                                             *)
@@ -65,6 +75,11 @@ let create ?(nvars = 0) () =
       leq_cache = Hashtbl.create 1024;
       weight_cache = Hashtbl.create 1024;
       nodes_made = 0;
+      peak_unique = 0;
+      cache_hits = 0;
+      cache_misses = 0;
+      tick = None;
+      tick_countdown = tick_period;
     }
   in
   man
@@ -149,6 +164,16 @@ let mk_raw man var hi lo =
         man.next_uid <- man.next_uid + 1;
         man.nodes_made <- man.nodes_made + 1;
         Hashtbl.add man.unique key n;
+        let live = Hashtbl.length man.unique in
+        if live > man.peak_unique then man.peak_unique <- live;
+        (match man.tick with
+        | None -> ()
+        | Some fn ->
+            man.tick_countdown <- man.tick_countdown - 1;
+            if man.tick_countdown <= 0 then begin
+              man.tick_countdown <- tick_period;
+              fn ()
+            end);
         n
 
 let mk man ~var ~hi ~lo =
@@ -183,6 +208,16 @@ let cache_add man tbl key v =
   if Hashtbl.length tbl >= man.cache_limit then Hashtbl.reset tbl;
   Hashtbl.add tbl key v
 
+(* Operation-cache probe with hit/miss accounting for {!stats}. *)
+let cache_find man tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some _ as r ->
+      man.cache_hits <- man.cache_hits + 1;
+      r
+  | None ->
+      man.cache_misses <- man.cache_misses + 1;
+      None
+
 (* ------------------------------------------------------------------ *)
 (* ITE and the binary connectives                                     *)
 (* ------------------------------------------------------------------ *)
@@ -196,7 +231,7 @@ let rec ite man f g h =
   else if f == h then ite man f g man.ff
   else
     let key = (f.uid, g.uid, h.uid) in
-    match Hashtbl.find_opt man.ite_cache key with
+    match cache_find man man.ite_cache key with
     | Some r -> r
     | None ->
         let lv = min (level man f) (min (level man g) (level man h)) in
@@ -213,7 +248,7 @@ let rec bnot man f =
   if is_true f then man.ff
   else if is_false f then man.tt
   else
-    match Hashtbl.find_opt man.not_cache f.uid with
+    match cache_find man man.not_cache f.uid with
     | Some r -> r
     | None ->
         let r = mk_raw man (topvar f) (bnot man (high f)) (bnot man (low f)) in
@@ -229,7 +264,7 @@ let rec apply man tag term f g =
       (* commutative: normalize the argument order for better cache reuse *)
       let f, g = if f.uid <= g.uid then (f, g) else (g, f) in
       let key = (tag, f.uid, g.uid) in
-      match Hashtbl.find_opt man.op_cache key with
+      match cache_find man man.op_cache key with
       | Some r -> r
       | None ->
           let lv = min (level man f) (level man g) in
@@ -298,7 +333,7 @@ let rec leq man f g =
   else if is_true f || is_false g then false
   else
     let key = (f.uid, g.uid) in
-    match Hashtbl.find_opt man.leq_cache key with
+    match cache_find man man.leq_cache key with
     | Some r -> r
     | None ->
         let lv = min (level man f) (level man g) in
@@ -386,7 +421,7 @@ let rec exists man ~vars f =
     if lc < lf then exists man ~vars:(high vars) f
     else
       let key = (f.uid, vars.uid) in
-      match Hashtbl.find_opt man.exist_cache key with
+      match cache_find man man.exist_cache key with
       | Some r -> r
       | None ->
           let r =
@@ -412,7 +447,7 @@ let rec and_exists man ~vars f g =
   else
     let f, g = if f.uid <= g.uid then (f, g) else (g, f) in
     let key = (f.uid, g.uid, vars.uid) in
-    match Hashtbl.find_opt man.andex_cache key with
+    match cache_find man man.andex_cache key with
     | Some r -> r
     | None ->
         let lf = level man f and lg = level man g and lc = level man vars in
@@ -445,7 +480,7 @@ let rec constrain_rec man f c =
   else if f == c then man.tt
   else
     let key = (f.uid, c.uid) in
-    match Hashtbl.find_opt man.constrain_cache key with
+    match cache_find man man.constrain_cache key with
     | Some r -> r
     | None ->
         let lv = min (level man f) (level man c) in
@@ -468,7 +503,7 @@ let rec restrict_rec man f c =
   else if f == c then man.tt
   else
     let key = (f.uid, c.uid) in
-    match Hashtbl.find_opt man.restrict_cache key with
+    match cache_find man man.restrict_cache key with
     | Some r -> r
     | None ->
         let lf = level man f and lc = level man c in
@@ -674,10 +709,17 @@ let set_node_limit man limit = man.node_limit <- limit
 let set_cache_limit man n = man.cache_limit <- max 1024 n
 let node_limit man = man.node_limit
 
+let set_tick man fn =
+  man.tick <- fn;
+  man.tick_countdown <- tick_period
+
 let stats man =
   [
     ("nodes_made", man.nodes_made);
     ("unique_size", Hashtbl.length man.unique);
+    ("peak_unique", man.peak_unique);
+    ("cache_hits", man.cache_hits);
+    ("cache_misses", man.cache_misses);
     ("ite_cache", Hashtbl.length man.ite_cache);
     ("op_cache", Hashtbl.length man.op_cache);
     ("n_vars", man.n_vars);
@@ -715,3 +757,187 @@ let reorder man ~order:level_var ~roots =
             r)
   in
   List.map rebuild roots
+
+(* ------------------------------------------------------------------ *)
+(* Serialization and cross-manager transfer                           *)
+(* ------------------------------------------------------------------ *)
+
+type serialized = {
+  s_nvars : int;
+  s_order : int array;
+  s_nodes : (int * int * int) array;
+  s_roots : int array;
+}
+
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+
+let export_list man roots =
+  let index = Hashtbl.create 256 in
+  (* uid -> serialized index *)
+  let idx f =
+    if is_false f then 0
+    else if is_true f then 1
+    else Hashtbl.find index f.uid
+  in
+  let rev_nodes = ref [] and count = ref 0 in
+  let rec go f =
+    match f.node with
+    | Leaf _ -> ()
+    | N { var; hi; lo } ->
+        if not (Hashtbl.mem index f.uid) then begin
+          go hi;
+          go lo;
+          (* children first, so every child index is already assigned *)
+          rev_nodes := (var, idx hi, idx lo) :: !rev_nodes;
+          Hashtbl.add index f.uid (!count + 2);
+          incr count
+        end
+  in
+  List.iter go roots;
+  {
+    s_nvars = man.n_vars;
+    s_order = Array.sub man.level_var 0 man.n_vars;
+    s_nodes = Array.of_list (List.rev !rev_nodes);
+    s_roots = Array.of_list (List.map idx roots);
+  }
+
+let export man f = export_list man [ f ]
+
+let import_list man s =
+  if s.s_nvars < 0 then corrupt "Bdd.import: negative variable count";
+  if Array.length s.s_order <> s.s_nvars then
+    corrupt "Bdd.import: order length %d does not match %d variables"
+      (Array.length s.s_order) s.s_nvars;
+  Array.iter
+    (fun v ->
+      if v < 0 || v >= s.s_nvars then
+        corrupt "Bdd.import: order entry %d out of range" v)
+    s.s_order;
+  let n = Array.length s.s_nodes in
+  let built = Array.make (n + 2) man.ff in
+  built.(1) <- man.tt;
+  Array.iteri
+    (fun i (var, hi, lo) ->
+      if var < 0 || var >= s.s_nvars then
+        corrupt "Bdd.import: node %d has variable %d outside [0,%d)" i var
+          s.s_nvars;
+      if hi < 0 || hi >= i + 2 then
+        corrupt "Bdd.import: node %d has then-child %d (not below it)" i hi;
+      if lo < 0 || lo >= i + 2 then
+        corrupt "Bdd.import: node %d has else-child %d (not below it)" i lo;
+      let hi = built.(hi) and lo = built.(lo) in
+      if var >= man.n_vars then grow_vars man (var + 1);
+      let lv = man.var_level.(var) in
+      let r =
+        (* Fast path when the destination order agrees with the source
+           layering at this node: a plain hash-consed constructor.  When
+           the orders differ (or the input is dubious) fall back to a full
+           ITE against the variable, which is correct under any order. *)
+        if level man hi > lv && level man lo > lv then mk_raw man var hi lo
+        else ite man (ithvar man var) hi lo
+      in
+      built.(i + 2) <- r)
+    s.s_nodes;
+  Array.to_list
+    (Array.map
+       (fun r ->
+         if r < 0 || r >= n + 2 then
+           corrupt "Bdd.import: root index %d out of range" r;
+         built.(r))
+       s.s_roots)
+
+let import man s =
+  match s.s_roots with
+  | [| _ |] -> List.hd (import_list man s)
+  | _ ->
+      corrupt "Bdd.import: expected exactly one root, found %d"
+        (Array.length s.s_roots)
+
+(* Binary format: the magic string "BDD1" followed by unsigned LEB128
+   varints — nvars, the order array, the node count, (var, hi, lo) per
+   node, the root count, and the root indices. *)
+
+let add_varint buf n =
+  let rec go n =
+    if n < 0x80 then Buffer.add_char buf (Char.chr n)
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (n land 0x7f)));
+      go (n lsr 7)
+    end
+  in
+  if n < 0 then invalid_arg "Bdd: cannot serialize a negative integer";
+  go n
+
+let magic = "BDD1"
+
+let serialized_to_string s =
+  let buf = Buffer.create (16 + (4 * Array.length s.s_nodes)) in
+  Buffer.add_string buf magic;
+  add_varint buf s.s_nvars;
+  Array.iter (add_varint buf) s.s_order;
+  add_varint buf (Array.length s.s_nodes);
+  Array.iter
+    (fun (v, h, l) ->
+      add_varint buf v;
+      add_varint buf h;
+      add_varint buf l)
+    s.s_nodes;
+  add_varint buf (Array.length s.s_roots);
+  Array.iter (add_varint buf) s.s_roots;
+  Buffer.contents buf
+
+let serialized_of_string str =
+  let len = String.length str in
+  if len < 4 || String.sub str 0 4 <> magic then
+    corrupt "Bdd.serialized_of_string: bad magic";
+  let pos = ref 4 in
+  let byte () =
+    if !pos >= len then corrupt "Bdd.serialized_of_string: truncated input";
+    let c = Char.code str.[!pos] in
+    incr pos;
+    c
+  in
+  let varint () =
+    let rec go shift acc =
+      if shift > 62 then corrupt "Bdd.serialized_of_string: varint overflow";
+      let b = byte () in
+      let acc = acc lor ((b land 0x7f) lsl shift) in
+      if b land 0x80 = 0 then acc else go (shift + 7) acc
+    in
+    go 0 0
+  in
+  (* every element takes at least one byte, so an announced length beyond
+     the remaining input is corrupt — checked before allocating *)
+  let counted what n =
+    if n > len - !pos then
+      corrupt "Bdd.serialized_of_string: %s count %d exceeds input" what n;
+    n
+  in
+  let nvars = varint () in
+  let order = Array.init (counted "order" nvars) (fun _ -> varint ()) in
+  let nnodes = varint () in
+  let nodes =
+    Array.init (counted "node" nnodes) (fun _ ->
+        let v = varint () in
+        let h = varint () in
+        let l = varint () in
+        (v, h, l))
+  in
+  let nroots = varint () in
+  let roots = Array.init (counted "root" nroots) (fun _ -> varint ()) in
+  if !pos <> len then corrupt "Bdd.serialized_of_string: trailing garbage";
+  { s_nvars = nvars; s_order = order; s_nodes = nodes; s_roots = roots }
+
+let save path s =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (serialized_to_string s))
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> serialized_of_string (really_input_string ic (in_channel_length ic)))

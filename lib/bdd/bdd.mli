@@ -242,8 +242,71 @@ val set_cache_limit : man -> int -> unit
 
 val node_limit : man -> int option
 
+val set_tick : man -> (unit -> unit) option -> unit
+(** Install (or clear) a hook invoked from inside node creation every few
+    hundred nodes made.  The hook may raise to abandon a runaway
+    computation cooperatively — the manager stays consistent, exactly as
+    with {!Node_limit} — which is how {!module:Mt}'s runner enforces
+    per-job deadlines without being able to kill a domain. *)
+
 val stats : man -> (string * int) list
-(** Internal counters, for logging. *)
+(** Internal counters, for logging: nodes made, live and peak unique-table
+    sizes, operation-cache hit/miss counts, cache fills, variable count. *)
+
+(** {1 Serialization and cross-manager transfer}
+
+    A BDD (or a list of BDDs sharing one DAG) can be exported to a compact
+    topologically-sorted array form, moved between managers — including
+    managers owned by other domains, or with a different variable order —
+    and saved to or loaded from disk for checkpointing.  Node [i] of
+    {!serialized.s_nodes} may only reference constants (indices 0 and 1)
+    or earlier nodes (index [j + 2] is node [j]), so a valid value can
+    always be rebuilt bottom-up in one pass. *)
+
+type serialized = {
+  s_nvars : int;  (** declared variables of the source manager *)
+  s_order : int array;
+      (** the source level-to-variable order (metadata: {!import} rebuilds
+          under the {e destination} order) *)
+  s_nodes : (int * int * int) array;
+      (** [(var, hi, lo)] triples, children before parents; indices 0 and 1
+          are the [ff] and [tt] constants, node [j] has index [j + 2] *)
+  s_roots : int array;  (** indices of the exported roots *)
+}
+
+exception Corrupt of string
+(** Raised by {!import}, {!import_list}, {!serialized_of_string} and
+    {!load} on malformed input, with a human-readable reason.  Any prefix
+    of work already done stays in the destination manager but no invalid
+    node is ever created. *)
+
+val export : man -> t -> serialized
+val export_list : man -> t list -> serialized
+(** [export_list man fs] serializes the shared DAG of [fs] once; the roots
+    come back in the same order from {!import_list}. *)
+
+val import : man -> serialized -> t
+(** Rebuild an exported BDD inside [man] (a different manager is the
+    point; the same manager merely returns the identical node).  Variables
+    are identified by index and declared on demand.  When the destination
+    variable order differs from the source's, the result is rebuilt
+    correctly under the destination order (at ITE cost for the reordered
+    region).  @raise Corrupt on malformed input or a root count other than
+    one. *)
+
+val import_list : man -> serialized -> t list
+
+val serialized_to_string : serialized -> string
+(** Compact binary encoding (magic + LEB128 varints). *)
+
+val serialized_of_string : string -> serialized
+(** @raise Corrupt on anything {!serialized_to_string} did not produce. *)
+
+val save : string -> serialized -> unit
+(** Write the binary encoding to a file. *)
+
+val load : string -> serialized
+(** Read a file written by {!save}.  @raise Corrupt on malformed bytes. *)
 
 val reorder : man -> order:int array -> roots:t list -> t list
 (** [reorder man ~order ~roots] installs [order] (a level-to-variable

@@ -120,6 +120,49 @@ let roots t =
   (t.init :: Array.to_list (Array.map (fun l -> l.fn) t.latches))
   @ List.map snd t.output_fns
 
+type exported = {
+  x_circuit : Circuit.t;
+  x_latches : (string * bool * int * int) array; (* name, init, cur, next *)
+  x_input_vars : (string * int) list;
+  x_output_names : string list;
+  x_roots : Bdd.serialized; (* shared serialization of [roots] *)
+}
+
+let export t =
+  {
+    x_circuit = t.circuit;
+    x_latches = Array.map (fun l -> (l.name, l.init, l.cur, l.next)) t.latches;
+    x_input_vars = t.input_vars;
+    x_output_names = List.map fst t.output_fns;
+    x_roots = Bdd.export_list t.man (roots t);
+  }
+
+let import man x =
+  (* declare every source variable so the var numbering carried by
+     [x_latches] and [x_input_vars] is meaningful in the destination *)
+  if x.x_roots.Bdd.s_nvars > 0 then
+    ignore (Bdd.ithvar man (x.x_roots.Bdd.s_nvars - 1));
+  match Bdd.import_list man x.x_roots with
+  | init :: rest ->
+      let nl = Array.length x.x_latches in
+      let fns = Array.of_list (List.filteri (fun i _ -> i < nl) rest) in
+      let outs = List.filteri (fun i _ -> i >= nl) rest in
+      if Array.length fns <> nl || List.length outs <> List.length x.x_output_names
+      then invalid_arg "Compile.import: root count mismatch";
+      {
+        man;
+        circuit = x.x_circuit;
+        latches =
+          Array.mapi
+            (fun i (name, init, cur, next) ->
+              { name; init; cur; next; fn = fns.(i) })
+            x.x_latches;
+        input_vars = x.x_input_vars;
+        output_fns = List.map2 (fun n f -> (n, f)) x.x_output_names outs;
+        init;
+      }
+  | [] -> invalid_arg "Compile.import: empty root list"
+
 let with_roots t roots =
   match roots with
   | init :: rest ->

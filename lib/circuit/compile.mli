@@ -47,3 +47,15 @@ val roots : t -> Bdd.t list
 val with_roots : t -> Bdd.t list -> t
 (** Rebuild the structure from the list produced by maintenance applied to
     [roots t] (same length and order). *)
+
+type exported
+(** A compiled circuit detached from its manager: plain data plus one
+    shared {!Bdd.serialized} of every root, ready to cross a domain
+    boundary or be rebuilt elsewhere. *)
+
+val export : t -> exported
+
+val import : Bdd.man -> exported -> t
+(** Rebuild in [man] (typically a worker domain's private manager).
+    Variable numbering is preserved; all source variables are declared in
+    the destination. *)

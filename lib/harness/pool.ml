@@ -77,16 +77,38 @@ let product_entries_of_circuit ~min_nodes c =
       if Bdd.size f >= min_nodes then Some { man; f; label; nvars } else None)
     (triples 0 (List.map snd compiled.Compile.output_fns))
 
-let build ?(min_nodes = 500) ?(circuits = None) () =
+let build ?(min_nodes = 500) ?(circuits = None) ?jobs () =
   let circuits =
     match circuits with
     | Some cs -> cs
     | None -> default_circuits () @ default_random ()
   in
-  List.concat_map (entries_of_circuit ~min_nodes) circuits
-  @ List.concat_map
-      (product_entries_of_circuit ~min_nodes)
-      (default_random ())
+  (* one task per circuit compilation; each compiles into its own fresh
+     manager, so the tasks are independent and can run on any domain *)
+  let tasks =
+    List.map (fun c -> (Circuit.name c, fun () -> entries_of_circuit ~min_nodes c))
+      circuits
+    @ List.map
+        (fun c ->
+          (Circuit.name c ^ ".and3", fun () ->
+            product_entries_of_circuit ~min_nodes c))
+        (default_random ())
+  in
+  match jobs with
+  | None -> List.concat_map (fun (_, t) -> t ()) tasks
+  | Some jobs ->
+      Mt.Runner.run ~jobs
+        (List.map
+           (fun (label, t) -> Mt.Runner.job ~label (fun _man -> t ()))
+           tasks)
+      |> List.concat_map (fun (r : _ Mt.Runner.result) ->
+             match r.Mt.Runner.outcome with
+             | Mt.Runner.Done entries -> entries
+             | o ->
+                 failwith
+                   (Format.asprintf "Pool.build: job %s %a"
+                      r.Mt.Runner.report.Mt.Runner.label Mt.Runner.pp_outcome
+                      o))
 
 let describe entries =
   let sizes = List.map (fun e -> float_of_int (Bdd.size e.f)) entries in

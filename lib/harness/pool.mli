@@ -17,9 +17,17 @@ val product_entries_of_circuit : min_nodes:int -> Circuit.t -> entry list
     sparse-function regime of the paper's industrial pool (see the
     comment in the implementation and EXPERIMENTS.md). *)
 
-val build : ?min_nodes:int -> ?circuits:Circuit.t list option -> unit -> entry list
+val build :
+  ?min_nodes:int ->
+  ?circuits:Circuit.t list option ->
+  ?jobs:int ->
+  unit ->
+  entry list
 (** The default pool: synthetic sequential circuits, structured random
     netlists, and sparse output-products, filtered at [min_nodes]
-    (default 500). *)
+    (default 500).  With [jobs], circuit compilations fan out over an
+    {!Mt.Runner} worker pool (one private manager per circuit either way);
+    the entry list is the same, in the same order, for every [jobs]
+    value. *)
 
 val describe : entry list -> string

@@ -1,5 +1,39 @@
 (* Scoring of approximation and decomposition methods over a function pool,
-   producing the rows of the paper's Tables 2, 3 and 4. *)
+   producing the rows of the paper's Tables 2, 3 and 4.
+
+   With [~jobs] the per-function measurements fan out over Mt.Runner: each
+   entry's BDD is exported from its pool manager in the calling domain,
+   imported into a worker's private manager, measured there, and only
+   floats come back.  Results are aggregated in submission order, so the
+   tables are identical for every [jobs] value. *)
+
+(* Run [measure] once per pool entry, sequentially in the entry's own
+   manager (legacy path, [jobs = None]) or fanned out over worker domains. *)
+let sweep ?jobs measure entries =
+  match jobs with
+  | None ->
+      List.map
+        (fun { Pool.man; f; nvars; _ } -> measure man f nvars)
+        entries
+  | Some jobs ->
+      let inputs =
+        List.map
+          (fun { Pool.man; f; nvars; label } -> (label, nvars, Bdd.export man f))
+          entries
+      in
+      Mt.Runner.run ~jobs
+        (List.map
+           (fun (label, nvars, sf) ->
+             Mt.Runner.job ~label (fun man ->
+                 measure man (Bdd.import man sf) nvars))
+           inputs)
+      |> List.map (fun (r : _ Mt.Runner.result) ->
+             match r.Mt.Runner.outcome with
+             | Mt.Runner.Done v -> v
+             | o ->
+                 failwith
+                   (Format.asprintf "Scoreboard: job %s %a"
+                      r.Mt.Runner.report.Mt.Runner.label Mt.Runner.pp_outcome o))
 
 type approx_row = {
   name : string;
@@ -10,35 +44,42 @@ type approx_row = {
   ties : int;
 }
 
-let approx_table entries methods =
-  let per_method_nodes = Array.make (List.length methods) []
-  and per_method_minterms = Array.make (List.length methods) []
-  and per_method_density = Array.make (List.length methods) [] in
-  let per_instance = ref [] in
-  List.iter
-    (fun { Pool.man; f; nvars; _ } ->
-      let scores =
+let approx_table ?jobs entries methods =
+  let measure man f nvars =
+    List.map
+      (fun (_, fn) ->
+        let g = fn man f in
+        let nodes = float_of_int (Bdd.size g) in
+        let minterms = Bdd.count_minterms man g ~nvars in
+        (nodes, minterms))
+      methods
+  in
+  let per_entry = sweep ?jobs measure entries in
+  let nm = List.length methods in
+  let per_method_nodes = Array.make nm []
+  and per_method_minterms = Array.make nm []
+  and per_method_density = Array.make nm [] in
+  let per_instance =
+    List.rev_map
+      (fun measures ->
         Array.of_list
           (List.mapi
-             (fun m (_, fn) ->
-               let g = fn man f in
-               let nodes = float_of_int (Bdd.size g) in
-               let minterms = Bdd.count_minterms man g ~nvars in
+             (fun m (nodes, minterms) ->
                let density = minterms /. max nodes 1. in
                per_method_nodes.(m) <- nodes :: per_method_nodes.(m);
                per_method_minterms.(m) <- minterms :: per_method_minterms.(m);
                per_method_density.(m) <- density :: per_method_density.(m);
                density)
-             methods)
-      in
-      per_instance := scores :: !per_instance)
-    entries;
+             measures))
+      per_entry
+  in
   (* density: higher is better; equality up to a tiny relative tolerance *)
   let better a b = a >= b -. (1e-9 *. abs_float b) in
-  let wt = Stats.wins_and_ties ~better !per_instance in
+  let wt = Stats.wins_and_ties ~better per_instance in
   List.mapi
     (fun m (name, _) ->
-      let wins, ties = wt.(m) in
+      (* [wt] is empty when the pool is: every method then scores (0, 0) *)
+      let wins, ties = if m < Array.length wt then wt.(m) else (0, 0) in
       {
         name;
         nodes = Stats.geometric_mean per_method_nodes.(m);
@@ -73,35 +114,40 @@ type decomp_row = {
   dties : int;
 }
 
-let decomp_table entries methods =
+let decomp_table ?jobs entries methods =
+  let measure man f _nvars =
+    List.map
+      (fun (_, fn) ->
+        let pair = fn man f in
+        ( float_of_int (Decomp.shared_size pair),
+          float_of_int (Bdd.size pair.Decomp.g),
+          float_of_int (Bdd.size pair.Decomp.h),
+          (* Table 4 scores by the size of the larger factor *)
+          float_of_int (Decomp.max_size pair) ))
+      methods
+  in
+  let per_entry = sweep ?jobs measure entries in
   let n = List.length methods in
-  let shared = Array.make n []
-  and gs = Array.make n []
-  and hs = Array.make n [] in
-  let per_instance = ref [] in
-  List.iter
-    (fun { Pool.man; f; _ } ->
-      let scores =
+  let shared = Array.make n [] and gs = Array.make n [] and hs = Array.make n [] in
+  let per_instance =
+    List.rev_map
+      (fun measures ->
         Array.of_list
           (List.mapi
-             (fun m (_, fn) ->
-               let pair = fn man f in
-               shared.(m) <-
-                 float_of_int (Decomp.shared_size pair) :: shared.(m);
-               gs.(m) <- float_of_int (Bdd.size pair.Decomp.g) :: gs.(m);
-               hs.(m) <- float_of_int (Bdd.size pair.Decomp.h) :: hs.(m);
-               (* Table 4 scores by the size of the larger factor *)
-               float_of_int (Decomp.max_size pair))
-             methods)
-      in
-      per_instance := scores :: !per_instance)
-    entries;
+             (fun m (sh, g, h, max_factor) ->
+               shared.(m) <- sh :: shared.(m);
+               gs.(m) <- g :: gs.(m);
+               hs.(m) <- h :: hs.(m);
+               max_factor)
+             measures))
+      per_entry
+  in
   (* smaller max-factor is better *)
   let better a b = a <= b +. (1e-9 *. abs_float b) in
-  let wt = Stats.wins_and_ties ~better !per_instance in
+  let wt = Stats.wins_and_ties ~better per_instance in
   List.mapi
     (fun m (dname, _) ->
-      let dwins, dties = wt.(m) in
+      let dwins, dties = if m < Array.length wt then wt.(m) else (0, 0) in
       {
         dname;
         shared = Stats.geometric_mean shared.(m);

@@ -11,11 +11,18 @@ type approx_row = {
 }
 
 val approx_table :
+  ?jobs:int ->
   Pool.entry list ->
   (string * (Bdd.man -> Bdd.t -> Bdd.t)) list ->
   approx_row list
 (** Run each method on each pool entry.  Include the identity as ["F"] to
-    reproduce the paper's first row. *)
+    reproduce the paper's first row.
+
+    Without [jobs], methods run sequentially in each entry's own manager.
+    With [jobs], entries fan out over an {!Mt.Runner} worker pool: each
+    worker imports the function into a private manager and measures it
+    there.  Aggregation happens in submission order, so the table is
+    identical for every [jobs] value (including [1]). *)
 
 val approx_headers : string list
 val approx_rows : approx_row list -> string list list
@@ -30,9 +37,11 @@ type decomp_row = {
 }
 
 val decomp_table :
+  ?jobs:int ->
   Pool.entry list ->
   (string * (Bdd.man -> Bdd.t -> Decomp.pair)) list ->
   decomp_row list
+(** Same execution model as {!approx_table}. *)
 
 val decomp_headers : string list
 val decomp_rows : decomp_row list -> string list list

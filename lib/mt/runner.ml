@@ -1,0 +1,132 @@
+(* Work-stealing job runner on OCaml 5 domains.
+
+   Each job runs against a fresh private manager, so hash-consing stays
+   lock-free: the unique table is replicated, never shared (DESIGN.md §MT).
+   BDD operands enter a job through Bdd.import and only plain data (sizes,
+   counts, strings) should leave it.
+
+   Domains cannot be killed, so cancellation is cooperative but does not
+   require the job's help: the node budget rides on Bdd.set_node_limit and
+   the deadline on the Bdd.set_tick hook, both of which fire inside node
+   creation — precisely where a runaway BDD job spends its time. *)
+
+type budget = { deadline : float option; node_budget : int option }
+
+let no_budget = { deadline = None; node_budget = None }
+
+type 'a outcome = Done of 'a | Timeout | Over_budget | Crashed of string
+
+type report = {
+  label : string;
+  wall : float;
+  peak_nodes : int;
+  nodes_made : int;
+  cache_hits : int;
+  cache_misses : int;
+}
+
+type 'a result = { outcome : 'a outcome; report : report }
+
+type 'a job = { label : string; budget : budget; work : Bdd.man -> 'a }
+
+let job ?(budget = no_budget) ~label work = { label; budget; work }
+let default_jobs () = Domain.recommended_domain_count ()
+
+exception Deadline
+
+let stat stats name = Option.value ~default:0 (List.assoc_opt name stats)
+
+let exec j =
+  let man = Bdd.create () in
+  Bdd.set_node_limit man j.budget.node_budget;
+  (match j.budget.deadline with
+  | None -> ()
+  | Some d ->
+      let cutoff = Unix.gettimeofday () +. d in
+      Bdd.set_tick man
+        (Some (fun () -> if Unix.gettimeofday () > cutoff then raise Deadline)));
+  let t0 = Unix.gettimeofday () in
+  let outcome =
+    try Done (j.work man) with
+    | Bdd.Node_limit -> Over_budget
+    | Deadline -> Timeout
+    | e -> Crashed (Printexc.to_string e)
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  let stats = Bdd.stats man in
+  {
+    outcome;
+    report =
+      {
+        label = j.label;
+        wall;
+        peak_nodes = stat stats "peak_unique";
+        nodes_made = stat stats "nodes_made";
+        cache_hits = stat stats "cache_hits";
+        cache_misses = stat stats "cache_misses";
+      };
+  }
+
+let run ?jobs js =
+  let js = Array.of_list js in
+  let n = Array.length js in
+  let workers =
+    let w = match jobs with Some w -> w | None -> default_jobs () in
+    max 1 (min w n)
+  in
+  let results = Array.make n None in
+  if workers <= 1 then
+    (* inline in the calling domain: no spawn cost, and the jobs=1 baseline
+       runs the exact code path the parallel sweep runs *)
+    Array.iteri (fun i j -> results.(i) <- Some (exec j)) js
+  else begin
+    let deques = Array.init workers (fun _ -> Deque.create ()) in
+    (* deal newest-last so each worker starts on its lowest-index job *)
+    for i = n - 1 downto 0 do
+      Deque.push deques.(i mod workers) i
+    done;
+    let worker w () =
+      let rec find k =
+        if k >= workers then None
+        else
+          let d = deques.((w + k) mod workers) in
+          match if k = 0 then Deque.pop d else Deque.steal d with
+          | Some i -> Some i
+          | None -> find (k + 1)
+      in
+      let rec loop () =
+        match find 0 with
+        | Some i ->
+            (* distinct slots: no two workers ever write the same index *)
+            results.(i) <- Some (exec js.(i));
+            loop ()
+        | None -> ()
+            (* queues only drain — once every deque is empty no work can
+               reappear, so the worker is done *)
+      in
+      loop ()
+    in
+    let spawned =
+      Array.init (workers - 1) (fun w -> Domain.spawn (worker (w + 1)))
+    in
+    worker 0 ();
+    Array.iter Domain.join spawned
+  end;
+  Array.to_list
+    (Array.map (function Some r -> r | None -> assert false) results)
+
+let map ?jobs ?budget ~label f xs =
+  run ?jobs (List.map (fun x -> job ?budget ~label:(label x) (fun man -> f man x)) xs)
+
+let value = function { outcome = Done v; _ } -> Some v | _ -> None
+
+let pp_outcome fmt = function
+  | Done _ -> Format.pp_print_string fmt "done"
+  | Timeout -> Format.pp_print_string fmt "timeout"
+  | Over_budget -> Format.pp_print_string fmt "over-budget"
+  | Crashed msg -> Format.fprintf fmt "crashed: %s" msg
+
+let pp_report fmt (r : report) =
+  Format.fprintf fmt
+    "%-32s %8.2fs  peak %8d nodes  made %9d  cache %d/%d hit/miss" r.label
+    r.wall r.peak_nodes r.nodes_made r.cache_hits r.cache_misses

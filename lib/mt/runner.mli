@@ -1,0 +1,61 @@
+(** Work-stealing job runner on OCaml 5 domains.
+
+    Every job receives a {e fresh, private} {!Bdd.man}: the unique table
+    and operation caches are replicated per job rather than shared, so
+    hash-consing needs no locks (see DESIGN.md §MT).  Move BDDs into a job
+    with {!Bdd.import} / {!Transfer.copy}; return only plain data.
+
+    Jobs are dealt round-robin to per-worker deques; idle workers steal
+    the oldest job of a busy neighbour.  Results always come back in
+    submission order, so output built from them is deterministic no matter
+    how the jobs were scheduled. *)
+
+type budget = {
+  deadline : float option;  (** wall-clock seconds, enforced via {!Bdd.set_tick} *)
+  node_budget : int option;  (** live-node ceiling, enforced via {!Bdd.set_node_limit} *)
+}
+
+val no_budget : budget
+
+type 'a outcome =
+  | Done of 'a
+  | Timeout  (** the deadline fired inside node creation *)
+  | Over_budget  (** the node budget raised {!Bdd.Node_limit} *)
+  | Crashed of string  (** any other exception; siblings are unaffected *)
+
+type report = {
+  label : string;
+  wall : float;  (** wall-clock seconds the job ran *)
+  peak_nodes : int;  (** high-water mark of the job's unique table *)
+  nodes_made : int;
+  cache_hits : int;
+  cache_misses : int;
+}
+
+type 'a result = { outcome : 'a outcome; report : report }
+type 'a job
+
+val job : ?budget:budget -> label:string -> (Bdd.man -> 'a) -> 'a job
+
+val run : ?jobs:int -> 'a job list -> 'a result list
+(** Execute the jobs on [jobs] workers (default
+    {!default_jobs}; clamped to the job count).  [jobs = 1] runs inline in
+    the calling domain.  Results are in submission order. *)
+
+val map :
+  ?jobs:int ->
+  ?budget:budget ->
+  label:('a -> string) ->
+  (Bdd.man -> 'a -> 'b) ->
+  'a list ->
+  'b result list
+(** [map f xs]: one job per element, shared budget. *)
+
+val value : 'a result -> 'a option
+(** The payload of a [Done] outcome. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val pp_outcome : Format.formatter -> 'a outcome -> unit
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,2 @@
+let copy ~src ~dst f = Bdd.import dst (Bdd.export src f)
+let copy_list ~src ~dst fs = Bdd.import_list dst (Bdd.export_list src fs)

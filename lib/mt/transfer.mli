@@ -1,0 +1,6 @@
+(** Cross-manager BDD transfer: export from one manager, rebuild in
+    another.  [copy_list] serializes the shared DAG once, preserving
+    sharing among the copies. *)
+
+val copy : src:Bdd.man -> dst:Bdd.man -> Bdd.t -> Bdd.t
+val copy_list : src:Bdd.man -> dst:Bdd.man -> Bdd.t list -> Bdd.t list

@@ -105,6 +105,37 @@ let roots t =
   @ t.frontier_quantify
     :: List.concat_map (fun c -> [ c.rel; c.quantify ]) t.clusters
 
+type exported = {
+  x_compiled : Compile.exported;
+  x_bdds : Bdd.serialized;
+      (* frontier_quantify followed by rel, quantify per cluster, one
+         shared serialization *)
+}
+
+let export t =
+  let bdds =
+    t.frontier_quantify
+    :: List.concat_map (fun c -> [ c.rel; c.quantify ]) t.clusters
+  in
+  { x_compiled = Compile.export t.compiled; x_bdds = Bdd.export_list (man t) bdds }
+
+let import dst x =
+  let compiled = Compile.import dst x.x_compiled in
+  match Bdd.import_list dst x.x_bdds with
+  | frontier_quantify :: rest ->
+      let rec pair = function
+        | rel :: quantify :: more -> { rel; quantify } :: pair more
+        | [] -> []
+        | [ _ ] -> invalid_arg "Trans.import: odd cluster list"
+      in
+      { compiled; clusters = pair rest; frontier_quantify }
+  | [] -> invalid_arg "Trans.import: empty root list"
+
+let transfer_cluster ~src ~dst c =
+  match Bdd.import_list dst (Bdd.export_list src [ c.rel; c.quantify ]) with
+  | [ rel; quantify ] -> { rel; quantify }
+  | _ -> assert false
+
 let replace_roots t roots =
   let ncompiled = List.length (Compile.roots t.compiled) in
   let compiled_roots = List.filteri (fun i _ -> i < ncompiled) roots in

@@ -43,3 +43,24 @@ val roots : t -> Bdd.t list
 val replace_roots : t -> Bdd.t list -> t
 (** Rebuild the structure from the list produced by {!Bdd.reorder} applied
     to [roots t] (same length and order). *)
+
+(** {1 Cross-manager transfer}
+
+    A partitioned relation can be detached from its manager and rebuilt in
+    another — the basis of the fan-out in [bench/main.exe]: the relation
+    is built once, exported, and every worker domain imports it into its
+    private manager. *)
+
+type exported
+
+val export : t -> exported
+(** Serialize the compiled circuit and every partition (cluster relation
+    and quantification cube) as plain data. *)
+
+val import : Bdd.man -> exported -> t
+(** Rebuild the whole structure inside [dst]; variable numbering and
+    cluster order are preserved. *)
+
+val transfer_cluster : src:Bdd.man -> dst:Bdd.man -> cluster -> cluster
+(** Move a single partition between live managers (relation and cube share
+    one serialization). *)

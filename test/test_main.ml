@@ -16,4 +16,6 @@ let () =
       Test_approx_traversal.tests;
       Test_simplify.tests;
       Test_misc.tests;
+      Test_serialize.tests;
+      Test_mt.tests;
     ]
