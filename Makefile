@@ -1,4 +1,4 @@
-.PHONY: all build test bench smoke check clean
+.PHONY: all build test bench bench-smoke smoke check clean
 
 all: build
 
@@ -13,7 +13,13 @@ test: build
 smoke: build
 	dune exec bench/main.exe -- --smoke --jobs 2
 
-check: build test smoke
+# Seconds-long kernel microbenchmark; validates the emitted JSON against
+# the bdd-kernel-bench/v1 schema (exit 1 on malformed output).
+bench-smoke: build
+	dune exec bench/micro.exe -- --smoke -o BENCH_kernel.json
+	dune exec bench/micro.exe -- --validate BENCH_kernel.json
+
+check: build test smoke bench-smoke
 
 bench: build
 	dune exec bench/main.exe

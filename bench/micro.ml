@@ -1,0 +1,584 @@
+(* Kernel microbenchmarks: the perf trajectory of the BDD memory subsystem.
+
+     dune exec bench/micro.exe                 -- full suite -> BENCH_kernel.json
+     dune exec bench/micro.exe -- --smoke      -- seconds-long CI slice
+     dune exec bench/micro.exe -- -o FILE      -- write the report elsewhere
+     dune exec bench/micro.exe -- --validate FILE   -- schema-check a report
+
+   Three workloads exercise the unique table and the computed caches the way
+   the DAC'98 algorithms do — connective-heavy construction (n-queens),
+   image computation over a partitioned transition relation (BFS on the
+   microsequencer), and repeated relational products (pairwise and_exists
+   over a combinational cone pool) — plus two probe loops that measure the
+   minor-heap allocation of a cache-hitting band and a unique-table-hitting
+   mk, which is how the zero-allocation claim of DESIGN.md §Kernel is
+   checked (and re-checked by `make bench-smoke` on every `make check`).
+
+   The report is machine-readable JSON (schema "bdd-kernel-bench/v1"), one
+   object per workload: wall time, nodes made, nodes/sec, cache hit rate,
+   peak unique-table size, and OCaml GC counter deltas.  Successive PRs
+   compare their BENCH_kernel.json against the committed history to keep the
+   kernel trajectory honest. *)
+
+let schema_version = "bdd-kernel-bench/v1"
+
+(* ------------------------------------------------------------------ *)
+(* A tiny JSON tree: enough to emit the report and to validate one     *)
+(* ------------------------------------------------------------------ *)
+
+type json =
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+let num_int n = Num (float_of_int n)
+
+let buf_escape buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let rec emit buf indent j =
+  let pad n = Buffer.add_string buf (String.make n ' ') in
+  match j with
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Num f ->
+      if Float.is_integer f && Float.abs f < 1e15 then
+        Buffer.add_string buf (Printf.sprintf "%.0f" f)
+      else Buffer.add_string buf (Printf.sprintf "%.9g" f)
+  | Str s ->
+      Buffer.add_char buf '"';
+      buf_escape buf s;
+      Buffer.add_char buf '"'
+  | Arr [] -> Buffer.add_string buf "[]"
+  | Arr xs ->
+      Buffer.add_string buf "[\n";
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          pad (indent + 2);
+          emit buf (indent + 2) x)
+        xs;
+      Buffer.add_char buf '\n';
+      pad indent;
+      Buffer.add_char buf ']'
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj kvs ->
+      Buffer.add_string buf "{\n";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          pad (indent + 2);
+          Buffer.add_char buf '"';
+          buf_escape buf k;
+          Buffer.add_string buf "\": ";
+          emit buf (indent + 2) v)
+        kvs;
+      Buffer.add_char buf '\n';
+      pad indent;
+      Buffer.add_char buf '}'
+
+let to_string j =
+  let buf = Buffer.create 4096 in
+  emit buf 0 j;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+(* Recursive-descent parser for the validator (full JSON except unicode
+   escapes, which the emitter never produces). *)
+
+exception Bad_json of string
+
+let parse_json s =
+  let len = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad_json (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let peek () = if !pos < len then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word v =
+    String.iter expect word;
+    v
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some '"' -> advance (); Buffer.add_char buf '"'; go ()
+          | Some '\\' -> advance (); Buffer.add_char buf '\\'; go ()
+          | Some 'n' -> advance (); Buffer.add_char buf '\n'; go ()
+          | Some 't' -> advance (); Buffer.add_char buf '\t'; go ()
+          | Some '/' -> advance (); Buffer.add_char buf '/'; go ()
+          | _ -> fail "unsupported escape")
+      | Some c ->
+          advance ();
+          Buffer.add_char buf c;
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> is_num_char c | None -> false) do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "malformed number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> Str (parse_string ())
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then (advance (); Obj [])
+        else
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ((k, v) :: acc)
+            | Some '}' ->
+                advance ();
+                Obj (List.rev ((k, v) :: acc))
+            | _ -> fail "expected ',' or '}'"
+          in
+          members []
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then (advance (); Arr [])
+        else
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elements (v :: acc)
+            | Some ']' ->
+                advance ();
+                Arr (List.rev (v :: acc))
+            | _ -> fail "expected ',' or ']'"
+          in
+          elements []
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some ('0' .. '9' | '-') -> Num (parse_number ())
+    | _ -> fail "expected a value"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> len then fail "trailing garbage";
+  v
+
+(* ------------------------------------------------------------------ *)
+(* Measurement harness                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type sample = {
+  s_name : string;
+  s_wall : float;
+  s_nodes_made : int;
+  s_peak_unique : int;
+  s_unique_size : int;
+  s_hits : int;
+  s_misses : int;
+  s_minor_words : float;
+  s_promoted_words : float;
+  s_major_words : float;
+  s_minor_cols : int;
+  s_major_cols : int;
+  s_check : float; (* workload-specific sanity number (solutions, states) *)
+}
+
+let stat stats name = Option.value ~default:0 (List.assoc_opt name stats)
+
+(* Run [work] against a fresh manager and capture wall time, manager
+   counters and GC counter deltas.  A full major collection up front keeps
+   the previous workload's garbage out of this one's numbers. *)
+let measure name work =
+  Gc.full_major ();
+  let g0 = Gc.quick_stat () in
+  let man = Bdd.create () in
+  let t0 = Unix.gettimeofday () in
+  let check = work man in
+  let wall = Unix.gettimeofday () -. t0 in
+  let g1 = Gc.quick_stat () in
+  let st = Bdd.stats man in
+  {
+    s_name = name;
+    s_wall = wall;
+    s_nodes_made = stat st "nodes_made";
+    s_peak_unique = stat st "peak_unique";
+    s_unique_size = stat st "unique_size";
+    s_hits = stat st "cache_hits";
+    s_misses = stat st "cache_misses";
+    s_minor_words = g1.Gc.minor_words -. g0.Gc.minor_words;
+    s_promoted_words = g1.Gc.promoted_words -. g0.Gc.promoted_words;
+    s_major_words = g1.Gc.major_words -. g0.Gc.major_words;
+    s_minor_cols = g1.Gc.minor_collections - g0.Gc.minor_collections;
+    s_major_cols = g1.Gc.major_collections - g0.Gc.major_collections;
+    s_check = check;
+  }
+
+let json_of_sample s =
+  let probes = s.s_hits + s.s_misses in
+  Obj
+    [
+      ("name", Str s.s_name);
+      ("wall_s", Num s.s_wall);
+      ("nodes_made", num_int s.s_nodes_made);
+      ( "nodes_per_sec",
+        Num (float_of_int s.s_nodes_made /. Float.max 1e-9 s.s_wall) );
+      ("cache_hits", num_int s.s_hits);
+      ("cache_misses", num_int s.s_misses);
+      ( "cache_hit_rate",
+        Num (float_of_int s.s_hits /. float_of_int (max 1 probes)) );
+      ("peak_unique", num_int s.s_peak_unique);
+      ("unique_size", num_int s.s_unique_size);
+      ("minor_words", Num s.s_minor_words);
+      ("promoted_words", Num s.s_promoted_words);
+      ("major_words", Num s.s_major_words);
+      ("minor_collections", num_int s.s_minor_cols);
+      ("major_collections", num_int s.s_major_cols);
+      ("check", Num s.s_check);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Workload 1: n-queens construction (connective-heavy)                *)
+(* ------------------------------------------------------------------ *)
+
+(* The classic BDD formulation (cf. the BuDDy demo): one variable per
+   square, at least one queen per row, and each queen forbids its row,
+   column and both diagonals.  Returns the number of solutions (92 for
+   n = 8, 4 for n = 6) as the sanity check. *)
+let queens n man =
+  let var i j = Bdd.ithvar man ((i * n) + j) in
+  let b = ref (Bdd.tt man) in
+  for i = 0 to n - 1 do
+    let row = ref (Bdd.ff man) in
+    for j = 0 to n - 1 do
+      row := Bdd.bor man !row (var i j)
+    done;
+    b := Bdd.band man !b !row
+  done;
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let a = ref (Bdd.tt man) in
+      for l = 0 to n - 1 do
+        if l <> j then a := Bdd.band man !a (Bdd.bnot man (var i l))
+      done;
+      for k = 0 to n - 1 do
+        if k <> i then begin
+          a := Bdd.band man !a (Bdd.bnot man (var k j));
+          let d = j + k - i in
+          if d >= 0 && d < n then a := Bdd.band man !a (Bdd.bnot man (var k d));
+          let d = j + i - k in
+          if d >= 0 && d < n then a := Bdd.band man !a (Bdd.bnot man (var k d))
+        end
+      done;
+      b := Bdd.band man !b (Bdd.bimp man (var i j) !a)
+    done
+  done;
+  Bdd.count_minterms man !b ~nvars:(n * n)
+
+(* ------------------------------------------------------------------ *)
+(* Workload 2: image computation (BFS over a partitioned relation)     *)
+(* ------------------------------------------------------------------ *)
+
+let image_bfs ~addr_bits man =
+  let circuit = Generate.microsequencer ~addr_bits ~stack_depth:2 in
+  let compiled = Compile.compile ~man circuit in
+  let trans = Trans.build compiled in
+  let r = Bfs.run trans in
+  r.Traversal.states
+
+(* ------------------------------------------------------------------ *)
+(* Workload 3: repeated relational products                            *)
+(* ------------------------------------------------------------------ *)
+
+(* All-pairs ∃vars. f_i ∧ f_j over the output cones of a structured random
+   netlist: the and_exists recursion dominated by computed-cache traffic.
+   The check is the total node count of the results. *)
+let relprod ~inputs ~gates man =
+  let circuit =
+    Generate.random_netlist ~inputs ~gates ~outputs:6 ~seed:17
+  in
+  let compiled = Compile.compile ~man circuit in
+  let fns = List.map snd compiled.Compile.output_fns in
+  (* quantify the first half of the inputs out of every product *)
+  let cube =
+    Bdd.cube man
+      (List.filteri (fun i _ -> i mod 2 = 0)
+         (Array.to_list (Compile.input_var_array compiled)))
+  in
+  let total = ref 0 in
+  List.iter
+    (fun f ->
+      List.iter
+        (fun g -> total := !total + Bdd.size (Bdd.and_exists man ~vars:cube f g))
+        fns)
+    fns;
+  float_of_int !total
+
+(* ------------------------------------------------------------------ *)
+(* Probe loops: allocation on the hit path                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Repeat an operation whose result is already cached (computed cache for
+   band, unique table for mk via ithvar) and report minor-heap words per
+   probe.  The loop bodies allocate nothing themselves, so this is the
+   per-probe allocation of the kernel: tuple-keyed hash tables pay a key
+   box plus an option per probe, the packed tables pay zero. *)
+let probe name ops warm op =
+  warm ();
+  Gc.full_major ();
+  let g0 = Gc.quick_stat () in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to ops do
+    op ()
+  done;
+  let wall = Unix.gettimeofday () -. t0 in
+  let g1 = Gc.quick_stat () in
+  let words = g1.Gc.minor_words -. g0.Gc.minor_words in
+  Obj
+    [
+      ("name", Str name);
+      ("ops", num_int ops);
+      ("wall_s", Num wall);
+      ("minor_words_per_op", Num (words /. float_of_int ops));
+      ("ns_per_op", Num (wall *. 1e9 /. float_of_int ops));
+    ]
+
+let probes ~ops =
+  let man = Bdd.create ~nvars:24 () in
+  let f =
+    Bdd.conj man (List.init 12 (fun i -> Bdd.ithvar man (2 * i)))
+  and g =
+    Bdd.disj man (List.init 12 (fun i -> Bdd.ithvar man ((2 * i) + 1)))
+  in
+  [
+    probe "hit_band" ops
+      (fun () -> ignore (Bdd.band man f g))
+      (fun () -> ignore (Bdd.band man f g));
+    probe "hit_mk" ops
+      (fun () -> ignore (Bdd.ithvar man 7))
+      (fun () -> ignore (Bdd.ithvar man 7));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Report assembly and validation                                      *)
+(* ------------------------------------------------------------------ *)
+
+let report ~smoke =
+  let benches =
+    if smoke then
+      [
+        ("queens6", queens 6);
+        ("image-useq3", image_bfs ~addr_bits:3);
+        ("relprod-pairs", relprod ~inputs:14 ~gates:70);
+      ]
+    else
+      [
+        ("queens8", queens 8);
+        ("image-useq4", image_bfs ~addr_bits:4);
+        ("relprod-pairs", relprod ~inputs:18 ~gates:140);
+      ]
+  in
+  let samples =
+    List.map
+      (fun (name, work) ->
+        Printf.eprintf "running %s...\n%!" name;
+        let s = measure name work in
+        Printf.eprintf
+          "  %-14s %7.3fs  %9d nodes  %8.0f nodes/s  hit rate %.3f\n%!"
+          s.s_name s.s_wall s.s_nodes_made
+          (float_of_int s.s_nodes_made /. Float.max 1e-9 s.s_wall)
+          (float_of_int s.s_hits
+          /. float_of_int (max 1 (s.s_hits + s.s_misses)));
+        s)
+      benches
+  in
+  let probe_ops = if smoke then 200_000 else 2_000_000 in
+  let probe_objs = probes ~ops:probe_ops in
+  List.iter
+    (fun p ->
+      match p with
+      | Obj kvs -> (
+          match (List.assoc "name" kvs, List.assoc "minor_words_per_op" kvs) with
+          | Str n, Num w ->
+              Printf.eprintf "  probe %-10s %.3f minor words/op\n%!" n w
+          | _ -> ())
+      | _ -> ())
+    probe_objs;
+  let total_wall = List.fold_left (fun a s -> a +. s.s_wall) 0. samples in
+  let total_nodes =
+    List.fold_left (fun a s -> a + s.s_nodes_made) 0 samples
+  in
+  Obj
+    [
+      ("schema", Str schema_version);
+      ("mode", Str (if smoke then "smoke" else "full"));
+      ("ocaml", Str Sys.ocaml_version);
+      ("word_size", num_int Sys.word_size);
+      ("benchmarks", Arr (List.map json_of_sample samples));
+      ("probes", Arr probe_objs);
+      ( "totals",
+        Obj
+          [
+            ("wall_s", Num total_wall);
+            ("nodes_made", num_int total_nodes);
+            ( "nodes_per_sec",
+              Num (float_of_int total_nodes /. Float.max 1e-9 total_wall) );
+          ] );
+    ]
+
+(* Schema check: the structure `make bench-smoke` asserts after every run,
+   so a refactor that silently breaks the report shape fails CI. *)
+let validate path =
+  let contents =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let fail fmt =
+    Printf.ksprintf
+      (fun msg ->
+        Printf.eprintf "%s: invalid: %s\n" path msg;
+        exit 1)
+      fmt
+  in
+  let j = try parse_json contents with Bad_json m -> fail "%s" m in
+  let obj = function Obj kvs -> kvs | _ -> fail "expected an object" in
+  let field kvs k =
+    match List.assoc_opt k kvs with
+    | Some v -> v
+    | None -> fail "missing field %S" k
+  in
+  let number kvs k =
+    match field kvs k with Num f -> f | _ -> fail "field %S not a number" k
+  in
+  let top = obj j in
+  (match field top "schema" with
+  | Str s when s = schema_version -> ()
+  | Str s -> fail "schema %S, want %S" s schema_version
+  | _ -> fail "schema is not a string");
+  (match field top "mode" with
+  | Str ("full" | "smoke") -> ()
+  | _ -> fail "mode must be \"full\" or \"smoke\"");
+  let benches =
+    match field top "benchmarks" with
+    | Arr (_ :: _ as xs) -> xs
+    | Arr [] -> fail "benchmarks is empty"
+    | _ -> fail "benchmarks is not an array"
+  in
+  List.iter
+    (fun b ->
+      let kvs = obj b in
+      (match field kvs "name" with
+      | Str _ -> ()
+      | _ -> fail "benchmark name is not a string");
+      List.iter
+        (fun k -> ignore (number kvs k))
+        [
+          "wall_s"; "nodes_made"; "nodes_per_sec"; "cache_hits";
+          "cache_misses"; "cache_hit_rate"; "peak_unique"; "minor_words";
+          "minor_collections";
+        ])
+    benches;
+  let probes =
+    match field top "probes" with
+    | Arr (_ :: _ as xs) -> xs
+    | _ -> fail "probes is missing or empty"
+  in
+  List.iter
+    (fun p ->
+      let kvs = obj p in
+      List.iter
+        (fun k -> ignore (number kvs k))
+        [ "ops"; "minor_words_per_op"; "ns_per_op" ])
+    probes;
+  let totals = obj (field top "totals") in
+  List.iter
+    (fun k -> ignore (number totals k))
+    [ "wall_s"; "nodes_made"; "nodes_per_sec" ];
+  Printf.printf "%s: valid %s report, %d benchmarks, %.0f nodes/sec overall\n"
+    path schema_version (List.length benches)
+    (number totals "nodes_per_sec")
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let smoke = ref false
+  and out = ref "BENCH_kernel.json"
+  and to_validate = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--smoke" :: rest ->
+        smoke := true;
+        parse rest
+    | "-o" :: path :: rest ->
+        out := path;
+        parse rest
+    | "--validate" :: path :: rest ->
+        to_validate := path :: !to_validate;
+        parse rest
+    | arg :: _ ->
+        Printf.eprintf
+          "usage: micro.exe [--smoke] [-o FILE] [--validate FILE]\n\
+           unknown argument %s\n"
+          arg;
+        exit 1
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  match !to_validate with
+  | _ :: _ as paths -> List.iter validate paths
+  | [] ->
+      let j = report ~smoke:!smoke in
+      let oc = open_out !out in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc (to_string j));
+      Printf.printf "wrote %s\n" !out

@@ -11,25 +11,206 @@ type view =
 
 exception Node_limit
 
+(* ------------------------------------------------------------------ *)
+(* Packed hash tables (DESIGN.md §Kernel)                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Every table on the hot path is open-addressed over parallel unboxed
+   [int array]s keyed by node uids, in the style of CUDD's unique and
+   computed tables: a probe mixes three machine ints, compares three
+   machine ints, and allocates nothing.  The polymorphic [Hashtbl]s they
+   replace boxed a fresh tuple key per probe and ran generic structural
+   hashing on it — measured at ~6 minor-heap words per probe by
+   bench/micro.exe, against 0 for these tables. *)
+
+(* Multiplicative mixing hash over three unboxed ints (Murmur-style
+   finalizer; constants fit OCaml's 63-bit int).  Callers mask the result
+   to index a power-of-two table, which keeps it non-negative. *)
+let[@inline] mix3 a b c =
+  let h = a lxor (b * 0x9e3779b1) lxor (c * 0x85ebca77) in
+  let h = (h lxor (h lsr 16)) * 0xc2b2ae35 in
+  h lxor (h lsr 13)
+
+(* --- unique table: (var, hi.uid, lo.uid) -> node, exact ------------- *)
+
+type utable = {
+  mutable u_mask : int; (* capacity - 1; capacity is a power of two *)
+  mutable u_count : int;
+  mutable u_var : int array; (* -1 marks an empty slot *)
+  mutable u_hi : int array;
+  mutable u_lo : int array;
+  mutable u_node : t array;
+}
+
+let ut_init_cap = 8192
+
+let ut_make fill cap =
+  {
+    u_mask = cap - 1;
+    u_count = 0;
+    u_var = Array.make cap (-1);
+    u_hi = Array.make cap 0;
+    u_lo = Array.make cap 0;
+    u_node = Array.make cap fill;
+  }
+
+(* Linear probe: the index holding (var, hi, lo), or [lnot i] for the
+   first free slot [i] of its chain.  Tail recursion over unboxed ints —
+   the zero-allocation probe path under every connective.  The unsafe
+   reads are in bounds because every index is masked. *)
+let rec ut_probe u var hi lo i =
+  let v = Array.unsafe_get u.u_var i in
+  if v < 0 then lnot i
+  else if
+    v = var
+    && Array.unsafe_get u.u_hi i = hi
+    && Array.unsafe_get u.u_lo i = lo
+  then i
+  else ut_probe u var hi lo ((i + 1) land u.u_mask)
+
+(* Insert a node known to be absent (callers have just probed). *)
+let ut_add u var hi lo node =
+  let slot = lnot (ut_probe u var hi lo (mix3 var hi lo land u.u_mask)) in
+  u.u_var.(slot) <- var;
+  u.u_hi.(slot) <- hi;
+  u.u_lo.(slot) <- lo;
+  u.u_node.(slot) <- node;
+  u.u_count <- u.u_count + 1
+
+(* Amortized doubling at 2/3 load, rehashing every occupied slot. *)
+let ut_grow fill u =
+  let old_var = u.u_var and old_node = u.u_node in
+  let cap = 2 * (u.u_mask + 1) in
+  u.u_mask <- cap - 1;
+  u.u_count <- 0;
+  u.u_var <- Array.make cap (-1);
+  u.u_hi <- Array.make cap 0;
+  u.u_lo <- Array.make cap 0;
+  u.u_node <- Array.make cap fill;
+  Array.iteri
+    (fun i v ->
+      if v >= 0 then
+        match old_node.(i).node with
+        | N { hi; lo; _ } -> ut_add u v hi.uid lo.uid old_node.(i)
+        | Leaf _ -> assert false)
+    old_var
+
+let ut_reset fill u =
+  u.u_mask <- ut_init_cap - 1;
+  u.u_count <- 0;
+  u.u_var <- Array.make ut_init_cap (-1);
+  u.u_hi <- Array.make ut_init_cap 0;
+  u.u_lo <- Array.make ut_init_cap 0;
+  u.u_node <- Array.make ut_init_cap fill
+
+let ut_iter fn u =
+  Array.iteri (fun i v -> if v >= 0 then fn u.u_node.(i)) u.u_var
+
+(* --- computed caches: lossy, direct-mapped ------------------------- *)
+
+(* One slot per hash; a colliding insert overwrites (CUDD's computed
+   table).  Loses results, never correctness: a lost entry is recomputed.
+   Keys are up to three non-negative ints (uids and operation tags);
+   unused key positions hold 0 and empty slots hold k1 = -1, which no
+   real key matches.  Values are nodes; a probe returns the manager's
+   [nil] sentinel (uid -1, never escapes the module) on a miss so the hit
+   path allocates no option. *)
+
+type cache = {
+  mutable c_mask : int; (* capacity - 1; capacity is a power of two *)
+  mutable c_filled : int; (* occupied slots, for {!stats} *)
+  mutable c_inserts : int; (* stores since creation/resize: drives growth *)
+  mutable c_k1 : int array;
+  mutable c_k2 : int array;
+  mutable c_k3 : int array;
+  mutable c_val : t array;
+}
+
+let cache_init_cap = 4096
+
+let cache_make fill cap =
+  {
+    c_mask = cap - 1;
+    c_filled = 0;
+    c_inserts = 0;
+    c_k1 = Array.make cap (-1);
+    c_k2 = Array.make cap 0;
+    c_k3 = Array.make cap 0;
+    c_val = Array.make cap fill;
+  }
+
+(* Dropping the contents on resize is fine for a lossy cache; the bounded
+   number of doublings makes the recomputation cost a one-time warmup. *)
+let cache_resize fill c cap =
+  c.c_mask <- cap - 1;
+  c.c_filled <- 0;
+  c.c_inserts <- 0;
+  c.c_k1 <- Array.make cap (-1);
+  c.c_k2 <- Array.make cap 0;
+  c.c_k3 <- Array.make cap 0;
+  c.c_val <- Array.make cap fill
+
+let cache_clear fill c =
+  Array.fill c.c_k1 0 (Array.length c.c_k1) (-1);
+  (* drop the values too so a cleared cache retains no dead nodes *)
+  Array.fill c.c_val 0 (Array.length c.c_val) fill;
+  c.c_filled <- 0;
+  c.c_inserts <- 0
+
+(* --- float cache: uid -> float, for weight ------------------------- *)
+
+(* Same shape with an unboxed [float array] payload; nan is the miss
+   sentinel (no stored weight is nan: weights live in [0, 1]). *)
+type fcache = {
+  mutable f_mask : int;
+  mutable f_filled : int;
+  mutable f_inserts : int;
+  mutable f_key : int array;
+  mutable f_val : float array;
+}
+
+let fcache_make cap =
+  {
+    f_mask = cap - 1;
+    f_filled = 0;
+    f_inserts = 0;
+    f_key = Array.make cap (-1);
+    f_val = Array.make cap 0.;
+  }
+
+let fcache_resize c cap =
+  c.f_mask <- cap - 1;
+  c.f_filled <- 0;
+  c.f_inserts <- 0;
+  c.f_key <- Array.make cap (-1);
+  c.f_val <- Array.make cap 0.
+
+let fcache_clear c =
+  Array.fill c.f_key 0 (Array.length c.f_key) (-1);
+  c.f_filled <- 0;
+  c.f_inserts <- 0
+
 type man = {
   ff : t;
   tt : t;
+  nil : t; (* cache-miss sentinel: uid -1, never escapes this module *)
   mutable node_limit : int option;
   mutable cache_limit : int;
+  mutable cache_cap : int; (* largest power of two <= cache_limit *)
   mutable next_uid : int;
-  unique : (int * int * int, t) Hashtbl.t;
+  unique : utable;
   mutable var_level : int array; (* variable -> level *)
   mutable level_var : int array; (* level -> variable *)
   mutable n_vars : int;
-  ite_cache : (int * int * int, t) Hashtbl.t;
-  op_cache : (int * int * int, t) Hashtbl.t; (* (tag, uid1, uid2) *)
-  not_cache : (int, t) Hashtbl.t;
-  exist_cache : (int * int, t) Hashtbl.t;
-  andex_cache : (int * int * int, t) Hashtbl.t;
-  constrain_cache : (int * int, t) Hashtbl.t;
-  restrict_cache : (int * int, t) Hashtbl.t;
-  leq_cache : (int * int, bool) Hashtbl.t;
-  weight_cache : (int, float) Hashtbl.t;
+  ite_cache : cache; (* (f, g, h) *)
+  op_cache : cache; (* (tag, f, g) *)
+  not_cache : cache; (* (f, 0, 0), kept in both directions *)
+  exist_cache : cache; (* (f, cube, 0) *)
+  andex_cache : cache; (* (f, g, cube) *)
+  constrain_cache : cache; (* (f, c, 0) *)
+  restrict_cache : cache; (* (f, c, 0) *)
+  leq_cache : cache; (* (f, g, 0) -> tt/ff *)
+  weight_cache : fcache;
   mutable nodes_made : int;
   mutable peak_unique : int;
   mutable cache_hits : int;
@@ -51,29 +232,58 @@ let tick_period = 256
 (* Managers and variables                                             *)
 (* ------------------------------------------------------------------ *)
 
+let rec pow2_le n k = if 2 * k <= n then pow2_le n (2 * k) else k
+let pow2_le n = pow2_le (max n 1024) 1024
+
+(* One-time OCaml GC tuning for BDD workloads (DESIGN.md §Kernel): the
+   kernel allocates a torrent of small long-lived nodes, so a bigger
+   per-domain minor heap (16 MB instead of the 2 MB default) keeps the
+   build phase of an operation out of the promotion treadmill, and a
+   higher space_overhead trades heap slack for fewer major slices.  Set
+   BDD_GC_TUNE=0 to opt out, or call Gc.set after the first Bdd.create to
+   override; existing user settings are never lowered. *)
+let gc_tuned = Atomic.make false
+
+let tune_gc () =
+  if not (Atomic.exchange gc_tuned true) then
+    match Sys.getenv_opt "BDD_GC_TUNE" with
+    | Some ("0" | "off" | "no" | "false") -> ()
+    | Some _ | None ->
+        let g = Gc.get () in
+        Gc.set
+          {
+            g with
+            Gc.minor_heap_size = max g.Gc.minor_heap_size (1 lsl 21);
+            space_overhead = max g.Gc.space_overhead 200;
+          }
+
 let create ?(nvars = 0) () =
+  tune_gc ();
   let ff = { uid = 0; node = Leaf false } in
   let tt = { uid = 1; node = Leaf true } in
+  let nil = { uid = -1; node = Leaf false } in
   let man =
     {
       ff;
       tt;
+      nil;
       node_limit = None;
       cache_limit = 2_000_000;
+      cache_cap = pow2_le 2_000_000;
       next_uid = 2;
-      unique = Hashtbl.create 4096;
+      unique = ut_make nil ut_init_cap;
       var_level = Array.init (max nvars 16) (fun i -> i);
       level_var = Array.init (max nvars 16) (fun i -> i);
       n_vars = nvars;
-      ite_cache = Hashtbl.create 4096;
-      op_cache = Hashtbl.create 4096;
-      not_cache = Hashtbl.create 1024;
-      exist_cache = Hashtbl.create 1024;
-      andex_cache = Hashtbl.create 1024;
-      constrain_cache = Hashtbl.create 256;
-      restrict_cache = Hashtbl.create 256;
-      leq_cache = Hashtbl.create 1024;
-      weight_cache = Hashtbl.create 1024;
+      ite_cache = cache_make nil cache_init_cap;
+      op_cache = cache_make nil cache_init_cap;
+      not_cache = cache_make nil cache_init_cap;
+      exist_cache = cache_make nil cache_init_cap;
+      andex_cache = cache_make nil cache_init_cap;
+      constrain_cache = cache_make nil cache_init_cap;
+      restrict_cache = cache_make nil cache_init_cap;
+      leq_cache = cache_make nil cache_init_cap;
+      weight_cache = fcache_make cache_init_cap;
       nodes_made = 0;
       peak_unique = 0;
       cache_hits = 0;
@@ -148,33 +358,40 @@ let grow_vars man n =
   man.n_vars <- max man.n_vars n
 
 (* Unchecked hash-consed constructor: callers guarantee the ordering
-   invariant. *)
+   invariant.  The hit path is a single masked probe over the packed
+   unique table and allocates nothing. *)
 let mk_raw man var hi lo =
   if hi == lo then hi
   else
-    let key = (var, hi.uid, lo.uid) in
-    match Hashtbl.find_opt man.unique key with
-    | Some n -> n
-    | None ->
-        (match man.node_limit with
-        | Some limit when Hashtbl.length man.unique >= limit ->
-            raise Node_limit
-        | Some _ | None -> ());
-        let n = { uid = man.next_uid; node = N { var; hi; lo } } in
-        man.next_uid <- man.next_uid + 1;
-        man.nodes_made <- man.nodes_made + 1;
-        Hashtbl.add man.unique key n;
-        let live = Hashtbl.length man.unique in
-        if live > man.peak_unique then man.peak_unique <- live;
-        (match man.tick with
-        | None -> ()
-        | Some fn ->
-            man.tick_countdown <- man.tick_countdown - 1;
-            if man.tick_countdown <= 0 then begin
-              man.tick_countdown <- tick_period;
-              fn ()
-            end);
-        n
+    let u = man.unique in
+    let hid = hi.uid and lod = lo.uid in
+    let s = ut_probe u var hid lod (mix3 var hid lod land u.u_mask) in
+    if s >= 0 then Array.unsafe_get u.u_node s
+    else begin
+      (match man.node_limit with
+      | Some limit when u.u_count >= limit -> raise Node_limit
+      | Some _ | None -> ());
+      let n = { uid = man.next_uid; node = N { var; hi; lo } } in
+      man.next_uid <- man.next_uid + 1;
+      man.nodes_made <- man.nodes_made + 1;
+      let slot = lnot s in
+      u.u_var.(slot) <- var;
+      u.u_hi.(slot) <- hid;
+      u.u_lo.(slot) <- lod;
+      u.u_node.(slot) <- n;
+      u.u_count <- u.u_count + 1;
+      if u.u_count > man.peak_unique then man.peak_unique <- u.u_count;
+      if 3 * u.u_count > 2 * (u.u_mask + 1) then ut_grow man.nil u;
+      (match man.tick with
+      | None -> ()
+      | Some fn ->
+          man.tick_countdown <- man.tick_countdown - 1;
+          if man.tick_countdown <= 0 then begin
+            man.tick_countdown <- tick_period;
+            fn ()
+          end);
+      n
+    end
 
 let mk man ~var ~hi ~lo =
   if var < 0 || var >= man.n_vars then invalid_arg "Bdd.mk: unknown variable";
@@ -201,22 +418,60 @@ let cofactors man f lv =
   | Leaf _ -> (f, f)
   | N { var; hi; lo } -> if man.var_level.(var) = lv then (hi, lo) else (f, f)
 
-(* Bounded cache insertion: operation caches are unbounded hash tables, so
-   a single huge operation could otherwise grow them far beyond the live
-   node count (CUDD bounds its computed table the same way). *)
-let cache_add man tbl key v =
-  if Hashtbl.length tbl >= man.cache_limit then Hashtbl.reset tbl;
-  Hashtbl.add tbl key v
+(* Computed-cache probe with hit/miss accounting for {!stats}: one masked
+   read, three int compares, no allocation.  Returns [man.nil] on a miss;
+   callers test [r.uid >= 0] (every real node has a non-negative uid). *)
+let[@inline] cache_find man c a b k =
+  let i = mix3 a b k land c.c_mask in
+  if
+    Array.unsafe_get c.c_k1 i = a
+    && Array.unsafe_get c.c_k2 i = b
+    && Array.unsafe_get c.c_k3 i = k
+  then begin
+    man.cache_hits <- man.cache_hits + 1;
+    Array.unsafe_get c.c_val i
+  end
+  else begin
+    man.cache_misses <- man.cache_misses + 1;
+    man.nil
+  end
 
-(* Operation-cache probe with hit/miss accounting for {!stats}. *)
-let cache_find man tbl key =
-  match Hashtbl.find_opt tbl key with
-  | Some _ as r ->
-      man.cache_hits <- man.cache_hits + 1;
-      r
-  | None ->
-      man.cache_misses <- man.cache_misses + 1;
-      None
+(* Lossy insertion: overwrite whatever occupies the slot.  The capacity
+   doubles when inserts outrun it — a cheap churn signal — but never past
+   [cache_limit], so each cache's memory is hard-bounded (CUDD sizes its
+   computed table the same way). *)
+let cache_add man c a b k v =
+  let cap = c.c_mask + 1 in
+  if c.c_inserts >= 2 * cap && 2 * cap <= man.cache_cap then
+    cache_resize man.nil c (2 * cap);
+  let i = mix3 a b k land c.c_mask in
+  if Array.unsafe_get c.c_k1 i < 0 then c.c_filled <- c.c_filled + 1;
+  Array.unsafe_set c.c_k1 i a;
+  Array.unsafe_set c.c_k2 i b;
+  Array.unsafe_set c.c_k3 i k;
+  Array.unsafe_set c.c_val i v;
+  c.c_inserts <- c.c_inserts + 1
+
+let[@inline] fcache_find man c k =
+  let i = mix3 k 0 0 land c.f_mask in
+  if Array.unsafe_get c.f_key i = k then begin
+    man.cache_hits <- man.cache_hits + 1;
+    Array.unsafe_get c.f_val i
+  end
+  else begin
+    man.cache_misses <- man.cache_misses + 1;
+    Float.nan
+  end
+
+let fcache_add man c k v =
+  let cap = c.f_mask + 1 in
+  if c.f_inserts >= 2 * cap && 2 * cap <= man.cache_cap then
+    fcache_resize c (2 * cap);
+  let i = mix3 k 0 0 land c.f_mask in
+  if Array.unsafe_get c.f_key i < 0 then c.f_filled <- c.f_filled + 1;
+  Array.unsafe_set c.f_key i k;
+  Array.unsafe_set c.f_val i v;
+  c.f_inserts <- c.f_inserts + 1
 
 (* ------------------------------------------------------------------ *)
 (* ITE and the binary connectives                                     *)
@@ -230,51 +485,53 @@ let rec ite man f g h =
   else if f == g then ite man f man.tt h
   else if f == h then ite man f g man.ff
   else
-    let key = (f.uid, g.uid, h.uid) in
-    match cache_find man man.ite_cache key with
-    | Some r -> r
-    | None ->
-        let lv = min (level man f) (min (level man g) (level man h)) in
-        let v = man.level_var.(lv) in
-        let f1, f0 = cofactors man f lv
-        and g1, g0 = cofactors man g lv
-        and h1, h0 = cofactors man h lv in
-        let r1 = ite man f1 g1 h1 and r0 = ite man f0 g0 h0 in
-        let r = mk_raw man v r1 r0 in
-        cache_add man man.ite_cache key r;
-        r
+    let r = cache_find man man.ite_cache f.uid g.uid h.uid in
+    if r.uid >= 0 then r
+    else begin
+      let lv = min (level man f) (min (level man g) (level man h)) in
+      let v = man.level_var.(lv) in
+      let f1, f0 = cofactors man f lv
+      and g1, g0 = cofactors man g lv
+      and h1, h0 = cofactors man h lv in
+      let r1 = ite man f1 g1 h1 and r0 = ite man f0 g0 h0 in
+      let r = mk_raw man v r1 r0 in
+      cache_add man man.ite_cache f.uid g.uid h.uid r;
+      r
+    end
 
 let rec bnot man f =
   if is_true f then man.ff
   else if is_false f then man.tt
   else
-    match cache_find man man.not_cache f.uid with
-    | Some r -> r
-    | None ->
-        let r = mk_raw man (topvar f) (bnot man (high f)) (bnot man (low f)) in
-        Hashtbl.add man.not_cache f.uid r;
-        Hashtbl.replace man.not_cache r.uid f;
-        r
+    let r = cache_find man man.not_cache f.uid 0 0 in
+    if r.uid >= 0 then r
+    else begin
+      let r = mk_raw man (topvar f) (bnot man (high f)) (bnot man (low f)) in
+      (* negation is an involution: cache both directions *)
+      cache_add man man.not_cache f.uid 0 0 r;
+      cache_add man man.not_cache r.uid 0 0 f;
+      r
+    end
 
 (* Binary apply with terminal-case functions, sharing one tagged cache. *)
 let rec apply man tag term f g =
   match term man f g with
   | Some r -> r
-  | None -> (
+  | None ->
       (* commutative: normalize the argument order for better cache reuse *)
       let f, g = if f.uid <= g.uid then (f, g) else (g, f) in
-      let key = (tag, f.uid, g.uid) in
-      match cache_find man man.op_cache key with
-      | Some r -> r
-      | None ->
-          let lv = min (level man f) (level man g) in
-          let v = man.level_var.(lv) in
-          let f1, f0 = cofactors man f lv and g1, g0 = cofactors man g lv in
-          let r1 = apply man tag term f1 g1
-          and r0 = apply man tag term f0 g0 in
-          let r = mk_raw man v r1 r0 in
-          cache_add man man.op_cache key r;
-          r)
+      let r = cache_find man man.op_cache tag f.uid g.uid in
+      if r.uid >= 0 then r
+      else begin
+        let lv = min (level man f) (level man g) in
+        let v = man.level_var.(lv) in
+        let f1, f0 = cofactors man f lv and g1, g0 = cofactors man g lv in
+        let r1 = apply man tag term f1 g1
+        and r0 = apply man tag term f0 g0 in
+        let r = mk_raw man v r1 r0 in
+        cache_add man man.op_cache tag f.uid g.uid r;
+        r
+      end
 
 let and_term man f g =
   if is_false f || is_false g then Some man.ff
@@ -332,15 +589,16 @@ let rec leq man f g =
   if f == g || is_false f || is_true g then true
   else if is_true f || is_false g then false
   else
-    let key = (f.uid, g.uid) in
-    match cache_find man man.leq_cache key with
-    | Some r -> r
-    | None ->
-        let lv = min (level man f) (level man g) in
-        let f1, f0 = cofactors man f lv and g1, g0 = cofactors man g lv in
-        let r = leq man f1 g1 && leq man f0 g0 in
-        cache_add man man.leq_cache key r;
-        r
+    (* boolean result, stored as the tt/ff node *)
+    let r = cache_find man man.leq_cache f.uid g.uid 0 in
+    if r.uid >= 0 then is_true r
+    else begin
+      let lv = min (level man f) (level man g) in
+      let f1, f0 = cofactors man f lv and g1, g0 = cofactors man g lv in
+      let r = leq man f1 g1 && leq man f0 g0 in
+      cache_add man man.leq_cache f.uid g.uid 0 (if r then man.tt else man.ff);
+      r
+    end
 
 (* ------------------------------------------------------------------ *)
 (* Cofactors, composition                                             *)
@@ -420,21 +678,21 @@ let rec exists man ~vars f =
     let lf = level man f and lc = level man vars in
     if lc < lf then exists man ~vars:(high vars) f
     else
-      let key = (f.uid, vars.uid) in
-      match cache_find man man.exist_cache key with
-      | Some r -> r
-      | None ->
-          let r =
-            if lc = lf then
-              let vars = high vars in
-              bor man (exists man ~vars (high f)) (exists man ~vars (low f))
-            else
-              mk_raw man (topvar f)
-                (exists man ~vars (high f))
-                (exists man ~vars (low f))
-          in
-          cache_add man man.exist_cache key r;
-          r
+      let r = cache_find man man.exist_cache f.uid vars.uid 0 in
+      if r.uid >= 0 then r
+      else begin
+        let r =
+          if lc = lf then
+            let vars = high vars in
+            bor man (exists man ~vars (high f)) (exists man ~vars (low f))
+          else
+            mk_raw man (topvar f)
+              (exists man ~vars (high f))
+              (exists man ~vars (low f))
+        in
+        cache_add man man.exist_cache f.uid vars.uid 0 r;
+        r
+      end
 
 let forall man ~vars f = bnot man (exists man ~vars (bnot man f))
 
@@ -446,30 +704,30 @@ let rec and_exists man ~vars f g =
   else if f == g then exists man ~vars f
   else
     let f, g = if f.uid <= g.uid then (f, g) else (g, f) in
-    let key = (f.uid, g.uid, vars.uid) in
-    match cache_find man man.andex_cache key with
-    | Some r -> r
-    | None ->
-        let lf = level man f and lg = level man g and lc = level man vars in
-        let lv = min lf lg in
-        let r =
-          if lc < lv then and_exists man ~vars:(high vars) f g
+    let r = cache_find man man.andex_cache f.uid g.uid vars.uid in
+    if r.uid >= 0 then r
+    else begin
+      let lf = level man f and lg = level man g and lc = level man vars in
+      let lv = min lf lg in
+      let r =
+        if lc < lv then and_exists man ~vars:(high vars) f g
+        else
+          let v = man.level_var.(lv) in
+          let f1, f0 = cofactors man f lv
+          and g1, g0 = cofactors man g lv in
+          if lc = lv then
+            let vars = high vars in
+            bor man
+              (and_exists man ~vars f1 g1)
+              (and_exists man ~vars f0 g0)
           else
-            let v = man.level_var.(lv) in
-            let f1, f0 = cofactors man f lv
-            and g1, g0 = cofactors man g lv in
-            if lc = lv then
-              let vars = high vars in
-              bor man
-                (and_exists man ~vars f1 g1)
-                (and_exists man ~vars f0 g0)
-            else
-              mk_raw man v
-                (and_exists man ~vars f1 g1)
-                (and_exists man ~vars f0 g0)
-        in
-        cache_add man man.andex_cache key r;
-        r
+            mk_raw man v
+              (and_exists man ~vars f1 g1)
+              (and_exists man ~vars f0 g0)
+      in
+      cache_add man man.andex_cache f.uid g.uid vars.uid r;
+      r
+    end
 
 (* ------------------------------------------------------------------ *)
 (* Generalized cofactors                                              *)
@@ -479,20 +737,20 @@ let rec constrain_rec man f c =
   if is_true c || is_const f then f
   else if f == c then man.tt
   else
-    let key = (f.uid, c.uid) in
-    match cache_find man man.constrain_cache key with
-    | Some r -> r
-    | None ->
-        let lv = min (level man f) (level man c) in
-        let v = man.level_var.(lv) in
-        let f1, f0 = cofactors man f lv and c1, c0 = cofactors man c lv in
-        let r =
-          if is_false c0 then constrain_rec man f1 c1
-          else if is_false c1 then constrain_rec man f0 c0
-          else mk_raw man v (constrain_rec man f1 c1) (constrain_rec man f0 c0)
-        in
-        cache_add man man.constrain_cache key r;
-        r
+    let r = cache_find man man.constrain_cache f.uid c.uid 0 in
+    if r.uid >= 0 then r
+    else begin
+      let lv = min (level man f) (level man c) in
+      let v = man.level_var.(lv) in
+      let f1, f0 = cofactors man f lv and c1, c0 = cofactors man c lv in
+      let r =
+        if is_false c0 then constrain_rec man f1 c1
+        else if is_false c1 then constrain_rec man f0 c0
+        else mk_raw man v (constrain_rec man f1 c1) (constrain_rec man f0 c0)
+      in
+      cache_add man man.constrain_cache f.uid c.uid 0 r;
+      r
+    end
 
 let constrain man f c =
   if is_false c then invalid_arg "Bdd.constrain: empty care set";
@@ -502,28 +760,28 @@ let rec restrict_rec man f c =
   if is_true c || is_const f then f
   else if f == c then man.tt
   else
-    let key = (f.uid, c.uid) in
-    match cache_find man man.restrict_cache key with
-    | Some r -> r
-    | None ->
-        let lf = level man f and lc = level man c in
-        let r =
-          if lc < lf then
-            (* the care set constrains a variable f does not mention:
-               quantify it out of c *)
-            restrict_rec man f (bor man (high c) (low c))
+    let r = cache_find man man.restrict_cache f.uid c.uid 0 in
+    if r.uid >= 0 then r
+    else begin
+      let lf = level man f and lc = level man c in
+      let r =
+        if lc < lf then
+          (* the care set constrains a variable f does not mention:
+             quantify it out of c *)
+          restrict_rec man f (bor man (high c) (low c))
+        else
+          let v = topvar f in
+          let c1, c0 = if lc = lf then (high c, low c) else (c, c) in
+          if is_false c0 then restrict_rec man (high f) c1
+          else if is_false c1 then restrict_rec man (low f) c0
           else
-            let v = topvar f in
-            let c1, c0 = if lc = lf then (high c, low c) else (c, c) in
-            if is_false c0 then restrict_rec man (high f) c1
-            else if is_false c1 then restrict_rec man (low f) c0
-            else
-              mk_raw man v
-                (restrict_rec man (high f) c1)
-                (restrict_rec man (low f) c0)
-        in
-        cache_add man man.restrict_cache key r;
-        r
+            mk_raw man v
+              (restrict_rec man (high f) c1)
+              (restrict_rec man (low f) c0)
+      in
+      cache_add man man.restrict_cache f.uid c.uid 0 r;
+      r
+    end
 
 let restrict man f c =
   if is_false c then invalid_arg "Bdd.restrict: empty care set";
@@ -577,12 +835,13 @@ let rec weight man f =
   if is_false f then 0.
   else if is_true f then 1.
   else
-    match Hashtbl.find_opt man.weight_cache f.uid with
-    | Some w -> w
-    | None ->
-        let w = 0.5 *. (weight man (high f) +. weight man (low f)) in
-        Hashtbl.add man.weight_cache f.uid w;
-        w
+    let w = fcache_find man man.weight_cache f.uid in
+    if Float.is_nan w then begin
+      let w = 0.5 *. (weight man (high f) +. weight man (low f)) in
+      fcache_add man man.weight_cache f.uid w;
+      w
+    end
+    else w
 
 let count_minterms man f ~nvars = ldexp (weight man f) nvars
 
@@ -671,16 +930,15 @@ let squeeze man ~lower ~upper =
 (* Manager maintenance                                                *)
 (* ------------------------------------------------------------------ *)
 
+let caches man =
+  [
+    man.ite_cache; man.op_cache; man.not_cache; man.exist_cache;
+    man.andex_cache; man.constrain_cache; man.restrict_cache; man.leq_cache;
+  ]
+
 let clear_caches man =
-  Hashtbl.reset man.ite_cache;
-  Hashtbl.reset man.op_cache;
-  Hashtbl.reset man.not_cache;
-  Hashtbl.reset man.exist_cache;
-  Hashtbl.reset man.andex_cache;
-  Hashtbl.reset man.constrain_cache;
-  Hashtbl.reset man.restrict_cache;
-  Hashtbl.reset man.leq_cache;
-  Hashtbl.reset man.weight_cache
+  List.iter (cache_clear man.nil) (caches man);
+  fcache_clear man.weight_cache
 
 let gc man ~roots =
   let live = Hashtbl.create 1024 in
@@ -695,18 +953,51 @@ let gc man ~roots =
         end
   in
   List.iter mark roots;
-  let before = Hashtbl.length man.unique in
-  let dead = ref [] in
-  Hashtbl.iter
-    (fun key n -> if not (Hashtbl.mem live n.uid) then dead := key :: !dead)
-    man.unique;
-  List.iter (Hashtbl.remove man.unique) !dead;
+  let u = man.unique in
+  let before = u.u_count in
+  let survivors = ref [] and n = ref 0 in
+  ut_iter
+    (fun node ->
+      if Hashtbl.mem live node.uid then begin
+        incr n;
+        survivors := node :: !survivors
+      end)
+    u;
+  (* rebuild the table at a capacity fitted to the survivors (the dead
+     nodes' records stay valid but leave the table, exactly as before) *)
+  let cap = ref ut_init_cap in
+  while 3 * !n > 2 * !cap do
+    cap := 2 * !cap
+  done;
+  u.u_mask <- !cap - 1;
+  u.u_count <- 0;
+  u.u_var <- Array.make !cap (-1);
+  u.u_hi <- Array.make !cap 0;
+  u.u_lo <- Array.make !cap 0;
+  u.u_node <- Array.make !cap man.nil;
+  List.iter
+    (fun node ->
+      match node.node with
+      | N { var; hi; lo } -> ut_add u var hi.uid lo.uid node
+      | Leaf _ -> assert false)
+    !survivors;
   clear_caches man;
-  before - Hashtbl.length man.unique
+  before - u.u_count
 
-let unique_size man = Hashtbl.length man.unique
+let unique_size man = man.unique.u_count
 let set_node_limit man limit = man.node_limit <- limit
-let set_cache_limit man n = man.cache_limit <- max 1024 n
+
+let set_cache_limit man n =
+  man.cache_limit <- max 1024 n;
+  man.cache_cap <- pow2_le man.cache_limit;
+  (* shrink any cache already above the new ceiling *)
+  List.iter
+    (fun c ->
+      if c.c_mask + 1 > man.cache_cap then cache_resize man.nil c man.cache_cap)
+    (caches man);
+  if man.weight_cache.f_mask + 1 > man.cache_cap then
+    fcache_resize man.weight_cache man.cache_cap
+
 let node_limit man = man.node_limit
 
 let set_tick man fn =
@@ -714,15 +1005,27 @@ let set_tick man fn =
   man.tick_countdown <- tick_period
 
 let stats man =
+  let cache_entries =
+    List.fold_left (fun acc c -> acc + c.c_filled) man.weight_cache.f_filled
+      (caches man)
+  and cache_capacity =
+    List.fold_left
+      (fun acc c -> acc + c.c_mask + 1)
+      (man.weight_cache.f_mask + 1)
+      (caches man)
+  in
   [
     ("nodes_made", man.nodes_made);
-    ("unique_size", Hashtbl.length man.unique);
+    ("unique_size", man.unique.u_count);
     ("peak_unique", man.peak_unique);
     ("cache_hits", man.cache_hits);
     ("cache_misses", man.cache_misses);
-    ("ite_cache", Hashtbl.length man.ite_cache);
-    ("op_cache", Hashtbl.length man.op_cache);
+    ("ite_cache", man.ite_cache.c_filled);
+    ("op_cache", man.op_cache.c_filled);
     ("n_vars", man.n_vars);
+    ("unique_capacity", man.unique.u_mask + 1);
+    ("cache_entries", cache_entries);
+    ("cache_capacity", cache_capacity);
   ]
 
 let reorder man ~order:level_var ~roots =
@@ -737,7 +1040,7 @@ let reorder man ~order:level_var ~roots =
     level_var;
   (* Old nodes stay valid records but leave the unique table; new nodes are
      built under the new order. *)
-  Hashtbl.reset man.unique;
+  ut_reset man.nil man.unique;
   clear_caches man;
   for l = 0 to man.n_vars - 1 do
     man.level_var.(l) <- level_var.(l);

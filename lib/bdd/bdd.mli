@@ -32,7 +32,13 @@ type view =
 
 val create : ?nvars:int -> unit -> man
 (** [create ()] returns a fresh manager.  [nvars] pre-declares that many
-    variables (they can also be added on demand with {!ithvar}). *)
+    variables (they can also be added on demand with {!ithvar}).
+
+    The first [create] of the process also tunes the OCaml GC for BDD
+    workloads (larger minor heap, higher [space_overhead]; see DESIGN.md
+    §Kernel).  Existing settings are never lowered; set the environment
+    variable [BDD_GC_TUNE=0] to disable, or call [Gc.set] afterwards to
+    override. *)
 
 val nvars : man -> int
 (** Number of declared variables. *)
@@ -236,9 +242,13 @@ val set_node_limit : man -> int option -> unit
 (** Install or clear the hard ceiling on live nodes. *)
 
 val set_cache_limit : man -> int -> unit
-(** Entry bound on each operation cache (default 2M); a cache reaching the
-    bound is dropped and restarted, trading recomputation for bounded
-    memory, as CUDD's fixed-size computed table does. *)
+(** Capacity bound on each computed cache (default 2M entries).  The
+    caches are lossy direct-mapped arrays in the style of CUDD's computed
+    table: a colliding insert overwrites, so memory is hard-bounded and a
+    lost entry only costs recomputation.  Caches start small and double as
+    traffic warrants, never past the largest power of two within the
+    limit; lowering the limit shrinks them immediately (dropping their
+    contents — results already returned stay valid). *)
 
 val node_limit : man -> int option
 
@@ -250,8 +260,13 @@ val set_tick : man -> (unit -> unit) option -> unit
     per-job deadlines without being able to kill a domain. *)
 
 val stats : man -> (string * int) list
-(** Internal counters, for logging: nodes made, live and peak unique-table
-    sizes, operation-cache hit/miss counts, cache fills, variable count. *)
+(** Internal counters, for logging.  Keys: [nodes_made], [unique_size],
+    [peak_unique], [cache_hits], [cache_misses] (cumulative over every
+    computed cache; monotone within a manager's lifetime), [ite_cache] and
+    [op_cache] (occupied slots), [n_vars], [unique_capacity] (slots of the
+    packed unique table), [cache_entries] and [cache_capacity] (occupied
+    and total slots summed over all computed caches — [cache_entries]
+    never exceeds [cache_capacity], which {!set_cache_limit} bounds). *)
 
 (** {1 Serialization and cross-manager transfer}
 

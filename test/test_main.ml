@@ -2,6 +2,7 @@ let () =
   Alcotest.run "dac98_bdd"
     [
       Test_bdd.tests;
+      Test_kernel.tests;
       Test_approx.tests;
       Test_decomp.tests;
       Test_partitioned.tests;
