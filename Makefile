@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke smoke check clean
+.PHONY: all build test bench bench-smoke smoke trace-smoke check clean
 
 all: build
 
@@ -19,7 +19,17 @@ bench-smoke: build
 	dune exec bench/micro.exe -- --smoke -o BENCH_kernel.json
 	dune exec bench/micro.exe -- --validate BENCH_kernel.json
 
-check: build test smoke bench-smoke
+# Record a 4-worker span trace + metrics snapshot of the bench smoke run,
+# then structurally validate both: balanced begin/end spans and
+# nondecreasing timestamps on every track, at least 4 tracks (one lane
+# per worker domain), and a well-formed obs-metrics/v1 snapshot.
+trace-smoke: build
+	dune exec bench/main.exe -- --smoke --jobs 4 \
+	  --trace _obs_trace.json --metrics _obs_metrics.json > /dev/null
+	dune exec bin/obs_check.exe -- --trace _obs_trace.json --min-tracks 4 \
+	  --metrics _obs_metrics.json
+
+check: build test smoke bench-smoke trace-smoke
 
 bench: build
 	dune exec bench/main.exe

@@ -13,6 +13,12 @@
      --smoke    a seconds-long slice of the suite that still exercises the
                 parallel path end to end (for CI; same as the "smoke"
                 experiment name).
+     --trace FILE    record a Chrome trace-event span trace (Perfetto);
+                one lane per worker domain.
+     --metrics FILE  write an obs-metrics/v1 snapshot of the run.
+                Both write their "-> FILE" note to stderr, so stdout stays
+                byte-identical with and without them (the smoke-determinism
+                contract that `make check` diffs across --jobs values).
 
    Absolute numbers differ from the paper (different circuits, different
    hardware, simulator substrate); the *shape* -- who wins, by what rough
@@ -106,13 +112,8 @@ let table1_engines row exported =
   let engine label run =
     Mt.Runner.job ~label:(row.name ^ "." ^ label) (fun man ->
         let trans = Trans.import man exported in
-        let t0 = Unix.gettimeofday () in
-        let r = run trans in
-        {
-          exact = r.Traversal.exact;
-          wall = Unix.gettimeofday () -. t0;
-          states = r.Traversal.states;
-        })
+        let r, wall = Obs.Timing.time (fun () -> run trans) in
+        { exact = r.Traversal.exact; wall; states = r.Traversal.states })
   in
   [
     engine "bfs" (fun trans ->
@@ -559,6 +560,7 @@ let () =
         Printf.eprintf "--jobs wants a positive integer, got %s\n" n;
         exit 1
   in
+  let trace = ref None and metrics = ref None in
   let rec parse acc = function
     | [] -> List.rev acc
     | [ "--jobs" ] ->
@@ -570,6 +572,15 @@ let () =
     | arg :: rest when String.length arg > 7 && String.sub arg 0 7 = "--jobs=" ->
         set_jobs (String.sub arg 7 (String.length arg - 7));
         parse acc rest
+    | [ "--trace" ] | [ "--metrics" ] ->
+        Printf.eprintf "--trace/--metrics want a file name\n";
+        exit 1
+    | "--trace" :: path :: rest ->
+        trace := Some path;
+        parse acc rest
+    | "--metrics" :: path :: rest ->
+        metrics := Some path;
+        parse acc rest
     | "--smoke" :: rest -> parse ("smoke" :: acc) rest
     | arg :: rest -> parse (arg :: acc) rest
   in
@@ -578,21 +589,35 @@ let () =
     | [] -> [ "table2"; "table3"; "table4"; "ablations"; "kernels"; "table1" ]
     | names -> names
   in
+  Option.iter (fun path -> Obs.Trace.start ~out:path ()) !trace;
+  if !metrics <> None then Obs.Metrics.set_recording true;
   List.iter
     (fun name ->
-      match name with
-      | "table1" -> table1 ()
-      | "table2" -> table2 ()
-      | "table3" -> table3 ()
-      | "table4" -> table4 ()
-      | "ablations" -> ablations ()
-      | "regimes" -> regimes ()
-      | "kernels" -> kernels ()
-      | "smoke" -> smoke ()
-      | other ->
-          Printf.eprintf
-            "unknown experiment %s (want table1..table4, ablations, \
-             regimes, kernels, smoke)\n"
-            other;
-          exit 1)
-    want
+      let run =
+        match name with
+        | "table1" -> table1
+        | "table2" -> table2
+        | "table3" -> table3
+        | "table4" -> table4
+        | "ablations" -> ablations
+        | "regimes" -> regimes
+        | "kernels" -> kernels
+        | "smoke" -> smoke
+        | other ->
+            Printf.eprintf
+              "unknown experiment %s (want table1..table4, ablations, \
+               regimes, kernels, smoke)\n"
+              other;
+            exit 1
+      in
+      Obs.Trace.with_span ("experiment:" ^ name) run)
+    want;
+  (* stderr, never stdout: the smoke output must stay byte-identical
+     across --jobs and with/without observability *)
+  Obs.Trace.stop ();
+  Option.iter (fun path -> Printf.eprintf "trace -> %s\n%!" path) !trace;
+  Option.iter
+    (fun path ->
+      Obs.Metrics.write Obs.Metrics.default path;
+      Printf.eprintf "metrics -> %s\n%!" path)
+    !metrics

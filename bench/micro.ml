@@ -4,6 +4,8 @@
      dune exec bench/micro.exe -- --smoke      -- seconds-long CI slice
      dune exec bench/micro.exe -- -o FILE      -- write the report elsewhere
      dune exec bench/micro.exe -- --validate FILE   -- schema-check a report
+     dune exec bench/micro.exe -- --trace FILE      -- Perfetto span trace
+     dune exec bench/micro.exe -- --metrics FILE    -- obs-metrics/v1 snapshot
 
    Three workloads exercise the unique table and the computed caches the way
    the DAC'98 algorithms do — connective-heavy construction (n-queens),
@@ -22,195 +24,10 @@
 
 let schema_version = "bdd-kernel-bench/v1"
 
-(* ------------------------------------------------------------------ *)
-(* A tiny JSON tree: enough to emit the report and to validate one     *)
-(* ------------------------------------------------------------------ *)
-
-type json =
-  | Bool of bool
-  | Num of float
-  | Str of string
-  | Arr of json list
-  | Obj of (string * json) list
-
-let num_int n = Num (float_of_int n)
-
-let buf_escape buf s =
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s
-
-let rec emit buf indent j =
-  let pad n = Buffer.add_string buf (String.make n ' ') in
-  match j with
-  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
-  | Num f ->
-      if Float.is_integer f && Float.abs f < 1e15 then
-        Buffer.add_string buf (Printf.sprintf "%.0f" f)
-      else Buffer.add_string buf (Printf.sprintf "%.9g" f)
-  | Str s ->
-      Buffer.add_char buf '"';
-      buf_escape buf s;
-      Buffer.add_char buf '"'
-  | Arr [] -> Buffer.add_string buf "[]"
-  | Arr xs ->
-      Buffer.add_string buf "[\n";
-      List.iteri
-        (fun i x ->
-          if i > 0 then Buffer.add_string buf ",\n";
-          pad (indent + 2);
-          emit buf (indent + 2) x)
-        xs;
-      Buffer.add_char buf '\n';
-      pad indent;
-      Buffer.add_char buf ']'
-  | Obj [] -> Buffer.add_string buf "{}"
-  | Obj kvs ->
-      Buffer.add_string buf "{\n";
-      List.iteri
-        (fun i (k, v) ->
-          if i > 0 then Buffer.add_string buf ",\n";
-          pad (indent + 2);
-          Buffer.add_char buf '"';
-          buf_escape buf k;
-          Buffer.add_string buf "\": ";
-          emit buf (indent + 2) v)
-        kvs;
-      Buffer.add_char buf '\n';
-      pad indent;
-      Buffer.add_char buf '}'
-
-let to_string j =
-  let buf = Buffer.create 4096 in
-  emit buf 0 j;
-  Buffer.add_char buf '\n';
-  Buffer.contents buf
-
-(* Recursive-descent parser for the validator (full JSON except unicode
-   escapes, which the emitter never produces). *)
-
-exception Bad_json of string
-
-let parse_json s =
-  let len = String.length s in
-  let pos = ref 0 in
-  let fail msg = raise (Bad_json (Printf.sprintf "%s at byte %d" msg !pos)) in
-  let peek () = if !pos < len then Some s.[!pos] else None in
-  let advance () = incr pos in
-  let rec skip_ws () =
-    match peek () with
-    | Some (' ' | '\t' | '\n' | '\r') ->
-        advance ();
-        skip_ws ()
-    | _ -> ()
-  in
-  let expect c =
-    match peek () with
-    | Some c' when c' = c -> advance ()
-    | _ -> fail (Printf.sprintf "expected '%c'" c)
-  in
-  let literal word v =
-    String.iter expect word;
-    v
-  in
-  let parse_string () =
-    expect '"';
-    let buf = Buffer.create 16 in
-    let rec go () =
-      match peek () with
-      | None -> fail "unterminated string"
-      | Some '"' -> advance ()
-      | Some '\\' -> (
-          advance ();
-          match peek () with
-          | Some '"' -> advance (); Buffer.add_char buf '"'; go ()
-          | Some '\\' -> advance (); Buffer.add_char buf '\\'; go ()
-          | Some 'n' -> advance (); Buffer.add_char buf '\n'; go ()
-          | Some 't' -> advance (); Buffer.add_char buf '\t'; go ()
-          | Some '/' -> advance (); Buffer.add_char buf '/'; go ()
-          | _ -> fail "unsupported escape")
-      | Some c ->
-          advance ();
-          Buffer.add_char buf c;
-          go ()
-    in
-    go ();
-    Buffer.contents buf
-  in
-  let parse_number () =
-    let start = !pos in
-    let is_num_char = function
-      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-      | _ -> false
-    in
-    while (match peek () with Some c -> is_num_char c | None -> false) do
-      advance ()
-    done;
-    match float_of_string_opt (String.sub s start (!pos - start)) with
-    | Some f -> f
-    | None -> fail "malformed number"
-  in
-  let rec parse_value () =
-    skip_ws ();
-    match peek () with
-    | Some '"' -> Str (parse_string ())
-    | Some '{' ->
-        advance ();
-        skip_ws ();
-        if peek () = Some '}' then (advance (); Obj [])
-        else
-          let rec members acc =
-            skip_ws ();
-            let k = parse_string () in
-            skip_ws ();
-            expect ':';
-            let v = parse_value () in
-            skip_ws ();
-            match peek () with
-            | Some ',' ->
-                advance ();
-                members ((k, v) :: acc)
-            | Some '}' ->
-                advance ();
-                Obj (List.rev ((k, v) :: acc))
-            | _ -> fail "expected ',' or '}'"
-          in
-          members []
-    | Some '[' ->
-        advance ();
-        skip_ws ();
-        if peek () = Some ']' then (advance (); Arr [])
-        else
-          let rec elements acc =
-            let v = parse_value () in
-            skip_ws ();
-            match peek () with
-            | Some ',' ->
-                advance ();
-                elements (v :: acc)
-            | Some ']' ->
-                advance ();
-                Arr (List.rev (v :: acc))
-            | _ -> fail "expected ',' or ']'"
-          in
-          elements []
-    | Some 't' -> literal "true" (Bool true)
-    | Some 'f' -> literal "false" (Bool false)
-    | Some ('0' .. '9' | '-') -> Num (parse_number ())
-    | _ -> fail "expected a value"
-  in
-  let v = parse_value () in
-  skip_ws ();
-  if !pos <> len then fail "trailing garbage";
-  v
+(* JSON emission/parsing and the wall+GC measurement scaffolding used to
+   live here; both moved to lib/obs (Obs.Json, Obs.Timing) so the bench
+   executables, Mt.Runner and the tracer share one implementation. *)
+open Obs.Json
 
 (* ------------------------------------------------------------------ *)
 (* Measurement harness                                                 *)
@@ -235,16 +52,17 @@ type sample = {
 let stat stats name = Option.value ~default:0 (List.assoc_opt name stats)
 
 (* Run [work] against a fresh manager and capture wall time, manager
-   counters and GC counter deltas.  A full major collection up front keeps
-   the previous workload's garbage out of this one's numbers. *)
+   counters and GC counter deltas.  Obs.Timing runs a full major
+   collection up front, keeping the previous workload's garbage out of
+   this one's numbers. *)
 let measure name work =
-  Gc.full_major ();
-  let g0 = Gc.quick_stat () in
-  let man = Bdd.create () in
-  let t0 = Unix.gettimeofday () in
-  let check = work man in
-  let wall = Unix.gettimeofday () -. t0 in
-  let g1 = Gc.quick_stat () in
+  let (man, check), wall, gd =
+    Obs.Timing.measure (fun () ->
+        Obs.Trace.with_span ("bench:" ^ name) (fun () ->
+            let man = Bdd.create () in
+            if Obs.Kernel.observing () then Obs.Kernel.attach man;
+            (man, work man)))
+  in
   let st = Bdd.stats man in
   {
     s_name = name;
@@ -254,11 +72,11 @@ let measure name work =
     s_unique_size = stat st "unique_size";
     s_hits = stat st "cache_hits";
     s_misses = stat st "cache_misses";
-    s_minor_words = g1.Gc.minor_words -. g0.Gc.minor_words;
-    s_promoted_words = g1.Gc.promoted_words -. g0.Gc.promoted_words;
-    s_major_words = g1.Gc.major_words -. g0.Gc.major_words;
-    s_minor_cols = g1.Gc.minor_collections - g0.Gc.minor_collections;
-    s_major_cols = g1.Gc.major_collections - g0.Gc.major_collections;
+    s_minor_words = gd.Obs.Timing.minor_words;
+    s_promoted_words = gd.Obs.Timing.promoted_words;
+    s_major_words = gd.Obs.Timing.major_words;
+    s_minor_cols = gd.Obs.Timing.minor_collections;
+    s_major_cols = gd.Obs.Timing.major_collections;
     s_check = check;
   }
 
@@ -373,15 +191,13 @@ let relprod ~inputs ~gates man =
    box plus an option per probe, the packed tables pay zero. *)
 let probe name ops warm op =
   warm ();
-  Gc.full_major ();
-  let g0 = Gc.quick_stat () in
-  let t0 = Unix.gettimeofday () in
-  for _ = 1 to ops do
-    op ()
-  done;
-  let wall = Unix.gettimeofday () -. t0 in
-  let g1 = Gc.quick_stat () in
-  let words = g1.Gc.minor_words -. g0.Gc.minor_words in
+  let (), wall, gd =
+    Obs.Timing.measure (fun () ->
+        for _ = 1 to ops do
+          op ()
+        done)
+  in
+  let words = gd.Obs.Timing.minor_words in
   Obj
     [
       ("name", Str name);
@@ -477,12 +293,6 @@ let report ~smoke =
 (* Schema check: the structure `make bench-smoke` asserts after every run,
    so a refactor that silently breaks the report shape fails CI. *)
 let validate path =
-  let contents =
-    let ic = open_in_bin path in
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
-  in
   let fail fmt =
     Printf.ksprintf
       (fun msg ->
@@ -490,7 +300,9 @@ let validate path =
         exit 1)
       fmt
   in
-  let j = try parse_json contents with Bad_json m -> fail "%s" m in
+  let j =
+    try Obs.Json.read_file path with Obs.Json.Parse_error m -> fail "%s" m
+  in
   let obj = function Obj kvs -> kvs | _ -> fail "expected an object" in
   let field kvs k =
     match List.assoc_opt k kvs with
@@ -553,6 +365,8 @@ let validate path =
 let () =
   let smoke = ref false
   and out = ref "BENCH_kernel.json"
+  and trace = ref None
+  and metrics = ref None
   and to_validate = ref [] in
   let rec parse = function
     | [] -> ()
@@ -562,12 +376,19 @@ let () =
     | "-o" :: path :: rest ->
         out := path;
         parse rest
+    | "--trace" :: path :: rest ->
+        trace := Some path;
+        parse rest
+    | "--metrics" :: path :: rest ->
+        metrics := Some path;
+        parse rest
     | "--validate" :: path :: rest ->
         to_validate := path :: !to_validate;
         parse rest
     | arg :: _ ->
         Printf.eprintf
-          "usage: micro.exe [--smoke] [-o FILE] [--validate FILE]\n\
+          "usage: micro.exe [--smoke] [-o FILE] [--trace FILE] [--metrics \
+           FILE] [--validate FILE]\n\
            unknown argument %s\n"
           arg;
         exit 1
@@ -576,9 +397,15 @@ let () =
   match !to_validate with
   | _ :: _ as paths -> List.iter validate paths
   | [] ->
+      Option.iter (fun path -> Obs.Trace.start ~out:path ()) !trace;
+      if !metrics <> None then Obs.Metrics.set_recording true;
       let j = report ~smoke:!smoke in
-      let oc = open_out !out in
-      Fun.protect
-        ~finally:(fun () -> close_out_noerr oc)
-        (fun () -> output_string oc (to_string j));
+      Obs.Json.write_file !out j;
+      Obs.Trace.stop ();
+      Option.iter
+        (fun path ->
+          Obs.Metrics.write Obs.Metrics.default path;
+          Printf.eprintf "metrics -> %s\n%!" path)
+        !metrics;
+      Option.iter (fun path -> Printf.eprintf "trace -> %s\n%!" path) !trace;
       Printf.printf "wrote %s\n" !out

@@ -1,0 +1,92 @@
+(* Validator for the observability artifacts:
+
+     obs_check.exe --trace FILE [--min-tracks N]
+     obs_check.exe --metrics FILE [--prev FILE]
+
+   --trace checks the file is Chrome trace-event JSON with balanced
+   begin/end spans and nondecreasing timestamps on every track (and at
+   least N tracks, i.e. worker domains, when --min-tracks is given).
+   --metrics checks the obs-metrics/v1 schema; with --prev, also that
+   every counter present in both snapshots is monotone.  Exit 1 on the
+   first failure — this is what `make trace-smoke` gates on. *)
+
+let fail fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "obs_check: %s\n" msg;
+      exit 1)
+    fmt
+
+let load path =
+  try Obs.Json.read_file path with
+  | Obs.Json.Parse_error m -> fail "%s: %s" path m
+  | Sys_error m -> fail "%s" m
+
+let check_trace path min_tracks =
+  match Obs.Trace.validate (load path) with
+  | Error m -> fail "%s: %s" path m
+  | Ok (events, tracks) ->
+      if tracks < min_tracks then
+        fail "%s: %d track(s), want at least %d" path tracks min_tracks;
+      Printf.printf "%s: valid trace, %d events on %d track(s)\n" path events
+        tracks
+
+let check_metrics path prev =
+  let j = load path in
+  (match Obs.Metrics.validate j with
+  | Error m -> fail "%s: %s" path m
+  | Ok () -> ());
+  let compared =
+    match prev with
+    | None -> ""
+    | Some prev_path ->
+        let old = Obs.Metrics.counters_of_json (load prev_path) in
+        let now = Obs.Metrics.counters_of_json j in
+        let n = ref 0 in
+        List.iter
+          (fun (name, v) ->
+            match List.assoc_opt name now with
+            | Some v' when v' < v ->
+                fail "%s: counter %s went backwards (%.0f -> %.0f vs %s)"
+                  path name v v' prev_path
+            | Some _ -> incr n
+            | None -> ())
+          old;
+        Printf.sprintf ", %d counter(s) monotone vs %s" !n prev_path
+  in
+  Printf.printf "%s: valid %s snapshot%s\n" path Obs.Metrics.schema_version
+    compared
+
+let () =
+  let trace = ref None
+  and metrics = ref None
+  and prev = ref None
+  and min_tracks = ref 1 in
+  let rec parse = function
+    | [] -> ()
+    | "--trace" :: path :: rest ->
+        trace := Some path;
+        parse rest
+    | "--metrics" :: path :: rest ->
+        metrics := Some path;
+        parse rest
+    | "--prev" :: path :: rest ->
+        prev := Some path;
+        parse rest
+    | "--min-tracks" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n when n >= 1 ->
+            min_tracks := n;
+            parse rest
+        | _ -> fail "--min-tracks wants a positive integer, got %s" n)
+    | arg :: _ ->
+        fail
+          "usage: obs_check [--trace FILE [--min-tracks N]] [--metrics FILE \
+           [--prev FILE]] (unknown argument %s)"
+          arg
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if !trace = None && !metrics = None then
+    fail "nothing to do: pass --trace and/or --metrics";
+  Option.iter (fun path -> check_trace path !min_tracks) !trace;
+  Option.iter (fun path -> check_metrics path !prev) !metrics

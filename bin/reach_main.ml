@@ -119,8 +119,28 @@ let check_reached_arg =
            with a different variable order) and report whether this run \
            computed the same set.")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record a span trace of the traversal to $(docv) (Chrome \
+           trace-event JSON; open in Perfetto or chrome://tracing).")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write an obs-metrics/v1 snapshot (traversal counters, kernel \
+           gauges and histograms) to $(docv) when the run finishes.")
+
 let run circuit blif params engine meth threshold quality pimg time_limit
-    node_limit sift cluster_limit save_reached check_reached =
+    node_limit sift cluster_limit save_reached check_reached trace metrics =
+  Option.iter (fun path -> Obs.Trace.start ~out:path ()) trace;
+  if metrics <> None then Obs.Metrics.set_recording true;
   let c =
     match blif with
     | Some path -> Blif.parse_file path
@@ -128,7 +148,9 @@ let run circuit blif params engine meth threshold quality pimg time_limit
   in
   Printf.printf "circuit: %s\n%!" (Circuit.stats c);
   let trans = Trans.build ~cluster_limit (Compile.compile c) in
+  if Obs.Kernel.observing () then Obs.Kernel.attach (Trans.man trans);
   let result =
+    Obs.Trace.with_span "reach" @@ fun () ->
     match engine with
     | `Bfs -> Bfs.run ?time_limit ?node_limit ~sift trans
     | `Hd ->
@@ -143,6 +165,17 @@ let run circuit blif params engine meth threshold quality pimg time_limit
   in
   Format.printf "%a@." Traversal.pp result;
   let man = Trans.man trans in
+  Obs.Trace.stop ();
+  Option.iter (fun path -> Printf.eprintf "trace -> %s\n%!" path) trace;
+  Option.iter
+    (fun path ->
+      (* "bdd.stats" rather than "bdd": the kernel observer already owns
+         bdd.ut_grows etc. as counters, and a gauge may not share a name *)
+      Obs.Metrics.record_stats Obs.Metrics.default ~prefix:"bdd.stats"
+        (Bdd.stats man);
+      Obs.Metrics.write Obs.Metrics.default path;
+      Printf.eprintf "metrics -> %s\n%!" path)
+    metrics;
   (match save_reached with
   | None -> ()
   | Some path ->
@@ -167,7 +200,7 @@ let cmd =
       const run $ circuit_arg $ blif_arg $ params_arg $ engine_arg $ method_arg
       $ threshold_arg $ quality_arg $ pimg_arg $ time_limit_arg
       $ node_limit_arg $ sift_arg $ cluster_arg $ save_reached_arg
-      $ check_reached_arg)
+      $ check_reached_arg $ trace_arg $ metrics_arg)
   in
   Cmd.v
     (Cmd.info "reach_main"

@@ -11,6 +11,17 @@ type view =
 
 exception Node_limit
 
+(* Instrumentation events (see the mli).  All fire on rare maintenance
+   paths — growth, resize, collection, limits, or one progress beat every
+   few hundred fresh nodes — never per probe, so an installed observer
+   costs nothing measurable and an absent one is a single branch. *)
+type event =
+  | Unique_grow of { capacity : int; live : int }
+  | Cache_resize of { cache : string; capacity : int }
+  | Gc of { collected : int; live : int }
+  | Limit_hit of { limit : int }
+  | Progress of { nodes_made : int; unique_size : int }
+
 (* ------------------------------------------------------------------ *)
 (* Packed hash tables (DESIGN.md §Kernel)                             *)
 (* ------------------------------------------------------------------ *)
@@ -117,6 +128,7 @@ let ut_iter fn u =
    path allocates no option. *)
 
 type cache = {
+  c_name : string; (* for Cache_resize events *)
   mutable c_mask : int; (* capacity - 1; capacity is a power of two *)
   mutable c_filled : int; (* occupied slots, for {!stats} *)
   mutable c_inserts : int; (* stores since creation/resize: drives growth *)
@@ -128,8 +140,9 @@ type cache = {
 
 let cache_init_cap = 4096
 
-let cache_make fill cap =
+let cache_make name fill cap =
   {
+    c_name = name;
     c_mask = cap - 1;
     c_filled = 0;
     c_inserts = 0;
@@ -215,6 +228,12 @@ type man = {
   mutable peak_unique : int;
   mutable cache_hits : int;
   mutable cache_misses : int;
+  mutable cache_overwrites : int; (* computed-cache inserts into occupied slots *)
+  mutable ut_grows : int; (* unique-table doublings *)
+  mutable gc_runs : int;
+  mutable gc_collected : int;
+  mutable node_limit_hits : int;
+  mutable observer : (event -> unit) option;
   mutable tick : (unit -> unit) option;
   mutable tick_countdown : int;
 }
@@ -275,19 +294,25 @@ let create ?(nvars = 0) () =
       var_level = Array.init (max nvars 16) (fun i -> i);
       level_var = Array.init (max nvars 16) (fun i -> i);
       n_vars = nvars;
-      ite_cache = cache_make nil cache_init_cap;
-      op_cache = cache_make nil cache_init_cap;
-      not_cache = cache_make nil cache_init_cap;
-      exist_cache = cache_make nil cache_init_cap;
-      andex_cache = cache_make nil cache_init_cap;
-      constrain_cache = cache_make nil cache_init_cap;
-      restrict_cache = cache_make nil cache_init_cap;
-      leq_cache = cache_make nil cache_init_cap;
+      ite_cache = cache_make "ite" nil cache_init_cap;
+      op_cache = cache_make "op" nil cache_init_cap;
+      not_cache = cache_make "not" nil cache_init_cap;
+      exist_cache = cache_make "exist" nil cache_init_cap;
+      andex_cache = cache_make "andex" nil cache_init_cap;
+      constrain_cache = cache_make "constrain" nil cache_init_cap;
+      restrict_cache = cache_make "restrict" nil cache_init_cap;
+      leq_cache = cache_make "leq" nil cache_init_cap;
       weight_cache = fcache_make cache_init_cap;
       nodes_made = 0;
       peak_unique = 0;
       cache_hits = 0;
       cache_misses = 0;
+      cache_overwrites = 0;
+      ut_grows = 0;
+      gc_runs = 0;
+      gc_collected = 0;
+      node_limit_hits = 0;
+      observer = None;
       tick = None;
       tick_countdown = tick_period;
     }
@@ -369,7 +394,12 @@ let mk_raw man var hi lo =
     if s >= 0 then Array.unsafe_get u.u_node s
     else begin
       (match man.node_limit with
-      | Some limit when u.u_count >= limit -> raise Node_limit
+      | Some limit when u.u_count >= limit ->
+          man.node_limit_hits <- man.node_limit_hits + 1;
+          (match man.observer with
+          | None -> ()
+          | Some obs -> obs (Limit_hit { limit }));
+          raise Node_limit
       | Some _ | None -> ());
       let n = { uid = man.next_uid; node = N { var; hi; lo } } in
       man.next_uid <- man.next_uid + 1;
@@ -381,15 +411,28 @@ let mk_raw man var hi lo =
       u.u_node.(slot) <- n;
       u.u_count <- u.u_count + 1;
       if u.u_count > man.peak_unique then man.peak_unique <- u.u_count;
-      if 3 * u.u_count > 2 * (u.u_mask + 1) then ut_grow man.nil u;
-      (match man.tick with
-      | None -> ()
-      | Some fn ->
-          man.tick_countdown <- man.tick_countdown - 1;
-          if man.tick_countdown <= 0 then begin
-            man.tick_countdown <- tick_period;
-            fn ()
-          end);
+      if 3 * u.u_count > 2 * (u.u_mask + 1) then begin
+        ut_grow man.nil u;
+        man.ut_grows <- man.ut_grows + 1;
+        match man.observer with
+        | None -> ()
+        | Some obs ->
+            obs (Unique_grow { capacity = u.u_mask + 1; live = u.u_count })
+      end;
+      (* one countdown per fresh node feeds both the cooperative tick hook
+         and the observer's progress beat; the decrement-and-test is the
+         whole disabled-path cost *)
+      man.tick_countdown <- man.tick_countdown - 1;
+      if man.tick_countdown <= 0 then begin
+        man.tick_countdown <- tick_period;
+        (match man.observer with
+        | None -> ()
+        | Some obs ->
+            obs
+              (Progress
+                 { nodes_made = man.nodes_made; unique_size = u.u_count }));
+        match man.tick with None -> () | Some fn -> fn ()
+      end;
       n
     end
 
@@ -442,10 +485,15 @@ let[@inline] cache_find man c a b k =
    computed table the same way). *)
 let cache_add man c a b k v =
   let cap = c.c_mask + 1 in
-  if c.c_inserts >= 2 * cap && 2 * cap <= man.cache_cap then
+  if c.c_inserts >= 2 * cap && 2 * cap <= man.cache_cap then begin
     cache_resize man.nil c (2 * cap);
+    match man.observer with
+    | None -> ()
+    | Some obs -> obs (Cache_resize { cache = c.c_name; capacity = 2 * cap })
+  end;
   let i = mix3 a b k land c.c_mask in
-  if Array.unsafe_get c.c_k1 i < 0 then c.c_filled <- c.c_filled + 1;
+  if Array.unsafe_get c.c_k1 i < 0 then c.c_filled <- c.c_filled + 1
+  else man.cache_overwrites <- man.cache_overwrites + 1;
   Array.unsafe_set c.c_k1 i a;
   Array.unsafe_set c.c_k2 i b;
   Array.unsafe_set c.c_k3 i k;
@@ -465,10 +513,15 @@ let[@inline] fcache_find man c k =
 
 let fcache_add man c k v =
   let cap = c.f_mask + 1 in
-  if c.f_inserts >= 2 * cap && 2 * cap <= man.cache_cap then
+  if c.f_inserts >= 2 * cap && 2 * cap <= man.cache_cap then begin
     fcache_resize c (2 * cap);
+    match man.observer with
+    | None -> ()
+    | Some obs -> obs (Cache_resize { cache = "weight"; capacity = 2 * cap })
+  end;
   let i = mix3 k 0 0 land c.f_mask in
-  if Array.unsafe_get c.f_key i < 0 then c.f_filled <- c.f_filled + 1;
+  if Array.unsafe_get c.f_key i < 0 then c.f_filled <- c.f_filled + 1
+  else man.cache_overwrites <- man.cache_overwrites + 1;
   Array.unsafe_set c.f_key i k;
   Array.unsafe_set c.f_val i v;
   c.f_inserts <- c.f_inserts + 1
@@ -982,7 +1035,13 @@ let gc man ~roots =
       | Leaf _ -> assert false)
     !survivors;
   clear_caches man;
-  before - u.u_count
+  let collected = before - u.u_count in
+  man.gc_runs <- man.gc_runs + 1;
+  man.gc_collected <- man.gc_collected + collected;
+  (match man.observer with
+  | None -> ()
+  | Some obs -> obs (Gc { collected; live = u.u_count }));
+  collected
 
 let unique_size man = man.unique.u_count
 let set_node_limit man limit = man.node_limit <- limit
@@ -1003,6 +1062,8 @@ let node_limit man = man.node_limit
 let set_tick man fn =
   man.tick <- fn;
   man.tick_countdown <- tick_period
+
+let set_observer man fn = man.observer <- fn
 
 let stats man =
   let cache_entries =
@@ -1026,6 +1087,11 @@ let stats man =
     ("unique_capacity", man.unique.u_mask + 1);
     ("cache_entries", cache_entries);
     ("cache_capacity", cache_capacity);
+    ("cache_overwrites", man.cache_overwrites);
+    ("ut_grows", man.ut_grows);
+    ("gc_runs", man.gc_runs);
+    ("gc_collected", man.gc_collected);
+    ("node_limit_hits", man.node_limit_hits);
   ]
 
 let reorder man ~order:level_var ~roots =

@@ -266,7 +266,37 @@ val stats : man -> (string * int) list
     [op_cache] (occupied slots), [n_vars], [unique_capacity] (slots of the
     packed unique table), [cache_entries] and [cache_capacity] (occupied
     and total slots summed over all computed caches — [cache_entries]
-    never exceeds [cache_capacity], which {!set_cache_limit} bounds). *)
+    never exceeds [cache_capacity], which {!set_cache_limit} bounds),
+    [cache_overwrites] (computed-cache inserts that evicted a prior
+    entry), [ut_grows] (unique-table doublings), [gc_runs] and
+    [gc_collected] (cumulative over {!gc} calls), [node_limit_hits]
+    (times {!Node_limit} was raised). *)
+
+(** {1 Observation}
+
+    Low-frequency structural events, for metrics and tracing.  The hook
+    fires only on the rare paths (table growth, cache resize, {!gc},
+    {!Node_limit}) plus a progress beat every few hundred fresh nodes;
+    with no observer installed the cost on the node-creation path is one
+    branch. *)
+
+type event =
+  | Unique_grow of { capacity : int; live : int }
+      (** The unique table doubled to [capacity] slots. *)
+  | Cache_resize of { cache : string; capacity : int }
+      (** The named computed cache ("ite", "op", …, "weight") grew. *)
+  | Gc of { collected : int; live : int }  (** A {!gc} finished. *)
+  | Limit_hit of { limit : int }
+      (** {!Node_limit} is about to be raised. *)
+  | Progress of { nodes_made : int; unique_size : int }
+      (** Periodic beat from node creation (same cadence as the
+          {!set_tick} hook). *)
+
+val set_observer : man -> (event -> unit) option -> unit
+(** Install (or clear) the event hook.  Called synchronously from inside
+    kernel operations: it must not call back into this manager, and
+    should return quickly.  [Progress] observers run before the
+    {!set_tick} hook of the same beat (which may raise). *)
 
 (** {1 Serialization and cross-manager transfer}
 

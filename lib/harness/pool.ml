@@ -78,6 +78,7 @@ let product_entries_of_circuit ~min_nodes c =
     (triples 0 (List.map snd compiled.Compile.output_fns))
 
 let build ?(min_nodes = 500) ?(circuits = None) ?jobs () =
+  Obs.Trace.with_span "pool.build" @@ fun () ->
   let circuits =
     match circuits with
     | Some cs -> cs

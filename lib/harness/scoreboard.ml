@@ -10,6 +10,7 @@
 (* Run [measure] once per pool entry, sequentially in the entry's own
    manager (legacy path, [jobs = None]) or fanned out over worker domains. *)
 let sweep ?jobs measure entries =
+  Obs.Trace.with_span "scoreboard.sweep" @@ fun () ->
   match jobs with
   | None ->
       List.map

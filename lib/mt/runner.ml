@@ -23,6 +23,7 @@ type report = {
   nodes_made : int;
   cache_hits : int;
   cache_misses : int;
+  stats : (string * int) list;
 }
 
 type 'a result = { outcome : 'a outcome; report : report }
@@ -36,24 +37,61 @@ exception Deadline
 
 let stat stats name = Option.value ~default:0 (List.assoc_opt name stats)
 
+(* Handles are registered once at link time (registration takes a lock;
+   recording through a handle does not), so every snapshot carries the
+   full mt.* schema even before the first run. *)
+module M = struct
+  open Obs
+
+  let reg = Metrics.default
+  let jobs = Metrics.counter reg "mt.jobs"
+  let jobs_done = Metrics.counter reg "mt.jobs_done"
+  let jobs_timeout = Metrics.counter reg "mt.jobs_timeout"
+  let jobs_over_budget = Metrics.counter reg "mt.jobs_over_budget"
+  let jobs_crashed = Metrics.counter reg "mt.jobs_crashed"
+  let nodes_made = Metrics.counter reg "mt.nodes_made"
+  let cache_hits = Metrics.counter reg "mt.cache_hits"
+  let cache_misses = Metrics.counter reg "mt.cache_misses"
+  let steals = Metrics.counter reg "mt.steals"
+  let job_wall_us = Metrics.histogram reg "mt.job_wall_us"
+  let job_peak_nodes = Metrics.histogram reg "mt.job_peak_nodes"
+  let workers = Metrics.gauge reg "mt.workers"
+  let last_run_jobs = Metrics.gauge reg "mt.last_run_jobs"
+end
+
 let exec j =
   let man = Bdd.create () in
+  if Obs.Kernel.observing () then Obs.Kernel.attach man;
   Bdd.set_node_limit man j.budget.node_budget;
   (match j.budget.deadline with
   | None -> ()
   | Some d ->
-      let cutoff = Unix.gettimeofday () +. d in
+      let cutoff = Obs.Timing.wall () +. d in
       Bdd.set_tick man
-        (Some (fun () -> if Unix.gettimeofday () > cutoff then raise Deadline)));
-  let t0 = Unix.gettimeofday () in
-  let outcome =
-    try Done (j.work man) with
-    | Bdd.Node_limit -> Over_budget
-    | Deadline -> Timeout
-    | e -> Crashed (Printexc.to_string e)
+        (Some (fun () -> if Obs.Timing.wall () > cutoff then raise Deadline)));
+  let outcome, wall =
+    Obs.Trace.with_span ("job:" ^ j.label) (fun () ->
+        Obs.Timing.time (fun () ->
+            try Done (j.work man) with
+            | Bdd.Node_limit -> Over_budget
+            | Deadline -> Timeout
+            | e -> Crashed (Printexc.to_string e)))
   in
-  let wall = Unix.gettimeofday () -. t0 in
   let stats = Bdd.stats man in
+  if Obs.Metrics.recording () then begin
+    Obs.Metrics.inc
+      (match outcome with
+      | Done _ -> M.jobs_done
+      | Timeout -> M.jobs_timeout
+      | Over_budget -> M.jobs_over_budget
+      | Crashed _ -> M.jobs_crashed)
+      1;
+    Obs.Metrics.inc M.nodes_made (stat stats "nodes_made");
+    Obs.Metrics.inc M.cache_hits (stat stats "cache_hits");
+    Obs.Metrics.inc M.cache_misses (stat stats "cache_misses");
+    Obs.Metrics.observe M.job_wall_us (int_of_float (wall *. 1e6));
+    Obs.Metrics.observe M.job_peak_nodes (stat stats "peak_unique")
+  end;
   {
     outcome;
     report =
@@ -64,6 +102,7 @@ let exec j =
         nodes_made = stat stats "nodes_made";
         cache_hits = stat stats "cache_hits";
         cache_misses = stat stats "cache_misses";
+        stats;
       };
   }
 
@@ -74,46 +113,63 @@ let run ?jobs js =
     let w = match jobs with Some w -> w | None -> default_jobs () in
     max 1 (min w n)
   in
-  let results = Array.make n None in
-  if workers <= 1 then
-    (* inline in the calling domain: no spawn cost, and the jobs=1 baseline
-       runs the exact code path the parallel sweep runs *)
-    Array.iteri (fun i j -> results.(i) <- Some (exec j)) js
-  else begin
-    let deques = Array.init workers (fun _ -> Deque.create ()) in
-    (* deal newest-last so each worker starts on its lowest-index job *)
-    for i = n - 1 downto 0 do
-      Deque.push deques.(i mod workers) i
-    done;
-    let worker w () =
-      let rec find k =
-        if k >= workers then None
-        else
-          let d = deques.((w + k) mod workers) in
-          match if k = 0 then Deque.pop d else Deque.steal d with
-          | Some i -> Some i
-          | None -> find (k + 1)
-      in
-      let rec loop () =
-        match find 0 with
-        | Some i ->
-            (* distinct slots: no two workers ever write the same index *)
-            results.(i) <- Some (exec js.(i));
-            loop ()
-        | None -> ()
-            (* queues only drain — once every deque is empty no work can
-               reappear, so the worker is done *)
-      in
-      loop ()
-    in
-    let spawned =
-      Array.init (workers - 1) (fun w -> Domain.spawn (worker (w + 1)))
-    in
-    worker 0 ();
-    Array.iter Domain.join spawned
+  if Obs.Metrics.recording () then begin
+    Obs.Metrics.inc M.jobs n;
+    Obs.Metrics.set M.workers workers;
+    Obs.Metrics.set M.last_run_jobs n
   end;
-  Array.to_list
-    (Array.map (function Some r -> r | None -> assert false) results)
+  Obs.Trace.with_span "mt.run"
+    ~args:
+      [ ("jobs", string_of_int n); ("workers", string_of_int workers) ]
+    (fun () ->
+      let results = Array.make n None in
+      if workers <= 1 then
+        (* inline in the calling domain: no spawn cost, and the jobs=1
+           baseline runs the exact code path the parallel sweep runs *)
+        Array.iteri (fun i j -> results.(i) <- Some (exec j)) js
+      else begin
+        let deques = Array.init workers (fun _ -> Deque.create ()) in
+        (* deal newest-last so each worker starts on its lowest-index job *)
+        for i = n - 1 downto 0 do
+          Deque.push deques.(i mod workers) i
+        done;
+        (* distinct slots per worker, summed after the join *)
+        let stolen = Array.make workers 0 in
+        let worker w () =
+          let rec find k =
+            if k >= workers then None
+            else
+              let d = deques.((w + k) mod workers) in
+              match if k = 0 then Deque.pop d else Deque.steal d with
+              | Some i ->
+                  if k > 0 then stolen.(w) <- stolen.(w) + 1;
+                  Some i
+              | None -> find (k + 1)
+          in
+          let rec loop () =
+            match find 0 with
+            | Some i ->
+                (* distinct slots: no two workers ever write the same index *)
+                results.(i) <- Some (exec js.(i));
+                loop ()
+            | None -> ()
+                (* queues only drain — once every deque is empty no work can
+                   reappear, so the worker is done *)
+          in
+          (* the enclosing span guarantees each worker a trace lane even if
+             every one of its jobs is stolen before it starts *)
+          Obs.Trace.with_span ("mt.worker " ^ string_of_int w) loop
+        in
+        let spawned =
+          Array.init (workers - 1) (fun w -> Domain.spawn (worker (w + 1)))
+        in
+        worker 0 ();
+        Array.iter Domain.join spawned;
+        if Obs.Metrics.recording () then
+          Obs.Metrics.inc M.steals (Array.fold_left ( + ) 0 stolen)
+      end;
+      Array.to_list
+        (Array.map (function Some r -> r | None -> assert false) results))
 
 let map ?jobs ?budget ~label f xs =
   run ?jobs (List.map (fun x -> job ?budget ~label:(label x) (fun man -> f man x)) xs)

@@ -8,7 +8,15 @@
     Jobs are dealt round-robin to per-worker deques; idle workers steal
     the oldest job of a busy neighbour.  Results always come back in
     submission order, so output built from them is deterministic no matter
-    how the jobs were scheduled. *)
+    how the jobs were scheduled.
+
+    When {!Obs.Trace} or {!Obs.Metrics} recording is on, each run emits an
+    [mt.run] span, one [mt.worker] span per worker domain (so every worker
+    gets a Perfetto lane), a [job:<label>] span per job, and feeds the
+    [mt.*] counters/histograms of {!Obs.Metrics.default} (job outcomes,
+    steal counts, wall-time and peak-node distributions).  Job managers get
+    an {!Obs.Kernel} observer.  All of it is branch-gated: disabled, the
+    runner behaves and times exactly as before. *)
 
 type budget = {
   deadline : float option;  (** wall-clock seconds, enforced via {!Bdd.set_tick} *)
@@ -30,6 +38,10 @@ type report = {
   nodes_made : int;
   cache_hits : int;
   cache_misses : int;
+  stats : (string * int) list;
+      (** the job manager's full {!Bdd.stats} snapshot, taken as the job
+          finished; the four fields above are the headline entries of the
+          same snapshot *)
 }
 
 type 'a result = { outcome : 'a outcome; report : report }

@@ -1,0 +1,37 @@
+(** A tiny JSON tree: enough to emit the observability reports and to
+    validate one.  Shared by {!Metrics} snapshots, {!Trace} files and the
+    benchmark reports (bench/micro.exe), which all used to carry private
+    copies of the same emitter. *)
+
+type t =
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val num_int : int -> t
+
+val to_string : t -> string
+(** Pretty-printed with two-space indentation and a trailing newline.
+    Integral [Num]s below 1e15 print without a decimal point. *)
+
+exception Parse_error of string
+
+val parse : string -> t
+(** Recursive-descent parser for the validators: full JSON except unicode
+    escapes, which {!to_string} never produces.  @raise Parse_error with a
+    byte offset on malformed input. *)
+
+val write_file : string -> t -> unit
+val read_file : string -> t
+(** [read_file path] parses the whole file.  @raise Parse_error and
+    [Sys_error] as appropriate. *)
+
+(** {1 Accessors for validators} *)
+
+val member : string -> t -> t option
+(** Field of an [Obj]; [None] on anything else or a missing key. *)
+
+val to_float : t -> float option
+(** The payload of a [Num]. *)

@@ -1,0 +1,58 @@
+let observing () = Metrics.recording () || Trace.enabled ()
+
+let attach ?(registry = Metrics.default) ?(prefix = "bdd") man =
+  let counter n = Metrics.counter registry (prefix ^ "." ^ n)
+  and gauge n = Metrics.gauge registry (prefix ^ "." ^ n)
+  and histogram n = Metrics.histogram registry (prefix ^ "." ^ n) in
+  let ut_grows = counter "ut_grows"
+  and cache_resizes = counter "cache_resizes"
+  and gc_runs = counter "gc_runs"
+  and gc_collected = counter "gc_collected_nodes"
+  and limit_hits = counter "node_limit_hits"
+  and unique_size = gauge "unique_size"
+  and nodes_made = gauge "nodes_made"
+  and gc_live = histogram "gc_live_nodes" in
+  let unique_track = prefix ^ ".unique_size" in
+  (* the Progress beat already fires only every few hundred nodes; thin
+     the counter-track samples further so traces stay small *)
+  let beats = ref 0 in
+  let observe ev =
+    let rec_on = Metrics.recording () and tr_on = Trace.enabled () in
+    match (ev : Bdd.event) with
+    | Unique_grow { capacity; live } ->
+        if rec_on then begin
+          Metrics.inc ut_grows 1;
+          Metrics.set unique_size live
+        end;
+        if tr_on then
+          Trace.instant (Printf.sprintf "bdd.ut_grow %d" capacity)
+    | Cache_resize { cache; capacity } ->
+        if rec_on then Metrics.inc cache_resizes 1;
+        if tr_on then
+          Trace.instant
+            (Printf.sprintf "bdd.cache_resize %s->%d" cache capacity)
+    | Gc { collected; live } ->
+        if rec_on then begin
+          Metrics.inc gc_runs 1;
+          Metrics.inc gc_collected collected;
+          Metrics.observe gc_live live;
+          Metrics.set unique_size live
+        end;
+        if tr_on then Trace.instant "bdd.gc"
+    | Limit_hit { limit } ->
+        if rec_on then Metrics.inc limit_hits 1;
+        if tr_on then
+          Trace.instant (Printf.sprintf "bdd.node_limit %d" limit)
+    | Progress { nodes_made = nm; unique_size = us } ->
+        if rec_on then begin
+          Metrics.set unique_size us;
+          Metrics.set nodes_made nm
+        end;
+        if tr_on then begin
+          incr beats;
+          if !beats land 3 = 0 then Trace.counter unique_track us
+        end
+  in
+  Bdd.set_observer man (Some observe)
+
+let detach man = Bdd.set_observer man None

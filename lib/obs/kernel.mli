@@ -1,0 +1,25 @@
+(** Bridge from {!Bdd.event} to the metrics registry and the tracer.
+
+    [attach man] installs a {!Bdd.set_observer} hook that feeds the
+    kernel's structural events (unique-table growth, cache resizes, gc,
+    node-limit hits) into counters and instants, and thins the periodic
+    [Progress] beat into a live [unique_size] counter track.
+
+    Metric handles are resolved once at attach time, so the observer
+    itself never takes the registry lock.  Attach only when {!observing}
+    — an attached observer costs a call per rare event and per progress
+    beat even if recording is later switched off. *)
+
+val attach : ?registry:Metrics.t -> ?prefix:string -> Bdd.man -> unit
+(** Install the observer on [man] (replacing any previous one).
+    Metrics are registered under [prefix] (default ["bdd"]):
+    [.ut_grows], [.cache_resizes], [.gc_runs], [.gc_collected_nodes],
+    [.node_limit_hits] (counters); [.unique_size], [.nodes_made]
+    (gauges); [.gc_live_nodes] (histogram). *)
+
+val detach : Bdd.man -> unit
+(** Remove the observer (whoever installed it). *)
+
+val observing : unit -> bool
+(** True when metrics recording or tracing is on — the cue for
+    pipelines to [attach] freshly created managers. *)

@@ -1,0 +1,270 @@
+(* Counters, gauges and log-binned histograms over striped atomic cells.
+
+   Domain ids are process-unique and monotonically increasing, so they
+   cannot index a fixed per-domain array directly; instead each metric
+   owns [stripes] atomic cells and a domain accumulates into cell
+   [id land (stripes - 1)].  Distinct live domains almost always land on
+   distinct stripes (Mt.Runner's workers get consecutive ids) and then
+   never contend; when two domains do share a stripe,
+   [Atomic.fetch_and_add] keeps the count exact.  Snapshots sum the
+   stripes, so a reader may miss an in-flight increment but never
+   observes a torn or decreasing counter. *)
+
+let stripes = 64
+let stripe () = (Domain.self () :> int) land (stripes - 1)
+let sum cells = Array.fold_left (fun acc c -> acc + Atomic.get c) 0 cells
+let make_cells () = Array.init stripes (fun _ -> Atomic.make 0)
+
+type counter = { c_name : string; c_cells : int Atomic.t array }
+type gauge = { g_name : string; g_cell : int Atomic.t }
+
+(* Histogram bin [b] holds values whose bit width is [b], i.e. the range
+   [2^(b-1), 2^b - 1]; bin 0 holds values <= 0.  63 bins cover every
+   OCaml int. *)
+let nbins = 64
+
+type histogram = {
+  h_name : string;
+  h_count : int Atomic.t array;
+  h_sum : int Atomic.t array;
+  h_bins : int Atomic.t array; (* one cell per bin; fetch_and_add *)
+}
+
+type item = C of counter | G of gauge | H of histogram
+
+type t = {
+  lock : Mutex.t;
+  tbl : (string, item) Hashtbl.t;
+  mutable rev_order : item list;
+}
+
+let create () =
+  { lock = Mutex.create (); tbl = Hashtbl.create 64; rev_order = [] }
+
+let default = create ()
+
+let recording_flag = Atomic.make false
+let set_recording b = Atomic.set recording_flag b
+let recording () = Atomic.get recording_flag
+
+let kind_name = function C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"
+
+let register t name make match_item =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      match Hashtbl.find_opt t.tbl name with
+      | Some item -> (
+          match match_item item with
+          | Some v -> v
+          | None ->
+              invalid_arg
+                (Printf.sprintf "Obs.Metrics: %S is already a %s" name
+                   (kind_name item)))
+      | None ->
+          let item, v = make () in
+          Hashtbl.add t.tbl name item;
+          t.rev_order <- item :: t.rev_order;
+          v)
+
+let counter t name =
+  register t name
+    (fun () ->
+      let c = { c_name = name; c_cells = make_cells () } in
+      (C c, c))
+    (function C c -> Some c | _ -> None)
+
+let gauge t name =
+  register t name
+    (fun () ->
+      let g = { g_name = name; g_cell = Atomic.make 0 } in
+      (G g, g))
+    (function G g -> Some g | _ -> None)
+
+let histogram t name =
+  register t name
+    (fun () ->
+      let h =
+        {
+          h_name = name;
+          h_count = make_cells ();
+          h_sum = make_cells ();
+          h_bins = Array.init nbins (fun _ -> Atomic.make 0);
+        }
+      in
+      (H h, h))
+    (function H h -> Some h | _ -> None)
+
+let inc c n =
+  if n > 0 then ignore (Atomic.fetch_and_add c.c_cells.(stripe ()) n)
+
+let set g v = Atomic.set g.g_cell v
+
+let bin_of v =
+  let rec bits acc v = if v = 0 then acc else bits (acc + 1) (v lsr 1) in
+  if v <= 0 then 0 else bits 0 v
+
+let observe h v =
+  let s = stripe () in
+  ignore (Atomic.fetch_and_add h.h_count.(s) 1);
+  ignore (Atomic.fetch_and_add h.h_sum.(s) (max 0 v));
+  ignore (Atomic.fetch_and_add h.h_bins.(bin_of v) 1)
+
+let counter_value c = sum c.c_cells
+let gauge_value g = Atomic.get g.g_cell
+let histogram_count h = sum h.h_count
+
+let record_stats t ~prefix stats =
+  List.iter (fun (key, v) -> set (gauge t (prefix ^ "." ^ key)) v) stats
+
+let schema_version = "obs-metrics/v1"
+
+let snapshot t =
+  let items =
+    Mutex.lock t.lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.lock)
+      (fun () -> List.rev t.rev_order)
+  in
+  let counters = ref [] and gauges = ref [] and histograms = ref [] in
+  List.iter
+    (function
+      | C c ->
+          counters :=
+            Json.Obj
+              [ ("name", Str c.c_name); ("value", Json.num_int (counter_value c)) ]
+            :: !counters
+      | G g ->
+          gauges :=
+            Json.Obj
+              [ ("name", Str g.g_name); ("value", Json.num_int (gauge_value g)) ]
+            :: !gauges
+      | H h ->
+          let bins = ref [] in
+          for b = nbins - 1 downto 0 do
+            let n = Atomic.get h.h_bins.(b) in
+            if n > 0 then
+              (* bin b holds values of bit width b: upper bound 2^b - 1 *)
+              bins :=
+                Json.Obj
+                  [
+                    ("le", Json.num_int ((1 lsl b) - 1));
+                    ("count", Json.num_int n);
+                  ]
+                :: !bins
+          done;
+          histograms :=
+            Json.Obj
+              [
+                ("name", Str h.h_name);
+                ("count", Json.num_int (histogram_count h));
+                ("sum", Json.num_int (sum h.h_sum));
+                ("bins", Arr !bins);
+              ]
+            :: !histograms)
+    items;
+  Json.Obj
+    [
+      ("schema", Str schema_version);
+      ("unix_time", Num (Unix.gettimeofday ()));
+      ("counters", Arr (List.rev !counters));
+      ("gauges", Arr (List.rev !gauges));
+      ("histograms", Arr (List.rev !histograms));
+    ]
+
+let write t path = Json.write_file path (snapshot t)
+
+(* --- snapshot validation ------------------------------------------- *)
+
+let validate j =
+  let ( let* ) = Result.bind in
+  let error fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let field what k o =
+    match Json.member k o with
+    | Some v -> Ok v
+    | None -> error "%s: missing field %S" what k
+  in
+  let number what k o =
+    let* v = field what k o in
+    match Json.to_float v with
+    | Some f -> Ok f
+    | None -> error "%s: field %S is not a number" what k
+  in
+  let name_of what o =
+    match Json.member "name" o with
+    | Some (Json.Str s) -> Ok s
+    | _ -> error "%s: missing or non-string name" what
+  in
+  let array what k o =
+    match Json.member k o with
+    | Some (Json.Arr xs) -> Ok xs
+    | Some _ -> error "%s: %S is not an array" what k
+    | None -> error "%s: missing field %S" what k
+  in
+  let rec each fn = function
+    | [] -> Ok ()
+    | x :: rest ->
+        let* () = fn x in
+        each fn rest
+  in
+  let* () =
+    match Json.member "schema" j with
+    | Some (Json.Str s) when s = schema_version -> Ok ()
+    | Some (Json.Str s) -> error "schema %S, want %S" s schema_version
+    | _ -> error "missing schema string"
+  in
+  let* _ = number "snapshot" "unix_time" j in
+  let* counters = array "snapshot" "counters" j in
+  let* () =
+    each
+      (fun c ->
+        let* name = name_of "counter" c in
+        let* v = number ("counter " ^ name) "value" c in
+        if v < 0. then error "counter %s is negative" name else Ok ())
+      counters
+  in
+  let* gauges = array "snapshot" "gauges" j in
+  let* () =
+    each
+      (fun g ->
+        let* name = name_of "gauge" g in
+        let* _ = number ("gauge " ^ name) "value" g in
+        Ok ())
+      gauges
+  in
+  let* histograms = array "snapshot" "histograms" j in
+  each
+    (fun h ->
+      let* name = name_of "histogram" h in
+      let what = "histogram " ^ name in
+      let* count = number what "count" h in
+      let* _ = number what "sum" h in
+      let* bins = array what "bins" h in
+      let* total =
+        List.fold_left
+          (fun acc b ->
+            let* prev_le, total = acc in
+            let* le = number what "le" b in
+            let* n = number what "count" b in
+            if le <= prev_le then error "%s: bin bounds not increasing" what
+            else Ok (le, total +. n))
+          (Ok (-1., 0.))
+          bins
+      in
+      if snd total <> count then
+        error "%s: bin counts sum to %.0f, count says %.0f" what (snd total)
+          count
+      else Ok ())
+    histograms
+
+let counters_of_json j =
+  match Json.member "counters" j with
+  | Some (Json.Arr cs) ->
+      List.filter_map
+        (fun c ->
+          match (Json.member "name" c, Json.member "value" c) with
+          | Some (Json.Str n), Some (Json.Num v) -> Some (n, v)
+          | _ -> None)
+        cs
+  | _ -> []

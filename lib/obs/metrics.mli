@@ -1,0 +1,81 @@
+(** Metrics registry: counters, gauges and log-binned histograms with
+    lock-free accumulation and a JSON snapshot.
+
+    Registration (the [counter]/[gauge]/[histogram] lookups) takes a
+    mutex and may allocate; keep handles around and register once.
+    Recording through a handle is lock-free: every metric is backed by an
+    array of atomic cells striped by domain id, so concurrent domains
+    accumulate without contending on a lock (and without losing updates —
+    colliding stripes fall back to [Atomic.fetch_and_add]).  A snapshot
+    sums the stripes.
+
+    The process-wide {!default} registry is what the instrumented
+    pipelines (Mt.Runner, lib/reach, the kernel observer of
+    {!module:Kernel}) feed.  They are gated on {!recording}, which starts
+    [false]: with metrics disabled the instrumentation is a single load
+    and branch. *)
+
+type t
+(** A registry. *)
+
+val create : unit -> t
+val default : t
+
+val set_recording : bool -> unit
+(** Master switch for the built-in instrumentation sites (process-wide,
+    not per registry).  Off by default. *)
+
+val recording : unit -> bool
+(** One atomic load: the disabled fast path. *)
+
+type counter
+(** Monotone: only ever incremented. *)
+
+type gauge
+(** Last-writer-wins sample of a level (queue depth, live nodes). *)
+
+type histogram
+(** Log-binned (powers of two) distribution of non-negative ints. *)
+
+val counter : t -> string -> counter
+(** Register or look up; @raise Invalid_argument if the name is already
+    registered as a different kind. *)
+
+val gauge : t -> string -> gauge
+val histogram : t -> string -> histogram
+
+val inc : counter -> int -> unit
+(** [inc c n] with [n >= 0]; negative increments are clamped to 0. *)
+
+val set : gauge -> int -> unit
+val observe : histogram -> int -> unit
+
+val counter_value : counter -> int
+val gauge_value : gauge -> int
+val histogram_count : histogram -> int
+
+val record_stats : t -> prefix:string -> (string * int) list -> unit
+(** Surface a [Bdd.stats]-style snapshot as gauges named
+    [prefix ^ "." ^ key]. *)
+
+(** {1 Snapshots} *)
+
+val schema_version : string
+(** ["obs-metrics/v1"]. *)
+
+val snapshot : t -> Json.t
+(** The registry as an [obs-metrics/v1] object: registration-ordered
+    [counters], [gauges] and [histograms] arrays (each entry carries its
+    [name]), plus [schema] and [unix_time]. *)
+
+val write : t -> string -> unit
+(** [snapshot] to a file. *)
+
+val validate : Json.t -> (unit, string) result
+(** Structural check of an [obs-metrics/v1] snapshot: schema string,
+    every counter non-negative, histogram bin bounds strictly increasing
+    and bin counts summing to the histogram count. *)
+
+val counters_of_json : Json.t -> (string * float) list
+(** The [counters] section of a snapshot, for cross-snapshot monotonicity
+    checks. *)

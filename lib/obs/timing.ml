@@ -1,0 +1,29 @@
+let wall = Unix.gettimeofday
+
+let time f =
+  let t0 = wall () in
+  let r = f () in
+  (r, wall () -. t0)
+
+type gc_delta = {
+  minor_words : float;
+  promoted_words : float;
+  major_words : float;
+  minor_collections : int;
+  major_collections : int;
+}
+
+let measure ?(full_major = true) f =
+  if full_major then Gc.full_major ();
+  let g0 = Gc.quick_stat () in
+  let r, elapsed = time f in
+  let g1 = Gc.quick_stat () in
+  ( r,
+    elapsed,
+    {
+      minor_words = g1.Gc.minor_words -. g0.Gc.minor_words;
+      promoted_words = g1.Gc.promoted_words -. g0.Gc.promoted_words;
+      major_words = g1.Gc.major_words -. g0.Gc.major_words;
+      minor_collections = g1.Gc.minor_collections - g0.Gc.minor_collections;
+      major_collections = g1.Gc.major_collections - g0.Gc.major_collections;
+    } )

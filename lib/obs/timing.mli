@@ -1,0 +1,28 @@
+(** Wall-clock and GC-delta measurement helpers.
+
+    One home for the timing idiom that used to be hand-rolled in
+    bench/main.ml, bench/micro.ml and lib/mt/runner.ml: read the clock,
+    run the thunk, subtract, optionally bracket with [Gc.quick_stat] to
+    attribute allocation. *)
+
+val wall : unit -> float
+(** [Unix.gettimeofday], the one clock every measurement in this
+    repository uses (seconds since the epoch; compare differences only). *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f] and returns its result with the elapsed wall-clock
+    seconds.  The thunk's exceptions propagate unchanged. *)
+
+(** OCaml GC counter deltas over a measured region (end minus start). *)
+type gc_delta = {
+  minor_words : float;
+  promoted_words : float;
+  major_words : float;
+  minor_collections : int;
+  major_collections : int;
+}
+
+val measure : ?full_major:bool -> (unit -> 'a) -> 'a * float * gc_delta
+(** [measure f] is [time f] plus the GC counter deltas across the call.
+    [full_major] (default [true]) runs [Gc.full_major] first so previous
+    work's garbage does not bleed into the numbers. *)

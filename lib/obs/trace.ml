@@ -1,0 +1,299 @@
+(* Chrome trace-event tracer with per-domain buffers.
+
+   A session owns a list of per-domain buffers.  A domain finds its
+   buffer through domain-local storage, keyed by a session generation
+   number so buffers from a previous session are never reused; the
+   buffer itself is registered with the session under a mutex (once per
+   domain per session) and thereafter the domain appends with no
+   synchronization at all — buffers survive the domain's exit because
+   the session holds them.
+
+   The enabled flag is the only thing the disabled path reads: one
+   atomic load and a branch. *)
+
+type ev = {
+  ph : char; (* 'B' begin, 'E' end, 'i' instant, 'C' counter *)
+  name : string;
+  ts : float; (* microseconds since session start *)
+  value : int; (* counter payload *)
+  args : (string * string) list;
+}
+
+type buf = {
+  tid : int;
+  mutable evs : ev array;
+  mutable len : int;
+  mutable last_ts : float;
+  mutable depth : int; (* open spans, to synthesize ends at stop *)
+}
+
+type session = {
+  out : string;
+  t0 : float; (* microseconds *)
+  lock : Mutex.t;
+  mutable bufs : buf list;
+}
+
+let enabled_flag = Atomic.make false
+let generation = Atomic.make 0
+let current : session option ref = ref None
+
+let enabled () = Atomic.get enabled_flag
+
+let dummy_ev = { ph = 'i'; name = ""; ts = 0.; value = 0; args = [] }
+
+let dls_key : (int * buf) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let my_buf s =
+  let gen = Atomic.get generation in
+  let slot = Domain.DLS.get dls_key in
+  match !slot with
+  | Some (g, b) when g = gen -> b
+  | _ ->
+      let b =
+        {
+          tid = (Domain.self () :> int);
+          evs = Array.make 256 dummy_ev;
+          len = 0;
+          last_ts = 0.;
+          depth = 0;
+        }
+      in
+      Mutex.lock s.lock;
+      s.bufs <- b :: s.bufs;
+      Mutex.unlock s.lock;
+      slot := Some (gen, b);
+      b
+
+let push b ev =
+  if b.len = Array.length b.evs then begin
+    let evs = Array.make (2 * b.len) dummy_ev in
+    Array.blit b.evs 0 evs 0 b.len;
+    b.evs <- evs
+  end;
+  b.evs.(b.len) <- ev;
+  b.len <- b.len + 1
+
+let now_us s b =
+  let ts = (Unix.gettimeofday () *. 1e6) -. s.t0 in
+  let ts = Float.max ts b.last_ts in
+  b.last_ts <- ts;
+  ts
+
+let emit ph name value args =
+  if Atomic.get enabled_flag then
+    match !current with
+    | None -> ()
+    | Some s ->
+        let b = my_buf s in
+        (match ph with
+        | 'B' -> b.depth <- b.depth + 1
+        | 'E' -> b.depth <- b.depth - 1
+        | _ -> ());
+        push b { ph; name; ts = now_us s b; value; args }
+
+let begin_span ?(args = []) name = emit 'B' name 0 args
+
+let end_span () =
+  (* refuse to unbalance the track on a stray end *)
+  if Atomic.get enabled_flag then
+    match !current with
+    | None -> ()
+    | Some s ->
+        let b = my_buf s in
+        if b.depth > 0 then begin
+          b.depth <- b.depth - 1;
+          push b { ph = 'E'; name = ""; ts = now_us s b; value = 0; args = [] }
+        end
+
+let with_span ?args name f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    begin_span ?args name;
+    Fun.protect ~finally:end_span f
+  end
+
+let instant name = emit 'i' name 0 []
+let counter name v = emit 'C' name v []
+
+(* --- flushing ------------------------------------------------------ *)
+
+let json_of_ev pid tid ev =
+  let base =
+    [
+      ("pid", Json.num_int pid);
+      ("tid", Json.num_int tid);
+      ("ts", Json.Num ev.ts);
+    ]
+  in
+  let args_obj kvs = Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) kvs) in
+  match ev.ph with
+  | 'B' ->
+      Json.Obj
+        (("name", Json.Str ev.name)
+        :: ("cat", Json.Str "dac98")
+        :: ("ph", Json.Str "B")
+        :: base
+        @ if ev.args = [] then [] else [ ("args", args_obj ev.args) ])
+  | 'E' -> Json.Obj (("ph", Json.Str "E") :: base)
+  | 'i' ->
+      Json.Obj
+        (("name", Json.Str ev.name)
+        :: ("cat", Json.Str "dac98")
+        :: ("ph", Json.Str "i")
+        :: ("s", Json.Str "t")
+        :: base)
+  | 'C' ->
+      Json.Obj
+        (("name", Json.Str ev.name)
+        :: ("ph", Json.Str "C")
+        :: base
+        @ [ ("args", Json.Obj [ ("value", Json.num_int ev.value) ]) ])
+  | _ -> assert false
+
+let flush s =
+  let pid = Unix.getpid () in
+  let bufs =
+    List.sort (fun a b -> compare a.tid b.tid) s.bufs
+  in
+  let meta =
+    Json.Obj
+      [
+        ("name", Json.Str "process_name");
+        ("ph", Json.Str "M");
+        ("pid", Json.num_int pid);
+        ("args", Json.Obj [ ("name", Json.Str "dac98_bdd") ]);
+      ]
+    :: List.map
+         (fun b ->
+           Json.Obj
+             [
+               ("name", Json.Str "thread_name");
+               ("ph", Json.Str "M");
+               ("pid", Json.num_int pid);
+               ("tid", Json.num_int b.tid);
+               ( "args",
+                 Json.Obj
+                   [ ("name", Json.Str (Printf.sprintf "domain %d" b.tid)) ] );
+             ])
+         bufs
+  in
+  let events =
+    List.concat_map
+      (fun b ->
+        let evs = ref [] in
+        (* close spans the program left open, newest timestamp *)
+        for _ = 1 to b.depth do
+          evs :=
+            json_of_ev pid b.tid
+              { ph = 'E'; name = ""; ts = b.last_ts; value = 0; args = [] }
+            :: !evs
+        done;
+        for i = b.len - 1 downto 0 do
+          evs := json_of_ev pid b.tid b.evs.(i) :: !evs
+        done;
+        !evs)
+      bufs
+  in
+  Json.write_file s.out
+    (Json.Obj
+       [ ("traceEvents", Arr (meta @ events)); ("displayTimeUnit", Str "ms") ])
+
+let stop () =
+  Atomic.set enabled_flag false;
+  match !current with
+  | None -> ()
+  | Some s ->
+      current := None;
+      flush s
+
+let start ~out () =
+  stop ();
+  ignore (Atomic.fetch_and_add generation 1);
+  current :=
+    Some
+      {
+        out;
+        t0 = Unix.gettimeofday () *. 1e6;
+        lock = Mutex.create ();
+        bufs = [];
+      };
+  Atomic.set enabled_flag true
+
+(* --- validation ---------------------------------------------------- *)
+
+let validate j =
+  let error fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let events =
+    match j with
+    | Json.Arr evs -> Ok evs
+    | Json.Obj _ -> (
+        match Json.member "traceEvents" j with
+        | Some (Json.Arr evs) -> Ok evs
+        | _ -> error "missing traceEvents array")
+    | _ -> error "trace is neither an object nor an array"
+  in
+  match events with
+  | Error _ as e -> e
+  | Ok events -> (
+      let tracks : (int, int * float) Hashtbl.t = Hashtbl.create 16 in
+      (* tid -> open span count, last timestamp *)
+      let count = ref 0 in
+      let rec go i = function
+        | [] -> Ok ()
+        | ev :: rest -> (
+            let ph =
+              match Json.member "ph" ev with
+              | Some (Json.Str s) when String.length s = 1 -> Ok s.[0]
+              | _ -> error "event %d: missing ph" i
+            in
+            match ph with
+            | Error _ as e -> e
+            | Ok 'M' -> go (i + 1) rest
+            | Ok ph -> (
+                incr count;
+                let tid =
+                  match Json.member "tid" ev with
+                  | Some (Json.Num t) -> Ok (int_of_float t)
+                  | _ -> error "event %d: missing tid" i
+                and ts =
+                  match Json.member "ts" ev with
+                  | Some (Json.Num t) -> Ok t
+                  | _ -> error "event %d: missing ts" i
+                in
+                match (tid, ts) with
+                | Error e, _ | _, Error e -> Error e
+                | Ok tid, Ok ts ->
+                    let depth, last =
+                      Option.value ~default:(0, Float.neg_infinity)
+                        (Hashtbl.find_opt tracks tid)
+                    in
+                    if ts < last then
+                      error
+                        "event %d: timestamp %f goes backwards on track %d" i
+                        ts tid
+                    else
+                      let depth =
+                        match ph with 'B' -> depth + 1 | 'E' -> depth - 1 | _ -> depth
+                      in
+                      if depth < 0 then
+                        error "event %d: end without begin on track %d" i tid
+                      else begin
+                        Hashtbl.replace tracks tid (depth, ts);
+                        go (i + 1) rest
+                      end))
+      in
+      match go 0 events with
+      | Error _ as e -> e
+      | Ok () ->
+          let unbalanced = ref None in
+          Hashtbl.iter
+            (fun tid (depth, _) ->
+              if depth <> 0 && !unbalanced = None then
+                unbalanced := Some (tid, depth))
+            tracks;
+          (match !unbalanced with
+          | Some (tid, depth) ->
+              error "track %d ends with %d unclosed span(s)" tid depth
+          | None -> Ok (!count, Hashtbl.length tracks)))

@@ -1,0 +1,51 @@
+(** Span tracer emitting Chrome trace-event JSON, loadable in Perfetto
+    (or chrome://tracing).
+
+    Events are buffered per domain and flushed to one file by {!stop}.
+    Each domain is a track ([tid] = domain id), so {!Mt.Runner} jobs
+    render as parallel lanes and nested {!with_span} calls stack inside
+    each lane.
+
+    Disabled (the default), every entry point is one atomic load and a
+    branch: the instrumented pipelines cost nothing measurable until
+    {!start} is called.  Timestamps are wall-clock microseconds since
+    {!start}, clamped to be nondecreasing within each track.
+
+    {!stop} must not race live spans: call it after the domains that
+    traced have been joined (as {!Mt.Runner.run} does before returning).
+    Spans still open at {!stop} are closed synthetically so the emitted
+    file always balances. *)
+
+val start : out:string -> unit -> unit
+(** Begin recording; the file is only written by {!stop}.  An already
+    running session is stopped (and flushed) first. *)
+
+val stop : unit -> unit
+(** Write the trace file of the current session and disable tracing.
+    No-op when not tracing. *)
+
+val enabled : unit -> bool
+
+val begin_span : ?args:(string * string) list -> string -> unit
+(** Open a span on the calling domain's track.  Prefer {!with_span},
+    which cannot unbalance the track. *)
+
+val end_span : unit -> unit
+(** Close the innermost open span of this domain (ignored if none). *)
+
+val with_span : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a span; the span closes even on exceptions.
+    When tracing is off this is one load-and-branch plus the call. *)
+
+val instant : string -> unit
+(** A point event on the calling domain's track. *)
+
+val counter : string -> int -> unit
+(** A sample on a named counter track (Perfetto draws these as a line
+    chart above the thread lanes). *)
+
+val validate : Json.t -> (int * int, string) result
+(** Structural check of a trace file: a [traceEvents] array (or bare
+    array) whose begin/end events balance per track with nondecreasing
+    timestamps per track.  [Ok (events, tracks)] counts non-metadata
+    events and distinct tracks. *)

@@ -19,6 +19,7 @@ let run ?(max_iter = max_int) ?time_limit ?node_limit ?gc_start
   let roots () = !reached :: !frontier :: Trans.roots !trans in
   (* one BFS step; Bdd.Node_limit escapes when the node ceiling is hit *)
   let step () =
+    Obs.Trace.with_span "bfs.iter" @@ fun () ->
     let img, stats = Image.image !trans !frontier in
     incr images;
     peak_product := max !peak_product stats.Image.peak_product;
@@ -31,6 +32,9 @@ let run ?(max_iter = max_int) ?time_limit ?node_limit ?gc_start
     reached := Bdd.bor man !reached fresh;
     frontier := fresh;
     incr iterations;
+    if Reach_obs.on () then
+      Reach_obs.note_iteration ~frontier:(Bdd.size fresh)
+        ~reached:(Bdd.size !reached);
     match Traversal.maintain maint man (roots ()) with
     | r :: f :: rest ->
         reached := r;

@@ -39,6 +39,7 @@ let run ?(max_iter = max_int) ?time_limit ?node_limit ?gc_start
   Bdd.set_node_limit man node_limit;
   let roots () = !reached :: !unexpanded :: Trans.roots !trans in
   let step () =
+    Obs.Trace.with_span "hd.iter" @@ fun () ->
     let dense =
       (* below the size target the methods return their input unchanged;
          skip the pass *)
@@ -56,6 +57,9 @@ let run ?(max_iter = max_int) ?time_limit ?node_limit ?gc_start
     unexpanded := Bdd.bor man (Bdd.bdiff man !unexpanded dense) fresh;
     incr iterations;
     peak_live := max !peak_live (Bdd.unique_size man);
+    if Reach_obs.on () then
+      Reach_obs.note_iteration ~frontier:(Bdd.size !unexpanded)
+        ~reached:(Bdd.size !reached);
     match Traversal.maintain maint man (roots ()) with
     | r :: u :: rest ->
         reached := r;
@@ -93,6 +97,7 @@ let run ?(max_iter = max_int) ?time_limit ?node_limit ?gc_start
       with Bdd.Node_limit -> None
     in
     let rec closure () =
+      Obs.Trace.with_span "hd.closure" @@ fun () ->
       if !iterations >= max_iter || expired () then exact := false
       else
         match closure_image () with

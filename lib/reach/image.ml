@@ -1,14 +1,17 @@
 type stats = { peak_product : int; approximations : int }
 
 let image ?partial trans f =
+  Obs.Trace.with_span "reach.image" @@ fun () ->
   let man = Trans.man trans in
   let peak = ref 0 in
   let napprox = ref 0 in
   let clip p =
-    peak := max !peak (Bdd.size p);
+    let size = Bdd.size p in
+    peak := max !peak size;
     match partial with
-    | Some (limit, approx) when Bdd.size p > limit ->
+    | Some (limit, approx) when size > limit ->
         incr napprox;
+        Reach_obs.note_partial_approx ~size;
         approx p
     | Some _ | None -> p
   in
@@ -25,6 +28,7 @@ let image ?partial trans f =
   in
   (* [product] is now over next-state variables only *)
   let next = Compile.next_to_cur trans.Trans.compiled product in
+  if Reach_obs.on () then Reach_obs.note_image ~size:(Bdd.size next);
   (next, { peak_product = !peak; approximations = !napprox })
 
 let exact trans f = fst (image trans f)

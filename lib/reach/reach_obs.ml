@@ -1,0 +1,30 @@
+(* Handles registered at link time; recording through them is lock-free. *)
+let reg = Obs.Metrics.default
+let iterations = Obs.Metrics.counter reg "reach.iterations"
+let images = Obs.Metrics.counter reg "reach.images"
+let partial_approx = Obs.Metrics.counter reg "reach.partial_approximations"
+let frontier_size = Obs.Metrics.histogram reg "reach.frontier_size"
+let image_size = Obs.Metrics.histogram reg "reach.image_size"
+let reached_size = Obs.Metrics.gauge reg "reach.reached_size"
+
+let on () = Obs.Metrics.recording () || Obs.Trace.enabled ()
+
+let note_iteration ~frontier ~reached =
+  if Obs.Metrics.recording () then begin
+    Obs.Metrics.inc iterations 1;
+    Obs.Metrics.observe frontier_size frontier;
+    Obs.Metrics.set reached_size reached
+  end;
+  if Obs.Trace.enabled () then Obs.Trace.counter "reach.frontier_size" frontier
+
+let note_image ~size =
+  if Obs.Metrics.recording () then begin
+    Obs.Metrics.inc images 1;
+    Obs.Metrics.observe image_size size
+  end;
+  if Obs.Trace.enabled () then Obs.Trace.counter "reach.image_size" size
+
+let note_partial_approx ~size =
+  if Obs.Metrics.recording () then Obs.Metrics.inc partial_approx 1;
+  if Obs.Trace.enabled () then
+    Obs.Trace.instant (Printf.sprintf "reach.partial_approx %d" size)

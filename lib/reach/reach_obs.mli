@@ -1,0 +1,20 @@
+(** Observability hooks for the traversal engines.
+
+    Thin gated wrappers over {!Obs.Metrics.default} and {!Obs.Trace}:
+    [reach.*] counters/histograms for iterations, image and frontier
+    sizes, and approximation trigger points.  Everything is a no-op (one
+    load and a branch) unless recording or tracing is on; callers should
+    gate any size computation they feed in on {!on}. *)
+
+val on : unit -> bool
+(** True when metrics recording or tracing is enabled. *)
+
+val note_iteration : frontier:int -> reached:int -> unit
+(** One traversal iteration finished with these BDD sizes. *)
+
+val note_image : size:int -> unit
+(** An image computation produced a result of this size. *)
+
+val note_partial_approx : size:int -> unit
+(** The partial-image clip replaced an intermediate product of [size]
+    nodes with an approximation. *)

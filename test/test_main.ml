@@ -19,4 +19,5 @@ let () =
       Test_misc.tests;
       Test_serialize.tests;
       Test_mt.tests;
+      Test_obs.tests;
     ]
