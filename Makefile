@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke smoke trace-smoke check clean
+.PHONY: all build test bench bench-smoke smoke trace-smoke chaos-smoke check clean
 
 all: build
 
@@ -29,7 +29,13 @@ trace-smoke: build
 	dune exec bin/obs_check.exe -- --trace _obs_trace.json --min-tracks 4 \
 	  --metrics _obs_metrics.json
 
-check: build test smoke bench-smoke trace-smoke
+# Seeded fault-injection campaign: ~300 reach runs with forced node limits
+# and cache wipes (soundness vs a fault-free oracle), kill-and-resume from
+# checkpoints (bit-for-bit), and the runner under dispatch crashes.
+chaos-smoke: build
+	dune exec test/chaos/chaos.exe
+
+check: build test smoke bench-smoke trace-smoke chaos-smoke
 
 bench: build
 	dune exec bench/main.exe

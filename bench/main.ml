@@ -26,6 +26,10 @@
 
 let jobs = ref (Mt.Runner.default_jobs ())
 
+(* --faults SPEC arms injection and flips the runner fan-outs to
+   supervised retries; stdout stays byte-identical when unused *)
+let retry = ref Mt.Runner.no_retry
+
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 
@@ -147,7 +151,7 @@ let table1 () =
       (table1_rows ())
   in
   let results =
-    Mt.Runner.run ~jobs:!jobs
+    Mt.Runner.run ~jobs:!jobs ~retry:!retry
       (List.concat_map (fun (row, x) -> table1_engines row x) specs)
   in
   note "\nper-job runner reports:";
@@ -528,7 +532,7 @@ let smoke () =
         (r.Traversal.exact, r.Traversal.states))
   in
   let results =
-    Mt.Runner.run ~jobs:!jobs
+    Mt.Runner.run ~jobs:!jobs ~retry:!retry
       [
         engine "smoke.bfs" (fun t -> Bfs.run ~node_limit:200_000 t);
         engine "smoke.rua" (fun t ->
@@ -582,6 +586,18 @@ let () =
         metrics := Some path;
         parse acc rest
     | "--smoke" :: rest -> parse ("smoke" :: acc) rest
+    | [ "--faults" ] ->
+        Printf.eprintf "--faults wants a spec (e.g. seed=42,job_crash=0.2)\n";
+        exit 1
+    | "--faults" :: spec :: rest ->
+        (match Resil.Fault.config_of_string spec with
+        | Ok c ->
+            Resil.Fault.arm (Some c);
+            retry := Mt.Runner.default_retry
+        | Error m ->
+            Printf.eprintf "--faults: %s\n" m;
+            exit 1);
+        parse acc rest
     | arg :: rest -> parse (arg :: acc) rest
   in
   let want =
@@ -615,6 +631,11 @@ let () =
   (* stderr, never stdout: the smoke output must stay byte-identical
      across --jobs and with/without observability *)
   Obs.Trace.stop ();
+  if Resil.Fault.enabled () then
+    Printf.eprintf "faults injected: %d (%s)\n%!" (Resil.Fault.injected ())
+      (match Resil.Fault.armed () with
+      | Some c -> Resil.Fault.config_to_string c
+      | None -> assert false);
   Option.iter (fun path -> Printf.eprintf "trace -> %s\n%!" path) !trace;
   Option.iter
     (fun path ->

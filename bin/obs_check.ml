@@ -55,7 +55,21 @@ let check_metrics path prev =
         Printf.sprintf ", %d counter(s) monotone vs %s" !n prev_path
   in
   Printf.printf "%s: valid %s snapshot%s\n" path Obs.Metrics.schema_version
-    compared
+    compared;
+  (* surface the resilience story of the run: supervised retries,
+     quarantined jobs, degraded image steps, injected faults *)
+  let resil =
+    List.filter
+      (fun (name, _) ->
+        name = "mt.retries" || name = "mt.quarantined"
+        || String.length name >= 6
+           && String.sub name 0 6 = "resil.")
+      (Obs.Metrics.counters_of_json j)
+  in
+  if resil <> [] then
+    Printf.printf "%s: resilience %s\n" path
+      (String.concat " "
+         (List.map (fun (n, v) -> Printf.sprintf "%s=%.0f" n v) resil))
 
 let () =
   let trace = ref None

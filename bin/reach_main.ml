@@ -119,6 +119,40 @@ let check_reached_arg =
            with a different variable order) and report whether this run \
            computed the same set.")
 
+let checkpoint_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"FILE"
+        ~doc:
+          "Periodically checkpoint the traversal to $(docv) (checksummed, \
+           written atomically); resume with --resume after a crash.")
+
+let checkpoint_every_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "checkpoint-every" ] ~docv:"N"
+        ~doc:"Checkpoint every $(docv) iterations (with --checkpoint).")
+
+let resume_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "resume" ] ~docv:"FILE"
+        ~doc:
+          "Resume the traversal from a checkpoint written by --checkpoint \
+           (same circuit and engine settings).")
+
+let faults_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "faults" ] ~docv:"SPEC"
+        ~doc:
+          "Arm seeded fault injection (chaos testing), e.g. \
+           'seed=42,node_limit=0.001,cache_wipe=0.001'.  Equivalent to the \
+           RESIL_FAULTS environment variable.")
+
 let trace_arg =
   Arg.(
     value
@@ -138,9 +172,16 @@ let metrics_arg =
            gauges and histograms) to $(docv) when the run finishes.")
 
 let run circuit blif params engine meth threshold quality pimg time_limit
-    node_limit sift cluster_limit save_reached check_reached trace metrics =
+    node_limit sift cluster_limit save_reached check_reached ckpt ckpt_every
+    resume_path faults trace metrics =
   Option.iter (fun path -> Obs.Trace.start ~out:path ()) trace;
   if metrics <> None then Obs.Metrics.set_recording true;
+  (match faults with
+  | None -> ()
+  | Some spec -> (
+      match Resil.Fault.config_of_string spec with
+      | Ok c -> Resil.Fault.arm (Some c)
+      | Error m -> failwith ("--faults: " ^ m)));
   let c =
     match blif with
     | Some path -> Blif.parse_file path
@@ -149,17 +190,29 @@ let run circuit blif params engine meth threshold quality pimg time_limit
   Printf.printf "circuit: %s\n%!" (Circuit.stats c);
   let trans = Trans.build ~cluster_limit (Compile.compile c) in
   if Obs.Kernel.observing () then Obs.Kernel.attach (Trans.man trans);
+  if Resil.Fault.enabled () then Resil.Fault.attach (Trans.man trans);
+  let checkpoint =
+    Option.map
+      (fun path -> { Resil.Checkpoint.path; every = max 1 ckpt_every })
+      ckpt
+  in
+  let resume = Option.map Resil.Checkpoint.load_reach resume_path in
+  (match resume with
+  | Some st ->
+      Printf.printf "resuming from iteration %d (%d images)\n%!"
+        st.Resil.Checkpoint.iterations st.Resil.Checkpoint.images
+  | None -> ());
   let result =
     Obs.Trace.with_span "reach" @@ fun () ->
     match engine with
-    | `Bfs -> Bfs.run ?time_limit ?node_limit ~sift trans
+    | `Bfs -> Bfs.run ?time_limit ?node_limit ~sift ?checkpoint ?resume trans
     | `Hd ->
         let meth =
           match Approx.method_of_string meth with
           | Some m -> m
           | None -> failwith ("unknown method " ^ meth)
         in
-        High_density.run ?time_limit ?node_limit ~sift
+        High_density.run ?time_limit ?node_limit ~sift ?checkpoint ?resume
           ~params:{ High_density.meth; threshold; quality; pimg }
           trans
   in
@@ -179,14 +232,16 @@ let run circuit blif params engine meth threshold quality pimg time_limit
   (match save_reached with
   | None -> ()
   | Some path ->
-      Bdd.save path (Bdd.export man result.Traversal.reached);
+      (* atomic + checksummed: a crash mid-write can no longer leave a
+         truncated file under the target name *)
+      Resil.Checkpoint.save path (Bdd.export man result.Traversal.reached);
       Printf.printf "reached set (%d nodes) saved to %s\n%!"
         (Bdd.size result.Traversal.reached)
         path);
   match check_reached with
   | None -> ()
   | Some path ->
-      let previous = Bdd.import man (Bdd.load path) in
+      let previous = Bdd.import man (Resil.Checkpoint.load path) in
       if Bdd.equal previous result.Traversal.reached then
         Printf.printf "check-reached: %s matches this run\n%!" path
       else begin
@@ -200,7 +255,8 @@ let cmd =
       const run $ circuit_arg $ blif_arg $ params_arg $ engine_arg $ method_arg
       $ threshold_arg $ quality_arg $ pimg_arg $ time_limit_arg
       $ node_limit_arg $ sift_arg $ cluster_arg $ save_reached_arg
-      $ check_reached_arg $ trace_arg $ metrics_arg)
+      $ check_reached_arg $ checkpoint_arg $ checkpoint_every_arg
+      $ resume_arg $ faults_arg $ trace_arg $ metrics_arg)
   in
   Cmd.v
     (Cmd.info "reach_main"

@@ -236,7 +236,17 @@ type man = {
   mutable observer : (event -> unit) option;
   mutable tick : (unit -> unit) option;
   mutable tick_countdown : int;
+  mutable fault : (unit -> unit) option;
 }
+
+(* Rare-path hook for fault injection (lib/resil): invoked from the node
+   creation beat, cache growth and gc entry — never per probe, so with no
+   hook installed the cost is one branch on paths already off the hot
+   loop.  The hook may raise (forced Node_limit, simulated abort) or wipe
+   the caches; either leaves the manager consistent, exactly as the tick
+   hook does. *)
+let[@inline] fault_point man =
+  match man.fault with None -> () | Some fn -> fn ()
 
 let tag_and = 0
 let tag_or = 1
@@ -315,6 +325,7 @@ let create ?(nvars = 0) () =
       observer = None;
       tick = None;
       tick_countdown = tick_period;
+      fault = None;
     }
   in
   man
@@ -431,6 +442,7 @@ let mk_raw man var hi lo =
             obs
               (Progress
                  { nodes_made = man.nodes_made; unique_size = u.u_count }));
+        fault_point man;
         match man.tick with None -> () | Some fn -> fn ()
       end;
       n
@@ -487,9 +499,10 @@ let cache_add man c a b k v =
   let cap = c.c_mask + 1 in
   if c.c_inserts >= 2 * cap && 2 * cap <= man.cache_cap then begin
     cache_resize man.nil c (2 * cap);
-    match man.observer with
+    (match man.observer with
     | None -> ()
-    | Some obs -> obs (Cache_resize { cache = c.c_name; capacity = 2 * cap })
+    | Some obs -> obs (Cache_resize { cache = c.c_name; capacity = 2 * cap }));
+    fault_point man
   end;
   let i = mix3 a b k land c.c_mask in
   if Array.unsafe_get c.c_k1 i < 0 then c.c_filled <- c.c_filled + 1
@@ -515,9 +528,10 @@ let fcache_add man c k v =
   let cap = c.f_mask + 1 in
   if c.f_inserts >= 2 * cap && 2 * cap <= man.cache_cap then begin
     fcache_resize c (2 * cap);
-    match man.observer with
+    (match man.observer with
     | None -> ()
-    | Some obs -> obs (Cache_resize { cache = "weight"; capacity = 2 * cap })
+    | Some obs -> obs (Cache_resize { cache = "weight"; capacity = 2 * cap }));
+    fault_point man
   end;
   let i = mix3 k 0 0 land c.f_mask in
   if Array.unsafe_get c.f_key i < 0 then c.f_filled <- c.f_filled + 1
@@ -994,6 +1008,7 @@ let clear_caches man =
   fcache_clear man.weight_cache
 
 let gc man ~roots =
+  fault_point man;
   let live = Hashtbl.create 1024 in
   let rec mark f =
     match f.node with
@@ -1064,6 +1079,7 @@ let set_tick man fn =
   man.tick_countdown <- tick_period
 
 let set_observer man fn = man.observer <- fn
+let set_fault_hook man fn = man.fault <- fn
 
 let stats man =
   let cache_entries =
@@ -1179,10 +1195,15 @@ let import_list man s =
   if Array.length s.s_order <> s.s_nvars then
     corrupt "Bdd.import: order length %d does not match %d variables"
       (Array.length s.s_order) s.s_nvars;
+  let seen_order = Array.make s.s_nvars false in
   Array.iter
     (fun v ->
       if v < 0 || v >= s.s_nvars then
-        corrupt "Bdd.import: order entry %d out of range" v)
+        corrupt "Bdd.import: order entry %d outside [0,%d)" v s.s_nvars;
+      if seen_order.(v) then
+        corrupt "Bdd.import: order lists variable %d twice (not a permutation)"
+          v;
+      seen_order.(v) <- true)
     s.s_order;
   let n = Array.length s.s_nodes in
   let built = Array.make (n + 2) man.ff in
@@ -1287,8 +1308,14 @@ let serialized_of_string str =
   let nvars = varint () in
   let order = Array.init (counted "order" nvars) (fun _ -> varint ()) in
   let nnodes = varint () in
+  (* a node is three varints, at least three bytes: a tighter bound than
+     the generic one-byte-per-element check, applied before allocating *)
+  if nnodes > (len - !pos) / 3 then
+    corrupt
+      "Bdd.serialized_of_string: node count %d needs %d bytes, only %d remain"
+      nnodes (3 * nnodes) (len - !pos);
   let nodes =
-    Array.init (counted "node" nnodes) (fun _ ->
+    Array.init nnodes (fun _ ->
         let v = varint () in
         let h = varint () in
         let l = varint () in

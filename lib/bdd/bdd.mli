@@ -298,6 +298,16 @@ val set_observer : man -> (event -> unit) option -> unit
     should return quickly.  [Progress] observers run before the
     {!set_tick} hook of the same beat (which may raise). *)
 
+val set_fault_hook : man -> (unit -> unit) option -> unit
+(** Install (or clear) a fault-injection hook for chaos testing (see
+    [Resil.Fault]).  The hook fires only on rare maintenance paths — the
+    node-creation beat (same cadence as {!set_tick}), computed-cache
+    growth, and {!gc} entry — so with no hook installed the cost is one
+    branch on paths already off the hot loop.  The hook may raise (a
+    forced {!Node_limit}, a simulated abort) or wipe the caches with
+    {!clear_caches}; either leaves the manager consistent, exactly as the
+    tick hook does.  Production code never installs one. *)
+
 (** {1 Serialization and cross-manager transfer}
 
     A BDD (or a list of BDDs sharing one DAG) can be exported to a compact

@@ -8,17 +8,42 @@
    Domains cannot be killed, so cancellation is cooperative but does not
    require the job's help: the node budget rides on Bdd.set_node_limit and
    the deadline on the Bdd.set_tick hook, both of which fire inside node
-   creation — precisely where a runaway BDD job spends its time. *)
+   creation — precisely where a runaway BDD job spends its time.
+
+   Supervision happens inside the worker that owns the job: a failed
+   attempt sleeps (exponential backoff, jitter deterministic in the label
+   and attempt so replays pace identically) and re-executes on a fresh
+   manager.  The worker is blocked during the backoff on purpose — a
+   failing job should not be able to flood the pool with retries while
+   healthy jobs wait. *)
 
 type budget = { deadline : float option; node_budget : int option }
 
 let no_budget = { deadline = None; node_budget = None }
 
-type 'a outcome = Done of 'a | Timeout | Over_budget | Crashed of string
+type retry = {
+  max_attempts : int;
+  backoff : float;
+  backoff_max : float;
+  jitter : float;
+}
+
+let no_retry = { max_attempts = 1; backoff = 0.; backoff_max = 0.; jitter = 0. }
+
+let default_retry =
+  { max_attempts = 3; backoff = 0.05; backoff_max = 1.0; jitter = 0.25 }
+
+type 'a outcome =
+  | Done of 'a
+  | Timeout
+  | Over_budget
+  | Crashed of { exn : string; backtrace : string }
+  | Quarantined of { attempts : int; last : 'a outcome }
 
 type report = {
   label : string;
   wall : float;
+  attempts : int;
   peak_nodes : int;
   nodes_made : int;
   cache_hits : int;
@@ -49,6 +74,8 @@ module M = struct
   let jobs_timeout = Metrics.counter reg "mt.jobs_timeout"
   let jobs_over_budget = Metrics.counter reg "mt.jobs_over_budget"
   let jobs_crashed = Metrics.counter reg "mt.jobs_crashed"
+  let retries = Metrics.counter reg "mt.retries"
+  let quarantined = Metrics.counter reg "mt.quarantined"
   let nodes_made = Metrics.counter reg "mt.nodes_made"
   let cache_hits = Metrics.counter reg "mt.cache_hits"
   let cache_misses = Metrics.counter reg "mt.cache_misses"
@@ -59,9 +86,10 @@ module M = struct
   let last_run_jobs = Metrics.gauge reg "mt.last_run_jobs"
 end
 
-let exec j =
+let exec ~attempt j =
   let man = Bdd.create () in
   if Obs.Kernel.observing () then Obs.Kernel.attach man;
+  if Resil.Fault.enabled () then Resil.Fault.attach man;
   Bdd.set_node_limit man j.budget.node_budget;
   (match j.budget.deadline with
   | None -> ()
@@ -72,10 +100,19 @@ let exec j =
   let outcome, wall =
     Obs.Trace.with_span ("job:" ^ j.label) (fun () ->
         Obs.Timing.time (fun () ->
-            try Done (j.work man) with
+            try
+              if Resil.Fault.enabled () then
+                Resil.Fault.on_job_dispatch ~label:j.label ~attempt;
+              Done (j.work man)
+            with
             | Bdd.Node_limit -> Over_budget
             | Deadline -> Timeout
-            | e -> Crashed (Printexc.to_string e)))
+            | e ->
+                Crashed
+                  {
+                    exn = Printexc.to_string e;
+                    backtrace = Printexc.get_backtrace ();
+                  }))
   in
   let stats = Bdd.stats man in
   if Obs.Metrics.recording () then begin
@@ -84,7 +121,7 @@ let exec j =
       | Done _ -> M.jobs_done
       | Timeout -> M.jobs_timeout
       | Over_budget -> M.jobs_over_budget
-      | Crashed _ -> M.jobs_crashed)
+      | Crashed _ | Quarantined _ -> M.jobs_crashed)
       1;
     Obs.Metrics.inc M.nodes_made (stat stats "nodes_made");
     Obs.Metrics.inc M.cache_hits (stat stats "cache_hits");
@@ -98,6 +135,7 @@ let exec j =
       {
         label = j.label;
         wall;
+        attempts = attempt;
         peak_nodes = stat stats "peak_unique";
         nodes_made = stat stats "nodes_made";
         cache_hits = stat stats "cache_hits";
@@ -106,7 +144,45 @@ let exec j =
       };
   }
 
-let run ?jobs js =
+(* Deterministic factor in [1 - jitter, 1 + jitter]: hashed, not drawn,
+   so a replayed run backs off identically without any shared PRNG. *)
+let jitter_factor retry label attempt =
+  if retry.jitter <= 0. then 1.
+  else
+    let h = Hashtbl.hash (label, attempt) land 0xFFFF in
+    let u = (float_of_int h /. 32767.5) -. 1. in
+    1. +. (retry.jitter *. u)
+
+let backoff_delay retry label attempt =
+  (* attempt = the one that just failed, 1-based *)
+  let base = retry.backoff *. (2. ** float_of_int (attempt - 1)) in
+  min retry.backoff_max base *. jitter_factor retry label attempt
+
+let exec_supervised retry j =
+  let rec go attempt =
+    let r = exec ~attempt j in
+    match r.outcome with
+    | Done _ -> r
+    | Timeout | Over_budget | Crashed _ when attempt < retry.max_attempts ->
+        if Obs.Metrics.recording () then Obs.Metrics.inc M.retries 1;
+        let d = backoff_delay retry j.label attempt in
+        if d > 0. then Unix.sleepf d;
+        go (attempt + 1)
+    | last ->
+        if retry.max_attempts <= 1 then r
+        else begin
+          (* every attempt burned: quarantine so callers can tell a poison
+             job from a one-shot failure *)
+          if Obs.Metrics.recording () then Obs.Metrics.inc M.quarantined 1;
+          { r with outcome = Quarantined { attempts = attempt; last } }
+        end
+  in
+  go 1
+
+let run ?jobs ?(retry = no_retry) js =
+  if retry.max_attempts < 1 then invalid_arg "Mt.Runner.run: max_attempts < 1";
+  (* without this, Crashed backtraces would be silently empty *)
+  if not (Printexc.backtrace_status ()) then Printexc.record_backtrace true;
   let js = Array.of_list js in
   let n = Array.length js in
   let workers =
@@ -126,7 +202,7 @@ let run ?jobs js =
       if workers <= 1 then
         (* inline in the calling domain: no spawn cost, and the jobs=1
            baseline runs the exact code path the parallel sweep runs *)
-        Array.iteri (fun i j -> results.(i) <- Some (exec j)) js
+        Array.iteri (fun i j -> results.(i) <- Some (exec_supervised retry j)) js
       else begin
         let deques = Array.init workers (fun _ -> Deque.create ()) in
         (* deal newest-last so each worker starts on its lowest-index job *)
@@ -150,7 +226,7 @@ let run ?jobs js =
             match find 0 with
             | Some i ->
                 (* distinct slots: no two workers ever write the same index *)
-                results.(i) <- Some (exec js.(i));
+                results.(i) <- Some (exec_supervised retry js.(i));
                 loop ()
             | None -> ()
                 (* queues only drain — once every deque is empty no work can
@@ -171,18 +247,27 @@ let run ?jobs js =
       Array.to_list
         (Array.map (function Some r -> r | None -> assert false) results))
 
-let map ?jobs ?budget ~label f xs =
-  run ?jobs (List.map (fun x -> job ?budget ~label:(label x) (fun man -> f man x)) xs)
+let map ?jobs ?retry ?budget ~label f xs =
+  run ?jobs ?retry
+    (List.map (fun x -> job ?budget ~label:(label x) (fun man -> f man x)) xs)
 
 let value = function { outcome = Done v; _ } -> Some v | _ -> None
 
-let pp_outcome fmt = function
+let rec pp_outcome : type a. Format.formatter -> a outcome -> unit =
+ fun fmt -> function
   | Done _ -> Format.pp_print_string fmt "done"
   | Timeout -> Format.pp_print_string fmt "timeout"
   | Over_budget -> Format.pp_print_string fmt "over-budget"
-  | Crashed msg -> Format.fprintf fmt "crashed: %s" msg
+  | Crashed { exn; backtrace } ->
+      Format.fprintf fmt "crashed: %s" exn;
+      if backtrace <> "" then
+        Format.fprintf fmt "@,%s" (String.trim backtrace)
+  | Quarantined { attempts; last } ->
+      Format.fprintf fmt "quarantined after %d attempts (%a)" attempts
+        pp_outcome last
 
 let pp_report fmt (r : report) =
   Format.fprintf fmt
     "%-32s %8.2fs  peak %8d nodes  made %9d  cache %d/%d hit/miss" r.label
-    r.wall r.peak_nodes r.nodes_made r.cache_hits r.cache_misses
+    r.wall r.peak_nodes r.nodes_made r.cache_hits r.cache_misses;
+  if r.attempts > 1 then Format.fprintf fmt "  (%d attempts)" r.attempts

@@ -10,13 +10,29 @@
     submission order, so output built from them is deterministic no matter
     how the jobs were scheduled.
 
+    {2 Supervision}
+
+    A {!retry} policy re-executes jobs whose outcome is [Timeout],
+    [Over_budget] or [Crashed] — each attempt on a fresh manager, after
+    an exponential backoff with deterministic jitter (derived from the
+    job label and attempt number, so a replay waits the same amount).  A
+    job that fails every attempt is {e quarantined}: its final outcome is
+    [Quarantined] and it is never re-run.  With no policy (the default)
+    behaviour is exactly one attempt, as before.
+
+    When {!Resil.Fault} injection is armed, the runner participates: each
+    attempt probes {!Resil.Fault.on_job_dispatch} (which may simulate a
+    dispatch crash) and attaches the kernel fault injector to the job's
+    private manager.  Disarmed, both are a single atomic load.
+
     When {!Obs.Trace} or {!Obs.Metrics} recording is on, each run emits an
     [mt.run] span, one [mt.worker] span per worker domain (so every worker
     gets a Perfetto lane), a [job:<label>] span per job, and feeds the
-    [mt.*] counters/histograms of {!Obs.Metrics.default} (job outcomes,
-    steal counts, wall-time and peak-node distributions).  Job managers get
-    an {!Obs.Kernel} observer.  All of it is branch-gated: disabled, the
-    runner behaves and times exactly as before. *)
+    [mt.*] counters/histograms of {!Obs.Metrics.default} (per-attempt job
+    outcomes, [mt.retries], [mt.quarantined], steal counts, wall-time and
+    peak-node distributions).  Job managers get an {!Obs.Kernel} observer.
+    All of it is branch-gated: disabled, the runner behaves and times
+    exactly as before. *)
 
 type budget = {
   deadline : float option;  (** wall-clock seconds, enforced via {!Bdd.set_tick} *)
@@ -25,23 +41,45 @@ type budget = {
 
 val no_budget : budget
 
+type retry = {
+  max_attempts : int;  (** total attempts, including the first; >= 1 *)
+  backoff : float;  (** base delay in seconds, doubled per retry *)
+  backoff_max : float;  (** delay ceiling *)
+  jitter : float;
+      (** fraction in [0, 1]: each delay is scaled by a deterministic
+          factor in [1 - jitter, 1 + jitter] hashed from (label, attempt) *)
+}
+
+val no_retry : retry
+(** One attempt, no supervision — the historical behaviour. *)
+
+val default_retry : retry
+(** 3 attempts, 50 ms base backoff, 1 s ceiling, 25% jitter. *)
+
 type 'a outcome =
   | Done of 'a
   | Timeout  (** the deadline fired inside node creation *)
   | Over_budget  (** the node budget raised {!Bdd.Node_limit} *)
-  | Crashed of string  (** any other exception; siblings are unaffected *)
+  | Crashed of { exn : string; backtrace : string }
+      (** any other exception; siblings are unaffected.  [exn] is the
+          printed exception, [backtrace] the captured raise trace (empty
+          when the runtime had none). *)
+  | Quarantined of { attempts : int; last : 'a outcome }
+      (** every attempt of an active retry policy failed; [last] is the
+          terminal failure (never [Done] or [Quarantined]) *)
 
 type report = {
   label : string;
-  wall : float;  (** wall-clock seconds the job ran *)
+  wall : float;  (** wall-clock seconds of the final attempt *)
+  attempts : int;  (** executions performed (1 unless a retry policy ran) *)
   peak_nodes : int;  (** high-water mark of the job's unique table *)
   nodes_made : int;
   cache_hits : int;
   cache_misses : int;
   stats : (string * int) list;
       (** the job manager's full {!Bdd.stats} snapshot, taken as the job
-          finished; the four fields above are the headline entries of the
-          same snapshot *)
+          finished; the headline fields above come from the same snapshot
+          (final attempt) *)
 }
 
 type 'a result = { outcome : 'a outcome; report : report }
@@ -49,19 +87,23 @@ type 'a job
 
 val job : ?budget:budget -> label:string -> (Bdd.man -> 'a) -> 'a job
 
-val run : ?jobs:int -> 'a job list -> 'a result list
+val run : ?jobs:int -> ?retry:retry -> 'a job list -> 'a result list
 (** Execute the jobs on [jobs] workers (default
     {!default_jobs}; clamped to the job count).  [jobs = 1] runs inline in
-    the calling domain.  Results are in submission order. *)
+    the calling domain.  Results are in submission order.  [retry]
+    (default {!no_retry}) supervises every job of the run.  Backtrace
+    recording is switched on for the process if it was off, so [Crashed]
+    outcomes carry a trace. *)
 
 val map :
   ?jobs:int ->
+  ?retry:retry ->
   ?budget:budget ->
   label:('a -> string) ->
   (Bdd.man -> 'a -> 'b) ->
   'a list ->
   'b result list
-(** [map f xs]: one job per element, shared budget. *)
+(** [map f xs]: one job per element, shared budget and retry policy. *)
 
 val value : 'a result -> 'a option
 (** The payload of a [Done] outcome. *)

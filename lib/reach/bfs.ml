@@ -1,13 +1,21 @@
 let run ?(max_iter = max_int) ?time_limit ?node_limit ?gc_start
-    ?(sift = false) trans =
+    ?(sift = false) ?degrade:meth ?checkpoint ?resume trans =
   let man = Trans.man trans in
   let start = Sys.time () in
   let compiled = trans.Trans.compiled in
   let maint = Traversal.make_maintenance ?gc_start sift in
+  let deg = Resil.Degrade.create ?meth () in
   let trans = ref trans in
   let init = compiled.Compile.init in
   let reached = ref init and frontier = ref init in
   let iterations = ref 0 and images = ref 0 in
+  (match Traversal.resume man resume with
+  | None -> ()
+  | Some (it, im, r, f) ->
+      iterations := it;
+      images := im;
+      reached := r;
+      frontier := f);
   let peak_live = ref (Bdd.unique_size man) and peak_product = ref 0 in
   let exact = ref false in
   let expired () =
@@ -17,39 +25,50 @@ let run ?(max_iter = max_int) ?time_limit ?node_limit ?gc_start
   in
   Bdd.set_node_limit man node_limit;
   let roots () = !reached :: !frontier :: Trans.roots !trans in
-  (* one BFS step; Bdd.Node_limit escapes when the node ceiling is hit *)
+  (* one BFS step; a node-budget blowup degrades the frontier instead of
+     aborting, so [frontier] is in general the whole unexpanded set, not
+     just the newest ring *)
   let step () =
     Obs.Trace.with_span "bfs.iter" @@ fun () ->
-    let img, stats = Image.image !trans !frontier in
+    let (img, stats), _expanded, leftover =
+      Resil.Degrade.image deg man ~roots ~reached:!reached
+        ~compute:(fun f -> Image.image !trans f)
+        !frontier
+    in
     incr images;
     peak_product := max !peak_product stats.Image.peak_product;
     let fresh = Bdd.bdiff man img !reached in
     peak_live := max !peak_live (Bdd.unique_size man);
-    if Bdd.is_false fresh then begin
+    reached := Bdd.bor man !reached fresh;
+    frontier := Bdd.bor man leftover fresh;
+    if Bdd.is_false !frontier then begin
       exact := true;
       raise Exit
     end;
-    reached := Bdd.bor man !reached fresh;
-    frontier := fresh;
     incr iterations;
     if Reach_obs.on () then
-      Reach_obs.note_iteration ~frontier:(Bdd.size fresh)
+      Reach_obs.note_iteration ~frontier:(Bdd.size !frontier)
         ~reached:(Bdd.size !reached);
-    match Traversal.maintain maint man (roots ()) with
+    (match Traversal.maintain maint man (roots ()) with
     | r :: f :: rest ->
         reached := r;
         frontier := f;
         trans := Trans.replace_roots !trans rest
-    | _ -> assert false
+    | _ -> assert false);
+    Traversal.checkpoint checkpoint man ~iterations:!iterations
+      ~images:!images ~reached:!reached ~frontier:!frontier
   in
   (try
      while !iterations < max_iter && not (expired ()) do
-       try step ()
-       with Bdd.Node_limit -> (
-         (* out of "memory": collect and retry the step once; a second
-            blowup means the frontier genuinely does not fit *)
-         ignore (Bdd.gc man ~roots:(roots ()));
-         try step () with Bdd.Node_limit -> raise Exit)
+       try step () with
+       | Resil.Degrade.Exhausted ->
+           (* even a single-cube frontier does not fit: stop gracefully
+              with the (sound) reached set accumulated so far *)
+           raise Exit
+       | Bdd.Node_limit ->
+           (* a blowup in the bookkeeping outside the guarded image step
+              (or an injected fault there): same graceful stop *)
+           raise Exit
      done
    with Exit -> ());
   Bdd.set_node_limit man None;
@@ -65,4 +84,5 @@ let run ?(max_iter = max_int) ?time_limit ?node_limit ?gc_start
     partial_approximations = 0;
     cpu_seconds = Sys.time () -. start;
     exact = !exact;
+    degrade = Resil.Degrade.certificate ~exact:!exact deg;
   }

@@ -7,14 +7,26 @@ val run :
   ?node_limit:int ->
   ?gc_start:int ->
   ?sift:bool ->
+  ?degrade:Approx.meth ->
+  ?checkpoint:Resil.Checkpoint.policy ->
+  ?resume:Resil.Checkpoint.reach_state ->
   Trans.t ->
   Traversal.result
 (** Least fixpoint of [λR. init ∨ Img(R)] by frontier iteration.
     [time_limit] (CPU seconds) aborts the run, reporting [exact = false]
-    — the analogue of the paper's "> 2 weeks" entry.  [node_limit] aborts
-    when the live-node count still exceeds the limit after a collection —
-    the analogue of the paper's 256 MB memory ceiling (s1269 needed a 1 GB
-    machine; see DESIGN.md on emulating 1998 resource budgets).  [sift]
-    (default false) enables dynamic variable reordering; it invalidates
-    any BDD of the manager not owned by the traversal, including the
-    compiled circuit functions. *)
+    — the analogue of the paper's "> 2 weeks" entry.  [node_limit] is the
+    analogue of the paper's 256 MB memory ceiling (s1269 needed a 1 GB
+    machine; see DESIGN.md on emulating 1998 resource budgets) — but
+    instead of aborting, an image step that still blows the ceiling after
+    a collection walks the {!Resil.Degrade} ladder: the frontier is
+    restrict-minimized, then under-approximated with [degrade] (default
+    [HB]), and the states left behind return to the frontier, so the
+    search continues on a sound subset and the result's [degrade] field
+    records what happened.  Only when even the ladder's last rung cannot
+    complete does the run stop, reporting [exact = false] with
+    [exhausted = true].  [sift] (default false) enables dynamic variable
+    reordering; it invalidates any BDD of the manager not owned by the
+    traversal, including the compiled circuit functions.  [checkpoint]
+    atomically snapshots the traversal every [every] iterations;
+    [resume] restarts from a snapshot loaded with
+    {!Resil.Checkpoint.load_reach}. *)

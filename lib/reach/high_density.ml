@@ -10,11 +10,12 @@ let default = { meth = Approx.RUA; threshold = 0; quality = 1.0; pimg = None }
 exception Out_of_budget
 
 let run ?(max_iter = max_int) ?time_limit ?node_limit ?gc_start
-    ?(sift = false) ?(params = default) trans =
+    ?(sift = false) ?(params = default) ?checkpoint ?resume trans =
   let man = Trans.man trans in
   let start = Sys.time () in
   let nlatches = Array.length trans.Trans.compiled.Compile.latches in
   let maint = Traversal.make_maintenance ?gc_start sift in
+  let deg = Resil.Degrade.create ~meth:params.meth () in
   let trans = ref trans in
   let subset_params m threshold =
     { Approx.default_params with threshold; quality = params.quality }
@@ -29,6 +30,13 @@ let run ?(max_iter = max_int) ?time_limit ?node_limit ?gc_start
   let init = (!trans).Trans.compiled.Compile.init in
   let reached = ref init and unexpanded = ref init in
   let iterations = ref 0 and images = ref 0 in
+  (match Traversal.resume man resume with
+  | None -> ()
+  | Some (it, im, r, u) ->
+      iterations := it;
+      images := im;
+      reached := r;
+      unexpanded := u);
   let peak_live = ref (Bdd.unique_size man) and peak_product = ref 0 in
   let papprox = ref 0 in
   let expired () =
@@ -40,40 +48,55 @@ let run ?(max_iter = max_int) ?time_limit ?node_limit ?gc_start
   let roots () = !reached :: !unexpanded :: Trans.roots !trans in
   let step () =
     Obs.Trace.with_span "hd.iter" @@ fun () ->
-    let dense =
+    let extract () =
       (* below the size target the methods return their input unchanged;
          skip the pass *)
       if params.threshold > 0 && Bdd.size !unexpanded <= params.threshold
       then !unexpanded
       else subset_params params.meth params.threshold !unexpanded
     in
+    let dense =
+      try extract ()
+      with Bdd.Node_limit ->
+        (try ignore (Bdd.gc man ~roots:(roots ()))
+         with Bdd.Node_limit -> ());
+        extract ()
+    in
     let dense = if Bdd.is_false dense then !unexpanded else dense in
-    let img, stats = Image.image ?partial !trans dense in
+    (* a node-budget blowup shrinks [dense] down the degradation ladder;
+       whatever it leaves behind stays in [unexpanded] because only the
+       expanded part is subtracted below *)
+    let (img, stats), expanded, _leftover =
+      Resil.Degrade.image deg man ~roots ~reached:!reached
+        ~compute:(fun d -> Image.image ?partial !trans d)
+        dense
+    in
     incr images;
     peak_product := max !peak_product stats.Image.peak_product;
     papprox := !papprox + stats.Image.approximations;
     let fresh = Bdd.bdiff man img !reached in
     reached := Bdd.bor man !reached fresh;
-    unexpanded := Bdd.bor man (Bdd.bdiff man !unexpanded dense) fresh;
+    unexpanded := Bdd.bor man (Bdd.bdiff man !unexpanded expanded) fresh;
     incr iterations;
     peak_live := max !peak_live (Bdd.unique_size man);
     if Reach_obs.on () then
       Reach_obs.note_iteration ~frontier:(Bdd.size !unexpanded)
         ~reached:(Bdd.size !reached);
-    match Traversal.maintain maint man (roots ()) with
+    (match Traversal.maintain maint man (roots ()) with
     | r :: u :: rest ->
         reached := r;
         unexpanded := u;
         trans := Trans.replace_roots !trans rest
-    | _ -> assert false
+    | _ -> assert false);
+    Traversal.checkpoint checkpoint man ~iterations:!iterations
+      ~images:!images ~reached:!reached ~frontier:!unexpanded
   in
-  (* run a step under the node ceiling: collect and retry once on a
-     blowup, give up on the second *)
+  (* run a step under the node ceiling: the degradation ladder absorbs
+     blowups inside the image; anything it cannot absorb — or a blowup in
+     the bookkeeping around it — ends the expansion *)
   let guarded_step () =
     try step ()
-    with Bdd.Node_limit -> (
-      ignore (Bdd.gc man ~roots:(roots ()));
-      try step () with Bdd.Node_limit -> raise Out_of_budget)
+    with Resil.Degrade.Exhausted | Bdd.Node_limit -> raise Out_of_budget
   in
   let expand_round () =
     try
@@ -125,4 +148,5 @@ let run ?(max_iter = max_int) ?time_limit ?node_limit ?gc_start
     partial_approximations = !papprox;
     cpu_seconds = Sys.time () -. start;
     exact = !exact;
+    degrade = Resil.Degrade.certificate ~exact:!exact deg;
   }

@@ -32,7 +32,13 @@ val run :
   ?gc_start:int ->
   ?sift:bool ->
   ?params:params ->
+  ?checkpoint:Resil.Checkpoint.policy ->
+  ?resume:Resil.Checkpoint.reach_state ->
   Trans.t ->
   Traversal.result
 (** High-density traversal to the exact fixpoint.  [time_limit],
-    [node_limit], [gc_start] and [sift] as in {!Bfs.run}. *)
+    [node_limit], [gc_start], [sift], [checkpoint] and [resume] as in
+    {!Bfs.run}; an image step that blows the node budget even after a
+    collection walks the {!Resil.Degrade} ladder (with [params.meth] as
+    its under-approximation method) before the engine concedes
+    [exact = false]. *)

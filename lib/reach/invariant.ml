@@ -49,6 +49,7 @@ let check ?(max_iter = max_int) trans ~bad =
           partial_approximations = 0;
           cpu_seconds = Sys.time () -. start;
           exact = true;
+          degrade = Resil.Degrade.Exact;
         }
   | `Hit (rings, depth) ->
       (* rings = [ring0; ring1; …; ring_depth]; walk backwards from a bad

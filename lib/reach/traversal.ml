@@ -10,6 +10,7 @@ type result = {
   partial_approximations : int;  (* times a product was subsetted *)
   cpu_seconds : float;
   exact : bool;  (* the full fixpoint was provably reached *)
+  degrade : Resil.Degrade.cert;  (* Exact, or what was given up *)
 }
 
 let pp fmt r =
@@ -17,7 +18,13 @@ let pp fmt r =
     "states=%.6g iters=%d images=%d peak=%d product=%d papprox=%d time=%.2fs%s"
     r.states r.iterations r.images r.peak_live_nodes r.peak_product
     r.partial_approximations r.cpu_seconds
-    (if r.exact then "" else " (INCOMPLETE)")
+    (if r.exact then "" else " (INCOMPLETE)");
+  (* exact runs print exactly what they always did; only a run that
+     actually degraded says so *)
+  match r.degrade with
+  | Resil.Degrade.Degraded i when i.steps_approximated > 0 || i.exhausted ->
+      Format.fprintf fmt " %a" Resil.Degrade.pp_cert r.degrade
+  | _ -> ()
 
 (* Maintenance: collect garbage when the table grows too large, and
    optionally re-sift the variable order.  Returns the (possibly rebuilt)
@@ -39,7 +46,31 @@ let maintain m man roots =
     m.sift_at <- 2 * Bdd.shared_size !roots + m.sift_at
   end;
   if Bdd.unique_size man > m.gc_at then begin
-    ignore (Bdd.gc man ~roots:!roots);
+    (* a collection cut short (only possible under fault injection, which
+       fires at gc entry) just reclaims nothing — never abort the run *)
+    (try ignore (Bdd.gc man ~roots:!roots) with Bdd.Node_limit -> ());
     m.gc_at <- max m.gc_at (2 * Bdd.unique_size man)
   end;
   !roots
+
+(* Crash-safe checkpoint plumbing shared by the engines. *)
+
+let checkpoint policy man ~iterations ~images ~reached ~frontier =
+  match policy with
+  | Some { Resil.Checkpoint.path; every }
+    when every > 0 && iterations > 0 && iterations mod every = 0 ->
+      Obs.Trace.with_span "resil.checkpoint" @@ fun () ->
+      Resil.Checkpoint.save_reach path
+        {
+          Resil.Checkpoint.iterations;
+          images;
+          payload = Bdd.export_list man [ reached; frontier ];
+        }
+  | _ -> ()
+
+let resume man = function
+  | None -> None
+  | Some st -> (
+      match Bdd.import_list man st.Resil.Checkpoint.payload with
+      | [ r; f ] -> Some (st.Resil.Checkpoint.iterations, st.images, r, f)
+      | _ -> assert false (* load_reach enforces exactly 2 roots *))

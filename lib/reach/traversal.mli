@@ -13,6 +13,11 @@ type result = {
   exact : bool;
       (** the full fixpoint was provably computed; [false] after hitting an
           iteration, time or node budget *)
+  degrade : Resil.Degrade.cert;
+      (** [Exact] iff [exact]; otherwise the degradation record — which
+          image steps fell back to an approximated frontier, with their
+          size/density deltas (empty when the run was merely cut short by
+          an iteration or time bound) *)
 }
 
 val pp : Format.formatter -> result -> unit
@@ -33,3 +38,26 @@ val make_maintenance :
     50k) shared root nodes. *)
 
 val maintain : maintenance -> Bdd.man -> Bdd.t list -> Bdd.t list
+
+(** {1 Checkpoints}
+
+    Crash-safe traversal snapshots, shared by the engines'
+    [?checkpoint] / [?resume] arguments. *)
+
+val checkpoint :
+  Resil.Checkpoint.policy option ->
+  Bdd.man ->
+  iterations:int ->
+  images:int ->
+  reached:Bdd.t ->
+  frontier:Bdd.t ->
+  unit
+(** Atomically write [policy.path] when [iterations] is a positive
+    multiple of [policy.every]; no-op otherwise. *)
+
+val resume :
+  Bdd.man ->
+  Resil.Checkpoint.reach_state option ->
+  (int * int * Bdd.t * Bdd.t) option
+(** Import a loaded checkpoint into the traversal manager:
+    [(iterations, images, reached, frontier)]. *)

@@ -1,0 +1,177 @@
+(* Crash-safe, checksummed checkpoints (see the mli). *)
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Bdd.Corrupt s)) fmt
+
+(* --- CRC-32 (IEEE 802.3), table-driven ------------------------------- *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFF in
+  String.iter
+    (fun ch -> c := table.((!c lxor Char.code ch) land 0xFF) lxor (!c lsr 8))
+    s;
+  !c lxor 0xFFFFFFFF
+
+(* --- trailer ---------------------------------------------------------- *)
+
+let trailer_magic = "BDC2"
+let trailer_len = 4 + 8 + 4
+
+let le_bytes buf n width =
+  for i = 0 to width - 1 do
+    Buffer.add_char buf (Char.chr ((n lsr (8 * i)) land 0xFF))
+  done
+
+let le_int s off width =
+  let n = ref 0 in
+  for i = width - 1 downto 0 do
+    n := (!n lsl 8) lor Char.code s.[off + i]
+  done;
+  !n
+
+(* The crc covers everything before it — body, magic and length field —
+   so no single corruption outside the crc bytes themselves can cancel
+   out (a flip in the crc makes it mismatch trivially). *)
+let with_trailer body =
+  let buf = Buffer.create (String.length body + trailer_len) in
+  Buffer.add_string buf body;
+  Buffer.add_string buf trailer_magic;
+  le_bytes buf (String.length body) 8;
+  le_bytes buf (crc32 (Buffer.contents buf)) 4;
+  Buffer.contents buf
+
+(* Strip and verify the trailer; [None] when the file predates it (legacy
+   Bdd.save output, identified by its own magic downstream). *)
+let body_of_file path data =
+  let len = String.length data in
+  if len < trailer_len || String.sub data (len - trailer_len) 4 <> trailer_magic
+  then None
+  else begin
+    let announced = le_int data (len - trailer_len + 4) 8 in
+    if announced <> len - trailer_len then
+      corrupt "Resil.Checkpoint: %s announces a %d-byte body but holds %d"
+        path announced (len - trailer_len);
+    let stored = le_int data (len - 4) 4 in
+    let actual = crc32 (String.sub data 0 (len - 4)) in
+    if stored <> actual then
+      corrupt "Resil.Checkpoint: %s checksum mismatch (stored %08x, file %08x)"
+        path stored actual;
+    Some (String.sub data 0 announced)
+  end
+
+(* --- atomic write ----------------------------------------------------- *)
+
+let write_atomic path data =
+  let dir = Filename.dirname path in
+  let tmp = Filename.temp_file ~temp_dir:dir (Filename.basename path) ".tmp" in
+  (try
+     let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o644 in
+     Fun.protect
+       ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+       (fun () ->
+         let n = String.length data in
+         let written = Unix.write_substring fd data 0 n in
+         if written <> n then failwith "short write";
+         Unix.fsync fd);
+     Unix.rename tmp path
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  (* best-effort directory sync so the rename itself survives a crash;
+     some filesystems refuse fsync on a directory fd — ignore them *)
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | dfd ->
+      (try Unix.fsync dfd with Unix.Unix_error _ -> ());
+      (try Unix.close dfd with Unix.Unix_error _ -> ())
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* --- plain BDD checkpoints -------------------------------------------- *)
+
+let save path s = write_atomic path (with_trailer (Bdd.serialized_to_string s))
+
+let reach_magic = "RCP1"
+
+let load path =
+  let data = read_file path in
+  let body = match body_of_file path data with Some b -> b | None -> data in
+  if String.length body >= 4 && String.sub body 0 4 = reach_magic then
+    corrupt
+      "Resil.Checkpoint: %s is a reachability checkpoint (use load_reach)"
+      path;
+  Bdd.serialized_of_string body
+
+(* --- reachability checkpoints ----------------------------------------- *)
+
+type reach_state = { iterations : int; images : int; payload : Bdd.serialized }
+
+let add_varint buf n =
+  let rec go n =
+    if n < 0x80 then Buffer.add_char buf (Char.chr n)
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (n land 0x7f)));
+      go (n lsr 7)
+    end
+  in
+  if n < 0 then invalid_arg "Resil.Checkpoint: negative counter";
+  go n
+
+let save_reach path st =
+  if Array.length st.payload.Bdd.s_roots <> 2 then
+    invalid_arg "Resil.Checkpoint.save_reach: payload wants exactly 2 roots";
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf reach_magic;
+  add_varint buf st.iterations;
+  add_varint buf st.images;
+  Buffer.add_string buf (Bdd.serialized_to_string st.payload);
+  write_atomic path (with_trailer (Buffer.contents buf))
+
+let load_reach path =
+  let data = read_file path in
+  let body =
+    match body_of_file path data with
+    | Some b -> b
+    | None ->
+        corrupt "Resil.Checkpoint: %s has no checksum trailer" path
+  in
+  let len = String.length body in
+  if len < 4 || String.sub body 0 4 <> reach_magic then
+    corrupt "Resil.Checkpoint: %s is not a reachability checkpoint" path;
+  let pos = ref 4 in
+  let varint () =
+    let rec go shift acc =
+      if !pos >= len then
+        corrupt "Resil.Checkpoint: %s truncated counter" path;
+      if shift > 62 then corrupt "Resil.Checkpoint: %s counter overflow" path;
+      let b = Char.code body.[!pos] in
+      incr pos;
+      let acc = acc lor ((b land 0x7f) lsl shift) in
+      if b land 0x80 = 0 then acc else go (shift + 7) acc
+    in
+    go 0 0
+  in
+  let iterations = varint () in
+  let images = varint () in
+  let payload =
+    Bdd.serialized_of_string (String.sub body !pos (len - !pos))
+  in
+  if Array.length payload.Bdd.s_roots <> 2 then
+    corrupt "Resil.Checkpoint: %s carries %d roots, expected 2" path
+      (Array.length payload.Bdd.s_roots);
+  { iterations; images; payload }
+
+type policy = { path : string; every : int }

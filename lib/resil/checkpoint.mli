@@ -1,0 +1,48 @@
+(** Crash-safe, checksummed checkpoints.
+
+    {!Bdd.save} writes its [BDD1] payload straight to the target path: a
+    crash mid-write leaves a truncated file, and a flipped bit in storage
+    can decode to a {e different, well-formed} BDD.  This module fixes
+    both: every write goes to a temp file in the same directory, is
+    [fsync]ed, and is atomically renamed over the target (so the target
+    always holds the last complete checkpoint), and every payload carries
+    a CRC-32 trailer that {!load} verifies before parsing (so any
+    mutation — truncation, bit flip, torn write — raises {!Bdd.Corrupt}
+    instead of yielding a wrong BDD).
+
+    File layout: [body ++ "BDC2" ++ le64(body length) ++ le32(crc)], with
+    the crc taken over everything before it (body, magic and length), so
+    a flip anywhere in the file is caught.
+    The body of a plain checkpoint is the [BDD1] encoding; a reachability
+    checkpoint prefixes it with ["RCP1"], the iteration and image
+    counters.  {!load} also accepts legacy trailer-less [BDD1] files, so
+    sets saved by older builds stay loadable. *)
+
+val crc32 : string -> int
+(** CRC-32 (IEEE 802.3, the zlib/PNG polynomial) of a string, in
+    [0, 0xFFFFFFFF].  Exposed for tests. *)
+
+val save : string -> Bdd.serialized -> unit
+(** Atomic, checksummed replacement for {!Bdd.save}. *)
+
+val load : string -> Bdd.serialized
+(** Verify and parse a file written by {!save} — or, when no trailer is
+    present, by {!Bdd.save}.  @raise Bdd.Corrupt on any mismatch. *)
+
+(** {1 Reachability checkpoints} *)
+
+type reach_state = {
+  iterations : int;
+  images : int;
+  payload : Bdd.serialized;
+      (** two roots: the reached set, then the unexpanded frontier *)
+}
+
+val save_reach : string -> reach_state -> unit
+val load_reach : string -> reach_state
+(** @raise Bdd.Corrupt on any mismatch, including a plain BDD checkpoint
+    where a reachability one was expected. *)
+
+type policy = { path : string; every : int }
+(** Checkpoint [path] every [every] iterations (from the reach engines'
+    [?checkpoint] argument). *)

@@ -1,0 +1,163 @@
+(* Degradation ladder for image computation (see the mli). *)
+
+type step = {
+  call : int;
+  rung : string;
+  size_before : int;
+  size_after : int;
+  density_before : float;
+  density_after : float;
+}
+
+type info = {
+  steps_approximated : int;
+  exhausted : bool;
+  density_stats : step list;
+}
+
+type cert = Exact | Degraded of info
+
+let pp_cert fmt = function
+  | Exact -> Format.pp_print_string fmt "exact"
+  | Degraded { steps_approximated; exhausted; density_stats } ->
+      let gain =
+        List.fold_left
+          (fun acc s ->
+            if s.density_before > 0. then
+              max acc (s.density_after /. s.density_before)
+            else acc)
+          0. density_stats
+      in
+      Format.fprintf fmt "degraded(%d step%s%s%s)" steps_approximated
+        (if steps_approximated = 1 then "" else "s")
+        (if gain > 0. then Format.asprintf ", max-density x%.2g" gain else "")
+        (if exhausted then ", exhausted" else "")
+
+type t = {
+  meth : Approx.meth;
+  mutable calls : int;
+  mutable napprox : int;
+  mutable exhausted : bool;
+  mutable steps : step list; (* newest first *)
+}
+
+exception Exhausted
+
+let create ?(meth = Approx.HB) () =
+  { meth; calls = 0; napprox = 0; exhausted = false; steps = [] }
+
+let steps_approximated t = t.napprox
+
+let certificate ~exact t =
+  if exact then Exact
+  else
+    Degraded
+      {
+        steps_approximated = t.napprox;
+        exhausted = t.exhausted;
+        density_stats = List.rev t.steps;
+      }
+
+module M = struct
+  open Obs
+
+  let reg = Metrics.default
+  let steps = Metrics.counter reg "resil.degrade.steps"
+  let exhausted = Metrics.counter reg "resil.degrade.exhausted"
+  let rung = Metrics.histogram reg "resil.degrade.rung"
+end
+
+(* The fault injector may fire at gc entry; a failed collection only
+   means less memory was reclaimed, so a forced Node_limit there must not
+   abort the ladder. *)
+let safe_gc man roots =
+  try ignore (Bdd.gc man ~roots:(roots ())) with Bdd.Node_limit -> ()
+
+let image t man ~roots ~reached ~compute frontier =
+  t.calls <- t.calls + 1;
+  let nothing = Bdd.ff man in
+  let exact_try () = (compute frontier, frontier, nothing) in
+  try exact_try ()
+  with Bdd.Node_limit -> (
+    safe_gc man roots;
+    try exact_try ()
+    with Bdd.Node_limit ->
+      Obs.Trace.with_span "resil.degrade" @@ fun () ->
+      let size0 = Bdd.size frontier in
+      let dens0 = Approx.density man frontier in
+      (* the under-approximation thresholds descend geometrically so the
+         ladder stays short even for huge frontiers *)
+      let rec thresholds acc th =
+        if th < 32 then List.rev acc else thresholds (th :: acc) (th / 4)
+      in
+      let mname = Approx.method_name t.meth in
+      let rungs =
+        (* restrict-minimization: expanded ⊇ frontier but only over
+           already-reached states, so soundness is free and no leftover
+           needs tracking *)
+        ( "restrict",
+          fun () ->
+            ( Bdd.restrict man frontier
+                (Bdd.bor man frontier (Bdd.bnot man reached)),
+              nothing ) )
+        :: List.map
+             (fun th ->
+               ( Printf.sprintf "%s@%d" mname th,
+                 fun () ->
+                   let g =
+                     Approx.under man
+                       ~params:{ Approx.default_params with threshold = th }
+                       t.meth frontier
+                   in
+                   (g, Bdd.bdiff man frontier g) ))
+             (thresholds [] (max 32 (size0 / 2)))
+        @ [
+            (* last resort: one state's worth of frontier — at most one
+               node per variable *)
+            ( "cube",
+              fun () ->
+                let g =
+                  Bdd.cube_of_literals man (Bdd.any_sat man frontier)
+                in
+                (g, Bdd.bdiff man frontier g) );
+          ]
+      in
+      let record i rung g =
+        t.napprox <- t.napprox + 1;
+        t.steps <-
+          {
+            call = t.calls;
+            rung;
+            size_before = size0;
+            size_after = Bdd.size g;
+            density_before = dens0;
+            density_after = Approx.density man g;
+          }
+          :: t.steps;
+        if Obs.Metrics.recording () then begin
+          Obs.Metrics.inc M.steps 1;
+          Obs.Metrics.observe M.rung i
+        end
+      in
+      let rec walk i = function
+        | [] ->
+            t.exhausted <- true;
+            if Obs.Metrics.recording () then Obs.Metrics.inc M.exhausted 1;
+            raise Exhausted
+        | (rung, mk) :: rest -> (
+            match
+              let g, leftover = mk () in
+              if Bdd.is_false g || Bdd.equal g frontier then None
+              else
+                let v = compute g in
+                Some (v, g, leftover)
+            with
+            | Some (v, g, leftover) ->
+                record i rung g;
+                (v, g, leftover)
+            | None -> walk (i + 1) rest
+            | exception Bdd.Node_limit ->
+                safe_gc man roots;
+                walk (i + 1) rest)
+      in
+      walk 1 rungs)

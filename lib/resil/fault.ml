@@ -1,0 +1,150 @@
+(* Seeded fault injection (see the mli).
+
+   All randomness is a splitmix-style integer mix over the configuration
+   seed, an attach counter and a per-stream draw counter, so a chaos run
+   replays exactly from its seed.  The armed configuration lives in one
+   atomic cell: the disabled path everywhere is a single load. *)
+
+type config = {
+  seed : int;
+  p_node_limit : float;
+  p_cache_wipe : float;
+  p_abort : float;
+  p_job_crash : float;
+}
+
+exception Injected_abort
+
+let disabled =
+  { seed = 0; p_node_limit = 0.; p_cache_wipe = 0.; p_abort = 0.; p_job_crash = 0. }
+
+let config_to_string c =
+  Printf.sprintf "seed=%d,node_limit=%g,cache_wipe=%g,abort=%g,job_crash=%g"
+    c.seed c.p_node_limit c.p_cache_wipe c.p_abort c.p_job_crash
+
+let config_of_string s =
+  let parse_field acc kv =
+    match acc with
+    | Error _ as e -> e
+    | Ok c -> (
+        match String.index_opt kv '=' with
+        | None -> Error (Printf.sprintf "expected key=value, got %S" kv)
+        | Some i -> (
+            let key = String.sub kv 0 i
+            and v = String.sub kv (i + 1) (String.length kv - i - 1) in
+            let prob set =
+              match float_of_string_opt v with
+              | Some p when p >= 0. && p <= 1. -> Ok (set p)
+              | _ -> Error (Printf.sprintf "%s wants a probability, got %S" key v)
+            in
+            match key with
+            | "seed" -> (
+                match int_of_string_opt v with
+                | Some n -> Ok { c with seed = n }
+                | None -> Error (Printf.sprintf "seed wants an integer, got %S" v))
+            | "node_limit" -> prob (fun p -> { c with p_node_limit = p })
+            | "cache_wipe" -> prob (fun p -> { c with p_cache_wipe = p })
+            | "abort" -> prob (fun p -> { c with p_abort = p })
+            | "job_crash" -> prob (fun p -> { c with p_job_crash = p })
+            | _ -> Error (Printf.sprintf "unknown fault key %S" key)))
+  in
+  String.split_on_char ',' (String.trim s)
+  |> List.filter (fun f -> String.trim f <> "")
+  |> List.map String.trim
+  |> List.fold_left parse_field (Ok disabled)
+
+(* --- armed state ---------------------------------------------------- *)
+
+let state : config option Atomic.t = Atomic.make None
+let env_read = Atomic.make false
+
+let read_env () =
+  if not (Atomic.exchange env_read true) then
+    match Sys.getenv_opt "RESIL_FAULTS" with
+    | None | Some "" -> ()
+    | Some spec -> (
+        match config_of_string spec with
+        | Ok c -> Atomic.set state (Some c)
+        | Error msg ->
+            Printf.eprintf "RESIL_FAULTS ignored: %s\n%!" msg)
+
+let arm c =
+  Atomic.set env_read true;
+  Atomic.set state c
+
+let armed () =
+  read_env ();
+  Atomic.get state
+
+let enabled () = armed () <> None
+
+(* --- deterministic draws -------------------------------------------- *)
+
+(* splitmix64 finalizer restricted to OCaml's 63-bit ints; good enough to
+   decorrelate (seed, stream, draw) triples into uniform unit floats *)
+let mix x =
+  let x = x * 0x9e3779b97f4a7c1 land max_int in
+  let x = (x lxor (x lsr 30)) * 0xbf58476d1ce4e5b land max_int in
+  let x = (x lxor (x lsr 27)) * 0x94d049bb133111e land max_int in
+  x lxor (x lsr 31)
+
+let unit_float h = float_of_int (mix h land 0xFFFFFFFF) /. 4294967296.0
+
+(* --- counters -------------------------------------------------------- *)
+
+let injected_total = Atomic.make 0
+
+let injected () = Atomic.get injected_total
+
+module M = struct
+  open Obs
+
+  let reg = Metrics.default
+  let node_limit = Metrics.counter reg "resil.fault.node_limit"
+  let cache_wipe = Metrics.counter reg "resil.fault.cache_wipe"
+  let abort = Metrics.counter reg "resil.fault.abort"
+  let job_crash = Metrics.counter reg "resil.fault.job_crash"
+end
+
+let note counter =
+  Atomic.incr injected_total;
+  if Obs.Metrics.recording () then Obs.Metrics.inc counter 1
+
+(* --- kernel hook ----------------------------------------------------- *)
+
+let attach_counter = Atomic.make 0
+
+let attach ?config man =
+  match (match config with Some c -> Some c | None -> armed ()) with
+  | None -> ()
+  | Some c ->
+      let stream = Atomic.fetch_and_add attach_counter 1 in
+      let draws = ref 0 in
+      let hook () =
+        incr draws;
+        let u = unit_float (mix (mix c.seed + stream) + !draws) in
+        if u < c.p_node_limit then begin
+          note M.node_limit;
+          raise Bdd.Node_limit
+        end
+        else if u < c.p_node_limit +. c.p_cache_wipe then begin
+          note M.cache_wipe;
+          Bdd.clear_caches man
+        end
+        else if u < c.p_node_limit +. c.p_cache_wipe +. c.p_abort then begin
+          note M.abort;
+          raise Injected_abort
+        end
+      in
+      Bdd.set_fault_hook man (Some hook)
+
+let on_job_dispatch ~label ~attempt =
+  match armed () with
+  | None -> ()
+  | Some c ->
+      if c.p_job_crash > 0. then
+        let u = unit_float (mix (mix c.seed + Hashtbl.hash label) + attempt) in
+        if u < c.p_job_crash then begin
+          note M.job_crash;
+          raise Injected_abort
+        end

@@ -1,0 +1,67 @@
+(** Seeded fault injection for chaos testing.
+
+    A fault configuration assigns probabilities to the failure modes the
+    rest of the resilience layer must survive: a forced {!Bdd.Node_limit}
+    or a computed-cache wipe fired from the kernel's rare-path hook
+    ({!Bdd.set_fault_hook}), a simulated operation abort
+    ({!Injected_abort}) from the same hook, and a crash at [Mt.Runner]
+    job dispatch.  Draws come from a splitmix PRNG seeded from the
+    configuration, so a chaos run is reproducible from its seed.
+
+    Injection is armed only explicitly — through {!arm} or the
+    [RESIL_FAULTS] environment variable — and every production call site
+    is gated on {!enabled}, a single atomic load that is [false] by
+    default: with injection disarmed the only cost anywhere is that load
+    (plus the kernel's one rare-path branch). *)
+
+type config = {
+  seed : int;  (** PRNG seed; every probability stream derives from it *)
+  p_node_limit : float;
+      (** chance, per kernel beat, of a forced {!Bdd.Node_limit} *)
+  p_cache_wipe : float;
+      (** chance, per kernel beat, of wiping the computed caches *)
+  p_abort : float;
+      (** chance, per kernel beat, of raising {!Injected_abort} mid-op *)
+  p_job_crash : float;
+      (** chance of {!Injected_abort} at [Mt.Runner] job dispatch,
+          redrawn per attempt so retries can succeed *)
+}
+
+exception Injected_abort
+(** The simulated crash.  Deliberately not an exception any production
+    path raises or catches specially: resilience code must survive it the
+    way it survives any unknown exception. *)
+
+val disabled : config
+(** Seed 0, every probability 0. *)
+
+val config_of_string : string -> (config, string) result
+(** Parse ["seed=42,node_limit=0.01,cache_wipe=0.01,abort=0,job_crash=0.1"]
+    (any subset of keys; missing keys default to {!disabled}'s values). *)
+
+val config_to_string : config -> string
+
+val arm : config option -> unit
+(** Arm or disarm injection process-wide.  Overrides [RESIL_FAULTS]. *)
+
+val armed : unit -> config option
+(** The active configuration.  The first call reads [RESIL_FAULTS] (a
+    malformed value disables injection and warns on stderr). *)
+
+val enabled : unit -> bool
+(** [armed () <> None], as one atomic load after the lazy env read. *)
+
+val attach : ?config:config -> Bdd.man -> unit
+(** Install the kernel fault hook on [man] with its own deterministic
+    PRNG stream (derived from the config seed and an attach counter).
+    [config] defaults to {!armed}; with injection disarmed and no
+    explicit config this is a no-op. *)
+
+val on_job_dispatch : label:string -> attempt:int -> unit
+(** Runner dispatch probe: raises {!Injected_abort} with probability
+    [p_job_crash], deterministically in (seed, label, attempt).  No-op
+    when disarmed. *)
+
+val injected : unit -> int
+(** Total faults injected by this process (all kinds), counted even when
+    metrics recording is off. *)

@@ -1,0 +1,293 @@
+(* Chaos harness: reachability under seeded fault injection.
+
+   Three campaigns, all deterministic in their seeds:
+
+   1. Reach chaos — both traversal engines on a bank of small circuits,
+      each run with a kernel fault injector armed (forced Node_limit,
+      cache wipes).  Asserts that no exception escapes an engine, that
+      every reached set is a subset of the fault-free oracle's (the
+      soundness contract of the degradation ladder), and that a run
+      claiming [exact] matches the oracle bit for bit.
+
+   2. Kill-and-resume — a traversal is cut short mid-flight (simulating
+      a kill) having written periodic checkpoints; resuming from the last
+      checkpoint must reproduce the uninterrupted run's reached set
+      byte-identically.  A corrupted or torn checkpoint must be refused
+      with Bdd.Corrupt, never resumed from silently.
+
+   3. Runner chaos — a fleet of jobs under dispatch crashes and kernel
+      faults with a retry policy: every outcome must be Done (with the
+      correct value) or Quarantined; nothing else, and never an escaped
+      exception.
+
+     dune exec test/chaos/chaos.exe            # full campaign (~250 runs)
+     dune exec test/chaos/chaos.exe -- 5       # quicker: 5 seeds per pair
+
+   Exit 0 with a summary on success; exit 1 on the first violation. *)
+
+let failures = ref 0
+
+let faili fmt =
+  Printf.ksprintf
+    (fun msg ->
+      incr failures;
+      Printf.eprintf "chaos: FAIL %s\n%!" msg)
+    fmt
+
+(* name, generator, and a deliberately tight node ceiling (used on every
+   third seed) chosen so the degradation ladder genuinely engages on the
+   dense controllers while the shift-register family mostly fits *)
+let circuits =
+  [
+    ("counter5", (fun () -> Generate.counter ~bits:5), 8_000);
+    ("ring8", (fun () -> Generate.ring ~bits:8), 8_000);
+    ("johnson6", (fun () -> Generate.johnson ~bits:6), 8_000);
+    ("lfsr6", (fun () -> Generate.lfsr ~bits:6), 8_000);
+    ("dense10", (fun () -> Generate.dense_controller ~latches:10 ~seed:5), 6_000);
+    ("dense16", (fun () -> Generate.dense_controller ~latches:16 ~seed:5), 8_000);
+  ]
+
+let engines =
+  [
+    ("bfs", fun ?node_limit t -> Bfs.run ?node_limit t);
+    ("hd", fun ?node_limit t -> High_density.run ?node_limit t);
+  ]
+
+let build circuit = Trans.build (Compile.compile (circuit ()))
+
+(* fault-free exact reached set, exported so each chaos run can import it
+   into its own manager *)
+let oracle circuit =
+  let trans = build circuit in
+  let r = Bfs.run trans in
+  if not r.Traversal.exact then failwith "oracle run not exact";
+  (Bdd.export (Trans.man trans) r.Traversal.reached, r.Traversal.states)
+
+(* --- campaign 1: engines under kernel fault injection ------------------ *)
+
+let reach_chaos seeds =
+  let total = ref 0 and degraded = ref 0 and exhausted = ref 0 in
+  List.iter
+    (fun (cname, circuit, tight_nl) ->
+      let oracle_s, oracle_states = oracle circuit in
+      List.iter
+        (fun (ename, run) ->
+          for seed = 1 to seeds do
+            incr total;
+            let trans = build circuit in
+            let man = Trans.man trans in
+            let config =
+              {
+                Resil.Fault.seed;
+                p_node_limit = 0.25;
+                p_cache_wipe = 0.05;
+                p_abort = 0.;
+                p_job_crash = 0.;
+              }
+            in
+            Resil.Fault.attach ~config man;
+            (* every third run also gets a real (tight) node ceiling so
+               genuine exhaustion and injected faults interleave *)
+            let node_limit = if seed mod 3 = 0 then Some tight_nl else None in
+            match run ?node_limit trans with
+            | exception e ->
+                faili "%s/%s seed %d: escaped exception %s" cname ename seed
+                  (Printexc.to_string e)
+            | r ->
+                (* verification below must run injection-free *)
+                Bdd.set_fault_hook man None;
+                let oracle_bdd = Bdd.import man oracle_s in
+                if not (Bdd.leq man r.Traversal.reached oracle_bdd) then
+                  faili "%s/%s seed %d: reached set NOT a subset of oracle"
+                    cname ename seed;
+                if
+                  r.Traversal.exact
+                  && not (Bdd.equal r.Traversal.reached oracle_bdd)
+                then
+                  faili "%s/%s seed %d: claims exact but differs from oracle"
+                    cname ename seed;
+                if r.Traversal.exact && r.Traversal.states <> oracle_states
+                then
+                  faili "%s/%s seed %d: exact state count %g <> oracle %g"
+                    cname ename seed r.Traversal.states oracle_states;
+                (match r.Traversal.degrade with
+                | Resil.Degrade.Exact ->
+                    if not r.Traversal.exact then
+                      faili "%s/%s seed %d: Exact certificate on inexact run"
+                        cname ename seed
+                | Resil.Degrade.Degraded i ->
+                    if r.Traversal.exact then
+                      faili "%s/%s seed %d: Degraded certificate on exact run"
+                        cname ename seed;
+                    if i.Resil.Degrade.steps_approximated > 0 then
+                      incr degraded;
+                    if i.Resil.Degrade.exhausted then incr exhausted)
+          done)
+        engines)
+    circuits;
+  (* the campaign must actually exercise the ladder, not just survive it *)
+  if seeds >= 10 && !degraded = 0 then
+    faili "no run degraded: the ladder was never engaged";
+  Printf.printf
+    "reach chaos: %d runs, %d with degraded steps, %d exhausted, 0 escaped\n%!"
+    !total !degraded !exhausted;
+  !total
+
+(* --- campaign 2: kill-and-resume --------------------------------------- *)
+
+let with_ckpt f =
+  let path = Filename.temp_file "chaos_ckpt" ".bin" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let reached_bytes trans (r : Traversal.result) =
+  Bdd.serialized_to_string (Bdd.export (Trans.man trans) r.Traversal.reached)
+
+let kill_and_resume () =
+  let circuit () = Generate.counter ~bits:7 in
+  List.iter
+    (fun
+      ( ename,
+        (run :
+          ?resume:Resil.Checkpoint.reach_state -> Trans.t -> Traversal.result)
+      )
+    ->
+      (* the uninterrupted, fault-free reference *)
+      let trans = build circuit in
+      let reference = reached_bytes trans (run trans) in
+      with_ckpt @@ fun path ->
+      (* "killed" run: checkpoints every 3 iterations, cut off by an
+         iteration bound standing in for the kill signal *)
+      let killed = build circuit in
+      let _ =
+        match ename with
+        | "bfs" ->
+            Bfs.run ~max_iter:40
+              ~checkpoint:{ Resil.Checkpoint.path; every = 3 }
+              killed
+        | _ ->
+            High_density.run ~max_iter:40
+              ~checkpoint:{ Resil.Checkpoint.path; every = 3 }
+              killed
+      in
+      let st = Resil.Checkpoint.load_reach path in
+      if st.Resil.Checkpoint.iterations > 40 then
+        faili "%s: checkpoint beyond the kill point" ename;
+      (* resume must land on the reference, bit for bit *)
+      let resumed = build circuit in
+      let r = run ~resume:st resumed in
+      if not r.Traversal.exact then
+        faili "%s: resumed run did not reach the fixpoint" ename;
+      if reached_bytes resumed r <> reference then
+        faili "%s: resumed reached set differs from uninterrupted run" ename;
+      (* a torn checkpoint (crash mid-write of a non-atomic writer) and a
+         flipped bit must both be refused *)
+      let data =
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let write s =
+        let oc = open_out_bin path in
+        output_string oc s;
+        close_out oc
+      in
+      write (String.sub data 0 (String.length data / 2));
+      (match Resil.Checkpoint.load_reach path with
+      | exception Bdd.Corrupt _ -> ()
+      | _ -> faili "%s: torn checkpoint accepted" ename);
+      let flipped = Bytes.of_string data in
+      Bytes.set flipped 10 (Char.chr (Char.code data.[10] lxor 0x10));
+      write (Bytes.to_string flipped);
+      match Resil.Checkpoint.load_reach path with
+      | exception Bdd.Corrupt _ -> ()
+      | _ -> faili "%s: bit-flipped checkpoint accepted" ename)
+    [
+      ("bfs", fun ?resume t -> Bfs.run ?resume t);
+      ("hd", fun ?resume t -> High_density.run ?resume t);
+    ];
+  Printf.printf "kill-and-resume: both engines bit-for-bit, corruption refused\n%!"
+
+(* --- campaign 3: runner under dispatch + kernel faults ------------------ *)
+
+let runner_chaos () =
+  let expected w =
+    let man = Bdd.create ~nvars:w () in
+    Bdd.size
+      (List.fold_left (Bdd.bxor man) (Bdd.ff man)
+         (List.init w (Bdd.ithvar man)))
+  in
+  let widths = List.init 30 (fun i -> 4 + (i mod 8)) in
+  let quarantined = ref 0 and retried = ref 0 and jobs = ref 0 in
+  for seed = 1 to 3 do
+    Resil.Fault.arm
+      (Some
+         {
+           Resil.Fault.seed;
+           p_node_limit = 0.02;
+           p_cache_wipe = 0.02;
+           p_abort = 0.02;
+           p_job_crash = 0.25;
+         });
+    Fun.protect ~finally:(fun () -> Resil.Fault.arm None) @@ fun () ->
+    let results =
+      Mt.Runner.map ~jobs:4
+        ~retry:
+          {
+            Mt.Runner.max_attempts = 4;
+            backoff = 0.001;
+            backoff_max = 0.004;
+            jitter = 0.25;
+          }
+        ~label:(Printf.sprintf "parity%d")
+        (fun man w ->
+          Bdd.size
+            (List.fold_left (Bdd.bxor man) (Bdd.ff man)
+               (List.init w (Bdd.ithvar man))))
+        widths
+    in
+    List.iter2
+      (fun w (r : _ Mt.Runner.result) ->
+        incr jobs;
+        if r.Mt.Runner.report.Mt.Runner.attempts > 1 then incr retried;
+        match r.Mt.Runner.outcome with
+        | Mt.Runner.Done n ->
+            if n <> expected w then
+              faili "runner seed %d width %d: wrong value %d" seed w n
+        | Mt.Runner.Quarantined { last = Mt.Runner.Done _; _ }
+        | Mt.Runner.Quarantined { last = Mt.Runner.Quarantined _; _ } ->
+            faili "runner seed %d width %d: malformed quarantine" seed w
+        | Mt.Runner.Quarantined _ -> incr quarantined
+        | o ->
+            faili "runner seed %d width %d: unexpected outcome %s" seed w
+              (Format.asprintf "%a" Mt.Runner.pp_outcome o))
+      widths results
+  done;
+  Printf.printf
+    "runner chaos: %d jobs, %d retried, %d quarantined, rest correct\n%!"
+    !jobs !retried !quarantined
+
+let () =
+  let seeds =
+    match Sys.argv with
+    | [| _ |] -> 25
+    | [| _; n |] -> (
+        match int_of_string_opt n with
+        | Some n when n >= 1 -> n
+        | _ ->
+            prerr_endline "usage: chaos [SEEDS-PER-PAIR]";
+            exit 1)
+    | _ ->
+        prerr_endline "usage: chaos [SEEDS-PER-PAIR]";
+        exit 1
+  in
+  let runs = reach_chaos seeds in
+  kill_and_resume ();
+  runner_chaos ();
+  Printf.printf "faults injected overall: %d\n%!" (Resil.Fault.injected ());
+  if !failures > 0 then begin
+    Printf.eprintf "chaos: %d failure(s)\n%!" !failures;
+    exit 1
+  end;
+  Printf.printf "chaos: all green (%d fault-injected reach runs)\n%!" runs

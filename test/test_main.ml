@@ -20,4 +20,5 @@ let () =
       Test_serialize.tests;
       Test_mt.tests;
       Test_obs.tests;
+      Test_resil.tests;
     ]

@@ -86,10 +86,10 @@ let test_crash_isolated () =
       ]
   in
   match List.map (fun (r : _ Mt.Runner.result) -> r.Mt.Runner.outcome) results with
-  | [ Crashed msg; Done 1 ] ->
+  | [ Crashed { exn; _ }; Done 1 ] ->
       Alcotest.(check bool)
         "message mentions the exception" true
-        (String.length msg > 0)
+        (String.length exn > 0)
   | _ -> Alcotest.fail "expected [Crashed _; Done 1]"
 
 let test_report_counters () =
