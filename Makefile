@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke smoke trace-smoke chaos-smoke check clean
+.PHONY: all build test bench bench-smoke smoke trace-smoke chaos-smoke serve-smoke check clean
 
 all: build
 
@@ -23,22 +23,35 @@ bench-smoke: build
 # then structurally validate both: balanced begin/end spans and
 # nondecreasing timestamps on every track, at least 4 tracks (one lane
 # per worker domain), and a well-formed obs-metrics/v1 snapshot.
+# Artifacts land under _build/smoke/ (removed by dune clean).
 trace-smoke: build
+	mkdir -p _build/smoke
 	dune exec bench/main.exe -- --smoke --jobs 4 \
-	  --trace _obs_trace.json --metrics _obs_metrics.json > /dev/null
-	dune exec bin/obs_check.exe -- --trace _obs_trace.json --min-tracks 4 \
-	  --metrics _obs_metrics.json
+	  --trace _build/smoke/_obs_trace.json \
+	  --metrics _build/smoke/_obs_metrics.json > /dev/null
+	dune exec bin/obs_check.exe -- --trace _build/smoke/_obs_trace.json \
+	  --min-tracks 4 --metrics _build/smoke/_obs_metrics.json
 
 # Seeded fault-injection campaign: ~300 reach runs with forced node limits
 # and cache wipes (soundness vs a fault-free oracle), kill-and-resume from
 # checkpoints (bit-for-bit), and the runner under dispatch crashes.
+# TMPDIR keeps the checkpoint litter inside _build/smoke/.
 chaos-smoke: build
-	dune exec test/chaos/chaos.exe
+	mkdir -p _build/smoke
+	TMPDIR=$(abspath _build/smoke) dune exec test/chaos/chaos.exe
 
-check: build test smoke bench-smoke trace-smoke chaos-smoke
+# End-to-end smoke of the serve layer: a 4-worker server under the
+# closed-loop load generator (>= 1000 oracle-checked requests), graceful
+# SIGTERM drain, validated BENCH_serve.json / metrics / trace artifacts,
+# then the same under seeded fault injection (the server must survive).
+serve-smoke: build
+	scripts/serve_smoke.sh
+
+check: build test smoke bench-smoke trace-smoke chaos-smoke serve-smoke
 
 bench: build
 	dune exec bench/main.exe
 
 clean:
 	dune clean
+	rm -f _obs_trace.json _obs_metrics.json

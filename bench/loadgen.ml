@@ -1,0 +1,503 @@
+(* Closed-loop load generator for the BDD service.
+
+     loadgen.exe (--socket PATH | --port N)
+                 [--connections N] [--requests M] [--seed S]
+                 [--smoke]                (4 connections x 250 requests)
+                 [--expect-faults]        (chaos run: Error replies are fine)
+                 [-o FILE]                (write the bdd-serve-bench/v1 report)
+     loadgen.exe --validate FILE          (just check a report and exit)
+
+   Each connection is one thread, one server session, and one *local
+   oracle*: a private Bdd.man plus a mirror table mapping every server
+   handle to the BDD the session ought to hold.  Every reply is checked
+   semantically against the oracle — Count against count_minterms, Fetch
+   against Bdd.equal after import, Sat cubes against leq, Degraded
+   certificates against the subset property (fetch the server's BDD and
+   require it below the exact local answer).  Size comparisons are
+   deliberately never used: a Compile can grow the server session's
+   variable order differently from the mirror's, and only semantic checks
+   survive that.
+
+   Exit status: 1 if any reply contradicted the oracle (always), or if
+   Error replies arrived without --expect-faults. *)
+
+let nvars = 12
+
+let fail fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "loadgen: %s\n" msg;
+      exit 2)
+    fmt
+
+let usage () =
+  prerr_endline
+    "usage: loadgen (--socket PATH | --port N) [--connections N]\n\
+    \       [--requests M] [--seed S] [--smoke] [--expect-faults] [-o FILE]\n\
+    \       | loadgen --validate FILE";
+  exit 2
+
+(* --- per-connection accounting ---------------------------------------- *)
+
+type stats = {
+  mutable completed : int;  (* request/reply cycles that were not rejected *)
+  mutable rejected : int;
+  mutable degraded : int;
+  mutable errors : int;
+  mutable wrong : int;
+  mutable latencies : float list;  (* microseconds, newest first *)
+  mutable notes : string list;  (* first few oracle contradictions *)
+}
+
+let new_stats () =
+  {
+    completed = 0;
+    rejected = 0;
+    degraded = 0;
+    errors = 0;
+    wrong = 0;
+    latencies = [];
+    notes = [];
+  }
+
+let wrong st fmt =
+  Printf.ksprintf
+    (fun msg ->
+      st.wrong <- st.wrong + 1;
+      if List.length st.notes < 5 then st.notes <- msg :: st.notes)
+    fmt
+
+(* --- one connection ---------------------------------------------------- *)
+
+(* A tiny sequential model for the low-rate Compile/Reach requests; a
+   4-bit counter reaches exactly 16 states, which doubles as an oracle. *)
+let bench_blif = lazy (Blif.to_string (Generate.counter ~bits:4))
+
+let timed st c req =
+  let t0 = Obs.Timing.wall () in
+  let reply = Serve.Client.call c req in
+  st.latencies <- ((Obs.Timing.wall () -. t0) *. 1e6) :: st.latencies;
+  (match reply with
+  | Serve.Proto.Overloaded -> st.rejected <- st.rejected + 1
+  | _ -> st.completed <- st.completed + 1);
+  (match reply with
+  | Serve.Proto.Error _ -> st.errors <- st.errors + 1
+  | Serve.Proto.Handle { cert = Serve.Proto.Degraded _; _ }
+  | Serve.Proto.Reach_done { cert = Serve.Proto.Degraded _; _ } ->
+      st.degraded <- st.degraded + 1
+  | _ -> ());
+  reply
+
+(* Fetch a server handle and import it into the oracle manager. *)
+let fetch_local st c man handle =
+  match timed st c (Serve.Proto.Fetch { handle }) with
+  | Serve.Proto.Bdd_payload { bdd } -> (
+      match Bdd.import man (Bdd.serialized_of_string bdd) with
+      | f -> Some f
+      | exception Bdd.Corrupt m ->
+          wrong st "fetch %d returned a corrupt payload: %s" handle m;
+          None)
+  | Serve.Proto.Error _ | Serve.Proto.Overloaded -> None
+  | r ->
+      wrong st "fetch %d: unexpected reply %s" handle
+        (Format.asprintf "%a" Serve.Proto.pp_reply r);
+      None
+
+let cube_of_assignment man asg =
+  List.fold_left
+    (fun acc (v, phase) ->
+      Bdd.band man acc (if phase then Bdd.ithvar man v else Bdd.nithvar man v))
+    (Bdd.tt man) asg
+
+let connection ~seed ~requests ~bind i st =
+  let rng = Random.State.make [| 0x5e57e; seed; i |] in
+  let man = Bdd.create () in
+  (* materialize the oracle's variable universe up front: cube/quantify
+     reject indices the manager has not seen yet *)
+  for v = 0 to nvars - 1 do
+    ignore (Bdd.ithvar man v)
+  done;
+  let mirror : (int, Bdd.t) Hashtbl.t = Hashtbl.create 64 in
+  let c = Serve.Client.connect bind in
+  let compiled = ref false in
+  let pick_handle () =
+    (* a uniformly random mirrored handle, or None when the table is empty *)
+    let n = Hashtbl.length mirror in
+    if n = 0 then None
+    else begin
+      let k = Random.State.int rng n in
+      let i = ref 0 and found = ref None in
+      Hashtbl.iter
+        (fun id f ->
+          if !i = k then found := Some (id, f);
+          incr i)
+        mirror;
+      !found
+    end
+  in
+  let do_lit () =
+    let var = Random.State.int rng nvars in
+    let phase = Random.State.bool rng in
+    match timed st c (Serve.Proto.Lit { var; phase }) with
+    | Serve.Proto.Handle { id; cert = Serve.Proto.Exact; _ } ->
+        Hashtbl.replace mirror id
+          (if phase then Bdd.ithvar man var else Bdd.nithvar man var)
+    | Serve.Proto.Handle { cert = Serve.Proto.Degraded _; _ } ->
+        wrong st "Lit came back degraded"
+    | Serve.Proto.Error _ | Serve.Proto.Overloaded -> ()
+    | r ->
+        wrong st "lit: unexpected reply %s"
+          (Format.asprintf "%a" Serve.Proto.pp_reply r)
+  in
+  let resync_degraded what id exact =
+    (* a Degraded handle must be a subset of the exact answer; adopt the
+       server's BDD as the mirror so later checks stay aligned *)
+    match fetch_local st c man id with
+    | None -> Hashtbl.remove mirror id
+    | Some got ->
+        if not (Bdd.leq man got exact) then
+          wrong st "%s: degraded result is not below the exact answer" what;
+        Hashtbl.replace mirror id got
+  in
+  let do_apply () =
+    match (pick_handle (), pick_handle (), pick_handle ()) with
+    | Some (a, fa), Some (b, fb), Some (c3, fc) -> (
+        let op, exact =
+          match Random.State.int rng 7 with
+          | 0 -> (Serve.Proto.Not a, Bdd.bnot man fa)
+          | 1 -> (Serve.Proto.And (a, b), Bdd.band man fa fb)
+          | 2 -> (Serve.Proto.Or (a, b), Bdd.bor man fa fb)
+          | 3 -> (Serve.Proto.Xor (a, b), Bdd.bxor man fa fb)
+          | 4 -> (Serve.Proto.Ite (a, b, c3), Bdd.ite man fa fb fc)
+          | 5 ->
+              let vs =
+                List.init (1 + Random.State.int rng 3) (fun _ ->
+                    Random.State.int rng nvars)
+              in
+              ( Serve.Proto.Exists (vs, a),
+                Bdd.exists man ~vars:(Bdd.cube man vs) fa )
+          | _ ->
+              let vs =
+                List.init (1 + Random.State.int rng 3) (fun _ ->
+                    Random.State.int rng nvars)
+              in
+              ( Serve.Proto.Forall (vs, a),
+                Bdd.forall man ~vars:(Bdd.cube man vs) fa )
+        in
+        match timed st c (Serve.Proto.Apply op) with
+        | Serve.Proto.Handle { id; cert = Serve.Proto.Exact; _ } ->
+            Hashtbl.replace mirror id exact
+        | Serve.Proto.Handle { id; cert = Serve.Proto.Degraded _; _ } ->
+            resync_degraded "apply" id exact
+        | Serve.Proto.Error _ | Serve.Proto.Overloaded -> ()
+        | r ->
+            wrong st "apply: unexpected reply %s"
+              (Format.asprintf "%a" Serve.Proto.pp_reply r))
+    | _ -> do_lit ()
+  in
+  let do_count () =
+    match pick_handle () with
+    | None -> do_lit ()
+    | Some (id, f) -> (
+        match timed st c (Serve.Proto.Count { handle = id; nvars }) with
+        | Serve.Proto.Count_is n ->
+            let want = Bdd.count_minterms man f ~nvars in
+            if Float.abs (n -. want) > 1e-6 *. Float.max 1.0 want then
+              wrong st "count %d: server says %.0f, oracle says %.0f" id n want
+        | Serve.Proto.Error _ | Serve.Proto.Overloaded -> ()
+        | r ->
+            wrong st "count: unexpected reply %s"
+              (Format.asprintf "%a" Serve.Proto.pp_reply r))
+  in
+  let do_fetch () =
+    match pick_handle () with
+    | None -> do_lit ()
+    | Some (id, f) -> (
+        match fetch_local st c man id with
+        | Some got when not (Bdd.equal got f) ->
+            wrong st "fetch %d: server BDD differs from the oracle's" id
+        | _ -> ())
+  in
+  let do_sat () =
+    match pick_handle () with
+    | None -> do_lit ()
+    | Some (id, f) -> (
+        match timed st c (Serve.Proto.Sat { handle = id }) with
+        | Serve.Proto.Sat_is (Some asg) ->
+            if not (Bdd.leq man (cube_of_assignment man asg) f) then
+              wrong st "sat %d: assignment does not satisfy the oracle BDD" id
+        | Serve.Proto.Sat_is None ->
+            if not (Bdd.equal f (Bdd.ff man)) then
+              wrong st "sat %d: server says UNSAT, oracle disagrees" id
+        | Serve.Proto.Error _ | Serve.Proto.Overloaded -> ()
+        | r ->
+            wrong st "sat: unexpected reply %s"
+              (Format.asprintf "%a" Serve.Proto.pp_reply r))
+  in
+  let do_free () =
+    match pick_handle () with
+    | None -> do_lit ()
+    | Some (id, _) -> (
+        match timed st c (Serve.Proto.Free { handles = [ id ] }) with
+        | Serve.Proto.Freed n ->
+            if n <> 1 then wrong st "free %d: freed %d handles, wanted 1" id n;
+            Hashtbl.remove mirror id
+        | Serve.Proto.Error _ | Serve.Proto.Overloaded -> ()
+        | r ->
+            wrong st "free: unexpected reply %s"
+              (Format.asprintf "%a" Serve.Proto.pp_reply r))
+  in
+  let do_ping () =
+    match timed st c Serve.Proto.Ping with
+    | Serve.Proto.Pong -> ()
+    | Serve.Proto.Overloaded -> ()
+    | r ->
+        wrong st "ping: unexpected reply %s"
+          (Format.asprintf "%a" Serve.Proto.pp_reply r)
+  in
+  let do_stats () =
+    match timed st c Serve.Proto.Stats with
+    | Serve.Proto.Stats_are kvs ->
+        if not (List.mem_assoc "serve.session.handles" kvs) then
+          wrong st "stats: missing serve.session.handles"
+    | Serve.Proto.Error _ | Serve.Proto.Overloaded -> ()
+    | r ->
+        wrong st "stats: unexpected reply %s"
+          (Format.asprintf "%a" Serve.Proto.pp_reply r)
+  in
+  let do_approx () =
+    match pick_handle () with
+    | None -> do_lit ()
+    | Some (id, f) -> (
+        let meth =
+          match Random.State.int rng 4 with
+          | 0 -> Approx.HB
+          | 1 -> Approx.SP
+          | 2 -> Approx.UA
+          | _ -> Approx.RUA
+        in
+        let threshold =
+          if Random.State.bool rng then 0 else 4 + Random.State.int rng 60
+        in
+        match timed st c (Serve.Proto.Approx { meth; threshold; handle = id })
+        with
+        | Serve.Proto.Handle { id = aid; _ } -> (
+            (* whatever the certificate, an under-approximation must sit
+               below the function it approximates *)
+            match fetch_local st c man aid with
+            | Some got ->
+                if not (Bdd.leq man got f) then
+                  wrong st "approx %d: result is not an under-approximation" id;
+                Hashtbl.replace mirror aid got
+            | None -> ())
+        | Serve.Proto.Error _ | Serve.Proto.Overloaded -> ()
+        | r ->
+            wrong st "approx: unexpected reply %s"
+              (Format.asprintf "%a" Serve.Proto.pp_reply r))
+  in
+  let do_decomp () =
+    match pick_handle () with
+    | Some (id, f) when not (Bdd.is_const f) -> (
+        let disjunctive = Random.State.bool rng in
+        match timed st c (Serve.Proto.Decomp { handle = id; disjunctive }) with
+        | Serve.Proto.Pair { g; h; _ } -> (
+            match (fetch_local st c man g, fetch_local st c man h) with
+            | Some fg, Some fh ->
+                let back =
+                  if disjunctive then Bdd.bor man fg fh else Bdd.band man fg fh
+                in
+                if not (Bdd.equal back f) then
+                  wrong st "decomp %d: factors do not recompose" id;
+                Hashtbl.replace mirror g fg;
+                Hashtbl.replace mirror h fh
+            | _ -> ())
+        | Serve.Proto.Error _ | Serve.Proto.Overloaded -> ()
+        | r ->
+            wrong st "decomp: unexpected reply %s"
+              (Format.asprintf "%a" Serve.Proto.pp_reply r))
+    | _ -> do_lit ()
+  in
+  let do_compile () =
+    match
+      timed st c
+        (Serve.Proto.Compile { name = "bench"; blif = Lazy.force bench_blif })
+    with
+    | Serve.Proto.Handles hs ->
+        if hs = [] then wrong st "compile: no output handles";
+        compiled := true
+        (* server-only handles: never mirrored, never used by apply *)
+    | Serve.Proto.Error _ | Serve.Proto.Overloaded -> ()
+    | r ->
+        wrong st "compile: unexpected reply %s"
+          (Format.asprintf "%a" Serve.Proto.pp_reply r)
+  in
+  let do_reach () =
+    if not !compiled then do_compile ()
+    else
+      match timed st c (Serve.Proto.Reach { model = "bench"; max_iter = 0 })
+      with
+      | Serve.Proto.Reach_done { states; cert = Serve.Proto.Exact; _ } ->
+          if states <> 16.0 then
+            wrong st "reach: 4-bit counter reached %.0f states, wanted 16"
+              states
+      | Serve.Proto.Reach_done _ (* degraded: partial state count is fine *)
+      | Serve.Proto.Error _ | Serve.Proto.Overloaded ->
+          ()
+      | r ->
+          wrong st "reach: unexpected reply %s"
+            (Format.asprintf "%a" Serve.Proto.pp_reply r)
+  in
+  Fun.protect
+    ~finally:(fun () -> Serve.Client.close c)
+    (fun () ->
+      for k = 1 to requests do
+        ignore k;
+        (* weighted mix: mostly structure-building and checking, a trickle
+           of expensive compile/reach *)
+        match Random.State.int rng 64 with
+        | n when n < 14 -> do_lit ()
+        | n when n < 32 -> do_apply ()
+        | n when n < 40 -> do_count ()
+        | n when n < 46 -> do_fetch ()
+        | n when n < 50 -> do_sat ()
+        | n when n < 54 -> do_free ()
+        | n when n < 56 -> do_ping ()
+        | n when n < 58 -> do_stats ()
+        | n when n < 61 -> do_approx ()
+        | n when n < 63 -> do_decomp ()
+        | 63 when not !compiled -> do_compile ()
+        | _ -> do_reach ()
+      done)
+
+(* --- aggregation -------------------------------------------------------- *)
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(min (n - 1) (int_of_float (p *. float_of_int (n - 1) +. 0.5)))
+
+let () =
+  let bind = ref None
+  and connections = ref 8
+  and requests = ref 100
+  and seed = ref 1
+  and expect_faults = ref false
+  and out = ref None
+  and validate = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--socket" :: path :: rest ->
+        bind := Some (Serve.Server.Unix_path path);
+        parse rest
+    | "--port" :: p :: rest ->
+        (match int_of_string_opt p with
+        | Some n when n >= 1 && n < 65536 -> bind := Some (Serve.Server.Tcp n)
+        | _ -> fail "--port wants 1..65535, got %s" p);
+        parse rest
+    | "--connections" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some n when n >= 1 -> connections := n
+        | _ -> fail "--connections wants a positive integer, got %s" n);
+        parse rest
+    | "--requests" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some n when n >= 1 -> requests := n
+        | _ -> fail "--requests wants a positive integer, got %s" n);
+        parse rest
+    | "--seed" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some n -> seed := n
+        | None -> fail "--seed wants an integer, got %s" n);
+        parse rest
+    | "--smoke" :: rest ->
+        connections := 4;
+        requests := 250;
+        parse rest
+    | "--expect-faults" :: rest ->
+        expect_faults := true;
+        parse rest
+    | "-o" :: path :: rest ->
+        out := Some path;
+        parse rest
+    | "--validate" :: path :: rest ->
+        validate := Some path;
+        parse rest
+    | arg :: _ -> fail "unknown argument %s (run with no arguments for usage)" arg
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  (match !validate with
+  | Some path -> (
+      match Serve.Report.validate_file path with
+      | Ok () ->
+          Printf.printf "loadgen: %s is a valid %s report\n" path
+            Serve.Report.schema;
+          exit 0
+      | Error m ->
+          Printf.eprintf "loadgen: %s: %s\n" path m;
+          exit 1)
+  | None -> ());
+  let bind = match !bind with Some b -> b | None -> usage () in
+  let stats = Array.init !connections (fun _ -> new_stats ()) in
+  let t0 = Obs.Timing.wall () in
+  let threads =
+    Array.init !connections (fun i ->
+        Thread.create
+          (fun () ->
+            try connection ~seed:!seed ~requests:!requests ~bind i stats.(i)
+            with e ->
+              wrong stats.(i) "connection %d died: %s" i (Printexc.to_string e))
+          ())
+  in
+  Array.iter Thread.join threads;
+  let elapsed = Obs.Timing.wall () -. t0 in
+  let sum f = Array.fold_left (fun acc st -> acc + f st) 0 stats in
+  let completed = sum (fun st -> st.completed) in
+  let latencies =
+    Array.of_list (Array.fold_left (fun acc st -> st.latencies @ acc) [] stats)
+  in
+  Array.sort compare latencies;
+  let report =
+    {
+      Serve.Report.connections = !connections;
+      requests = completed;
+      rejected = sum (fun st -> st.rejected);
+      degraded = sum (fun st -> st.degraded);
+      errors = sum (fun st -> st.errors);
+      wrong = sum (fun st -> st.wrong);
+      elapsed_s = elapsed;
+      throughput_rps =
+        (if elapsed > 0.0 then float_of_int completed /. elapsed else 0.0);
+      p50_us = percentile latencies 0.50;
+      p95_us = percentile latencies 0.95;
+      p99_us = percentile latencies 0.99;
+      max_us =
+        (if Array.length latencies = 0 then 0.0
+         else latencies.(Array.length latencies - 1));
+    }
+  in
+  Printf.printf
+    "loadgen: %d requests on %d connection(s) in %.2fs — %.0f rps, p50/p95/p99 \
+     = %.0f/%.0f/%.0f us, rejected=%d degraded=%d errors=%d wrong=%d\n"
+    report.Serve.Report.requests report.Serve.Report.connections
+    report.Serve.Report.elapsed_s report.Serve.Report.throughput_rps
+    report.Serve.Report.p50_us report.Serve.Report.p95_us
+    report.Serve.Report.p99_us report.Serve.Report.rejected
+    report.Serve.Report.degraded report.Serve.Report.errors
+    report.Serve.Report.wrong;
+  Array.iter
+    (fun st -> List.iter (Printf.eprintf "loadgen: WRONG: %s\n") st.notes)
+    stats;
+  (match !out with
+  | Some path ->
+      Serve.Report.write path report;
+      (match Serve.Report.validate_file path with
+      | Ok () -> ()
+      | Error m -> fail "written report failed validation: %s" m)
+  | None -> ());
+  if report.Serve.Report.wrong > 0 then exit 1;
+  if report.Serve.Report.errors > 0 && not !expect_faults then begin
+    Printf.eprintf
+      "loadgen: %d Error replies without --expect-faults\n"
+      report.Serve.Report.errors;
+    exit 1
+  end

@@ -1,0 +1,143 @@
+(* Command-line client for a running serve_main instance.
+
+     bdd_client.exe (--socket PATH | --port N) ping
+     bdd_client.exe (--socket PATH | --port N) stats
+     bdd_client.exe (--socket PATH | --port N) compile FILE
+                    [--approx hb|sp|ua|rua --threshold N]
+                    [--reach [--max-iter N]]
+
+   `compile` uploads the BLIF file and prints the output handles; it can
+   then under-approximate the first output (`--approx`) and/or run
+   reachability on the compiled model (`--reach`).  One process = one
+   server session; handles are not meaningful across invocations. *)
+
+let fail fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "bdd_client: %s\n" msg;
+      exit 1)
+    fmt
+
+let usage () =
+  prerr_endline
+    "usage: bdd_client (--socket PATH | --port N)\n\
+    \       ping | stats | compile FILE [--approx hb|sp|ua|rua --threshold \
+     N] [--reach [--max-iter N]]";
+  exit 2
+
+let meth_of_string s =
+  match Approx.method_of_string s with
+  | Some m -> m
+  | None -> fail "unknown approximation method %s (want hb|sp|ua|rua|c1|c2)" s
+
+let pp_cert = function
+  | Serve.Proto.Exact -> "exact"
+  | Serve.Proto.Degraded rungs -> "degraded:" ^ String.concat "," rungs
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with Sys_error m -> fail "%s" m
+
+let () =
+  let bind = ref None
+  and cmd = ref None
+  and file = ref None
+  and approx = ref None
+  and threshold = ref 0
+  and reach = ref false
+  and max_iter = ref 0 in
+  let rec scan = function
+    | [] -> ()
+    | "--socket" :: path :: rest ->
+        bind := Some (Serve.Server.Unix_path path);
+        scan rest
+    | "--port" :: p :: rest ->
+        (match int_of_string_opt p with
+        | Some n when n >= 1 && n < 65536 -> bind := Some (Serve.Server.Tcp n)
+        | _ -> fail "--port wants 1..65535, got %s" p);
+        scan rest
+    | "--approx" :: m :: rest ->
+        approx := Some (meth_of_string m);
+        scan rest
+    | "--threshold" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some n when n >= 0 -> threshold := n
+        | _ -> fail "--threshold wants a non-negative integer, got %s" n);
+        scan rest
+    | "--reach" :: rest ->
+        reach := true;
+        scan rest
+    | "--max-iter" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some n when n >= 1 -> max_iter := n
+        | _ -> fail "--max-iter wants a positive integer, got %s" n);
+        scan rest
+    | (("ping" | "stats") as c) :: rest when !cmd = None ->
+        cmd := Some c;
+        scan rest
+    | "compile" :: path :: rest when !cmd = None ->
+        cmd := Some "compile";
+        file := Some path;
+        scan rest
+    | arg :: _ -> fail "unknown argument %s" arg
+  in
+  scan (List.tl (Array.to_list Sys.argv));
+  let bind = match !bind with Some b -> b | None -> usage () in
+  let cmd = match !cmd with Some c -> c | None -> usage () in
+  let c =
+    try Serve.Client.connect bind
+    with Unix.Unix_error (e, _, _) ->
+      fail "cannot connect: %s" (Unix.error_message e)
+  in
+  Fun.protect
+    ~finally:(fun () -> Serve.Client.close c)
+    (fun () ->
+      match cmd with
+      | "ping" ->
+          Serve.Client.ping c;
+          print_endline "pong"
+      | "stats" ->
+          List.iter
+            (fun (k, v) -> Printf.printf "%-28s %d\n" k v)
+            (Serve.Client.stats c)
+      | "compile" ->
+          let path = match !file with Some p -> p | None -> usage () in
+          let name = Filename.remove_extension (Filename.basename path) in
+          let handles = Serve.Client.compile c ~name ~blif:(read_file path) in
+          List.iter
+            (fun (out, id, size) ->
+              Printf.printf "%-24s handle=%d size=%d\n" out id size)
+            handles;
+          (match (!approx, handles) with
+          | Some meth, (out, id, size) :: _ -> (
+              match
+                Serve.Client.call c
+                  (Serve.Proto.Approx
+                     { meth; threshold = !threshold; handle = id })
+              with
+              | Serve.Proto.Handle { id = aid; size = asize; cert } ->
+                  Printf.printf
+                    "approx %s(%s)            handle=%d size=%d (was %d) [%s]\n"
+                    (Approx.method_name meth) out aid asize size (pp_cert cert)
+              | Serve.Proto.Error m -> fail "approx: %s" m
+              | _ -> fail "approx: unexpected reply")
+          | Some _, [] -> fail "nothing to approximate: no outputs"
+          | None, _ -> ());
+          if !reach then
+            (match
+               Serve.Client.call c
+                 (Serve.Proto.Reach { model = name; max_iter = !max_iter })
+             with
+            | Serve.Proto.Reach_done
+                { states; iterations; images; reached; reached_size; cert } ->
+                Printf.printf
+                  "reach: states=%.0f iterations=%d images=%d handle=%d \
+                   size=%d [%s]\n"
+                  states iterations images reached reached_size (pp_cert cert)
+            | Serve.Proto.Error m -> fail "reach: %s" m
+            | _ -> fail "reach: unexpected reply")
+      | _ -> usage ())

@@ -3,12 +3,17 @@
      obs_check.exe --trace FILE [--min-tracks N]
      obs_check.exe --metrics FILE [--prev FILE]
 
+     obs_check.exe --serve-bench FILE
+
    --trace checks the file is Chrome trace-event JSON with balanced
    begin/end spans and nondecreasing timestamps on every track (and at
    least N tracks, i.e. worker domains, when --min-tracks is given).
    --metrics checks the obs-metrics/v1 schema; with --prev, also that
-   every counter present in both snapshots is monotone.  Exit 1 on the
-   first failure — this is what `make trace-smoke` gates on. *)
+   every counter present in both snapshots is monotone.  --serve-bench
+   checks a bdd-serve-bench/v1 load-generator report (schema tag, field
+   presence, quantile monotonicity, zero wrong replies).  Exit 1 on the
+   first failure — this is what `make trace-smoke` and `make serve-smoke`
+   gate on. *)
 
 let fail fmt =
   Printf.ksprintf
@@ -69,11 +74,44 @@ let check_metrics path prev =
   if resil <> [] then
     Printf.printf "%s: resilience %s\n" path
       (String.concat " "
-         (List.map (fun (n, v) -> Printf.sprintf "%s=%.0f" n v) resil))
+         (List.map (fun (n, v) -> Printf.sprintf "%s=%.0f" n v) resil));
+  (* surface the serving story of the run: admission control and
+     degradation on the wire *)
+  let serve =
+    List.filter
+      (fun (name, _) ->
+        String.length name >= 6 && String.sub name 0 6 = "serve.")
+      (Obs.Metrics.counters_of_json j)
+  in
+  if serve <> [] then
+    Printf.printf "%s: serve %s\n" path
+      (String.concat " "
+         (List.map (fun (n, v) -> Printf.sprintf "%s=%.0f" n v) serve))
+
+let check_serve_bench path =
+  match Serve.Report.validate_file path with
+  | Error m -> fail "%s: %s" path m
+  | Ok () -> (
+      match Obs.Json.read_file path with
+      | exception _ -> Printf.printf "%s: valid %s report\n" path Serve.Report.schema
+      | j ->
+          let f name =
+            match Option.bind (Obs.Json.member name j) Obs.Json.to_float with
+            | Some v -> v
+            | None -> 0.0
+          in
+          Printf.printf
+            "%s: valid %s report — %.0f requests on %.0f connection(s), \
+             %.0f rps, p50/p95/p99 = %.0f/%.0f/%.0f us, rejected=%.0f \
+             degraded=%.0f errors=%.0f\n"
+            path Serve.Report.schema (f "requests") (f "connections")
+            (f "throughput_rps") (f "p50_us") (f "p95_us") (f "p99_us")
+            (f "rejected") (f "degraded") (f "errors"))
 
 let () =
   let trace = ref None
   and metrics = ref None
+  and serve_bench = ref None
   and prev = ref None
   and min_tracks = ref 1 in
   let rec parse = function
@@ -83,6 +121,9 @@ let () =
         parse rest
     | "--metrics" :: path :: rest ->
         metrics := Some path;
+        parse rest
+    | "--serve-bench" :: path :: rest ->
+        serve_bench := Some path;
         parse rest
     | "--prev" :: path :: rest ->
         prev := Some path;
@@ -96,11 +137,12 @@ let () =
     | arg :: _ ->
         fail
           "usage: obs_check [--trace FILE [--min-tracks N]] [--metrics FILE \
-           [--prev FILE]] (unknown argument %s)"
+           [--prev FILE]] [--serve-bench FILE] (unknown argument %s)"
           arg
   in
   parse (List.tl (Array.to_list Sys.argv));
-  if !trace = None && !metrics = None then
-    fail "nothing to do: pass --trace and/or --metrics";
+  if !trace = None && !metrics = None && !serve_bench = None then
+    fail "nothing to do: pass --trace, --metrics and/or --serve-bench";
   Option.iter (fun path -> check_trace path !min_tracks) !trace;
-  Option.iter (fun path -> check_metrics path !prev) !metrics
+  Option.iter (fun path -> check_metrics path !prev) !metrics;
+  Option.iter check_serve_bench !serve_bench

@@ -1,0 +1,125 @@
+(* The BDD service daemon.
+
+     serve_main.exe --socket PATH | --port N
+                    [--workers N] [--queue-depth N]
+                    [--request-node-budget N] [--request-deadline SECS]
+                    [--max-sessions N]
+                    [--metrics FILE] [--trace FILE] [--faults SPEC]
+
+   Serves until SIGTERM/SIGINT, then drains gracefully: stops accepting,
+   answers everything queued, joins the workers, and only then writes the
+   observability artifacts and exits 0.  `--faults` arms Resil.Fault
+   injection process-wide — the chaos contract is that injected crashes
+   surface as Error replies or Degraded certificates, never as a server
+   exit. *)
+
+let usage () =
+  prerr_endline
+    "usage: serve_main (--socket PATH | --port N) [--workers N]\n\
+    \       [--queue-depth N] [--request-node-budget N]\n\
+    \       [--request-deadline SECS] [--max-sessions N]\n\
+    \       [--metrics FILE] [--trace FILE] [--faults SPEC]";
+  exit 2
+
+let fail fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "serve_main: %s\n" msg;
+      exit 2)
+    fmt
+
+let pos_int flag s =
+  match int_of_string_opt s with
+  | Some n when n >= 1 -> n
+  | _ -> fail "%s wants a positive integer, got %s" flag s
+
+let () =
+  let bind = ref None
+  and workers = ref Serve.Server.default_config.workers
+  and queue_depth = ref Serve.Server.default_config.queue_depth
+  and node_budget = ref None
+  and deadline = ref None
+  and max_sessions = ref Serve.Server.default_config.max_sessions
+  and metrics = ref None
+  and trace = ref None
+  and faults = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--socket" :: path :: rest ->
+        bind := Some (Serve.Server.Unix_path path);
+        parse rest
+    | "--port" :: p :: rest ->
+        (match int_of_string_opt p with
+        | Some n when n >= 0 && n < 65536 -> bind := Some (Serve.Server.Tcp n)
+        | _ -> fail "--port wants 0..65535, got %s" p);
+        parse rest
+    | "--workers" :: n :: rest ->
+        workers := pos_int "--workers" n;
+        parse rest
+    | "--queue-depth" :: n :: rest ->
+        queue_depth := pos_int "--queue-depth" n;
+        parse rest
+    | "--request-node-budget" :: n :: rest ->
+        node_budget := Some (pos_int "--request-node-budget" n);
+        parse rest
+    | "--request-deadline" :: s :: rest ->
+        (match float_of_string_opt s with
+        | Some d when d > 0.0 -> deadline := Some d
+        | _ -> fail "--request-deadline wants positive seconds, got %s" s);
+        parse rest
+    | "--max-sessions" :: n :: rest ->
+        max_sessions := pos_int "--max-sessions" n;
+        parse rest
+    | "--metrics" :: path :: rest ->
+        metrics := Some path;
+        parse rest
+    | "--trace" :: path :: rest ->
+        trace := Some path;
+        parse rest
+    | "--faults" :: spec :: rest ->
+        (match Resil.Fault.config_of_string spec with
+        | Ok cfg -> faults := Some cfg
+        | Error m -> fail "--faults: %s" m);
+        parse rest
+    | arg :: _ ->
+        Printf.eprintf "serve_main: unknown argument %s\n" arg;
+        usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let bind = match !bind with Some b -> b | None -> usage () in
+  Resil.Fault.arm !faults;
+  if !metrics <> None then Obs.Metrics.set_recording true;
+  Option.iter (fun out -> Obs.Trace.start ~out ()) !trace;
+  let stop_flag = Atomic.make false in
+  let on_signal _ = Atomic.set stop_flag true in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+  let cfg =
+    {
+      Serve.Server.bind;
+      workers = !workers;
+      queue_depth = !queue_depth;
+      limits =
+        { Serve.Handler.node_budget = !node_budget; deadline = !deadline };
+      max_sessions = !max_sessions;
+      on_dispatch = None;
+    }
+  in
+  let server = Serve.Server.start cfg in
+  (match Serve.Server.address server with
+  | Unix.ADDR_UNIX path -> Printf.printf "serve_main: listening on %s\n%!" path
+  | Unix.ADDR_INET (_, port) ->
+      Printf.printf "serve_main: listening on 127.0.0.1:%d\n%!" port);
+  Serve.Server.run server ~stop:(fun () -> Atomic.get stop_flag);
+  Option.iter (fun path -> Obs.Metrics.write Obs.Metrics.default path) !metrics;
+  if !trace <> None then Obs.Trace.stop ();
+  Printf.printf
+    "serve_main: drained (accepted=%d requests=%d rejected=%d degraded=%d \
+     errors=%d faults_injected=%d)\n\
+     %!"
+    (Serve.Server.accepted server)
+    (Serve.Server.requests server)
+    (Serve.Server.rejected server)
+    (Serve.Server.degraded_replies server)
+    (Serve.Server.errors server)
+    (Resil.Fault.injected ())

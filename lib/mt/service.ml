@@ -1,0 +1,138 @@
+(* Persistent sharded worker pool (see the mli).
+
+   One mutex/condition pair per shard: submit and the shard's worker only
+   contend with each other, never with other shards.  The queues hold
+   closures, so the pool knows nothing about BDDs — the serve layer
+   captures its session state in the closure and relies on sharding for
+   single-domain access to it. *)
+
+module M = struct
+  open Obs
+
+  let reg = Metrics.default
+  let submitted = Metrics.counter reg "mt.service.submitted"
+  let rejected = Metrics.counter reg "mt.service.rejected"
+  let completed = Metrics.counter reg "mt.service.completed"
+  let crashed = Metrics.counter reg "mt.service.crashed"
+  let queue_depth = Metrics.histogram reg "mt.service.queue_depth"
+  let workers = Metrics.gauge reg "mt.service.workers"
+end
+
+type shard = {
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  queue : (unit -> unit) Queue.t;
+}
+
+type t = {
+  label : string;
+  depth : int;
+  shards : shard array;
+  mutable domains : unit Domain.t array;
+  mutable stop : bool;  (* set under every shard lock, read under one *)
+  done_count : int Atomic.t;
+  drain_lock : Mutex.t;
+  mutable drained : bool;
+}
+
+let workers t = Array.length t.shards
+let completed t = Atomic.get t.done_count
+let draining t = t.stop
+
+let worker t i () =
+  let sh = t.shards.(i) in
+  Obs.Trace.with_span
+    (Printf.sprintf "%s.worker %d" t.label i)
+    (fun () ->
+      let rec loop () =
+        Mutex.lock sh.lock;
+        while Queue.is_empty sh.queue && not t.stop do
+          Condition.wait sh.nonempty sh.lock
+        done;
+        (* draining still empties the queue: graceful, not abandonment *)
+        match Queue.take_opt sh.queue with
+        | None ->
+            Mutex.unlock sh.lock;
+            () (* stop && empty: queues only drain once stop is set *)
+        | Some work ->
+            Mutex.unlock sh.lock;
+            (try work ()
+             with _ ->
+               if Obs.Metrics.recording () then Obs.Metrics.inc M.crashed 1);
+            ignore (Atomic.fetch_and_add t.done_count 1);
+            if Obs.Metrics.recording () then Obs.Metrics.inc M.completed 1;
+            loop ()
+      in
+      loop ())
+
+let create ?(label = "mt.service") ~workers ~queue_depth () =
+  if workers < 1 then invalid_arg "Mt.Service.create: workers < 1";
+  if queue_depth < 1 then invalid_arg "Mt.Service.create: queue_depth < 1";
+  let shards =
+    Array.init workers (fun _ ->
+        {
+          lock = Mutex.create ();
+          nonempty = Condition.create ();
+          queue = Queue.create ();
+        })
+  in
+  let t =
+    {
+      label;
+      depth = queue_depth;
+      shards;
+      domains = [||];
+      stop = false;
+      done_count = Atomic.make 0;
+      drain_lock = Mutex.create ();
+      drained = false;
+    }
+  in
+  t.domains <- Array.init workers (fun i -> Domain.spawn (worker t i));
+  if Obs.Metrics.recording () then Obs.Metrics.set M.workers workers;
+  t
+
+let submit t ~shard work =
+  let sh = t.shards.(((shard mod workers t) + workers t) mod workers t) in
+  Mutex.lock sh.lock;
+  let accepted =
+    if t.stop || Queue.length sh.queue >= t.depth then false
+    else begin
+      Queue.add work sh.queue;
+      Condition.signal sh.nonempty;
+      true
+    end
+  in
+  let depth = Queue.length sh.queue in
+  Mutex.unlock sh.lock;
+  if Obs.Metrics.recording () then begin
+    Obs.Metrics.inc (if accepted then M.submitted else M.rejected) 1;
+    Obs.Metrics.observe M.queue_depth depth
+  end;
+  accepted
+
+let pending t =
+  Array.fold_left
+    (fun acc sh ->
+      Mutex.lock sh.lock;
+      let n = Queue.length sh.queue in
+      Mutex.unlock sh.lock;
+      acc + n)
+    0 t.shards
+
+let drain t =
+  Mutex.lock t.drain_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.drain_lock)
+    (fun () ->
+      if not t.drained then begin
+        Array.iter
+          (fun sh ->
+            Mutex.lock sh.lock;
+            t.stop <- true;
+            Condition.broadcast sh.nonempty;
+            Mutex.unlock sh.lock)
+          t.shards;
+        Array.iter Domain.join t.domains;
+        t.drained <- true
+      end)

@@ -1,0 +1,57 @@
+(** Persistent sharded worker pool — the long-lived sibling of
+    {!Runner.run}.
+
+    {!Runner.run} is a batch primitive: it spawns workers, executes one
+    job list and joins.  A server cannot pay that spawn/join cost per
+    request, so {!create} brings up [workers] domains that live until
+    {!drain} and pull closures from per-worker bounded queues.
+
+    Work is {e sharded}, not stolen: {!submit} targets an explicit shard
+    (callers route a session's requests to [session_id mod workers]), so
+    everything submitted to one shard runs on one domain, in submission
+    order.  That ordering is the concurrency contract the serve layer's
+    per-session BDD managers rely on — a session's manager is only ever
+    touched by its shard's domain, so hash-consing needs no locks, exactly
+    as with {!Runner}'s private per-job managers.
+
+    Each queue is bounded by [queue_depth]: {!submit} on a full (or
+    draining) shard returns [false] immediately instead of buffering —
+    admission control happens at the caller, which can answer
+    "overloaded" while the system is still healthy.
+
+    A closure that raises does not kill its worker: the exception is
+    recorded ([mt.service.crashed]) and the worker moves on.
+
+    When {!Obs.Metrics} recording is on, the pool feeds
+    [mt.service.submitted / rejected / completed / crashed] counters and a
+    [mt.service.queue_depth] histogram (sampled at submit); each worker
+    domain runs inside an [mt.service.worker i] span so pools get Perfetto
+    lanes like {!Runner} workers do. *)
+
+type t
+
+val create : ?label:string -> workers:int -> queue_depth:int -> unit -> t
+(** Spawn [workers] domains (>= 1) with room for [queue_depth] (>= 1)
+    pending closures each.  [label] names the trace spans.
+    @raise Invalid_argument on a non-positive worker count or depth. *)
+
+val workers : t -> int
+
+val submit : t -> shard:int -> (unit -> unit) -> bool
+(** Enqueue a closure on shard [shard mod workers].  [false] when that
+    queue is full or the pool is draining — the closure will never run.
+    Never blocks. *)
+
+val pending : t -> int
+(** Total closures queued (not yet started), summed over shards. *)
+
+val completed : t -> int
+(** Closures finished (including ones that raised), over the pool's
+    lifetime. *)
+
+val draining : t -> bool
+
+val drain : t -> unit
+(** Graceful shutdown: reject new submissions, run everything already
+    queued, then join the worker domains.  Idempotent; concurrent callers
+    all block until the pool is down. *)

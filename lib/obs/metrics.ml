@@ -115,6 +115,22 @@ let counter_value c = sum c.c_cells
 let gauge_value g = Atomic.get g.g_cell
 let histogram_count h = sum h.h_count
 
+let quantile h p =
+  let total = histogram_count h in
+  if total = 0 then 0
+  else
+    let target =
+      let t = int_of_float (ceil (p *. float_of_int total)) in
+      max 1 (min total t)
+    in
+    let rec walk b cum =
+      if b >= nbins then max_int
+      else
+        let cum = cum + Atomic.get h.h_bins.(b) in
+        if cum >= target then (1 lsl b) - 1 else walk (b + 1) cum
+    in
+    walk 0 0
+
 let record_stats t ~prefix stats =
   List.iter (fun (key, v) -> set (gauge t (prefix ^ "." ^ key)) v) stats
 

@@ -54,6 +54,13 @@ val counter_value : counter -> int
 val gauge_value : gauge -> int
 val histogram_count : histogram -> int
 
+val quantile : histogram -> float -> int
+(** [quantile h p] (p ∈ [0, 1]) estimates the p-quantile of the observed
+    values from the log-binned counts: the upper bound of the first bin
+    whose cumulative count reaches [p] of the total (an overestimate by at
+    most 2x, the bin width).  0 when nothing was observed.  Used by the
+    serve layer to report latency percentiles without keeping samples. *)
+
 val record_stats : t -> prefix:string -> (string * int) list -> unit
 (** Surface a [Bdd.stats]-style snapshot as gauges named
     [prefix ^ "." ^ key]. *)

@@ -1,0 +1,87 @@
+(* Blocking client (see the mli). *)
+
+type t = { fd : Unix.file_descr; mutable closed : bool }
+
+let connect_sockaddr addr =
+  let domain =
+    match addr with Unix.ADDR_UNIX _ -> Unix.PF_UNIX | _ -> Unix.PF_INET
+  in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd addr
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd; closed = false }
+
+let connect = function
+  | Server.Unix_path path -> connect_sockaddr (Unix.ADDR_UNIX path)
+  | Server.Tcp port ->
+      connect_sockaddr (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let post t req = Proto.write_frame t.fd (Proto.encode_request req)
+
+let receive t =
+  match Proto.read_frame t.fd with
+  | None -> raise End_of_file
+  | Some frame -> Proto.decode_reply frame
+
+let call t req =
+  post t req;
+  receive t
+
+(* --- wrappers --------------------------------------------------------- *)
+
+let unexpected what reply =
+  match reply with
+  | Proto.Error m -> failwith (Printf.sprintf "%s: server error: %s" what m)
+  | Proto.Overloaded -> failwith (Printf.sprintf "%s: server overloaded" what)
+  | r -> failwith (Format.asprintf "%s: unexpected reply %a" what Proto.pp_reply r)
+
+let ping t =
+  match call t Proto.Ping with Proto.Pong -> () | r -> unexpected "ping" r
+
+let lit t ?(phase = true) var =
+  match call t (Proto.Lit { var; phase }) with
+  | Proto.Handle { id; _ } -> id
+  | r -> unexpected "lit" r
+
+let apply t op =
+  match call t (Proto.Apply op) with
+  | Proto.Handle { id; cert; _ } -> (id, cert)
+  | r -> unexpected "apply" r
+
+let fetch t handle =
+  match call t (Proto.Fetch { handle }) with
+  | Proto.Bdd_payload { bdd } -> bdd
+  | r -> unexpected "fetch" r
+
+let put t bdd =
+  match call t (Proto.Put { bdd }) with
+  | Proto.Handle { id; _ } -> id
+  | r -> unexpected "put" r
+
+let count t ~handle ~nvars =
+  match call t (Proto.Count { handle; nvars }) with
+  | Proto.Count_is n -> n
+  | r -> unexpected "count" r
+
+let free t handles =
+  match call t (Proto.Free { handles }) with
+  | Proto.Freed n -> n
+  | r -> unexpected "free" r
+
+let compile t ~name ~blif =
+  match call t (Proto.Compile { name; blif }) with
+  | Proto.Handles hs -> hs
+  | r -> unexpected "compile" r
+
+let stats t =
+  match call t Proto.Stats with
+  | Proto.Stats_are kvs -> kvs
+  | r -> unexpected "stats" r

@@ -1,0 +1,49 @@
+(** Blocking client for the BDD service.
+
+    One connection = one server session (a private manager and handle
+    namespace).  {!call} is the strict request/reply cycle; {!post} /
+    {!receive} split it for pipelining (the load generator uses that to
+    probe admission control).  Not thread-safe: one connection per
+    thread, which is also the closed-loop shape of {!module:Server}'s
+    intended clients. *)
+
+type t
+
+val connect : Server.bind -> t
+(** Connect to a {!Server.bind} address ([Tcp] dials loopback).
+    @raise Unix.Unix_error when nobody is listening. *)
+
+val connect_sockaddr : Unix.sockaddr -> t
+
+val close : t -> unit
+
+val call : t -> Proto.request -> Proto.reply
+(** Send one request and block for its reply.
+    @raise End_of_file when the server hung up;
+    @raise Proto.Bad_frame on a corrupt reply (close the connection). *)
+
+val post : t -> Proto.request -> unit
+(** Send without waiting.  Replies come back in request order (except
+    that [Overloaded] rejections and inline [Pong]s can overtake queued
+    work — pipelining callers must match replies by kind, or just count
+    them). *)
+
+val receive : t -> Proto.reply
+(** Block for the next reply. *)
+
+(** {1 Convenience wrappers}
+
+    Each sends one request and @raise Failure on an [Error]/[Overloaded]
+    or unexpected-shape reply. *)
+
+val ping : t -> unit
+val lit : t -> ?phase:bool -> int -> int
+(** Returns the handle. *)
+
+val apply : t -> Proto.op -> int * Proto.cert
+val fetch : t -> int -> string
+val put : t -> string -> int
+val count : t -> handle:int -> nvars:int -> float
+val free : t -> int list -> int
+val compile : t -> name:string -> blif:string -> (string * int * int) list
+val stats : t -> (string * int) list

@@ -1,0 +1,44 @@
+(** Request execution against a session — the server with the sockets
+    taken away.
+
+    {!handle} never raises and never corrupts the session: any failure
+    (unknown handle, malformed BLIF, a blown budget the ladder cannot
+    rescue, an injected fault) comes back as {!Proto.Error}, and the
+    manager is left consistent, so the next request on the same session
+    runs unharmed.  The in-process tests and the server share this code
+    path, which is what makes the server's replies spot-checkable against
+    an oracle.
+
+    {2 Degradation on the wire}
+
+    Requests that build BDDs run under the per-request {!limits}: a node
+    budget (ceiling = live nodes at request start + budget) and a
+    wall-clock deadline enforced via {!Bdd.set_tick}.  When the exact
+    computation blows a limit, the handler walks a {!Resil.Degrade}-style
+    ladder: collect the session's garbage and retry; then — for requests
+    whose results are monotone in their operands ([And], [Or], [Exists],
+    [Approx]) — retry on heavy-branch under-approximated operands at
+    geometrically shrinking thresholds.  A rescued reply carries
+    [Degraded ["HB\@512"]] and its BDD is a {e sound under-approximation}
+    (a subset) of the exact answer; non-monotone requests ([Not], [Xor],
+    [Ite], [Forall], [Decomp], [Compile], [Put]) stop after the gc rung
+    and reply [Error] rather than return an unsound result. *)
+
+type limits = {
+  node_budget : int option;  (** fresh nodes allowed per request *)
+  deadline : float option;  (** wall-clock seconds per request *)
+}
+
+val no_limits : limits
+
+val handle :
+  ?stats_extra:(unit -> (string * int) list) ->
+  limits ->
+  Session.t ->
+  Proto.request ->
+  Proto.reply
+(** Execute one request.  [stats_extra] is appended to [Stats] replies
+    (the server injects its process-wide counters there). *)
+
+val degraded : Proto.reply -> bool
+(** The reply carries a [Degraded] certificate (for metrics). *)

@@ -1,0 +1,575 @@
+(* Wire protocol codec (see the mli for the frame grammar).
+
+   Decoding is paranoid by construction: every read checks its bounds,
+   the body must be consumed exactly, and the whole frame is covered by a
+   CRC-32 — the same discipline as Resil.Checkpoint, so the corruption
+   properties of test_serialize.ml carry over to every frame kind. *)
+
+exception Bad_frame of string
+
+let bad fmt = Printf.ksprintf (fun s -> raise (Bad_frame s)) fmt
+
+type op =
+  | Not of int
+  | And of int * int
+  | Or of int * int
+  | Xor of int * int
+  | Ite of int * int * int
+  | Exists of int list * int
+  | Forall of int list * int
+
+type request =
+  | Ping
+  | Lit of { var : int; phase : bool }
+  | Put of { bdd : string }
+  | Fetch of { handle : int }
+  | Apply of op
+  | Compile of { name : string; blif : string }
+  | Approx of { meth : Approx.meth; threshold : int; handle : int }
+  | Decomp of { handle : int; disjunctive : bool }
+  | Reach of { model : string; max_iter : int }
+  | Count of { handle : int; nvars : int }
+  | Sat of { handle : int }
+  | Free of { handles : int list }
+  | Stats
+
+type cert = Exact | Degraded of string list
+
+type reply =
+  | Pong
+  | Handle of { id : int; size : int; cert : cert }
+  | Bdd_payload of { bdd : string }
+  | Handles of (string * int * int) list
+  | Pair of { g : int; g_size : int; h : int; h_size : int; shared : int }
+  | Reach_done of {
+      states : float;
+      iterations : int;
+      images : int;
+      reached : int;
+      reached_size : int;
+      cert : cert;
+    }
+  | Count_is of float
+  | Sat_is of (int * bool) list option
+  | Stats_are of (string * int) list
+  | Freed of int
+  | Error of string
+  | Overloaded
+
+(* --- printers -------------------------------------------------------- *)
+
+let pp_op fmt = function
+  | Not a -> Format.fprintf fmt "not %d" a
+  | And (a, b) -> Format.fprintf fmt "and %d %d" a b
+  | Or (a, b) -> Format.fprintf fmt "or %d %d" a b
+  | Xor (a, b) -> Format.fprintf fmt "xor %d %d" a b
+  | Ite (a, b, c) -> Format.fprintf fmt "ite %d %d %d" a b c
+  | Exists (vs, a) ->
+      Format.fprintf fmt "exists [%s] %d"
+        (String.concat "," (List.map string_of_int vs))
+        a
+  | Forall (vs, a) ->
+      Format.fprintf fmt "forall [%s] %d"
+        (String.concat "," (List.map string_of_int vs))
+        a
+
+let pp_request fmt = function
+  | Ping -> Format.pp_print_string fmt "ping"
+  | Lit { var; phase } ->
+      Format.fprintf fmt "lit %s%d" (if phase then "" else "!") var
+  | Put { bdd } -> Format.fprintf fmt "put <%d bytes>" (String.length bdd)
+  | Fetch { handle } -> Format.fprintf fmt "fetch %d" handle
+  | Apply op -> Format.fprintf fmt "apply (%a)" pp_op op
+  | Compile { name; blif } ->
+      Format.fprintf fmt "compile %s <%d bytes>" name (String.length blif)
+  | Approx { meth; threshold; handle } ->
+      Format.fprintf fmt "approx %s@%d %d" (Approx.method_name meth) threshold
+        handle
+  | Decomp { handle; disjunctive } ->
+      Format.fprintf fmt "decomp%s %d" (if disjunctive then " -disj" else "")
+        handle
+  | Reach { model; max_iter } ->
+      Format.fprintf fmt "reach %s max_iter=%d" model max_iter
+  | Count { handle; nvars } ->
+      Format.fprintf fmt "count %d over %d vars" handle nvars
+  | Sat { handle } -> Format.fprintf fmt "sat %d" handle
+  | Free { handles } ->
+      Format.fprintf fmt "free [%s]"
+        (String.concat "," (List.map string_of_int handles))
+  | Stats -> Format.pp_print_string fmt "stats"
+
+let pp_cert fmt = function
+  | Exact -> Format.pp_print_string fmt "exact"
+  | Degraded rungs ->
+      Format.fprintf fmt "degraded(%s)" (String.concat ";" rungs)
+
+let pp_reply fmt = function
+  | Pong -> Format.pp_print_string fmt "pong"
+  | Handle { id; size; cert } ->
+      Format.fprintf fmt "handle %d size=%d %a" id size pp_cert cert
+  | Bdd_payload { bdd } ->
+      Format.fprintf fmt "bdd <%d bytes>" (String.length bdd)
+  | Handles hs ->
+      Format.fprintf fmt "handles [%s]"
+        (String.concat "; "
+           (List.map
+              (fun (n, id, sz) -> Printf.sprintf "%s=%d(%d)" n id sz)
+              hs))
+  | Pair { g; g_size; h; h_size; shared } ->
+      Format.fprintf fmt "pair g=%d(%d) h=%d(%d) shared=%d" g g_size h h_size
+        shared
+  | Reach_done { states; iterations; images; reached; reached_size; cert } ->
+      Format.fprintf fmt
+        "reach %.0f states in %d iterations (%d images) -> %d(%d) %a" states
+        iterations images reached reached_size pp_cert cert
+  | Count_is n -> Format.fprintf fmt "count %.0f" n
+  | Sat_is None -> Format.pp_print_string fmt "unsat"
+  | Sat_is (Some cube) ->
+      Format.fprintf fmt "sat [%s]"
+        (String.concat ","
+           (List.map
+              (fun (v, b) -> Printf.sprintf "%s%d" (if b then "" else "!") v)
+              cube))
+  | Stats_are kvs -> Format.fprintf fmt "stats (%d keys)" (List.length kvs)
+  | Freed n -> Format.fprintf fmt "freed %d" n
+  | Error m -> Format.fprintf fmt "error %S" m
+  | Overloaded -> Format.pp_print_string fmt "overloaded"
+
+(* --- body encoding primitives ---------------------------------------- *)
+
+let add_varint buf n =
+  if n < 0 then invalid_arg "Serve.Proto: negative integer";
+  let rec go n =
+    if n < 0x80 then Buffer.add_char buf (Char.chr n)
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (n land 0x7f)));
+      go (n lsr 7)
+    end
+  in
+  go n
+
+let add_zigzag buf n = add_varint buf ((n lsl 1) lxor (n asr 62))
+let add_bool buf b = Buffer.add_char buf (if b then '\001' else '\000')
+
+let add_str buf s =
+  add_varint buf (String.length s);
+  Buffer.add_string buf s
+
+let add_f64 buf f = Buffer.add_int64_le buf (Int64.bits_of_float f)
+
+let add_list buf add xs =
+  add_varint buf (List.length xs);
+  List.iter (add buf) xs
+
+type reader = { body : string; mutable pos : int }
+
+let r_varint r =
+  let len = String.length r.body in
+  let rec go shift acc =
+    if r.pos >= len then bad "truncated integer";
+    if shift > 62 then bad "integer overflow";
+    let b = Char.code r.body.[r.pos] in
+    r.pos <- r.pos + 1;
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  go 0 0
+
+let r_zigzag r =
+  let n = r_varint r in
+  (n lsr 1) lxor (-(n land 1))
+
+let r_bool r =
+  if r.pos >= String.length r.body then bad "truncated boolean";
+  let c = r.body.[r.pos] in
+  r.pos <- r.pos + 1;
+  match c with
+  | '\000' -> false
+  | '\001' -> true
+  | c -> bad "bad boolean byte %d" (Char.code c)
+
+let r_str r =
+  let n = r_varint r in
+  if n > String.length r.body - r.pos then bad "truncated string";
+  let s = String.sub r.body r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let r_f64 r =
+  if r.pos + 8 > String.length r.body then bad "truncated float";
+  let bits = String.get_int64_le r.body r.pos in
+  r.pos <- r.pos + 8;
+  Int64.float_of_bits bits
+
+let r_list r elt =
+  let n = r_varint r in
+  (* an adversarial count cannot exceed the bytes that must back it *)
+  if n > String.length r.body - r.pos then bad "list longer than body";
+  List.init n (fun _ -> elt r)
+
+(* --- framing ---------------------------------------------------------- *)
+
+let magic = "BSV1"
+let version = 1
+let max_frame = 1 lsl 26
+let header_len = 4 + 1 + 4
+let trailer_len = 4
+
+let frame body =
+  if String.length body > max_frame then
+    invalid_arg "Serve.Proto: frame body over max_frame";
+  let buf = Buffer.create (String.length body + header_len + trailer_len) in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf (Char.chr version);
+  Buffer.add_int32_le buf (Int32.of_int (String.length body));
+  Buffer.add_string buf body;
+  Buffer.add_int32_le buf
+    (Int32.of_int (Resil.Checkpoint.crc32 (Buffer.contents buf)));
+  Buffer.contents buf
+
+let check_header s =
+  (* [s] holds at least the header; returns the announced body length *)
+  if String.sub s 0 4 <> magic then bad "bad magic";
+  let v = Char.code s.[4] in
+  if v <> version then bad "unsupported protocol version %d" v;
+  let blen = Int32.to_int (String.get_int32_le s 5) land 0xFFFFFFFF in
+  if blen > max_frame then bad "announced body of %d bytes over limit" blen;
+  blen
+
+let unframe s =
+  let len = String.length s in
+  if len < header_len + trailer_len then bad "frame too short (%d bytes)" len;
+  let blen = check_header s in
+  if len <> header_len + blen + trailer_len then
+    bad "frame length mismatch (announced %d, got %d)" blen
+      (len - header_len - trailer_len);
+  let stored = Int32.to_int (String.get_int32_le s (len - 4)) land 0xFFFFFFFF in
+  let actual = Resil.Checkpoint.crc32 (String.sub s 0 (len - 4)) in
+  if stored <> actual then
+    bad "frame checksum mismatch (stored %08x, computed %08x)" stored actual;
+  String.sub s header_len blen
+
+let decode_body what s parse =
+  let r = { body = unframe s; pos = 0 } in
+  let v = parse r in
+  if r.pos <> String.length r.body then
+    bad "%d trailing byte(s) after %s" (String.length r.body - r.pos) what;
+  v
+
+(* --- requests --------------------------------------------------------- *)
+
+let encode_request req =
+  let buf = Buffer.create 64 in
+  (match req with
+  | Ping -> add_varint buf 0
+  | Lit { var; phase } ->
+      add_varint buf 1;
+      add_varint buf var;
+      add_bool buf phase
+  | Put { bdd } ->
+      add_varint buf 2;
+      add_str buf bdd
+  | Fetch { handle } ->
+      add_varint buf 3;
+      add_varint buf handle
+  | Apply op ->
+      add_varint buf 4;
+      (match op with
+      | Not a ->
+          add_varint buf 0;
+          add_varint buf a
+      | And (a, b) ->
+          add_varint buf 1;
+          add_varint buf a;
+          add_varint buf b
+      | Or (a, b) ->
+          add_varint buf 2;
+          add_varint buf a;
+          add_varint buf b
+      | Xor (a, b) ->
+          add_varint buf 3;
+          add_varint buf a;
+          add_varint buf b
+      | Ite (a, b, c) ->
+          add_varint buf 4;
+          add_varint buf a;
+          add_varint buf b;
+          add_varint buf c
+      | Exists (vs, a) ->
+          add_varint buf 5;
+          add_list buf add_varint vs;
+          add_varint buf a
+      | Forall (vs, a) ->
+          add_varint buf 6;
+          add_list buf add_varint vs;
+          add_varint buf a)
+  | Compile { name; blif } ->
+      add_varint buf 5;
+      add_str buf name;
+      add_str buf blif
+  | Approx { meth; threshold; handle } ->
+      add_varint buf 6;
+      add_str buf (Approx.method_name meth);
+      add_varint buf threshold;
+      add_varint buf handle
+  | Decomp { handle; disjunctive } ->
+      add_varint buf 7;
+      add_varint buf handle;
+      add_bool buf disjunctive
+  | Reach { model; max_iter } ->
+      add_varint buf 8;
+      add_str buf model;
+      add_varint buf max_iter
+  | Count { handle; nvars } ->
+      add_varint buf 9;
+      add_varint buf handle;
+      add_varint buf nvars
+  | Sat { handle } ->
+      add_varint buf 10;
+      add_varint buf handle
+  | Free { handles } ->
+      add_varint buf 11;
+      add_list buf add_varint handles
+  | Stats -> add_varint buf 12);
+  frame (Buffer.contents buf)
+
+let decode_request s =
+  decode_body "request" s (fun r ->
+      match r_varint r with
+      | 0 -> Ping
+      | 1 ->
+          let var = r_varint r in
+          let phase = r_bool r in
+          Lit { var; phase }
+      | 2 -> Put { bdd = r_str r }
+      | 3 -> Fetch { handle = r_varint r }
+      | 4 ->
+          Apply
+            (match r_varint r with
+            | 0 -> Not (r_varint r)
+            | 1 ->
+                let a = r_varint r in
+                And (a, r_varint r)
+            | 2 ->
+                let a = r_varint r in
+                Or (a, r_varint r)
+            | 3 ->
+                let a = r_varint r in
+                Xor (a, r_varint r)
+            | 4 ->
+                let a = r_varint r in
+                let b = r_varint r in
+                Ite (a, b, r_varint r)
+            | 5 ->
+                let vs = r_list r r_varint in
+                Exists (vs, r_varint r)
+            | 6 ->
+                let vs = r_list r r_varint in
+                Forall (vs, r_varint r)
+            | n -> bad "unknown apply opcode %d" n)
+      | 5 ->
+          let name = r_str r in
+          Compile { name; blif = r_str r }
+      | 6 ->
+          let m = r_str r in
+          let meth =
+            match Approx.method_of_string m with
+            | Some meth -> meth
+            | None -> bad "unknown approximation method %S" m
+          in
+          let threshold = r_varint r in
+          Approx { meth; threshold; handle = r_varint r }
+      | 7 ->
+          let handle = r_varint r in
+          Decomp { handle; disjunctive = r_bool r }
+      | 8 ->
+          let model = r_str r in
+          Reach { model; max_iter = r_varint r }
+      | 9 ->
+          let handle = r_varint r in
+          Count { handle; nvars = r_varint r }
+      | 10 -> Sat { handle = r_varint r }
+      | 11 -> Free { handles = r_list r r_varint }
+      | 12 -> Stats
+      | n -> bad "unknown request opcode %d" n)
+
+(* --- replies ---------------------------------------------------------- *)
+
+let add_cert buf = function
+  | Exact -> add_varint buf 0
+  | Degraded rungs ->
+      add_varint buf 1;
+      add_list buf add_str rungs
+
+let r_cert r =
+  match r_varint r with
+  | 0 -> Exact
+  | 1 -> Degraded (r_list r r_str)
+  | n -> bad "unknown certificate tag %d" n
+
+let encode_reply rep =
+  let buf = Buffer.create 64 in
+  (match rep with
+  | Pong -> add_varint buf 0
+  | Handle { id; size; cert } ->
+      add_varint buf 1;
+      add_varint buf id;
+      add_varint buf size;
+      add_cert buf cert
+  | Bdd_payload { bdd } ->
+      add_varint buf 2;
+      add_str buf bdd
+  | Handles hs ->
+      add_varint buf 3;
+      add_list buf
+        (fun buf (name, id, size) ->
+          add_str buf name;
+          add_varint buf id;
+          add_varint buf size)
+        hs
+  | Pair { g; g_size; h; h_size; shared } ->
+      add_varint buf 4;
+      add_varint buf g;
+      add_varint buf g_size;
+      add_varint buf h;
+      add_varint buf h_size;
+      add_varint buf shared
+  | Reach_done { states; iterations; images; reached; reached_size; cert } ->
+      add_varint buf 5;
+      add_f64 buf states;
+      add_varint buf iterations;
+      add_varint buf images;
+      add_varint buf reached;
+      add_varint buf reached_size;
+      add_cert buf cert
+  | Count_is n ->
+      add_varint buf 6;
+      add_f64 buf n
+  | Sat_is cube ->
+      add_varint buf 7;
+      (match cube with
+      | None -> add_bool buf false
+      | Some lits ->
+          add_bool buf true;
+          add_list buf
+            (fun buf (v, b) ->
+              add_varint buf v;
+              add_bool buf b)
+            lits)
+  | Stats_are kvs ->
+      add_varint buf 8;
+      add_list buf
+        (fun buf (k, v) ->
+          add_str buf k;
+          add_zigzag buf v)
+        kvs
+  | Freed n ->
+      add_varint buf 9;
+      add_varint buf n
+  | Error m ->
+      add_varint buf 10;
+      add_str buf m
+  | Overloaded -> add_varint buf 11);
+  frame (Buffer.contents buf)
+
+let decode_reply s =
+  decode_body "reply" s (fun r ->
+      match r_varint r with
+      | 0 -> Pong
+      | 1 ->
+          let id = r_varint r in
+          let size = r_varint r in
+          Handle { id; size; cert = r_cert r }
+      | 2 -> Bdd_payload { bdd = r_str r }
+      | 3 ->
+          Handles
+            (r_list r (fun r ->
+                 let name = r_str r in
+                 let id = r_varint r in
+                 (name, id, r_varint r)))
+      | 4 ->
+          let g = r_varint r in
+          let g_size = r_varint r in
+          let h = r_varint r in
+          let h_size = r_varint r in
+          Pair { g; g_size; h; h_size; shared = r_varint r }
+      | 5 ->
+          let states = r_f64 r in
+          let iterations = r_varint r in
+          let images = r_varint r in
+          let reached = r_varint r in
+          let reached_size = r_varint r in
+          Reach_done
+            { states; iterations; images; reached; reached_size;
+              cert = r_cert r }
+      | 6 -> Count_is (r_f64 r)
+      | 7 ->
+          Sat_is
+            (if r_bool r then
+               Some
+                 (r_list r (fun r ->
+                      let v = r_varint r in
+                      (v, r_bool r)))
+             else None)
+      | 8 ->
+          Stats_are
+            (r_list r (fun r ->
+                 let k = r_str r in
+                 (k, r_zigzag r)))
+      | 9 -> Freed (r_varint r)
+      | 10 -> Error (r_str r)
+      | 11 -> Overloaded
+      | n -> bad "unknown reply opcode %d" n)
+
+(* --- transport -------------------------------------------------------- *)
+
+let rec retry_read fd buf off len =
+  try Unix.read fd buf off len
+  with Unix.Unix_error (Unix.EINTR, _, _) -> retry_read fd buf off len
+
+(* Fill exactly [len] bytes; [`Eof n] reports how many arrived first. *)
+let really_read fd buf off len =
+  let rec go off len =
+    if len = 0 then `Ok
+    else
+      match retry_read fd buf off len with
+      | 0 -> `Eof (off + len - len)
+      | n -> go (off + n) (len - n)
+  in
+  go off len
+
+let read_frame fd =
+  let header = Bytes.create header_len in
+  match retry_read fd header 0 header_len with
+  | 0 -> None
+  | n ->
+      let fill_header =
+        if n = header_len then `Ok
+        else
+          match really_read fd header n (header_len - n) with
+          | `Ok -> `Ok
+          | `Eof _ -> `Eof
+      in
+      (match fill_header with
+      | `Eof -> bad "EOF inside frame header"
+      | `Ok -> ());
+      let hs = Bytes.to_string header in
+      let blen = check_header hs in
+      let rest = Bytes.create (blen + trailer_len) in
+      (match really_read fd rest 0 (blen + trailer_len) with
+      | `Ok -> ()
+      | `Eof _ -> bad "EOF inside frame body");
+      Some (hs ^ Bytes.to_string rest)
+
+let write_frame fd s =
+  let len = String.length s in
+  let rec go off =
+    if off < len then begin
+      let n =
+        try Unix.write_substring fd s off (len - off)
+        with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+      in
+      go (off + n)
+    end
+  in
+  go 0

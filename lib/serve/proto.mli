@@ -1,0 +1,112 @@
+(** The BDD service wire protocol: length-prefixed, checksummed binary
+    frames.
+
+    Frame layout (both directions):
+
+    {v "BSV1" ++ u8 version ++ le32 body-length ++ body ++ le32 crc v}
+
+    with the CRC-32 ({!Resil.Checkpoint.crc32}) taken over everything
+    before it — body, magic, version and length — the same trailer
+    discipline as {!Resil.Checkpoint}, so a flipped bit or a torn write
+    anywhere in a frame raises {!Bad_frame} and can never decode into a
+    different well-formed message.  Bodies are opcode-tagged and use the
+    LEB128 varints of {!Bdd.serialized_to_string}; BDD payloads ({!Put},
+    {!Fetch}) travel as [Bdd.export] bytes and are revalidated by
+    [Bdd.import] on arrival.
+
+    Handles are small per-session integers naming BDDs that live in the
+    session's private manager on the server; sessions never see each
+    other's handles (see DESIGN.md §Serving).
+
+    Every reply that may have walked the degradation ladder carries a
+    {!cert}: [Exact], or [Degraded rungs] — the result is a sound
+    under-approximation of the exact answer and [rungs] names the relief
+    measures taken (["gc"], ["HB\@512"], …), mirroring
+    {!Resil.Degrade}. *)
+
+exception Bad_frame of string
+(** Malformed frame or body: bad magic, unsupported version, length
+    mismatch, checksum mismatch, unknown opcode, truncated or trailing
+    body bytes.  A peer receiving this on decode must treat the
+    connection as desynchronized and close it. *)
+
+(** Handle-level BDD operations ({!Apply}). *)
+type op =
+  | Not of int
+  | And of int * int
+  | Or of int * int
+  | Xor of int * int
+  | Ite of int * int * int
+  | Exists of int list * int  (** quantified variable indices, operand *)
+  | Forall of int list * int
+
+type request =
+  | Ping
+  | Lit of { var : int; phase : bool }
+      (** the positive ([phase]) or negative literal of variable [var] *)
+  | Put of { bdd : string }  (** [Bdd.serialized_to_string] bytes *)
+  | Fetch of { handle : int }
+  | Apply of op
+  | Compile of { name : string; blif : string }
+      (** register the BLIF text as model [name] and build its output
+          functions as handles *)
+  | Approx of { meth : Approx.meth; threshold : int; handle : int }
+  | Decomp of { handle : int; disjunctive : bool }
+  | Reach of { model : string; max_iter : int }  (** [0] = unbounded *)
+  | Count of { handle : int; nvars : int }
+  | Sat of { handle : int }
+  | Free of { handles : int list }
+  | Stats
+
+type cert = Exact | Degraded of string list
+
+type reply =
+  | Pong
+  | Handle of { id : int; size : int; cert : cert }
+  | Bdd_payload of { bdd : string }
+  | Handles of (string * int * int) list  (** name, handle, size *)
+  | Pair of { g : int; g_size : int; h : int; h_size : int; shared : int }
+  | Reach_done of {
+      states : float;
+      iterations : int;
+      images : int;
+      reached : int;  (** handle on the reached set *)
+      reached_size : int;
+      cert : cert;
+    }
+  | Count_is of float
+  | Sat_is of (int * bool) list option
+  | Stats_are of (string * int) list
+  | Freed of int
+  | Error of string
+      (** the request failed; the session and every other handle are
+          unaffected *)
+  | Overloaded
+      (** admission control refused the request; retry later *)
+
+val pp_request : Format.formatter -> request -> unit
+val pp_reply : Format.formatter -> reply -> unit
+
+(** {1 Codec}
+
+    [encode_*] produce a complete frame; [decode_*] take a complete frame
+    and @raise Bad_frame on anything the encoder did not produce. *)
+
+val encode_request : request -> string
+val decode_request : string -> request
+val encode_reply : reply -> string
+val decode_reply : string -> reply
+
+val max_frame : int
+(** Hard bound on the body length (64 MB); both ends enforce it before
+    trusting a length field. *)
+
+(** {1 Frame transport} *)
+
+val read_frame : Unix.file_descr -> string option
+(** Read one complete frame.  [None] on clean EOF at a frame boundary.
+    @raise Bad_frame on a malformed header, an oversized announced
+    length, or EOF mid-frame.  Restarts on [EINTR]. *)
+
+val write_frame : Unix.file_descr -> string -> unit
+(** Write the whole frame, looping over short writes. *)

@@ -1,0 +1,95 @@
+(* The bdd-serve-bench/v1 record (see mli). *)
+
+let schema = "bdd-serve-bench/v1"
+
+type t = {
+  connections : int;
+  requests : int;
+  rejected : int;
+  degraded : int;
+  errors : int;
+  wrong : int;
+  elapsed_s : float;
+  throughput_rps : float;
+  p50_us : float;
+  p95_us : float;
+  p99_us : float;
+  max_us : float;
+}
+
+let to_json r =
+  Obs.Json.Obj
+    [
+      ("schema", Obs.Json.Str schema);
+      ("connections", Obs.Json.num_int r.connections);
+      ("requests", Obs.Json.num_int r.requests);
+      ("rejected", Obs.Json.num_int r.rejected);
+      ("degraded", Obs.Json.num_int r.degraded);
+      ("errors", Obs.Json.num_int r.errors);
+      ("wrong", Obs.Json.num_int r.wrong);
+      ("elapsed_s", Obs.Json.Num r.elapsed_s);
+      ("throughput_rps", Obs.Json.Num r.throughput_rps);
+      ("p50_us", Obs.Json.Num r.p50_us);
+      ("p95_us", Obs.Json.Num r.p95_us);
+      ("p99_us", Obs.Json.Num r.p99_us);
+      ("max_us", Obs.Json.Num r.max_us);
+    ]
+
+let write path r = Obs.Json.write_file path (to_json r)
+
+(* --- validation -------------------------------------------------------- *)
+
+let ( let* ) = Result.bind
+
+let field j name =
+  match Obs.Json.member name j with
+  | None -> Error (Printf.sprintf "missing field %S" name)
+  | Some v -> (
+      match Obs.Json.to_float v with
+      | Some f when Float.is_finite f -> Ok f
+      | _ -> Error (Printf.sprintf "field %S is not a finite number" name))
+
+let non_negative name v =
+  if v < 0.0 then Error (Printf.sprintf "field %S is negative" name) else Ok v
+
+let validate j =
+  let* () =
+    match Obs.Json.member "schema" j with
+    | Some (Obs.Json.Str s) when s = schema -> Ok ()
+    | Some (Obs.Json.Str s) ->
+        Error (Printf.sprintf "schema mismatch: expected %S, got %S" schema s)
+    | _ -> Error "missing schema tag"
+  in
+  let num name =
+    let* v = field j name in
+    non_negative name v
+  in
+  let* _connections = num "connections" in
+  let* requests = num "requests" in
+  let* _rejected = num "rejected" in
+  let* _degraded = num "degraded" in
+  let* _errors = num "errors" in
+  let* wrong = num "wrong" in
+  let* _elapsed = num "elapsed_s" in
+  let* throughput = num "throughput_rps" in
+  let* p50 = num "p50_us" in
+  let* p95 = num "p95_us" in
+  let* p99 = num "p99_us" in
+  let* max_us = num "max_us" in
+  let* () =
+    if p50 <= p95 && p95 <= p99 && p99 <= max_us then Ok ()
+    else Error "latency quantiles are not monotone (p50 <= p95 <= p99 <= max)"
+  in
+  let* () =
+    if requests > 0.0 && throughput <= 0.0 then
+      Error "throughput_rps must be positive when requests completed"
+    else Ok ()
+  in
+  if wrong > 0.0 then Error "wrong > 0: server contradicted the oracle"
+  else Ok ()
+
+let validate_file path =
+  match Obs.Json.read_file path with
+  | exception Sys_error m -> Error m
+  | exception Obs.Json.Parse_error m -> Error (Printf.sprintf "parse error: %s" m)
+  | j -> validate j

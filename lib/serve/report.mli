@@ -1,0 +1,37 @@
+(** The load-generator report: schema [bdd-serve-bench/v1].
+
+    One record per run of bench/loadgen.exe, written as [BENCH_serve.json]
+    and validated by [obs_check --serve-bench].  Latencies are in
+    microseconds; [throughput_rps] is completed requests per wall-clock
+    second over the whole run. *)
+
+val schema : string
+(** ["bdd-serve-bench/v1"]. *)
+
+type t = {
+  connections : int;
+  requests : int;  (** completed request/reply cycles (excludes rejected) *)
+  rejected : int;  (** [Overloaded] replies *)
+  degraded : int;  (** replies carrying a [Degraded] certificate *)
+  errors : int;  (** [Error] replies *)
+  wrong : int;  (** replies contradicting the local oracle — must be 0 *)
+  elapsed_s : float;
+  throughput_rps : float;
+  p50_us : float;
+  p95_us : float;
+  p99_us : float;
+  max_us : float;
+}
+
+val to_json : t -> Obs.Json.t
+
+val write : string -> t -> unit
+
+val validate : Obs.Json.t -> (unit, string) result
+(** Structural + sanity validation: schema tag, every field present and
+    numeric, counts non-negative, [p50 <= p95 <= p99 <= max], positive
+    throughput when any request completed. *)
+
+val validate_file : string -> (unit, string) result
+(** {!validate} after reading and parsing; IO and parse failures come
+    back as [Error]. *)

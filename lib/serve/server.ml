@@ -1,0 +1,352 @@
+(* Socket front-end (see the mli for the threading model).
+
+   Connection lifecycle is refcounted: the reader thread holds one
+   reference and every queued request holds one, so a file descriptor is
+   only closed when the reader has exited AND no worker still intends to
+   write a reply — never while an fd could be written, which would risk
+   a reply landing on a recycled descriptor. *)
+
+type bind = Unix_path of string | Tcp of int
+
+type config = {
+  bind : bind;
+  workers : int;
+  queue_depth : int;
+  limits : Handler.limits;
+  max_sessions : int;
+  on_dispatch : (Proto.request -> unit) option;
+}
+
+let default_config =
+  {
+    bind = Unix_path "bdd-serve.sock";
+    workers = 4;
+    queue_depth = 64;
+    limits = Handler.no_limits;
+    max_sessions = 1024;
+    on_dispatch = None;
+  }
+
+module M = struct
+  open Obs
+
+  let reg = Metrics.default
+  let accepted = Metrics.counter reg "serve.accepted"
+  let requests = Metrics.counter reg "serve.requests"
+  let replies = Metrics.counter reg "serve.replies"
+  let rejected = Metrics.counter reg "serve.rejected_overload"
+  let degraded = Metrics.counter reg "serve.degraded_replies"
+  let errors = Metrics.counter reg "serve.errors"
+  let bytes_in = Metrics.counter reg "serve.bytes_in"
+  let bytes_out = Metrics.counter reg "serve.bytes_out"
+  let sessions = Metrics.gauge reg "serve.sessions"
+  let request_us = Metrics.histogram reg "serve.request_us"
+end
+
+let rec_inc c n = if Obs.Metrics.recording () then Obs.Metrics.inc c n
+
+type conn = {
+  sid : int;
+  fd : Unix.file_descr;
+  session : Session.t;
+  wlock : Mutex.t;  (* serializes frame writes; also guards refs/dead *)
+  mutable refs : int;
+  mutable dead : bool;  (* a write failed; stop trying *)
+  mutable closed : bool;
+}
+
+type t = {
+  cfg : config;
+  listener : Unix.file_descr;
+  addr : Unix.sockaddr;
+  pool : Mt.Service.t;
+  lock : Mutex.t;  (* conns registry + counters + reader list *)
+  conns : (int, conn) Hashtbl.t;
+  mutable next_sid : int;
+  mutable readers : Thread.t list;
+  mutable accept_thread : Thread.t option;
+  mutable stopping : bool;
+  mutable drained : bool;
+  c_accepted : int Atomic.t;
+  c_requests : int Atomic.t;
+  c_rejected : int Atomic.t;
+  c_degraded : int Atomic.t;
+  c_errors : int Atomic.t;
+}
+
+let address t = t.addr
+let accepted t = Atomic.get t.c_accepted
+let requests t = Atomic.get t.c_requests
+let rejected t = Atomic.get t.c_rejected
+let degraded_replies t = Atomic.get t.c_degraded
+let errors t = Atomic.get t.c_errors
+
+let sessions t =
+  Mutex.lock t.lock;
+  let n = Hashtbl.length t.conns in
+  Mutex.unlock t.lock;
+  n
+
+(* --- connection refcounting ------------------------------------------ *)
+
+let retain c =
+  Mutex.lock c.wlock;
+  c.refs <- c.refs + 1;
+  Mutex.unlock c.wlock
+
+let release t c =
+  Mutex.lock c.wlock;
+  c.refs <- c.refs - 1;
+  let close_now = c.refs = 0 && not c.closed in
+  if close_now then c.closed <- true;
+  Mutex.unlock c.wlock;
+  if close_now then begin
+    (try Unix.close c.fd with Unix.Unix_error _ -> ());
+    Mutex.lock t.lock;
+    Hashtbl.remove t.conns c.sid;
+    Mutex.unlock t.lock;
+    if Obs.Metrics.recording () then Obs.Metrics.set M.sessions (sessions t)
+  end
+
+let send _t c reply =
+  let frame = Proto.encode_reply reply in
+  Mutex.lock c.wlock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock c.wlock)
+    (fun () ->
+      if not c.dead then
+        try
+          Proto.write_frame c.fd frame;
+          rec_inc M.replies 1;
+          rec_inc M.bytes_out (String.length frame)
+        with Unix.Unix_error _ ->
+          (* peer hung up mid-reply; the reader will see EOF and clean up *)
+          c.dead <- true)
+
+(* --- request execution (worker side) --------------------------------- *)
+
+let server_stats t () =
+  [
+    ("serve.sessions", sessions t);
+    ("serve.accepted", accepted t);
+    ("serve.requests", requests t);
+    ("serve.rejected_overload", rejected t);
+    ("serve.degraded_replies", degraded_replies t);
+    ("serve.errors", errors t);
+    ("serve.workers", t.cfg.workers);
+    ("serve.queue_pending", Mt.Service.pending t.pool);
+    ("serve.p95_request_us", Obs.Metrics.quantile M.request_us 0.95);
+  ]
+
+let process t c req () =
+  Fun.protect
+    ~finally:(fun () -> release t c)
+    (fun () ->
+      Option.iter (fun f -> f req) t.cfg.on_dispatch;
+      let t0 = Obs.Timing.wall () in
+      let reply =
+        Obs.Trace.with_span "serve.request" (fun () ->
+            Handler.handle ~stats_extra:(server_stats t) t.cfg.limits
+              c.session req)
+      in
+      (match reply with
+      | Proto.Error _ ->
+          Atomic.incr t.c_errors;
+          rec_inc M.errors 1
+      | r when Handler.degraded r ->
+          Atomic.incr t.c_degraded;
+          rec_inc M.degraded 1
+      | _ -> ());
+      send t c reply;
+      if Obs.Metrics.recording () then
+        Obs.Metrics.observe M.request_us
+          (int_of_float ((Obs.Timing.wall () -. t0) *. 1e6));
+      Session.maybe_gc c.session)
+
+(* --- reader threads --------------------------------------------------- *)
+
+let reader t c () =
+  let rec loop () =
+    match Proto.read_frame c.fd with
+    | None -> ()
+    | exception Proto.Bad_frame m ->
+        (* desynchronized: answer once, then hang up *)
+        send t c (Proto.Error (Printf.sprintf "protocol error: %s" m))
+    | exception Unix.Unix_error _ -> ()
+    | Some frame -> (
+        rec_inc M.bytes_in (String.length frame);
+        match Proto.decode_request frame with
+        | exception Proto.Bad_frame m ->
+            send t c (Proto.Error (Printf.sprintf "protocol error: %s" m))
+        | req -> (
+            Atomic.incr t.c_requests;
+            rec_inc M.requests 1;
+            match req with
+            | Proto.Ping ->
+                (* liveness probe: answered even when the shards are full *)
+                send t c Proto.Pong;
+                loop ()
+            | req ->
+                retain c;
+                let shard = c.sid mod t.cfg.workers in
+                if Mt.Service.submit t.pool ~shard (process t c req) then
+                  loop ()
+                else begin
+                  release t c;
+                  Atomic.incr t.c_rejected;
+                  rec_inc M.rejected 1;
+                  send t c Proto.Overloaded;
+                  loop ()
+                end))
+  in
+  Fun.protect ~finally:(fun () -> release t c) loop
+
+(* --- accept loop ------------------------------------------------------ *)
+
+let accept_conn t fd =
+  Mutex.lock t.lock;
+  let sid = t.next_sid in
+  t.next_sid <- sid + 1;
+  let too_many = Hashtbl.length t.conns >= t.cfg.max_sessions in
+  Mutex.unlock t.lock;
+  if too_many || t.stopping then begin
+    (try
+       Proto.write_frame fd (Proto.encode_reply Proto.Overloaded)
+     with Unix.Unix_error _ | Proto.Bad_frame _ -> ());
+    try Unix.close fd with Unix.Unix_error _ -> ()
+  end
+  else begin
+    let c =
+      {
+        sid;
+        fd;
+        session = Session.create ~id:sid;
+        wlock = Mutex.create ();
+        refs = 1;
+        dead = false;
+        closed = false;
+      }
+    in
+    Mutex.lock t.lock;
+    Hashtbl.replace t.conns sid c;
+    let th = Thread.create (reader t c) () in
+    t.readers <- th :: t.readers;
+    Mutex.unlock t.lock;
+    Atomic.incr t.c_accepted;
+    rec_inc M.accepted 1;
+    if Obs.Metrics.recording () then Obs.Metrics.set M.sessions (sessions t)
+  end
+
+let accept_loop t () =
+  let rec loop () =
+    if t.stopping then ()
+    else
+      match Unix.accept t.listener with
+      | fd, _ ->
+          accept_conn t fd;
+          loop ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | exception Unix.Unix_error _ -> () (* listener closed: draining *)
+  in
+  loop ()
+
+(* --- lifecycle -------------------------------------------------------- *)
+
+let start cfg =
+  if cfg.workers < 1 then invalid_arg "Serve.Server: workers < 1";
+  (* a peer closing mid-write must surface as EPIPE, not kill the process *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let listener, addr =
+    match cfg.bind with
+    | Unix_path path ->
+        (try Unix.unlink path with Unix.Unix_error _ -> ());
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        let addr = Unix.ADDR_UNIX path in
+        Unix.bind fd addr;
+        (fd, addr)
+    | Tcp port ->
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.setsockopt fd Unix.SO_REUSEADDR true;
+        Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+        (fd, Unix.getsockname fd)
+  in
+  Unix.listen listener 64;
+  let t =
+    {
+      cfg;
+      listener;
+      addr;
+      pool =
+        Mt.Service.create ~label:"serve" ~workers:cfg.workers
+          ~queue_depth:cfg.queue_depth ();
+      lock = Mutex.create ();
+      conns = Hashtbl.create 64;
+      next_sid = 0;
+      readers = [];
+      accept_thread = None;
+      stopping = false;
+      drained = false;
+      c_accepted = Atomic.make 0;
+      c_requests = Atomic.make 0;
+      c_rejected = Atomic.make 0;
+      c_degraded = Atomic.make 0;
+      c_errors = Atomic.make 0;
+    }
+  in
+  t.accept_thread <- Some (Thread.create (accept_loop t) ());
+  t
+
+let drain t =
+  let already =
+    Mutex.lock t.lock;
+    let a = t.drained in
+    if not a then t.stopping <- true;
+    Mutex.unlock t.lock;
+    a
+  in
+  if not already then begin
+    (* 1. stop accepting: shutdown usually wakes a blocked accept; a
+       throwaway self-connection covers platforms where it does not
+       (accept_conn sees [stopping] and closes it straight away) *)
+    (try Unix.shutdown t.listener Unix.SHUTDOWN_ALL
+     with Unix.Unix_error _ -> ());
+    (let domain =
+       match t.addr with Unix.ADDR_UNIX _ -> Unix.PF_UNIX | _ -> Unix.PF_INET
+     in
+     match Unix.socket domain Unix.SOCK_STREAM 0 with
+     | exception Unix.Unix_error _ -> ()
+     | fd ->
+         (try Unix.connect fd t.addr with Unix.Unix_error _ -> ());
+         (try Unix.close fd with Unix.Unix_error _ -> ()));
+    Option.iter Thread.join t.accept_thread;
+    (try Unix.close t.listener with Unix.Unix_error _ -> ());
+    (match t.cfg.bind with
+    | Unix_path path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+    | Tcp _ -> ());
+    (* 2. answer everything queued and park the worker domains *)
+    Mt.Service.drain t.pool;
+    (* 3. hang up: shutdown wakes readers blocked in read *)
+    Mutex.lock t.lock;
+    let conns = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [] in
+    let readers = t.readers in
+    Mutex.unlock t.lock;
+    List.iter
+      (fun c ->
+        try Unix.shutdown c.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+      conns;
+    List.iter Thread.join readers;
+    Mutex.lock t.lock;
+    t.drained <- true;
+    Mutex.unlock t.lock
+  end
+
+let run t ~stop =
+  let rec wait () =
+    if stop () then ()
+    else begin
+      Thread.delay 0.1;
+      wait ()
+    end
+  in
+  wait ();
+  drain t

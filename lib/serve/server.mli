@@ -1,0 +1,71 @@
+(** The BDD service: a Unix-domain / TCP accept loop over {!Proto}
+    frames, dispatching onto a session-sharded {!Mt.Service} pool.
+
+    Threading model: the accept loop and one reader thread per connection
+    are sys-threads on the main domain (they only do blocking IO); the
+    [workers] pool shards are OCaml domains.  A session is pinned to
+    shard [session_id mod workers], so its private {!Session} manager is
+    only ever touched by one domain — hash-consing stays lock-free, and
+    requests within a session execute in order.
+
+    Admission control: each shard queue holds at most [queue_depth]
+    requests.  A request arriving at a full queue is answered
+    {!Proto.Overloaded} immediately by the reader thread — the server
+    sheds load explicitly instead of buffering without bound.  [Ping] is
+    answered inline by the reader (it touches no manager), so liveness
+    probes work even when the compute shards are saturated.
+
+    Feeds [serve.*] metrics when {!Obs.Metrics} recording is on:
+    [serve.accepted], [serve.requests], [serve.replies],
+    [serve.rejected_overload], [serve.degraded_replies], [serve.errors],
+    [serve.bytes_in], [serve.bytes_out] (counters), [serve.sessions]
+    (gauge) and [serve.request_us] (histogram). *)
+
+type bind =
+  | Unix_path of string  (** Unix-domain socket at this path *)
+  | Tcp of int  (** loopback TCP; [0] picks an ephemeral port *)
+
+type config = {
+  bind : bind;
+  workers : int;
+  queue_depth : int;
+  limits : Handler.limits;  (** per-request budgets *)
+  max_sessions : int;  (** accept backstop; excess connections are closed *)
+  on_dispatch : (Proto.request -> unit) option;
+      (** test hook, called by the shard worker as it picks a request up
+          (lets tests hold a worker busy deterministically) *)
+}
+
+val default_config : config
+(** 4 workers, queue depth 64, no limits, 1024 sessions, Unix path
+    ["bdd-serve.sock"]. *)
+
+type t
+
+val start : config -> t
+(** Bind, listen and return immediately; sessions are served until
+    {!drain}.  Ignores [SIGPIPE] process-wide (a peer hanging up mid-
+    reply must not kill the server).
+    @raise Unix.Unix_error when the address cannot be bound. *)
+
+val address : t -> Unix.sockaddr
+(** The bound address — with [Tcp 0], the actual ephemeral port. *)
+
+val drain : t -> unit
+(** Graceful shutdown: stop accepting, answer everything queued, join
+    the worker domains, close every connection and the listener (and
+    unlink a Unix-domain socket path).  Requests that arrive while
+    draining get {!Proto.Overloaded}.  Idempotent. *)
+
+val run : t -> stop:(unit -> bool) -> unit
+(** Serve until [stop ()] turns true (polled a few times a second — the
+    signal-handler-sets-a-flag idiom), then {!drain}. *)
+
+(** {1 Introspection} *)
+
+val sessions : t -> int
+val accepted : t -> int
+val requests : t -> int
+val rejected : t -> int
+val degraded_replies : t -> int
+val errors : t -> int

@@ -1,0 +1,66 @@
+(* Per-connection state (see the mli).  Only ever touched from the
+   session's shard worker, so plain mutable structures suffice. *)
+
+let gc_arm_floor = 200_000
+
+type t = {
+  id : int;
+  man : Bdd.man;
+  handles : (int, Bdd.t) Hashtbl.t;
+  models : (string, Circuit.t) Hashtbl.t;
+  mutable next_handle : int;
+  mutable gc_arm : int;
+  mutable requests : int;
+}
+
+let create ~id =
+  let man = Bdd.create () in
+  (* sessions participate in observability and chaos exactly like
+     Mt.Runner job managers do *)
+  if Obs.Kernel.observing () then Obs.Kernel.attach man;
+  if Resil.Fault.enabled () then Resil.Fault.attach man;
+  {
+    id;
+    man;
+    handles = Hashtbl.create 64;
+    models = Hashtbl.create 4;
+    next_handle = 1;
+    gc_arm = gc_arm_floor;
+    requests = 0;
+  }
+
+let id t = t.id
+let man t = t.man
+
+let put t f =
+  let h = t.next_handle in
+  t.next_handle <- h + 1;
+  Hashtbl.replace t.handles h f;
+  h
+
+let get t h = Hashtbl.find t.handles h
+
+let free t hs =
+  List.fold_left
+    (fun n h ->
+      if Hashtbl.mem t.handles h then begin
+        Hashtbl.remove t.handles h;
+        n + 1
+      end
+      else n)
+    0 hs
+
+let handle_count t = Hashtbl.length t.handles
+let add_model t name c = Hashtbl.replace t.models name c
+let model t name = Hashtbl.find_opt t.models name
+let roots t = Hashtbl.fold (fun _ f acc -> f :: acc) t.handles []
+let gc t = Bdd.gc t.man ~roots:(roots t)
+
+let maybe_gc t =
+  if Bdd.unique_size t.man > t.gc_arm then begin
+    ignore (gc t);
+    t.gc_arm <- max gc_arm_floor (2 * Bdd.unique_size t.man)
+  end
+
+let requests t = t.requests
+let note_request t = t.requests <- t.requests + 1

@@ -1,0 +1,50 @@
+(** Per-connection server state: a private BDD manager, the handle
+    namespace, and registered models.
+
+    One session = one connection = one manager.  Sessions share nothing
+    (no cross-session unique table, no shared caches), so they evict
+    independently: {!maybe_gc} collects a session's manager against its
+    own live handles without ever invalidating another session's BDDs.
+    The server routes every request of a session to the same worker
+    domain ({!Mt.Service} shard), so none of this needs locks. *)
+
+type t
+
+val create : id:int -> t
+val id : t -> int
+val man : t -> Bdd.man
+
+val put : t -> Bdd.t -> int
+(** Register a BDD under a fresh handle (handles start at 1 and are never
+    reused within a session). *)
+
+val get : t -> int -> Bdd.t
+(** @raise Not_found on an unknown or freed handle. *)
+
+val free : t -> int list -> int
+(** Drop handles; unknown ones are ignored.  Returns how many were
+    actually freed.  The nodes are reclaimed by the next {!maybe_gc}. *)
+
+val handle_count : t -> int
+
+val add_model : t -> string -> Circuit.t -> unit
+(** Register (or replace) a named circuit for later {!Proto.Reach}
+    requests.  Circuits are plain data — they hold no BDDs, so models
+    survive {!maybe_gc} trivially. *)
+
+val model : t -> string -> Circuit.t option
+
+val roots : t -> Bdd.t list
+(** Every BDD the session owns (the live handles). *)
+
+val gc : t -> int
+(** Collect the manager against {!roots} now; returns nodes collected. *)
+
+val maybe_gc : t -> unit
+(** Amortized eviction: collect once the unique table passes an arming
+    threshold, then re-arm at twice the live size (the
+    {!Traversal.make_maintenance} policy, per session). *)
+
+val requests : t -> int
+val note_request : t -> unit
+(** Served-request counter, for the stats reply. *)

@@ -21,4 +21,7 @@ let () =
       Test_mt.tests;
       Test_obs.tests;
       Test_resil.tests;
+      Test_service.tests;
+      Test_serve_proto.tests;
+      Test_serve.tests;
     ]

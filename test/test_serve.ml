@@ -1,0 +1,238 @@
+(* In-process integration tests for the serve layer: a real Server.t on a
+   loopback TCP socket, real Client connections, and oracle checks in a
+   local manager.
+
+   The load-bearing properties:
+   - handle namespaces are per-session (two sessions' handle 1 are
+     different BDDs, and one session's handles do not exist in another);
+   - a Degraded certificate is honest: the server's BDD is a subset of
+     the exact answer computed by a local oracle without budgets;
+   - admission control rejects explicitly (exactly the overflowing
+     requests get Overloaded, nothing hangs) — made deterministic by
+     parking the single worker on a gate via the on_dispatch test hook;
+   - compile + reach round-trips a sequential model with an exact state
+     count;
+   - drain is graceful and idempotent. *)
+
+let with_server cfg f =
+  let t = Serve.Server.start { cfg with Serve.Server.bind = Serve.Server.Tcp 0 } in
+  Fun.protect ~finally:(fun () -> Serve.Server.drain t) (fun () -> f t)
+
+let connect t = Serve.Client.connect_sockaddr (Serve.Server.address t)
+
+let with_client t f =
+  let c = connect t in
+  Fun.protect ~finally:(fun () -> Serve.Client.close c) (fun () -> f c)
+
+let fetch_into man c handle =
+  Bdd.import man (Bdd.serialized_of_string (Serve.Client.fetch c handle))
+
+(* --- session isolation ------------------------------------------------- *)
+
+let test_session_isolation () =
+  with_server Serve.Server.default_config (fun t ->
+      with_client t (fun c1 ->
+          with_client t (fun c2 ->
+              let h1 = Serve.Client.lit c1 0 in
+              let h2 = Serve.Client.lit c2 1 in
+              (* both sessions hand out the same first handle id for
+                 different functions: the namespaces are disjoint *)
+              Alcotest.(check int) "both sessions start at handle 1" h1 h2;
+              let man = Bdd.create ~nvars:2 () in
+              let f1 = fetch_into man c1 h1 in
+              let f2 = fetch_into man c2 h2 in
+              Alcotest.(check bool)
+                "session 1's handle is x0" true
+                (Bdd.equal f1 (Bdd.ithvar man 0));
+              Alcotest.(check bool)
+                "session 2's handle is x1" true
+                (Bdd.equal f2 (Bdd.ithvar man 1));
+              (* a handle that only exists in session 1 is unknown in 2 *)
+              ignore (Serve.Client.lit c1 2);
+              match Serve.Client.call c2 (Serve.Proto.Fetch { handle = 2 }) with
+              | Serve.Proto.Error _ -> ()
+              | r ->
+                  Alcotest.failf "expected Error, got %a" Serve.Proto.pp_reply r)))
+
+(* --- degradation on the wire ------------------------------------------- *)
+
+(* Build, over the wire, the classic bad-order function
+   F = OR_i (x_i AND x_{8+i}) (|F| = 510 here) and the 16-variable parity
+   G (|G| = 31).  Each build step allocates at most ~380 fresh nodes; the
+   exact F AND G needs ~960.  A node budget of 600 therefore admits every
+   build step but forces the final conjunction down the ladder, where
+   HB-shrunk operands succeed — the reply must carry a Degraded
+   certificate and a BDD below the exact answer. *)
+let test_degraded_certificate_is_sound () =
+  let cfg =
+    {
+      Serve.Server.default_config with
+      workers = 1;
+      limits = { Serve.Handler.node_budget = Some 600; deadline = None };
+    }
+  in
+  with_server cfg (fun t ->
+      with_client t (fun c ->
+          let lits = Array.init 16 (fun v -> Serve.Client.lit c v) in
+          let build op = fst (Serve.Client.apply c op) in
+          let f = ref (build (Serve.Proto.And (lits.(0), lits.(8)))) in
+          for i = 1 to 7 do
+            let p = build (Serve.Proto.And (lits.(i), lits.(8 + i))) in
+            f := build (Serve.Proto.Or (!f, p))
+          done;
+          let g = ref lits.(0) in
+          for v = 1 to 15 do
+            g := build (Serve.Proto.Xor (!g, lits.(v)))
+          done;
+          let id, cert = Serve.Client.apply c (Serve.Proto.And (!f, !g)) in
+          (match cert with
+          | Serve.Proto.Degraded (_ :: _) -> ()
+          | Serve.Proto.Degraded [] -> Alcotest.fail "empty degradation rungs"
+          | Serve.Proto.Exact ->
+              Alcotest.fail "budget did not bite: expected a Degraded reply");
+          (* the oracle: same construction, no budgets *)
+          let man = Bdd.create ~nvars:16 () in
+          let exact_f =
+            List.fold_left
+              (fun acc i ->
+                Bdd.bor man acc
+                  (Bdd.band man (Bdd.ithvar man i) (Bdd.ithvar man (8 + i))))
+              (Bdd.ff man) (List.init 8 Fun.id)
+          in
+          let exact_g =
+            List.fold_left
+              (fun acc v -> Bdd.bxor man acc (Bdd.ithvar man v))
+              (Bdd.ff man) (List.init 16 Fun.id)
+          in
+          let exact = Bdd.band man exact_f exact_g in
+          let got = fetch_into man c id in
+          Alcotest.(check bool)
+            "degraded result is an under-approximation of the exact answer"
+            true (Bdd.leq man got exact);
+          Alcotest.(check bool)
+            "degraded result is not the exact answer" false
+            (Bdd.equal got exact)))
+
+(* --- admission control -------------------------------------------------- *)
+
+let test_queue_overflow_is_explicit () =
+  (* one worker, queue depth 1.  The on_dispatch hook parks the worker on
+     a gate while it holds the marker request, so the test controls
+     exactly what is in flight: one request occupies the worker, one sits
+     in the queue, and the next four MUST come back Overloaded — sent
+     immediately by the reader thread, ahead of the queued replies. *)
+  let gate_m = Mutex.create () in
+  let gate_c = Condition.create () in
+  let entered = ref false in
+  let release = ref false in
+  let marker = 424242 in
+  let on_dispatch = function
+    | Serve.Proto.Fetch { handle } when handle = marker ->
+        Mutex.lock gate_m;
+        entered := true;
+        Condition.broadcast gate_c;
+        while not !release do
+          Condition.wait gate_c gate_m
+        done;
+        Mutex.unlock gate_m
+    | _ -> ()
+  in
+  let cfg =
+    {
+      Serve.Server.default_config with
+      workers = 1;
+      queue_depth = 1;
+      on_dispatch = Some on_dispatch;
+    }
+  in
+  with_server cfg (fun t ->
+      with_client t (fun c ->
+          Serve.Client.post c (Serve.Proto.Fetch { handle = marker });
+          Mutex.lock gate_m;
+          while not !entered do
+            Condition.wait gate_c gate_m
+          done;
+          Mutex.unlock gate_m;
+          (* worker parked: one Stats fills the queue, four more overflow *)
+          for _ = 1 to 5 do
+            Serve.Client.post c Serve.Proto.Stats
+          done;
+          (* the four rejections arrive first — the worker is still parked,
+             so nothing else can possibly reply *)
+          for i = 1 to 4 do
+            match Serve.Client.receive c with
+            | Serve.Proto.Overloaded -> ()
+            | r ->
+                Alcotest.failf "rejection %d: expected Overloaded, got %a" i
+                  Serve.Proto.pp_reply r
+          done;
+          Mutex.lock gate_m;
+          release := true;
+          Condition.broadcast gate_c;
+          Mutex.unlock gate_m;
+          (* now the parked marker request answers (unknown handle), then
+             the one queued Stats *)
+          (match Serve.Client.receive c with
+          | Serve.Proto.Error _ -> ()
+          | r -> Alcotest.failf "marker: expected Error, got %a" Serve.Proto.pp_reply r);
+          (match Serve.Client.receive c with
+          | Serve.Proto.Stats_are _ -> ()
+          | r ->
+              Alcotest.failf "queued request: expected Stats_are, got %a"
+                Serve.Proto.pp_reply r);
+          Alcotest.(check int) "server counted 4 rejections" 4
+            (Serve.Server.rejected t)))
+
+(* --- compile + reach ---------------------------------------------------- *)
+
+let test_compile_reach_counter () =
+  with_server Serve.Server.default_config (fun t ->
+      with_client t (fun c ->
+          let blif = Blif.to_string (Generate.counter ~bits:4) in
+          let handles = Serve.Client.compile c ~name:"ctr" ~blif in
+          Alcotest.(check bool) "compile produced handles" true (handles <> []);
+          match
+            Serve.Client.call c (Serve.Proto.Reach { model = "ctr"; max_iter = 0 })
+          with
+          | Serve.Proto.Reach_done { states; cert = Serve.Proto.Exact; reached; _ }
+            ->
+              Alcotest.(check (float 0.0)) "4-bit counter: 16 states" 16.0 states;
+              (* the reached set came back as a session handle *)
+              let man = Bdd.create () in
+              let r = fetch_into man c reached in
+              Alcotest.(check bool) "reached set is non-trivial" false
+                (Bdd.equal r (Bdd.ff man))
+          | r -> Alcotest.failf "expected exact Reach_done, got %a" Serve.Proto.pp_reply r))
+
+(* --- ping and drain ----------------------------------------------------- *)
+
+let test_ping_and_graceful_drain () =
+  let t = Serve.Server.start { Serve.Server.default_config with bind = Serve.Server.Tcp 0 } in
+  let c = connect t in
+  Serve.Client.ping c;
+  ignore (Serve.Client.lit c 0 ~phase:true);
+  Alcotest.(check int) "one session" 1 (Serve.Server.sessions t);
+  Serve.Server.drain t;
+  (* the draining server hung up on the client *)
+  (match Serve.Client.call c Serve.Proto.Ping with
+  | exception (End_of_file | Serve.Proto.Bad_frame _ | Unix.Unix_error _) -> ()
+  | r -> Alcotest.failf "after drain: expected EOF, got %a" Serve.Proto.pp_reply r);
+  Serve.Client.close c;
+  (* drain is idempotent *)
+  Serve.Server.drain t;
+  Alcotest.(check int) "no sessions after drain" 0 (Serve.Server.sessions t)
+
+let tests =
+  ( "serve",
+    [
+      Alcotest.test_case "handle namespaces are per-session" `Quick
+        test_session_isolation;
+      Alcotest.test_case "Degraded certificates are sound under-approximations"
+        `Quick test_degraded_certificate_is_sound;
+      Alcotest.test_case "queue overflow answers Overloaded, never hangs" `Quick
+        test_queue_overflow_is_explicit;
+      Alcotest.test_case "compile + reach a 4-bit counter exactly" `Quick
+        test_compile_reach_counter;
+      Alcotest.test_case "ping and graceful, idempotent drain" `Quick
+        test_ping_and_graceful_drain;
+    ] )

@@ -1,0 +1,122 @@
+(* Mt.Service: the persistent sharded worker pool under the serve layer.
+   Covers execution, per-shard FIFO ordering, bounded-queue rejection
+   (deterministically, by blocking the worker on a gate), crash isolation
+   and idempotent drain. *)
+
+let test_runs_everything () =
+  let pool = Mt.Service.create ~workers:3 ~queue_depth:32 () in
+  let ran = Atomic.make 0 in
+  for i = 0 to 29 do
+    Alcotest.(check bool)
+      "submit accepted" true
+      (Mt.Service.submit pool ~shard:i (fun () -> Atomic.incr ran))
+  done;
+  Mt.Service.drain pool;
+  Alcotest.(check int) "all closures ran" 30 (Atomic.get ran);
+  Alcotest.(check int) "completed counter" 30 (Mt.Service.completed pool);
+  Alcotest.(check int) "nothing pending" 0 (Mt.Service.pending pool)
+
+let test_shard_order () =
+  (* one worker: everything lands on one shard and must run in
+     submission order *)
+  let pool = Mt.Service.create ~workers:1 ~queue_depth:64 () in
+  let log = ref [] in
+  let lock = Mutex.create () in
+  for i = 0 to 19 do
+    ignore
+      (Mt.Service.submit pool ~shard:0 (fun () ->
+           Mutex.lock lock;
+           log := i :: !log;
+           Mutex.unlock lock))
+  done;
+  Mt.Service.drain pool;
+  Alcotest.(check (list int)) "FIFO per shard" (List.init 20 Fun.id)
+    (List.rev !log)
+
+(* a gate the test holds closed while the worker is inside a job *)
+type gate = {
+  m : Mutex.t;
+  c : Condition.t;
+  mutable entered : bool;
+  mutable release : bool;
+}
+
+let new_gate () =
+  { m = Mutex.create (); c = Condition.create (); entered = false; release = false }
+
+let block_on g =
+  Mutex.lock g.m;
+  g.entered <- true;
+  Condition.broadcast g.c;
+  while not g.release do
+    Condition.wait g.c g.m
+  done;
+  Mutex.unlock g.m
+
+let await_entered g =
+  Mutex.lock g.m;
+  while not g.entered do
+    Condition.wait g.c g.m
+  done;
+  Mutex.unlock g.m
+
+let open_gate g =
+  Mutex.lock g.m;
+  g.release <- true;
+  Condition.broadcast g.c;
+  Mutex.unlock g.m
+
+let test_bounded_rejection () =
+  let pool = Mt.Service.create ~workers:1 ~queue_depth:1 () in
+  let g = new_gate () in
+  (* job A occupies the worker... *)
+  Alcotest.(check bool)
+    "A accepted" true
+    (Mt.Service.submit pool ~shard:0 (fun () -> block_on g));
+  await_entered g;
+  (* ...so B fills the depth-1 queue and C must be rejected *)
+  Alcotest.(check bool)
+    "B accepted" true
+    (Mt.Service.submit pool ~shard:0 (fun () -> ()));
+  Alcotest.(check bool)
+    "C rejected on the full queue" false
+    (Mt.Service.submit pool ~shard:0 (fun () -> ()));
+  Alcotest.(check int) "B is pending" 1 (Mt.Service.pending pool);
+  open_gate g;
+  Mt.Service.drain pool;
+  Alcotest.(check int) "A and B completed" 2 (Mt.Service.completed pool)
+
+let test_crash_isolation () =
+  let pool = Mt.Service.create ~workers:1 ~queue_depth:8 () in
+  let ran = Atomic.make false in
+  ignore (Mt.Service.submit pool ~shard:0 (fun () -> failwith "boom"));
+  ignore (Mt.Service.submit pool ~shard:0 (fun () -> Atomic.set ran true));
+  Mt.Service.drain pool;
+  Alcotest.(check bool) "job after the crash still ran" true (Atomic.get ran);
+  Alcotest.(check int)
+    "both count as completed" 2
+    (Mt.Service.completed pool)
+
+let test_drain_rejects_and_is_idempotent () =
+  let pool = Mt.Service.create ~workers:2 ~queue_depth:8 () in
+  ignore (Mt.Service.submit pool ~shard:0 (fun () -> ()));
+  Mt.Service.drain pool;
+  Alcotest.(check bool) "draining" true (Mt.Service.draining pool);
+  Alcotest.(check bool)
+    "submit after drain rejected" false
+    (Mt.Service.submit pool ~shard:0 (fun () -> ()));
+  (* a second drain must return immediately *)
+  Mt.Service.drain pool
+
+let tests =
+  ( "mt-service",
+    [
+      Alcotest.test_case "runs everything submitted" `Quick test_runs_everything;
+      Alcotest.test_case "per-shard FIFO order" `Quick test_shard_order;
+      Alcotest.test_case "bounded queue rejects, never blocks" `Quick
+        test_bounded_rejection;
+      Alcotest.test_case "a crashing closure does not kill its worker" `Quick
+        test_crash_isolation;
+      Alcotest.test_case "drain rejects new work and is idempotent" `Quick
+        test_drain_rejects_and_is_idempotent;
+    ] )
