@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke smoke trace-smoke chaos-smoke serve-smoke check clean
+.PHONY: all build test bench bench-smoke smoke trace-smoke chaos-smoke serve-smoke ooc-smoke check clean
 
 all: build
 
@@ -47,7 +47,15 @@ chaos-smoke: build
 serve-smoke: build
 	scripts/serve_smoke.sh
 
-check: build test smoke bench-smoke trace-smoke chaos-smoke serve-smoke
+# Out-of-core reachability end to end: an in-RAM oracle run, then the
+# same circuit under a hot-node budget far below its in-RAM peak — must
+# migrate to the cold tier, finish Exact, match the oracle bit-for-bit,
+# and leave no cold/spill files behind; plus the validated
+# bdd-ooc-bench/v1 report from bench/ooc.exe --smoke.
+ooc-smoke: build
+	scripts/ooc_smoke.sh
+
+check: build test smoke bench-smoke trace-smoke chaos-smoke serve-smoke ooc-smoke
 
 bench: build
 	dune exec bench/main.exe

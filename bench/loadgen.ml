@@ -473,6 +473,7 @@ let () =
       max_us =
         (if Array.length latencies = 0 then 0.0
          else latencies.(Array.length latencies - 1));
+      peak_rss_kb = Obs.Timing.peak_rss_kb ();
     }
   in
   Printf.printf

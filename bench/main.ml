@@ -4,7 +4,7 @@
 
      dune exec bench/main.exe            -- everything
      dune exec bench/main.exe -- table1  -- one experiment
-       (table1 | table2 | table3 | table4 | ablations | kernels | smoke)
+       (table1 | table2 | table3 | table4 | ablations | kernels | smoke | ooc)
 
    Flags:
      --jobs N   worker domains for the pool sweeps and the table-1 engine
@@ -13,6 +13,10 @@
      --smoke    a seconds-long slice of the suite that still exercises the
                 parallel path end to end (for CI; same as the "smoke"
                 experiment name).
+     --store-dir DIR        host the "ooc" experiment's cold/spill files
+                in DIR instead of a fresh temp directory.
+     --hot-node-budget N    hot unique-table ceiling for the "ooc"
+                experiment (default: a quarter of the oracle's headroom).
      --trace FILE    record a Chrome trace-event span trace (Perfetto);
                 one lane per worker domain.
      --metrics FILE  write an obs-metrics/v1 snapshot of the run.
@@ -29,6 +33,11 @@ let jobs = ref (Mt.Runner.default_jobs ())
 (* --faults SPEC arms injection and flips the runner fan-outs to
    supervised retries; stdout stays byte-identical when unused *)
 let retry = ref Mt.Runner.no_retry
+
+(* out-of-core knobs for the "ooc" experiment: where the tiered store
+   puts its level/spill files, and the hot unique-table ceiling *)
+let store_dir = ref None
+let hot_budget = ref None
 
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
@@ -555,6 +564,38 @@ let smoke () =
     results
 
 (* ------------------------------------------------------------------ *)
+(* Out-of-core reachability: the tiered store under a hot-node budget  *)
+(* ------------------------------------------------------------------ *)
+
+let ooc () =
+  section "Out-of-core reachability: tiered store vs in-RAM BFS";
+  let compiled =
+    Compile.compile (Generate.microsequencer ~addr_bits:4 ~stack_depth:2)
+  in
+  let trans = Trans.build compiled in
+  let oracle = Bfs.run trans in
+  let man2 = Bdd.create ~nvars:0 () in
+  let trans2 = Trans.import man2 (Trans.export trans) in
+  let baseline = Bdd.unique_size man2 in
+  let budget =
+    match !hot_budget with
+    | Some b -> b
+    | None -> baseline + ((oracle.Traversal.peak_live_nodes - baseline) / 4)
+  in
+  let r = Ooc.run ?store_dir:!store_dir ~hot_budget:budget trans2 in
+  let matched =
+    Bdd.equal oracle.Traversal.reached
+      (Bdd.import (Trans.man trans) r.Ooc.reached)
+  in
+  note "in-RAM oracle: %.6g states, peak %d nodes" oracle.Traversal.states
+    oracle.Traversal.peak_live_nodes;
+  note "out-of-core @%d hot nodes: %a" budget
+    (fun () x -> Format.asprintf "%a" Ooc.pp x)
+    r;
+  note "reached sets %s" (if matched then "match bit-for-bit" else "DIFFER");
+  if not (matched && r.Ooc.exact) then exit 1
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let set_jobs n =
@@ -586,6 +627,24 @@ let () =
         metrics := Some path;
         parse acc rest
     | "--smoke" :: rest -> parse ("smoke" :: acc) rest
+    | [ "--store-dir" ] ->
+        Printf.eprintf "--store-dir wants a directory\n";
+        exit 1
+    | "--store-dir" :: dir :: rest ->
+        store_dir := Some dir;
+        parse acc rest
+    | [ "--hot-node-budget" ] ->
+        Printf.eprintf "--hot-node-budget wants a positive integer\n";
+        exit 1
+    | "--hot-node-budget" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some b when b >= 1 ->
+            hot_budget := Some b;
+            parse acc rest
+        | _ ->
+            Printf.eprintf "--hot-node-budget wants a positive integer, got %s\n"
+              n;
+            exit 1)
     | [ "--faults" ] ->
         Printf.eprintf "--faults wants a spec (e.g. seed=42,job_crash=0.2)\n";
         exit 1
@@ -619,10 +678,11 @@ let () =
         | "regimes" -> regimes
         | "kernels" -> kernels
         | "smoke" -> smoke
+        | "ooc" -> ooc
         | other ->
             Printf.eprintf
               "unknown experiment %s (want table1..table4, ablations, \
-               regimes, kernels, smoke)\n"
+               regimes, kernels, smoke, ooc)\n"
               other;
             exit 1
       in

@@ -278,6 +278,8 @@ let report ~smoke =
       ("mode", Str (if smoke then "smoke" else "full"));
       ("ocaml", Str Sys.ocaml_version);
       ("word_size", num_int Sys.word_size);
+      (* 0 on platforms without /proc/self/status *)
+      ("peak_rss_kb", num_int (Obs.Timing.peak_rss_kb ()));
       ("benchmarks", Arr (List.map json_of_sample samples));
       ("probes", Arr probe_objs);
       ( "totals",
@@ -320,6 +322,11 @@ let validate path =
   (match field top "mode" with
   | Str ("full" | "smoke") -> ()
   | _ -> fail "mode must be \"full\" or \"smoke\"");
+  (match List.assoc_opt "peak_rss_kb" top with
+  (* optional so reports written before the field existed still validate *)
+  | None -> ()
+  | Some (Num f) when f >= 0.0 -> ()
+  | Some _ -> fail "peak_rss_kb must be a non-negative number");
   let benches =
     match field top "benchmarks" with
     | Arr (_ :: _ as xs) -> xs

@@ -1,0 +1,251 @@
+(* Out-of-core reachability benchmark:
+
+     dune exec bench/ooc.exe                        -- full run -> BENCH_ooc.json
+     dune exec bench/ooc.exe -- --smoke             -- CI-sized run
+     dune exec bench/ooc.exe -- -o FILE             -- choose the output path
+     dune exec bench/ooc.exe -- --validate FILE     -- schema-check a report
+
+   Each run pits Ooc.run against the unrestricted in-RAM Bfs oracle on
+   the same circuit.  The hot-node budget is derived from the oracle's
+   measured peak (baseline + (peak - baseline) / 4), so the out-of-core
+   engine is guaranteed to blow the budget, migrate the reached set to
+   the cold tier, and finish the exploration through the streaming
+   apply.  The report records, per circuit, both wall times, the budget,
+   the hot/cold/spilled peaks, and whether the out-of-core reached set
+   matched the oracle bit-for-bit — a run that is not Exact or does not
+   match is a hard failure (exit 1), not just a report field.
+
+   The report is machine-readable JSON (schema "bdd-ooc-bench/v1"), one
+   object per circuit under "runs". *)
+
+open Obs.Json
+
+let schema_version = "bdd-ooc-bench/v1"
+
+type sample = {
+  r_name : string;
+  r_budget : int;
+  r_oracle_peak : int;
+  r_oracle_states : float;
+  r_oracle_wall : float;
+  r_ooc_wall : float;
+  r_states : float;
+  r_iterations : int;
+  r_images : int;
+  r_migrations : int;
+  r_peak_hot : int;
+  r_peak_total : int;
+  r_peak_cold : int;
+  r_spilled : int;
+  r_exact : bool;
+  r_match : bool;
+}
+
+let json_of_sample s =
+  Obj
+    [
+      ("name", Str s.r_name);
+      ("hot_node_budget", num_int s.r_budget);
+      ("oracle_peak_nodes", num_int s.r_oracle_peak);
+      ("oracle_states", Num s.r_oracle_states);
+      ("oracle_wall_s", Num s.r_oracle_wall);
+      ("ooc_wall_s", Num s.r_ooc_wall);
+      ("states", Num s.r_states);
+      ("iterations", num_int s.r_iterations);
+      ("images", num_int s.r_images);
+      ("migrations", num_int s.r_migrations);
+      ("peak_hot_nodes", num_int s.r_peak_hot);
+      ("peak_total_nodes", num_int s.r_peak_total);
+      ("peak_cold_nodes", num_int s.r_peak_cold);
+      ("spilled_bytes", num_int s.r_spilled);
+      ("exact", num_int (if s.r_exact then 1 else 0));
+      ("reached_match", num_int (if s.r_match then 1 else 0));
+    ]
+
+(* One circuit: oracle first, then the same transition relation replayed
+   out-of-core on a fresh manager under a budget below the oracle's peak. *)
+let bench_circuit circuit =
+  let compiled = Compile.compile circuit in
+  let trans = Trans.build compiled in
+  let name = Circuit.name circuit in
+  Printf.eprintf "  %-24s oracle ...%!" name;
+  let oracle, oracle_wall = Obs.Timing.time (fun () -> Bfs.run trans) in
+  let man2 = Bdd.create ~nvars:0 () in
+  let trans2 = Trans.import man2 (Trans.export trans) in
+  let baseline = Bdd.unique_size man2 in
+  let budget =
+    baseline + ((oracle.Traversal.peak_live_nodes - baseline) / 4)
+  in
+  Printf.eprintf " %.2fs (peak %d)  ooc @%d ...%!" oracle_wall
+    oracle.Traversal.peak_live_nodes budget;
+  let r, ooc_wall =
+    Obs.Timing.time (fun () -> Ooc.run ~hot_budget:budget trans2)
+  in
+  let matched =
+    Bdd.equal oracle.Traversal.reached
+      (Bdd.import (Trans.man trans) r.Ooc.reached)
+  in
+  Printf.eprintf " %.2fs  %d migration(s), %d cold, %d B spilled, %s\n%!"
+    ooc_wall r.Ooc.migrations r.Ooc.peak_cold_nodes r.Ooc.spilled_bytes
+    (if r.Ooc.exact && matched then "exact+match" else "MISMATCH");
+  {
+    r_name = name;
+    r_budget = budget;
+    r_oracle_peak = oracle.Traversal.peak_live_nodes;
+    r_oracle_states = oracle.Traversal.states;
+    r_oracle_wall = oracle_wall;
+    r_ooc_wall = ooc_wall;
+    r_states = r.Ooc.states;
+    r_iterations = r.Ooc.iterations;
+    r_images = r.Ooc.images;
+    r_migrations = r.Ooc.migrations;
+    r_peak_hot = r.Ooc.peak_hot_nodes;
+    r_peak_total = r.Ooc.peak_total_nodes;
+    r_peak_cold = r.Ooc.peak_cold_nodes;
+    r_spilled = r.Ooc.spilled_bytes;
+    r_exact = r.Ooc.exact;
+    r_match = matched;
+  }
+
+let circuits ~smoke =
+  if smoke then [ Generate.johnson ~bits:6; Generate.fifo_controller ~depth:5 ]
+  else
+    [
+      Generate.johnson ~bits:8;
+      Generate.fifo_controller ~depth:7;
+      Generate.arbiter ~clients:5;
+      Generate.microsequencer ~addr_bits:4 ~stack_depth:2;
+    ]
+
+let report ~smoke =
+  let samples = List.map bench_circuit (circuits ~smoke) in
+  let ok =
+    List.for_all
+      (fun s ->
+        s.r_exact && s.r_match && s.r_migrations > 0
+        && s.r_budget < s.r_oracle_peak
+        && s.r_peak_cold > 0 && s.r_spilled > 0)
+      samples
+  in
+  let j =
+    Obj
+      [
+        ("schema", Str schema_version);
+        ("mode", Str (if smoke then "smoke" else "full"));
+        ("ocaml", Str Sys.ocaml_version);
+        (* 0 on platforms without /proc/self/status *)
+        ("peak_rss_kb", num_int (Obs.Timing.peak_rss_kb ()));
+        ("runs", Arr (List.map json_of_sample samples));
+        ("all_exact_and_matching", num_int (if ok then 1 else 0));
+      ]
+  in
+  (j, ok)
+
+(* Schema check, mirroring bench/micro.ml: the structure `make ooc-smoke`
+   asserts after every run.  Also semantic: every run must be exact,
+   match the oracle, and have actually exceeded its hot budget. *)
+let validate path =
+  let fail fmt =
+    Printf.ksprintf
+      (fun msg ->
+        Printf.eprintf "%s: invalid: %s\n" path msg;
+        exit 1)
+      fmt
+  in
+  let j =
+    try Obs.Json.read_file path with Obs.Json.Parse_error m -> fail "%s" m
+  in
+  let obj = function Obj kvs -> kvs | _ -> fail "expected an object" in
+  let field kvs k =
+    match List.assoc_opt k kvs with
+    | Some v -> v
+    | None -> fail "missing field %S" k
+  in
+  let number kvs k =
+    match field kvs k with Num f -> f | _ -> fail "field %S not a number" k
+  in
+  let top = obj j in
+  (match field top "schema" with
+  | Str s when s = schema_version -> ()
+  | Str s -> fail "schema %S, want %S" s schema_version
+  | _ -> fail "schema is not a string");
+  (match field top "mode" with
+  | Str ("full" | "smoke") -> ()
+  | _ -> fail "mode must be \"full\" or \"smoke\"");
+  (match List.assoc_opt "peak_rss_kb" top with
+  | None -> ()
+  | Some (Num f) when f >= 0.0 -> ()
+  | Some _ -> fail "peak_rss_kb must be a non-negative number");
+  let runs =
+    match field top "runs" with
+    | Arr (_ :: _ as xs) -> xs
+    | Arr [] -> fail "runs is empty"
+    | _ -> fail "runs is not an array"
+  in
+  List.iter
+    (fun b ->
+      let kvs = obj b in
+      (match field kvs "name" with
+      | Str _ -> ()
+      | _ -> fail "run name is not a string");
+      List.iter
+        (fun k -> ignore (number kvs k))
+        [
+          "hot_node_budget"; "oracle_peak_nodes"; "oracle_states";
+          "oracle_wall_s"; "ooc_wall_s"; "states"; "iterations"; "images";
+          "migrations"; "peak_hot_nodes"; "peak_total_nodes";
+          "peak_cold_nodes"; "spilled_bytes";
+        ];
+      if number kvs "exact" <> 1.0 then fail "run is not exact";
+      if number kvs "reached_match" <> 1.0 then
+        fail "run did not match the oracle";
+      if number kvs "migrations" < 1.0 then fail "run never migrated";
+      if number kvs "peak_cold_nodes" < 1.0 then
+        fail "run never populated the cold tier";
+      if number kvs "spilled_bytes" < 1.0 then fail "run never spilled bytes";
+      (* the demonstration: the same exploration needs more nodes in RAM
+         than the budget this run was held to *)
+      if number kvs "oracle_peak_nodes" <= number kvs "hot_node_budget" then
+        fail "hot budget is not below the in-RAM peak node count";
+      if number kvs "states" <> number kvs "oracle_states" then
+        fail "state counts disagree")
+    runs;
+  if number top "all_exact_and_matching" <> 1.0 then
+    fail "all_exact_and_matching is not 1";
+  Printf.printf "%s: valid %s report, %d run(s), all exact and matching\n"
+    path schema_version (List.length runs)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let smoke = ref false and out = ref "BENCH_ooc.json" and to_validate = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--smoke" :: rest ->
+        smoke := true;
+        parse rest
+    | "-o" :: path :: rest ->
+        out := path;
+        parse rest
+    | "--validate" :: path :: rest ->
+        to_validate := path :: !to_validate;
+        parse rest
+    | arg :: _ ->
+        Printf.eprintf
+          "usage: ooc.exe [--smoke] [-o FILE] [--validate FILE]\n\
+           unknown argument %s\n"
+          arg;
+        exit 1
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  match !to_validate with
+  | _ :: _ as paths -> List.iter validate paths
+  | [] ->
+      let j, ok = report ~smoke:!smoke in
+      Obs.Json.write_file !out j;
+      Printf.printf "wrote %s\n" !out;
+      if not ok then (
+        Printf.eprintf
+          "ooc: at least one run was inexact, stayed hot, or missed the \
+           oracle\n";
+        exit 1)

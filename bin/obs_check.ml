@@ -86,7 +86,34 @@ let check_metrics path prev =
   if serve <> [] then
     Printf.printf "%s: serve %s\n" path
       (String.concat " "
-         (List.map (fun (n, v) -> Printf.sprintf "%s=%.0f" n v) serve))
+         (List.map (fun (n, v) -> Printf.sprintf "%s=%.0f" n v) serve));
+  (* surface the out-of-core story of the run: tier migrations, streaming
+     apply traffic, and the node-population split (hot unique table vs
+     levelized cold tier vs spilled run files) *)
+  let prefixed p (name, _) =
+    String.length name >= String.length p
+    && String.sub name 0 (String.length p) = p
+  in
+  let store_counters =
+    List.filter
+      (fun kv -> prefixed "store." kv || prefixed "reach.ooc." kv)
+      (Obs.Metrics.counters_of_json j)
+  in
+  let store_gauges =
+    List.filter
+      (fun ((name, _) as kv) ->
+        prefixed "store." kv
+        || name = "bdd.stats.hot_nodes"
+        || name = "bdd.stats.cold_nodes"
+        || name = "bdd.stats.spilled_bytes")
+      (Obs.Metrics.gauges_of_json j)
+  in
+  if store_counters <> [] || store_gauges <> [] then
+    Printf.printf "%s: store %s\n" path
+      (String.concat " "
+         (List.map
+            (fun (n, v) -> Printf.sprintf "%s=%.0f" n v)
+            (store_counters @ store_gauges)))
 
 let check_serve_bench path =
   match Serve.Report.validate_file path with

@@ -162,6 +162,27 @@ let trace_arg =
           "Record a span trace of the traversal to $(docv) (Chrome \
            trace-event JSON; open in Perfetto or chrome://tracing).")
 
+let store_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "store-dir" ] ~docv:"DIR"
+        ~doc:
+          "Directory for the out-of-core tiered store's cold and spill \
+           files (with --hot-node-budget; default: a fresh temp directory \
+           removed on exit).")
+
+let hot_budget_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "hot-node-budget" ] ~docv:"NODES"
+        ~doc:
+          "Run the out-of-core engine: keep at most $(docv) nodes in the \
+           in-RAM unique table and migrate the reached set to an mmap'd \
+           cold tier on disk when the budget is hit.  The traversal stays \
+           exact across migrations.  Overrides --engine.")
+
 let metrics_arg =
   Arg.(
     value
@@ -171,9 +192,28 @@ let metrics_arg =
           "Write an obs-metrics/v1 snapshot (traversal counters, kernel \
            gauges and histograms) to $(docv) when the run finishes.")
 
+(* Partial spill / checkpoint temp files must not outlive an interrupted
+   run: both registries drain idempotently, so wiring them into the
+   signal handlers AND at_exit is safe. *)
+let cleanup_temps () =
+  let n = Resil.Checkpoint.cleanup_pending () + Store.Tiered.cleanup_files () in
+  if n > 0 then Printf.eprintf "removed %d leftover temp file(s)\n%!" n
+
+let install_cleanup () =
+  let handler signal_exit_code =
+    Sys.Signal_handle
+      (fun _ ->
+        cleanup_temps ();
+        exit signal_exit_code)
+  in
+  (try Sys.set_signal Sys.sigint (handler 130) with Invalid_argument _ -> ());
+  (try Sys.set_signal Sys.sigterm (handler 143) with Invalid_argument _ -> ());
+  at_exit cleanup_temps
+
 let run circuit blif params engine meth threshold quality pimg time_limit
     node_limit sift cluster_limit save_reached check_reached ckpt ckpt_every
-    resume_path faults trace metrics =
+    resume_path faults store_dir hot_budget trace metrics =
+  install_cleanup ();
   Option.iter (fun path -> Obs.Trace.start ~out:path ()) trace;
   if metrics <> None then Obs.Metrics.set_recording true;
   (match faults with
@@ -204,20 +244,32 @@ let run circuit blif params engine meth threshold quality pimg time_limit
   | None -> ());
   let result =
     Obs.Trace.with_span "reach" @@ fun () ->
-    match engine with
-    | `Bfs -> Bfs.run ?time_limit ?node_limit ~sift ?checkpoint ?resume trans
-    | `Hd ->
+    match (hot_budget, engine) with
+    | Some budget, _ ->
+        `Ooc (Ooc.run ?time_limit ?store_dir ~hot_budget:budget trans)
+    | None, `Bfs ->
+        `Trav (Bfs.run ?time_limit ?node_limit ~sift ?checkpoint ?resume trans)
+    | None, `Hd ->
         let meth =
           match Approx.method_of_string meth with
           | Some m -> m
           | None -> failwith ("unknown method " ^ meth)
         in
-        High_density.run ?time_limit ?node_limit ~sift ?checkpoint ?resume
-          ~params:{ High_density.meth; threshold; quality; pimg }
-          trans
+        `Trav
+          (High_density.run ?time_limit ?node_limit ~sift ?checkpoint ?resume
+             ~params:{ High_density.meth; threshold; quality; pimg }
+             trans)
   in
-  Format.printf "%a@." Traversal.pp result;
   let man = Trans.man trans in
+  let reached =
+    match result with
+    | `Trav r ->
+        Format.printf "%a@." Traversal.pp r;
+        r.Traversal.reached
+    | `Ooc r ->
+        Format.printf "%a@." Ooc.pp r;
+        Bdd.import man r.Ooc.reached
+  in
   Obs.Trace.stop ();
   Option.iter (fun path -> Printf.eprintf "trace -> %s\n%!" path) trace;
   Option.iter
@@ -234,15 +286,14 @@ let run circuit blif params engine meth threshold quality pimg time_limit
   | Some path ->
       (* atomic + checksummed: a crash mid-write can no longer leave a
          truncated file under the target name *)
-      Resil.Checkpoint.save path (Bdd.export man result.Traversal.reached);
-      Printf.printf "reached set (%d nodes) saved to %s\n%!"
-        (Bdd.size result.Traversal.reached)
+      Resil.Checkpoint.save path (Bdd.export man reached);
+      Printf.printf "reached set (%d nodes) saved to %s\n%!" (Bdd.size reached)
         path);
   match check_reached with
   | None -> ()
   | Some path ->
       let previous = Bdd.import man (Resil.Checkpoint.load path) in
-      if Bdd.equal previous result.Traversal.reached then
+      if Bdd.equal previous reached then
         Printf.printf "check-reached: %s matches this run\n%!" path
       else begin
         Printf.printf "check-reached: %s DIFFERS from this run\n%!" path;
@@ -256,7 +307,8 @@ let cmd =
       $ threshold_arg $ quality_arg $ pimg_arg $ time_limit_arg
       $ node_limit_arg $ sift_arg $ cluster_arg $ save_reached_arg
       $ check_reached_arg $ checkpoint_arg $ checkpoint_every_arg
-      $ resume_arg $ faults_arg $ trace_arg $ metrics_arg)
+      $ resume_arg $ faults_arg $ store_dir_arg $ hot_budget_arg $ trace_arg
+      $ metrics_arg)
   in
   Cmd.v
     (Cmd.info "reach_main"

@@ -237,6 +237,9 @@ type man = {
   mutable tick : (unit -> unit) option;
   mutable tick_countdown : int;
   mutable fault : (unit -> unit) option;
+  mutable store_stats : (unit -> int * int * int) option;
+      (* (hot, cold, spilled bytes) supplied by a tiered store (lib/store);
+         None when no store is attached, in which case {!stats} reports 0 *)
 }
 
 (* Rare-path hook for fault injection (lib/resil): invoked from the node
@@ -326,6 +329,7 @@ let create ?(nvars = 0) () =
       tick = None;
       tick_countdown = tick_period;
       fault = None;
+      store_stats = None;
     }
   in
   man
@@ -1080,8 +1084,12 @@ let set_tick man fn =
 
 let set_observer man fn = man.observer <- fn
 let set_fault_hook man fn = man.fault <- fn
+let set_store_stats man fn = man.store_stats <- fn
 
 let stats man =
+  let hot, cold, spilled =
+    match man.store_stats with None -> (0, 0, 0) | Some fn -> fn ()
+  in
   let cache_entries =
     List.fold_left (fun acc c -> acc + c.c_filled) man.weight_cache.f_filled
       (caches man)
@@ -1108,6 +1116,9 @@ let stats man =
     ("gc_runs", man.gc_runs);
     ("gc_collected", man.gc_collected);
     ("node_limit_hits", man.node_limit_hits);
+    ("hot_nodes", hot);
+    ("cold_nodes", cold);
+    ("spilled_bytes", spilled);
   ]
 
 let reorder man ~order:level_var ~roots =

@@ -270,7 +270,16 @@ val stats : man -> (string * int) list
     [cache_overwrites] (computed-cache inserts that evicted a prior
     entry), [ut_grows] (unique-table doublings), [gc_runs] and
     [gc_collected] (cumulative over {!gc} calls), [node_limit_hits]
-    (times {!Node_limit} was raised). *)
+    (times {!Node_limit} was raised), and the tiered-store trio
+    [hot_nodes], [cold_nodes], [spilled_bytes] (all 0 unless a store
+    registered itself with {!set_store_stats}). *)
+
+val set_store_stats : man -> (unit -> int * int * int) option -> unit
+(** Install (or clear) the provider of the [hot_nodes], [cold_nodes] and
+    [spilled_bytes] entries of {!stats}.  [Store.Tiered.create]
+    (lib/store) registers its manager here; with no provider installed
+    the three keys read 0.  The callback must not call back into this
+    manager. *)
 
 (** {1 Observation}
 

@@ -274,8 +274,8 @@ let validate j =
       else Ok ())
     histograms
 
-let counters_of_json j =
-  match Json.member "counters" j with
+let named_values section j =
+  match Json.member section j with
   | Some (Json.Arr cs) ->
       List.filter_map
         (fun c ->
@@ -284,3 +284,6 @@ let counters_of_json j =
           | _ -> None)
         cs
   | _ -> []
+
+let counters_of_json = named_values "counters"
+let gauges_of_json = named_values "gauges"

@@ -86,3 +86,6 @@ val validate : Json.t -> (unit, string) result
 val counters_of_json : Json.t -> (string * float) list
 (** The [counters] section of a snapshot, for cross-snapshot monotonicity
     checks. *)
+
+val gauges_of_json : Json.t -> (string * float) list
+(** The [gauges] section of a snapshot (last sampled values). *)

@@ -27,3 +27,24 @@ let measure ?(full_major = true) f =
       minor_collections = g1.Gc.minor_collections - g0.Gc.minor_collections;
       major_collections = g1.Gc.major_collections - g0.Gc.major_collections;
     } )
+
+(* Peak resident set size, from the kernel's high-water mark.  Linux
+   exposes it as VmHWM in /proc/self/status (kB); platforms without that
+   file report 0 so callers can emit the field unconditionally. *)
+let peak_rss_kb () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> 0
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let rec scan () =
+            match input_line ic with
+            | exception End_of_file -> 0
+            | line -> (
+                match Scanf.sscanf line "VmHWM: %d kB" (fun v -> v) with
+                | v -> v
+                | exception (Scanf.Scan_failure _ | Failure _ | End_of_file) ->
+                    scan ())
+          in
+          scan ())

@@ -26,3 +26,8 @@ val measure : ?full_major:bool -> (unit -> 'a) -> 'a * float * gc_delta
 (** [measure f] is [time f] plus the GC counter deltas across the call.
     [full_major] (default [true]) runs [Gc.full_major] first so previous
     work's garbage does not bleed into the numbers. *)
+
+val peak_rss_kb : unit -> int
+(** Peak resident set size of this process in kilobytes, read from
+    [VmHWM] in [/proc/self/status].  Returns [0] on platforms without
+    that interface (the value is then absent, not zero memory). *)

@@ -68,11 +68,51 @@ let body_of_file path data =
     Some (String.sub data 0 announced)
   end
 
+(* --- in-flight temp files --------------------------------------------- *)
+
+(* Every atomic write goes through a temp file that is renamed over the
+   target on success and removed on failure.  A SIGINT (or any abnormal
+   exit) between creation and rename would leak it, so the registry below
+   tracks the temp paths currently in flight; [cleanup_pending] removes
+   whatever is still registered and is safe to call from a signal handler
+   or [at_exit] — on a normal run the registry is empty by then. *)
+
+let pending_mutex = Mutex.create ()
+let pending : (string, unit) Hashtbl.t = Hashtbl.create 8
+
+let register_pending path =
+  Mutex.lock pending_mutex;
+  Hashtbl.replace pending path ();
+  Mutex.unlock pending_mutex
+
+let unregister_pending path =
+  Mutex.lock pending_mutex;
+  Hashtbl.remove pending path;
+  Mutex.unlock pending_mutex
+
+let cleanup_pending () =
+  Mutex.lock pending_mutex;
+  let paths = Hashtbl.fold (fun p () acc -> p :: acc) pending [] in
+  Hashtbl.reset pending;
+  Mutex.unlock pending_mutex;
+  List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) paths;
+  List.length paths
+
 (* --- atomic write ----------------------------------------------------- *)
+
+let fsync_dir dir =
+  (* best-effort directory sync so the rename itself survives a crash;
+     some filesystems refuse fsync on a directory fd — ignore them *)
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | dfd ->
+      (try Unix.fsync dfd with Unix.Unix_error _ -> ());
+      (try Unix.close dfd with Unix.Unix_error _ -> ())
 
 let write_atomic path data =
   let dir = Filename.dirname path in
   let tmp = Filename.temp_file ~temp_dir:dir (Filename.basename path) ".tmp" in
+  register_pending tmp;
   (try
      let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o644 in
      Fun.protect
@@ -82,17 +122,98 @@ let write_atomic path data =
          let written = Unix.write_substring fd data 0 n in
          if written <> n then failwith "short write";
          Unix.fsync fd);
-     Unix.rename tmp path
+     Unix.rename tmp path;
+     unregister_pending tmp
    with e ->
      (try Sys.remove tmp with Sys_error _ -> ());
+     unregister_pending tmp;
      raise e);
-  (* best-effort directory sync so the rename itself survives a crash;
-     some filesystems refuse fsync on a directory fd — ignore them *)
-  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
-  | exception Unix.Unix_error _ -> ()
-  | dfd ->
-      (try Unix.fsync dfd with Unix.Unix_error _ -> ());
-      (try Unix.close dfd with Unix.Unix_error _ -> ())
+  fsync_dir dir
+
+(* --- streaming atomic write ------------------------------------------- *)
+
+(* Incremental CRC-32 over byte chunks, for bodies too large to hold in
+   one string (the out-of-core level files of lib/store). *)
+let crc32_update acc s off len =
+  let table = Lazy.force crc_table in
+  let c = ref (acc lxor 0xFFFFFFFF) in
+  for i = off to off + len - 1 do
+    c := table.((!c lxor Char.code (Bytes.unsafe_get s i)) land 0xFF)
+         lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF
+
+let write_stream path fill =
+  let dir = Filename.dirname path in
+  let tmp = Filename.temp_file ~temp_dir:dir (Filename.basename path) ".tmp" in
+  register_pending tmp;
+  (try
+     let oc = open_out_bin tmp in
+     Fun.protect
+       ~finally:(fun () -> close_out_noerr oc)
+       (fun () ->
+         let crc = ref 0 and body_len = ref 0 in
+         let emit b off len =
+           output_substring oc (Bytes.unsafe_to_string b) off len;
+           crc := crc32_update !crc b off len;
+           body_len := !body_len + len
+         in
+         fill ~emit;
+         (* trailer: magic + le64 length + le32 crc, with the crc taken
+            over body ++ magic ++ length — same layout as [with_trailer] *)
+         let tail = Buffer.create trailer_len in
+         Buffer.add_string tail trailer_magic;
+         le_bytes tail !body_len 8;
+         let tail_bytes = Buffer.to_bytes tail in
+         crc := crc32_update !crc tail_bytes 0 (Bytes.length tail_bytes);
+         let crcb = Buffer.create 4 in
+         le_bytes crcb !crc 4;
+         output_bytes oc tail_bytes;
+         output_string oc (Buffer.contents crcb);
+         flush oc;
+         Unix.fsync (Unix.descr_of_out_channel oc));
+     Unix.rename tmp path;
+     unregister_pending tmp
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     unregister_pending tmp;
+     raise e);
+  fsync_dir dir
+
+(* Verify the trailer of a file on disk without holding the body in
+   memory: stream the bytes through the incremental CRC.  Returns the
+   announced body length. *)
+let verify_stream path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      if len < trailer_len then
+        corrupt "Resil.Checkpoint: %s too short for a checksum trailer" path;
+      seek_in ic (len - trailer_len);
+      let tail = really_input_string ic trailer_len in
+      if String.sub tail 0 4 <> trailer_magic then
+        corrupt "Resil.Checkpoint: %s has no checksum trailer" path;
+      let announced = le_int tail 4 8 in
+      if announced <> len - trailer_len then
+        corrupt "Resil.Checkpoint: %s announces a %d-byte body but holds %d"
+          path announced (len - trailer_len);
+      let stored = le_int tail (trailer_len - 4) 4 in
+      seek_in ic 0;
+      let chunk = Bytes.create 65536 in
+      let crc = ref 0 and remaining = ref (len - 4) in
+      while !remaining > 0 do
+        let n = input ic chunk 0 (min !remaining (Bytes.length chunk)) in
+        if n = 0 then corrupt "Resil.Checkpoint: %s truncated mid-read" path;
+        crc := crc32_update !crc chunk 0 n;
+        remaining := !remaining - n
+      done;
+      if stored <> !crc then
+        corrupt
+          "Resil.Checkpoint: %s checksum mismatch (stored %08x, file %08x)"
+          path stored !crc;
+      announced)
 
 let read_file path =
   let ic = open_in_bin path in

@@ -22,6 +22,38 @@ val crc32 : string -> int
 (** CRC-32 (IEEE 802.3, the zlib/PNG polynomial) of a string, in
     [0, 0xFFFFFFFF].  Exposed for tests. *)
 
+val crc32_update : int -> Bytes.t -> int -> int -> int
+(** [crc32_update acc buf off len] extends a running CRC-32 with a chunk:
+    [crc32_update (crc32_update 0 a 0 la) b 0 lb] equals [crc32 (a ^ b)].
+    Start from [0]. *)
+
+val write_atomic : string -> string -> unit
+(** [write_atomic path data] writes [data] to a same-directory temp file,
+    fsyncs, and renames it over [path] — the primitive under {!save},
+    exposed for other subsystems (lib/store) that bring their own body
+    format.  No trailer is added; compose with your own framing or use
+    {!write_stream}. *)
+
+val write_stream : string -> (emit:(Bytes.t -> int -> int -> unit) -> unit) -> unit
+(** [write_stream path fill] is the bounded-memory variant of an atomic
+    checksummed write: [fill ~emit] pushes body chunks ([emit buf off
+    len]); the CRC-32 trailer is computed incrementally and appended, and
+    the temp file is atomically renamed over [path].  The body never has
+    to exist in memory at once — this is what the out-of-core level files
+    of lib/store are written with. *)
+
+val verify_stream : string -> int
+(** Verify the checksum trailer of a file written by {!write_stream} (or
+    {!save}) by streaming its bytes, without loading the body.  Returns
+    the body length in bytes.  @raise Bdd.Corrupt on truncation, a
+    missing trailer, or a checksum mismatch. *)
+
+val cleanup_pending : unit -> int
+(** Remove any in-flight temp files of interrupted atomic writes (theirs
+    is the only window in which a SIGINT can leak files) and return how
+    many were removed.  Safe from a signal handler or [at_exit]; a clean
+    run has nothing registered by then. *)
+
 val save : string -> Bdd.serialized -> unit
 (** Atomic, checksummed replacement for {!Bdd.save}. *)
 

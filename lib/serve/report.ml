@@ -15,6 +15,7 @@ type t = {
   p95_us : float;
   p99_us : float;
   max_us : float;
+  peak_rss_kb : int;
 }
 
 let to_json r =
@@ -33,6 +34,7 @@ let to_json r =
       ("p95_us", Obs.Json.Num r.p95_us);
       ("p99_us", Obs.Json.Num r.p99_us);
       ("max_us", Obs.Json.Num r.max_us);
+      ("peak_rss_kb", Obs.Json.num_int r.peak_rss_kb);
     ]
 
 let write path r = Obs.Json.write_file path (to_json r)
@@ -76,6 +78,14 @@ let validate j =
   let* p95 = num "p95_us" in
   let* p99 = num "p99_us" in
   let* max_us = num "max_us" in
+  let* () =
+    (* optional: reports written before the field existed still validate *)
+    match Obs.Json.member "peak_rss_kb" j with
+    | None -> Ok ()
+    | Some _ ->
+        let* _rss = num "peak_rss_kb" in
+        Ok ()
+  in
   let* () =
     if p50 <= p95 && p95 <= p99 && p99 <= max_us then Ok ()
     else Error "latency quantiles are not monotone (p50 <= p95 <= p99 <= max)"

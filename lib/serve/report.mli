@@ -21,6 +21,9 @@ type t = {
   p95_us : float;
   p99_us : float;
   max_us : float;
+  peak_rss_kb : int;
+      (** load generator's peak resident set (VmHWM); 0 when the platform
+          does not expose it *)
 }
 
 val to_json : t -> Obs.Json.t

@@ -1,0 +1,316 @@
+(* Levelized on-disk BDD files.  Layout (64-bit little-endian words):
+
+     word 0             magic "BLV1" (low four bytes)
+     word 1             nvars
+     word 2             nlevels (non-empty levels)
+     word 3             nnodes
+     word 4             root handle
+     words 5 ..         order: level -> var            (nvars words)
+     then               level table: (var, count)      (2 * nlevels words,
+                                                        deepest level first)
+     then               nodes: (hi, lo)                (2 * nnodes words,
+                                                        grouped by level
+                                                        deepest first, each
+                                                        level sorted
+                                                        ascending)
+     then               Checkpoint.write_stream trailer (16 bytes)
+
+   Handle 0 = ff, 1 = tt, node at position j = handle j + 2. *)
+
+let magic_word = 0x31564C42 (* 'B' 'L' 'V' '1', little-endian *)
+let hdr_words = 5
+let trailer_bytes = 16
+
+type t = {
+  nvars : int;
+  order : int array; (* level -> var *)
+  levels : (int * int) array; (* (var, count), deepest first *)
+  bucket_level : int array; (* global level per level-table entry *)
+  starts : int array; (* starts.(i) = first node position of bucket i;
+                         length nlevels + 1 *)
+  data : (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t;
+  base : int; (* word index of the first node word *)
+  nnodes : int;
+  root : int;
+  path : string;
+  bytes : int; (* on-disk size, trailer included *)
+}
+
+let corrupt msg = raise (Bdd.Corrupt ("level file: " ^ msg))
+
+(* --- canonicalization of a serialized BDD ----------------------------- *)
+
+(* Returns (nvars, order, levels deepest-first, node words, nnodes, root). *)
+let canonicalize (s : Bdd.serialized) =
+  if Array.length s.s_roots <> 1 then
+    invalid_arg "Store.Level_file: exactly one root required";
+  let nvars = s.s_nvars in
+  if nvars < 0 then corrupt "negative nvars";
+  if Array.length s.s_order <> nvars then corrupt "order length mismatch";
+  let var_level = Array.make nvars (-1) in
+  Array.iteri
+    (fun lv v ->
+      if v < 0 || v >= nvars || var_level.(v) >= 0 then
+        corrupt "order is not a permutation";
+      var_level.(v) <- lv)
+    s.s_order;
+  let n = Array.length s.s_nodes in
+  let buckets = Array.make (max nvars 1) [] in
+  Array.iteri
+    (fun j (v, hi, lo) ->
+      if v < 0 || v >= nvars then corrupt "node variable out of range";
+      if hi < 0 || hi >= j + 2 || lo < 0 || lo >= j + 2 then
+        corrupt "child index out of range";
+      let lv = var_level.(v) in
+      buckets.(lv) <- j :: buckets.(lv))
+    s.s_nodes;
+  let remap = Array.make (n + 2) (-1) in
+  remap.(0) <- 0;
+  remap.(1) <- 1;
+  let data = Array.make (2 * n) 0 in
+  let levels = ref [] in
+  let base = ref 0 in
+  for lv = nvars - 1 downto 0 do
+    match buckets.(lv) with
+    | [] -> ()
+    | js ->
+        let pairs =
+          List.rev_map
+            (fun j ->
+              let _, h, l = s.s_nodes.(j) in
+              let nh = remap.(h) and nl = remap.(l) in
+              if nh < 0 || nl < 0 then
+                corrupt "child not at a strictly deeper level";
+              (nh, nl, j))
+            js
+          |> Array.of_list
+        in
+        Array.sort
+          (fun (h1, l1, _) (h2, l2, _) -> compare (h1, l1) (h2, l2))
+          pairs;
+        Array.iteri
+          (fun pos (nh, nl, j) ->
+            if nh = nl then corrupt "redundant node (hi = lo)";
+            if pos > 0 then begin
+              let ph, pl, _ = pairs.(pos - 1) in
+              if ph = nh && pl = nl then corrupt "duplicate node within level"
+            end;
+            let idx = !base + pos in
+            data.(2 * idx) <- nh;
+            data.((2 * idx) + 1) <- nl;
+            remap.(j + 2) <- idx + 2)
+          pairs;
+        levels := (s.s_order.(lv), Array.length pairs) :: !levels;
+        base := !base + Array.length pairs
+  done;
+  let r = s.s_roots.(0) in
+  if r < 0 || r >= n + 2 then corrupt "root index out of range";
+  let root = remap.(r) in
+  if root < 0 then corrupt "root unresolved" (* unreachable for valid input *);
+  (nvars, Array.copy s.s_order, Array.of_list (List.rev !levels), data, n, root)
+
+(* --- writing ---------------------------------------------------------- *)
+
+(* A buffered word emitter over Checkpoint.write_stream's byte emit. *)
+let word_emitter emit =
+  let buf = Bytes.create 65536 in
+  let pos = ref 0 in
+  let word w =
+    if !pos + 8 > Bytes.length buf then begin
+      emit buf 0 !pos;
+      pos := 0
+    end;
+    Bytes.set_int64_le buf !pos (Int64.of_int w);
+    pos := !pos + 8
+  in
+  let flush () =
+    if !pos > 0 then begin
+      emit buf 0 !pos;
+      pos := 0
+    end
+  in
+  (word, flush)
+
+let emit_header ~word ~nvars ~order ~(levels : (int * int) array) ~nnodes ~root
+    =
+  word magic_word;
+  word nvars;
+  word (Array.length levels);
+  word nnodes;
+  word root;
+  Array.iter word order;
+  Array.iter
+    (fun (v, c) ->
+      word v;
+      word c)
+    levels
+
+let write path s =
+  let nvars, order, levels, data, nnodes, root = canonicalize s in
+  Resil.Checkpoint.write_stream path (fun ~emit ->
+      let word, flush = word_emitter emit in
+      emit_header ~word ~nvars ~order ~levels ~nnodes ~root;
+      Array.iter word data;
+      flush ())
+
+let save_stream path ~nvars ~order ~levels ~nnodes ~root ~write_nodes =
+  Resil.Checkpoint.write_stream path (fun ~emit ->
+      let word, flush = word_emitter emit in
+      emit_header ~word ~nvars ~order ~levels ~nnodes ~root;
+      flush ();
+      write_nodes ~emit)
+
+(* --- reading ---------------------------------------------------------- *)
+
+let open_map path =
+  let body_len = Resil.Checkpoint.verify_stream path in
+  if body_len < hdr_words * 8 || body_len mod 8 <> 0 then
+    corrupt "body is not a whole number of words";
+  let nwords = body_len / 8 in
+  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+  let data =
+    Fun.protect
+      ~finally:(fun () -> Unix.close fd)
+      (fun () ->
+        Bigarray.array1_of_genarray
+          (Unix.map_file fd Bigarray.int Bigarray.c_layout false [| nwords |]))
+  in
+  if data.{0} <> magic_word then corrupt "bad magic";
+  let nvars = data.{1}
+  and nlevels = data.{2}
+  and nnodes = data.{3}
+  and root = data.{4} in
+  if nvars < 0 || nlevels < 0 || nnodes < 0 then corrupt "negative header field";
+  if nwords <> hdr_words + nvars + (2 * nlevels) + (2 * nnodes) then
+    corrupt "size does not match header";
+  let order = Array.init nvars (fun i -> data.{hdr_words + i}) in
+  let var_level = Array.make nvars (-1) in
+  Array.iteri
+    (fun lv v ->
+      if v < 0 || v >= nvars || var_level.(v) >= 0 then
+        corrupt "order is not a permutation";
+      var_level.(v) <- lv)
+    order;
+  let lt_off = hdr_words + nvars in
+  let levels =
+    Array.init nlevels (fun i ->
+        (data.{lt_off + (2 * i)}, data.{lt_off + (2 * i) + 1}))
+  in
+  let bucket_level = Array.make nlevels 0 in
+  let starts = Array.make (nlevels + 1) 0 in
+  let prev = ref nvars in
+  Array.iteri
+    (fun i (v, c) ->
+      if v < 0 || v >= nvars then corrupt "level-table variable out of range";
+      if c <= 0 then corrupt "empty level-table entry";
+      let lv = var_level.(v) in
+      if lv >= !prev then corrupt "level table not deepest-first";
+      prev := lv;
+      bucket_level.(i) <- lv;
+      starts.(i + 1) <- starts.(i) + c)
+    levels;
+  if starts.(nlevels) <> nnodes then corrupt "level counts do not sum to nnodes";
+  if root < 0 || root >= nnodes + 2 then corrupt "root handle out of range";
+  if (nnodes = 0) <> (root < 2) then corrupt "root inconsistent with node count";
+  let base = lt_off + (2 * nlevels) in
+  for i = 0 to nlevels - 1 do
+    for p = starts.(i) to starts.(i + 1) - 1 do
+      let h = data.{base + (2 * p)} and l = data.{base + (2 * p) + 1} in
+      let check_child c =
+        if c < 0 || c >= nnodes + 2 then corrupt "child handle out of range";
+        if c >= 2 && c - 2 >= starts.(i) then
+          corrupt "child not at a strictly deeper level"
+      in
+      check_child h;
+      check_child l;
+      if h = l then corrupt "redundant node (hi = lo)";
+      if p > starts.(i) then begin
+        let ph = data.{base + (2 * (p - 1))}
+        and pl = data.{base + (2 * (p - 1)) + 1} in
+        if ph > h || (ph = h && pl >= l) then corrupt "level not sorted"
+      end
+    done
+  done;
+  {
+    nvars;
+    order;
+    levels;
+    bucket_level;
+    starts;
+    data;
+    base;
+    nnodes;
+    root;
+    path;
+    bytes = body_len + trailer_bytes;
+  }
+
+let of_serialized path s =
+  write path s;
+  open_map path
+
+(* --- accessors -------------------------------------------------------- *)
+
+let nvars t = t.nvars
+let order t = Array.copy t.order
+let node_count t = t.nnodes
+let root t = t.root
+let levels t = Array.copy t.levels
+let path t = t.path
+let file_bytes t = t.bytes
+
+let check_handle t h =
+  if h < 2 || h >= t.nnodes + 2 then
+    invalid_arg "Store.Level_file: not a decision-node handle"
+
+let hi t h =
+  check_handle t h;
+  t.data.{t.base + (2 * (h - 2))}
+
+let lo t h =
+  check_handle t h;
+  t.data.{t.base + (2 * (h - 2)) + 1}
+
+(* bucket containing node position [pos], by binary search over starts *)
+let bucket_of_pos t pos =
+  let lo = ref 0 and hi = ref (Array.length t.bucket_level - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi + 1) / 2 in
+    if t.starts.(mid) <= pos then lo := mid else hi := mid - 1
+  done;
+  !lo
+
+let level_of_handle t h =
+  if h < 0 || h >= t.nnodes + 2 then
+    invalid_arg "Store.Level_file: handle out of range";
+  if h < 2 then t.nvars else t.bucket_level.(bucket_of_pos t (h - 2))
+
+let var_of_handle t h =
+  check_handle t h;
+  t.order.(t.bucket_level.(bucket_of_pos t (h - 2)))
+
+let to_serialized t =
+  let s_nodes = Array.make t.nnodes (0, 0, 0) in
+  Array.iteri
+    (fun i (v, _) ->
+      for p = t.starts.(i) to t.starts.(i + 1) - 1 do
+        s_nodes.(p) <-
+          (v, t.data.{t.base + (2 * p)}, t.data.{t.base + (2 * p) + 1})
+      done)
+    t.levels;
+  {
+    Bdd.s_nvars = t.nvars;
+    s_order = Array.copy t.order;
+    s_nodes;
+    s_roots = [| t.root |];
+  }
+
+let equal a b =
+  a.nvars = b.nvars && a.nnodes = b.nnodes && a.root = b.root
+  && a.order = b.order && a.levels = b.levels
+  &&
+  let rec go i =
+    i >= 2 * a.nnodes
+    || (a.data.{a.base + i} = b.data.{b.base + i} && go (i + 1))
+  in
+  go 0

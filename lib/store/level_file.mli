@@ -1,0 +1,107 @@
+(** Levelized on-disk BDD files — the cold tier's node format.
+
+    A level file holds one ROBDD in the canonical levelized layout the
+    streaming operations consume and produce: a fixed header, the
+    level-to-variable order, a level table (deepest level first), then the
+    [(hi, lo)] node words grouped by level deepest-first — so children
+    always precede parents — and finally the checksummed trailer of
+    {!Resil.Checkpoint.write_stream} (truncation or bit-flips surface as
+    {!Bdd.Corrupt} when the file is opened).
+
+    {b Handles.}  Handle [0] is [ff], handle [1] is [tt], and the node at
+    0-based position [j] in the node area is handle [j + 2] — the same
+    convention as {!Bdd.serialized} indices.  A node's variable is implied
+    by its level group and never stored per node.
+
+    {b Canonical form.}  Within each level the nodes are sorted in strictly
+    ascending [(hi, lo)] order.  Because child handles are themselves
+    canonical, two level files over the same order are word-for-word equal
+    iff they denote the same function — {!equal} is a flat compare, and a
+    BDD demoted from the hot tier matches the same function produced by a
+    streaming apply bit-for-bit.
+
+    Files are opened with [Unix.map_file], so a cold BDD occupies address
+    space but no OCaml heap; the OS pages node words in on demand. *)
+
+type t
+
+(** {1 Writing} *)
+
+val write : string -> Bdd.serialized -> unit
+(** [write path s] converts [s] — which must export exactly one root — to
+    canonical levelized form and writes it atomically to [path].
+    @raise Invalid_argument if [s.s_roots] has [<> 1] entry.
+    @raise Bdd.Corrupt if [s] is malformed. *)
+
+val of_serialized : string -> Bdd.serialized -> t
+(** [write] followed by {!open_map} (which re-verifies the checksum —
+    a free end-to-end check of the write path). *)
+
+val save_stream :
+  string ->
+  nvars:int ->
+  order:int array ->
+  levels:(int * int) array ->
+  nnodes:int ->
+  root:int ->
+  write_nodes:(emit:(Bytes.t -> int -> int -> unit) -> unit) ->
+  unit
+(** [save_stream path ... ~write_nodes] writes a level file whose node
+    area is produced by [write_nodes] — the bounded-memory output path of
+    the streaming reduce, which knows the level table and root only after
+    its bottom-up pass and streams the node body from a temp file.
+    [write_nodes ~emit] must emit exactly [2 * nnodes] little-endian
+    64-bit words ([(hi, lo)] per node, deepest level first, each level
+    sorted ascending); [levels] lists [(var, count)] deepest level
+    first.  The caller guarantees canonical form — {!open_map} checks. *)
+
+(** {1 Reading} *)
+
+val open_map : string -> t
+(** Verify the trailer checksum, memory-map the file, and validate the
+    header and node structure (order permutation, level table deepest
+    first, children strictly deeper and already emitted, per-level sort).
+    @raise Bdd.Corrupt on any truncation, bit-flip, or structural lie. *)
+
+val to_serialized : t -> Bdd.serialized
+(** The inverse of {!write}: node handles map to serialized indices
+    unchanged.  Materializes the node array in RAM — promotion back to
+    the hot tier, not a streaming path. *)
+
+(** {1 Accessors} *)
+
+val nvars : t -> int
+val order : t -> int array
+(** The level-to-variable order (a copy). *)
+
+val node_count : t -> int
+(** Decision nodes in the file (terminals excluded). *)
+
+val root : t -> int
+(** Root handle; [0] or [1] when the function is constant. *)
+
+val levels : t -> (int * int) array
+(** [(var, count)] per non-empty level, deepest level first (a copy). *)
+
+val hi : t -> int -> int
+val lo : t -> int -> int
+(** Children of a decision node handle.
+    @raise Invalid_argument on a terminal or out-of-range handle. *)
+
+val level_of_handle : t -> int -> int
+(** Global level (position in the order) of a handle's variable;
+    [nvars t] for the terminals [0] and [1]. *)
+
+val var_of_handle : t -> int -> int
+(** Variable tested by a decision node handle.
+    @raise Invalid_argument on a terminal or out-of-range handle. *)
+
+val equal : t -> t -> bool
+(** Word-for-word structural equality — semantic equality for canonical
+    files sharing a variable order. *)
+
+val path : t -> string
+(** The file backing this mapping. *)
+
+val file_bytes : t -> int
+(** Total on-disk size, trailer included. *)

@@ -1,0 +1,224 @@
+(* Bounded-memory spillable priority queue (see the mli). *)
+
+type run = {
+  r_path : string;
+  r_ic : in_channel;
+  mutable r_left : int; (* elements after the head still unread *)
+  r_head : int array; (* the run's smallest unconsumed tuple *)
+  mutable r_live : bool; (* false once drained (file already removed) *)
+}
+
+type t = {
+  arity : int;
+  bound : int;
+  dir : string;
+  heap : int array; (* arity-strided tuples, [0, n) live *)
+  mutable n : int;
+  mutable runs : run list;
+  mutable nruns : int;
+  mutable run_bytes : int;
+  mutable closed : bool;
+  scratch : int array; (* one tuple, for heap swaps *)
+}
+
+let default_bound = 1 lsl 18
+
+let create ?(mem_bound = default_bound) ~dir ~arity () =
+  if arity <= 0 then invalid_arg "Store.Pq.create: arity must be positive";
+  let bound = max 64 mem_bound in
+  {
+    arity;
+    bound;
+    dir;
+    heap = Array.make (bound * arity) 0;
+    n = 0;
+    runs = [];
+    nruns = 0;
+    run_bytes = 0;
+    closed = false;
+    scratch = Array.make arity 0;
+  }
+
+(* lexicographic compare of two strided tuples *)
+let cmp_at h1 o1 h2 o2 arity =
+  let rec go k =
+    if k = arity then 0
+    else
+      let a = Array.unsafe_get h1 (o1 + k)
+      and b = Array.unsafe_get h2 (o2 + k) in
+      if a < b then -1 else if a > b then 1 else go (k + 1)
+  in
+  go 0
+
+let swap t i j =
+  let a = t.arity in
+  Array.blit t.heap (i * a) t.scratch 0 a;
+  Array.blit t.heap (j * a) t.heap (i * a) a;
+  Array.blit t.scratch 0 t.heap (j * a) a
+
+let sift_up t i =
+  let a = t.arity in
+  let i = ref i in
+  while
+    !i > 0
+    &&
+    let p = (!i - 1) / 2 in
+    cmp_at t.heap (!i * a) t.heap (p * a) a < 0
+  do
+    let p = (!i - 1) / 2 in
+    swap t !i p;
+    i := p
+  done
+
+let sift_down t i =
+  let a = t.arity in
+  let i = ref i and break = ref false in
+  while not !break do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let s = ref !i in
+    if l < t.n && cmp_at t.heap (l * a) t.heap (!s * a) a < 0 then s := l;
+    if r < t.n && cmp_at t.heap (r * a) t.heap (!s * a) a < 0 then s := r;
+    if !s = !i then break := true
+    else begin
+      swap t !i !s;
+      i := !s
+    end
+  done
+
+(* --- run files: count word, then tuples as unsigned le64 words -------- *)
+
+let le64 buf n =
+  for i = 0 to 7 do
+    Buffer.add_char buf (Char.chr ((n lsr (8 * i)) land 0xFF))
+  done
+
+let read_word ic =
+  let n = ref 0 in
+  for i = 0 to 7 do
+    n := !n lor (input_byte ic lsl (8 * i))
+  done;
+  !n
+
+let read_tuple ic dst arity =
+  for k = 0 to arity - 1 do
+    dst.(k) <- read_word ic
+  done
+
+(* Sort the heap contents and write them out as one run, emptying the
+   heap.  Sorting an index array keeps the tuple moves to one final
+   permutation pass. *)
+let spill t =
+  let a = t.arity and n = t.n in
+  let idx = Array.init n (fun i -> i) in
+  Array.sort (fun i j -> cmp_at t.heap (i * a) t.heap (j * a) a) idx;
+  let path = Filename.temp_file ~temp_dir:t.dir "pqrun" ".run" in
+  let oc = open_out_bin path in
+  (try
+     let buf = Buffer.create 65536 in
+     le64 buf n;
+     Array.iter
+       (fun i ->
+         for k = 0 to a - 1 do
+           le64 buf t.heap.((i * a) + k)
+         done;
+         if Buffer.length buf > 60000 then begin
+           Buffer.output_buffer oc buf;
+           Buffer.clear buf
+         end)
+       idx;
+     Buffer.output_buffer oc buf;
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove path with Sys_error _ -> ());
+     raise e);
+  t.run_bytes <- t.run_bytes + (8 * ((n * a) + 1));
+  t.nruns <- t.nruns + 1;
+  t.n <- 0;
+  let ic = open_in_bin path in
+  let left = read_word ic in
+  let head = Array.make a 0 in
+  read_tuple ic head a;
+  t.runs <- { r_path = path; r_ic = ic; r_left = left - 1; r_head = head; r_live = true } :: t.runs
+
+let push t tup =
+  if t.closed then invalid_arg "Store.Pq.push: closed queue";
+  if Array.length tup <> t.arity then
+    invalid_arg "Store.Pq.push: tuple arity mismatch";
+  Array.iter
+    (fun v -> if v < 0 then invalid_arg "Store.Pq.push: negative field")
+    tup;
+  if t.n >= t.bound then spill t;
+  Array.blit tup 0 t.heap (t.n * t.arity) t.arity;
+  t.n <- t.n + 1;
+  sift_up t (t.n - 1)
+
+let drop_run t r =
+  r.r_live <- false;
+  close_in_noerr r.r_ic;
+  (try Sys.remove r.r_path with Sys_error _ -> ());
+  t.runs <- List.filter (fun x -> x.r_live) t.runs
+
+(* The run (if any) whose head is the global minimum, and whether it beats
+   the heap top. *)
+let min_source t =
+  let best = ref None in
+  List.iter
+    (fun r ->
+      match !best with
+      | None -> best := Some r
+      | Some b -> if cmp_at r.r_head 0 b.r_head 0 t.arity < 0 then best := Some r)
+    t.runs;
+  match !best with
+  | None -> `Heap
+  | Some r ->
+      if t.n = 0 || cmp_at r.r_head 0 t.heap 0 t.arity <= 0 then `Run r
+      else `Heap
+
+let peek t dst =
+  if t.n = 0 && t.runs = [] then false
+  else begin
+    (match min_source t with
+    | `Heap -> Array.blit t.heap 0 dst 0 t.arity
+    | `Run r -> Array.blit r.r_head 0 dst 0 t.arity);
+    true
+  end
+
+let pop t dst =
+  if t.n = 0 && t.runs = [] then false
+  else begin
+    (match min_source t with
+    | `Heap ->
+        Array.blit t.heap 0 dst 0 t.arity;
+        t.n <- t.n - 1;
+        if t.n > 0 then begin
+          Array.blit t.heap (t.n * t.arity) t.heap 0 t.arity;
+          sift_down t 0
+        end
+    | `Run r ->
+        Array.blit r.r_head 0 dst 0 t.arity;
+        if r.r_left > 0 then begin
+          read_tuple r.r_ic r.r_head t.arity;
+          r.r_left <- r.r_left - 1
+        end
+        else drop_run t r);
+    true
+  end
+
+let length t =
+  List.fold_left (fun acc r -> acc + r.r_left + 1) t.n t.runs
+
+let runs_spilled t = t.nruns
+let spilled_bytes t = t.run_bytes
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    t.n <- 0;
+    List.iter
+      (fun r ->
+        close_in_noerr r.r_ic;
+        try Sys.remove r.r_path with Sys_error _ -> ())
+      t.runs;
+    t.runs <- []
+  end

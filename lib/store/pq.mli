@@ -1,0 +1,47 @@
+(** Bounded-memory priority queue over fixed-arity int tuples.
+
+    The workhorse of the levelized streaming operations ({!module:Stream}):
+    apply pushes node-pair requests and pops them in (level, pair) order,
+    reduce forwards child resolutions to parent arcs the same way.  The
+    queue keeps at most [mem_bound] tuples in a flat int-array binary heap
+    (no boxing, no per-element allocation); when the heap fills, its
+    contents are sorted and written to a run file in [dir], and pops merge
+    the heap with the open run heads.  RAM is therefore bounded by
+    [mem_bound] tuples plus one head per run, regardless of how many
+    tuples pass through — the external-memory priority queue of the Adiar
+    algorithm family, sized for this repository.
+
+    Tuples are ordered lexicographically over all fields.  Fields must be
+    non-negative (they are written to run files as unsigned 64-bit
+    words). *)
+
+type t
+
+val create : ?mem_bound:int -> dir:string -> arity:int -> unit -> t
+(** [create ~dir ~arity ()] makes an empty queue of [arity]-field tuples
+    spilling to fresh temp files under [dir].  [mem_bound] (default
+    [1 lsl 18] tuples) caps the in-memory heap. *)
+
+val push : t -> int array -> unit
+(** [push q tup] inserts a copy of [tup] (length [arity], fields [>= 0]).
+    @raise Invalid_argument on a wrong length or a negative field. *)
+
+val pop : t -> int array -> bool
+(** [pop q dst] moves the smallest tuple into [dst] (length [arity]) and
+    returns [true], or returns [false] when the queue is empty. *)
+
+val peek : t -> int array -> bool
+(** Like {!pop} without removing: the smallest tuple, if any. *)
+
+val length : t -> int
+(** Tuples currently queued (heap + unread run elements). *)
+
+val runs_spilled : t -> int
+(** Run files written so far (monotone). *)
+
+val spilled_bytes : t -> int
+(** Bytes written to run files so far (monotone). *)
+
+val close : t -> unit
+(** Drop the heap and remove any run files.  The queue must not be used
+    afterwards; calling [close] twice is harmless. *)

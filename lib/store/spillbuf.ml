@@ -1,0 +1,116 @@
+(* Append-only fixed-arity tuple buffer with single-file overflow. *)
+
+type t = {
+  arity : int;
+  bound : int;
+  dir : string;
+  mutable mem : int array; (* arity-strided, [0, mem_n) live *)
+  mutable mem_n : int;
+  mutable oc : out_channel option; (* overflow sink, opened lazily *)
+  mutable path : string option;
+  mutable file_n : int; (* tuples in the overflow file *)
+  mutable bytes : int;
+  mutable closed : bool;
+}
+
+let default_bound = 1 lsl 18
+
+let create ?(mem_bound = default_bound) ~dir ~arity () =
+  if arity <= 0 then invalid_arg "Store.Spillbuf.create: arity must be positive";
+  let bound = max 64 mem_bound in
+  {
+    arity;
+    bound;
+    dir;
+    mem = Array.make (min bound 1024 * arity) 0;
+    mem_n = 0;
+    oc = None;
+    path = None;
+    file_n = 0;
+    bytes = 0;
+    closed = false;
+  }
+
+let write_word oc n =
+  for i = 0 to 7 do
+    output_byte oc ((n lsr (8 * i)) land 0xFF)
+  done
+
+let read_word ic =
+  let n = ref 0 in
+  for i = 0 to 7 do
+    n := !n lor (input_byte ic lsl (8 * i))
+  done;
+  !n
+
+let push t tup =
+  if t.closed then invalid_arg "Store.Spillbuf.push: closed buffer";
+  if Array.length tup <> t.arity then
+    invalid_arg "Store.Spillbuf.push: tuple arity mismatch";
+  Array.iter
+    (fun v -> if v < 0 then invalid_arg "Store.Spillbuf.push: negative field")
+    tup;
+  if t.mem_n < t.bound then begin
+    let need = (t.mem_n + 1) * t.arity in
+    if need > Array.length t.mem then begin
+      let grown =
+        Array.make (min (2 * Array.length t.mem) (t.bound * t.arity)) 0
+      in
+      Array.blit t.mem 0 grown 0 (t.mem_n * t.arity);
+      t.mem <- grown
+    end;
+    Array.blit tup 0 t.mem (t.mem_n * t.arity) t.arity;
+    t.mem_n <- t.mem_n + 1
+  end
+  else begin
+    let oc =
+      match t.oc with
+      | Some oc -> oc
+      | None ->
+          let path = Filename.temp_file ~temp_dir:t.dir "spillbuf" ".buf" in
+          let oc = open_out_bin path in
+          t.path <- Some path;
+          t.oc <- Some oc;
+          oc
+    in
+    Array.iter (write_word oc) tup;
+    t.file_n <- t.file_n + 1;
+    t.bytes <- t.bytes + (8 * t.arity)
+  end
+
+let length t = t.mem_n + t.file_n
+let spilled_bytes t = t.bytes
+
+let iter t f =
+  let scratch = Array.make t.arity 0 in
+  (match t.path with
+  | None -> ()
+  | Some path ->
+      (match t.oc with Some oc -> flush oc | None -> ());
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          for _ = 1 to t.file_n do
+            for k = 0 to t.arity - 1 do
+              scratch.(k) <- read_word ic
+            done;
+            f scratch
+          done));
+  for i = 0 to t.mem_n - 1 do
+    Array.blit t.mem (i * t.arity) scratch 0 t.arity;
+    f scratch
+  done
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    t.mem_n <- 0;
+    t.mem <- [||];
+    (match t.oc with Some oc -> close_out_noerr oc | None -> ());
+    t.oc <- None;
+    (match t.path with
+    | Some p -> ( try Sys.remove p with Sys_error _ -> ())
+    | None -> ());
+    t.path <- None
+  end

@@ -1,0 +1,33 @@
+(** Append-only buffer of fixed-arity int tuples with a RAM bound.
+
+    The streaming apply ({!module:Stream}) records per-level parent arcs
+    and terminal arcs as it descends; reduce replays them bottom-up.
+    Arrival order carries no meaning, so the buffer keeps the first
+    [mem_bound] tuples in a flat int array and appends the overflow to a
+    single temp file in [dir].  [iter] replays everything, file contents
+    first, in unspecified order.  Fields must be non-negative. *)
+
+type t
+
+val create : ?mem_bound:int -> dir:string -> arity:int -> unit -> t
+(** [create ~dir ~arity ()] makes an empty buffer.  [mem_bound] (default
+    [1 lsl 18] tuples) caps the in-memory portion; overflow goes to one
+    temp file under [dir]. *)
+
+val push : t -> int array -> unit
+(** Append a copy of the tuple.
+    @raise Invalid_argument on a wrong length or a negative field. *)
+
+val length : t -> int
+(** Tuples stored so far. *)
+
+val spilled_bytes : t -> int
+(** Bytes written to the overflow file (monotone). *)
+
+val iter : t -> (int array -> unit) -> unit
+(** [iter b f] calls [f] once per stored tuple, reusing one scratch array
+    across calls — [f] must not retain its argument.  The buffer is
+    read-only during iteration ([push] mid-iteration is not allowed). *)
+
+val close : t -> unit
+(** Drop the buffer and remove the overflow file, if any.  Idempotent. *)

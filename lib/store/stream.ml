@@ -1,0 +1,299 @@
+(* Levelized streaming apply + reduce (see the mli for the big picture).
+
+   Apply (top-down): requests are (level, fa, gb, parent_uid, dir) tuples
+   in a priority queue, popped in lexicographic order, so all requests for
+   one (level, fa, gb) pair are adjacent and the pair becomes exactly one
+   unreduced output node.  Each request records a parent arc; children
+   either resolve to a terminal (recorded in a per-level terminal-arc
+   buffer) or become deeper requests.
+
+   Reduce (bottom-up): levels are processed deepest first.  A level's
+   nodes get their resolved children from the terminal-arc buffer and a
+   forwarding queue fed by deeper levels; redundant nodes (hi = lo)
+   forward their child, duplicates merge under an (hi, lo) sort, and the
+   survivors' final handles are forwarded to their parents' arcs.  Unique
+   node words append to a temp body file that Level_file.save_stream
+   copies into the final checksummed output. *)
+
+type op = And | Or | Diff | Xor
+
+type apply_stats = {
+  requests : int;
+  unreduced : int;
+  reduced : int;
+  spilled_bytes : int;
+}
+
+(* Both-terminal pairs always resolve; one-terminal pairs resolve only
+   when the operator short-circuits (otherwise the copy/negation of the
+   remaining operand emerges from descending into it). *)
+let term_result op a b =
+  match op with
+  | And ->
+      if a = 0 || b = 0 then Some 0
+      else if a = 1 && b = 1 then Some 1
+      else None
+  | Or ->
+      if a = 1 || b = 1 then Some 1
+      else if a = 0 && b = 0 then Some 0
+      else None
+  | Diff ->
+      if a = 0 || b = 1 then Some 0
+      else if a = 1 && b = 0 then Some 1
+      else None
+  | Xor -> if a < 2 && b < 2 then Some (a lxor b) else None
+
+(* Output-node uid: level in the high bits, per-level sequence number in
+   the low 40.  The root sentinel sits above any real uid. *)
+let seq_bits = 40
+let seq_mask = (1 lsl seq_bits) - 1
+let root_uid = 1 lsl 60
+
+let write_word oc n =
+  for i = 0 to 7 do
+    output_byte oc ((n lsr (8 * i)) land 0xFF)
+  done
+
+let apply ~dir ?mem_bound ~path op f g =
+  let nlv = Level_file.nvars f in
+  if nlv <> Level_file.nvars g || Level_file.order f <> Level_file.order g then
+    invalid_arg "Store.Stream.apply: operands disagree on variable order";
+  let order = Level_file.order f in
+  let lvl_f h = Level_file.level_of_handle f h
+  and lvl_g h = Level_file.level_of_handle g h in
+  let constant v =
+    Level_file.save_stream path ~nvars:nlv ~order ~levels:[||] ~nnodes:0
+      ~root:v ~write_nodes:(fun ~emit:_ -> ())
+  in
+  match term_result op (Level_file.root f) (Level_file.root g) with
+  | Some v ->
+      constant v;
+      ( Level_file.open_map path,
+        { requests = 0; unreduced = 0; reduced = 0; spilled_bytes = 0 } )
+  | None ->
+      let reqs = Pq.create ?mem_bound ~dir ~arity:5 () in
+      let width = Array.make nlv 0 in
+      let int_arcs =
+        Array.init nlv (fun _ -> Spillbuf.create ?mem_bound ~dir ~arity:3 ())
+      and term_arcs =
+        Array.init nlv (fun _ -> Spillbuf.create ?mem_bound ~dir ~arity:3 ())
+      in
+      let spilled = ref 0 in
+      let tup3 = Array.make 3 0 and tup4 = Array.make 4 0 in
+      let push_req lv fa gb parent dir =
+        Pq.push reqs [| lv; fa; gb; parent; dir |]
+      in
+      push_req
+        (min (lvl_f (Level_file.root f)) (lvl_g (Level_file.root g)))
+        (Level_file.root f) (Level_file.root g) root_uid 0;
+      (* ---- top-down request sweep ---- *)
+      let requests = ref 0 in
+      let cur = Array.make 5 0 in
+      let grp_valid = ref false in
+      let grp_lv = ref 0 and grp_fa = ref 0 and grp_gb = ref 0 in
+      let grp_seq = ref 0 in
+      while Pq.pop reqs cur do
+        let lv = cur.(0) and fa = cur.(1) and gb = cur.(2) in
+        let parent = cur.(3) and dir = cur.(4) in
+        let seq =
+          if !grp_valid && !grp_lv = lv && !grp_fa = fa && !grp_gb = gb then
+            !grp_seq
+          else begin
+            incr requests;
+            let s = width.(lv) in
+            width.(lv) <- s + 1;
+            grp_valid := true;
+            grp_lv := lv;
+            grp_fa := fa;
+            grp_gb := gb;
+            grp_seq := s;
+            (* expand children once per (lv, fa, gb) group *)
+            let fh, fl =
+              if lvl_f fa = lv then (Level_file.hi f fa, Level_file.lo f fa)
+              else (fa, fa)
+            and gh, gl =
+              if lvl_g gb = lv then (Level_file.hi g gb, Level_file.lo g gb)
+              else (gb, gb)
+            in
+            let uid = (lv lsl seq_bits) lor s in
+            let child cdir ca cb =
+              match term_result op ca cb with
+              | Some v ->
+                  tup3.(0) <- s;
+                  tup3.(1) <- cdir;
+                  tup3.(2) <- v;
+                  Spillbuf.push term_arcs.(lv) tup3
+              | None -> push_req (min (lvl_f ca) (lvl_g cb)) ca cb uid cdir
+            in
+            child 1 fh gh;
+            child 0 fl gl;
+            s
+          end
+        in
+        tup3.(0) <- parent;
+        tup3.(1) <- dir;
+        tup3.(2) <- seq;
+        Spillbuf.push int_arcs.(lv) tup3
+      done;
+      spilled := !spilled + Pq.spilled_bytes reqs;
+      Pq.close reqs;
+      (* ---- bottom-up reduce ---- *)
+      let fwd = Pq.create ?mem_bound ~dir ~arity:4 () in
+      let body_path = Filename.temp_file ~temp_dir:dir "reduce" ".body" in
+      let body_oc = open_out_bin body_path in
+      let levels_acc = ref [] in
+      let base = ref 0 in
+      let root_result = ref (-1) in
+      let unreduced = ref 0 in
+      for lv = nlv - 1 downto 0 do
+        let w = width.(lv) in
+        if w > 0 then begin
+          unreduced := !unreduced + w;
+          let hi_res = Array.make w (-1) and lo_res = Array.make w (-1) in
+          Spillbuf.iter term_arcs.(lv) (fun t ->
+              if t.(1) = 1 then hi_res.(t.(0)) <- t.(2)
+              else lo_res.(t.(0)) <- t.(2));
+          let key1 = nlv - lv in
+          while Pq.peek fwd tup4 && tup4.(0) = key1 do
+            ignore (Pq.pop fwd tup4);
+            if tup4.(2) = 1 then hi_res.(tup4.(1)) <- tup4.(3)
+            else lo_res.(tup4.(1)) <- tup4.(3)
+          done;
+          let res = Array.make w (-1) in
+          let cands = ref [] in
+          for seq = w - 1 downto 0 do
+            let h = hi_res.(seq) and l = lo_res.(seq) in
+            if h < 0 || l < 0 then
+              raise (Bdd.Corrupt "streaming apply: unresolved child arc");
+            if h = l then res.(seq) <- h else cands := seq :: !cands
+          done;
+          let cands = Array.of_list !cands in
+          Array.sort
+            (fun s1 s2 ->
+              compare (hi_res.(s1), lo_res.(s1)) (hi_res.(s2), lo_res.(s2)))
+            cands;
+          let uniq = ref 0 and ph = ref (-1) and pl = ref (-1) in
+          Array.iter
+            (fun seq ->
+              let h = hi_res.(seq) and l = lo_res.(seq) in
+              if h <> !ph || l <> !pl then begin
+                write_word body_oc h;
+                write_word body_oc l;
+                ph := h;
+                pl := l;
+                incr uniq
+              end;
+              res.(seq) <- !base + !uniq - 1 + 2)
+            cands;
+          if !uniq > 0 then levels_acc := (order.(lv), !uniq) :: !levels_acc;
+          base := !base + !uniq;
+          Spillbuf.iter int_arcs.(lv) (fun t ->
+              let h = res.(t.(2)) in
+              if t.(0) = root_uid then root_result := h
+              else begin
+                tup4.(0) <- nlv - (t.(0) lsr seq_bits);
+                tup4.(1) <- t.(0) land seq_mask;
+                tup4.(2) <- t.(1);
+                tup4.(3) <- h;
+                Pq.push fwd tup4
+              end)
+        end;
+        spilled :=
+          !spilled
+          + Spillbuf.spilled_bytes int_arcs.(lv)
+          + Spillbuf.spilled_bytes term_arcs.(lv);
+        Spillbuf.close int_arcs.(lv);
+        Spillbuf.close term_arcs.(lv)
+      done;
+      close_out body_oc;
+      spilled := !spilled + Pq.spilled_bytes fwd;
+      Pq.close fwd;
+      let root = !root_result in
+      let nnodes = !base in
+      Fun.protect
+        ~finally:(fun () ->
+          try Sys.remove body_path with Sys_error _ -> ())
+        (fun () ->
+          if root < 0 then
+            raise (Bdd.Corrupt "streaming apply: root never resolved")
+          else if root < 2 then
+            (* everything reduced away to a constant *)
+            constant root
+          else
+            Level_file.save_stream path ~nvars:nlv ~order
+              ~levels:(Array.of_list (List.rev !levels_acc))
+              ~nnodes ~root ~write_nodes:(fun ~emit ->
+                let ic = open_in_bin body_path in
+                Fun.protect
+                  ~finally:(fun () -> close_in_noerr ic)
+                  (fun () ->
+                    let buf = Bytes.create 65536 in
+                    let left = ref (2 * nnodes * 8) in
+                    while !left > 0 do
+                      let k = min !left (Bytes.length buf) in
+                      really_input ic buf 0 k;
+                      emit buf 0 k;
+                      left := !left - k
+                    done)));
+      let out = Level_file.open_map path in
+      ( out,
+        {
+          requests = !requests;
+          unreduced = !unreduced;
+          reduced = nnodes;
+          spilled_bytes = !spilled;
+        } )
+
+(* ---- streaming minterm count ----------------------------------------- *)
+
+(* Top-down contribution forwarding: the root carries 2^(root level)
+   (the free variables above it), each arc multiplies by 2^(gap - 1) for
+   the levels it skips, and arcs into tt accumulate.  Handles are visited
+   in decreasing order — parents always precede children because the file
+   is children-before-parents — so a node's full weight is known when it
+   is popped.  Float weights ride in the queue as their IEEE bits split
+   into two non-negative 32-bit fields. *)
+let count_minterms ~dir ?mem_bound t =
+  let root = Level_file.root t in
+  let nv = Level_file.nvars t in
+  if root = 0 then 0.0
+  else if root = 1 then ldexp 1.0 nv
+  else begin
+    let maxh = Level_file.node_count t + 2 in
+    let pq = Pq.create ?mem_bound ~dir ~arity:3 () in
+    let tup = Array.make 3 0 in
+    let push_weight h w =
+      let bits = Int64.bits_of_float w in
+      tup.(0) <- maxh - h;
+      tup.(1) <- Int64.to_int (Int64.shift_right_logical bits 32);
+      tup.(2) <- Int64.to_int (Int64.logand bits 0xFFFFFFFFL);
+      Pq.push pq tup
+    in
+    let weight_of a =
+      Int64.float_of_bits
+        (Int64.logor
+           (Int64.shift_left (Int64.of_int a.(1)) 32)
+           (Int64.of_int a.(2)))
+    in
+    push_weight root (ldexp 1.0 (Level_file.level_of_handle t root));
+    let acc = ref 0.0 in
+    let cur = Array.make 3 0 in
+    while Pq.pop pq cur do
+      let h = maxh - cur.(0) in
+      let w = ref (weight_of cur) in
+      while Pq.peek pq cur && maxh - cur.(0) = h do
+        ignore (Pq.pop pq cur);
+        w := !w +. weight_of cur
+      done;
+      let lv = Level_file.level_of_handle t h in
+      let child c =
+        if c = 1 then acc := !acc +. ldexp !w (nv - lv - 1)
+        else if c >= 2 then
+          push_weight c (ldexp !w (Level_file.level_of_handle t c - lv - 1))
+      in
+      child (Level_file.hi t h);
+      child (Level_file.lo t h)
+    done;
+    Pq.close pq;
+    !acc
+  end

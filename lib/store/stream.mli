@@ -1,0 +1,47 @@
+(** Levelized streaming apply / reduce over cold-tier level files.
+
+    The external-memory algorithm of the Adiar family, sized for this
+    repository: instead of pointer-chasing recursion over an in-RAM unique
+    table, {!apply} runs top-down over two {!Level_file.t} inputs, keeping
+    node-pair requests in a bounded-memory priority queue ({!Pq}) ordered
+    by level, and {!apply}'s built-in bottom-up reduce re-canonicalizes
+    the unreduced output level by level, forwarding resolved child handles
+    to parent arcs through a second priority queue.  RAM use is bounded by
+    the queue memory bounds plus the widest single level of the unreduced
+    output (the per-level resolution arrays — the levelized cut); node
+    data beyond that streams through temp files in [dir].
+
+    Inputs must share [nvars] and the variable order.  The output is
+    written with {!Level_file.save_stream}, so it is canonical: equal
+    functions yield word-for-word equal files. *)
+
+type op = And | Or | Diff | Xor
+(** [Diff] is [a AND NOT b].  Negation is [Xor] against [tt]. *)
+
+type apply_stats = {
+  requests : int;  (** node-pair requests processed (post-dedup) *)
+  unreduced : int;  (** output nodes before reduction *)
+  reduced : int;  (** output nodes after reduction *)
+  spilled_bytes : int;
+      (** bytes the priority queues and arc buffers spilled to temp files *)
+}
+
+val apply :
+  dir:string ->
+  ?mem_bound:int ->
+  path:string ->
+  op ->
+  Level_file.t ->
+  Level_file.t ->
+  Level_file.t * apply_stats
+(** [apply ~dir ~path op f g] computes [op f g] entirely out of core and
+    writes the canonical result to [path] (atomically, checksummed),
+    returning it opened.  A constant result still produces a (tiny) level
+    file.  [mem_bound] caps each internal queue and buffer in tuples.
+    @raise Invalid_argument if [f] and [g] disagree on variables or
+    order. *)
+
+val count_minterms : dir:string -> ?mem_bound:int -> Level_file.t -> float
+(** Number of satisfying assignments over all [nvars] variables, computed
+    by one top-down streaming sweep forwarding path-weight contributions
+    through a priority queue — no recursion, no memo table. *)

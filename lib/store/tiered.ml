@@ -1,0 +1,283 @@
+(* The tiered node store (see the mli). *)
+
+type slot = {
+  s_path : string;
+  s_nnodes : int;
+  s_bytes : int;
+  s_root : int;
+  mutable s_file : Level_file.t option; (* None = spilled / unmapped *)
+  mutable s_rc : int;
+}
+
+type t = {
+  man : Bdd.man;
+  dir : string;
+  own_dir : bool;
+  mem_bound : int;
+  disk_budget : int option;
+  slots : (int, slot) Hashtbl.t;
+  mutable next_id : int;
+  mutable cold : int;
+  mutable peak_cold : int;
+  mutable spilled : int; (* cumulative bytes written, monotone *)
+  mutable disk_used : int; (* live cold-file bytes *)
+  mutable closed : bool;
+}
+
+type handle = int
+
+exception Disk_full
+
+(* ---- global file registry, for SIGINT / abnormal-exit cleanup -------- *)
+
+let reg_mutex = Mutex.create ()
+let reg_files : (string, unit) Hashtbl.t = Hashtbl.create 32
+let reg_dirs : (string, unit) Hashtbl.t = Hashtbl.create 4
+
+let locked f =
+  Mutex.lock reg_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock reg_mutex) f
+
+let register p = locked (fun () -> Hashtbl.replace reg_files p ())
+let unregister p = locked (fun () -> Hashtbl.remove reg_files p)
+
+let cleanup_files () =
+  let files, dirs =
+    locked (fun () ->
+        let fs = Hashtbl.fold (fun p () acc -> p :: acc) reg_files [] in
+        let ds = Hashtbl.fold (fun p () acc -> p :: acc) reg_dirs [] in
+        Hashtbl.reset reg_files;
+        Hashtbl.reset reg_dirs;
+        (fs, ds))
+  in
+  let n = ref 0 in
+  List.iter
+    (fun p ->
+      try
+        Sys.remove p;
+        incr n
+      with Sys_error _ -> ())
+    files;
+  (* stores also spill queue runs and reduce temps into their own dirs *)
+  List.iter
+    (fun d ->
+      (try
+         Array.iter
+           (fun name ->
+             try
+               Sys.remove (Filename.concat d name);
+               incr n
+             with Sys_error _ -> ())
+           (Sys.readdir d)
+       with Sys_error _ -> ());
+      try Unix.rmdir d with Unix.Unix_error _ -> ())
+    dirs;
+  !n
+
+(* ---- observability helpers ------------------------------------------- *)
+
+let m_inc name n =
+  if Obs.Metrics.recording () then
+    Obs.Metrics.inc (Obs.Metrics.counter Obs.Metrics.default name) n
+
+let m_set name v =
+  if Obs.Metrics.recording () then
+    Obs.Metrics.set (Obs.Metrics.gauge Obs.Metrics.default name) v
+
+let update_gauges t =
+  m_set "store.cold_nodes" t.cold;
+  m_set "store.disk_used_bytes" t.disk_used
+
+(* ---- store lifecycle -------------------------------------------------- *)
+
+let create ?dir ?(mem_bound = 1 lsl 18) ?disk_budget_bytes man =
+  let dir, own_dir =
+    match dir with
+    | Some d ->
+        if not (Sys.file_exists d) then Unix.mkdir d 0o755;
+        (d, false)
+    | None ->
+        let d = Filename.temp_file "bddstore" ".d" in
+        Sys.remove d;
+        Unix.mkdir d 0o700;
+        (d, true)
+  in
+  if own_dir then locked (fun () -> Hashtbl.replace reg_dirs dir ());
+  let t =
+    {
+      man;
+      dir;
+      own_dir;
+      mem_bound;
+      disk_budget = disk_budget_bytes;
+      slots = Hashtbl.create 64;
+      next_id = 0;
+      cold = 0;
+      peak_cold = 0;
+      spilled = 0;
+      disk_used = 0;
+      closed = false;
+    }
+  in
+  Bdd.set_store_stats man
+    (Some (fun () -> (Bdd.unique_size man, t.cold, t.spilled)));
+  t
+
+let check_open t =
+  if t.closed then invalid_arg "Store.Tiered: store is closed"
+
+let slot t h =
+  check_open t;
+  match Hashtbl.find_opt t.slots h with
+  | Some s when s.s_rc > 0 -> s
+  | _ -> invalid_arg "Store.Tiered: dead or unknown handle"
+
+let file_of_slot s =
+  match s.s_file with
+  | Some f -> f
+  | None ->
+      (* remap — re-verifies the checksum trailer *)
+      m_inc "store.remaps" 1;
+      let f = Level_file.open_map s.s_path in
+      s.s_file <- Some f;
+      f
+
+let fresh_path t =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  (id, Filename.concat t.dir (Printf.sprintf "cold%06d.blv" id))
+
+(* Account a newly written level file as slot [id]; enforces the disk
+   budget, removing the file before raising. *)
+let adopt t id path lf =
+  let bytes = Level_file.file_bytes lf in
+  (match t.disk_budget with
+  | Some budget when t.disk_used + bytes > budget ->
+      (try Sys.remove path with Sys_error _ -> ());
+      unregister path;
+      m_inc "store.disk_full" 1;
+      raise Disk_full
+  | _ -> ());
+  let s =
+    {
+      s_path = path;
+      s_nnodes = Level_file.node_count lf;
+      s_bytes = bytes;
+      s_root = Level_file.root lf;
+      s_file = Some lf;
+      s_rc = 1;
+    }
+  in
+  Hashtbl.replace t.slots id s;
+  t.cold <- t.cold + s.s_nnodes;
+  if t.cold > t.peak_cold then t.peak_cold <- t.cold;
+  t.spilled <- t.spilled + bytes;
+  t.disk_used <- t.disk_used + bytes;
+  m_inc "store.spilled_bytes" bytes;
+  update_gauges t;
+  id
+
+(* ---- tier movement ---------------------------------------------------- *)
+
+let demote t b =
+  check_open t;
+  Obs.Trace.with_span "store.demote" (fun () ->
+      let s = Bdd.export t.man b in
+      let id, path = fresh_path t in
+      register path;
+      let lf = Level_file.of_serialized path s in
+      m_inc "store.demotions" 1;
+      adopt t id path lf)
+
+let promote t h =
+  let s = slot t h in
+  Obs.Trace.with_span "store.promote" (fun () ->
+      let b = Bdd.import t.man (Level_file.to_serialized (file_of_slot s)) in
+      m_inc "store.promotions" 1;
+      b)
+
+let apply t op a b =
+  let sa = slot t a and sb = slot t b in
+  Obs.Trace.with_span "store.apply" (fun () ->
+      let fa = file_of_slot sa and fb = file_of_slot sb in
+      let id, path = fresh_path t in
+      register path;
+      let lf, st = Stream.apply ~dir:t.dir ~mem_bound:t.mem_bound ~path op fa fb in
+      t.spilled <- t.spilled + st.Stream.spilled_bytes;
+      m_inc "store.apply_ops" 1;
+      m_inc "store.spilled_bytes" st.Stream.spilled_bytes;
+      if st.Stream.spilled_bytes > 0 then m_inc "store.pq_spills" 1;
+      adopt t id path lf)
+
+(* ---- handle management ------------------------------------------------ *)
+
+let retain t h =
+  let s = slot t h in
+  s.s_rc <- s.s_rc + 1
+
+let drop t h =
+  let s = slot t h in
+  s.s_rc <- s.s_rc - 1;
+  if s.s_rc = 0 then begin
+    Hashtbl.remove t.slots h;
+    t.cold <- t.cold - s.s_nnodes;
+    t.disk_used <- t.disk_used - s.s_bytes;
+    (try Sys.remove s.s_path with Sys_error _ -> ());
+    unregister s.s_path;
+    update_gauges t
+  end
+
+let spill t =
+  check_open t;
+  Hashtbl.iter (fun _ s -> s.s_file <- None) t.slots;
+  m_inc "store.spills" 1
+
+(* ---- queries ----------------------------------------------------------- *)
+
+let is_const t h =
+  let s = slot t h in
+  if s.s_root < 2 then Some s.s_root else None
+
+let node_count t h = (slot t h).s_nnodes
+
+let count_minterms t h =
+  let s = slot t h in
+  Stream.count_minterms ~dir:t.dir ~mem_bound:t.mem_bound (file_of_slot s)
+
+let to_serialized t h = Level_file.to_serialized (file_of_slot (slot t h))
+
+let equal t a b =
+  let sa = slot t a and sb = slot t b in
+  if sa == sb then true
+  else Level_file.equal (file_of_slot sa) (file_of_slot sb)
+
+let cold_nodes t = t.cold
+let peak_cold_nodes t = t.peak_cold
+let spilled_bytes t = t.spilled
+let disk_used_bytes t = t.disk_used
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    Hashtbl.iter
+      (fun _ s ->
+        (try Sys.remove s.s_path with Sys_error _ -> ());
+        unregister s.s_path)
+      t.slots;
+    Hashtbl.reset t.slots;
+    t.cold <- 0;
+    t.disk_used <- 0;
+    update_gauges t;
+    Bdd.set_store_stats t.man None;
+    if t.own_dir then begin
+      (* sweep stray queue runs / reduce temps, then the dir itself *)
+      (try
+         Array.iter
+           (fun name ->
+             try Sys.remove (Filename.concat t.dir name) with Sys_error _ -> ())
+           (Sys.readdir t.dir)
+       with Sys_error _ -> ());
+      (try Unix.rmdir t.dir with Unix.Unix_error _ -> ());
+      locked (fun () -> Hashtbl.remove reg_dirs t.dir)
+    end
+  end

@@ -1,0 +1,94 @@
+(** The tiered node store: hot manager, mmap'd cold tier, spill files.
+
+    A store pairs a {!Bdd.man} (the hot tier — PR 2's packed unique
+    table) with a directory of canonical {!Level_file} files (the cold
+    tier).  BDDs too big for the hot tier are {!demote}d: exported,
+    canonicalized, written as a checksummed level file, and addressed from
+    then on by a stable integer {!handle}.  Cold BDDs are combined with
+    {!apply} — the levelized streaming operations of {!Stream}, which
+    never materialize operands in RAM — and can be {!promote}d back into
+    the hot tier when they fit.  {!spill} drops the memory mappings
+    (address space, page cache) of all cold files; the next access remaps
+    and re-verifies the checksum.
+
+    Creating a store registers a {!Bdd.set_store_stats} callback on the
+    manager, so [Bdd.stats] reports [hot_nodes] / [cold_nodes] /
+    [spilled_bytes] for it.  When [Obs.Metrics.recording] is on, the
+    store maintains [store.*] counters and gauges and wraps demote /
+    promote / apply in trace spans.
+
+    Handles are reference-counted: {!demote} and {!apply} return a handle
+    with one reference; {!drop} releases it, deleting the backing file at
+    zero.  Stores are single-threaded, like the manager they wrap. *)
+
+type t
+type handle
+
+exception Disk_full
+(** Raised when a write would push the store past [disk_budget_bytes].
+    The partial output file is removed first; the store stays usable —
+    callers fall down the {!Resil.Degrade} ladder from here. *)
+
+val create :
+  ?dir:string -> ?mem_bound:int -> ?disk_budget_bytes:int -> Bdd.man -> t
+(** [create man] opens a store for [man].  [dir] is where cold and spill
+    files live (default: a fresh directory under the system temp dir,
+    removed by {!close}).  [mem_bound] caps the streaming queues and
+    buffers in tuples (default [1 lsl 18]).  [disk_budget_bytes] makes
+    writes beyond that total raise {!Disk_full}. *)
+
+val demote : t -> Bdd.t -> handle
+(** Move a hot BDD to the cold tier (the hot nodes themselves are freed
+    by the caller's next [Bdd.gc]).  Constants demote to tiny files. *)
+
+val promote : t -> handle -> Bdd.t
+(** Rebuild a cold BDD in the hot tier.  The handle stays valid.
+    @raise Bdd.Node_limit if it does not fit under the manager's limit. *)
+
+val apply : t -> Stream.op -> handle -> handle -> handle
+(** [apply t op a b] combines two cold BDDs out of core and returns a
+    handle on the result.  @raise Disk_full per {!create}. *)
+
+val drop : t -> handle -> unit
+(** Release one reference; the backing file is deleted at zero.  Using a
+    fully dropped handle is an error. *)
+
+val retain : t -> handle -> unit
+(** Add a reference. *)
+
+val spill : t -> unit
+(** Unmap every cold file (metadata stays).  Next access remaps and
+    re-verifies the checksum — @raise Bdd.Corrupt then if the file was
+    damaged while unmapped. *)
+
+val is_const : t -> handle -> int option
+(** [Some 0] / [Some 1] for a constant cold BDD, [None] otherwise. *)
+
+val node_count : t -> handle -> int
+val count_minterms : t -> handle -> float
+(** Satisfying assignments, by streaming sweep ({!Stream.count_minterms}). *)
+
+val to_serialized : t -> handle -> Bdd.serialized
+(** Materialize for transfer — promotion without a manager. *)
+
+val equal : t -> handle -> handle -> bool
+(** Canonical-file comparison: semantic equality, no manager needed. *)
+
+val cold_nodes : t -> int
+(** Decision nodes currently in the cold tier (live handles). *)
+
+val peak_cold_nodes : t -> int
+val spilled_bytes : t -> int
+(** Cumulative bytes written to cold and spill files (monotone). *)
+
+val disk_used_bytes : t -> int
+(** Bytes of live cold files right now. *)
+
+val close : t -> unit
+(** Drop all handles, delete the store's files (and its directory if the
+    store created it), deregister the stats callback.  Idempotent. *)
+
+val cleanup_files : unit -> int
+(** Remove every file any live store has on disk — the SIGINT /
+    abnormal-exit path, alongside {!Resil.Checkpoint.cleanup_pending}.
+    Returns the number of files removed. *)

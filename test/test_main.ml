@@ -24,4 +24,5 @@ let () =
       Test_service.tests;
       Test_serve_proto.tests;
       Test_serve.tests;
+      Test_store.tests;
     ]
