@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke smoke trace-smoke chaos-smoke serve-smoke ooc-smoke check clean
+.PHONY: all build test bench bench-smoke smoke trace-smoke chaos-smoke serve-smoke ooc-smoke par-smoke check clean
 
 all: build
 
@@ -14,7 +14,7 @@ smoke: build
 	dune exec bench/main.exe -- --smoke --jobs 2
 
 # Seconds-long kernel microbenchmark; validates the emitted JSON against
-# the bdd-kernel-bench/v1 schema (exit 1 on malformed output).
+# the bdd-kernel-bench/v2 schema (exit 1 on malformed output).
 bench-smoke: build
 	dune exec bench/micro.exe -- --smoke -o BENCH_kernel.json
 	dune exec bench/micro.exe -- --validate BENCH_kernel.json
@@ -55,7 +55,14 @@ serve-smoke: build
 ooc-smoke: build
 	scripts/ooc_smoke.sh
 
-check: build test smoke bench-smoke trace-smoke chaos-smoke serve-smoke ooc-smoke
+# Parallel shared-memory kernel end to end: the par/kernel/mt suites
+# re-run at 2 and 8 domains (PAR_TEST_DOMAINS), then a sequential BFS
+# reach run vs --jobs 2 on a shared manager — bit-identical reached set,
+# validated metrics with consistent kernel.* contention counters.
+par-smoke: build
+	scripts/par_smoke.sh
+
+check: build test smoke bench-smoke trace-smoke chaos-smoke serve-smoke ooc-smoke par-smoke
 
 bench: build
 	dune exec bench/main.exe

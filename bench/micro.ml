@@ -16,13 +16,20 @@
    mk, which is how the zero-allocation claim of DESIGN.md §Kernel is
    checked (and re-checked by `make bench-smoke` on every `make check`).
 
-   The report is machine-readable JSON (schema "bdd-kernel-bench/v1"), one
-   object per workload: wall time, nodes made, nodes/sec, cache hit rate,
-   peak unique-table size, and OCaml GC counter deltas.  Successive PRs
-   compare their BENCH_kernel.json against the committed history to keep the
-   kernel trajectory honest. *)
+   The report is machine-readable JSON (schema "bdd-kernel-bench/v2", a
+   superset of v1), one object per workload: wall time, nodes made,
+   nodes/sec, cache hit rate, peak unique-table size, and OCaml GC counter
+   deltas.  v2 adds a domain-scaling sweep ("par"): image-useq4 and
+   relprod-pairs re-run on a shared manager at 1/2/4/8 worker domains,
+   each row carrying its speedup over the 1-domain run and an [identical]
+   bit asserting the parallel result's serialized fingerprint matches the
+   sequential one.  "host_cpus" records what the host can actually run in
+   parallel — on a 1-core container the sweep measures overhead, not
+   scaling, and the report says so rather than hiding it.  Successive PRs
+   compare their BENCH_kernel.json against the committed history to keep
+   the kernel trajectory honest. *)
 
-let schema_version = "bdd-kernel-bench/v1"
+let schema_version = "bdd-kernel-bench/v2"
 
 (* JSON emission/parsing and the wall+GC measurement scaffolding used to
    live here; both moved to lib/obs (Obs.Json, Obs.Timing) so the bench
@@ -181,6 +188,134 @@ let relprod ~inputs ~gates man =
   float_of_int !total
 
 (* ------------------------------------------------------------------ *)
+(* Workload 4: domain-scaling sweep (the parallel kernel)              *)
+(* ------------------------------------------------------------------ *)
+
+(* Re-run the two image/relprod workloads on a shared manager with a
+   Tpool of 1/2/4/8 workers.  Each row fingerprints its result (digest of
+   the canonical serialization) so the report itself proves the parallel
+   kernel computed bit-identical BDDs, not just similar counts. *)
+
+let par_jobs = [ 1; 2; 4; 8 ]
+
+type par_row = {
+  p_workload : string;
+  p_jobs : int;
+  p_wall : float;
+  p_nodes : int;
+  p_check : float;
+  p_fingerprint : string;
+}
+
+let fingerprint man f =
+  Digest.to_hex (Digest.string (Bdd.serialized_to_string (Bdd.export man f)))
+
+let par_image ?pool man =
+  let circuit = Generate.microsequencer ~addr_bits:4 ~stack_depth:2 in
+  let compiled = Compile.compile ~man circuit in
+  let trans = Trans.build compiled in
+  let r = Bfs.run ?pool trans in
+  (r.Traversal.states, fingerprint man r.Traversal.reached)
+
+let par_relprod ?pool man =
+  let exist_and man ~vars f g =
+    match pool with
+    | Some p -> Bdd.par_exist_and p man ~vars f g
+    | None -> Bdd.and_exists man ~vars f g
+  in
+  let circuit =
+    Generate.random_netlist ~inputs:18 ~gates:140 ~outputs:6 ~seed:17
+  in
+  let compiled = Compile.compile ~man circuit in
+  let fns = List.map snd compiled.Compile.output_fns in
+  let cube =
+    Bdd.cube man
+      (List.filteri (fun i _ -> i mod 2 = 0)
+         (Array.to_list (Compile.input_var_array compiled)))
+  in
+  let total = ref 0 and digests = Buffer.create 256 in
+  List.iter
+    (fun f ->
+      List.iter
+        (fun g ->
+          let r = exist_and man ~vars:cube f g in
+          total := !total + Bdd.size r;
+          Buffer.add_string digests (fingerprint man r))
+        fns)
+    fns;
+  (float_of_int !total, Digest.to_hex (Digest.string (Buffer.contents digests)))
+
+let par_measure workload jobs work =
+  let pool = if jobs > 1 then Some (Tpool.create ~workers:jobs) else None in
+  Fun.protect ~finally:(fun () -> Option.iter Tpool.shutdown pool)
+  @@ fun () ->
+  let (man, check, fp), wall, _gd =
+    Obs.Timing.measure (fun () ->
+        Obs.Trace.with_span
+          (Printf.sprintf "bench:par:%s@%d" workload jobs)
+          (fun () ->
+            let man = Bdd.create ~shared:(jobs > 1) () in
+            if Obs.Kernel.observing () then Obs.Kernel.attach man;
+            let check, fp = work ?pool man in
+            (man, check, fp)))
+  in
+  {
+    p_workload = workload;
+    p_jobs = jobs;
+    p_wall = wall;
+    p_nodes = stat (Bdd.stats man) "nodes_made";
+    p_check = check;
+    p_fingerprint = fp;
+  }
+
+let json_of_par_row ~baseline r =
+  Obj
+    [
+      ("workload", Str r.p_workload);
+      ("jobs", num_int r.p_jobs);
+      ("wall_s", Num r.p_wall);
+      ("nodes_made", num_int r.p_nodes);
+      ( "nodes_per_sec",
+        Num (float_of_int r.p_nodes /. Float.max 1e-9 r.p_wall) );
+      ("speedup", Num (baseline.p_wall /. Float.max 1e-9 r.p_wall));
+      ( "identical",
+        num_int
+          (if
+             r.p_fingerprint = baseline.p_fingerprint
+             && r.p_check = baseline.p_check
+           then 1
+           else 0) );
+      ("check", Num r.p_check);
+    ]
+
+let par_sweep () =
+  let workloads =
+    [ ("image-useq4", par_image); ("relprod-pairs", par_relprod) ]
+  in
+  List.concat_map
+    (fun (name, work) ->
+      let rows =
+        List.map
+          (fun jobs ->
+            Printf.eprintf "running par:%s @ %d domain(s)...\n%!" name jobs;
+            par_measure name jobs work)
+          par_jobs
+      in
+      let baseline = List.hd rows in
+      List.iter
+        (fun r ->
+          Printf.eprintf
+            "  par %-14s jobs=%d %7.3fs %8.0f nodes/s  speedup %.2fx  %s\n%!"
+            r.p_workload r.p_jobs r.p_wall
+            (float_of_int r.p_nodes /. Float.max 1e-9 r.p_wall)
+            (baseline.p_wall /. Float.max 1e-9 r.p_wall)
+            (if r.p_fingerprint = baseline.p_fingerprint then "identical"
+             else "MISMATCH"))
+        rows;
+      List.map (json_of_par_row ~baseline) rows)
+    workloads
+
+(* ------------------------------------------------------------------ *)
 (* Probe loops: allocation on the hit path                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -268,6 +403,7 @@ let report ~smoke =
           | _ -> ())
       | _ -> ())
     probe_objs;
+  let par_rows = par_sweep () in
   let total_wall = List.fold_left (fun a s -> a +. s.s_wall) 0. samples in
   let total_nodes =
     List.fold_left (fun a s -> a + s.s_nodes_made) 0 samples
@@ -278,9 +414,13 @@ let report ~smoke =
       ("mode", Str (if smoke then "smoke" else "full"));
       ("ocaml", Str Sys.ocaml_version);
       ("word_size", num_int Sys.word_size);
+      (* what the sweep's speedups are measured against: on a 1-core host
+         they quantify parallel overhead, not scaling *)
+      ("host_cpus", num_int (Domain.recommended_domain_count ()));
       (* 0 on platforms without /proc/self/status *)
       ("peak_rss_kb", num_int (Obs.Timing.peak_rss_kb ()));
       ("benchmarks", Arr (List.map json_of_sample samples));
+      ("par", Arr par_rows);
       ("probes", Arr probe_objs);
       ( "totals",
         Obj
@@ -347,6 +487,44 @@ let validate path =
           "minor_collections";
         ])
     benches;
+  (match field top "host_cpus" with
+  | Num f when f >= 1.0 -> ()
+  | _ -> fail "host_cpus must be a number >= 1");
+  let par =
+    match field top "par" with
+    | Arr (_ :: _ as xs) -> xs
+    | Arr [] -> fail "par is empty"
+    | _ -> fail "par is not an array"
+  in
+  List.iter
+    (fun row ->
+      let kvs = obj row in
+      let name =
+        match field kvs "workload" with
+        | Str s -> s
+        | _ -> fail "par workload is not a string"
+      in
+      List.iter
+        (fun k -> ignore (number kvs k))
+        [ "jobs"; "wall_s"; "nodes_made"; "nodes_per_sec"; "speedup" ];
+      (* the sweep's whole point: every parallel run reproduced the
+         1-domain result bit for bit *)
+      if number kvs "identical" <> 1.0 then
+        fail "par row %s@%.0f is not identical to its 1-domain baseline"
+          name (number kvs "jobs"))
+    par;
+  (* both sweep workloads must cover the 1-domain baseline *)
+  List.iter
+    (fun w ->
+      if
+        not
+          (List.exists
+             (fun row ->
+               let kvs = obj row in
+               field kvs "workload" = Str w && number kvs "jobs" = 1.0)
+             par)
+      then fail "par sweep is missing the %s jobs=1 baseline" w)
+    [ "image-useq4"; "relprod-pairs" ];
   let probes =
     match field top "probes" with
     | Arr (_ :: _ as xs) -> xs

@@ -113,7 +113,45 @@ let check_metrics path prev =
       (String.concat " "
          (List.map
             (fun (n, v) -> Printf.sprintf "%s=%.0f" n v)
-            (store_counters @ store_gauges)))
+            (store_counters @ store_gauges)));
+  (* surface the parallel-kernel story of the run: shared-table
+     contention and fork/steal traffic — and reject impossible
+     combinations, which would mean the striped counters tore *)
+  let par_kernel =
+    List.filter
+      (fun kv ->
+        prefixed "kernel." kv || prefixed "mt.par_" kv)
+      (Obs.Metrics.counters_of_json j)
+  in
+  if par_kernel <> [] then begin
+    Printf.printf "%s: parallel-kernel %s\n" path
+      (String.concat " "
+         (List.map (fun (n, v) -> Printf.sprintf "%s=%.0f" n v) par_kernel));
+    let v name =
+      match List.assoc_opt name par_kernel with Some v -> v | None -> 0.0
+    in
+    List.iter
+      (fun (n, _) -> if v n < 0.0 then fail "%s: %s is negative" path n)
+      par_kernel;
+    (* a cache race is an insert that lost to a concurrent same-key
+       insert, so races can never outnumber inserts... *)
+    if v "kernel.cache_races" > v "kernel.cache_inserts" then
+      fail "%s: kernel.cache_races (%.0f) exceeds kernel.cache_inserts (%.0f)"
+        path
+        (v "kernel.cache_races")
+        (v "kernel.cache_inserts");
+    (* ...a CAS retry is a stripe lock acquisition that found the node
+       already published, and a stripe wait is a lock that blocked — both
+       subsets of the lock acquisitions *)
+    if v "kernel.cas_retries" > v "kernel.ut_locks" then
+      fail "%s: kernel.cas_retries (%.0f) exceeds kernel.ut_locks (%.0f)" path
+        (v "kernel.cas_retries") (v "kernel.ut_locks");
+    if v "kernel.stripe_waits" > v "kernel.ut_locks" then
+      fail "%s: kernel.stripe_waits (%.0f) exceeds kernel.ut_locks (%.0f)"
+        path
+        (v "kernel.stripe_waits")
+        (v "kernel.ut_locks")
+  end
 
 let check_serve_bench path =
   match Serve.Report.validate_file path with

@@ -183,6 +183,16 @@ let hot_budget_arg =
            cold tier on disk when the budget is hit.  The traversal stays \
            exact across migrations.  Overrides --engine.")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Run image computation on $(docv) domains sharing one manager \
+           (lock-free unique table + parallel relational products).  \
+           Results are bit-identical to --jobs 1.  Values above the \
+           host's core count are accepted but warned about.")
+
 let metrics_arg =
   Arg.(
     value
@@ -212,8 +222,10 @@ let install_cleanup () =
 
 let run circuit blif params engine meth threshold quality pimg time_limit
     node_limit sift cluster_limit save_reached check_reached ckpt ckpt_every
-    resume_path faults store_dir hot_budget trace metrics =
+    resume_path faults store_dir hot_budget trace jobs metrics =
   install_cleanup ();
+  let jobs = max 1 jobs in
+  ignore (Mt.Par.warn_oversubscribed ~flag:"--jobs" jobs);
   Option.iter (fun path -> Obs.Trace.start ~out:path ()) trace;
   if metrics <> None then Obs.Metrics.set_recording true;
   (match faults with
@@ -228,7 +240,11 @@ let run circuit blif params engine meth threshold quality pimg time_limit
     | None -> builtin circuit params
   in
   Printf.printf "circuit: %s\n%!" (Circuit.stats c);
-  let trans = Trans.build ~cluster_limit (Compile.compile c) in
+  (* --jobs > 1 needs a domain-safe manager; the striped table costs
+     nothing measurable at 1 job but keep the historical private layout
+     there anyway so single-job runs are byte-for-byte the old binary *)
+  let man = Bdd.create ~shared:(jobs > 1) () in
+  let trans = Trans.build ~cluster_limit (Compile.compile ~man c) in
   if Obs.Kernel.observing () then Obs.Kernel.attach (Trans.man trans);
   if Resil.Fault.enabled () then Resil.Fault.attach (Trans.man trans);
   let checkpoint =
@@ -242,23 +258,33 @@ let run circuit blif params engine meth threshold quality pimg time_limit
       Printf.printf "resuming from iteration %d (%d images)\n%!"
         st.Resil.Checkpoint.iterations st.Resil.Checkpoint.images
   | None -> ());
+  (* the out-of-core engine drives its own streaming store; the pool only
+     feeds the in-RAM traversal engines *)
+  let with_pool fn =
+    if jobs > 1 then Mt.Par.with_pool ~jobs (fun p -> fn (Some (Mt.Par.pool p)))
+    else fn None
+  in
   let result =
     Obs.Trace.with_span "reach" @@ fun () ->
     match (hot_budget, engine) with
     | Some budget, _ ->
         `Ooc (Ooc.run ?time_limit ?store_dir ~hot_budget:budget trans)
     | None, `Bfs ->
-        `Trav (Bfs.run ?time_limit ?node_limit ~sift ?checkpoint ?resume trans)
+        with_pool @@ fun pool ->
+        `Trav
+          (Bfs.run ?time_limit ?node_limit ~sift ?checkpoint ?resume ?pool
+             trans)
     | None, `Hd ->
         let meth =
           match Approx.method_of_string meth with
           | Some m -> m
           | None -> failwith ("unknown method " ^ meth)
         in
+        with_pool @@ fun pool ->
         `Trav
           (High_density.run ?time_limit ?node_limit ~sift ?checkpoint ?resume
              ~params:{ High_density.meth; threshold; quality; pimg }
-             trans)
+             ?pool trans)
   in
   let man = Trans.man trans in
   let reached =
@@ -308,7 +334,7 @@ let cmd =
       $ node_limit_arg $ sift_arg $ cluster_arg $ save_reached_arg
       $ check_reached_arg $ checkpoint_arg $ checkpoint_every_arg
       $ resume_arg $ faults_arg $ store_dir_arg $ hot_budget_arg $ trace_arg
-      $ metrics_arg)
+      $ jobs_arg $ metrics_arg)
   in
   Cmd.v
     (Cmd.info "reach_main"

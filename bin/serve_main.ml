@@ -1,7 +1,7 @@
 (* The BDD service daemon.
 
      serve_main.exe --socket PATH | --port N
-                    [--workers N] [--queue-depth N]
+                    [--workers N] [--queue-depth N] [--par-jobs N]
                     [--request-node-budget N] [--request-deadline SECS]
                     [--max-sessions N]
                     [--metrics FILE] [--trace FILE] [--faults SPEC]
@@ -16,7 +16,7 @@
 let usage () =
   prerr_endline
     "usage: serve_main (--socket PATH | --port N) [--workers N]\n\
-    \       [--queue-depth N] [--request-node-budget N]\n\
+    \       [--queue-depth N] [--par-jobs N] [--request-node-budget N]\n\
     \       [--request-deadline SECS] [--max-sessions N]\n\
     \       [--metrics FILE] [--trace FILE] [--faults SPEC]";
   exit 2
@@ -40,6 +40,7 @@ let () =
   and node_budget = ref None
   and deadline = ref None
   and max_sessions = ref Serve.Server.default_config.max_sessions
+  and par_jobs = ref Serve.Server.default_config.par_jobs
   and metrics = ref None
   and trace = ref None
   and faults = ref None in
@@ -70,6 +71,9 @@ let () =
     | "--max-sessions" :: n :: rest ->
         max_sessions := pos_int "--max-sessions" n;
         parse rest
+    | "--par-jobs" :: n :: rest ->
+        par_jobs := pos_int "--par-jobs" n;
+        parse rest
     | "--metrics" :: path :: rest ->
         metrics := Some path;
         parse rest
@@ -87,6 +91,19 @@ let () =
   in
   parse (List.tl (Array.to_list Sys.argv));
   let bind = match !bind with Some b -> b | None -> usage () in
+  (* the shard workers and the parallel kernel both want cores; warn when
+     either — or their combination — oversubscribes the host *)
+  ignore (Mt.Par.warn_oversubscribed ~flag:"--workers" !workers);
+  if !par_jobs > 1 then begin
+    ignore (Mt.Par.warn_oversubscribed ~flag:"--par-jobs" !par_jobs);
+    if !workers * !par_jobs > Mt.Par.recommended () then
+      Printf.eprintf
+        "warning: --workers %d x --par-jobs %d may oversubscribe the %d \
+         core(s) available\n\
+         %!"
+        !workers !par_jobs
+        (Mt.Par.recommended ())
+  end;
   Resil.Fault.arm !faults;
   if !metrics <> None then Obs.Metrics.set_recording true;
   Option.iter (fun out -> Obs.Trace.start ~out ()) !trace;
@@ -103,6 +120,7 @@ let () =
         { Serve.Handler.node_budget = !node_budget; deadline = !deadline };
       max_sessions = !max_sessions;
       on_dispatch = None;
+      par_jobs = !par_jobs;
     }
   in
   let server = Serve.Server.start cfg in

@@ -44,174 +44,237 @@ let[@inline] mix3 a b c =
 
 (* --- unique table: (var, hi.uid, lo.uid) -> node, exact ------------- *)
 
-type utable = {
-  mutable u_mask : int; (* capacity - 1; capacity is a power of two *)
-  mutable u_count : int;
-  mutable u_var : int array; (* -1 marks an empty slot *)
-  mutable u_hi : int array;
-  mutable u_lo : int array;
-  mutable u_node : t array;
+(* The table is split into independent stripes, each a power-of-two
+   open-addressed array of node pointers with its own lock.  Probes are
+   lock-free on every path: they snapshot the stripe's array pointer once
+   and scan without synchronization.  Inserts in a shared manager take
+   the stripe lock and re-probe the current array before publishing
+   (publish-then-resolve: losing a race to another domain costs one
+   counted re-probe, never a duplicate node), so canonicity — one
+   physical node per (var, hi, lo) — survives any interleaving.  A
+   private manager has a single stripe and never touches the lock.
+
+   Why node pointers instead of the packed parallel [int array]s this
+   table used before: a slot must be publishable in one atomic step for
+   concurrent readers.  A word-sized pointer store is such a step under
+   the OCaml 5 memory model — plain racy reads return some
+   previously-written value, never a torn one, and initialization safety
+   guarantees the immutable record behind the pointer is fully visible.
+   Four separate int stores are not.  The price is one dereference per
+   occupied slot a probe visits. *)
+
+type stripe = {
+  st_lock : Mutex.t;
+  mutable st_node : t array; (* slots; the manager's nil marks empty *)
+  mutable st_count : int; (* occupied slots; written under the lock *)
 }
 
-let ut_init_cap = 8192
+type utable = {
+  u_stripes : stripe array; (* length is a power of two *)
+  u_shift : int; (* log2 (length u_stripes): hash bits spent on striping *)
+  u_total : int Atomic.t; (* live nodes across all stripes *)
+}
 
-let ut_make fill cap =
+let ut_init_cap = 8192 (* initial capacity, summed across stripes *)
+let ut_shared_stripes = 64
+
+let rec ilog2 n = if n <= 1 then 0 else 1 + ilog2 (n lsr 1)
+
+let stripe_make fill cap =
+  { st_lock = Mutex.create (); st_node = Array.make cap fill; st_count = 0 }
+
+let ut_stripe_cap nstripes = max 64 (ut_init_cap / nstripes)
+
+let ut_make fill nstripes =
   {
-    u_mask = cap - 1;
-    u_count = 0;
-    u_var = Array.make cap (-1);
-    u_hi = Array.make cap 0;
-    u_lo = Array.make cap 0;
-    u_node = Array.make cap fill;
+    u_stripes =
+      Array.init nstripes (fun _ -> stripe_make fill (ut_stripe_cap nstripes));
+    u_shift = ilog2 nstripes;
+    u_total = Atomic.make 0;
   }
 
-(* Linear probe: the index holding (var, hi, lo), or [lnot i] for the
-   first free slot [i] of its chain.  Tail recursion over unboxed ints —
-   the zero-allocation probe path under every connective.  The unsafe
-   reads are in bounds because every index is masked. *)
-let rec ut_probe u var hi lo i =
-  let v = Array.unsafe_get u.u_var i in
-  if v < 0 then lnot i
-  else if
-    v = var
-    && Array.unsafe_get u.u_hi i = hi
-    && Array.unsafe_get u.u_lo i = lo
-  then i
-  else ut_probe u var hi lo ((i + 1) land u.u_mask)
+(* Linear scan of one stripe snapshot: the index holding (var, hi, lo),
+   or [lnot i] for the first free slot [i] of its chain.  Tail recursion,
+   no allocation; the unsafe reads are in bounds because every index is
+   masked.  Callers pass an array read once from [st_node] — scanning a
+   snapshot is what makes the probe safe against a concurrent grow. *)
+let rec ut_scan arr mask var hi lo i =
+  let n = Array.unsafe_get arr i in
+  if n.uid < 0 then lnot i
+  else
+    match n.node with
+    | N { var = v; hi = h; lo = l } when v = var && h.uid = hi && l.uid = lo
+      ->
+        i
+    | _ -> ut_scan arr mask var hi lo ((i + 1) land mask)
 
-(* Insert a node known to be absent (callers have just probed). *)
-let ut_add u var hi lo node =
-  let slot = lnot (ut_probe u var hi lo (mix3 var hi lo land u.u_mask)) in
-  u.u_var.(slot) <- var;
-  u.u_hi.(slot) <- hi;
-  u.u_lo.(slot) <- lo;
-  u.u_node.(slot) <- node;
-  u.u_count <- u.u_count + 1
+(* Quiescent placement of a node into a stripe array known to have room
+   and to lack the node: rehashing on grow, gc rebuild, reorder. *)
+let place_node shift arr node =
+  match node.node with
+  | N { var; hi; lo } ->
+      let mask = Array.length arr - 1 in
+      let rec go i =
+        if (Array.unsafe_get arr i).uid < 0 then Array.unsafe_set arr i node
+        else go ((i + 1) land mask)
+      in
+      go ((mix3 var hi.uid lo.uid lsr shift) land mask)
+  | Leaf _ -> assert false
 
-(* Amortized doubling at 2/3 load, rehashing every occupied slot. *)
-let ut_grow fill u =
-  let old_var = u.u_var and old_node = u.u_node in
-  let cap = 2 * (u.u_mask + 1) in
-  u.u_mask <- cap - 1;
-  u.u_count <- 0;
-  u.u_var <- Array.make cap (-1);
-  u.u_hi <- Array.make cap 0;
-  u.u_lo <- Array.make cap 0;
-  u.u_node <- Array.make cap fill;
-  Array.iteri
-    (fun i v ->
-      if v >= 0 then
-        match old_node.(i).node with
-        | N { hi; lo; _ } -> ut_add u v hi.uid lo.uid old_node.(i)
-        | Leaf _ -> assert false)
-    old_var
+(* Double one stripe (amortized, at 2/3 load).  Runs under the stripe
+   lock in a shared manager; racing probes keep scanning their old
+   snapshot, and any miss they report is re-checked under the lock, so
+   the swap is invisible to correctness. *)
+let stripe_grow fill shift st =
+  let old = st.st_node in
+  let arr = Array.make (2 * Array.length old) fill in
+  Array.iter (fun n -> if n.uid >= 0 then place_node shift arr n) old;
+  st.st_node <- arr
 
+let ut_capacity u =
+  Array.fold_left (fun acc st -> acc + Array.length st.st_node) 0 u.u_stripes
+
+(* Quiescent only (reorder): no concurrent operation may be running. *)
 let ut_reset fill u =
-  u.u_mask <- ut_init_cap - 1;
-  u.u_count <- 0;
-  u.u_var <- Array.make ut_init_cap (-1);
-  u.u_hi <- Array.make ut_init_cap 0;
-  u.u_lo <- Array.make ut_init_cap 0;
-  u.u_node <- Array.make ut_init_cap fill
+  let cap = ut_stripe_cap (Array.length u.u_stripes) in
+  Array.iter
+    (fun st ->
+      st.st_node <- Array.make cap fill;
+      st.st_count <- 0)
+    u.u_stripes;
+  Atomic.set u.u_total 0
 
 let ut_iter fn u =
-  Array.iteri (fun i v -> if v >= 0 then fn u.u_node.(i)) u.u_var
+  Array.iter
+    (fun st -> Array.iter (fun n -> if n.uid >= 0 then fn n) st.st_node)
+    u.u_stripes
 
 (* --- computed caches: lossy, direct-mapped ------------------------- *)
 
 (* One slot per hash; a colliding insert overwrites (CUDD's computed
    table).  Loses results, never correctness: a lost entry is recomputed.
+
+   A slot is a single mutable pointer to an immutable entry record, which
+   makes the cache race-tolerant by construction: a concurrent reader
+   dereferences either the old entry or the new one, each internally
+   consistent because key and value were published together.  A data race
+   can therefore cost a hit or duplicate a computation, but it can never
+   pair one operation's key with another operation's value — the only
+   failure mode that would be wrong rather than slow.  (The parallel
+   [int array]s this cache used before could: four separate stores tear
+   under concurrent readers.)
+
    Keys are up to three non-negative ints (uids and operation tags);
-   unused key positions hold 0 and empty slots hold k1 = -1, which no
-   real key matches.  Values are nodes; a probe returns the manager's
-   [nil] sentinel (uid -1, never escapes the module) on a miss so the hit
-   path allocates no option. *)
+   unused key positions hold 0, and every empty slot shares one entry
+   with q1 = -1, which no real key matches.  A probe returns the
+   manager's [nil] sentinel (uid -1, never escapes the module) on a miss
+   so the hit path allocates no option. *)
+
+type centry = { q1 : int; q2 : int; q3 : int; cv : t }
 
 type cache = {
   c_name : string; (* for Cache_resize events *)
-  mutable c_mask : int; (* capacity - 1; capacity is a power of two *)
-  mutable c_filled : int; (* occupied slots, for {!stats} *)
+  c_empty : centry; (* the shared empty-slot entry *)
+  mutable c_slots : centry array; (* length is a power of two *)
+  mutable c_filled : int; (* occupied slots; approximate under races *)
   mutable c_inserts : int; (* stores since creation/resize: drives growth *)
-  mutable c_k1 : int array;
-  mutable c_k2 : int array;
-  mutable c_k3 : int array;
-  mutable c_val : t array;
 }
 
 let cache_init_cap = 4096
 
 let cache_make name fill cap =
+  let empty = { q1 = -1; q2 = 0; q3 = 0; cv = fill } in
   {
     c_name = name;
-    c_mask = cap - 1;
+    c_empty = empty;
+    c_slots = Array.make cap empty;
     c_filled = 0;
     c_inserts = 0;
-    c_k1 = Array.make cap (-1);
-    c_k2 = Array.make cap 0;
-    c_k3 = Array.make cap 0;
-    c_val = Array.make cap fill;
   }
 
 (* Dropping the contents on resize is fine for a lossy cache; the bounded
-   number of doublings makes the recomputation cost a one-time warmup. *)
-let cache_resize fill c cap =
-  c.c_mask <- cap - 1;
-  c.c_filled <- 0;
-  c.c_inserts <- 0;
-  c.c_k1 <- Array.make cap (-1);
-  c.c_k2 <- Array.make cap 0;
-  c.c_k3 <- Array.make cap 0;
-  c.c_val <- Array.make cap fill
-
-let cache_clear fill c =
-  Array.fill c.c_k1 0 (Array.length c.c_k1) (-1);
-  (* drop the values too so a cleared cache retains no dead nodes *)
-  Array.fill c.c_val 0 (Array.length c.c_val) fill;
+   number of doublings makes the recomputation cost a one-time warmup.
+   Installing a fresh array (rather than refilling in place) is also what
+   makes resize and clear safe next to racing probes: each keeps reading
+   whichever snapshot of the slot array it already holds. *)
+let cache_resize c cap =
+  c.c_slots <- Array.make cap c.c_empty;
   c.c_filled <- 0;
   c.c_inserts <- 0
 
+(* fresh array, so a cleared cache retains no dead nodes *)
+let cache_clear c = cache_resize c (Array.length c.c_slots)
+
 (* --- float cache: uid -> float, for weight ------------------------- *)
 
-(* Same shape with an unboxed [float array] payload; nan is the miss
-   sentinel (no stored weight is nan: weights live in [0, 1]). *)
+(* Same single-pointer-slot shape with a float payload; the sentinel key
+   is -1 and a miss returns nan (no stored weight is nan: weights live in
+   [0, 1]). *)
+type fentry = { fq : int; fv : float }
+
 type fcache = {
-  mutable f_mask : int;
+  f_empty : fentry;
+  mutable f_slots : fentry array;
   mutable f_filled : int;
   mutable f_inserts : int;
-  mutable f_key : int array;
-  mutable f_val : float array;
 }
 
 let fcache_make cap =
+  let empty = { fq = -1; fv = 0. } in
   {
-    f_mask = cap - 1;
+    f_empty = empty;
+    f_slots = Array.make cap empty;
     f_filled = 0;
     f_inserts = 0;
-    f_key = Array.make cap (-1);
-    f_val = Array.make cap 0.;
   }
 
 let fcache_resize c cap =
-  c.f_mask <- cap - 1;
-  c.f_filled <- 0;
-  c.f_inserts <- 0;
-  c.f_key <- Array.make cap (-1);
-  c.f_val <- Array.make cap 0.
-
-let fcache_clear c =
-  Array.fill c.f_key 0 (Array.length c.f_key) (-1);
+  c.f_slots <- Array.make cap c.f_empty;
   c.f_filled <- 0;
   c.f_inserts <- 0
+
+let fcache_clear c = fcache_resize c (Array.length c.f_slots)
+
+(* --- striped hot counters ------------------------------------------ *)
+
+(* Cache hit/miss/overwrite tallies are bumped on every probe, so neither
+   a plain mutable field (updates lost under races) nor an [Atomic.t] (a
+   contended read-modify-write on the hottest path) will do.  Instead:
+   one slot per domain, padded to its own cache line (stride 8 words),
+   summed on read.  Counts are exact as long as concurrently running
+   domains occupy distinct slots — true up to 64 domains, far beyond the
+   pool sizes here — and each domain's view stays monotone. *)
+
+let sc_stripes = 64
+let sc_stride = 8
+
+type scounter = int array
+
+let sc_make () : scounter = Array.make (sc_stripes * sc_stride) 0
+
+let[@inline] sc_incr (sc : scounter) =
+  let i = ((Domain.self () :> int) land (sc_stripes - 1)) * sc_stride in
+  Array.unsafe_set sc i (Array.unsafe_get sc i + 1)
+
+let sc_read (sc : scounter) =
+  let total = ref 0 in
+  for i = 0 to sc_stripes - 1 do
+    total := !total + Array.unsafe_get sc (i * sc_stride)
+  done;
+  !total
 
 type man = {
   ff : t;
   tt : t;
   nil : t; (* cache-miss sentinel: uid -1, never escapes this module *)
+  shared : bool; (* created ~shared:true — locks armed, multi-domain safe *)
   mutable node_limit : int option;
   mutable cache_limit : int;
   mutable cache_cap : int; (* largest power of two <= cache_limit *)
-  mutable next_uid : int;
+  next_uid : int Atomic.t;
   unique : utable;
+  var_lock : Mutex.t; (* serializes grow_vars in shared mode *)
+  cache_lock : Mutex.t; (* serializes cache resizes in shared mode *)
   mutable var_level : int array; (* variable -> level *)
   mutable level_var : int array; (* level -> variable *)
   mutable n_vars : int;
@@ -224,15 +287,22 @@ type man = {
   restrict_cache : cache; (* (f, c, 0) *)
   leq_cache : cache; (* (f, g, 0) -> tt/ff *)
   weight_cache : fcache;
-  mutable nodes_made : int;
-  mutable peak_unique : int;
-  mutable cache_hits : int;
-  mutable cache_misses : int;
-  mutable cache_overwrites : int; (* computed-cache inserts into occupied slots *)
-  mutable ut_grows : int; (* unique-table doublings *)
+  nodes_made : int Atomic.t;
+  peak_unique : int Atomic.t;
+  sc_hits : scounter;
+  sc_misses : scounter;
+  sc_overwrites : scounter; (* computed-cache inserts into occupied slots *)
+  sc_races : scounter; (* overwrites that re-stored the very same key *)
+  sc_inserts : scounter;
+  ut_grows : int Atomic.t; (* stripe doublings *)
+  ut_locks : int Atomic.t; (* stripe-lock acquisitions on the insert path *)
+  stripe_waits : int Atomic.t; (* acquisitions that found the lock held *)
+  cas_retries : int Atomic.t;
+      (* publish races lost: the re-probe under the stripe lock found the
+         node another domain created between our probe and the lock *)
+  node_limit_hits : int Atomic.t;
   mutable gc_runs : int;
   mutable gc_collected : int;
-  mutable node_limit_hits : int;
   mutable observer : (event -> unit) option;
   mutable tick : (unit -> unit) option;
   mutable tick_countdown : int;
@@ -289,7 +359,7 @@ let tune_gc () =
             space_overhead = max g.Gc.space_overhead 200;
           }
 
-let create ?(nvars = 0) () =
+let create ?(nvars = 0) ?(shared = false) () =
   tune_gc ();
   let ff = { uid = 0; node = Leaf false } in
   let tt = { uid = 1; node = Leaf true } in
@@ -299,11 +369,14 @@ let create ?(nvars = 0) () =
       ff;
       tt;
       nil;
+      shared;
       node_limit = None;
       cache_limit = 2_000_000;
       cache_cap = pow2_le 2_000_000;
-      next_uid = 2;
-      unique = ut_make nil ut_init_cap;
+      next_uid = Atomic.make 2;
+      unique = ut_make nil (if shared then ut_shared_stripes else 1);
+      var_lock = Mutex.create ();
+      cache_lock = Mutex.create ();
       var_level = Array.init (max nvars 16) (fun i -> i);
       level_var = Array.init (max nvars 16) (fun i -> i);
       n_vars = nvars;
@@ -316,15 +389,20 @@ let create ?(nvars = 0) () =
       restrict_cache = cache_make "restrict" nil cache_init_cap;
       leq_cache = cache_make "leq" nil cache_init_cap;
       weight_cache = fcache_make cache_init_cap;
-      nodes_made = 0;
-      peak_unique = 0;
-      cache_hits = 0;
-      cache_misses = 0;
-      cache_overwrites = 0;
-      ut_grows = 0;
+      nodes_made = Atomic.make 0;
+      peak_unique = Atomic.make 0;
+      sc_hits = sc_make ();
+      sc_misses = sc_make ();
+      sc_overwrites = sc_make ();
+      sc_races = sc_make ();
+      sc_inserts = sc_make ();
+      ut_grows = Atomic.make 0;
+      ut_locks = Atomic.make 0;
+      stripe_waits = Atomic.make 0;
+      cas_retries = Atomic.make 0;
+      node_limit_hits = Atomic.make 0;
       gc_runs = 0;
       gc_collected = 0;
-      node_limit_hits = 0;
       observer = None;
       tick = None;
       tick_countdown = tick_period;
@@ -333,6 +411,8 @@ let create ?(nvars = 0) () =
     }
   in
   man
+
+let is_shared man = man.shared
 
 let nvars man = man.n_vars
 let tt man = man.tt
@@ -379,10 +459,16 @@ let order man = Array.sub man.level_var 0 man.n_vars
 let level man f =
   match f.node with Leaf _ -> max_int | N { var; _ } -> man.var_level.(var)
 
-let grow_vars man n =
+let grow_vars_quiet man n =
   let cap = Array.length man.var_level in
   if n > cap then begin
     let cap' = max n (2 * cap) in
+    (* Identity-initialized, so slots beyond [n_vars] already hold the
+       value the fresh-variable loop below would write.  A concurrent
+       reader holding a stale array pointer therefore still sees correct
+       levels for every variable that existed when it fetched it, and the
+       in-place writes below are value-preserving no-ops for any racing
+       reader of the current array. *)
     let vl = Array.init cap' (fun i -> i)
     and lv = Array.init cap' (fun i -> i) in
     Array.blit man.var_level 0 vl 0 man.n_vars;
@@ -397,58 +483,145 @@ let grow_vars man n =
   done;
   man.n_vars <- max man.n_vars n
 
+let grow_vars man n =
+  if man.shared then begin
+    Mutex.lock man.var_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock man.var_lock)
+      (fun () -> grow_vars_quiet man n)
+  end
+  else grow_vars_quiet man n
+
+(* Raise Node_limit; never called while holding a stripe lock. *)
+let limit_hit man limit =
+  Atomic.incr man.node_limit_hits;
+  (match man.observer with
+  | None -> ()
+  | Some obs -> obs (Limit_hit { limit }));
+  raise Node_limit
+
+(* Monotone CAS-max, for peak_unique. *)
+let rec atomic_max a v =
+  let cur = Atomic.get a in
+  if v > cur && not (Atomic.compare_and_set a cur v) then atomic_max a v
+
+let grow_event man =
+  Atomic.incr man.ut_grows;
+  match man.observer with
+  | None -> ()
+  | Some obs ->
+      obs
+        (Unique_grow
+           {
+             capacity = ut_capacity man.unique;
+             live = Atomic.get man.unique.u_total;
+           })
+
+(* Bookkeeping after a fresh node is published; runs outside any stripe
+   lock.  One countdown per fresh node feeds both the cooperative tick
+   hook and the observer's progress beat; the decrement-and-test is the
+   whole disabled-path cost.  The countdown is a plain mutable field —
+   concurrent decrements can lose a step, which only shifts when the hook
+   fires, never whether it keeps firing. *)
+let node_made man =
+  Atomic.incr man.nodes_made;
+  atomic_max man.peak_unique (Atomic.get man.unique.u_total);
+  man.tick_countdown <- man.tick_countdown - 1;
+  if man.tick_countdown <= 0 then begin
+    man.tick_countdown <- tick_period;
+    (match man.observer with
+    | None -> ()
+    | Some obs ->
+        obs
+          (Progress
+             {
+               nodes_made = Atomic.get man.nodes_made;
+               unique_size = Atomic.get man.unique.u_total;
+             }));
+    fault_point man;
+    match man.tick with None -> () | Some fn -> fn ()
+  end
+
+(* Shared-manager miss path: take the stripe lock, re-probe the current
+   array, and only then publish (publish-then-resolve).  Losing the race
+   to another domain costs one counted re-probe, never a duplicate
+   node — the winner's entry is found and returned. *)
+let mk_shared man st h var hi lo =
+  let u = man.unique in
+  if not (Mutex.try_lock st.st_lock) then begin
+    Atomic.incr man.stripe_waits;
+    Mutex.lock st.st_lock
+  end;
+  Atomic.incr man.ut_locks;
+  let arr = st.st_node in
+  let mask = Array.length arr - 1 in
+  let s = ut_scan arr mask var hi.uid lo.uid ((h lsr u.u_shift) land mask) in
+  if s >= 0 then begin
+    (* another domain published it between our probe and the lock *)
+    let n = Array.unsafe_get arr s in
+    Mutex.unlock st.st_lock;
+    Atomic.incr man.cas_retries;
+    n
+  end
+  else begin
+    (match man.node_limit with
+    | Some limit when Atomic.get u.u_total >= limit ->
+        Mutex.unlock st.st_lock;
+        limit_hit man limit
+    | Some _ | None -> ());
+    let n =
+      { uid = Atomic.fetch_and_add man.next_uid 1; node = N { var; hi; lo } }
+    in
+    Array.unsafe_set arr (lnot s) n;
+    st.st_count <- st.st_count + 1;
+    Atomic.incr u.u_total;
+    let grew =
+      if 3 * st.st_count > 2 * (mask + 1) then begin
+        stripe_grow man.nil u.u_shift st;
+        true
+      end
+      else false
+    in
+    Mutex.unlock st.st_lock;
+    if grew then grow_event man;
+    node_made man;
+    n
+  end
+
 (* Unchecked hash-consed constructor: callers guarantee the ordering
-   invariant.  The hit path is a single masked probe over the packed
-   unique table and allocates nothing. *)
+   invariant.  The hit path — shared or private — is a lock-free masked
+   scan over one stripe snapshot and allocates nothing. *)
 let mk_raw man var hi lo =
   if hi == lo then hi
   else
     let u = man.unique in
     let hid = hi.uid and lod = lo.uid in
-    let s = ut_probe u var hid lod (mix3 var hid lod land u.u_mask) in
-    if s >= 0 then Array.unsafe_get u.u_node s
+    let h = mix3 var hid lod in
+    let st =
+      Array.unsafe_get u.u_stripes (h land (Array.length u.u_stripes - 1))
+    in
+    let arr = st.st_node in
+    let mask = Array.length arr - 1 in
+    let s = ut_scan arr mask var hid lod ((h lsr u.u_shift) land mask) in
+    if s >= 0 then Array.unsafe_get arr s
+    else if man.shared then mk_shared man st h var hi lo
     else begin
+      (* private manager: single stripe, single domain, no locking; the
+         limit check against the exact count keeps Node_limit precise *)
       (match man.node_limit with
-      | Some limit when u.u_count >= limit ->
-          man.node_limit_hits <- man.node_limit_hits + 1;
-          (match man.observer with
-          | None -> ()
-          | Some obs -> obs (Limit_hit { limit }));
-          raise Node_limit
+      | Some limit when Atomic.get u.u_total >= limit -> limit_hit man limit
       | Some _ | None -> ());
-      let n = { uid = man.next_uid; node = N { var; hi; lo } } in
-      man.next_uid <- man.next_uid + 1;
-      man.nodes_made <- man.nodes_made + 1;
-      let slot = lnot s in
-      u.u_var.(slot) <- var;
-      u.u_hi.(slot) <- hid;
-      u.u_lo.(slot) <- lod;
-      u.u_node.(slot) <- n;
-      u.u_count <- u.u_count + 1;
-      if u.u_count > man.peak_unique then man.peak_unique <- u.u_count;
-      if 3 * u.u_count > 2 * (u.u_mask + 1) then begin
-        ut_grow man.nil u;
-        man.ut_grows <- man.ut_grows + 1;
-        match man.observer with
-        | None -> ()
-        | Some obs ->
-            obs (Unique_grow { capacity = u.u_mask + 1; live = u.u_count })
+      let n =
+        { uid = Atomic.fetch_and_add man.next_uid 1; node = N { var; hi; lo } }
+      in
+      Array.unsafe_set arr (lnot s) n;
+      st.st_count <- st.st_count + 1;
+      Atomic.incr u.u_total;
+      if 3 * st.st_count > 2 * (mask + 1) then begin
+        stripe_grow man.nil u.u_shift st;
+        grow_event man
       end;
-      (* one countdown per fresh node feeds both the cooperative tick hook
-         and the observer's progress beat; the decrement-and-test is the
-         whole disabled-path cost *)
-      man.tick_countdown <- man.tick_countdown - 1;
-      if man.tick_countdown <= 0 then begin
-        man.tick_countdown <- tick_period;
-        (match man.observer with
-        | None -> ()
-        | Some obs ->
-            obs
-              (Progress
-                 { nodes_made = man.nodes_made; unique_size = u.u_count }));
-        fault_point man;
-        match man.tick with None -> () | Some fn -> fn ()
-      end;
+      node_made man;
       n
     end
 
@@ -478,71 +651,115 @@ let cofactors man f lv =
   | N { var; hi; lo } -> if man.var_level.(var) = lv then (hi, lo) else (f, f)
 
 (* Computed-cache probe with hit/miss accounting for {!stats}: one masked
-   read, three int compares, no allocation.  Returns [man.nil] on a miss;
-   callers test [r.uid >= 0] (every real node has a non-negative uid). *)
+   read, one dereference, three int compares, no allocation.  Returns
+   [man.nil] on a miss; callers test [r.uid >= 0] (every real node has a
+   non-negative uid). *)
 let[@inline] cache_find man c a b k =
-  let i = mix3 a b k land c.c_mask in
-  if
-    Array.unsafe_get c.c_k1 i = a
-    && Array.unsafe_get c.c_k2 i = b
-    && Array.unsafe_get c.c_k3 i = k
-  then begin
-    man.cache_hits <- man.cache_hits + 1;
-    Array.unsafe_get c.c_val i
+  let arr = c.c_slots in
+  let e = Array.unsafe_get arr (mix3 a b k land (Array.length arr - 1)) in
+  if e.q1 = a && e.q2 = b && e.q3 = k then begin
+    sc_incr man.sc_hits;
+    e.cv
   end
   else begin
-    man.cache_misses <- man.cache_misses + 1;
+    sc_incr man.sc_misses;
     man.nil
   end
 
-(* Lossy insertion: overwrite whatever occupies the slot.  The capacity
-   doubles when inserts outrun it — a cheap churn signal — but never past
-   [cache_limit], so each cache's memory is hard-bounded (CUDD sizes its
-   computed table the same way). *)
+(* Lossy insertion: overwrite whatever occupies the slot with one freshly
+   built immutable entry — a single racy pointer store, wrong-answer-free
+   by the argument at the type above.  The capacity doubles when inserts
+   outrun it — a cheap churn signal — but never past [cache_limit], so
+   each cache's memory is hard-bounded (CUDD sizes its computed table the
+   same way).  In a shared manager the resize is serialized by
+   [cache_lock] and re-checked under it, so two domains cannot install
+   competing arrays. *)
 let cache_add man c a b k v =
-  let cap = c.c_mask + 1 in
+  let cap = Array.length c.c_slots in
   if c.c_inserts >= 2 * cap && 2 * cap <= man.cache_cap then begin
-    cache_resize man.nil c (2 * cap);
-    (match man.observer with
-    | None -> ()
-    | Some obs -> obs (Cache_resize { cache = c.c_name; capacity = 2 * cap }));
-    fault_point man
+    let resized =
+      if man.shared then begin
+        Mutex.lock man.cache_lock;
+        let cap = Array.length c.c_slots in
+        let ok = c.c_inserts >= 2 * cap && 2 * cap <= man.cache_cap in
+        if ok then cache_resize c (2 * cap);
+        Mutex.unlock man.cache_lock;
+        ok
+      end
+      else begin
+        cache_resize c (2 * cap);
+        true
+      end
+    in
+    if resized then begin
+      (match man.observer with
+      | None -> ()
+      | Some obs ->
+          obs
+            (Cache_resize
+               { cache = c.c_name; capacity = Array.length c.c_slots }));
+      fault_point man
+    end
   end;
-  let i = mix3 a b k land c.c_mask in
-  if Array.unsafe_get c.c_k1 i < 0 then c.c_filled <- c.c_filled + 1
-  else man.cache_overwrites <- man.cache_overwrites + 1;
-  Array.unsafe_set c.c_k1 i a;
-  Array.unsafe_set c.c_k2 i b;
-  Array.unsafe_set c.c_k3 i k;
-  Array.unsafe_set c.c_val i v;
-  c.c_inserts <- c.c_inserts + 1
+  let arr = c.c_slots in
+  let i = mix3 a b k land (Array.length arr - 1) in
+  let old = Array.unsafe_get arr i in
+  if old.q1 < 0 then c.c_filled <- c.c_filled + 1
+  else begin
+    sc_incr man.sc_overwrites;
+    (* same key re-stored: two domains computed the same subproblem *)
+    if old.q1 = a && old.q2 = b && old.q3 = k then sc_incr man.sc_races
+  end;
+  Array.unsafe_set arr i { q1 = a; q2 = b; q3 = k; cv = v };
+  c.c_inserts <- c.c_inserts + 1;
+  sc_incr man.sc_inserts
 
 let[@inline] fcache_find man c k =
-  let i = mix3 k 0 0 land c.f_mask in
-  if Array.unsafe_get c.f_key i = k then begin
-    man.cache_hits <- man.cache_hits + 1;
-    Array.unsafe_get c.f_val i
+  let arr = c.f_slots in
+  let e = Array.unsafe_get arr (mix3 k 0 0 land (Array.length arr - 1)) in
+  if e.fq = k then begin
+    sc_incr man.sc_hits;
+    e.fv
   end
   else begin
-    man.cache_misses <- man.cache_misses + 1;
+    sc_incr man.sc_misses;
     Float.nan
   end
 
 let fcache_add man c k v =
-  let cap = c.f_mask + 1 in
+  let cap = Array.length c.f_slots in
   if c.f_inserts >= 2 * cap && 2 * cap <= man.cache_cap then begin
-    fcache_resize c (2 * cap);
-    (match man.observer with
-    | None -> ()
-    | Some obs -> obs (Cache_resize { cache = "weight"; capacity = 2 * cap }));
-    fault_point man
+    let resized =
+      if man.shared then begin
+        Mutex.lock man.cache_lock;
+        let cap = Array.length c.f_slots in
+        let ok = c.f_inserts >= 2 * cap && 2 * cap <= man.cache_cap in
+        if ok then fcache_resize c (2 * cap);
+        Mutex.unlock man.cache_lock;
+        ok
+      end
+      else begin
+        fcache_resize c (2 * cap);
+        true
+      end
+    in
+    if resized then begin
+      (match man.observer with
+      | None -> ()
+      | Some obs ->
+          obs
+            (Cache_resize
+               { cache = "weight"; capacity = Array.length c.f_slots }));
+      fault_point man
+    end
   end;
-  let i = mix3 k 0 0 land c.f_mask in
-  if Array.unsafe_get c.f_key i < 0 then c.f_filled <- c.f_filled + 1
-  else man.cache_overwrites <- man.cache_overwrites + 1;
-  Array.unsafe_set c.f_key i k;
-  Array.unsafe_set c.f_val i v;
-  c.f_inserts <- c.f_inserts + 1
+  let arr = c.f_slots in
+  let i = mix3 k 0 0 land (Array.length arr - 1) in
+  if (Array.unsafe_get arr i).fq < 0 then c.f_filled <- c.f_filled + 1
+  else sc_incr man.sc_overwrites;
+  Array.unsafe_set arr i { fq = k; fv = v };
+  c.f_inserts <- c.f_inserts + 1;
+  sc_incr man.sc_inserts
 
 (* ------------------------------------------------------------------ *)
 (* ITE and the binary connectives                                     *)
@@ -1008,9 +1225,13 @@ let caches man =
   ]
 
 let clear_caches man =
-  List.iter (cache_clear man.nil) (caches man);
+  List.iter cache_clear (caches man);
   fcache_clear man.weight_cache
 
+(* Quiescent only: gc rebuilds the stripe arrays in place, so no other
+   domain may be running operations on a shared manager during the call
+   (callers in this codebase collect between requests or between image
+   steps, never mid-operation). *)
 let gc man ~roots =
   fault_point man;
   let live = Hashtbl.create 1024 in
@@ -1026,43 +1247,48 @@ let gc man ~roots =
   in
   List.iter mark roots;
   let u = man.unique in
-  let before = u.u_count in
-  let survivors = ref [] and n = ref 0 in
+  let before = Atomic.get u.u_total in
+  let nstripes = Array.length u.u_stripes in
+  let survivors = Array.make nstripes [] in
+  let counts = Array.make nstripes 0 in
+  let total = ref 0 in
   ut_iter
     (fun node ->
       if Hashtbl.mem live node.uid then begin
-        incr n;
-        survivors := node :: !survivors
+        let s =
+          match node.node with
+          | N { var; hi; lo } -> mix3 var hi.uid lo.uid land (nstripes - 1)
+          | Leaf _ -> assert false
+        in
+        survivors.(s) <- node :: survivors.(s);
+        counts.(s) <- counts.(s) + 1;
+        incr total
       end)
     u;
-  (* rebuild the table at a capacity fitted to the survivors (the dead
+  (* rebuild each stripe at a capacity fitted to its survivors (the dead
      nodes' records stay valid but leave the table, exactly as before) *)
-  let cap = ref ut_init_cap in
-  while 3 * !n > 2 * !cap do
-    cap := 2 * !cap
-  done;
-  u.u_mask <- !cap - 1;
-  u.u_count <- 0;
-  u.u_var <- Array.make !cap (-1);
-  u.u_hi <- Array.make !cap 0;
-  u.u_lo <- Array.make !cap 0;
-  u.u_node <- Array.make !cap man.nil;
-  List.iter
-    (fun node ->
-      match node.node with
-      | N { var; hi; lo } -> ut_add u var hi.uid lo.uid node
-      | Leaf _ -> assert false)
-    !survivors;
+  Array.iteri
+    (fun s st ->
+      let cap = ref (ut_stripe_cap nstripes) in
+      while 3 * counts.(s) > 2 * !cap do
+        cap := 2 * !cap
+      done;
+      let arr = Array.make !cap man.nil in
+      List.iter (place_node u.u_shift arr) survivors.(s);
+      st.st_node <- arr;
+      st.st_count <- counts.(s))
+    u.u_stripes;
+  Atomic.set u.u_total !total;
   clear_caches man;
-  let collected = before - u.u_count in
+  let collected = before - !total in
   man.gc_runs <- man.gc_runs + 1;
   man.gc_collected <- man.gc_collected + collected;
   (match man.observer with
   | None -> ()
-  | Some obs -> obs (Gc { collected; live = u.u_count }));
+  | Some obs -> obs (Gc { collected; live = !total }));
   collected
 
-let unique_size man = man.unique.u_count
+let unique_size man = Atomic.get man.unique.u_total
 let set_node_limit man limit = man.node_limit <- limit
 
 let set_cache_limit man n =
@@ -1071,9 +1297,10 @@ let set_cache_limit man n =
   (* shrink any cache already above the new ceiling *)
   List.iter
     (fun c ->
-      if c.c_mask + 1 > man.cache_cap then cache_resize man.nil c man.cache_cap)
+      if Array.length c.c_slots > man.cache_cap then
+        cache_resize c man.cache_cap)
     (caches man);
-  if man.weight_cache.f_mask + 1 > man.cache_cap then
+  if Array.length man.weight_cache.f_slots > man.cache_cap then
     fcache_resize man.weight_cache man.cache_cap
 
 let node_limit man = man.node_limit
@@ -1090,35 +1317,45 @@ let stats man =
   let hot, cold, spilled =
     match man.store_stats with None -> (0, 0, 0) | Some fn -> fn ()
   in
+  (* filled counts are maintained racily in a shared manager; clamp so
+     reported entries can never exceed the capacity they sit in *)
+  let filled c = min c.c_filled (Array.length c.c_slots) in
+  let wfilled =
+    min man.weight_cache.f_filled (Array.length man.weight_cache.f_slots)
+  in
   let cache_entries =
-    List.fold_left (fun acc c -> acc + c.c_filled) man.weight_cache.f_filled
-      (caches man)
+    List.fold_left (fun acc c -> acc + filled c) wfilled (caches man)
   and cache_capacity =
     List.fold_left
-      (fun acc c -> acc + c.c_mask + 1)
-      (man.weight_cache.f_mask + 1)
+      (fun acc c -> acc + Array.length c.c_slots)
+      (Array.length man.weight_cache.f_slots)
       (caches man)
   in
   [
-    ("nodes_made", man.nodes_made);
-    ("unique_size", man.unique.u_count);
-    ("peak_unique", man.peak_unique);
-    ("cache_hits", man.cache_hits);
-    ("cache_misses", man.cache_misses);
-    ("ite_cache", man.ite_cache.c_filled);
-    ("op_cache", man.op_cache.c_filled);
+    ("nodes_made", Atomic.get man.nodes_made);
+    ("unique_size", Atomic.get man.unique.u_total);
+    ("peak_unique", Atomic.get man.peak_unique);
+    ("cache_hits", sc_read man.sc_hits);
+    ("cache_misses", sc_read man.sc_misses);
+    ("ite_cache", filled man.ite_cache);
+    ("op_cache", filled man.op_cache);
     ("n_vars", man.n_vars);
-    ("unique_capacity", man.unique.u_mask + 1);
+    ("unique_capacity", ut_capacity man.unique);
     ("cache_entries", cache_entries);
     ("cache_capacity", cache_capacity);
-    ("cache_overwrites", man.cache_overwrites);
-    ("ut_grows", man.ut_grows);
+    ("cache_overwrites", sc_read man.sc_overwrites);
+    ("ut_grows", Atomic.get man.ut_grows);
     ("gc_runs", man.gc_runs);
     ("gc_collected", man.gc_collected);
-    ("node_limit_hits", man.node_limit_hits);
+    ("node_limit_hits", Atomic.get man.node_limit_hits);
     ("hot_nodes", hot);
     ("cold_nodes", cold);
     ("spilled_bytes", spilled);
+    ("cas_retries", Atomic.get man.cas_retries);
+    ("stripe_waits", Atomic.get man.stripe_waits);
+    ("ut_locks", Atomic.get man.ut_locks);
+    ("cache_races", sc_read man.sc_races);
+    ("cache_inserts", sc_read man.sc_inserts);
   ]
 
 let reorder man ~order:level_var ~roots =
@@ -1348,3 +1585,177 @@ let load path =
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> serialized_of_string (really_input_string ic (in_channel_length ic)))
+
+(* ------------------------------------------------------------------ *)
+(* Parallel operations (DESIGN.md §Parallel kernel)                    *)
+(* ------------------------------------------------------------------ *)
+
+type contention = {
+  cas_retries : int;
+  stripe_waits : int;
+  ut_locks : int;
+  cache_races : int;
+  cache_inserts : int;
+  cache_probes : int;
+}
+
+let contention (man : man) =
+  {
+    cas_retries = Atomic.get man.cas_retries;
+    stripe_waits = Atomic.get man.stripe_waits;
+    ut_locks = Atomic.get man.ut_locks;
+    cache_races = sc_read man.sc_races;
+    cache_inserts = sc_read man.sc_inserts;
+    cache_probes = sc_read man.sc_hits + sc_read man.sc_misses;
+  }
+
+(* Forked subproblems stop at a depth cutoff and fall back to the plain
+   sequential recursions — same caches, same unique table — so the fork
+   count per operation is O(2^cutoff) regardless of operand size.  A few
+   levels beyond log2(workers) keeps every worker fed even when the
+   cofactor tree is skewed, without drowning the deques in tiny tasks.
+   Results are bit-identical to the sequential kernel by construction:
+   both build canonical nodes in the same hash-consing table, so the
+   schedule can only change which domain publishes a node first, never
+   which node represents a function. *)
+let par_cutoff pool = ilog2 (Tpool.size pool) + 4
+
+let check_shared name pool man =
+  if Tpool.size pool > 1 && not man.shared then
+    invalid_arg (name ^ ": manager was not created with ~shared:true")
+
+(* Fork the hi-branch, compute the lo-branch inline, join.  On an
+   exception from the inline branch (Node_limit, a deadline tick), the
+   forked task is cancelled-or-awaited before unwinding so it cannot
+   outlive the operation and race a later quiescent gc. *)
+let fork_join pool go1 go0 =
+  let fut = Tpool.fork pool go1 in
+  let r0 =
+    try go0 ()
+    with e ->
+      Tpool.cancel pool fut;
+      raise e
+  in
+  let r1 = Tpool.join pool fut in
+  (r1, r0)
+
+let par_apply pool man op f g =
+  let tag, term =
+    match op with
+    | `And -> (tag_and, and_term)
+    | `Or -> (tag_or, or_term)
+    | `Xor -> (tag_xor, xor_term)
+  in
+  if Tpool.size pool <= 1 then apply man tag term f g
+  else begin
+    check_shared "Bdd.par_apply" pool man;
+    let cutoff = par_cutoff pool in
+    let rec go depth f g =
+      match term man f g with
+      | Some r -> r
+      | None ->
+          let f, g = if f.uid <= g.uid then (f, g) else (g, f) in
+          let r = cache_find man man.op_cache tag f.uid g.uid in
+          if r.uid >= 0 then r
+          else if depth >= cutoff then apply man tag term f g
+          else begin
+            let lv = min (level man f) (level man g) in
+            let v = man.level_var.(lv) in
+            let f1, f0 = cofactors man f lv and g1, g0 = cofactors man g lv in
+            let r1, r0 =
+              fork_join pool
+                (fun () -> go (depth + 1) f1 g1)
+                (fun () -> go (depth + 1) f0 g0)
+            in
+            let r = mk_raw man v r1 r0 in
+            cache_add man man.op_cache tag f.uid g.uid r;
+            r
+          end
+    in
+    go 0 f g
+  end
+
+let par_ite pool man f g h =
+  if Tpool.size pool <= 1 then ite man f g h
+  else begin
+    check_shared "Bdd.par_ite" pool man;
+    let cutoff = par_cutoff pool in
+    (* same terminal rewrite chain as the sequential [ite] *)
+    let rec go depth f g h =
+      if is_true f then g
+      else if is_false f then h
+      else if g == h then g
+      else if is_true g && is_false h then f
+      else if f == g then go depth f man.tt h
+      else if f == h then go depth f g man.ff
+      else
+        let r = cache_find man man.ite_cache f.uid g.uid h.uid in
+        if r.uid >= 0 then r
+        else if depth >= cutoff then ite man f g h
+        else begin
+          let lv = min (level man f) (min (level man g) (level man h)) in
+          let v = man.level_var.(lv) in
+          let f1, f0 = cofactors man f lv
+          and g1, g0 = cofactors man g lv
+          and h1, h0 = cofactors man h lv in
+          let r1, r0 =
+            fork_join pool
+              (fun () -> go (depth + 1) f1 g1 h1)
+              (fun () -> go (depth + 1) f0 g0 h0)
+          in
+          let r = mk_raw man v r1 r0 in
+          cache_add man man.ite_cache f.uid g.uid h.uid r;
+          r
+        end
+    in
+    go 0 f g h
+  end
+
+let par_exist_and pool man ~vars f g =
+  if Tpool.size pool <= 1 then and_exists man ~vars f g
+  else begin
+    check_shared "Bdd.par_exist_and" pool man;
+    let cutoff = par_cutoff pool in
+    let rec go depth vars f g =
+      if is_false f || is_false g then man.ff
+      else if is_true vars then band man f g
+      else if is_true f then exists man ~vars g
+      else if is_true g then exists man ~vars f
+      else if f == g then exists man ~vars f
+      else
+        let f, g = if f.uid <= g.uid then (f, g) else (g, f) in
+        let r = cache_find man man.andex_cache f.uid g.uid vars.uid in
+        if r.uid >= 0 then r
+        else if depth >= cutoff then and_exists man ~vars f g
+        else begin
+          let lf = level man f and lg = level man g and lc = level man vars in
+          let lv = min lf lg in
+          let r =
+            if lc < lv then go depth (high vars) f g
+            else
+              let v = man.level_var.(lv) in
+              let f1, f0 = cofactors man f lv
+              and g1, g0 = cofactors man g lv in
+              if lc = lv then begin
+                let vars = high vars in
+                let r1, r0 =
+                  fork_join pool
+                    (fun () -> go (depth + 1) vars f1 g1)
+                    (fun () -> go (depth + 1) vars f0 g0)
+                in
+                bor man r1 r0
+              end
+              else
+                let r1, r0 =
+                  fork_join pool
+                    (fun () -> go (depth + 1) vars f1 g1)
+                    (fun () -> go (depth + 1) vars f0 g0)
+                in
+                mk_raw man v r1 r0
+          in
+          cache_add man man.andex_cache f.uid g.uid vars.uid r;
+          r
+        end
+    in
+    go 0 vars f g
+  end

@@ -30,15 +30,29 @@ type view =
 
 (** {1 Managers and variables} *)
 
-val create : ?nvars:int -> unit -> man
+val create : ?nvars:int -> ?shared:bool -> unit -> man
 (** [create ()] returns a fresh manager.  [nvars] pre-declares that many
     variables (they can also be added on demand with {!ithvar}).
+
+    [~shared:true] arms the manager for concurrent use from several
+    domains (DESIGN.md §Parallel kernel): the unique table is striped
+    with per-stripe insert locks, probes stay lock-free, and the lossy
+    operation caches tolerate races (they may lose entries, never return
+    a wrong one).  Hash-consing canonicity — physical equality iff
+    functional equality — holds across domains.  The default private
+    manager skips all locking and must stay confined to one domain at a
+    time.  {!gc}, {!reorder}, {!clear_caches} and {!set_cache_limit}
+    require quiescence even on a shared manager: no concurrent operation
+    may be running during the call.
 
     The first [create] of the process also tunes the OCaml GC for BDD
     workloads (larger minor heap, higher [space_overhead]; see DESIGN.md
     §Kernel).  Existing settings are never lowered; set the environment
     variable [BDD_GC_TUNE=0] to disable, or call [Gc.set] afterwards to
     override. *)
+
+val is_shared : man -> bool
+(** Whether the manager was created with [~shared:true]. *)
 
 val nvars : man -> int
 (** Number of declared variables. *)
@@ -122,6 +136,53 @@ val disj : man -> t list -> t
 val leq : man -> t -> t -> bool
 (** [leq man f g] tests functional containment [f ≤ g] (implication),
     without building the implication BDD. *)
+
+(** {1 Parallel operations}
+
+    Fork/join variants of the core recursions, executing on a {!Tpool.t}
+    over a [~shared:true] manager.  Each forks the two cofactor branches
+    onto the pool down to a depth cutoff of [log2(workers) + 4] and runs
+    the plain sequential recursion (same caches, same unique table)
+    below it, so results are {e bit-identical} to the sequential kernel:
+    hash-consing canonicity means the schedule can only decide which
+    domain publishes a node first, never which node represents a
+    function.
+
+    With a pool of size 1 these are exactly the sequential operations
+    and work on any manager.  With a larger pool they
+    @raise Invalid_argument unless the manager is shared. *)
+
+val par_apply : Tpool.t -> man -> [ `And | `Or | `Xor ] -> t -> t -> t
+(** Parallel {!band} / {!bor} / {!bxor}. *)
+
+val par_ite : Tpool.t -> man -> t -> t -> t -> t
+(** Parallel {!ite}. *)
+
+val par_exist_and : Tpool.t -> man -> vars:t -> t -> t -> t
+(** Parallel {!and_exists} (relational product), the workhorse of image
+    computation. *)
+
+type contention = {
+  cas_retries : int;
+      (** unique-table publish races lost: the re-probe under a stripe
+          lock found the node another domain had just created *)
+  stripe_waits : int;
+      (** stripe-lock acquisitions that found the lock already held *)
+  ut_locks : int;  (** total stripe-lock acquisitions on the insert path *)
+  cache_races : int;
+      (** computed-cache overwrites that re-stored the very same key —
+          two domains solved the same subproblem concurrently *)
+  cache_inserts : int;  (** total computed-cache stores *)
+  cache_probes : int;  (** total computed-cache probes (hits + misses) *)
+}
+(** Contention counters of the parallel kernel, all cumulative and
+    monotone.  [cache_races <= cache_inserts] and
+    [stripe_waits <= ut_locks >= cas_retries] always hold; on a private
+    manager everything except [cache_inserts] and [cache_probes] stays
+    0.  Exported to metrics as the [kernel.*] counters by
+    [Obs.Kernel.attach]. *)
+
+val contention : man -> contention
 
 val intersects : man -> t -> t -> bool
 (** [intersects man f g] tests [f ∧ g ≠ 0] without building the
@@ -263,16 +324,18 @@ val stats : man -> (string * int) list
 (** Internal counters, for logging.  Keys: [nodes_made], [unique_size],
     [peak_unique], [cache_hits], [cache_misses] (cumulative over every
     computed cache; monotone within a manager's lifetime), [ite_cache] and
-    [op_cache] (occupied slots), [n_vars], [unique_capacity] (slots of the
-    packed unique table), [cache_entries] and [cache_capacity] (occupied
+    [op_cache] (occupied slots), [n_vars], [unique_capacity] (slots summed
+    over the unique-table stripes), [cache_entries] and [cache_capacity] (occupied
     and total slots summed over all computed caches — [cache_entries]
     never exceeds [cache_capacity], which {!set_cache_limit} bounds),
     [cache_overwrites] (computed-cache inserts that evicted a prior
-    entry), [ut_grows] (unique-table doublings), [gc_runs] and
+    entry), [ut_grows] (unique-table stripe doublings), [gc_runs] and
     [gc_collected] (cumulative over {!gc} calls), [node_limit_hits]
-    (times {!Node_limit} was raised), and the tiered-store trio
+    (times {!Node_limit} was raised), the tiered-store trio
     [hot_nodes], [cold_nodes], [spilled_bytes] (all 0 unless a store
-    registered itself with {!set_store_stats}). *)
+    registered itself with {!set_store_stats}), and the parallel-kernel
+    contention counters [cas_retries], [stripe_waits], [ut_locks],
+    [cache_races], [cache_inserts] (see {!contention}). *)
 
 val set_store_stats : man -> (unit -> int * int * int) option -> unit
 (** Install (or clear) the provider of the [hot_nodes], [cold_nodes] and

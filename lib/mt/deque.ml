@@ -1,35 +1,5 @@
-(* Mutex-guarded work-stealing deque.
+(* The work-stealing deque moved into lib/bdd (as [Wsdeque]) so the
+   kernel's fork/join pool ([Tpool]) can share it; re-exported here
+   unchanged for {!Runner}. *)
 
-   The owner pushes and pops at the bottom (newest first, cache-warm);
-   thieves steal from the top (oldest first), the classic work-stealing
-   discipline.  Jobs in this codebase are coarse — whole benchmark trials
-   or reachability runs — so one uncontended lock per operation is noise
-   next to the work itself and buys us none of the subtlety of a Chase–Lev
-   buffer.  [steal] pays O(n) to reach the oldest element; n is bounded by
-   the jobs initially dealt to one worker. *)
-
-type 'a t = { lock : Mutex.t; mutable items : 'a list (* head = bottom *) }
-
-let create () = { lock = Mutex.create (); items = [] }
-
-let locked d f =
-  Mutex.lock d.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock d.lock) f
-
-let push d x = locked d (fun () -> d.items <- x :: d.items)
-
-let pop d =
-  locked d (fun () ->
-      match d.items with
-      | [] -> None
-      | x :: rest ->
-          d.items <- rest;
-          Some x)
-
-let steal d =
-  locked d (fun () ->
-      match List.rev d.items with
-      | [] -> None
-      | oldest :: rest ->
-          d.items <- List.rev rest;
-          Some oldest)
+include Wsdeque

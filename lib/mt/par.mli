@@ -1,0 +1,51 @@
+(** Shared-memory parallel kernel pool.
+
+    Where {!Runner} parallelizes {e across} jobs (each on a private
+    manager), [Par] hands a set of worker domains to {e one} large
+    operation on a [Bdd.create ~shared:true] manager: the reach engines
+    use it for parallel image computation, the serve layer for oversized
+    single requests.
+
+    A [Par.t] wraps a {!Tpool.t} and exports its fork/steal activity to
+    the [mt.par_tasks] and [mt.par_steals] counters of {!Obs.Metrics}
+    (delta-flushed after every wrapped operation, branch-gated on
+    {!Obs.Metrics.recording}). *)
+
+type t
+
+val create : ?registry:Obs.Metrics.t -> jobs:int -> unit -> t
+(** Spawn a pool of [jobs] workers ([jobs - 1] helper domains; clamped to
+    at least 1).  Metrics handles register against [registry] (default
+    {!Obs.Metrics.default}). *)
+
+val with_pool : ?registry:Obs.Metrics.t -> jobs:int -> (t -> 'a) -> 'a
+(** [create], run the function, always {!shutdown}. *)
+
+val shutdown : t -> unit
+(** Flush metrics and join the helper domains. *)
+
+val pool : t -> Tpool.t
+(** The underlying pool, for direct {!Bdd.par_apply} calls. *)
+
+val size : t -> int
+(** Worker count, including the calling domain. *)
+
+val apply : t -> Bdd.man -> [ `And | `Or | `Xor ] -> Bdd.t -> Bdd.t -> Bdd.t
+val ite : t -> Bdd.man -> Bdd.t -> Bdd.t -> Bdd.t -> Bdd.t
+val exist_and : t -> Bdd.man -> vars:Bdd.t -> Bdd.t -> Bdd.t -> Bdd.t
+(** {!Bdd.par_apply} / {!Bdd.par_ite} / {!Bdd.par_exist_and} with a
+    metrics flush after each call. *)
+
+val flush : t -> unit
+(** Export the fork/steal delta since the last flush.  A no-op unless
+    metrics recording is on. *)
+
+val recommended : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val warn_oversubscribed : flag:string -> int -> bool
+(** [warn_oversubscribed ~flag jobs] prints a stderr warning and returns
+    [false] when [jobs] exceeds {!recommended} (naming [flag], e.g.
+    ["--jobs"], in the message); returns [true] otherwise.  Callers keep
+    the requested value either way — the warning exists so a 1-core CI
+    host running an 8-domain matrix leg is loud about what it measures. *)

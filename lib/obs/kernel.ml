@@ -12,6 +12,31 @@ let attach ?(registry = Metrics.default) ?(prefix = "bdd") man =
   and unique_size = gauge "unique_size"
   and nodes_made = gauge "nodes_made"
   and gc_live = histogram "gc_live_nodes" in
+  (* Parallel-kernel contention counters live under a fixed "kernel."
+     prefix: registration is idempotent, so every attached manager feeds
+     the same process-wide counters (deltas only, so sums stay exact). *)
+  let kcounter n = Metrics.counter registry ("kernel." ^ n) in
+  let k_cas = kcounter "cas_retries"
+  and k_waits = kcounter "stripe_waits"
+  and k_locks = kcounter "ut_locks"
+  and k_races = kcounter "cache_races"
+  and k_inserts = kcounter "cache_inserts"
+  and k_probes = kcounter "cache_probes" in
+  let klock = Mutex.create () in
+  let klast = ref (Bdd.contention man) in
+  let flush_contention () =
+    let now = Bdd.contention man in
+    Mutex.lock klock;
+    let last = !klast in
+    klast := now;
+    Mutex.unlock klock;
+    Metrics.inc k_cas (now.Bdd.cas_retries - last.Bdd.cas_retries);
+    Metrics.inc k_waits (now.Bdd.stripe_waits - last.Bdd.stripe_waits);
+    Metrics.inc k_locks (now.Bdd.ut_locks - last.Bdd.ut_locks);
+    Metrics.inc k_races (now.Bdd.cache_races - last.Bdd.cache_races);
+    Metrics.inc k_inserts (now.Bdd.cache_inserts - last.Bdd.cache_inserts);
+    Metrics.inc k_probes (now.Bdd.cache_probes - last.Bdd.cache_probes)
+  in
   let unique_track = prefix ^ ".unique_size" in
   (* the Progress beat already fires only every few hundred nodes; thin
      the counter-track samples further so traces stay small *)
@@ -36,7 +61,8 @@ let attach ?(registry = Metrics.default) ?(prefix = "bdd") man =
           Metrics.inc gc_runs 1;
           Metrics.inc gc_collected collected;
           Metrics.observe gc_live live;
-          Metrics.set unique_size live
+          Metrics.set unique_size live;
+          flush_contention ()
         end;
         if tr_on then Trace.instant "bdd.gc"
     | Limit_hit { limit } ->
@@ -46,7 +72,8 @@ let attach ?(registry = Metrics.default) ?(prefix = "bdd") man =
     | Progress { nodes_made = nm; unique_size = us } ->
         if rec_on then begin
           Metrics.set unique_size us;
-          Metrics.set nodes_made nm
+          Metrics.set nodes_made nm;
+          flush_contention ()
         end;
         if tr_on then begin
           incr beats;

@@ -15,7 +15,15 @@ val attach : ?registry:Metrics.t -> ?prefix:string -> Bdd.man -> unit
     Metrics are registered under [prefix] (default ["bdd"]):
     [.ut_grows], [.cache_resizes], [.gc_runs], [.gc_collected_nodes],
     [.node_limit_hits] (counters); [.unique_size], [.nodes_made]
-    (gauges); [.gc_live_nodes] (histogram). *)
+    (gauges); [.gc_live_nodes] (histogram).
+
+    Additionally the manager's {!Bdd.contention} snapshot is delta-fed
+    (on every [Progress] and [Gc] beat, while recording) into the fixed,
+    process-wide parallel-kernel counters [kernel.cas_retries],
+    [kernel.stripe_waits], [kernel.ut_locks], [kernel.cache_races],
+    [kernel.cache_inserts] and [kernel.cache_probes] — shared by all
+    attached managers, all zero for private (non-[~shared]) managers
+    that never contend. *)
 
 val detach : Bdd.man -> unit
 (** Remove the observer (whoever installed it). *)

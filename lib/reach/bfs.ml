@@ -1,6 +1,19 @@
 let run ?(max_iter = max_int) ?time_limit ?node_limit ?gc_start
-    ?(sift = false) ?degrade:meth ?checkpoint ?resume trans =
+    ?(sift = false) ?degrade:meth ?checkpoint ?resume ?pool trans =
   let man = Trans.man trans in
+  (* with a pool, the frontier bookkeeping joins the image on the workers;
+     par_* results are bit-identical to the sequential operations *)
+  let bor man f g =
+    match pool with
+    | Some pool -> Bdd.par_apply pool man `Or f g
+    | None -> Bdd.bor man f g
+  in
+  let bdiff man f g =
+    (* f ∧ ¬g as ite(g, false, f) *)
+    match pool with
+    | Some pool -> Bdd.par_ite pool man g (Bdd.ff man) f
+    | None -> Bdd.bdiff man f g
+  in
   let start = Sys.time () in
   let compiled = trans.Trans.compiled in
   let maint = Traversal.make_maintenance ?gc_start sift in
@@ -32,15 +45,15 @@ let run ?(max_iter = max_int) ?time_limit ?node_limit ?gc_start
     Obs.Trace.with_span "bfs.iter" @@ fun () ->
     let (img, stats), _expanded, leftover =
       Resil.Degrade.image deg man ~roots ~reached:!reached
-        ~compute:(fun f -> Image.image !trans f)
+        ~compute:(fun f -> Image.image ?pool !trans f)
         !frontier
     in
     incr images;
     peak_product := max !peak_product stats.Image.peak_product;
-    let fresh = Bdd.bdiff man img !reached in
+    let fresh = bdiff man img !reached in
     peak_live := max !peak_live (Bdd.unique_size man);
-    reached := Bdd.bor man !reached fresh;
-    frontier := Bdd.bor man leftover fresh;
+    reached := bor man !reached fresh;
+    frontier := bor man leftover fresh;
     if Bdd.is_false !frontier then begin
       exact := true;
       raise Exit

@@ -10,6 +10,7 @@ val run :
   ?degrade:Approx.meth ->
   ?checkpoint:Resil.Checkpoint.policy ->
   ?resume:Resil.Checkpoint.reach_state ->
+  ?pool:Tpool.t ->
   Trans.t ->
   Traversal.result
 (** Least fixpoint of [λR. init ∨ Img(R)] by frontier iteration.
@@ -29,4 +30,7 @@ val run :
     traversal, including the compiled circuit functions.  [checkpoint]
     atomically snapshots the traversal every [every] iterations;
     [resume] restarts from a snapshot loaded with
-    {!Resil.Checkpoint.load_reach}. *)
+    {!Resil.Checkpoint.load_reach}.  [pool] forks the image and frontier
+    bookkeeping across the given pool's domains (the transition system's
+    manager must be [Bdd.create ~shared:true]); results are bit-identical
+    to the sequential run. *)

@@ -10,7 +10,7 @@ let default = { meth = Approx.RUA; threshold = 0; quality = 1.0; pimg = None }
 exception Out_of_budget
 
 let run ?(max_iter = max_int) ?time_limit ?node_limit ?gc_start
-    ?(sift = false) ?(params = default) ?checkpoint ?resume trans =
+    ?(sift = false) ?(params = default) ?checkpoint ?resume ?pool trans =
   let man = Trans.man trans in
   let start = Sys.time () in
   let nlatches = Array.length trans.Trans.compiled.Compile.latches in
@@ -68,7 +68,7 @@ let run ?(max_iter = max_int) ?time_limit ?node_limit ?gc_start
        expanded part is subtracted below *)
     let (img, stats), expanded, _leftover =
       Resil.Degrade.image deg man ~roots ~reached:!reached
-        ~compute:(fun d -> Image.image ?partial !trans d)
+        ~compute:(fun d -> Image.image ?partial ?pool !trans d)
         dense
     in
     incr images;
@@ -116,7 +116,7 @@ let run ?(max_iter = max_int) ?time_limit ?node_limit ?gc_start
   let exact = ref (in_budget && Bdd.is_false !unexpanded) in
   if params.pimg <> None && !exact then begin
     let closure_image () =
-      try Some (fst (Image.image !trans !reached))
+      try Some (fst (Image.image ?pool !trans !reached))
       with Bdd.Node_limit -> None
     in
     let rec closure () =

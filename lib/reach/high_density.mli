@@ -34,11 +34,12 @@ val run :
   ?params:params ->
   ?checkpoint:Resil.Checkpoint.policy ->
   ?resume:Resil.Checkpoint.reach_state ->
+  ?pool:Tpool.t ->
   Trans.t ->
   Traversal.result
 (** High-density traversal to the exact fixpoint.  [time_limit],
-    [node_limit], [gc_start], [sift], [checkpoint] and [resume] as in
-    {!Bfs.run}; an image step that blows the node budget even after a
+    [node_limit], [gc_start], [sift], [checkpoint], [resume] and [pool]
+    as in {!Bfs.run}; an image step that blows the node budget even after a
     collection walks the {!Resil.Degrade} ladder (with [params.meth] as
     its under-approximation method) before the engine concedes
     [exact = false]. *)

@@ -8,14 +8,24 @@
     (Table 1's "PImg" column): whenever an intermediate product exceeds
     [limit] nodes it is replaced by [approx] of itself, making the image a
     {e subset} of the exact image — which high-density traversal tolerates
-    and exploits. *)
+    and exploits.
+
+    The [pool] hook runs each cluster's relational product through
+    {!Bdd.par_exist_and} on the given fork/join pool.  The transition
+    system's manager must then be shared ([Bdd.create ~shared:true], as
+    [Compile.compile ~man] permits); results are bit-identical to the
+    sequential path. *)
 
 type stats = { peak_product : int; approximations : int }
 
 val image :
-  ?partial:int * (Bdd.t -> Bdd.t) -> Trans.t -> Bdd.t -> Bdd.t * stats
-(** [image ?partial trans f]: [f] ranges over present-state variables; the
-    result does too. *)
+  ?partial:int * (Bdd.t -> Bdd.t) ->
+  ?pool:Tpool.t ->
+  Trans.t ->
+  Bdd.t ->
+  Bdd.t * stats
+(** [image ?partial ?pool trans f]: [f] ranges over present-state
+    variables; the result does too. *)
 
 val exact : Trans.t -> Bdd.t -> Bdd.t
 (** [image] without subsetting, dropping the statistics. *)

@@ -113,8 +113,33 @@ let degraded = function
 
 (* --- request execution ------------------------------------------------ *)
 
-let apply limits session op =
+let apply ?pool limits session op =
   let man = Session.man session in
+  (* with a pool, the boolean connectives fork across its domains; the
+     par_* kernels are bit-identical to the sequential ones, so replies
+     (and their certificates) do not depend on the pool's presence *)
+  let band man a b =
+    match pool with
+    | Some p -> Bdd.par_apply p man `And a b
+    | None -> Bdd.band man a b
+  and bor man a b =
+    match pool with
+    | Some p -> Bdd.par_apply p man `Or a b
+    | None -> Bdd.bor man a b
+  and bxor man a b =
+    match pool with
+    | Some p -> Bdd.par_apply p man `Xor a b
+    | None -> Bdd.bxor man a b
+  and ite man a b c =
+    match pool with
+    | Some p -> Bdd.par_ite p man a b c
+    | None -> Bdd.ite man a b c
+  and exists man ~vars a =
+    (* ∃vars. a  =  ∃vars. a ∧ ⊤ *)
+    match pool with
+    | Some p -> Bdd.par_exist_and p man ~vars a (Bdd.tt man)
+    | None -> Bdd.exists man ~vars a
+  in
   let monotone =
     match op with
     | Proto.And _ | Proto.Or _ | Proto.Exists _ -> true
@@ -130,17 +155,17 @@ let apply limits session op =
     | Proto.And (a, b) ->
         let a = get session a and b = get session b in
         budgeted limits session ~monotone (fun thr ->
-            Bdd.band man (shrink man thr a) (shrink man thr b))
+            band man (shrink man thr a) (shrink man thr b))
     | Proto.Or (a, b) ->
         let a = get session a and b = get session b in
         budgeted limits session ~monotone (fun thr ->
-            Bdd.bor man (shrink man thr a) (shrink man thr b))
+            bor man (shrink man thr a) (shrink man thr b))
     | Proto.Xor (a, b) ->
         let a = get session a and b = get session b in
-        budgeted limits session ~monotone (fun _ -> Bdd.bxor man a b)
+        budgeted limits session ~monotone (fun _ -> bxor man a b)
     | Proto.Ite (a, b, c) ->
         let a = get session a and b = get session b and c = get session c in
-        budgeted limits session ~monotone (fun _ -> Bdd.ite man a b c)
+        budgeted limits session ~monotone (fun _ -> ite man a b c)
     | Proto.Exists (vs, a) ->
         List.iter check_var vs;
         (* materialize the variables: Bdd.cube rejects indices the manager
@@ -148,7 +173,7 @@ let apply limits session op =
         List.iter (fun v -> ignore (Bdd.ithvar man v)) vs;
         let a = get session a in
         budgeted limits session ~monotone (fun thr ->
-            Bdd.exists man ~vars:(Bdd.cube man vs) (shrink man thr a))
+            exists man ~vars:(Bdd.cube man vs) (shrink man thr a))
     | Proto.Forall (vs, a) ->
         List.iter check_var vs;
         List.iter (fun v -> ignore (Bdd.ithvar man v)) vs;
@@ -177,7 +202,7 @@ let compile limits session ~name ~blif =
   in
   Proto.Handles handles
 
-let reach limits session ~model ~max_iter =
+let reach ?pool limits session ~model ~max_iter =
   let circuit =
     match Session.model session model with
     | Some c -> c
@@ -187,7 +212,10 @@ let reach limits session ~model ~max_iter =
      Resil.Degrade ladder inside it) collects garbage against its own
      roots, which would invalidate every other handle if it shared the
      session manager.  Only the reached set crosses back, via export. *)
-  let rman = Bdd.create () in
+  let shared =
+    match pool with Some p -> Tpool.size p > 1 | None -> false
+  in
+  let rman = Bdd.create ~shared () in
   if Obs.Kernel.observing () then Obs.Kernel.attach rman;
   if Resil.Fault.enabled () then Resil.Fault.attach rman;
   let compiled = Compile.compile ~man:rman circuit in
@@ -199,7 +227,7 @@ let reach limits session ~model ~max_iter =
   let result =
     Bfs.run
       ?max_iter:(if max_iter = 0 then None else Some max_iter)
-      ?time_limit:limits.deadline ?node_limit trans
+      ?time_limit:limits.deadline ?node_limit ?pool trans
   in
   let reached =
     Bdd.import (Session.man session) (Bdd.export rman result.Traversal.reached)
@@ -215,7 +243,7 @@ let reach limits session ~model ~max_iter =
       cert = cert_of_degrade result.Traversal.degrade ~exact:result.Traversal.exact;
     }
 
-let handle ?(stats_extra = fun () -> []) limits session req =
+let handle ?(stats_extra = fun () -> []) ?pool limits session req =
   let man = Session.man session in
   Session.note_request session;
   try
@@ -244,7 +272,7 @@ let handle ?(stats_extra = fun () -> []) limits session req =
     | Proto.Fetch { handle } ->
         let f = get session handle in
         Proto.Bdd_payload { bdd = Bdd.serialized_to_string (Bdd.export man f) }
-    | Proto.Apply op -> apply limits session op
+    | Proto.Apply op -> apply ?pool limits session op
     | Proto.Compile { name; blif } -> compile limits session ~name ~blif
     | Proto.Approx { meth; threshold; handle } ->
         let f = get session handle in
@@ -278,7 +306,8 @@ let handle ?(stats_extra = fun () -> []) limits session req =
             h_size = Bdd.size h;
             shared = Decomp.shared_size pair;
           }
-    | Proto.Reach { model; max_iter } -> reach limits session ~model ~max_iter
+    | Proto.Reach { model; max_iter } ->
+        reach ?pool limits session ~model ~max_iter
     | Proto.Count { handle; nvars } ->
         let f = get session handle in
         if nvars < 0 || nvars > var_cap then refuse "nvars out of range";

@@ -33,12 +33,17 @@ val no_limits : limits
 
 val handle :
   ?stats_extra:(unit -> (string * int) list) ->
+  ?pool:Tpool.t ->
   limits ->
   Session.t ->
   Proto.request ->
   Proto.reply
 (** Execute one request.  [stats_extra] is appended to [Stats] replies
-    (the server injects its process-wide counters there). *)
+    (the server injects its process-wide counters there).  [pool] forks
+    the boolean connectives ([And]/[Or]/[Xor]/[Ite]/[Exists]) and [Reach]
+    image computation across the pool's domains; the session must then
+    have been created with [Session.create ~shared:true].  Replies are
+    bit-identical with and without a pool. *)
 
 val degraded : Proto.reply -> bool
 (** The reply carries a [Degraded] certificate (for metrics). *)

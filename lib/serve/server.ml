@@ -15,6 +15,7 @@ type config = {
   limits : Handler.limits;
   max_sessions : int;
   on_dispatch : (Proto.request -> unit) option;
+  par_jobs : int;
 }
 
 let default_config =
@@ -25,6 +26,7 @@ let default_config =
     limits = Handler.no_limits;
     max_sessions = 1024;
     on_dispatch = None;
+    par_jobs = 1;
   }
 
 module M = struct
@@ -60,6 +62,7 @@ type t = {
   listener : Unix.file_descr;
   addr : Unix.sockaddr;
   pool : Mt.Service.t;
+  par : Mt.Par.t option;  (* parallel kernel, shared by all shards *)
   lock : Mutex.t;  (* conns registry + counters + reader list *)
   conns : (int, conn) Hashtbl.t;
   mutable next_sid : int;
@@ -146,8 +149,8 @@ let process t c req () =
       let t0 = Obs.Timing.wall () in
       let reply =
         Obs.Trace.with_span "serve.request" (fun () ->
-            Handler.handle ~stats_extra:(server_stats t) t.cfg.limits
-              c.session req)
+            Handler.handle ~stats_extra:(server_stats t)
+              ?pool:(Option.map Mt.Par.pool t.par) t.cfg.limits c.session req)
       in
       (match reply with
       | Proto.Error _ ->
@@ -220,7 +223,7 @@ let accept_conn t fd =
       {
         sid;
         fd;
-        session = Session.create ~id:sid;
+        session = Session.create ~shared:(t.cfg.par_jobs > 1) ~id:sid ();
         wlock = Mutex.create ();
         refs = 1;
         dead = false;
@@ -279,6 +282,9 @@ let start cfg =
       pool =
         Mt.Service.create ~label:"serve" ~workers:cfg.workers
           ~queue_depth:cfg.queue_depth ();
+      par =
+        (if cfg.par_jobs > 1 then Some (Mt.Par.create ~jobs:cfg.par_jobs ())
+         else None);
       lock = Mutex.create ();
       conns = Hashtbl.create 64;
       next_sid = 0;
@@ -323,8 +329,10 @@ let drain t =
     (match t.cfg.bind with
     | Unix_path path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
     | Tcp _ -> ());
-    (* 2. answer everything queued and park the worker domains *)
+    (* 2. answer everything queued and park the worker domains (only then
+       is the parallel kernel quiescent and safe to join) *)
     Mt.Service.drain t.pool;
+    Option.iter Mt.Par.shutdown t.par;
     (* 3. hang up: shutdown wakes readers blocked in read *)
     Mutex.lock t.lock;
     let conns = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [] in

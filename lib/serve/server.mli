@@ -34,11 +34,18 @@ type config = {
   on_dispatch : (Proto.request -> unit) option;
       (** test hook, called by the shard worker as it picks a request up
           (lets tests hold a worker busy deterministically) *)
+  par_jobs : int;
+      (** parallel kernel width: when > 1, a {!Mt.Par} pool of this many
+          domains is shared by all shards, session managers are created
+          [~shared:true], and each request's boolean connectives and
+          reachability images fork across the pool (replies stay
+          bit-identical).  1 (the default) keeps the historical
+          one-domain-per-session kernel. *)
 }
 
 val default_config : config
-(** 4 workers, queue depth 64, no limits, 1024 sessions, Unix path
-    ["bdd-serve.sock"]. *)
+(** 4 workers, queue depth 64, no limits, 1024 sessions, 1 par job, Unix
+    path ["bdd-serve.sock"]. *)
 
 type t
 

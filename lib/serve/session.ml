@@ -13,8 +13,8 @@ type t = {
   mutable requests : int;
 }
 
-let create ~id =
-  let man = Bdd.create () in
+let create ?(shared = false) ~id () =
+  let man = Bdd.create ~shared () in
   (* sessions participate in observability and chaos exactly like
      Mt.Runner job managers do *)
   if Obs.Kernel.observing () then Obs.Kernel.attach man;

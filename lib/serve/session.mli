@@ -10,7 +10,12 @@
 
 type t
 
-val create : id:int -> t
+val create : ?shared:bool -> id:int -> unit -> t
+(** [shared] (default false) creates the session's manager with
+    [Bdd.create ~shared:true] so a parallel-kernel pool may fork requests
+    across domains ({!Handler.handle}'s [pool]); single-domain sessions
+    keep the private, lock-free layout. *)
+
 val id : t -> int
 val man : t -> Bdd.man
 

@@ -1,0 +1,207 @@
+(* Tests for the parallel kernel: the shared (striped) unique table, the
+   race-tolerant caches, and the par_* fork/join recursions.
+
+   The domain counts exercised by the pool-based properties come from
+   PAR_TEST_DOMAINS (space- or comma-separated, default "1 2 4") so the
+   CI matrix can re-run the same suite at 2 and 8 domains. *)
+
+let domain_counts =
+  let parse s =
+    String.split_on_char ' ' (String.map (function ',' -> ' ' | c -> c) s)
+    |> List.filter_map int_of_string_opt
+    |> List.filter (fun d -> d >= 1)
+  in
+  match Option.map parse (Sys.getenv_opt "PAR_TEST_DOMAINS") with
+  | Some (_ :: _ as ds) -> ds
+  | Some [] | None -> [ 1; 2; 4 ]
+
+let nvars = 6
+
+let qtest ?(count = 100) name prop_arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name prop_arb prop)
+
+(* canonical fingerprint: equal across managers iff the BDDs are equal *)
+let export man f = Bdd.serialized_to_string (Bdd.export man f)
+
+let with_pool workers fn =
+  let pool = Tpool.create ~workers in
+  Fun.protect ~finally:(fun () -> Tpool.shutdown pool) (fun () -> fn pool)
+
+(* Tgen.build_bdd routed through the par_* entry points, so a random op
+   tree exercises par_apply and par_ite at every internal node. *)
+let rec build_par pool man = function
+  | Tgen.T -> Bdd.tt man
+  | Tgen.F -> Bdd.ff man
+  | Tgen.V i -> Bdd.ithvar man i
+  | Tgen.Not e -> Bdd.bnot man (build_par pool man e)
+  | Tgen.And (a, b) ->
+      Bdd.par_apply pool man `And (build_par pool man a) (build_par pool man b)
+  | Tgen.Or (a, b) ->
+      Bdd.par_apply pool man `Or (build_par pool man a) (build_par pool man b)
+  | Tgen.Xor (a, b) ->
+      Bdd.par_apply pool man `Xor (build_par pool man a) (build_par pool man b)
+  | Tgen.Imp (a, b) ->
+      Bdd.par_ite pool man (build_par pool man a) (build_par pool man b)
+        (Bdd.tt man)
+  | Tgen.Ite (a, b, c) ->
+      Bdd.par_ite pool man (build_par pool man a) (build_par pool man b)
+        (build_par pool man c)
+
+(* --- par ops vs the single-domain oracle ------------------------------ *)
+
+let prop_par_matches_oracle e =
+  (* sequential oracle on a private manager *)
+  let man0, f0, o = Tgen.setup ~nvars e in
+  let want = export man0 f0 in
+  List.for_all
+    (fun d ->
+      with_pool d (fun pool ->
+          let man = Bdd.create ~nvars ~shared:(d > 1) () in
+          let f = build_par pool man e in
+          export man f = want
+          && Oracle.equal (Oracle.of_bdd man nvars f) o))
+    domain_counts
+
+let prop_par_exist_and e1 e2 =
+  let man0 = Bdd.create ~nvars () in
+  let a0 = Tgen.build_bdd man0 e1 and b0 = Tgen.build_bdd man0 e2 in
+  let vars0 = Bdd.cube man0 [ 0; 2; 4 ] in
+  let want = export man0 (Bdd.and_exists man0 ~vars:vars0 a0 b0) in
+  List.for_all
+    (fun d ->
+      with_pool d (fun pool ->
+          let man = Bdd.create ~nvars ~shared:(d > 1) () in
+          let a = Tgen.build_bdd man e1 and b = Tgen.build_bdd man e2 in
+          let vars = Bdd.cube man [ 0; 2; 4 ] in
+          export man (Bdd.par_exist_and pool man ~vars a b) = want))
+    domain_counts
+
+(* --- pool-driven reachability vs the sequential engine ---------------- *)
+
+let test_bfs_pool () =
+  let states trans pool =
+    let r = Bfs.run ?pool trans in
+    (r.Traversal.states, r.Traversal.reached)
+  in
+  let build man =
+    Trans.build (Compile.compile ~man (Generate.microsequencer ~addr_bits:3 ~stack_depth:2))
+  in
+  let man0 = Bdd.create () in
+  let s0, r0 = states (build man0) None in
+  let want = export man0 r0 in
+  List.iter
+    (fun d ->
+      with_pool d (fun pool ->
+          let man = Bdd.create ~shared:(d > 1) () in
+          let s, r = states (build man) (Some pool) in
+          Alcotest.(check (float 0.0))
+            (Printf.sprintf "states @ %d domains" d)
+            s0 s;
+          Alcotest.(check string)
+            (Printf.sprintf "reached set @ %d domains" d)
+            want (export man r)))
+    domain_counts
+
+(* --- stress: concurrent mk/apply on one shared manager ---------------- *)
+
+(* Four domains hammer a single shared manager with interleaved variable
+   materialization, connectives and quantification over overlapping
+   variable ranges, then every result is checked against a private
+   sequential manager and the manager's own bookkeeping is audited. *)
+let test_shared_stress () =
+  let domains = 4 and rounds = 120 and stress_vars = 12 in
+  let man = Bdd.create ~shared:true () in
+  (* variables are deliberately NOT pre-materialized: racing ithvar makes
+     the domains contend on var_lock (grow_vars) as well as the table *)
+  let work mgr k () =
+    let acc = ref (Bdd.tt mgr) in
+    for i = 0 to rounds - 1 do
+      let v1 = (i + k) mod stress_vars
+      and v2 = (i + (3 * k) + 5) mod stress_vars in
+      let x = Bdd.ithvar mgr v1 and y = Bdd.ithvar mgr v2 in
+      let t =
+        match i mod 4 with
+        | 0 -> Bdd.band mgr (Bdd.bor mgr x y) (Bdd.bnot mgr !acc)
+        | 1 -> Bdd.bxor mgr !acc (Bdd.band mgr x (Bdd.bnot mgr y))
+        | 2 -> Bdd.ite mgr x !acc y
+        | _ -> Bdd.exists mgr ~vars:(Bdd.cube mgr [ v1 ]) (Bdd.bor mgr !acc y)
+      in
+      acc := t
+    done;
+    !acc
+  in
+  let spawned =
+    List.init domains (fun k -> Domain.spawn (work man ((2 * k) + 1)))
+  in
+  let results = List.map Domain.join spawned in
+  (* every domain's result must equal a sequential replay of its own
+     deterministic op sequence on a private manager *)
+  List.iteri
+    (fun k f ->
+      let man0 = Bdd.create () in
+      let f0 = work man0 ((2 * k) + 1) () in
+      Alcotest.(check string)
+        (Printf.sprintf "domain %d result" k)
+        (export man0 f0) (export man f))
+    results;
+  (* canonicity survived the races: rebuilding any result hits the table *)
+  List.iter
+    (fun f -> Alcotest.(check bool) "canonical" true (Bdd.equal f f))
+    results;
+  let st = Bdd.stats man in
+  let v name = Option.value ~default:0 (List.assoc_opt name st) in
+  Alcotest.(check bool) "unique_size <= nodes_made" true
+    (v "unique_size" <= v "nodes_made");
+  Alcotest.(check bool) "peak_unique >= unique_size" true
+    (v "peak_unique" >= v "unique_size");
+  let c = Bdd.contention man in
+  Alcotest.(check bool) "cache_races <= cache_inserts" true
+    (c.Bdd.cache_races <= c.Bdd.cache_inserts);
+  Alcotest.(check bool) "cas_retries <= ut_locks" true
+    (c.Bdd.cas_retries <= c.Bdd.ut_locks);
+  Alcotest.(check bool) "stripe_waits <= ut_locks" true
+    (c.Bdd.stripe_waits <= c.Bdd.ut_locks);
+  Alcotest.(check bool) "counters non-negative" true
+    (c.Bdd.cas_retries >= 0 && c.Bdd.stripe_waits >= 0
+    && c.Bdd.cache_races >= 0 && c.Bdd.cache_probes >= 0)
+
+(* --- guard rails ------------------------------------------------------ *)
+
+let test_par_requires_shared () =
+  with_pool 2 (fun pool ->
+      let man = Bdd.create ~nvars:2 () in
+      let x = Bdd.ithvar man 0 and y = Bdd.ithvar man 1 in
+      match Bdd.par_apply pool man `And x y with
+      | _ -> Alcotest.fail "par_apply on a private manager should raise"
+      | exception Invalid_argument _ -> ())
+
+let test_pool_size_one_inline () =
+  (* a 1-worker pool must not require a shared manager: it degenerates to
+     the sequential kernel on the calling domain *)
+  with_pool 1 (fun pool ->
+      let man = Bdd.create ~nvars:4 () in
+      let x = Bdd.ithvar man 0 and y = Bdd.ithvar man 1 in
+      let r = Bdd.par_apply pool man `And x y in
+      Alcotest.(check bool) "same as band" true
+        (Bdd.equal r (Bdd.band man x y)))
+
+let tests =
+  ( "par",
+    [
+      qtest "par_apply/par_ite = oracle @ PAR_TEST_DOMAINS"
+        (Tgen.arbitrary_expr ~nvars ~depth:6)
+        prop_par_matches_oracle;
+      qtest ~count:60 "par_exist_and = and_exists @ PAR_TEST_DOMAINS"
+        QCheck.(
+          pair
+            (Tgen.arbitrary_expr ~nvars ~depth:5)
+            (Tgen.arbitrary_expr ~nvars ~depth:5))
+        (fun (a, b) -> prop_par_exist_and a b);
+      Alcotest.test_case "Bfs ?pool bit-identical" `Quick test_bfs_pool;
+      Alcotest.test_case "4-domain shared-manager stress" `Quick
+        test_shared_stress;
+      Alcotest.test_case "par on private manager raises" `Quick
+        test_par_requires_shared;
+      Alcotest.test_case "1-worker pool inlines" `Quick
+        test_pool_size_one_inline;
+    ] )
