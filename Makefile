@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke smoke trace-smoke chaos-smoke serve-smoke ooc-smoke par-smoke check clean
+.PHONY: all build test bench bench-smoke smoke trace-smoke chaos-smoke serve-smoke ooc-smoke par-smoke compress-smoke check clean
 
 all: build
 
@@ -62,7 +62,15 @@ ooc-smoke: build
 par-smoke: build
 	scripts/par_smoke.sh
 
-check: build test smoke bench-smoke trace-smoke chaos-smoke serve-smoke ooc-smoke par-smoke
+# Compressed decision diagrams end to end: the four-mode bench with its
+# >= 2x chain-reduction gate on the generator family, schema validation
+# of the bdd-compress-bench/v1 report, and a reach run whose reached set
+# is converted into every mode (round-trip verified) with the chain
+# counters surfaced in the metrics snapshot.
+compress-smoke: build
+	scripts/compress_smoke.sh
+
+check: build test smoke bench-smoke trace-smoke chaos-smoke serve-smoke ooc-smoke par-smoke compress-smoke
 
 bench: build
 	dune exec bench/main.exe

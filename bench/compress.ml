@@ -1,0 +1,295 @@
+(* Compressed-representation benchmark: per-mode node counts and build
+   throughput for the four Dd modes over chain-heavy generator families.
+
+     dune exec bench/compress.exe              -- full sweep -> BENCH_compress.json
+     dune exec bench/compress.exe -- --smoke   -- small sweep + hard assertions
+     dune exec bench/compress.exe -- -o FILE   -- write the report elsewhere
+
+   Two function families, both built by in-tree generators:
+
+   - "generator": sparse cube covers — a disjunction of K minterms over N
+     variables, each with exactly W variables set.  The plain BDD spends
+     almost every node on ¬x-runs (CBDD folds them); the plain ZDD is
+     small by construction and CZDD compresses it further.  This is the
+     chain-heavy family the acceptance gate measures: CBDD and CZDD must
+     report at least a 2x node reduction against the plain BDD.
+   - "parity-spread": parity of W variables spread evenly across N — the
+     mirror image: the BDD is already compact, the ZDD drowns in
+     don't-care chains, and CZDD folds them back.
+
+   Every instance is verified before it is reported: each mode's diagram
+   round-trips (to_bdd) bit-identically to the plain-BDD original and
+   reproduces its minterm count, and one instance is rebuilt in a
+   ~shared:true striped manager to check the chain tags hash-cons
+   identically under the concurrent table layout.
+
+   The report is machine-readable JSON, schema "bdd-compress-bench/v1":
+   "host_cpus" and per-row "mode" for bench hygiene, one row per
+   (instance, mode) with node counts, build/op timings and the chain-fold
+   counters, and top-level geometric-mean reductions on the generator
+   family.  `obs_check --compress-bench` validates the schema and the
+   invariants (chained never larger than plain, folds never exceeding mk
+   calls); `make compress-smoke` gates on both. *)
+
+open Obs.Json
+
+let fail fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "compress: %s\n" msg;
+      exit 1)
+    fmt
+
+let schema_version = "bdd-compress-bench/v1"
+
+(* deterministic splitmix-style PRNG so every run benches the same
+   functions *)
+let rng_state = ref 0x1e3779b97f4a7c15
+
+let rand_int bound =
+  let z = !rng_state + 0x1e3779b97f4a7c15 in
+  rng_state := z;
+  let z = (z lxor (z lsr 30)) * 0x3f58476d1ce4e5b9 in
+  let z = (z lxor (z lsr 27)) * 0x14d049bb133111eb in
+  let z = z lxor (z lsr 31) in
+  (z land max_int) mod bound
+
+(* K distinct sparse minterms over N vars, W ones each *)
+let sparse_cover ~nvars ~cubes ~ones =
+  List.init cubes (fun _ ->
+      let chosen = Array.make nvars false in
+      let placed = ref 0 in
+      while !placed < ones do
+        let v = rand_int nvars in
+        if not chosen.(v) then begin
+          chosen.(v) <- true;
+          incr placed
+        end
+      done;
+      List.init nvars (fun v -> (v, chosen.(v))))
+
+let build_cover_bdd man lits_list =
+  List.fold_left
+    (fun acc lits -> Bdd.bor man acc (Bdd.cube_of_literals man lits))
+    (Bdd.ff man) lits_list
+
+let build_cover_dd man lits_list =
+  List.fold_left
+    (fun acc lits -> Dd.bor man acc (Dd.cube_of_literals man lits))
+    (Dd.ff man) lits_list
+
+let parity_vars ~nvars ~width =
+  List.init width (fun i -> i * nvars / width)
+
+let build_parity_bdd man vars =
+  List.fold_left (fun acc v -> Bdd.bxor man acc (Bdd.ithvar man v)) (Bdd.ff man) vars
+
+let build_parity_dd man vars =
+  List.fold_left (fun acc v -> Dd.bxor man acc (Dd.ithvar man v)) (Dd.ff man) vars
+
+type instance = {
+  i_name : string;
+  i_family : string;
+  i_nvars : int;
+  i_build_bdd : Bdd.man -> Bdd.t;
+  i_build_dd : Dd.man -> Dd.t;
+}
+
+let instances ~smoke =
+  let cover name nvars cubes ones =
+    let lits = sparse_cover ~nvars ~cubes ~ones in
+    {
+      i_name = name;
+      i_family = "generator";
+      i_nvars = nvars;
+      i_build_bdd = (fun man -> build_cover_bdd man lits);
+      i_build_dd = (fun man -> build_cover_dd man lits);
+    }
+  and parity name nvars width =
+    let vars = parity_vars ~nvars ~width in
+    {
+      i_name = name;
+      i_family = "parity-spread";
+      i_nvars = nvars;
+      i_build_bdd = (fun man -> build_parity_bdd man vars);
+      i_build_dd = (fun man -> build_parity_dd man vars);
+    }
+  in
+  if smoke then
+    [
+      cover "cover-48x12" 48 12 3;
+      cover "cover-64x16" 64 16 3;
+      parity "parity-48x6" 48 6;
+    ]
+  else
+    [
+      cover "cover-64x24" 64 24 3;
+      cover "cover-96x32" 96 32 4;
+      cover "cover-128x40" 128 40 4;
+      cover "cover-192x48" 192 48 5;
+      parity "parity-96x8" 96 8;
+      parity "parity-192x12" 192 12;
+    ]
+
+type row = {
+  r_inst : instance;
+  r_mode : Dd.mode;
+  r_nodes : int;
+  r_build_ms : float;
+  r_ops_ms : float;
+  r_minterms : float;
+  r_folds : int;
+  r_mk : int;
+}
+
+let now () = Unix.gettimeofday ()
+
+let measure_instance inst =
+  let bman = Bdd.create ~nvars:inst.i_nvars () in
+  let fb = inst.i_build_bdd bman in
+  let want_minterms = Bdd.count_minterms bman fb ~nvars:inst.i_nvars in
+  List.map
+    (fun mode ->
+      let dman = Dd.create ~nvars:inst.i_nvars ~mode () in
+      let t0 = now () in
+      let u = Dd.of_bdd dman bman fb in
+      let build_ms = 1000. *. (now () -. t0) in
+      let t0 = now () in
+      let u' = inst.i_build_dd dman in
+      let ops_ms = 1000. *. (now () -. t0) in
+      (* correctness gates: the native build and the conversion agree,
+         the round trip is bit-identical, the count matches the oracle *)
+      if not (Dd.equal u u') then
+        fail "%s/%s: native build disagrees with of_bdd" inst.i_name
+          (Dd.mode_name mode);
+      if not (Bdd.equal (Dd.to_bdd dman bman u) fb) then
+        fail "%s/%s: to_bdd round trip broke" inst.i_name (Dd.mode_name mode);
+      let got = Dd.count_minterms dman u ~nvars:inst.i_nvars in
+      if
+        abs_float (got -. want_minterms)
+        > 1e-9 *. (1. +. abs_float want_minterms)
+      then
+        fail "%s/%s: minterms %g, oracle %g" inst.i_name (Dd.mode_name mode)
+          got want_minterms;
+      let folds, mk = Dd.chain_counters dman in
+      {
+        r_inst = inst;
+        r_mode = mode;
+        r_nodes = Dd.size u;
+        r_build_ms = build_ms;
+        r_ops_ms = ops_ms;
+        r_minterms = got;
+        r_folds = folds;
+        r_mk = mk;
+      })
+    Dd.all_modes
+
+(* the striped ~shared:true table must hash-cons chain tags exactly like
+   the sequential one: same function, same canonical form, same size *)
+let check_shared_layout inst =
+  List.iter
+    (fun mode ->
+      let seq = Dd.create ~nvars:inst.i_nvars ~mode () in
+      let par = Dd.create ~nvars:inst.i_nvars ~mode ~shared:true () in
+      let us = inst.i_build_dd seq and up = inst.i_build_dd par in
+      if Dd.size us <> Dd.size up then
+        fail "%s/%s: shared table size %d, sequential %d" inst.i_name
+          (Dd.mode_name mode) (Dd.size up) (Dd.size us))
+    Dd.all_modes
+
+let geomean = function
+  | [] -> 0.
+  | l ->
+      exp (List.fold_left (fun a x -> a +. log (max x 1e-9)) 0. l
+           /. float_of_int (List.length l))
+
+let reductions rows =
+  (* per generator-family instance: plain-BDD nodes / chained nodes *)
+  let nodes name mode =
+    List.find_map
+      (fun r ->
+        if r.r_inst.i_name = name && r.r_mode = mode then Some (float_of_int r.r_nodes)
+        else None)
+      rows
+  in
+  let gens =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun r ->
+           if r.r_inst.i_family = "generator" then Some r.r_inst.i_name
+           else None)
+         rows)
+  in
+  let ratio_for chained =
+    geomean
+      (List.filter_map
+         (fun name ->
+           match (nodes name Dd.Bdd, nodes name chained) with
+           | Some b, Some c -> Some (b /. c)
+           | _ -> None)
+         gens)
+  in
+  (ratio_for Dd.Cbdd, ratio_for Dd.Czdd)
+
+let report rows (red_cbdd, red_czdd) =
+  Obj
+    [
+      ("schema", Str schema_version);
+      ("host_cpus", num_int (Domain.recommended_domain_count ()));
+      ("generator_reduction_cbdd", Num red_cbdd);
+      ("generator_reduction_czdd", Num red_czdd);
+      ( "rows",
+        Arr
+          (List.map
+             (fun r ->
+               Obj
+                 [
+                   ("name", Str r.r_inst.i_name);
+                   ("family", Str r.r_inst.i_family);
+                   ("nvars", num_int r.r_inst.i_nvars);
+                   ("mode", Str (Dd.mode_name r.r_mode));
+                   ("nodes", num_int r.r_nodes);
+                   ("build_ms", Num r.r_build_ms);
+                   ("ops_ms", Num r.r_ops_ms);
+                   ("minterms", Num r.r_minterms);
+                   ("chain_folds", num_int r.r_folds);
+                   ("chain_mk", num_int r.r_mk);
+                 ])
+             rows) );
+    ]
+
+let () =
+  let smoke = ref false and out = ref "BENCH_compress.json" in
+  let rec parse = function
+    | [] -> ()
+    | "--smoke" :: rest ->
+        smoke := true;
+        parse rest
+    | "-o" :: path :: rest ->
+        out := path;
+        parse rest
+    | arg :: _ -> fail "usage: compress [--smoke] [-o FILE] (unknown %s)" arg
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let insts = instances ~smoke:!smoke in
+  let rows = List.concat_map measure_instance insts in
+  check_shared_layout (List.hd insts);
+  let ((red_cbdd, red_czdd) as reds) = reductions rows in
+  List.iter
+    (fun r ->
+      Printf.eprintf "%-14s %-13s %-5s %7d nodes %8.2fms build %8.2fms ops\n"
+        r.r_inst.i_name r.r_inst.i_family (Dd.mode_name r.r_mode) r.r_nodes
+        r.r_build_ms r.r_ops_ms)
+    rows;
+  Printf.eprintf
+    "generator family: cbdd %.1fx smaller than bdd, czdd %.1fx smaller\n"
+    red_cbdd red_czdd;
+  (* the acceptance gate: chain reduction must halve the chain-heavy
+     family, in every run, not just the committed artifact *)
+  if red_cbdd < 2.0 then
+    fail "cbdd reduction %.2fx < 2x on the generator family" red_cbdd;
+  if red_czdd < 2.0 then
+    fail "czdd reduction %.2fx < 2x on the generator family" red_czdd;
+  Obs.Json.write_file !out (report rows reds);
+  Printf.printf "compress: wrote %s (%d rows, cbdd %.1fx, czdd %.1fx)\n" !out
+    (List.length rows) red_cbdd red_czdd

@@ -118,7 +118,7 @@ let json_of_sample s =
    square, at least one queen per row, and each queen forbids its row,
    column and both diagonals.  Returns the number of solutions (92 for
    n = 8, 4 for n = 6) as the sanity check. *)
-let queens n man =
+let queens_bdd n man =
   let var i j = Bdd.ithvar man ((i * n) + j) in
   let b = ref (Bdd.tt man) in
   for i = 0 to n - 1 do
@@ -146,7 +146,39 @@ let queens n man =
       b := Bdd.band man !b (Bdd.bimp man (var i j) !a)
     done
   done;
-  Bdd.count_minterms man !b ~nvars:(n * n)
+  !b
+
+let queens n man = Bdd.count_minterms man (queens_bdd n man) ~nvars:(n * n)
+
+(* --dd-mode: report the n-queens function's size in a compressed
+   representation on stderr.  Informational only — the JSON schema does
+   not change — but the conversion is still round-trip verified. *)
+let dd_sizes spec =
+  let modes =
+    if spec = "all" then Dd.all_modes
+    else
+      match Dd.mode_of_string spec with
+      | Some m -> [ m ]
+      | None ->
+          Printf.eprintf "--dd-mode: unknown mode %s\n" spec;
+          exit 1
+  in
+  let n = 6 in
+  let man = Bdd.create ~nvars:(n * n) () in
+  let f = queens_bdd n man in
+  let plain = Bdd.size f in
+  List.iter
+    (fun mode ->
+      let dman = Dd.create ~nvars:(n * n) ~mode () in
+      let u = Dd.of_bdd dman man f in
+      if not (Bdd.equal (Dd.to_bdd dman man u) f) then begin
+        Printf.eprintf "--dd-mode %s: round trip diverged\n" (Dd.mode_name mode);
+        exit 1
+      end;
+      Printf.eprintf "  dd %-4s queens%d %6d nodes (plain bdd %d, %.2fx)\n%!"
+        (Dd.mode_name mode) n (Dd.size u) plain
+        (float_of_int plain /. float_of_int (max 1 (Dd.size u))))
+    modes
 
 (* ------------------------------------------------------------------ *)
 (* Workload 2: image computation (BFS over a partitioned relation)     *)
@@ -552,6 +584,7 @@ let () =
   and out = ref "BENCH_kernel.json"
   and trace = ref None
   and metrics = ref None
+  and dd_mode = ref None
   and to_validate = ref [] in
   let rec parse = function
     | [] -> ()
@@ -570,10 +603,13 @@ let () =
     | "--validate" :: path :: rest ->
         to_validate := path :: !to_validate;
         parse rest
+    | "--dd-mode" :: spec :: rest ->
+        dd_mode := Some spec;
+        parse rest
     | arg :: _ ->
         Printf.eprintf
           "usage: micro.exe [--smoke] [-o FILE] [--trace FILE] [--metrics \
-           FILE] [--validate FILE]\n\
+           FILE] [--validate FILE] [--dd-mode MODE]\n\
            unknown argument %s\n"
           arg;
         exit 1
@@ -593,4 +629,5 @@ let () =
           Printf.eprintf "metrics -> %s\n%!" path)
         !metrics;
       Option.iter (fun path -> Printf.eprintf "trace -> %s\n%!" path) !trace;
+      Option.iter dd_sizes !dd_mode;
       Printf.printf "wrote %s\n" !out

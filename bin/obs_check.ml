@@ -150,8 +150,80 @@ let check_metrics path prev =
       fail "%s: kernel.stripe_waits (%.0f) exceeds kernel.ut_locks (%.0f)"
         path
         (v "kernel.stripe_waits")
-        (v "kernel.ut_locks")
+        (v "kernel.ut_locks");
+    (* ...and a chain fold is one mk call that landed on an existing
+       chain node, so folds can never outnumber mk calls *)
+    if v "kernel.chain_folds" > v "kernel.chain_mk" then
+      fail "%s: kernel.chain_folds (%.0f) exceeds kernel.chain_mk (%.0f)"
+        path
+        (v "kernel.chain_folds")
+        (v "kernel.chain_mk")
   end
+
+(* BENCH_compress.json: per-mode node counts from bench/compress.exe.
+   Checks the bdd-compress-bench/v1 schema, the bench-hygiene fields
+   (mode and host_cpus recorded), per-row sanity, and the two hard
+   per-instance invariants of chain reduction: a chain-reduced diagram
+   never has more nodes than its plain counterpart. *)
+let check_compress_bench path =
+  let j = load path in
+  let str name o =
+    match Obs.Json.member name o with Some (Obs.Json.Str s) -> Some s | _ -> None
+  in
+  let num name o =
+    match Option.bind (Obs.Json.member name o) Obs.Json.to_float with
+    | Some v -> v
+    | None -> fail "%s: missing numeric field %s" path name
+  in
+  (match str "schema" j with
+  | Some "bdd-compress-bench/v1" -> ()
+  | Some s -> fail "%s: schema %s, want bdd-compress-bench/v1" path s
+  | None -> fail "%s: missing schema tag" path);
+  let cpus = num "host_cpus" j in
+  if cpus < 1.0 then fail "%s: host_cpus %.0f < 1" path cpus;
+  let rows =
+    match Obs.Json.member "rows" j with
+    | Some (Obs.Json.Arr rows) when rows <> [] -> rows
+    | Some (Obs.Json.Arr []) -> fail "%s: empty rows" path
+    | _ -> fail "%s: missing rows array" path
+  in
+  let by_key = Hashtbl.create 16 in
+  List.iter
+    (fun row ->
+      let name =
+        match str "name" row with
+        | Some n -> n
+        | None -> fail "%s: row without name" path
+      in
+      let mode =
+        match str "mode" row with
+        | Some ("bdd" | "zdd" | "cbdd" | "czdd") as m -> Option.get m
+        | Some m -> fail "%s: %s: unknown mode %s" path name m
+        | None -> fail "%s: %s: row without mode" path name
+      in
+      let nodes = num "nodes" row in
+      if nodes < 1.0 then fail "%s: %s/%s: %.0f nodes" path name mode nodes;
+      let folds = num "chain_folds" row and mk = num "chain_mk" row in
+      if folds < 0.0 || mk < 0.0 || folds > mk then
+        fail "%s: %s/%s: chain_folds %.0f vs chain_mk %.0f" path name mode
+          folds mk;
+      Hashtbl.replace by_key (name, mode) nodes)
+    rows;
+  let pairs = [ ("bdd", "cbdd"); ("zdd", "czdd") ] in
+  Hashtbl.iter
+    (fun (name, mode) nodes ->
+      List.iter
+        (fun (plain, chained) ->
+          if mode = plain then
+            match Hashtbl.find_opt by_key (name, chained) with
+            | Some cn when cn > nodes ->
+                fail "%s: %s: %s has %.0f nodes, more than %s's %.0f" path
+                  name chained cn plain nodes
+            | _ -> ())
+        pairs)
+    by_key;
+  Printf.printf "%s: valid bdd-compress-bench/v1 report, %d row(s) on %.0f cpu(s)\n"
+    path (List.length rows) cpus
 
 let check_serve_bench path =
   match Serve.Report.validate_file path with
@@ -177,6 +249,7 @@ let () =
   let trace = ref None
   and metrics = ref None
   and serve_bench = ref None
+  and compress_bench = ref None
   and prev = ref None
   and min_tracks = ref 1 in
   let rec parse = function
@@ -190,6 +263,9 @@ let () =
     | "--serve-bench" :: path :: rest ->
         serve_bench := Some path;
         parse rest
+    | "--compress-bench" :: path :: rest ->
+        compress_bench := Some path;
+        parse rest
     | "--prev" :: path :: rest ->
         prev := Some path;
         parse rest
@@ -202,12 +278,19 @@ let () =
     | arg :: _ ->
         fail
           "usage: obs_check [--trace FILE [--min-tracks N]] [--metrics FILE \
-           [--prev FILE]] [--serve-bench FILE] (unknown argument %s)"
+           [--prev FILE]] [--serve-bench FILE] [--compress-bench FILE] \
+           (unknown argument %s)"
           arg
   in
   parse (List.tl (Array.to_list Sys.argv));
-  if !trace = None && !metrics = None && !serve_bench = None then
-    fail "nothing to do: pass --trace, --metrics and/or --serve-bench";
+  if
+    !trace = None && !metrics = None && !serve_bench = None
+    && !compress_bench = None
+  then
+    fail
+      "nothing to do: pass --trace, --metrics, --serve-bench and/or \
+       --compress-bench";
   Option.iter (fun path -> check_trace path !min_tracks) !trace;
   Option.iter (fun path -> check_metrics path !prev) !metrics;
-  Option.iter check_serve_bench !serve_bench
+  Option.iter check_serve_bench !serve_bench;
+  Option.iter check_compress_bench !compress_bench

@@ -202,6 +202,18 @@ let metrics_arg =
           "Write an obs-metrics/v1 snapshot (traversal counters, kernel \
            gauges and histograms) to $(docv) when the run finishes.")
 
+let dd_mode_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dd-mode" ] ~docv:"MODE"
+        ~doc:
+          "Also report the reached set's size in a compressed \
+           representation: $(docv) is bdd, zdd, cbdd, czdd or all.  The \
+           set is converted semantically (lib/dd), round-trip verified, \
+           and the conversion's chain-fold counters feed the \
+           bdd.stats.chain_* keys of --metrics.")
+
 (* Partial spill / checkpoint temp files must not outlive an interrupted
    run: both registries drain idempotently, so wiring them into the
    signal handlers AND at_exit is safe. *)
@@ -222,7 +234,7 @@ let install_cleanup () =
 
 let run circuit blif params engine meth threshold quality pimg time_limit
     node_limit sift cluster_limit save_reached check_reached ckpt ckpt_every
-    resume_path faults store_dir hot_budget trace jobs metrics =
+    resume_path faults store_dir hot_budget trace jobs metrics dd_mode =
   install_cleanup ();
   let jobs = max 1 jobs in
   ignore (Mt.Par.warn_oversubscribed ~flag:"--jobs" jobs);
@@ -296,6 +308,39 @@ let run circuit blif params engine meth threshold quality pimg time_limit
         Format.printf "%a@." Ooc.pp r;
         Bdd.import man r.Ooc.reached
   in
+  (match dd_mode with
+  | None -> ()
+  | Some spec ->
+      let modes =
+        if spec = "all" then Dd.all_modes
+        else
+          match Dd.mode_of_string spec with
+          | Some m -> [ m ]
+          | None -> failwith ("--dd-mode: unknown mode " ^ spec)
+      in
+      let plain = Bdd.size reached in
+      (* accumulate chain counters across the converted modes and expose
+         them through the kernel's stats hook, so a --metrics snapshot of
+         this run carries bdd.stats.chain_folds / chain_mk *)
+      let folds_total = ref 0 and mk_total = ref 0 in
+      Bdd.set_chain_stats man (Some (fun () -> (!folds_total, !mk_total)));
+      List.iter
+        (fun mode ->
+          let dman = Dd.create ~nvars:(Bdd.nvars man) ~mode () in
+          let u = Dd.of_bdd dman man reached in
+          if not (Bdd.equal (Dd.to_bdd dman man u) reached) then
+            failwith
+              (Printf.sprintf "--dd-mode %s: round trip diverged"
+                 (Dd.mode_name mode));
+          let folds, mk = Dd.chain_counters dman in
+          folds_total := !folds_total + folds;
+          mk_total := !mk_total + mk;
+          let n = Dd.size u in
+          Printf.printf
+            "reached as %-4s: %d nodes (plain bdd %d, %.2fx)\n%!"
+            (Dd.mode_name mode) n plain
+            (float_of_int plain /. float_of_int (max n 1)))
+        modes);
   Obs.Trace.stop ();
   Option.iter (fun path -> Printf.eprintf "trace -> %s\n%!" path) trace;
   Option.iter
@@ -334,7 +379,7 @@ let cmd =
       $ node_limit_arg $ sift_arg $ cluster_arg $ save_reached_arg
       $ check_reached_arg $ checkpoint_arg $ checkpoint_every_arg
       $ resume_arg $ faults_arg $ store_dir_arg $ hot_budget_arg $ trace_arg
-      $ jobs_arg $ metrics_arg)
+      $ jobs_arg $ metrics_arg $ dd_mode_arg)
   in
   Cmd.v
     (Cmd.info "reach_main"

@@ -310,7 +310,15 @@ type man = {
   mutable store_stats : (unit -> int * int * int) option;
       (* (hot, cold, spilled bytes) supplied by a tiered store (lib/store);
          None when no store is attached, in which case {!stats} reports 0 *)
+  mutable table_cap : int option; (* requested hard unique-table ceiling *)
+  mutable stripe_cap : int; (* per-stripe slot ceiling derived from it *)
+  ut_full_hits : int Atomic.t; (* inserts refused at the ceiling *)
+  mutable chain_stats : (unit -> int * int) option;
+      (* (chain folds, chain mk calls) supplied by an attached
+         compressed-representation manager (lib/dd); None reports 0 *)
 }
+
+exception Table_full
 
 (* Rare-path hook for fault injection (lib/resil): invoked from the node
    creation beat, cache growth and gc entry — never per probe, so with no
@@ -408,6 +416,10 @@ let create ?(nvars = 0) ?(shared = false) () =
       tick_countdown = tick_period;
       fault = None;
       store_stats = None;
+      table_cap = None;
+      stripe_cap = max_int;
+      ut_full_hits = Atomic.make 0;
+      chain_stats = None;
     }
   in
   man
@@ -492,6 +504,15 @@ let grow_vars man n =
   end
   else grow_vars_quiet man n
 
+(* Raise Table_full; never called while holding a stripe lock.  A stripe
+   that may neither grow nor take the insert while staying under 2/3
+   load would otherwise creep toward the full-table regime where the
+   open-addressed probe loop can no longer find a free slot — refusing
+   the insert keeps the failure prompt, documented, and counted. *)
+let table_full_hit man =
+  Atomic.incr man.ut_full_hits;
+  raise Table_full
+
 (* Raise Node_limit; never called while holding a stripe lock. *)
 let limit_hit man limit =
   Atomic.incr man.node_limit_hits;
@@ -569,6 +590,13 @@ let mk_shared man st h var hi lo =
         Mutex.unlock st.st_lock;
         limit_hit man limit
     | Some _ | None -> ());
+    if
+      3 * (st.st_count + 1) > 2 * (mask + 1)
+      && 2 * (mask + 1) > man.stripe_cap
+    then begin
+      Mutex.unlock st.st_lock;
+      table_full_hit man
+    end;
     let n =
       { uid = Atomic.fetch_and_add man.next_uid 1; node = N { var; hi; lo } }
     in
@@ -611,6 +639,10 @@ let mk_raw man var hi lo =
       (match man.node_limit with
       | Some limit when Atomic.get u.u_total >= limit -> limit_hit man limit
       | Some _ | None -> ());
+      if
+        3 * (st.st_count + 1) > 2 * (mask + 1)
+        && 2 * (mask + 1) > man.stripe_cap
+      then table_full_hit man;
       let n =
         { uid = Atomic.fetch_and_add man.next_uid 1; node = N { var; hi; lo } }
       in
@@ -1312,6 +1344,24 @@ let set_tick man fn =
 let set_observer man fn = man.observer <- fn
 let set_fault_hook man fn = man.fault <- fn
 let set_store_stats man fn = man.store_stats <- fn
+let set_chain_stats man fn = man.chain_stats <- fn
+
+let chain_stats man =
+  match man.chain_stats with None -> (0, 0) | Some fn -> fn ()
+
+let set_table_capacity man cap =
+  (match cap with
+  | Some n when n <= 0 ->
+      invalid_arg "Bdd.set_table_capacity: capacity must be positive"
+  | Some _ | None -> ());
+  man.table_cap <- cap;
+  man.stripe_cap <-
+    (match cap with
+    | None -> max_int
+    | Some n -> max 64 (n / Array.length man.unique.u_stripes))
+
+let table_capacity man = man.table_cap
+let ut_full_hits man = Atomic.get man.ut_full_hits
 
 let stats man =
   let hot, cold, spilled =
@@ -1356,6 +1406,9 @@ let stats man =
     ("ut_locks", Atomic.get man.ut_locks);
     ("cache_races", sc_read man.sc_races);
     ("cache_inserts", sc_read man.sc_inserts);
+    ("ut_full", Atomic.get man.ut_full_hits);
+    ("chain_folds", fst (chain_stats man));
+    ("chain_mk", snd (chain_stats man));
   ]
 
 let reorder man ~order:level_var ~roots =

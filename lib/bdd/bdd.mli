@@ -302,6 +302,30 @@ exception Node_limit
 val set_node_limit : man -> int option -> unit
 (** Install or clear the hard ceiling on live nodes. *)
 
+exception Table_full
+(** Raised by a node-creating operation when the insert would push a
+    unique-table stripe past 2/3 load and {!set_table_capacity} forbids
+    doubling it.  Refusing the insert at the load-factor threshold is
+    what keeps the open-addressed probe loop away from the ~100%-full
+    regime where it could spin without finding a free slot.  The manager
+    stays consistent: raise the ceiling (or clear it) and retry, or
+    abandon the computation.  Each refusal is counted in the [ut_full]
+    key of {!stats} and surfaced as the [kernel.ut_full] metric. *)
+
+val set_table_capacity : man -> int option -> unit
+(** Install or clear a hard ceiling on unique-table *slots* (summed over
+    stripes; the ceiling is apportioned per stripe, so a striped shared
+    manager may refuse slightly before the exact total).  By default the
+    table grows without bound.  With a ceiling installed, an insert that
+    would require growing a stripe past its share raises {!Table_full}
+    instead of growing. *)
+
+val table_capacity : man -> int option
+(** The ceiling installed by {!set_table_capacity}, if any. *)
+
+val ut_full_hits : man -> int
+(** Times {!Table_full} has been raised by this manager. *)
+
 val set_cache_limit : man -> int -> unit
 (** Capacity bound on each computed cache (default 2M entries).  The
     caches are lossy direct-mapped arrays in the style of CUDD's computed
@@ -335,7 +359,10 @@ val stats : man -> (string * int) list
     [hot_nodes], [cold_nodes], [spilled_bytes] (all 0 unless a store
     registered itself with {!set_store_stats}), and the parallel-kernel
     contention counters [cas_retries], [stripe_waits], [ut_locks],
-    [cache_races], [cache_inserts] (see {!contention}). *)
+    [cache_races], [cache_inserts] (see {!contention}), [ut_full]
+    (times {!Table_full} was raised), and the chain-reduction pair
+    [chain_folds], [chain_mk] (0 unless a compressed-representation
+    manager registered itself with {!set_chain_stats}). *)
 
 val set_store_stats : man -> (unit -> int * int * int) option -> unit
 (** Install (or clear) the provider of the [hot_nodes], [cold_nodes] and
@@ -343,6 +370,16 @@ val set_store_stats : man -> (unit -> int * int * int) option -> unit
     (lib/store) registers its manager here; with no provider installed
     the three keys read 0.  The callback must not call back into this
     manager. *)
+
+val set_chain_stats : man -> (unit -> int * int) option -> unit
+(** Install (or clear) the provider of the [chain_folds] and [chain_mk]
+    entries of {!stats}: [(folds, mk_calls)] from a chain-reduced
+    decision-diagram manager ([Dd], lib/dd) working alongside this one.
+    With no provider installed both keys read 0.  The callback must not
+    call back into this manager. *)
+
+val chain_stats : man -> int * int
+(** The provider's current [(chain_folds, chain_mk)], or [(0, 0)]. *)
 
 (** {1 Observation}
 

@@ -1,0 +1,137 @@
+(* Compressed decision diagrams: one hash-consed kernel, four node
+   semantics.
+
+   Every manager is created in one of four [mode]s and all values built
+   in it share that mode's interpretation:
+
+   - [Bdd]   plain ROBDDs: a skipped level is don't-care.
+   - [Zdd]   zero-suppressed DDs: a skipped level is "variable = 0";
+             the [hi = ff] reduction rule replaces the [hi = lo] rule.
+   - [Cbdd]  chain-reduced BDDs (Bryant, TACAS'18 direction): each node
+             carries a [top..bot] range meaning "x_top .. x_{bot-1} are
+             all 0, then branch on x_bot", folding the long ¬x-chains
+             plain BDDs spend most of their nodes on.
+   - [Czdd]  chain-reduced ZDDs: the [top..bot-1] run is don't-care,
+             folding the DC-chains plain ZDDs spend most of their nodes
+             on.
+
+   Whatever the mode, a value denotes an ordinary Boolean function over
+   the manager's fixed variable universe [0 .. nvars-1], and the public
+   operations (band/bor/bxor/bnot/ite/exists/restrict/eval/counting) are
+   function-level: the same inputs denote the same function in every
+   mode.  Conversions between modes are semantic and exact.  See
+   DESIGN.md §Compressed representations for the reduction rules and the
+   canonicity argument. *)
+
+type mode = Bdd | Zdd | Cbdd | Czdd
+
+val mode_name : mode -> string
+val mode_of_string : string -> mode option
+val all_modes : mode list
+
+type man
+type t
+
+(* [create ~nvars ()] makes a manager over the fixed universe
+   [0 .. nvars-1].  The universe cannot grow later: in the
+   zero-suppressed modes the meaning of every value depends on it.
+   [~shared:true] makes the unique table striped and lock-protected so
+   the manager can be used from several domains (chain tags are part of
+   the hash-cons key in both layouts). *)
+val create : nvars:int -> ?shared:bool -> ?mode:mode -> unit -> man
+
+val mode : man -> mode
+val is_shared : man -> bool
+val nvars : man -> int
+
+(* Constant false / the tautology over the universe.  In [Zdd] mode the
+   tautology is a don't-care chain of [nvars] nodes; in [Czdd] it folds
+   to a single node; in [Bdd]/[Cbdd] it is the true leaf. *)
+val ff : man -> t
+val tt : man -> t
+
+val equal : t -> t -> bool
+val id : t -> int
+
+(* Structure of a value: either a leaf, or a node covering levels
+   [top..bot] (top = bot except in the chain modes) with children below
+   level [bot]. *)
+val view : t -> [ `Leaf of bool | `Node of int * int * t * t ]
+
+(* The single positive/negative literal as a function (don't-care on
+   every other variable), and a conjunction of literals. *)
+val ithvar : man -> int -> t
+val nithvar : man -> int -> t
+val cube_of_literals : man -> (int * bool) list -> t
+
+val bnot : man -> t -> t
+val band : man -> t -> t -> t
+val bor : man -> t -> t -> t
+val bxor : man -> t -> t -> t
+val ite : man -> t -> t -> t -> t
+val conj : man -> t list -> t
+val disj : man -> t list -> t
+
+(* Quantification over a list of variables, and Coudert–Madre-style
+   generalized-cofactor simplification: [restrict m f ~care] agrees with
+   [f] wherever [care] holds. *)
+val exists : man -> vars:int list -> t -> t
+val forall : man -> vars:int list -> t -> t
+val restrict : man -> t -> care:t -> t
+
+val eval : man -> t -> (int -> bool) -> bool
+
+(* Distinct reachable nodes, leaves included (same convention as
+   [Bdd.size]). *)
+val size : t -> int
+
+(* Number of satisfying assignments over [nvars] variables; [~nvars]
+   greater than the manager's universe scales by the extra don't-care
+   dimensions. *)
+val count_minterms : man -> t -> nvars:int -> float
+
+(* Conversions.  [of_bdd]/[to_bdd] map source *levels* to variables
+   [0..] (for identity-ordered managers this is the identity renaming);
+   [to_bdd] grows the target manager as needed.  [convert] requires both
+   managers to share the same universe size. *)
+val of_bdd : man -> Bdd.man -> Bdd.t -> t
+val to_bdd : man -> Bdd.man -> t -> Bdd.t
+val convert : src:man -> dst:man -> t -> t
+
+(* Chain-reduction accounting: [chain_counters m] is
+   [(folds, mk_calls)] — how many level constructions folded into an
+   existing chain node vs. total level constructions.  Feed a [Bdd.man]
+   with [Bdd.set_chain_stats] to surface these as [kernel.chain_*]
+   metrics. *)
+val chain_counters : man -> int * int
+val nodes_made : man -> int
+val unique_size : man -> int
+val stats : man -> (string * int) list
+
+(* Serialization.  The DDC1 frame stores the mode byte, the universe
+   size and per-node [(top, bot, hi, lo)] records; import re-canonicalizes
+   every record through [mk], so foreign or adversarial frames either
+   yield canonical values or raise [Corrupt].  Importing a frame of a
+   different mode routes through a temporary manager of the frame's mode
+   and a semantic [convert].  [read_string] additionally accepts legacy
+   plain-BDD "BDD1" frames (as written by [Bdd.serialized_to_string] and
+   embedded in BDC2 checkpoints) into any mode. *)
+type serialized = {
+  d_mode : mode;
+  d_nvars : int;
+  d_nodes : (int * int * int * int) array;
+      (* (top, bot, hi, lo); refs: 0 = ff, 1 = true leaf, i+2 = node i *)
+  d_roots : int array;
+}
+
+exception Corrupt of string
+
+val export : man -> t -> serialized
+val export_list : man -> t list -> serialized
+val import : man -> serialized -> t
+val import_list : man -> serialized -> t list
+val serialized_to_string : serialized -> string
+val serialized_of_string : string -> serialized
+val read_string : man -> string -> t list
+val save : string -> serialized -> unit
+val load : string -> serialized

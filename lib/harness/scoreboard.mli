@@ -4,6 +4,10 @@
 type approx_row = {
   name : string;
   nodes : float;  (** geometric mean of result sizes *)
+  zdd_nodes : float;
+      (** geometric mean of the same results' sizes as ZDDs *)
+  cbdd_nodes : float;  (** ... as chain-reduced BDDs *)
+  czdd_nodes : float;  (** ... as chain-reduced ZDDs *)
   minterms : float;  (** geometric mean of result minterm counts *)
   density : float;  (** geometric mean of result densities *)
   wins : int;  (** instances where the method alone is densest *)

@@ -21,21 +21,40 @@ let attach ?(registry = Metrics.default) ?(prefix = "bdd") man =
   and k_locks = kcounter "ut_locks"
   and k_races = kcounter "cache_races"
   and k_inserts = kcounter "cache_inserts"
-  and k_probes = kcounter "cache_probes" in
+  and k_probes = kcounter "cache_probes"
+  and k_ut_full = kcounter "ut_full"
+  and k_chain_folds = kcounter "chain_folds"
+  and k_chain_mk = kcounter "chain_mk"
+  and k_chain_ratio = Metrics.gauge registry "kernel.chain_hit_ratio" in
   let klock = Mutex.create () in
   let klast = ref (Bdd.contention man) in
+  let klast_full = ref (Bdd.ut_full_hits man) in
+  let klast_chain = ref (Bdd.chain_stats man) in
   let flush_contention () =
     let now = Bdd.contention man in
+    let now_full = Bdd.ut_full_hits man in
+    let now_chain = Bdd.chain_stats man in
     Mutex.lock klock;
     let last = !klast in
     klast := now;
+    let last_full = !klast_full in
+    klast_full := now_full;
+    let last_folds, last_mk = !klast_chain in
+    klast_chain := now_chain;
     Mutex.unlock klock;
     Metrics.inc k_cas (now.Bdd.cas_retries - last.Bdd.cas_retries);
     Metrics.inc k_waits (now.Bdd.stripe_waits - last.Bdd.stripe_waits);
     Metrics.inc k_locks (now.Bdd.ut_locks - last.Bdd.ut_locks);
     Metrics.inc k_races (now.Bdd.cache_races - last.Bdd.cache_races);
     Metrics.inc k_inserts (now.Bdd.cache_inserts - last.Bdd.cache_inserts);
-    Metrics.inc k_probes (now.Bdd.cache_probes - last.Bdd.cache_probes)
+    Metrics.inc k_probes (now.Bdd.cache_probes - last.Bdd.cache_probes);
+    Metrics.inc k_ut_full (now_full - last_full);
+    let now_folds, now_mk = now_chain in
+    Metrics.inc k_chain_folds (now_folds - last_folds);
+    Metrics.inc k_chain_mk (now_mk - last_mk);
+    (* chain folds per 100 mk calls, cumulative over the provider's
+       lifetime (a gauge: ratios don't sum across managers) *)
+    if now_mk > 0 then Metrics.set k_chain_ratio (100 * now_folds / now_mk)
   in
   let unique_track = prefix ^ ".unique_size" in
   (* the Progress beat already fires only every few hundred nodes; thin

@@ -23,7 +23,11 @@ val attach : ?registry:Metrics.t -> ?prefix:string -> Bdd.man -> unit
     [kernel.stripe_waits], [kernel.ut_locks], [kernel.cache_races],
     [kernel.cache_inserts] and [kernel.cache_probes] — shared by all
     attached managers, all zero for private (non-[~shared]) managers
-    that never contend. *)
+    that never contend.  The same beat delta-feeds [kernel.ut_full]
+    (refused inserts at the {!Bdd.set_table_capacity} ceiling) and the
+    chain-reduction pair [kernel.chain_folds] / [kernel.chain_mk] from
+    {!Bdd.chain_stats}, plus the [kernel.chain_hit_ratio] gauge (folds
+    per 100 mk calls; 0–100). *)
 
 val detach : Bdd.man -> unit
 (** Remove the observer (whoever installed it). *)

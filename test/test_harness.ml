@@ -119,8 +119,9 @@ let test_approx_scoreboard () =
       Alcotest.(check bool) "bounded" true
         (frow.Scoreboard.wins + frow.Scoreboard.ties <= n
         && rrow.Scoreboard.wins + rrow.Scoreboard.ties <= n);
-      (* rows render *)
-      Alcotest.(check int) "row cells" 6
+      (* rows render, one cell per header *)
+      Alcotest.(check int) "row cells"
+        (List.length Scoreboard.approx_headers)
         (List.length (List.hd (Scoreboard.approx_rows [ frow ])))
   | _ -> Alcotest.fail "expected two rows"
 

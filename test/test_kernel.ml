@@ -253,11 +253,63 @@ let test_stats_across_jobs () =
       Alcotest.(check (option int)) (l1 ^ " value") v1 v2)
     seq par
 
+(* ------------------------------------------------------------------ *)
+(* Table_full: the documented capacity ceiling                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Build disjoint conjunctions until the ceiling fires.  The raise must
+   happen before the probe loop could saturate a stripe, the ut_full
+   counter must record it, and the manager must stay fully usable: the
+   nodes built so far still evaluate, and clearing the ceiling lets the
+   same construction complete. *)
+let test_table_full ~shared () =
+  let n = 16 in
+  let man = Bdd.create ~nvars:n ~shared () in
+  Bdd.set_table_capacity man (Some 64);
+  Alcotest.(check (option int)) "capacity readback" (Some 64)
+    (Bdd.table_capacity man);
+  (* a dense pseudo-random function of 16 variables: ~2^16/16 distinct
+     nodes, enough to push every stripe of the striped layout (which has
+     a 64-slot-per-stripe floor) past its share *)
+  let bit idx =
+    let z = (idx + 0x9e3779b9) * 0x45d9f3b in
+    let z = (z lxor (z lsr 16)) * 0x45d9f3b in
+    (z lxor (z lsr 16)) land 1 = 1
+  in
+  let rec shannon v idx =
+    if v = n then if bit idx then Bdd.tt man else Bdd.ff man
+    else
+      let hi = shannon (v + 1) (idx lor (1 lsl v))
+      and lo = shannon (v + 1) idx in
+      Bdd.ite man (Bdd.ithvar man v) hi lo
+  in
+  let build () = Bdd.size (shannon 0 0) in
+  (match build () with
+  | exception Bdd.Table_full -> ()
+  | sz -> Alcotest.failf "expected Table_full under a 64-slot ceiling, built %d" sz);
+  Alcotest.(check bool) "ut_full counted" true (Bdd.ut_full_hits man > 0);
+  Alcotest.(check bool) "stats surface ut_full" true
+    (stat (Bdd.stats man) "ut_full" > 0);
+  (* the manager survived: existing values still behave.  Variable 15 is
+     interned by the very first bottom-level ite, long before the raise;
+     looking it up is a hit-path scan and band's terminal rule allocates
+     nothing, so neither can raise again. *)
+  let x15 = Bdd.ithvar man 15 in
+  Alcotest.(check bool) "manager usable after Table_full" true
+    (Bdd.equal x15 (Bdd.band man x15 x15));
+  (* clearing the ceiling unblocks the identical construction *)
+  Bdd.set_table_capacity man None;
+  Alcotest.(check bool) "construction completes unbounded" true (build () > 1000)
+
 let tests =
   ( "kernel",
     [
       Alcotest.test_case "cache bound under random workload" `Slow
         test_cache_bound;
+      Alcotest.test_case "Table_full ceiling (private table)" `Quick
+        (test_table_full ~shared:false);
+      Alcotest.test_case "Table_full ceiling (striped table)" `Quick
+        (test_table_full ~shared:true);
       Alcotest.test_case "Node_limit at exact count" `Quick
         test_node_limit_exact;
       Alcotest.test_case "stats counters monotone" `Quick test_stats_monotone;
