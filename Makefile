@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke smoke trace-smoke chaos-smoke serve-smoke ooc-smoke par-smoke compress-smoke check clean
+.PHONY: all build test bench bench-smoke smoke trace-smoke chaos-smoke serve-smoke soak-smoke ooc-smoke par-smoke compress-smoke check clean
 
 all: build
 
@@ -47,6 +47,15 @@ chaos-smoke: build
 serve-smoke: build
 	scripts/serve_smoke.sh
 
+# SLO-asserted soak: an open-loop load generator (scheduled arrivals,
+# connection churn over durable sessions, per-request deadlines, seeded
+# client-side wire faults) against a supervised server with a worker
+# deliberately wedged mid-run.  Asserts zero server exits, zero oracle
+# contradictions, a held p99 SLO, at least one supervisor respawn, and a
+# validated soak section in BENCH_serve_soak.json.
+soak-smoke: build
+	scripts/soak_smoke.sh
+
 # Out-of-core reachability end to end: an in-RAM oracle run, then the
 # same circuit under a hot-node budget far below its in-RAM peak — must
 # migrate to the cold tier, finish Exact, match the oracle bit-for-bit,
@@ -70,7 +79,7 @@ par-smoke: build
 compress-smoke: build
 	scripts/compress_smoke.sh
 
-check: build test smoke bench-smoke trace-smoke chaos-smoke serve-smoke ooc-smoke par-smoke compress-smoke
+check: build test smoke bench-smoke trace-smoke chaos-smoke serve-smoke soak-smoke ooc-smoke par-smoke compress-smoke
 
 bench: build
 	dune exec bench/main.exe

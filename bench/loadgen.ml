@@ -1,9 +1,16 @@
-(* Closed-loop load generator for the BDD service.
+(* Load generator for the BDD service: closed-loop benchmark or
+   open-loop soak.
 
      loadgen.exe (--socket PATH | --port N)
                  [--connections N] [--requests M] [--seed S]
                  [--smoke]                (4 connections x 250 requests)
                  [--expect-faults]        (chaos run: Error replies are fine)
+                 [--soak SECS]            (open-loop soak instead of --requests)
+                 [--arrival-rate RPS]     (total scheduled arrivals/s, soak)
+                 [--churn N]              (drop+reconnect every N requests)
+                 [--deadline-ms N]        (per-request deadline metadata)
+                 [--slo-p99-ms F]         (assert p99 latency, soak)
+                 [--faults SPEC]          (arm client-side wire faults)
                  [-o FILE]                (write the bdd-serve-bench/v1 report)
      loadgen.exe --validate FILE          (just check a report and exit)
 
@@ -18,8 +25,17 @@
    variable order differently from the mirror's, and only semantic checks
    survive that.
 
-   Exit status: 1 if any reply contradicted the oracle (always), or if
-   Error replies arrived without --expect-faults. *)
+   Soak mode drives the retrying client (Serve.Client.connect_retrying)
+   against a durable keyed session per connection: arrivals are
+   scheduled open-loop at --arrival-rate (a slow server makes requests
+   queue, not the generator pause), --churn forces periodic reconnects
+   that must resume the same session, --faults mangles this side of the
+   wire deterministically, and the report gains a "soak" section with
+   the SLO verdict.
+
+   Exit status: 1 if any reply contradicted the oracle (always), if
+   Error replies arrived without --expect-faults, or if a soak blew its
+   p99 SLO or lost the server. *)
 
 let nvars = 12
 
@@ -33,7 +49,9 @@ let fail fmt =
 let usage () =
   prerr_endline
     "usage: loadgen (--socket PATH | --port N) [--connections N]\n\
-    \       [--requests M] [--seed S] [--smoke] [--expect-faults] [-o FILE]\n\
+    \       [--requests M] [--seed S] [--smoke] [--expect-faults]\n\
+    \       [--soak SECS] [--arrival-rate RPS] [--churn N]\n\
+    \       [--deadline-ms N] [--slo-p99-ms F] [--faults SPEC] [-o FILE]\n\
     \       | loadgen --validate FILE";
   exit 2
 
@@ -45,6 +63,9 @@ type stats = {
   mutable degraded : int;
   mutable errors : int;
   mutable wrong : int;
+  mutable churns : int;  (* deliberate reconnects (soak) *)
+  mutable retries : int;  (* client transport retries (soak) *)
+  mutable reconnects : int;  (* client re-dials (soak) *)
   mutable latencies : float list;  (* microseconds, newest first *)
   mutable notes : string list;  (* first few oracle contradictions *)
 }
@@ -56,6 +77,9 @@ let new_stats () =
     degraded = 0;
     errors = 0;
     wrong = 0;
+    churns = 0;
+    retries = 0;
+    reconnects = 0;
     latencies = [];
     notes = [];
   }
@@ -73,9 +97,21 @@ let wrong st fmt =
    4-bit counter reaches exactly 16 states, which doubles as an oracle. *)
 let bench_blif = lazy (Blif.to_string (Generate.counter ~bits:4))
 
+(* The client context a connection drives: the plain blocking client for
+   closed-loop benchmarks, or the retrying client (idempotency tokens,
+   deadline metadata, reconnect-with-backoff) for soaks.  Exhausted
+   retries surface as a synthetic Error reply so the oracle loop keeps
+   its shape. *)
+type ctx = { cl : Serve.Client.t; idem : bool; deadline_ms : int }
+
 let timed st c req =
   let t0 = Obs.Timing.wall () in
-  let reply = Serve.Client.call c req in
+  let reply =
+    if c.idem then (
+      try Serve.Client.call_idem ~deadline_ms:c.deadline_ms c.cl req
+      with Failure m -> Serve.Proto.Error ("client: " ^ m))
+    else Serve.Client.call c.cl req
+  in
   st.latencies <- ((Obs.Timing.wall () -. t0) *. 1e6) :: st.latencies;
   (match reply with
   | Serve.Proto.Overloaded -> st.rejected <- st.rejected + 1
@@ -109,7 +145,12 @@ let cube_of_assignment man asg =
       Bdd.band man acc (if phase then Bdd.ithvar man v else Bdd.nithvar man v))
     (Bdd.tt man) asg
 
-let connection ~seed ~requests ~bind i st =
+(* How a connection paces itself and when it stops. *)
+type mode =
+  | Closed of int  (* this many back-to-back requests *)
+  | Soak of { until : float; interval : float; churn_every : int }
+
+let connection ~seed ~mode ~deadline_ms ~bind i st =
   let rng = Random.State.make [| 0x5e57e; seed; i |] in
   let man = Bdd.create () in
   (* materialize the oracle's variable universe up front: cube/quantify
@@ -118,7 +159,26 @@ let connection ~seed ~requests ~bind i st =
     ignore (Bdd.ithvar man v)
   done;
   let mirror : (int, Bdd.t) Hashtbl.t = Hashtbl.create 64 in
-  let c = Serve.Client.connect bind in
+  let c =
+    match mode with
+    | Closed _ when deadline_ms = 0 ->
+        { cl = Serve.Client.connect bind; idem = false; deadline_ms = 0 }
+    | Closed _ ->
+        { cl = Serve.Client.connect bind; idem = true; deadline_ms }
+    | Soak _ ->
+        (* a durable keyed session: churned and quarantine-killed
+           connections re-attach and find their handles again, so the
+           mirror stays the oracle across reconnects *)
+        {
+          cl =
+            Serve.Client.connect_retrying ~io_timeout:10.0
+              ~key:(Printf.sprintf "soak-%d-%d" seed i)
+              ~seed:(seed + i)
+              ~chaos_stream:(0x11e7 + i) bind;
+          idem = true;
+          deadline_ms;
+        }
+  in
   let compiled = ref false in
   let pick_handle () =
     (* a uniformly random mirrored handle, or None when the table is empty *)
@@ -347,27 +407,51 @@ let connection ~seed ~requests ~bind i st =
           wrong st "reach: unexpected reply %s"
             (Format.asprintf "%a" Serve.Proto.pp_reply r)
   in
+  (* weighted mix: mostly structure-building and checking, a trickle of
+     expensive compile/reach *)
+  let one_request () =
+    match Random.State.int rng 64 with
+    | n when n < 14 -> do_lit ()
+    | n when n < 32 -> do_apply ()
+    | n when n < 40 -> do_count ()
+    | n when n < 46 -> do_fetch ()
+    | n when n < 50 -> do_sat ()
+    | n when n < 54 -> do_free ()
+    | n when n < 56 -> do_ping ()
+    | n when n < 58 -> do_stats ()
+    | n when n < 61 -> do_approx ()
+    | n when n < 63 -> do_decomp ()
+    | 63 when not !compiled -> do_compile ()
+    | _ -> do_reach ()
+  in
   Fun.protect
-    ~finally:(fun () -> Serve.Client.close c)
+    ~finally:(fun () ->
+      st.retries <- Serve.Client.retries c.cl;
+      st.reconnects <- Serve.Client.reconnects c.cl;
+      Serve.Client.close c.cl)
     (fun () ->
-      for k = 1 to requests do
-        ignore k;
-        (* weighted mix: mostly structure-building and checking, a trickle
-           of expensive compile/reach *)
-        match Random.State.int rng 64 with
-        | n when n < 14 -> do_lit ()
-        | n when n < 32 -> do_apply ()
-        | n when n < 40 -> do_count ()
-        | n when n < 46 -> do_fetch ()
-        | n when n < 50 -> do_sat ()
-        | n when n < 54 -> do_free ()
-        | n when n < 56 -> do_ping ()
-        | n when n < 58 -> do_stats ()
-        | n when n < 61 -> do_approx ()
-        | n when n < 63 -> do_decomp ()
-        | 63 when not !compiled -> do_compile ()
-        | _ -> do_reach ()
-      done)
+      match mode with
+      | Closed requests ->
+          for _ = 1 to requests do
+            one_request ()
+          done
+      | Soak { until; interval; churn_every } ->
+          (* open-loop: arrivals stay on the schedule grid.  A slow reply
+             eats into the next slot (we do not sleep), so server-side
+             queueing shows up as latency, not a slower generator. *)
+          let next = ref (Obs.Timing.wall ()) in
+          let iter = ref 0 in
+          while Obs.Timing.wall () < until do
+            let now = Obs.Timing.wall () in
+            if !next > now then Thread.delay (!next -. now);
+            next := !next +. interval;
+            incr iter;
+            if churn_every > 0 && !iter mod churn_every = 0 then begin
+              st.churns <- st.churns + 1;
+              Serve.Client.churn c.cl
+            end;
+            one_request ()
+          done)
 
 (* --- aggregation -------------------------------------------------------- *)
 
@@ -382,8 +466,18 @@ let () =
   and requests = ref 100
   and seed = ref 1
   and expect_faults = ref false
+  and soak = ref None
+  and arrival_rate = ref 100.0
+  and churn_every = ref 0
+  and deadline_ms = ref 0
+  and slo_p99_ms = ref 0.0
   and out = ref None
   and validate = ref None in
+  let pos_float flag s =
+    match float_of_string_opt s with
+    | Some f when f > 0.0 -> f
+    | _ -> fail "%s wants a positive number, got %s" flag s
+  in
   let rec parse = function
     | [] -> ()
     | "--socket" :: path :: rest ->
@@ -416,6 +510,34 @@ let () =
     | "--expect-faults" :: rest ->
         expect_faults := true;
         parse rest
+    | "--soak" :: s :: rest ->
+        soak := Some (pos_float "--soak" s);
+        parse rest
+    | "--arrival-rate" :: s :: rest ->
+        arrival_rate := pos_float "--arrival-rate" s;
+        parse rest
+    | "--churn" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some n when n >= 0 -> churn_every := n
+        | _ -> fail "--churn wants a non-negative integer, got %s" n);
+        parse rest
+    | "--deadline-ms" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some n when n >= 0 -> deadline_ms := n
+        | _ -> fail "--deadline-ms wants a non-negative integer, got %s" n);
+        parse rest
+    | "--slo-p99-ms" :: s :: rest ->
+        slo_p99_ms := pos_float "--slo-p99-ms" s;
+        parse rest
+    | "--faults" :: spec :: rest ->
+        (* client-side arming: the wire probes mangle *our* sends.  The
+           kernel fault keys are inert in this process — the oracle
+           manager never gets a fault hook attached — so the same SPEC
+           can be handed to both ends of a soak. *)
+        (match Resil.Fault.config_of_string spec with
+        | Ok cfg -> Resil.Fault.arm (Some cfg)
+        | Error m -> fail "--faults: %s" m);
+        parse rest
     | "-o" :: path :: rest ->
         out := Some path;
         parse rest
@@ -439,11 +561,26 @@ let () =
   let bind = match !bind with Some b -> b | None -> usage () in
   let stats = Array.init !connections (fun _ -> new_stats ()) in
   let t0 = Obs.Timing.wall () in
+  let mode_of i =
+    ignore i;
+    match !soak with
+    | None -> Closed !requests
+    | Some secs ->
+        Soak
+          {
+            until = t0 +. secs;
+            (* the total arrival rate is spread evenly over connections *)
+            interval = float_of_int !connections /. !arrival_rate;
+            churn_every = !churn_every;
+          }
+  in
   let threads =
     Array.init !connections (fun i ->
         Thread.create
           (fun () ->
-            try connection ~seed:!seed ~requests:!requests ~bind i stats.(i)
+            try
+              connection ~seed:!seed ~mode:(mode_of i)
+                ~deadline_ms:!deadline_ms ~bind i stats.(i)
             with e ->
               wrong stats.(i) "connection %d died: %s" i (Printexc.to_string e))
           ())
@@ -456,6 +593,37 @@ let () =
     Array.of_list (Array.fold_left (fun acc st -> st.latencies @ acc) [] stats)
   in
   Array.sort compare latencies;
+  let p99_us = percentile latencies 0.99 in
+  let soak_section =
+    match !soak with
+    | None -> None
+    | Some secs ->
+        (* the server must have survived the whole soak: probe it with a
+           fresh plain connection once the load is gone *)
+        let server_exits =
+          match Serve.Client.connect bind with
+          | c ->
+              let alive =
+                match Serve.Client.ping c with
+                | () -> true
+                | exception _ -> false
+              in
+              Serve.Client.close c;
+              if alive then 0 else 1
+          | exception _ -> 1
+        in
+        Some
+          {
+            Serve.Report.duration_s = secs;
+            arrival_rate = !arrival_rate;
+            churns = sum (fun st -> st.churns);
+            retries = sum (fun st -> st.retries);
+            reconnects = sum (fun st -> st.reconnects);
+            server_exits;
+            slo_p99_ms = !slo_p99_ms;
+            slo_met = !slo_p99_ms <= 0.0 || p99_us <= !slo_p99_ms *. 1000.0;
+          }
+  in
   let report =
     {
       Serve.Report.connections = !connections;
@@ -469,11 +637,12 @@ let () =
         (if elapsed > 0.0 then float_of_int completed /. elapsed else 0.0);
       p50_us = percentile latencies 0.50;
       p95_us = percentile latencies 0.95;
-      p99_us = percentile latencies 0.99;
+      p99_us;
       max_us =
         (if Array.length latencies = 0 then 0.0
          else latencies.(Array.length latencies - 1));
       peak_rss_kb = Obs.Timing.peak_rss_kb ();
+      soak = soak_section;
     }
   in
   Printf.printf
@@ -485,20 +654,41 @@ let () =
     report.Serve.Report.p99_us report.Serve.Report.rejected
     report.Serve.Report.degraded report.Serve.Report.errors
     report.Serve.Report.wrong;
+  (match soak_section with
+  | None -> ()
+  | Some s ->
+      Printf.printf
+        "loadgen: soak %.0fs at %.0f rps — churns=%d retries=%d reconnects=%d \
+         server_exits=%d p99=%.1fms (slo %.1fms) %s\n"
+        s.Serve.Report.duration_s s.Serve.Report.arrival_rate
+        s.Serve.Report.churns s.Serve.Report.retries s.Serve.Report.reconnects
+        s.Serve.Report.server_exits (p99_us /. 1000.0) s.Serve.Report.slo_p99_ms
+        (if s.Serve.Report.slo_met && s.Serve.Report.server_exits = 0 then "OK"
+         else "FAILED"));
   Array.iter
     (fun st -> List.iter (Printf.eprintf "loadgen: WRONG: %s\n") st.notes)
     stats;
+  let soak_ok =
+    match soak_section with
+    | None -> true
+    | Some s -> s.Serve.Report.slo_met && s.Serve.Report.server_exits = 0
+  in
   (match !out with
   | Some path ->
       Serve.Report.write path report;
       (match Serve.Report.validate_file path with
       | Ok () -> ()
-      | Error m -> fail "written report failed validation: %s" m)
+      | Error m when soak_ok -> fail "written report failed validation: %s" m
+      | Error _ -> (* the failing soak below is the real diagnosis *) ())
   | None -> ());
   if report.Serve.Report.wrong > 0 then exit 1;
   if report.Serve.Report.errors > 0 && not !expect_faults then begin
     Printf.eprintf
       "loadgen: %d Error replies without --expect-faults\n"
       report.Serve.Report.errors;
+    exit 1
+  end;
+  if not soak_ok then begin
+    Printf.eprintf "loadgen: soak failed its SLO (see the soak line above)\n";
     exit 1
   end

@@ -83,10 +83,33 @@ let check_metrics path prev =
         String.length name >= 6 && String.sub name 0 6 = "serve.")
       (Obs.Metrics.counters_of_json j)
   in
-  if serve <> [] then
+  if serve <> [] then begin
     Printf.printf "%s: serve %s\n" path
       (String.concat " "
          (List.map (fun (n, v) -> Printf.sprintf "%s=%.0f" n v) serve));
+    (* impossibility rules over the robust-serving counters: each left
+       count is a strict subset of the right one by construction, so a
+       violation means a counter tore or the wiring regressed *)
+    let all = Obs.Metrics.counters_of_json j in
+    let v name =
+      match List.assoc_opt name all with Some v -> v | None -> 0.0
+    in
+    let subset a b =
+      if v a > v b then
+        fail "%s: %s (%.0f) exceeds %s (%.0f)" path a (v a) b (v b)
+    in
+    (* a table-full rescue is one way to earn a Degraded certificate *)
+    subset "serve.table_full_degraded" "serve.degraded_replies";
+    (* every degraded/deduped reply is a reply to a counted request *)
+    subset "serve.degraded_replies" "serve.replies";
+    subset "serve.deduped" "serve.requests";
+    (* a session rebuild happens only inside a quarantine, and each
+       supervisor respawn quarantines at most one poisoned request *)
+    subset "serve.rebuilt_sessions" "serve.quarantined";
+    subset "serve.quarantined" "mt.service.respawned";
+    (* attaching (resuming) a session needs an accepted connection *)
+    subset "serve.resumed_sessions" "serve.accepted"
+  end;
   (* surface the out-of-core story of the run: tier migrations, streaming
      apply traffic, and the node-population split (hot unique table vs
      levelized cold tier vs spilled run files) *)
@@ -243,7 +266,23 @@ let check_serve_bench path =
              degraded=%.0f errors=%.0f\n"
             path Serve.Report.schema (f "requests") (f "connections")
             (f "throughput_rps") (f "p50_us") (f "p95_us") (f "p99_us")
-            (f "rejected") (f "degraded") (f "errors"))
+            (f "rejected") (f "degraded") (f "errors");
+          (match Obs.Json.member "soak" j with
+          | None -> ()
+          | Some s ->
+              let sf name =
+                match Option.bind (Obs.Json.member name s) Obs.Json.to_float with
+                | Some v -> v
+                | None -> 0.0
+              in
+              (* validate_file already enforced server_exits = 0 and
+                 slo_met; this line is the human-readable verdict *)
+              Printf.printf
+                "%s: soak %.0fs at %.0f rps — churns=%.0f retries=%.0f \
+                 reconnects=%.0f server_exits=%.0f slo_p99=%.1fms met\n"
+                path (sf "duration_s") (sf "arrival_rate") (sf "churns")
+                (sf "retries") (sf "reconnects") (sf "server_exits")
+                (sf "slo_p99_ms")))
 
 let () =
   let trace = ref None

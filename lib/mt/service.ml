@@ -1,10 +1,21 @@
-(* Persistent sharded worker pool (see the mli).
+(* Persistent sharded worker pool with supervision (see the mli).
 
    One mutex/condition pair per shard: submit and the shard's worker only
    contend with each other, never with other shards.  The queues hold
    closures, so the pool knows nothing about BDDs — the serve layer
    captures its session state in the closure and relies on sharding for
-   single-domain access to it. *)
+   single-domain access to it.
+
+   Supervision: OCaml domains cannot be killed from outside, so recovery
+   is abandon-and-respawn.  Each shard carries a generation counter; a
+   worker checks it under the shard lock at the top of every loop and
+   exits when superseded.  [respawn] bumps the generation, spawns a fresh
+   domain, and never joins the old one — a genuinely hung domain is left
+   as a zombie (it cannot hold the shard lock while hung on user work,
+   and an abandoned domain does not block process exit).  Liveness is a
+   pair of atomics ([busy_label]/[busy_since]) written around each
+   closure: a dead *or* wedged worker both look like "busy for too long",
+   so one detection path covers crash and hang alike. *)
 
 module M = struct
   open Obs
@@ -14,14 +25,21 @@ module M = struct
   let rejected = Metrics.counter reg "mt.service.rejected"
   let completed = Metrics.counter reg "mt.service.completed"
   let crashed = Metrics.counter reg "mt.service.crashed"
+  let respawned = Metrics.counter reg "mt.service.respawned"
+  let quarantined = Metrics.counter reg "mt.service.quarantined"
   let queue_depth = Metrics.histogram reg "mt.service.queue_depth"
   let workers = Metrics.gauge reg "mt.service.workers"
 end
 
+exception Poison
+
 type shard = {
   lock : Mutex.t;
   nonempty : Condition.t;
-  queue : (unit -> unit) Queue.t;
+  queue : (string * (unit -> unit)) Queue.t;
+  gen : int Atomic.t;
+  busy_label : string option Atomic.t;
+  busy_since : float Atomic.t;
 }
 
 type t = {
@@ -31,37 +49,57 @@ type t = {
   mutable domains : unit Domain.t array;
   mutable stop : bool;  (* set under every shard lock, read under one *)
   done_count : int Atomic.t;
+  respawn_count : int Atomic.t;
   drain_lock : Mutex.t;
   mutable drained : bool;
 }
 
 let workers t = Array.length t.shards
 let completed t = Atomic.get t.done_count
+let respawns t = Atomic.get t.respawn_count
 let draining t = t.stop
 
-let worker t i () =
+let worker t i my_gen () =
   let sh = t.shards.(i) in
   Obs.Trace.with_span
     (Printf.sprintf "%s.worker %d" t.label i)
     (fun () ->
       let rec loop () =
         Mutex.lock sh.lock;
-        while Queue.is_empty sh.queue && not t.stop do
+        while
+          Queue.is_empty sh.queue && not t.stop && Atomic.get sh.gen = my_gen
+        do
           Condition.wait sh.nonempty sh.lock
         done;
-        (* draining still empties the queue: graceful, not abandonment *)
-        match Queue.take_opt sh.queue with
-        | None ->
-            Mutex.unlock sh.lock;
-            () (* stop && empty: queues only drain once stop is set *)
-        | Some work ->
-            Mutex.unlock sh.lock;
-            (try work ()
-             with _ ->
-               if Obs.Metrics.recording () then Obs.Metrics.inc M.crashed 1);
-            ignore (Atomic.fetch_and_add t.done_count 1);
-            if Obs.Metrics.recording () then Obs.Metrics.inc M.completed 1;
-            loop ()
+        if Atomic.get sh.gen <> my_gen then
+          (* superseded by a respawn while waiting: bow out quietly *)
+          Mutex.unlock sh.lock
+        else
+          (* draining still empties the queue: graceful, not abandonment *)
+          match Queue.take_opt sh.queue with
+          | None ->
+              Mutex.unlock sh.lock;
+              () (* stop && empty: queues only drain once stop is set *)
+          | Some (label, work) ->
+              Mutex.unlock sh.lock;
+              (* since before label: the supervisor reads label first, so
+                 it can never see a label with a stale timestamp *)
+              Atomic.set sh.busy_since (Obs.Timing.wall ());
+              Atomic.set sh.busy_label (Some label);
+              (try work () with
+              | Poison ->
+                  (* simulated domain death for the chaos suite: escape
+                     with busy_label still set, so the supervisor sees
+                     this worker exactly as it sees a real crash *)
+                  raise Poison
+              | _ ->
+                  if Obs.Metrics.recording () then Obs.Metrics.inc M.crashed 1);
+              (* a respawn may have raced us while we ran: only report
+                 alive if we are still the shard's current worker *)
+              if Atomic.get sh.gen = my_gen then Atomic.set sh.busy_label None;
+              ignore (Atomic.fetch_and_add t.done_count 1);
+              if Obs.Metrics.recording () then Obs.Metrics.inc M.completed 1;
+              loop ()
       in
       loop ())
 
@@ -74,6 +112,9 @@ let create ?(label = "mt.service") ~workers ~queue_depth () =
           lock = Mutex.create ();
           nonempty = Condition.create ();
           queue = Queue.create ();
+          gen = Atomic.make 0;
+          busy_label = Atomic.make None;
+          busy_since = Atomic.make 0.;
         })
   in
   let t =
@@ -84,21 +125,22 @@ let create ?(label = "mt.service") ~workers ~queue_depth () =
       domains = [||];
       stop = false;
       done_count = Atomic.make 0;
+      respawn_count = Atomic.make 0;
       drain_lock = Mutex.create ();
       drained = false;
     }
   in
-  t.domains <- Array.init workers (fun i -> Domain.spawn (worker t i));
+  t.domains <- Array.init workers (fun i -> Domain.spawn (worker t i 0));
   if Obs.Metrics.recording () then Obs.Metrics.set M.workers workers;
   t
 
-let submit t ~shard work =
+let submit t ~shard ?(label = "anon") work =
   let sh = t.shards.(((shard mod workers t) + workers t) mod workers t) in
   Mutex.lock sh.lock;
   let accepted =
     if t.stop || Queue.length sh.queue >= t.depth then false
     else begin
-      Queue.add work sh.queue;
+      Queue.add (label, work) sh.queue;
       Condition.signal sh.nonempty;
       true
     end
@@ -120,6 +162,70 @@ let pending t =
       acc + n)
     0 t.shards
 
+(* --- supervision ------------------------------------------------------ *)
+
+let busy t ~shard =
+  let sh = t.shards.(((shard mod workers t) + workers t) mod workers t) in
+  match Atomic.get sh.busy_label with
+  | None -> None
+  | Some label -> Some (label, Obs.Timing.wall () -. Atomic.get sh.busy_since)
+
+let respawn t ~shard =
+  let i = ((shard mod workers t) + workers t) mod workers t in
+  let sh = t.shards.(i) in
+  Mutex.lock sh.lock;
+  if t.stop then begin
+    Mutex.unlock sh.lock;
+    None
+  end
+  else begin
+    let poisoned = Atomic.get sh.busy_label in
+    (* bump the generation first: the old worker (if it is even alive)
+       exits at its next loop top or condition wake-up *)
+    Atomic.incr sh.gen;
+    Atomic.set sh.busy_label None;
+    let g = Atomic.get sh.gen in
+    Condition.broadcast sh.nonempty;
+    Mutex.unlock sh.lock;
+    (* the old domain is abandoned, never joined: it is either dead (its
+       exception is dropped with it) or hung (it will not block exit) *)
+    t.domains.(i) <- Domain.spawn (worker t i g);
+    ignore (Atomic.fetch_and_add t.respawn_count 1);
+    if Obs.Metrics.recording () then begin
+      Obs.Metrics.inc M.respawned 1;
+      if poisoned <> None then Obs.Metrics.inc M.quarantined 1
+    end;
+    Some poisoned
+  end
+
+let check_stalled t ~hang_timeout =
+  if hang_timeout <= 0. then invalid_arg "Mt.Service.check_stalled";
+  let now = Obs.Timing.wall () in
+  let stalled = ref [] in
+  Array.iteri
+    (fun i sh ->
+      match Atomic.get sh.busy_label with
+      | Some _ when now -. Atomic.get sh.busy_since > hang_timeout -> (
+          match respawn t ~shard:i with
+          | Some poisoned -> stalled := (i, poisoned) :: !stalled
+          | None -> ())
+      | _ -> ())
+    t.shards;
+  List.rev !stalled
+
+let supervise t ~interval ~hang_timeout ~on_respawn =
+  if interval <= 0. then invalid_arg "Mt.Service.supervise";
+  Thread.create
+    (fun () ->
+      while not t.stop do
+        Thread.delay interval;
+        if not t.stop then
+          List.iter
+            (fun (shard, quarantined) -> on_respawn ~shard ~quarantined)
+            (check_stalled t ~hang_timeout)
+      done)
+    ()
+
 let drain t =
   Mutex.lock t.drain_lock;
   Fun.protect
@@ -133,6 +239,27 @@ let drain t =
             Condition.broadcast sh.nonempty;
             Mutex.unlock sh.lock)
           t.shards;
-        Array.iter Domain.join t.domains;
+        (* join only the current generation; zombies from respawns were
+           abandoned on purpose.  A *current* worker wedged on user work
+           would block the drain forever, so give each join a bounded
+           grace period by respawn-style abandonment: we poll busy state
+           and abandon any worker still mid-closure after 5s. *)
+        Array.iteri
+          (fun i d ->
+            let sh = t.shards.(i) in
+            let deadline = Obs.Timing.wall () +. 5.0 in
+            let rec join_or_abandon () =
+              if Atomic.get sh.busy_label = None then
+                (* idle or between closures: it will see stop and exit *)
+                try Domain.join d with _ -> ()
+              else if Obs.Timing.wall () > deadline then
+                () (* still wedged: abandon, do not block shutdown *)
+              else begin
+                Thread.delay 0.01;
+                join_or_abandon ()
+              end
+            in
+            join_or_abandon ())
+          t.domains;
         t.drained <- true
       end)

@@ -22,13 +22,37 @@
     A closure that raises does not kill its worker: the exception is
     recorded ([mt.service.crashed]) and the worker moves on.
 
+    {2 Supervision}
+
+    Domains cannot be killed from the outside, so a worker that dies (its
+    domain terminated by an escaping {!Poison}) or wedges (stuck inside a
+    closure) is recovered by {e abandon-and-respawn}: {!respawn} bumps
+    the shard's generation counter, spawns a replacement domain, and
+    leaves the old one unjoined — a zombie domain does not block process
+    exit, and a superseded-but-healthy worker notices the new generation
+    and exits on its own.  Liveness is observable through {!busy} (the
+    label and age of the closure a shard is executing); {!check_stalled}
+    respawns every shard busy longer than [hang_timeout] and reports the
+    quarantined labels, and {!supervise} runs that check on a background
+    thread.  The caller owns what a quarantined label {e means} (the
+    serve layer maps it back to a poisoned session).
+
     When {!Obs.Metrics} recording is on, the pool feeds
-    [mt.service.submitted / rejected / completed / crashed] counters and a
-    [mt.service.queue_depth] histogram (sampled at submit); each worker
-    domain runs inside an [mt.service.worker i] span so pools get Perfetto
-    lanes like {!Runner} workers do. *)
+    [mt.service.submitted / rejected / completed / crashed / respawned /
+    quarantined] counters and a [mt.service.queue_depth] histogram
+    (sampled at submit); each worker domain runs inside an
+    [mt.service.worker i] span so pools get Perfetto lanes like
+    {!Runner} workers do. *)
 
 type t
+
+exception Poison
+(** Test-only worker killer: a submitted closure that lets [Poison]
+    escape terminates its worker domain {e without} clearing the shard's
+    busy flag — exactly the footprint of a real crash mid-request — so
+    the chaos suite can exercise {!check_stalled} / {!respawn} without
+    needing a genuinely wedged domain.  Any other exception from a
+    closure is caught and counted as before. *)
 
 val create : ?label:string -> workers:int -> queue_depth:int -> unit -> t
 (** Spawn [workers] domains (>= 1) with room for [queue_depth] (>= 1)
@@ -37,10 +61,11 @@ val create : ?label:string -> workers:int -> queue_depth:int -> unit -> t
 
 val workers : t -> int
 
-val submit : t -> shard:int -> (unit -> unit) -> bool
+val submit : t -> shard:int -> ?label:string -> (unit -> unit) -> bool
 (** Enqueue a closure on shard [shard mod workers].  [false] when that
     queue is full or the pool is draining — the closure will never run.
-    Never blocks. *)
+    Never blocks.  [label] (default ["anon"]) names the work for
+    supervision: it is what {!busy} and a quarantine report show. *)
 
 val pending : t -> int
 (** Total closures queued (not yet started), summed over shards. *)
@@ -51,7 +76,46 @@ val completed : t -> int
 
 val draining : t -> bool
 
+(** {1 Supervision} *)
+
+val busy : t -> shard:int -> (string * float) option
+(** What shard [shard mod workers]'s worker is executing right now:
+    the submit label and how many seconds it has held the worker.
+    [None] when the worker is idle (or just respawned). *)
+
+val respawns : t -> int
+(** Worker domains respawned over the pool's lifetime. *)
+
+val respawn : t -> shard:int -> string option option
+(** Replace shard [shard]'s worker domain with a fresh one, abandoning
+    the old domain unjoined.  [None] if the pool is draining (no respawn
+    happened); [Some poisoned] on success, where [poisoned] is the label
+    of the closure the old worker was stuck in ([None] if it was idle —
+    e.g. a defensive respawn).  Already-queued work survives: the new
+    worker picks the queue up where the old one left it. *)
+
+val check_stalled : t -> hang_timeout:float -> (int * string option) list
+(** Respawn every shard whose worker has been busy on one closure for
+    more than [hang_timeout] seconds — which catches both wedged and
+    dead workers, since a dead worker never clears its busy flag.
+    Returns [(shard, quarantined label)] for each respawn performed.
+    @raise Invalid_argument if [hang_timeout <= 0]. *)
+
+val supervise :
+  t ->
+  interval:float ->
+  hang_timeout:float ->
+  on_respawn:(shard:int -> quarantined:string option -> unit) ->
+  Thread.t
+(** Run {!check_stalled} every [interval] seconds on a daemon thread
+    until the pool drains, invoking [on_respawn] (from the supervisor
+    thread) for each recovery.  @raise Invalid_argument if
+    [interval <= 0]. *)
+
 val drain : t -> unit
 (** Graceful shutdown: reject new submissions, run everything already
-    queued, then join the worker domains.  Idempotent; concurrent callers
-    all block until the pool is down. *)
+    queued, then join the worker domains.  A current-generation worker
+    still wedged inside a closure after a 5 s grace period is abandoned
+    rather than allowed to block shutdown; zombies from earlier respawns
+    are never joined.  Idempotent; concurrent callers all block until
+    the pool is down. *)

@@ -11,16 +11,33 @@ type config = {
   p_cache_wipe : float;
   p_abort : float;
   p_job_crash : float;
+  p_wire_delay : float;
+  p_wire_cut : float;
+  p_wire_flip : float;
+  p_wire_stall : float;
 }
 
 exception Injected_abort
 
 let disabled =
-  { seed = 0; p_node_limit = 0.; p_cache_wipe = 0.; p_abort = 0.; p_job_crash = 0. }
+  {
+    seed = 0;
+    p_node_limit = 0.;
+    p_cache_wipe = 0.;
+    p_abort = 0.;
+    p_job_crash = 0.;
+    p_wire_delay = 0.;
+    p_wire_cut = 0.;
+    p_wire_flip = 0.;
+    p_wire_stall = 0.;
+  }
 
 let config_to_string c =
-  Printf.sprintf "seed=%d,node_limit=%g,cache_wipe=%g,abort=%g,job_crash=%g"
-    c.seed c.p_node_limit c.p_cache_wipe c.p_abort c.p_job_crash
+  Printf.sprintf
+    "seed=%d,node_limit=%g,cache_wipe=%g,abort=%g,job_crash=%g,wire_delay=%g,\
+     wire_cut=%g,wire_flip=%g,wire_stall=%g"
+    c.seed c.p_node_limit c.p_cache_wipe c.p_abort c.p_job_crash c.p_wire_delay
+    c.p_wire_cut c.p_wire_flip c.p_wire_stall
 
 let config_of_string s =
   let parse_field acc kv =
@@ -46,6 +63,10 @@ let config_of_string s =
             | "cache_wipe" -> prob (fun p -> { c with p_cache_wipe = p })
             | "abort" -> prob (fun p -> { c with p_abort = p })
             | "job_crash" -> prob (fun p -> { c with p_job_crash = p })
+            | "wire_delay" -> prob (fun p -> { c with p_wire_delay = p })
+            | "wire_cut" -> prob (fun p -> { c with p_wire_cut = p })
+            | "wire_flip" -> prob (fun p -> { c with p_wire_flip = p })
+            | "wire_stall" -> prob (fun p -> { c with p_wire_stall = p })
             | _ -> Error (Printf.sprintf "unknown fault key %S" key)))
   in
   String.split_on_char ',' (String.trim s)
@@ -104,6 +125,10 @@ module M = struct
   let cache_wipe = Metrics.counter reg "resil.fault.cache_wipe"
   let abort = Metrics.counter reg "resil.fault.abort"
   let job_crash = Metrics.counter reg "resil.fault.job_crash"
+  let wire_delay = Metrics.counter reg "resil.fault.wire_delay"
+  let wire_cut = Metrics.counter reg "resil.fault.wire_cut"
+  let wire_flip = Metrics.counter reg "resil.fault.wire_flip"
+  let wire_stall = Metrics.counter reg "resil.fault.wire_stall"
 end
 
 let note counter =
@@ -148,3 +173,48 @@ let on_job_dispatch ~label ~attempt =
           note M.job_crash;
           raise Injected_abort
         end
+
+(* --- wire probes ------------------------------------------------------ *)
+
+let unit_draw ~seed ~stream ~draw = unit_float (mix (mix seed + stream) + draw)
+
+type wire_action =
+  | Wire_delay of float
+  | Wire_cut of int
+  | Wire_flip of int
+  | Wire_stall of float
+
+(* Fault magnitudes are drawn from a second, decorrelated stream so the
+   arm/fire decision and the shape of the fault never share bits.  Delays
+   and stalls are bounded well below any sane io timeout x10, so a chaos
+   run's wall clock stays bounded even at high probabilities. *)
+let on_wire_send ~stream ~seq ~len =
+  match armed () with
+  | None -> None
+  | Some c ->
+      let total =
+        c.p_wire_delay +. c.p_wire_cut +. c.p_wire_flip +. c.p_wire_stall
+      in
+      if total <= 0. || len = 0 then None
+      else
+        let u = unit_draw ~seed:c.seed ~stream:(stream lxor 0x77a3) ~draw:seq in
+        let m =
+          unit_draw ~seed:c.seed ~stream:(stream lxor 0x19cf) ~draw:seq
+        in
+        if u < c.p_wire_delay then begin
+          note M.wire_delay;
+          Some (Wire_delay (0.001 +. (m *. 0.02)))
+        end
+        else if u < c.p_wire_delay +. c.p_wire_cut then begin
+          note M.wire_cut;
+          Some (Wire_cut (int_of_float (m *. float_of_int len)))
+        end
+        else if u < c.p_wire_delay +. c.p_wire_cut +. c.p_wire_flip then begin
+          note M.wire_flip;
+          Some (Wire_flip (int_of_float (m *. float_of_int (len * 8))))
+        end
+        else if u < total then begin
+          note M.wire_stall;
+          Some (Wire_stall (0.005 +. (m *. 0.05)))
+        end
+        else None

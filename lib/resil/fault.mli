@@ -25,6 +25,18 @@ type config = {
   p_job_crash : float;
       (** chance of {!Injected_abort} at [Mt.Runner] job dispatch,
           redrawn per attempt so retries can succeed *)
+  p_wire_delay : float;
+      (** chance, per frame sent, of delaying the whole frame (1–21 ms) *)
+  p_wire_cut : float;
+      (** chance, per frame sent, of a mid-frame disconnect (a prefix is
+          written, then the connection is torn down) *)
+  p_wire_flip : float;
+      (** chance, per frame sent, of flipping one payload bit (the
+          receiver's CRC must catch it) *)
+  p_wire_stall : float;
+      (** chance, per frame sent, of stalling mid-frame (half the frame,
+          a 5–55 ms pause, then the rest — exercises receiver read
+          timeouts) *)
 }
 
 exception Injected_abort
@@ -65,3 +77,31 @@ val on_job_dispatch : label:string -> attempt:int -> unit
 val injected : unit -> int
 (** Total faults injected by this process (all kinds), counted even when
     metrics recording is off. *)
+
+(** {1 Wire probes}
+
+    Network-level fault points for the serve layer: the sender draws an
+    action per frame, deterministically in (seed, stream, seq), and
+    mangles its own writes accordingly — so a chaos/soak run drives
+    delayed writes, mid-frame disconnects, bit flips and stalled reads
+    from the same [--faults] seed plumbing as the kernel probes.
+    [Serve.Client] applies these when created with a chaos stream;
+    the receiving server must survive every one of them (CRC rejection,
+    read timeout, or clean EOF — never a hung worker). *)
+
+type wire_action =
+  | Wire_delay of float  (** sleep this long, then send the whole frame *)
+  | Wire_cut of int  (** send only this byte prefix, then hang up *)
+  | Wire_flip of int  (** flip this bit index (mod frame bits) *)
+  | Wire_stall of float
+      (** send half the frame, sleep this long, send the rest *)
+
+val on_wire_send : stream:int -> seq:int -> len:int -> wire_action option
+(** Draw the fault (if any) for frame number [seq] of stream [stream],
+    [len] bytes long.  [None] when disarmed, when every wire probability
+    is zero, or when the draw says this frame passes clean. *)
+
+val unit_draw : seed:int -> stream:int -> draw:int -> float
+(** The underlying deterministic uniform draw in [0,1) — exposed so other
+    layers (the retrying client's backoff jitter, the load generator's
+    churn schedule) can stay on the same reproducible footing. *)

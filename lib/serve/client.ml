@@ -1,39 +1,260 @@
-(* Blocking client (see the mli). *)
+(* Blocking client (see the mli).
 
-type t = { fd : Unix.file_descr; mutable closed : bool }
+   The plain [connect] client is the PR 5 one: one dial, no metadata, any
+   failure surfaces to the caller.  [connect_retrying] layers the
+   robustness loop on top: socket timeouts, lazy (re)dialing with
+   exponential backoff and deterministic jitter, session re-attachment by
+   key, idempotency tokens on every call, and — when given a chaos
+   stream — deterministic wire-fault mangling of its own sends, so the
+   soak harness can drive torn/corrupt/stalled frames at the server from
+   the same seed as the kernel faults. *)
 
-let connect_sockaddr addr =
+type retry = { attempts : int; base_backoff : float; max_backoff : float }
+
+let default_retry = { attempts = 6; base_backoff = 0.02; max_backoff = 1.0 }
+
+exception Retryable of string
+
+type t = {
+  addr : Unix.sockaddr;
+  io_timeout : float option;
+  retry : retry option;
+  key : string option;
+  seed : int;
+  chaos_stream : int option;
+  mutable fd : Unix.file_descr option;
+  mutable closed : bool;
+  mutable ever_connected : bool;
+  mutable seq : int;  (* frames sent; the wire-fault draw counter *)
+  mutable attached : int option;  (* server session id after Attach *)
+  mutable retries : int;
+  mutable reconnects : int;
+}
+
+let retries t = t.retries
+let reconnects t = t.reconnects
+let session t = t.attached
+
+let the_fd t =
+  match t.fd with Some fd when not t.closed -> fd | _ -> raise End_of_file
+
+let disconnect t =
+  (match t.fd with
+  | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+  | None -> ());
+  t.fd <- None;
+  t.attached <- None
+
+(* --- dialing ----------------------------------------------------------- *)
+
+let dial t =
+  disconnect t;
   let domain =
-    match addr with Unix.ADDR_UNIX _ -> Unix.PF_UNIX | _ -> Unix.PF_INET
+    match t.addr with Unix.ADDR_UNIX _ -> Unix.PF_UNIX | _ -> Unix.PF_INET
   in
   let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
-  (try Unix.connect fd addr
+  (try Unix.connect fd t.addr
    with e ->
      (try Unix.close fd with Unix.Unix_error _ -> ());
      raise e);
-  { fd; closed = false }
+  (match t.io_timeout with
+  | Some secs when secs > 0. -> (
+      try
+        Unix.setsockopt_float fd Unix.SO_RCVTIMEO secs;
+        Unix.setsockopt_float fd Unix.SO_SNDTIMEO secs
+      with Unix.Unix_error _ | Invalid_argument _ -> ())
+  | _ -> ());
+  t.fd <- Some fd;
+  if t.ever_connected then t.reconnects <- t.reconnects + 1;
+  t.ever_connected <- true;
+  (* re-attach the durable session.  Attach is a control frame: it is
+     deliberately not wire-mangled, so a reconnect always converges —
+     chaos keeps hitting the data frames that follow. *)
+  match t.key with
+  | None -> ()
+  | Some key -> (
+      (try Proto.write_frame fd (Proto.encode_request (Proto.Attach { key }))
+       with Unix.Unix_error (e, _, _) ->
+         disconnect t;
+         raise (Retryable ("attach send: " ^ Unix.error_message e)));
+      match Proto.read_frame fd with
+      | exception Unix.Unix_error (e, _, _) ->
+          disconnect t;
+          raise (Retryable ("attach read: " ^ Unix.error_message e))
+      | exception Proto.Bad_frame m ->
+          disconnect t;
+          raise (Retryable ("attach frame: " ^ m))
+      | None ->
+          disconnect t;
+          raise (Retryable "attach: server hung up")
+      | Some frame -> (
+          match Proto.decode_reply frame with
+          | Proto.Attached { session; _ } -> t.attached <- Some session
+          | Proto.Error m ->
+              (* e.g. "session is rebuilding, retry": back off and come
+                 back once the supervisor has swapped the session in *)
+              disconnect t;
+              raise (Retryable ("attach refused: " ^ m))
+          | r ->
+              disconnect t;
+              raise
+                (Retryable
+                   (Format.asprintf "attach: unexpected reply %a"
+                      Proto.pp_reply r))))
 
-let connect = function
-  | Server.Unix_path path -> connect_sockaddr (Unix.ADDR_UNIX path)
-  | Server.Tcp port ->
-      connect_sockaddr (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+let ensure_connected t = if t.fd = None then dial t
+
+let make ?retry ?io_timeout ?key ?(seed = 0) ?chaos_stream addr =
+  {
+    addr;
+    io_timeout;
+    retry;
+    key;
+    seed;
+    chaos_stream;
+    fd = None;
+    closed = false;
+    ever_connected = false;
+    seq = 0;
+    attached = None;
+    retries = 0;
+    reconnects = 0;
+  }
+
+let connect_sockaddr addr =
+  let t = make addr in
+  dial t;
+  t
+
+let sockaddr_of_bind = function
+  | Server.Unix_path path -> Unix.ADDR_UNIX path
+  | Server.Tcp port -> Unix.ADDR_INET (Unix.inet_addr_loopback, port)
+
+let connect bind = connect_sockaddr (sockaddr_of_bind bind)
+
+let connect_retrying ?(retry = default_retry) ?io_timeout ?key ?seed
+    ?chaos_stream bind =
+  (* dial lazily: the first call (re)connects under the retry loop, so a
+     server that is briefly down or mid-restart is not fatal *)
+  make ~retry ?io_timeout ?key ?seed ?chaos_stream (sockaddr_of_bind bind)
 
 let close t =
   if not t.closed then begin
-    t.closed <- true;
-    try Unix.close t.fd with Unix.Unix_error _ -> ()
+    disconnect t;
+    t.closed <- true
   end
 
-let post t req = Proto.write_frame t.fd (Proto.encode_request req)
+let churn t = if not t.closed then disconnect t
+
+(* --- frame send, with optional wire-fault mangling --------------------- *)
+
+let rec write_chunk fd b off len =
+  if len > 0 then
+    match Unix.write fd b off len with
+    | n -> write_chunk fd b (off + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_chunk fd b off len
+
+let write_sub fd s off len = write_chunk fd (Bytes.unsafe_of_string s) off len
+
+let raw_send t fd frame =
+  let seq = t.seq in
+  t.seq <- seq + 1;
+  let len = String.length frame in
+  match t.chaos_stream with
+  | None -> Proto.write_frame fd frame
+  | Some stream -> (
+      match Resil.Fault.on_wire_send ~stream ~seq ~len with
+      | None -> Proto.write_frame fd frame
+      | Some (Resil.Fault.Wire_delay d) ->
+          Thread.delay d;
+          Proto.write_frame fd frame
+      | Some (Resil.Fault.Wire_cut n) ->
+          (* mid-frame disconnect: a strict prefix, then hang up *)
+          let n = max 0 (min n (len - 1)) in
+          (try write_sub fd frame 0 n with Unix.Unix_error _ -> ());
+          disconnect t;
+          raise (Retryable "wire fault: cut")
+      | Some (Resil.Fault.Wire_flip bit) ->
+          let bit = ((bit mod (len * 8)) + (len * 8)) mod (len * 8) in
+          let b = Bytes.of_string frame in
+          Bytes.set b (bit / 8)
+            (Char.chr (Char.code (Bytes.get b (bit / 8)) lxor (1 lsl (bit land 7))));
+          write_chunk fd b 0 len
+      | Some (Resil.Fault.Wire_stall d) ->
+          let half = len / 2 in
+          write_sub fd frame 0 half;
+          Thread.delay d;
+          write_sub fd frame half (len - half))
+
+let post_meta t ~meta req = raw_send t (the_fd t) (Proto.encode_request ~meta req)
+let post t req = post_meta t ~meta:Proto.no_meta req
 
 let receive t =
-  match Proto.read_frame t.fd with
+  match Proto.read_frame (the_fd t) with
   | None -> raise End_of_file
   | Some frame -> Proto.decode_reply frame
 
 let call t req =
   post t req;
   receive t
+
+(* --- the retry loop ---------------------------------------------------- *)
+
+(* The server answers a frame it cannot decode (bit flip, truncation)
+   with "protocol error: ..." and hangs up — the request never executed,
+   so it is as retryable as a torn connection. *)
+let is_protocol_error m =
+  String.length m >= 14 && String.sub m 0 14 = "protocol error"
+
+let backoff_delay t ~attempt r =
+  let base = r.base_backoff *. (2. ** float_of_int attempt) in
+  let capped = Float.min r.max_backoff base in
+  let jitter =
+    Resil.Fault.unit_draw ~seed:t.seed ~stream:0x6a1b ~draw:(t.seq + attempt)
+  in
+  capped *. (0.5 +. (0.5 *. jitter))
+
+let token_counter = Atomic.make 1
+
+let call_idem ?(deadline_ms = 0) t req =
+  if t.closed then raise End_of_file;
+  let deadline_ms = max 0 deadline_ms in
+  match t.retry with
+  | None ->
+      let meta = { Proto.deadline_ms; token = 0 } in
+      post_meta t ~meta req;
+      receive t
+  | Some r ->
+      (* one token for all attempts of this logical request: a retry the
+         server already executed replays the recorded reply (dedup) *)
+      let token = Atomic.fetch_and_add token_counter 1 in
+      let meta = { Proto.deadline_ms; token } in
+      let rec attempt n =
+        let retry_after msg =
+          if n + 1 >= r.attempts then
+            failwith
+              (Printf.sprintf "request failed after %d attempts: %s" r.attempts
+                 msg)
+          else begin
+            t.retries <- t.retries + 1;
+            disconnect t;
+            Thread.delay (backoff_delay t ~attempt:n r);
+            attempt (n + 1)
+          end
+        in
+        match
+          ensure_connected t;
+          post_meta t ~meta req;
+          receive t
+        with
+        | Proto.Error m when is_protocol_error m -> retry_after m
+        | reply -> reply
+        | exception End_of_file -> retry_after "connection lost"
+        | exception Unix.Unix_error (e, _, _) -> retry_after (Unix.error_message e)
+        | exception Proto.Bad_frame m -> retry_after ("bad reply frame: " ^ m)
+        | exception Retryable m -> retry_after m
+      in
+      attempt 0
 
 (* --- wrappers --------------------------------------------------------- *)
 

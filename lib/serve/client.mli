@@ -5,9 +5,32 @@
     {!receive} split it for pipelining (the load generator uses that to
     probe admission control).  Not thread-safe: one connection per
     thread, which is also the closed-loop shape of {!module:Server}'s
-    intended clients. *)
+    intended clients.
+
+    {2 The retrying client}
+
+    {!connect_retrying} returns the same [t] armed with the robustness
+    loop: socket timeouts, lazy (re)dialing with exponential backoff and
+    deterministic jitter, durable-session re-attachment by [key], and
+    idempotency tokens.  {!call_idem} is its entry point — a request
+    that dies to a torn connection, an IO timeout, a server restart or a
+    wire fault is retried under the {e same} token, so a request the
+    server already executed replays its recorded reply instead of
+    re-executing (exactly-once over the server's dedup window).  When
+    created with a [chaos_stream], the client deterministically mangles
+    its own sends via {!Resil.Fault.on_wire_send} (delay / mid-frame
+    cut / bit flip / stall) — the soak harness's wire-fault generator. *)
 
 type t
+
+(** Retry policy: [attempts] total tries per {!call_idem}, sleeping
+    [base_backoff * 2^n] (capped at [max_backoff]) seconds between them,
+    scaled by a deterministic jitter in [0.5, 1.0) drawn from the
+    client's [seed]. *)
+type retry = { attempts : int; base_backoff : float; max_backoff : float }
+
+val default_retry : retry
+(** 6 attempts, 20 ms base, 1 s cap. *)
 
 val connect : Server.bind -> t
 (** Connect to a {!Server.bind} address ([Tcp] dials loopback).
@@ -15,12 +38,47 @@ val connect : Server.bind -> t
 
 val connect_sockaddr : Unix.sockaddr -> t
 
+val connect_retrying :
+  ?retry:retry ->
+  ?io_timeout:float ->
+  ?key:string ->
+  ?seed:int ->
+  ?chaos_stream:int ->
+  Server.bind ->
+  t
+(** A client that (re)dials lazily under [retry] — never raises here,
+    even with no server up yet.  [io_timeout] sets
+    [SO_RCVTIMEO]/[SO_SNDTIMEO] on each dialed socket.  [key] makes
+    every (re)connection [Attach] to that durable server session, so
+    handles survive disconnects, server-side worker respawns and
+    {!churn}; the [Attach] handshake itself is never wire-mangled, so a
+    chaotic client still converges.  [seed] (default 0) feeds both the
+    backoff jitter and — together with [chaos_stream] — the
+    {!Resil.Fault.on_wire_send} draws that mangle outgoing frames. *)
+
 val close : t -> unit
 
+val churn : t -> unit
+(** Drop the connection (keeping the client usable): the next
+    {!call_idem} re-dials and re-attaches.  The load generator's
+    connection-churn knob. *)
+
 val call : t -> Proto.request -> Proto.reply
-(** Send one request and block for its reply.
-    @raise End_of_file when the server hung up;
+(** Send one request and block for its reply.  No metadata, no retries —
+    the pre-robustness cycle.
+    @raise End_of_file when the server hung up (or this client is not
+    currently connected);
     @raise Proto.Bad_frame on a corrupt reply (close the connection). *)
+
+val call_idem : ?deadline_ms:int -> t -> Proto.request -> Proto.reply
+(** {!call} under the retry loop.  Stamps a process-unique idempotency
+    token (held across all attempts of this logical request) and the
+    optional [deadline_ms] into the request's {!Proto.meta}.  Transport
+    failures — connection loss, IO timeout, corrupt reply frame, a
+    server ["protocol error"] reply to a mangled send — reconnect (and
+    re-attach) with backoff and retry; {e semantic} replies including
+    [Error] and [Overloaded] are returned as-is.
+    @raise Failure when all attempts are exhausted. *)
 
 val post : t -> Proto.request -> unit
 (** Send without waiting.  Replies come back in request order (except
@@ -28,8 +86,22 @@ val post : t -> Proto.request -> unit
     work — pipelining callers must match replies by kind, or just count
     them). *)
 
+val post_meta : t -> meta:Proto.meta -> Proto.request -> unit
+(** {!post} with explicit request metadata (deadline, token). *)
+
 val receive : t -> Proto.reply
 (** Block for the next reply. *)
+
+(** {1 Introspection} *)
+
+val retries : t -> int
+(** Transport-failure retries performed by {!call_idem} so far. *)
+
+val reconnects : t -> int
+(** Successful re-dials after the first connection (includes {!churn}). *)
+
+val session : t -> int option
+(** The attached durable session's server id, when currently attached. *)
 
 (** {1 Convenience wrappers}
 

@@ -41,20 +41,51 @@ let with_limits limits man f =
       f
   end
 
+module M = struct
+  let table_full_degraded =
+    Obs.Metrics.counter Obs.Metrics.default "serve.table_full_degraded"
+end
+
+let note c = if Obs.Metrics.recording () then Obs.Metrics.inc c 1
+
 (* The ladder: exact -> gc + exact retry -> (monotone only) heavy-branch
    under-approximated operands at shrinking thresholds.  Each rung runs
    under a freshly armed limit; the session is collected between rungs so
-   failed attempts' garbage does not eat the next rung's budget. *)
+   failed attempts' garbage does not eat the next rung's budget.
+
+   Three budget failures descend it: [Node_limit] (per-request budget),
+   [Deadline] (the tick hook fired — the deadline re-arms per rung, so a
+   cancelled exact attempt still leaves the cheaper rungs their full
+   allowance and the worst-case wall clock is O(rungs) x deadline), and
+   [Bdd.Table_full] (the shared unique table hit its capacity: the gc
+   rung frees slots and the HB rungs shrink the footprint).  A rescued
+   reply names what it was rescued from — ["deadline"], ["table-full"] —
+   ahead of the ["HB\@t"] rung that saved it. *)
 let budgeted limits session ~monotone compute =
   let man = Session.man session in
-  let attempt thr = with_limits limits man (fun () -> compute thr) in
+  let deadline_hit = ref false and table_hit = ref false in
+  let attempt thr =
+    match with_limits limits man (fun () -> compute thr) with
+    | f -> Some f
+    | exception Bdd.Node_limit -> None
+    | exception Deadline ->
+        deadline_hit := true;
+        None
+    | exception Bdd.Table_full ->
+        table_hit := true;
+        None
+  in
+  let reasons () =
+    (if !deadline_hit then [ "deadline" ] else [])
+    @ if !table_hit then [ "table-full" ] else []
+  in
   match attempt None with
-  | f -> (f, Proto.Exact)
-  | exception (Bdd.Node_limit | Deadline) -> (
+  | Some f -> (f, Proto.Exact)
+  | None -> (
       ignore (Session.gc session);
       match attempt None with
-      | f -> (f, Proto.Exact)
-      | exception (Bdd.Node_limit | Deadline) ->
+      | Some f -> (f, Proto.Exact)
+      | None ->
           if not monotone then
             refuse "budget exhausted (request is not degradable)";
           let start =
@@ -67,8 +98,10 @@ let budgeted limits session ~monotone compute =
             else begin
               ignore (Session.gc session);
               match attempt (Some t) with
-              | f -> (f, Proto.Degraded [ Printf.sprintf "HB@%d" t ])
-              | exception (Bdd.Node_limit | Deadline) -> rung (t / 4)
+              | Some f ->
+                  if !table_hit then note M.table_full_degraded;
+                  (f, Proto.Degraded (reasons () @ [ Printf.sprintf "HB@%d" t ]))
+              | None -> rung (t / 4)
             end
           in
           rung start)
@@ -316,6 +349,10 @@ let handle ?(stats_extra = fun () -> []) ?pool limits session req =
         let f = get session handle in
         Proto.Sat_is
           (try Some (Bdd.any_sat man f) with Not_found -> None)
+    | Proto.Attach _ ->
+        (* session attachment is a connection-level concern; the server's
+           reader answers it before anything reaches the worker pool *)
+        refuse "attach must be the first frame on a connection"
     | Proto.Free { handles } -> Proto.Freed (Session.free session handles)
     | Proto.Stats ->
         Proto.Stats_are
@@ -327,6 +364,7 @@ let handle ?(stats_extra = fun () -> []) ?pool limits session req =
   | Refused m -> Proto.Error m
   | Bdd.Corrupt m -> Proto.Error (Printf.sprintf "corrupt BDD payload: %s" m)
   | Bdd.Node_limit -> Proto.Error "node budget exhausted"
+  | Bdd.Table_full -> Proto.Error "shared node table full"
   | Deadline -> Proto.Error "deadline exceeded"
   | Resil.Degrade.Exhausted -> Proto.Error "degradation ladder exhausted"
   | e -> Proto.Error (Printf.sprintf "request failed: %s" (Printexc.to_string e))

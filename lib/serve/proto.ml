@@ -32,6 +32,11 @@ type request =
   | Sat of { handle : int }
   | Free of { handles : int list }
   | Stats
+  | Attach of { key : string }
+
+type meta = { deadline_ms : int; token : int }
+
+let no_meta = { deadline_ms = 0; token = 0 }
 
 type cert = Exact | Degraded of string list
 
@@ -55,6 +60,7 @@ type reply =
   | Freed of int
   | Error of string
   | Overloaded
+  | Attached of { session : int; resumed : bool; handles : int }
 
 (* --- printers -------------------------------------------------------- *)
 
@@ -97,6 +103,7 @@ let pp_request fmt = function
       Format.fprintf fmt "free [%s]"
         (String.concat "," (List.map string_of_int handles))
   | Stats -> Format.pp_print_string fmt "stats"
+  | Attach { key } -> Format.fprintf fmt "attach %S" key
 
 let pp_cert fmt = function
   | Exact -> Format.pp_print_string fmt "exact"
@@ -134,6 +141,10 @@ let pp_reply fmt = function
   | Freed n -> Format.fprintf fmt "freed %d" n
   | Error m -> Format.fprintf fmt "error %S" m
   | Overloaded -> Format.pp_print_string fmt "overloaded"
+  | Attached { session; resumed; handles } ->
+      Format.fprintf fmt "attached session=%d %s (%d handle(s))" session
+        (if resumed then "resumed" else "fresh")
+        handles
 
 (* --- body encoding primitives ---------------------------------------- *)
 
@@ -258,8 +269,19 @@ let decode_body what s parse =
 
 (* --- requests --------------------------------------------------------- *)
 
-let encode_request req =
+let encode_request ?(meta = no_meta) req =
   let buf = Buffer.create 64 in
+  (* Requests carrying a deadline or idempotency token travel inside an
+     envelope (opcode 14): the metadata fields, then the plain request
+     body.  A request without metadata encodes exactly as it did before
+     the envelope existed, so the extension is wire-compatible. *)
+  if meta.deadline_ms < 0 || meta.token < 0 then
+    invalid_arg "Serve.Proto: negative request metadata";
+  if meta <> no_meta then begin
+    add_varint buf 14;
+    add_varint buf meta.deadline_ms;
+    add_varint buf meta.token
+  end;
   (match req with
   | Ping -> add_varint buf 0
   | Lit { var; phase } ->
@@ -330,68 +352,86 @@ let encode_request req =
   | Free { handles } ->
       add_varint buf 11;
       add_list buf add_varint handles
-  | Stats -> add_varint buf 12);
+  | Stats -> add_varint buf 12
+  | Attach { key } ->
+      add_varint buf 13;
+      add_str buf key);
   frame (Buffer.contents buf)
 
-let decode_request s =
+let decode_request_meta s =
   decode_body "request" s (fun r ->
-      match r_varint r with
-      | 0 -> Ping
-      | 1 ->
-          let var = r_varint r in
-          let phase = r_bool r in
-          Lit { var; phase }
-      | 2 -> Put { bdd = r_str r }
-      | 3 -> Fetch { handle = r_varint r }
-      | 4 ->
-          Apply
-            (match r_varint r with
-            | 0 -> Not (r_varint r)
-            | 1 ->
-                let a = r_varint r in
-                And (a, r_varint r)
-            | 2 ->
-                let a = r_varint r in
-                Or (a, r_varint r)
-            | 3 ->
-                let a = r_varint r in
-                Xor (a, r_varint r)
-            | 4 ->
-                let a = r_varint r in
-                let b = r_varint r in
-                Ite (a, b, r_varint r)
-            | 5 ->
-                let vs = r_list r r_varint in
-                Exists (vs, r_varint r)
-            | 6 ->
-                let vs = r_list r r_varint in
-                Forall (vs, r_varint r)
-            | n -> bad "unknown apply opcode %d" n)
-      | 5 ->
-          let name = r_str r in
-          Compile { name; blif = r_str r }
-      | 6 ->
-          let m = r_str r in
-          let meth =
-            match Approx.method_of_string m with
-            | Some meth -> meth
-            | None -> bad "unknown approximation method %S" m
-          in
-          let threshold = r_varint r in
-          Approx { meth; threshold; handle = r_varint r }
-      | 7 ->
-          let handle = r_varint r in
-          Decomp { handle; disjunctive = r_bool r }
-      | 8 ->
-          let model = r_str r in
-          Reach { model; max_iter = r_varint r }
-      | 9 ->
-          let handle = r_varint r in
-          Count { handle; nvars = r_varint r }
-      | 10 -> Sat { handle = r_varint r }
-      | 11 -> Free { handles = r_list r r_varint }
-      | 12 -> Stats
-      | n -> bad "unknown request opcode %d" n)
+      let rec go meta depth =
+        match r_varint r with
+        | 0 -> (meta, Ping)
+        | 1 ->
+            let var = r_varint r in
+            let phase = r_bool r in
+            (meta, Lit { var; phase })
+        | 2 -> (meta, Put { bdd = r_str r })
+        | 3 -> (meta, Fetch { handle = r_varint r })
+        | 4 ->
+            ( meta,
+              Apply
+                (match r_varint r with
+                | 0 -> Not (r_varint r)
+                | 1 ->
+                    let a = r_varint r in
+                    And (a, r_varint r)
+                | 2 ->
+                    let a = r_varint r in
+                    Or (a, r_varint r)
+                | 3 ->
+                    let a = r_varint r in
+                    Xor (a, r_varint r)
+                | 4 ->
+                    let a = r_varint r in
+                    let b = r_varint r in
+                    Ite (a, b, r_varint r)
+                | 5 ->
+                    let vs = r_list r r_varint in
+                    Exists (vs, r_varint r)
+                | 6 ->
+                    let vs = r_list r r_varint in
+                    Forall (vs, r_varint r)
+                | n -> bad "unknown apply opcode %d" n) )
+        | 5 ->
+            let name = r_str r in
+            (meta, Compile { name; blif = r_str r })
+        | 6 ->
+            let m = r_str r in
+            let meth =
+              match Approx.method_of_string m with
+              | Some meth -> meth
+              | None -> bad "unknown approximation method %S" m
+            in
+            let threshold = r_varint r in
+            (meta, Approx { meth; threshold; handle = r_varint r })
+        | 7 ->
+            let handle = r_varint r in
+            (meta, Decomp { handle; disjunctive = r_bool r })
+        | 8 ->
+            let model = r_str r in
+            (meta, Reach { model; max_iter = r_varint r })
+        | 9 ->
+            let handle = r_varint r in
+            (meta, Count { handle; nvars = r_varint r })
+        | 10 -> (meta, Sat { handle = r_varint r })
+        | 11 -> (meta, Free { handles = r_list r r_varint })
+        | 12 -> (meta, Stats)
+        | 13 -> (meta, Attach { key = r_str r })
+        | 14 ->
+            (* metadata envelope: deadline, token, then the inner request.
+               One level only — a nested envelope is an encoding bug, not
+               a forward-compatibility affordance. *)
+            if depth > 0 then bad "nested request envelope";
+            let deadline_ms = r_varint r in
+            let token = r_varint r in
+            go { deadline_ms; token } (depth + 1)
+        | n -> bad "unknown request opcode %d" n
+      in
+      go no_meta 0)
+
+let decode_request s = snd (decode_request_meta s)
 
 (* --- replies ---------------------------------------------------------- *)
 
@@ -469,7 +509,12 @@ let encode_reply rep =
   | Error m ->
       add_varint buf 10;
       add_str buf m
-  | Overloaded -> add_varint buf 11);
+  | Overloaded -> add_varint buf 11
+  | Attached { session; resumed; handles } ->
+      add_varint buf 12;
+      add_varint buf session;
+      add_bool buf resumed;
+      add_varint buf handles);
   frame (Buffer.contents buf)
 
 let decode_reply s =
@@ -519,6 +564,10 @@ let decode_reply s =
       | 9 -> Freed (r_varint r)
       | 10 -> Error (r_str r)
       | 11 -> Overloaded
+      | 12 ->
+          let session = r_varint r in
+          let resumed = r_bool r in
+          Attached { session; resumed; handles = r_varint r }
       | n -> bad "unknown reply opcode %d" n)
 
 (* --- transport -------------------------------------------------------- *)

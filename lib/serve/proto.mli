@@ -57,6 +57,29 @@ type request =
   | Sat of { handle : int }
   | Free of { handles : int list }
   | Stats
+  | Attach of { key : string }
+      (** bind this connection to the durable session named [key],
+          creating it if new and resuming it (handles intact) if a
+          previous connection dropped — the basis for safe client
+          reconnects.  Handled by the server's reader, not the worker
+          pool. *)
+
+type meta = {
+  deadline_ms : int;
+      (** soft per-request deadline in milliseconds; [0] = none.  The
+          server turns it into a kernel tick-hook budget so long
+          [Apply]/[Reach] work is cooperatively cancelled and answered
+          via the degradation ladder with a ["deadline"] rung. *)
+  token : int;
+      (** idempotency token; [0] = none.  The server keeps a per-session
+          dedup window and replays the recorded reply when a retry
+          carries a token it has already served, so retried stateful
+          requests ([Compile], [Put]) are exactly-once. *)
+}
+
+val no_meta : meta
+(** [{ deadline_ms = 0; token = 0 }] — encodes as no envelope at all,
+    byte-identical to the PR 5 wire format. *)
 
 type cert = Exact | Degraded of string list
 
@@ -83,6 +106,9 @@ type reply =
           unaffected *)
   | Overloaded
       (** admission control refused the request; retry later *)
+  | Attached of { session : int; resumed : bool; handles : int }
+      (** reply to {!Attach}: the durable session id, whether an existing
+          session was resumed, and how many handles it holds *)
 
 val pp_request : Format.formatter -> request -> unit
 val pp_reply : Format.formatter -> reply -> unit
@@ -92,8 +118,19 @@ val pp_reply : Format.formatter -> reply -> unit
     [encode_*] produce a complete frame; [decode_*] take a complete frame
     and @raise Bad_frame on anything the encoder did not produce. *)
 
-val encode_request : request -> string
+val encode_request : ?meta:meta -> request -> string
+(** With [meta] = {!no_meta} (the default) the frame is byte-identical
+    to the metadata-free PR 5 encoding; otherwise the body is wrapped in
+    a metadata envelope (opcode 14) that pre-PR 9 decoders reject as an
+    unknown opcode rather than misparse. *)
+
 val decode_request : string -> request
+(** Decodes and discards any metadata envelope. *)
+
+val decode_request_meta : string -> meta * request
+(** Like {!decode_request} but returns the request metadata ({!no_meta}
+    when the frame carries no envelope). *)
+
 val encode_reply : reply -> string
 val decode_reply : string -> reply
 

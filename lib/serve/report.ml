@@ -2,6 +2,17 @@
 
 let schema = "bdd-serve-bench/v1"
 
+type soak = {
+  duration_s : float;
+  arrival_rate : float;
+  churns : int;
+  retries : int;
+  reconnects : int;
+  server_exits : int;
+  slo_p99_ms : float;
+  slo_met : bool;
+}
+
 type t = {
   connections : int;
   requests : int;
@@ -16,11 +27,25 @@ type t = {
   p99_us : float;
   max_us : float;
   peak_rss_kb : int;
+  soak : soak option;
 }
+
+let soak_to_json s =
+  Obs.Json.Obj
+    [
+      ("duration_s", Obs.Json.Num s.duration_s);
+      ("arrival_rate", Obs.Json.Num s.arrival_rate);
+      ("churns", Obs.Json.num_int s.churns);
+      ("retries", Obs.Json.num_int s.retries);
+      ("reconnects", Obs.Json.num_int s.reconnects);
+      ("server_exits", Obs.Json.num_int s.server_exits);
+      ("slo_p99_ms", Obs.Json.Num s.slo_p99_ms);
+      ("slo_met", Obs.Json.Bool s.slo_met);
+    ]
 
 let to_json r =
   Obs.Json.Obj
-    [
+    ([
       ("schema", Obs.Json.Str schema);
       ("connections", Obs.Json.num_int r.connections);
       ("requests", Obs.Json.num_int r.requests);
@@ -36,6 +61,7 @@ let to_json r =
       ("max_us", Obs.Json.Num r.max_us);
       ("peak_rss_kb", Obs.Json.num_int r.peak_rss_kb);
     ]
+    @ match r.soak with None -> [] | Some s -> [ ("soak", soak_to_json s) ])
 
 let write path r = Obs.Json.write_file path (to_json r)
 
@@ -94,6 +120,39 @@ let validate j =
     if requests > 0.0 && throughput <= 0.0 then
       Error "throughput_rps must be positive when requests completed"
     else Ok ()
+  in
+  let* () =
+    (* optional: closed-loop runs (and pre-soak reports) have no section *)
+    match Obs.Json.member "soak" j with
+    | None -> Ok ()
+    | Some s ->
+        let snum name =
+          let* v = field s name in
+          non_negative ("soak." ^ name) v
+        in
+        let* duration = snum "duration_s" in
+        let* _arrival = snum "arrival_rate" in
+        let* _churns = snum "churns" in
+        let* _retries = snum "retries" in
+        let* _reconnects = snum "reconnects" in
+        let* exits = snum "server_exits" in
+        let* _slo = snum "slo_p99_ms" in
+        let* met =
+          match Obs.Json.member "slo_met" s with
+          | Some (Obs.Json.Bool b) -> Ok b
+          | _ -> Error "soak.slo_met is not a boolean"
+        in
+        let* () =
+          if duration <= 0.0 then Error "soak.duration_s must be positive"
+          else Ok ()
+        in
+        let* () =
+          if exits > 0.0 then
+            Error "soak.server_exits > 0: the server died under fault load"
+          else Ok ()
+        in
+        if not met then Error "soak.slo_met is false: p99 blew the SLO"
+        else Ok ()
   in
   if wrong > 0.0 then Error "wrong > 0: server contradicted the oracle"
   else Ok ()

@@ -8,6 +8,19 @@
 val schema : string
 (** ["bdd-serve-bench/v1"]. *)
 
+(** The soak-mode section: present only for open-loop soak runs, and the
+    part [obs_check --serve-bench] asserts SLOs against. *)
+type soak = {
+  duration_s : float;  (** requested soak length (wall clock) *)
+  arrival_rate : float;  (** target open-loop arrivals per second *)
+  churns : int;  (** deliberate reconnects (connection churn) *)
+  retries : int;  (** client transport retries (sum over connections) *)
+  reconnects : int;  (** client re-dials, churn included *)
+  server_exits : int;  (** server deaths observed — must be 0 *)
+  slo_p99_ms : float;  (** asserted p99 bound, milliseconds; 0 = none *)
+  slo_met : bool;  (** whether p99 stayed under the bound — must be true *)
+}
+
 type t = {
   connections : int;
   requests : int;  (** completed request/reply cycles (excludes rejected) *)
@@ -24,6 +37,7 @@ type t = {
   peak_rss_kb : int;
       (** load generator's peak resident set (VmHWM); 0 when the platform
           does not expose it *)
+  soak : soak option;  (** [None] for closed-loop benchmark runs *)
 }
 
 val to_json : t -> Obs.Json.t
@@ -33,7 +47,10 @@ val write : string -> t -> unit
 val validate : Obs.Json.t -> (unit, string) result
 (** Structural + sanity validation: schema tag, every field present and
     numeric, counts non-negative, [p50 <= p95 <= p99 <= max], positive
-    throughput when any request completed. *)
+    throughput when any request completed.  A [soak] section, when
+    present, must additionally show [server_exits = 0] and
+    [slo_met = true] — a report from a soak that killed the server or
+    blew its p99 SLO does not validate. *)
 
 val validate_file : string -> (unit, string) result
 (** {!validate} after reading and parsing; IO and parse failures come

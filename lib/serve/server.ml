@@ -4,7 +4,16 @@
    reference and every queued request holds one, so a file descriptor is
    only closed when the reader has exited AND no worker still intends to
    write a reply — never while an fd could be written, which would risk
-   a reply landing on a recycled descriptor. *)
+   a reply landing on a recycled descriptor.
+
+   Sessions are decoupled from connections: every accepted connection
+   starts on a private anonymous session (dies with the connection,
+   exactly the PR 5 behavior), but an [Attach key] frame rebinds the
+   connection to a durable keyed session that lingers after disconnect
+   and can be resumed — which is what makes the retrying client's
+   reconnect-and-continue safe.  The registry (conns, keyed sessions,
+   id index) lives under one mutex; per-session BDD state needs none
+   because a session's requests are pinned to one worker domain. *)
 
 type bind = Unix_path of string | Tcp of int
 
@@ -16,6 +25,11 @@ type config = {
   max_sessions : int;
   on_dispatch : (Proto.request -> unit) option;
   par_jobs : int;
+  io_timeout : float option;
+  hang_timeout : float option;
+  session_linger : float;
+  table_capacity : int option;
+  session_spool : string option;
 }
 
 let default_config =
@@ -27,6 +41,11 @@ let default_config =
     max_sessions = 1024;
     on_dispatch = None;
     par_jobs = 1;
+    io_timeout = None;
+    hang_timeout = None;
+    session_linger = 30.;
+    table_capacity = None;
+    session_spool = None;
   }
 
 module M = struct
@@ -41,6 +60,11 @@ module M = struct
   let errors = Metrics.counter reg "serve.errors"
   let bytes_in = Metrics.counter reg "serve.bytes_in"
   let bytes_out = Metrics.counter reg "serve.bytes_out"
+  let io_timeouts = Metrics.counter reg "serve.io_timeouts"
+  let deduped = Metrics.counter reg "serve.deduped"
+  let quarantined = Metrics.counter reg "serve.quarantined"
+  let rebuilt = Metrics.counter reg "serve.rebuilt_sessions"
+  let resumed = Metrics.counter reg "serve.resumed_sessions"
   let sessions = Metrics.gauge reg "serve.sessions"
   let request_us = Metrics.histogram reg "serve.request_us"
 end
@@ -50,11 +74,18 @@ let rec_inc c n = if Obs.Metrics.recording () then Obs.Metrics.inc c n
 type conn = {
   sid : int;
   fd : Unix.file_descr;
-  session : Session.t;
+  mutable sess : sess;
   wlock : Mutex.t;  (* serializes frame writes; also guards refs/dead *)
   mutable refs : int;
   mutable dead : bool;  (* a write failed; stop trying *)
   mutable closed : bool;
+}
+
+and sess = {
+  mutable s : Session.t;  (* swapped wholesale by a rebuild *)
+  mutable conn : conn option;  (* attached connection, if any *)
+  mutable detached_at : float;  (* wall time of last detach (keyed only) *)
+  mutable rebuilding : bool;  (* quarantined; Attach must wait *)
 }
 
 type t = {
@@ -63,11 +94,15 @@ type t = {
   addr : Unix.sockaddr;
   pool : Mt.Service.t;
   par : Mt.Par.t option;  (* parallel kernel, shared by all shards *)
-  lock : Mutex.t;  (* conns registry + counters + reader list *)
+  lock : Mutex.t;  (* conns + keyed + by_id registries, counters, readers *)
   conns : (int, conn) Hashtbl.t;
+  keyed : (string, sess) Hashtbl.t;  (* durable sessions by attach key *)
+  by_id : (int, sess) Hashtbl.t;  (* every live session by session id *)
   mutable next_sid : int;
   mutable readers : Thread.t list;
   mutable accept_thread : Thread.t option;
+  mutable housekeeper_thread : Thread.t option;
+  mutable supervisor_thread : Thread.t option;
   mutable stopping : bool;
   mutable drained : bool;
   c_accepted : int Atomic.t;
@@ -75,6 +110,11 @@ type t = {
   c_rejected : int Atomic.t;
   c_degraded : int Atomic.t;
   c_errors : int Atomic.t;
+  c_io_timeouts : int Atomic.t;
+  c_deduped : int Atomic.t;
+  c_quarantined : int Atomic.t;
+  c_rebuilt : int Atomic.t;
+  c_resumed : int Atomic.t;
 }
 
 let address t = t.addr
@@ -83,10 +123,22 @@ let requests t = Atomic.get t.c_requests
 let rejected t = Atomic.get t.c_rejected
 let degraded_replies t = Atomic.get t.c_degraded
 let errors t = Atomic.get t.c_errors
+let io_timeouts t = Atomic.get t.c_io_timeouts
+let deduped t = Atomic.get t.c_deduped
+let quarantined t = Atomic.get t.c_quarantined
+let rebuilt_sessions t = Atomic.get t.c_rebuilt
+let resumed_sessions t = Atomic.get t.c_resumed
+let respawns t = Mt.Service.respawns t.pool
 
 let sessions t =
   Mutex.lock t.lock;
   let n = Hashtbl.length t.conns in
+  Mutex.unlock t.lock;
+  n
+
+let durable_sessions t =
+  Mutex.lock t.lock;
+  let n = Hashtbl.length t.keyed in
   Mutex.unlock t.lock;
   n
 
@@ -96,6 +148,18 @@ let retain c =
   Mutex.lock c.wlock;
   c.refs <- c.refs + 1;
   Mutex.unlock c.wlock
+
+(* Under t.lock.  Anonymous sessions die with their connection; keyed
+   sessions merely detach and start their linger clock. *)
+let detach_session_locked t c =
+  let sess = c.sess in
+  match sess.conn with
+  | Some c' when c' == c ->
+      sess.conn <- None;
+      sess.detached_at <- Obs.Timing.wall ();
+      if Session.key sess.s = None then
+        Hashtbl.remove t.by_id (Session.id sess.s)
+  | _ -> ()
 
 let release t c =
   Mutex.lock c.wlock;
@@ -107,12 +171,13 @@ let release t c =
     (try Unix.close c.fd with Unix.Unix_error _ -> ());
     Mutex.lock t.lock;
     Hashtbl.remove t.conns c.sid;
+    detach_session_locked t c;
     Mutex.unlock t.lock;
     if Obs.Metrics.recording () then Obs.Metrics.set M.sessions (sessions t)
   end
 
-let send _t c reply =
-  let frame = Proto.encode_reply reply in
+let send_frame t c frame =
+  ignore t;
   Mutex.lock c.wlock;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock c.wlock)
@@ -123,48 +188,136 @@ let send _t c reply =
           rec_inc M.replies 1;
           rec_inc M.bytes_out (String.length frame)
         with Unix.Unix_error _ ->
-          (* peer hung up mid-reply; the reader will see EOF and clean up *)
-          c.dead <- true)
+          (* peer hung up (or a send timeout fired) mid-reply: the stream
+             is desynchronized, so stop writing and wake the reader out
+             of its blocking read so the connection gets torn down *)
+          c.dead <- true;
+          (try Unix.shutdown c.fd Unix.SHUTDOWN_ALL
+           with Unix.Unix_error _ -> ()))
+
+let send t c reply = send_frame t c (Proto.encode_reply reply)
 
 (* --- request execution (worker side) --------------------------------- *)
 
 let server_stats t () =
   [
     ("serve.sessions", sessions t);
+    ("serve.durable_sessions", durable_sessions t);
     ("serve.accepted", accepted t);
     ("serve.requests", requests t);
     ("serve.rejected_overload", rejected t);
     ("serve.degraded_replies", degraded_replies t);
     ("serve.errors", errors t);
+    ("serve.io_timeouts", io_timeouts t);
+    ("serve.deduped", deduped t);
+    ("serve.respawns", respawns t);
+    ("serve.quarantined", quarantined t);
+    ("serve.rebuilt_sessions", rebuilt_sessions t);
     ("serve.workers", t.cfg.workers);
     ("serve.queue_pending", Mt.Service.pending t.pool);
     ("serve.p95_request_us", Obs.Metrics.quantile M.request_us 0.95);
   ]
 
-let process t c req () =
+(* Fold a request's wire deadline into the configured per-request limits:
+   the tighter of the two wins. *)
+let limits_for cfg (meta : Proto.meta) =
+  if meta.Proto.deadline_ms <= 0 then cfg.limits
+  else
+    let d = float_of_int meta.Proto.deadline_ms /. 1000. in
+    {
+      cfg.limits with
+      Handler.deadline =
+        Some
+          (match cfg.limits.Handler.deadline with
+          | None -> d
+          | Some d0 -> Float.min d0 d);
+    }
+
+let process t c (meta : Proto.meta) req () =
   Fun.protect
     ~finally:(fun () -> release t c)
     (fun () ->
       Option.iter (fun f -> f req) t.cfg.on_dispatch;
-      let t0 = Obs.Timing.wall () in
-      let reply =
-        Obs.Trace.with_span "serve.request" (fun () ->
-            Handler.handle ~stats_extra:(server_stats t)
-              ?pool:(Option.map Mt.Par.pool t.par) t.cfg.limits c.session req)
-      in
-      (match reply with
-      | Proto.Error _ ->
-          Atomic.incr t.c_errors;
-          rec_inc M.errors 1
-      | r when Handler.degraded r ->
-          Atomic.incr t.c_degraded;
-          rec_inc M.degraded 1
-      | _ -> ());
-      send t c reply;
-      if Obs.Metrics.recording () then
-        Obs.Metrics.observe M.request_us
-          (int_of_float ((Obs.Timing.wall () -. t0) *. 1e6));
-      Session.maybe_gc c.session)
+      let s = c.sess.s in
+      match Session.dedup_find s ~token:meta.Proto.token with
+      | Some frame ->
+          (* a retry of a request we already executed: replay the recorded
+             reply verbatim, never re-execute *)
+          Atomic.incr t.c_deduped;
+          rec_inc M.deduped 1;
+          send_frame t c frame
+      | None ->
+          let t0 = Obs.Timing.wall () in
+          let reply =
+            Obs.Trace.with_span "serve.request" (fun () ->
+                Handler.handle ~stats_extra:(server_stats t)
+                  ?pool:(Option.map Mt.Par.pool t.par)
+                  (limits_for t.cfg meta) s req)
+          in
+          (match reply with
+          | Proto.Error _ ->
+              Atomic.incr t.c_errors;
+              rec_inc M.errors 1
+          | r when Handler.degraded r ->
+              Atomic.incr t.c_degraded;
+              rec_inc M.degraded 1
+          | _ -> ());
+          (* journal successful handle-state changes so a respawned worker
+             can rebuild this session; failures change no state *)
+          (match reply with
+          | Proto.Error _ | Proto.Overloaded -> ()
+          | _ -> ( try Session.record_exchange s req reply with _ -> ()));
+          let frame = Proto.encode_reply reply in
+          send_frame t c frame;
+          Session.dedup_add s ~token:meta.Proto.token frame;
+          if Obs.Metrics.recording () then
+            Obs.Metrics.observe M.request_us
+              (int_of_float ((Obs.Timing.wall () -. t0) *. 1e6));
+          Session.maybe_gc s)
+
+(* --- session attach (reader side) ------------------------------------- *)
+
+let do_attach t c key =
+  Mutex.lock t.lock;
+  let reply =
+    if t.stopping then Proto.Error "server is draining"
+    else
+      match Hashtbl.find_opt t.keyed key with
+      | Some sess when sess.rebuilding ->
+          Proto.Error (Printf.sprintf "session %S is rebuilding, retry" key)
+      | Some sess when sess.conn <> None ->
+          Proto.Error (Printf.sprintf "session %S is attached elsewhere" key)
+      | Some sess ->
+          detach_session_locked t c;
+          sess.conn <- Some c;
+          c.sess <- sess;
+          Atomic.incr t.c_resumed;
+          rec_inc M.resumed 1;
+          Proto.Attached
+            {
+              session = Session.id sess.s;
+              resumed = true;
+              handles = Session.handle_count sess.s;
+            }
+      | None ->
+          detach_session_locked t c;
+          let id = t.next_sid in
+          t.next_sid <- id + 1;
+          let s =
+            Session.create
+              ~shared:(t.cfg.par_jobs > 1)
+              ?table_capacity:t.cfg.table_capacity ~key ~id ()
+          in
+          let sess =
+            { s; conn = Some c; detached_at = 0.; rebuilding = false }
+          in
+          Hashtbl.replace t.keyed key sess;
+          Hashtbl.replace t.by_id id sess;
+          c.sess <- sess;
+          Proto.Attached { session = id; resumed = false; handles = 0 }
+  in
+  Mutex.unlock t.lock;
+  send t c reply
 
 (* --- reader threads --------------------------------------------------- *)
 
@@ -175,13 +328,21 @@ let reader t c () =
     | exception Proto.Bad_frame m ->
         (* desynchronized: answer once, then hang up *)
         send t c (Proto.Error (Printf.sprintf "protocol error: %s" m))
+    | exception
+        Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ETIMEDOUT), _, _)
+      ->
+        (* the io timeout fired mid-read: a stalled peer (slow-loris, torn
+           frame, wire-fault stall) releases this reader instead of
+           pinning it; the retrying client reconnects and re-attaches *)
+        Atomic.incr t.c_io_timeouts;
+        rec_inc M.io_timeouts 1
     | exception Unix.Unix_error _ -> ()
     | Some frame -> (
         rec_inc M.bytes_in (String.length frame);
-        match Proto.decode_request frame with
+        match Proto.decode_request_meta frame with
         | exception Proto.Bad_frame m ->
             send t c (Proto.Error (Printf.sprintf "protocol error: %s" m))
-        | req -> (
+        | meta, req -> (
             Atomic.incr t.c_requests;
             rec_inc M.requests 1;
             match req with
@@ -189,11 +350,18 @@ let reader t c () =
                 (* liveness probe: answered even when the shards are full *)
                 send t c Proto.Pong;
                 loop ()
+            | Proto.Attach { key } ->
+                (* connection-level: rebind the session registry entry
+                   without touching any worker *)
+                do_attach t c key;
+                loop ()
             | req ->
                 retain c;
-                let shard = c.sid mod t.cfg.workers in
-                if Mt.Service.submit t.pool ~shard (process t c req) then
-                  loop ()
+                let session_id = Session.id c.sess.s in
+                let shard = session_id mod t.cfg.workers in
+                let label = Printf.sprintf "s%d" session_id in
+                if Mt.Service.submit t.pool ~shard ~label (process t c meta req)
+                then loop ()
                 else begin
                   release t c;
                   Atomic.incr t.c_rejected;
@@ -203,6 +371,124 @@ let reader t c () =
                 end))
   in
   Fun.protect ~finally:(fun () -> release t c) loop
+
+(* --- supervision: quarantine + rebuild -------------------------------- *)
+
+let session_of_label label =
+  if String.length label > 1 && label.[0] = 's' then
+    int_of_string_opt (String.sub label 1 (String.length label - 1))
+  else None
+
+(* A worker died or wedged mid-request.  The poisoned request's session
+   is quarantined: its attached connection is killed (the client's reply
+   stream has a hole in it, so letting it continue would desynchronize
+   handle mirrors), and — if the session is durable — a fresh session is
+   rebuilt from the journal and swapped in for the next Attach.  Other
+   sessions on the same shard are untouched: their state lives in their
+   own managers and their queued requests survive in the shard queue,
+   which the replacement worker drains. *)
+let quarantine t ~shard:_ ~quarantined =
+  match quarantined with
+  | None -> ()
+  | Some label -> (
+      Atomic.incr t.c_quarantined;
+      rec_inc M.quarantined 1;
+      match session_of_label label with
+      | None -> ()
+      | Some session_id -> (
+          Mutex.lock t.lock;
+          let sess = Hashtbl.find_opt t.by_id session_id in
+          (match sess with Some sess -> sess.rebuilding <- true | None -> ());
+          Mutex.unlock t.lock;
+          match sess with
+          | None -> ()
+          | Some sess ->
+              (match sess.conn with
+              | Some c ->
+                  Mutex.lock c.wlock;
+                  c.dead <- true;
+                  Mutex.unlock c.wlock;
+                  (try Unix.shutdown c.fd Unix.SHUTDOWN_ALL
+                   with Unix.Unix_error _ -> ())
+              | None -> ());
+              let key = Session.key sess.s in
+              (match key with
+              | None ->
+                  (* anonymous: the connection is gone, so the session is
+                     unreachable — drop it *)
+                  Mutex.lock t.lock;
+                  Hashtbl.remove t.by_id session_id;
+                  sess.rebuilding <- false;
+                  Mutex.unlock t.lock
+              | Some _ ->
+                  (* durable: replay the journal into a fresh manager.
+                     The old worker is dead or wedged, so the journal is
+                     quiescent.  When a spool directory is configured the
+                     journal round-trips through a Resil.Checkpoint
+                     atomic checksummed file — the same artifact a future
+                     cold-start restore would read. *)
+                  let entries =
+                    match t.cfg.session_spool with
+                    | None -> Session.journal sess.s
+                    | Some dir -> (
+                        let path =
+                          Filename.concat dir
+                            (Printf.sprintf "session-%d.journal" session_id)
+                        in
+                        try
+                          Session.journal_save sess.s path;
+                          Session.journal_load path
+                        with _ -> Session.journal sess.s)
+                  in
+                  let fresh =
+                    try
+                      fst
+                        (Session.rebuild
+                           ~shared:(t.cfg.par_jobs > 1)
+                           ?table_capacity:t.cfg.table_capacity ?key
+                           ~id:session_id entries)
+                    with _ ->
+                      Session.create
+                        ~shared:(t.cfg.par_jobs > 1)
+                        ?table_capacity:t.cfg.table_capacity ?key
+                        ~id:session_id ()
+                  in
+                  Mutex.lock t.lock;
+                  sess.s <- fresh;
+                  sess.conn <- None;
+                  sess.detached_at <- Obs.Timing.wall ();
+                  sess.rebuilding <- false;
+                  Mutex.unlock t.lock;
+                  Atomic.incr t.c_rebuilt;
+                  rec_inc M.rebuilt 1)))
+
+(* --- housekeeping ------------------------------------------------------ *)
+
+let reap_lingering t =
+  let now = Obs.Timing.wall () in
+  Mutex.lock t.lock;
+  let expired =
+    Hashtbl.fold
+      (fun key sess acc ->
+        if
+          sess.conn = None && (not sess.rebuilding)
+          && now -. sess.detached_at > t.cfg.session_linger
+        then (key, sess) :: acc
+        else acc)
+      t.keyed []
+  in
+  List.iter
+    (fun (key, sess) ->
+      Hashtbl.remove t.keyed key;
+      Hashtbl.remove t.by_id (Session.id sess.s))
+    expired;
+  Mutex.unlock t.lock
+
+let housekeeper t () =
+  while not t.stopping do
+    Thread.delay 0.1;
+    if not t.stopping then reap_lingering t
+  done
 
 (* --- accept loop ------------------------------------------------------ *)
 
@@ -219,19 +505,37 @@ let accept_conn t fd =
     try Unix.close fd with Unix.Unix_error _ -> ()
   end
   else begin
+    (* socket-level timeouts: a peer that stalls mid-frame (slow-loris,
+       injected wire stall, network partition) trips EAGAIN in the
+       reader / writer instead of pinning the thread forever *)
+    (match t.cfg.io_timeout with
+    | Some secs when secs > 0. ->
+        (try
+           Unix.setsockopt_float fd Unix.SO_RCVTIMEO secs;
+           Unix.setsockopt_float fd Unix.SO_SNDTIMEO secs
+         with Unix.Unix_error _ | Invalid_argument _ -> ())
+    | _ -> ());
+    let s =
+      Session.create
+        ~shared:(t.cfg.par_jobs > 1)
+        ?table_capacity:t.cfg.table_capacity ~id:sid ()
+    in
+    let sess = { s; conn = None; detached_at = 0.; rebuilding = false } in
     let c =
       {
         sid;
         fd;
-        session = Session.create ~shared:(t.cfg.par_jobs > 1) ~id:sid ();
+        sess;
         wlock = Mutex.create ();
         refs = 1;
         dead = false;
         closed = false;
       }
     in
+    sess.conn <- Some c;
     Mutex.lock t.lock;
     Hashtbl.replace t.conns sid c;
+    Hashtbl.replace t.by_id sid sess;
     let th = Thread.create (reader t c) () in
     t.readers <- th :: t.readers;
     Mutex.unlock t.lock;
@@ -255,6 +559,35 @@ let accept_loop t () =
 
 (* --- lifecycle -------------------------------------------------------- *)
 
+(* Bind a Unix socket path, surviving a stale file from a crashed
+   predecessor: on EADDRINUSE, probe-connect — a live server answers
+   (keep hands off, re-raise), a dead one gives ECONNREFUSED (unlink the
+   corpse and bind for real).  Never unlink blindly: that would steal
+   the path from a running server. *)
+let bind_unix fd path addr =
+  match Unix.bind fd addr with
+  | () -> ()
+  | exception Unix.Unix_error (Unix.EADDRINUSE, _, _) ->
+      let live =
+        match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+        | exception Unix.Unix_error _ -> true (* cannot probe: assume live *)
+        | probe -> (
+            Fun.protect
+              ~finally:(fun () ->
+                try Unix.close probe with Unix.Unix_error _ -> ())
+              (fun () ->
+                match Unix.connect probe addr with
+                | () -> true
+                | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) -> false
+                | exception Unix.Unix_error _ -> true))
+      in
+      if live then
+        raise (Unix.Unix_error (Unix.EADDRINUSE, "bind", path))
+      else begin
+        (try Unix.unlink path with Unix.Unix_error _ -> ());
+        Unix.bind fd addr
+      end
+
 let start cfg =
   if cfg.workers < 1 then invalid_arg "Serve.Server: workers < 1";
   (* a peer closing mid-write must surface as EPIPE, not kill the process *)
@@ -262,10 +595,12 @@ let start cfg =
   let listener, addr =
     match cfg.bind with
     | Unix_path path ->
-        (try Unix.unlink path with Unix.Unix_error _ -> ());
         let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
         let addr = Unix.ADDR_UNIX path in
-        Unix.bind fd addr;
+        (try bind_unix fd path addr
+         with e ->
+           (try Unix.close fd with Unix.Unix_error _ -> ());
+           raise e);
         (fd, addr)
     | Tcp port ->
         let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
@@ -287,9 +622,13 @@ let start cfg =
          else None);
       lock = Mutex.create ();
       conns = Hashtbl.create 64;
+      keyed = Hashtbl.create 16;
+      by_id = Hashtbl.create 64;
       next_sid = 0;
       readers = [];
       accept_thread = None;
+      housekeeper_thread = None;
+      supervisor_thread = None;
       stopping = false;
       drained = false;
       c_accepted = Atomic.make 0;
@@ -297,10 +636,34 @@ let start cfg =
       c_rejected = Atomic.make 0;
       c_degraded = Atomic.make 0;
       c_errors = Atomic.make 0;
+      c_io_timeouts = Atomic.make 0;
+      c_deduped = Atomic.make 0;
+      c_quarantined = Atomic.make 0;
+      c_rebuilt = Atomic.make 0;
+      c_resumed = Atomic.make 0;
     }
   in
   t.accept_thread <- Some (Thread.create (accept_loop t) ());
+  t.housekeeper_thread <- Some (Thread.create (housekeeper t) ());
+  (match cfg.hang_timeout with
+  | Some h when h > 0. ->
+      t.supervisor_thread <-
+        Some
+          (Mt.Service.supervise t.pool
+             ~interval:(Float.max 0.01 (h /. 4.))
+             ~hang_timeout:h ~on_respawn:(quarantine t))
+  | _ -> ());
   t
+
+(* --- chaos probes ------------------------------------------------------ *)
+
+let inject_worker_hang t ~shard ~seconds =
+  Mt.Service.submit t.pool ~shard ~label:"chaos-hang" (fun () ->
+      Thread.delay seconds)
+
+let inject_worker_kill t ~shard =
+  Mt.Service.submit t.pool ~shard ~label:"chaos-kill" (fun () ->
+      raise Mt.Service.Poison)
 
 let drain t =
   let already =
@@ -330,9 +693,12 @@ let drain t =
     | Unix_path path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
     | Tcp _ -> ());
     (* 2. answer everything queued and park the worker domains (only then
-       is the parallel kernel quiescent and safe to join) *)
+       is the parallel kernel quiescent and safe to join); the supervisor
+       thread notices the pool draining and exits on its own *)
     Mt.Service.drain t.pool;
+    Option.iter Thread.join t.supervisor_thread;
     Option.iter Mt.Par.shutdown t.par;
+    Option.iter Thread.join t.housekeeper_thread;
     (* 3. hang up: shutdown wakes readers blocked in read *)
     Mutex.lock t.lock;
     let conns = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [] in

@@ -1,8 +1,9 @@
 (** The BDD service: a Unix-domain / TCP accept loop over {!Proto}
     frames, dispatching onto a session-sharded {!Mt.Service} pool.
 
-    Threading model: the accept loop and one reader thread per connection
-    are sys-threads on the main domain (they only do blocking IO); the
+    Threading model: the accept loop, one reader thread per connection,
+    a housekeeper and (optionally) the pool supervisor are sys-threads
+    on the main domain (they only do blocking IO and registry work); the
     [workers] pool shards are OCaml domains.  A session is pinned to
     shard [session_id mod workers], so its private {!Session} manager is
     only ever touched by one domain — hash-consing stays lock-free, and
@@ -15,11 +16,33 @@
     answered inline by the reader (it touches no manager), so liveness
     probes work even when the compute shards are saturated.
 
+    {2 Robustness}
+
+    {b Deadlines}: a request carrying {!Proto.meta} [deadline_ms] runs
+    under the tighter of that and the configured per-request limits; a
+    blown deadline is rescued by the {!Handler} degradation ladder
+    (certificate rung ["deadline"]) or answered as a typed [Error].
+    {b Socket timeouts} ([io_timeout]) bound every read and write on an
+    accepted connection, so slow-loris peers and torn frames release the
+    reader instead of pinning it.  {b Durable sessions}: [Attach key]
+    rebinds a connection to a keyed session that survives disconnects
+    for [session_linger] seconds and is the unit of supervised recovery.
+    {b Supervision} ([hang_timeout]): a background supervisor respawns a
+    worker domain stuck on one request, kills the poisoned session's
+    connection, and rebuilds durable sessions from their {!Session}
+    journals — other sessions on the shard keep their state and their
+    queued requests.  {b Idempotency}: requests carrying a {!Proto.meta}
+    token are deduped per session; a retry of an already-executed
+    request replays the recorded reply instead of re-executing.
+
     Feeds [serve.*] metrics when {!Obs.Metrics} recording is on:
     [serve.accepted], [serve.requests], [serve.replies],
     [serve.rejected_overload], [serve.degraded_replies], [serve.errors],
-    [serve.bytes_in], [serve.bytes_out] (counters), [serve.sessions]
-    (gauge) and [serve.request_us] (histogram). *)
+    [serve.bytes_in], [serve.bytes_out], [serve.io_timeouts],
+    [serve.deduped], [serve.quarantined], [serve.rebuilt_sessions],
+    [serve.resumed_sessions] (counters), [serve.sessions] (gauge) and
+    [serve.request_us] (histogram); [serve.table_full_degraded] is fed
+    by the handler's ladder. *)
 
 type bind =
   | Unix_path of string  (** Unix-domain socket at this path *)
@@ -41,18 +64,43 @@ type config = {
           reachability images fork across the pool (replies stay
           bit-identical).  1 (the default) keeps the historical
           one-domain-per-session kernel. *)
+  io_timeout : float option;
+      (** socket read/write timeout (seconds) per accepted connection
+          ([SO_RCVTIMEO]/[SO_SNDTIMEO]).  [None] (default) keeps blocking
+          IO; a server exposed to untrusted or chaotic peers should set
+          it — an idle-but-healthy connection that trips it simply
+          reconnects. *)
+  hang_timeout : float option;
+      (** supervisor trigger: respawn a worker domain busy on a single
+          request for longer than this many seconds ([None] = no
+          supervisor).  Should comfortably exceed the worst honest
+          request latency. *)
+  session_linger : float;
+      (** how long a detached keyed session stays resumable (seconds)
+          before the housekeeper reaps it *)
+  table_capacity : int option;
+      (** {!Bdd.set_table_capacity} ceiling installed on every session
+          manager — makes {!Bdd.Table_full} a survivable, ladder-rescued
+          condition instead of unbounded growth *)
+  session_spool : string option;
+      (** directory for {!Session.journal_save} checkpoint files during
+          quarantine rebuilds ([None] = rebuild from the in-memory
+          journal only) *)
 }
 
 val default_config : config
 (** 4 workers, queue depth 64, no limits, 1024 sessions, 1 par job, Unix
-    path ["bdd-serve.sock"]. *)
+    path ["bdd-serve.sock"], no io/hang timeouts, 30 s session linger,
+    no table capacity, no spool. *)
 
 type t
 
 val start : config -> t
 (** Bind, listen and return immediately; sessions are served until
     {!drain}.  Ignores [SIGPIPE] process-wide (a peer hanging up mid-
-    reply must not kill the server).
+    reply must not kill the server).  A stale Unix socket path left by a
+    crashed predecessor is probed and unlinked; a path with a {e live}
+    server behind it raises [EADDRINUSE] untouched.
     @raise Unix.Unix_error when the address cannot be bound. *)
 
 val address : t -> Unix.sockaddr
@@ -68,11 +116,31 @@ val run : t -> stop:(unit -> bool) -> unit
 (** Serve until [stop ()] turns true (polled a few times a second — the
     signal-handler-sets-a-flag idiom), then {!drain}. *)
 
+(** {1 Chaos probes}
+
+    Deterministic worker-failure injection for the chaos suite and the
+    soak harness — both submit through the normal queue, so they occupy
+    a real worker exactly like a poisoned request would. *)
+
+val inject_worker_hang : t -> shard:int -> seconds:float -> bool
+(** Wedge shard [shard]'s worker for [seconds] (bounded, so an
+    unsupervised run still terminates).  [false] if the queue was full. *)
+
+val inject_worker_kill : t -> shard:int -> bool
+(** Kill shard [shard]'s worker domain via {!Mt.Service.Poison}. *)
+
 (** {1 Introspection} *)
 
 val sessions : t -> int
+val durable_sessions : t -> int
 val accepted : t -> int
 val requests : t -> int
 val rejected : t -> int
 val degraded_replies : t -> int
 val errors : t -> int
+val io_timeouts : t -> int
+val deduped : t -> int
+val respawns : t -> int
+val quarantined : t -> int
+val rebuilt_sessions : t -> int
+val resumed_sessions : t -> int

@@ -1,35 +1,68 @@
 (* Per-connection state (see the mli).  Only ever touched from the
-   session's shard worker, so plain mutable structures suffice. *)
+   session's shard worker, so plain mutable structures suffice — except
+   the fields the server's reader/supervisor threads look at, which stay
+   on the server side (Serve.Server's registry). *)
 
 let gc_arm_floor = 200_000
+let journal_cap = 512
+let dedup_window = 64
+
+(* One entry per handle-creating (or -freeing) exchange, enough to
+   rebuild the session on a fresh manager.  Deterministic exact results
+   replay as operations; everything whose bytes are cheaper or whose
+   recomputation is not bit-stable (degraded results, approximations,
+   reach sets, decompositions) replays as exported BDD bytes. *)
+type journal_entry =
+  | J_lit of { handle : int; var : int; phase : bool }
+  | J_op of { handle : int; op : Proto.op }
+  | J_bytes of { handle : int; bdd : string }
+  | J_compile of { name : string; blif : string; handles : int list }
+  | J_model of { name : string; blif : string }
+  | J_free of int list
 
 type t = {
   id : int;
+  key : string option;
   man : Bdd.man;
   handles : (int, Bdd.t) Hashtbl.t;
   models : (string, Circuit.t) Hashtbl.t;
+  model_src : (string, string) Hashtbl.t;  (* name -> BLIF text, for journal *)
   mutable next_handle : int;
   mutable gc_arm : int;
   mutable requests : int;
+  mutable journal : journal_entry list;  (* newest first *)
+  mutable journal_len : int;
+  dedup : (int * string) option array;  (* token -> encoded reply frame *)
+  mutable dedup_next : int;
 }
 
-let create ?(shared = false) ~id () =
+let create ?(shared = false) ?table_capacity ?key ~id () =
   let man = Bdd.create ~shared () in
   (* sessions participate in observability and chaos exactly like
      Mt.Runner job managers do *)
   if Obs.Kernel.observing () then Obs.Kernel.attach man;
   if Resil.Fault.enabled () then Resil.Fault.attach man;
+  (match table_capacity with
+  | Some cap -> Bdd.set_table_capacity man (Some cap)
+  | None -> ());
   {
     id;
+    key;
     man;
     handles = Hashtbl.create 64;
     models = Hashtbl.create 4;
+    model_src = Hashtbl.create 4;
     next_handle = 1;
     gc_arm = gc_arm_floor;
     requests = 0;
+    journal = [];
+    journal_len = 0;
+    dedup = Array.make dedup_window None;
+    dedup_next = 0;
   }
 
 let id t = t.id
+let key t = t.key
 let man t = t.man
 
 let put t f =
@@ -37,6 +70,10 @@ let put t f =
   t.next_handle <- h + 1;
   Hashtbl.replace t.handles h f;
   h
+
+let put_at t ~handle f =
+  Hashtbl.replace t.handles handle f;
+  if handle >= t.next_handle then t.next_handle <- handle + 1
 
 let get t h = Hashtbl.find t.handles h
 
@@ -64,3 +101,336 @@ let maybe_gc t =
 
 let requests t = t.requests
 let note_request t = t.requests <- t.requests + 1
+
+(* --- idempotency dedup ------------------------------------------------ *)
+
+let dedup_find t ~token =
+  if token = 0 then None
+  else
+    let rec scan i =
+      if i >= dedup_window then None
+      else
+        match t.dedup.(i) with
+        | Some (tok, reply) when tok = token -> Some reply
+        | _ -> scan (i + 1)
+    in
+    scan 0
+
+let dedup_add t ~token reply =
+  if token <> 0 then begin
+    t.dedup.(t.dedup_next) <- Some (token, reply);
+    t.dedup_next <- (t.dedup_next + 1) mod dedup_window
+  end
+
+(* --- journal ----------------------------------------------------------- *)
+
+let journal_length t = t.journal_len
+
+let export_handle t h =
+  Bdd.serialized_to_string (Bdd.export t.man (Hashtbl.find t.handles h))
+
+(* Compaction: the replay log collapses to "the models, plus the live
+   handles as bytes".  Freed handles, superseded ops and stale byte
+   snapshots all disappear; what remains is proportional to live state,
+   which is what keeps the journal lightweight over a long session. *)
+let compact t =
+  let models =
+    Hashtbl.fold
+      (fun name blif acc -> J_model { name; blif } :: acc)
+      t.model_src []
+  in
+  let live =
+    Hashtbl.fold (fun h _ acc -> h :: acc) t.handles []
+    |> List.sort compare
+    |> List.map (fun h -> J_bytes { handle = h; bdd = export_handle t h })
+  in
+  (* newest first, so the replay order (oldest first) is models then
+     handles *)
+  t.journal <- List.rev (models @ live);
+  t.journal_len <- List.length t.journal
+
+let record t entry =
+  t.journal <- entry :: t.journal;
+  t.journal_len <- t.journal_len + 1;
+  if t.journal_len > journal_cap then compact t
+
+let journal t = List.rev t.journal
+
+(* Derive the journal entry (if any) from a served exchange.  Exact
+   apply results are deterministic — they replay as ops; degraded ones
+   depend on budget state at serve time, so they snapshot as bytes. *)
+let record_exchange t req (rep : Proto.reply) =
+  match (req, rep) with
+  | Proto.Lit { var; phase }, Proto.Handle { id = handle; _ } ->
+      record t (J_lit { handle; var; phase })
+  | Proto.Put { bdd }, Proto.Handle { id = handle; _ } ->
+      record t (J_bytes { handle; bdd })
+  | Proto.Apply op, Proto.Handle { id = handle; cert = Proto.Exact; _ } ->
+      record t (J_op { handle; op })
+  | Proto.Apply _, Proto.Handle { id = handle; cert = Proto.Degraded _; _ }
+  | Proto.Approx _, Proto.Handle { id = handle; _ } ->
+      record t (J_bytes { handle; bdd = export_handle t handle })
+  | Proto.Compile { name; blif }, Proto.Handles hs ->
+      Hashtbl.replace t.model_src name blif;
+      record t (J_compile { name; blif; handles = List.map (fun (_, h, _) -> h) hs })
+  | Proto.Decomp _, Proto.Pair { g; h; _ } ->
+      record t (J_bytes { handle = g; bdd = export_handle t g });
+      record t (J_bytes { handle = h; bdd = export_handle t h })
+  | Proto.Reach { model; _ }, Proto.Reach_done { reached; _ } ->
+      (* the model was registered by an earlier Compile on this session,
+         so only the reached set itself needs snapshotting *)
+      ignore model;
+      record t (J_bytes { handle = reached; bdd = export_handle t reached })
+  | Proto.Free { handles }, Proto.Freed n when n > 0 -> record t (J_free handles)
+  | _ -> ()
+
+(* --- rebuild ----------------------------------------------------------- *)
+
+let exec_op t op =
+  let man = t.man in
+  let g h = Hashtbl.find t.handles h in
+  let vars vs =
+    List.iter (fun v -> ignore (Bdd.ithvar man v)) vs;
+    Bdd.cube man vs
+  in
+  match op with
+  | Proto.Not a -> Bdd.bnot man (g a)
+  | Proto.And (a, b) -> Bdd.band man (g a) (g b)
+  | Proto.Or (a, b) -> Bdd.bor man (g a) (g b)
+  | Proto.Xor (a, b) -> Bdd.bxor man (g a) (g b)
+  | Proto.Ite (a, b, c) -> Bdd.ite man (g a) (g b) (g c)
+  | Proto.Exists (vs, a) -> Bdd.exists man ~vars:(vars vs) (g a)
+  | Proto.Forall (vs, a) -> Bdd.forall man ~vars:(vars vs) (g a)
+
+let replay t entry =
+  match entry with
+  | J_lit { handle; var; phase } ->
+      put_at t ~handle
+        (if phase then Bdd.ithvar t.man var else Bdd.nithvar t.man var)
+  | J_op { handle; op } -> put_at t ~handle (exec_op t op)
+  | J_bytes { handle; bdd } ->
+      put_at t ~handle (Bdd.import t.man (Bdd.serialized_of_string bdd))
+  | J_compile { name; blif; handles } ->
+      let circuit = Blif.parse_string blif in
+      let compiled = Compile.compile ~man:t.man circuit in
+      let outs = List.map snd compiled.Compile.output_fns in
+      if List.length outs <> List.length handles then
+        failwith "journal compile arity mismatch";
+      add_model t name circuit;
+      Hashtbl.replace t.model_src name blif;
+      List.iter2 (fun handle f -> put_at t ~handle f) handles outs
+  | J_model { name; blif } ->
+      let circuit = Blif.parse_string blif in
+      add_model t name circuit;
+      Hashtbl.replace t.model_src name blif
+  | J_free hs -> ignore (free t hs)
+
+let rebuild ?shared ?table_capacity ?key ~id entries =
+  let t = create ?shared ?table_capacity ?key ~id () in
+  let dropped = ref 0 in
+  List.iter
+    (fun e ->
+      match replay t e with
+      | () ->
+          t.journal <- e :: t.journal;
+          t.journal_len <- t.journal_len + 1
+      | exception _ -> incr dropped)
+    entries;
+  (t, !dropped)
+
+(* --- journal persistence ----------------------------------------------- *)
+
+(* "BSJ1" ++ varint count ++ entries ++ le32 crc, with the CRC-32 taken
+   over everything before it — the Resil.Checkpoint trailer discipline,
+   written through its atomic temp+fsync+rename primitive. *)
+
+let add_varint buf n =
+  let rec go n =
+    if n < 0x80 then Buffer.add_char buf (Char.chr n)
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (n land 0x7f)));
+      go (n lsr 7)
+    end
+  in
+  if n < 0 then invalid_arg "Session journal: negative varint";
+  go n
+
+let add_str buf s =
+  add_varint buf (String.length s);
+  Buffer.add_string buf s
+
+let add_list buf f xs =
+  add_varint buf (List.length xs);
+  List.iter (f buf) xs
+
+let add_op buf op =
+  match op with
+  | Proto.Not a ->
+      add_varint buf 0;
+      add_varint buf a
+  | Proto.And (a, b) ->
+      add_varint buf 1;
+      add_varint buf a;
+      add_varint buf b
+  | Proto.Or (a, b) ->
+      add_varint buf 2;
+      add_varint buf a;
+      add_varint buf b
+  | Proto.Xor (a, b) ->
+      add_varint buf 3;
+      add_varint buf a;
+      add_varint buf b
+  | Proto.Ite (a, b, c) ->
+      add_varint buf 4;
+      add_varint buf a;
+      add_varint buf b;
+      add_varint buf c
+  | Proto.Exists (vs, a) ->
+      add_varint buf 5;
+      add_list buf add_varint vs;
+      add_varint buf a
+  | Proto.Forall (vs, a) ->
+      add_varint buf 6;
+      add_list buf add_varint vs;
+      add_varint buf a
+
+let add_entry buf e =
+  match e with
+  | J_lit { handle; var; phase } ->
+      add_varint buf 0;
+      add_varint buf handle;
+      add_varint buf var;
+      Buffer.add_char buf (if phase then '\001' else '\000')
+  | J_op { handle; op } ->
+      add_varint buf 1;
+      add_varint buf handle;
+      add_op buf op
+  | J_bytes { handle; bdd } ->
+      add_varint buf 2;
+      add_varint buf handle;
+      add_str buf bdd
+  | J_compile { name; blif; handles } ->
+      add_varint buf 3;
+      add_str buf name;
+      add_str buf blif;
+      add_list buf add_varint handles
+  | J_model { name; blif } ->
+      add_varint buf 4;
+      add_str buf name;
+      add_str buf blif
+  | J_free hs ->
+      add_varint buf 5;
+      add_list buf add_varint hs
+
+let journal_to_string entries =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "BSJ1";
+  add_list buf add_entry entries;
+  let body = Buffer.contents buf in
+  let crc = Resil.Checkpoint.crc32 body in
+  let trailer = Bytes.create 4 in
+  Bytes.set_int32_le trailer 0 (Int32.of_int crc);
+  body ^ Bytes.to_string trailer
+
+let corrupt fmt = Printf.ksprintf (fun m -> raise (Bdd.Corrupt m)) fmt
+
+type reader = { s : string; mutable pos : int }
+
+let r_byte r =
+  if r.pos >= String.length r.s then corrupt "journal truncated";
+  let c = Char.code r.s.[r.pos] in
+  r.pos <- r.pos + 1;
+  c
+
+let r_varint r =
+  let rec go shift acc =
+    if shift > 62 then corrupt "journal varint overflow";
+    let b = r_byte r in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  go 0 0
+
+let r_str r =
+  let n = r_varint r in
+  if n < 0 || r.pos + n > String.length r.s then corrupt "journal truncated";
+  let s = String.sub r.s r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let r_list r f =
+  let n = r_varint r in
+  if n < 0 || n > 1_000_000 then corrupt "journal list length %d" n;
+  List.init n (fun _ -> f r)
+
+let r_op r =
+  match r_varint r with
+  | 0 -> Proto.Not (r_varint r)
+  | 1 ->
+      let a = r_varint r in
+      Proto.And (a, r_varint r)
+  | 2 ->
+      let a = r_varint r in
+      Proto.Or (a, r_varint r)
+  | 3 ->
+      let a = r_varint r in
+      Proto.Xor (a, r_varint r)
+  | 4 ->
+      let a = r_varint r in
+      let b = r_varint r in
+      Proto.Ite (a, b, r_varint r)
+  | 5 ->
+      let vs = r_list r r_varint in
+      Proto.Exists (vs, r_varint r)
+  | 6 ->
+      let vs = r_list r r_varint in
+      Proto.Forall (vs, r_varint r)
+  | n -> corrupt "journal op tag %d" n
+
+let r_entry r =
+  match r_varint r with
+  | 0 ->
+      let handle = r_varint r in
+      let var = r_varint r in
+      J_lit { handle; var; phase = r_byte r <> 0 }
+  | 1 ->
+      let handle = r_varint r in
+      J_op { handle; op = r_op r }
+  | 2 ->
+      let handle = r_varint r in
+      J_bytes { handle; bdd = r_str r }
+  | 3 ->
+      let name = r_str r in
+      let blif = r_str r in
+      J_compile { name; blif; handles = r_list r r_varint }
+  | 4 ->
+      let name = r_str r in
+      J_model { name; blif = r_str r }
+  | 5 -> J_free (r_list r r_varint)
+  | n -> corrupt "journal entry tag %d" n
+
+let journal_of_string s =
+  let len = String.length s in
+  if len < 8 then corrupt "journal too short";
+  let body = String.sub s 0 (len - 4) in
+  let crc =
+    Int32.to_int (Bytes.get_int32_le (Bytes.of_string s) (len - 4))
+    land 0xFFFFFFFF
+  in
+  if Resil.Checkpoint.crc32 body <> crc then corrupt "journal checksum mismatch";
+  if String.sub body 0 4 <> "BSJ1" then corrupt "journal bad magic";
+  let r = { s = body; pos = 4 } in
+  let entries = r_list r r_entry in
+  if r.pos <> String.length body then corrupt "journal trailing bytes";
+  entries
+
+let journal_save t path =
+  Resil.Checkpoint.write_atomic path (journal_to_string (journal t))
+
+let journal_load path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      journal_of_string (really_input_string ic n))

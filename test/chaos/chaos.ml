@@ -78,11 +78,10 @@ let reach_chaos seeds =
             let man = Trans.man trans in
             let config =
               {
-                Resil.Fault.seed;
+                Resil.Fault.disabled with
+                seed;
                 p_node_limit = 0.25;
                 p_cache_wipe = 0.05;
-                p_abort = 0.;
-                p_job_crash = 0.;
               }
             in
             Resil.Fault.attach ~config man;
@@ -224,7 +223,8 @@ let runner_chaos () =
     Resil.Fault.arm
       (Some
          {
-           Resil.Fault.seed;
+           Resil.Fault.disabled with
+           seed;
            p_node_limit = 0.02;
            p_cache_wipe = 0.02;
            p_abort = 0.02;

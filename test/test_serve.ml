@@ -113,6 +113,190 @@ let test_degraded_certificate_is_sound () =
             "degraded result is not the exact answer" false
             (Bdd.equal got exact)))
 
+(* --- deadline rescue ---------------------------------------------------- *)
+
+(* The 24-variable cousin of the bad-order conjunction above: big enough
+   that the exact And takes well over a millisecond, so a 1 ms
+   per-request deadline must fire mid-operation.  The ladder catches
+   Bdd.Deadline, shrinks the operands and re-arms the deadline per rung —
+   the reply is either Degraded with a "deadline" rung (and a sound
+   under-approximation) or, if even the smallest rung cannot finish, a
+   typed Error.  Never a hang, never a wrong Exact. *)
+let test_deadline_rescued_on_the_ladder () =
+  let cfg = { Serve.Server.default_config with workers = 1 } in
+  with_server cfg (fun t ->
+      with_client t (fun c ->
+          let lits = Array.init 24 (fun v -> Serve.Client.lit c v) in
+          let build op = fst (Serve.Client.apply c op) in
+          let f = ref (build (Serve.Proto.And (lits.(0), lits.(12)))) in
+          for i = 1 to 11 do
+            let p = build (Serve.Proto.And (lits.(i), lits.(12 + i))) in
+            f := build (Serve.Proto.Or (!f, p))
+          done;
+          let g = ref lits.(0) in
+          for v = 1 to 23 do
+            g := build (Serve.Proto.Xor (!g, lits.(v)))
+          done;
+          (* only the final conjunction carries the deadline *)
+          Serve.Client.post_meta c
+            ~meta:{ Serve.Proto.deadline_ms = 1; token = 0 }
+            (Serve.Proto.Apply (Serve.Proto.And (!f, !g)));
+          match Serve.Client.receive c with
+          | Serve.Proto.Handle { id; cert = Serve.Proto.Degraded rungs; _ } ->
+              Alcotest.(check bool)
+                "certificate names the deadline" true
+                (List.mem "deadline" rungs);
+              let man = Bdd.create ~nvars:24 () in
+              let exact_f =
+                List.fold_left
+                  (fun acc i ->
+                    Bdd.bor man acc
+                      (Bdd.band man (Bdd.ithvar man i)
+                         (Bdd.ithvar man (12 + i))))
+                  (Bdd.ff man) (List.init 12 Fun.id)
+              in
+              let exact_g =
+                List.fold_left
+                  (fun acc v -> Bdd.bxor man acc (Bdd.ithvar man v))
+                  (Bdd.ff man) (List.init 24 Fun.id)
+              in
+              let exact = Bdd.band man exact_f exact_g in
+              let got = fetch_into man c id in
+              Alcotest.(check bool)
+                "deadline-rescued result is an under-approximation" true
+                (Bdd.leq man got exact)
+          | Serve.Proto.Handle { cert = Serve.Proto.Exact; _ } ->
+              Alcotest.fail
+                "a 1 ms deadline never fired on a multi-ms conjunction"
+          | Serve.Proto.Error _ ->
+              (* the ladder ran dry inside the deadline: acceptable on a
+                 very slow machine — the contract is a typed reply *)
+              ()
+          | r -> Alcotest.failf "unexpected reply %a" Serve.Proto.pp_reply r))
+
+(* --- Table_full on the ladder ------------------------------------------- *)
+
+let test_table_full_is_degraded () =
+  (* a hard unique-table capacity instead of a per-request node budget.
+     Capacity is in table *slots*: with the ceiling at the initial 8192
+     allocation, the first refused doubling — at 2/3 load, ~5460 nodes —
+     raises Bdd.Table_full.  The 20-variable bad-order construction sits
+     on each side of that line: the builds leave ~3450 live (pinned)
+     nodes, the exact final conjunction needs ~7450.  Table_full must
+     ride the same ladder and surface as a Degraded reply with a
+     "table-full" rung, not as an Error or a dead server. *)
+  let cfg =
+    {
+      Serve.Server.default_config with
+      workers = 1;
+      table_capacity = Some 8192;
+    }
+  in
+  with_server cfg (fun t ->
+      with_client t (fun c ->
+          let lits = Array.init 20 (fun v -> Serve.Client.lit c v) in
+          let build op = fst (Serve.Client.apply c op) in
+          let f = ref (build (Serve.Proto.And (lits.(0), lits.(10)))) in
+          for i = 1 to 9 do
+            let p = build (Serve.Proto.And (lits.(i), lits.(10 + i))) in
+            f := build (Serve.Proto.Or (!f, p))
+          done;
+          let g = ref lits.(0) in
+          for v = 1 to 19 do
+            g := build (Serve.Proto.Xor (!g, lits.(v)))
+          done;
+          let id, cert = Serve.Client.apply c (Serve.Proto.And (!f, !g)) in
+          (match cert with
+          | Serve.Proto.Degraded rungs ->
+              Alcotest.(check bool)
+                "certificate names the full table" true
+                (List.mem "table-full" rungs)
+          | Serve.Proto.Exact ->
+              Alcotest.fail "capacity did not bite: expected a Degraded reply");
+          let man = Bdd.create ~nvars:20 () in
+          let exact_f =
+            List.fold_left
+              (fun acc i ->
+                Bdd.bor man acc
+                  (Bdd.band man (Bdd.ithvar man i) (Bdd.ithvar man (10 + i))))
+              (Bdd.ff man) (List.init 10 Fun.id)
+          in
+          let exact_g =
+            List.fold_left
+              (fun acc v -> Bdd.bxor man acc (Bdd.ithvar man v))
+              (Bdd.ff man) (List.init 20 Fun.id)
+          in
+          let exact = Bdd.band man exact_f exact_g in
+          let got = fetch_into man c id in
+          Alcotest.(check bool)
+            "table-full result is an under-approximation" true
+            (Bdd.leq man got exact)))
+
+(* --- durable sessions: attach, resume, dedup ---------------------------- *)
+
+let bind_of t =
+  match Serve.Server.address t with
+  | Unix.ADDR_INET (_, port) -> Serve.Server.Tcp port
+  | Unix.ADDR_UNIX path -> Serve.Server.Unix_path path
+
+let test_attach_resume_preserves_handles () =
+  with_server Serve.Server.default_config (fun t ->
+      let bind = bind_of t in
+      let c1 = Serve.Client.connect_retrying ~key:"durable" bind in
+      let h =
+        match
+          Serve.Client.call_idem c1
+            (Serve.Proto.Lit { var = 3; phase = true })
+        with
+        | Serve.Proto.Handle { id; _ } -> id
+        | r -> Alcotest.failf "lit: unexpected %a" Serve.Proto.pp_reply r
+      in
+      Serve.Client.close c1;
+      Alcotest.(check int) "the keyed session lingers" 1
+        (Serve.Server.durable_sessions t);
+      (* a brand-new client attaches to the same key and finds the handle *)
+      let c2 = Serve.Client.connect_retrying ~key:"durable" bind in
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close c2)
+        (fun () ->
+          match Serve.Client.call_idem c2 (Serve.Proto.Fetch { handle = h }) with
+          | Serve.Proto.Bdd_payload { bdd } ->
+              let man = Bdd.create ~nvars:4 () in
+              let f = Bdd.import man (Bdd.serialized_of_string bdd) in
+              Alcotest.(check bool)
+                "the resumed session still holds x3" true
+                (Bdd.equal f (Bdd.ithvar man 3));
+              Alcotest.(check bool)
+                "the server counted a resume" true
+                (Serve.Server.resumed_sessions t >= 1)
+          | r -> Alcotest.failf "fetch: unexpected %a" Serve.Proto.pp_reply r))
+
+let test_idempotency_token_dedups () =
+  with_server Serve.Server.default_config (fun t ->
+      with_client t (fun c ->
+          let meta = { Serve.Proto.deadline_ms = 0; token = 987654321 } in
+          let req = Serve.Proto.Lit { var = 5; phase = true } in
+          Serve.Client.post_meta c ~meta req;
+          let first = Serve.Client.receive c in
+          let h1 =
+            match first with
+            | Serve.Proto.Handle { id; _ } -> id
+            | r -> Alcotest.failf "lit: unexpected %a" Serve.Proto.pp_reply r
+          in
+          (* the retry of an already-executed request replays the recorded
+             reply — byte-identically — instead of re-executing *)
+          Serve.Client.post_meta c ~meta req;
+          let second = Serve.Client.receive c in
+          Alcotest.(check bool) "replayed reply is identical" true
+            (first = second);
+          Alcotest.(check int) "server counted the dedup" 1
+            (Serve.Server.deduped t);
+          (* the request body really ran once: the next fresh handle is
+             h1 + 1, not h1 + 2 *)
+          let h2 = Serve.Client.lit c 6 in
+          Alcotest.(check int) "single execution consumed one handle id"
+            (h1 + 1) h2))
+
 (* --- admission control -------------------------------------------------- *)
 
 let test_queue_overflow_is_explicit () =
@@ -229,6 +413,14 @@ let tests =
         test_session_isolation;
       Alcotest.test_case "Degraded certificates are sound under-approximations"
         `Quick test_degraded_certificate_is_sound;
+      Alcotest.test_case "a blown deadline is rescued on the ladder" `Quick
+        test_deadline_rescued_on_the_ladder;
+      Alcotest.test_case "Table_full degrades instead of erroring" `Quick
+        test_table_full_is_degraded;
+      Alcotest.test_case "attach resumes a durable session's handles" `Quick
+        test_attach_resume_preserves_handles;
+      Alcotest.test_case "idempotency tokens dedup to exactly-once" `Quick
+        test_idempotency_token_dedups;
       Alcotest.test_case "queue overflow answers Overloaded, never hangs" `Quick
         test_queue_overflow_is_explicit;
       Alcotest.test_case "compile + reach a 4-bit counter exactly" `Quick

@@ -55,7 +55,13 @@ let gen_request =
       map (fun handles -> Serve.Proto.Free { handles })
         (list_size (int_bound 6) small);
       return Serve.Proto.Stats;
+      map (fun key -> Serve.Proto.Attach { key }) tiny_str;
     ]
+
+let gen_meta =
+  map2
+    (fun deadline_ms token -> { Serve.Proto.deadline_ms; token })
+    (int_bound 100_000) small
 
 let gen_cert =
   oneof
@@ -99,6 +105,10 @@ let gen_reply =
       map (fun n -> Serve.Proto.Freed n) small;
       map (fun m -> Serve.Proto.Error m) tiny_str;
       return Serve.Proto.Overloaded;
+      map3
+        (fun session resumed handles ->
+          Serve.Proto.Attached { session; resumed; handles })
+        small bool small;
     ]
 
 let arb_request =
@@ -106,6 +116,13 @@ let arb_request =
 
 let arb_reply =
   QCheck.make ~print:(Format.asprintf "%a" Serve.Proto.pp_reply) gen_reply
+
+let arb_meta_request =
+  QCheck.make
+    ~print:(fun (m, r) ->
+      Format.asprintf "deadline_ms=%d token=%d %a" m.Serve.Proto.deadline_ms
+        m.Serve.Proto.token Serve.Proto.pp_request r)
+    (pair gen_meta gen_request)
 
 (* --- round trips ------------------------------------------------------- *)
 
@@ -116,6 +133,22 @@ let prop_request_round_trip =
 let prop_reply_round_trip =
   qtest ~count:1000 "decode_reply (encode_reply r) = r" arb_reply (fun r ->
       Serve.Proto.decode_reply (Serve.Proto.encode_reply r) = r)
+
+(* request metadata (deadline, idempotency token) rides in an additive
+   envelope: it must round-trip exactly, and its absence must leave the
+   frame byte-identical to the pre-metadata encoding (wire compat) *)
+let prop_meta_round_trip =
+  qtest ~count:1000 "decode_request_meta (encode_request ~meta r) = (meta, r)"
+    arb_meta_request (fun (meta, r) ->
+      Serve.Proto.decode_request_meta (Serve.Proto.encode_request ~meta r)
+      = (meta, r))
+
+let prop_plain_frames_carry_no_meta =
+  qtest ~count:500 "a plain request frame decodes with no_meta and is
+    byte-identical to encode_request ~meta:no_meta" arb_request (fun r ->
+      let plain = Serve.Proto.encode_request r in
+      Serve.Proto.decode_request_meta plain = (Serve.Proto.no_meta, r)
+      && Serve.Proto.encode_request ~meta:Serve.Proto.no_meta r = plain)
 
 (* --- corruption -------------------------------------------------------- *)
 
@@ -158,6 +191,13 @@ let prop_request_bit_flip =
     arb_request (fun r ->
       bit_flips Serve.Proto.decode_request (Serve.Proto.encode_request r))
 
+let prop_meta_frame_corruption =
+  qtest ~count:100 "meta-wrapped frames reject truncation and bit flips too"
+    arb_meta_request (fun (meta, r) ->
+      let frame = Serve.Proto.encode_request ~meta r in
+      truncations Serve.Proto.decode_request_meta frame
+      && bit_flips Serve.Proto.decode_request_meta frame)
+
 let prop_reply_bit_flip =
   qtest ~count:100 "any single bit flip in a reply frame raises Bad_frame"
     arb_reply (fun r ->
@@ -190,10 +230,13 @@ let tests =
     [
       prop_request_round_trip;
       prop_reply_round_trip;
+      prop_meta_round_trip;
+      prop_plain_frames_carry_no_meta;
       prop_request_truncation;
       prop_reply_truncation;
       prop_request_bit_flip;
       prop_reply_bit_flip;
+      prop_meta_frame_corruption;
       Alcotest.test_case "empty/garbage/bad-magic frames" `Quick
         test_empty_and_garbage;
       Alcotest.test_case "oversized announced length" `Quick

@@ -97,6 +97,96 @@ let test_crash_isolation () =
     "both count as completed" 2
     (Mt.Service.completed pool)
 
+(* --- supervision -------------------------------------------------------- *)
+
+let test_busy_and_respawn () =
+  let pool = Mt.Service.create ~workers:1 ~queue_depth:8 () in
+  let g = new_gate () in
+  ignore (Mt.Service.submit pool ~shard:0 ~label:"wedge" (fun () -> block_on g));
+  await_entered g;
+  (* the worker is visibly busy on the labeled closure... *)
+  (match Mt.Service.busy pool ~shard:0 with
+  | Some ("wedge", age) ->
+      Alcotest.(check bool) "age is non-negative" true (age >= 0.0)
+  | Some (l, _) -> Alcotest.failf "busy on %S, wanted \"wedge\"" l
+  | None -> Alcotest.fail "worker should be busy");
+  (* ...but not stalled against a generous timeout *)
+  Alcotest.(check (list (pair int (option string))))
+    "not stalled yet" []
+    (Mt.Service.check_stalled pool ~hang_timeout:30.0);
+  (* force the respawn: the wedged closure is the quarantined one *)
+  (match Mt.Service.respawn pool ~shard:0 with
+  | Some (Some "wedge") -> ()
+  | Some q ->
+      Alcotest.failf "quarantined %s, wanted Some \"wedge\""
+        (match q with Some l -> Printf.sprintf "Some %S" l | None -> "None")
+  | None -> Alcotest.fail "respawn refused (pool is not draining)");
+  Alcotest.(check int) "one respawn" 1 (Mt.Service.respawns pool);
+  (* the replacement worker serves the shard *)
+  let ran = Atomic.make false in
+  Alcotest.(check bool)
+    "submit after respawn accepted" true
+    (Mt.Service.submit pool ~shard:0 (fun () -> Atomic.set ran true));
+  (* release the zombie so it notices it was superseded and exits *)
+  open_gate g;
+  Mt.Service.drain pool;
+  Alcotest.(check bool) "work ran on the replacement" true (Atomic.get ran)
+
+let test_poison_kills_worker_and_respawn_recovers () =
+  let pool = Mt.Service.create ~workers:1 ~queue_depth:8 () in
+  ignore
+    (Mt.Service.submit pool ~shard:0 ~label:"poisoned" (fun () ->
+         raise Mt.Service.Poison));
+  (* the domain dies without clearing its busy flag: after the hang
+     timeout it is indistinguishable from a wedge and gets respawned *)
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  let rec await_stalled () =
+    match Mt.Service.check_stalled pool ~hang_timeout:0.05 with
+    | [ (0, Some "poisoned") ] -> ()
+    | [] when Unix.gettimeofday () < deadline ->
+        Thread.delay 0.02;
+        await_stalled ()
+    | other ->
+        Alcotest.failf "check_stalled returned %d entries, wanted the poisoned shard"
+          (List.length other)
+  in
+  await_stalled ();
+  let ran = Atomic.make false in
+  Alcotest.(check bool)
+    "submit after poison accepted" true
+    (Mt.Service.submit pool ~shard:0 (fun () -> Atomic.set ran true));
+  Mt.Service.drain pool;
+  Alcotest.(check bool) "replacement worker ran the job" true (Atomic.get ran)
+
+let test_supervise_thread_recovers_and_queue_survives () =
+  let pool = Mt.Service.create ~workers:1 ~queue_depth:8 () in
+  let events = ref [] in
+  let lock = Mutex.create () in
+  ignore
+    (Mt.Service.supervise pool ~interval:0.02 ~hang_timeout:0.1
+       ~on_respawn:(fun ~shard ~quarantined ->
+         Mutex.lock lock;
+         events := (shard, quarantined) :: !events;
+         Mutex.unlock lock));
+  (* a wedged closure, with an innocent one already queued behind it *)
+  ignore
+    (Mt.Service.submit pool ~shard:0 ~label:"stuck" (fun () -> Thread.delay 3.0));
+  let ran = Atomic.make false in
+  ignore (Mt.Service.submit pool ~shard:0 (fun () -> Atomic.set ran true));
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while not (Atomic.get ran) && Unix.gettimeofday () < deadline do
+    Thread.delay 0.02
+  done;
+  Alcotest.(check bool)
+    "queued work survived the respawn and ran" true (Atomic.get ran);
+  Mutex.lock lock;
+  let quarantined_stuck = List.mem (0, Some "stuck") !events in
+  Mutex.unlock lock;
+  Alcotest.(check bool)
+    "the supervisor quarantined the stuck label" true quarantined_stuck;
+  Alcotest.(check bool) "respawns counted" true (Mt.Service.respawns pool >= 1);
+  Mt.Service.drain pool
+
 let test_drain_rejects_and_is_idempotent () =
   let pool = Mt.Service.create ~workers:2 ~queue_depth:8 () in
   ignore (Mt.Service.submit pool ~shard:0 (fun () -> ()));
@@ -117,6 +207,12 @@ let tests =
         test_bounded_rejection;
       Alcotest.test_case "a crashing closure does not kill its worker" `Quick
         test_crash_isolation;
+      Alcotest.test_case "busy introspection and forced respawn" `Quick
+        test_busy_and_respawn;
+      Alcotest.test_case "a poisoned worker domain is detected and replaced"
+        `Quick test_poison_kills_worker_and_respawn_recovers;
+      Alcotest.test_case "the supervisor thread recovers a wedged shard" `Quick
+        test_supervise_thread_recovers_and_queue_survives;
       Alcotest.test_case "drain rejects new work and is idempotent" `Quick
         test_drain_rejects_and_is_idempotent;
     ] )
