@@ -81,11 +81,16 @@ let worker t i my_gen () =
               Mutex.unlock sh.lock;
               () (* stop && empty: queues only drain once stop is set *)
           | Some (label, work) ->
-              Mutex.unlock sh.lock;
-              (* since before label: the supervisor reads label first, so
-                 it can never see a label with a stale timestamp *)
+              (* publish busy state BEFORE releasing the shard lock:
+                 [respawn] clears busy_label under the same lock, so a
+                 respawn cannot interleave between the pop and these
+                 stores and leave a superseded worker's stale label
+                 armed forever (the end-of-closure clear is gen-gated).
+                 Since before label: the supervisor reads label first,
+                 so it can never see a label with a stale timestamp *)
               Atomic.set sh.busy_since (Obs.Timing.wall ());
               Atomic.set sh.busy_label (Some label);
+              Mutex.unlock sh.lock;
               (try work () with
               | Poison ->
                   (* simulated domain death for the chaos suite: escape

@@ -233,12 +233,34 @@ let limits_for cfg (meta : Proto.meta) =
           | Some d0 -> Float.min d0 d);
     }
 
-let process t c (meta : Proto.meta) req () =
+(* [sess] is captured by the reader at submit time, NOT re-read from
+   [c.sess] here: the shard was chosen from the session id at submit, so
+   a pipelined request followed by [Attach] must keep executing against
+   the session (and thus the worker domain) it was submitted under — the
+   post-attach session runs on its own shard.  Re-reading [c.sess] would
+   let the same Session be driven from two domains at once. *)
+let process t c sess (meta : Proto.meta) req () =
   Fun.protect
     ~finally:(fun () -> release t c)
     (fun () ->
       Option.iter (fun f -> f req) t.cfg.on_dispatch;
-      let s = c.sess.s in
+      let rebuilding =
+        (* read under t.lock: [quarantine] sets the flag under the same
+           lock before it snapshots the journal, so any request that gets
+           past this check completed before the fence and none runs
+           concurrently with the rebuild *)
+        Mutex.lock t.lock;
+        let r = sess.rebuilding in
+        Mutex.unlock t.lock;
+        r
+      in
+      if rebuilding then begin
+        Atomic.incr t.c_errors;
+        rec_inc M.errors 1;
+        send t c (Proto.Error "session quarantined: rebuilding, retry")
+      end
+      else
+      let s = sess.s in
       match Session.dedup_find s ~token:meta.Proto.token with
       | Some frame ->
           (* a retry of a request we already executed: replay the recorded
@@ -269,7 +291,13 @@ let process t c (meta : Proto.meta) req () =
           | _ -> ( try Session.record_exchange s req reply with _ -> ()));
           let frame = Proto.encode_reply reply in
           send_frame t c frame;
-          Session.dedup_add s ~token:meta.Proto.token frame;
+          (* only successful replies enter the dedup window (mirroring
+             the record_exchange guard): a transient error — deadline
+             exceeded, table full — must re-execute on retry, not replay
+             as a sticky failure *)
+          (match reply with
+          | Proto.Error _ | Proto.Overloaded -> ()
+          | _ -> Session.dedup_add s ~token:meta.Proto.token frame);
           if Obs.Metrics.recording () then
             Obs.Metrics.observe M.request_us
               (int_of_float ((Obs.Timing.wall () -. t0) *. 1e6));
@@ -357,10 +385,16 @@ let reader t c () =
                 loop ()
             | req ->
                 retain c;
-                let session_id = Session.id c.sess.s in
+                (* bind the request to the session it was submitted
+                   under: shard choice and execution must agree even if
+                   an Attach rebinds c.sess while this sits queued *)
+                let sess = c.sess in
+                let session_id = Session.id sess.s in
                 let shard = session_id mod t.cfg.workers in
                 let label = Printf.sprintf "s%d" session_id in
-                if Mt.Service.submit t.pool ~shard ~label (process t c meta req)
+                if
+                  Mt.Service.submit t.pool ~shard ~label
+                    (process t c sess meta req)
                 then loop ()
                 else begin
                   release t c;
@@ -379,6 +413,37 @@ let session_of_label label =
     int_of_string_opt (String.sub label 1 (String.length label - 1))
   else None
 
+(* Wait (bounded) until a marker closure submitted NOW has run on the
+   shard.  The shard is a single FIFO worker, so once the marker runs,
+   every request queued before the quarantine flag was raised has
+   finished — and those queued after it are dropped by [process] — so
+   the poisoned session's journal is quiescent on the replacement
+   worker's side.  Best-effort: a full queue or a drain in progress
+   bounds the wait instead of blocking the supervisor thread. *)
+let fence_shard t ~shard =
+  let passed = Atomic.make false in
+  let deadline = Obs.Timing.wall () +. 2.0 in
+  let rec submit_loop () =
+    if Obs.Timing.wall () > deadline then false
+    else if
+      Mt.Service.submit t.pool ~shard ~label:"fence" (fun () ->
+          Atomic.set passed true)
+    then true
+    else begin
+      Thread.delay 0.005;
+      submit_loop ()
+    end
+  in
+  if submit_loop () then
+    let rec wait () =
+      if Atomic.get passed || Obs.Timing.wall () > deadline then ()
+      else begin
+        Thread.delay 0.002;
+        wait ()
+      end
+    in
+    wait ()
+
 (* A worker died or wedged mid-request.  The poisoned request's session
    is quarantined: its attached connection is killed (the client's reply
    stream has a hole in it, so letting it continue would desynchronize
@@ -387,7 +452,7 @@ let session_of_label label =
    sessions on the same shard are untouched: their state lives in their
    own managers and their queued requests survive in the shard queue,
    which the replacement worker drains. *)
-let quarantine t ~shard:_ ~quarantined =
+let quarantine t ~shard ~quarantined =
   match quarantined with
   | None -> ()
   | Some label -> (
@@ -422,11 +487,21 @@ let quarantine t ~shard:_ ~quarantined =
                   Mutex.unlock t.lock
               | Some _ ->
                   (* durable: replay the journal into a fresh manager.
-                     The old worker is dead or wedged, so the journal is
-                     quiescent.  When a spool directory is configured the
-                     journal round-trips through a Resil.Checkpoint
-                     atomic checksummed file — the same artifact a future
+                     The replacement worker is already draining the shard
+                     queue, so fence it first: requests queued before the
+                     quarantine run to completion behind the fence marker
+                     and later ones are dropped by [process] on the
+                     rebuilding flag — only then is the journal quiescent
+                     on the live worker's side.  (A wedged-but-alive OLD
+                     domain that later unwedges can still touch the old
+                     Session object; that mutates state nobody reads any
+                     more — the swap below hands out a fresh one — and at
+                     worst the snapshot misses its final entry.)  When a
+                     spool directory is configured the journal
+                     round-trips through a Resil.Checkpoint atomic
+                     checksummed file — the same artifact a future
                      cold-start restore would read. *)
+                  fence_shard t ~shard;
                   let entries =
                     match t.cfg.session_spool with
                     | None -> Session.journal sess.s

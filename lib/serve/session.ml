@@ -152,7 +152,12 @@ let compact t =
 let record t entry =
   t.journal <- entry :: t.journal;
   t.journal_len <- t.journal_len + 1;
-  if t.journal_len > journal_cap then compact t
+  (* compact only when it can actually shrink the log: a compacted
+     journal is one entry per live handle + model, so a session holding
+     more live handles than journal_cap must not re-compact on every
+     record (each compaction exports every live BDD to bytes) *)
+  let compacted_size = Hashtbl.length t.handles + Hashtbl.length t.model_src in
+  if t.journal_len > max journal_cap (2 * compacted_size) then compact t
 
 let journal t = List.rev t.journal
 

@@ -19,8 +19,9 @@
     manager reproduces {e semantically identical} handles under the same
     ids, which is what lets the server respawn a crashed worker without
     clients noticing more than a latency blip.  The journal self-compacts
-    past ~512 entries down to "models + live handles", keeping it
-    proportional to live state, and round-trips through
+    down to "models + live handles" once it exceeds both ~512 entries and
+    twice that compacted size (so huge sessions never re-compact on every
+    request), keeping it proportional to live state, and round-trips through
     {!Resil.Checkpoint}-style checksummed atomic files
     ({!journal_save} / {!journal_load}). *)
 

@@ -297,6 +297,89 @@ let test_idempotency_token_dedups () =
           Alcotest.(check int) "single execution consumed one handle id"
             (h1 + 1) h2))
 
+let test_error_replies_are_not_deduped () =
+  with_server Serve.Server.default_config (fun t ->
+      with_client t (fun c ->
+          let meta = { Serve.Proto.deadline_ms = 0; token = 424242777 } in
+          let req = Serve.Proto.Fetch { handle = 31337 } in
+          Serve.Client.post_meta c ~meta req;
+          (match Serve.Client.receive c with
+          | Serve.Proto.Error _ -> ()
+          | r -> Alcotest.failf "expected Error, got %a" Serve.Proto.pp_reply r);
+          (* a retry under the same token must re-execute — a transient
+             failure must not be replayed from the dedup window as a
+             sticky error for that logical request *)
+          Serve.Client.post_meta c ~meta req;
+          (match Serve.Client.receive c with
+          | Serve.Proto.Error _ -> ()
+          | r -> Alcotest.failf "expected Error, got %a" Serve.Proto.pp_reply r);
+          Alcotest.(check int) "no dedup hit was recorded" 0
+            (Serve.Server.deduped t)))
+
+(* --- pipelining across Attach ------------------------------------------- *)
+
+let test_pipelined_request_attach_binding () =
+  (* a request queued before an Attach must execute against the session
+     it was submitted under — the shard was chosen from that session's
+     id, so re-reading the rebound connection at execution time would
+     drive the new session from the old session's worker domain.  The
+     worker is parked on a gate so the Lit is provably still queued when
+     the Attach rebinds the connection. *)
+  let gate_m = Mutex.create () in
+  let gate_c = Condition.create () in
+  let release = ref false in
+  let marker = 515151 in
+  let on_dispatch = function
+    | Serve.Proto.Fetch { handle } when handle = marker ->
+        Mutex.lock gate_m;
+        while not !release do
+          Condition.wait gate_c gate_m
+        done;
+        Mutex.unlock gate_m
+    | _ -> ()
+  in
+  let cfg =
+    {
+      Serve.Server.default_config with
+      workers = 1;
+      on_dispatch = Some on_dispatch;
+    }
+  in
+  with_server cfg (fun t ->
+      with_client t (fun c ->
+          Serve.Client.post c (Serve.Proto.Fetch { handle = marker });
+          Serve.Client.post c (Serve.Proto.Lit { var = 9; phase = true });
+          Serve.Client.post c (Serve.Proto.Attach { key = "rebound" });
+          (* the reader answers the Attach inline while the worker is
+             parked, so the first reply on the wire must be Attached —
+             receiving it proves the rebind happened with the Lit still
+             queued *)
+          (match Serve.Client.receive c with
+          | Serve.Proto.Attached { handles; _ } ->
+              Alcotest.(check int) "the fresh keyed session is empty" 0 handles
+          | r -> Alcotest.failf "expected Attached, got %a" Serve.Proto.pp_reply r);
+          Mutex.lock gate_m;
+          release := true;
+          Condition.broadcast gate_c;
+          Mutex.unlock gate_m;
+          (* parked marker answers first (unknown handle), then the Lit *)
+          (match Serve.Client.receive c with
+          | Serve.Proto.Error _ -> ()
+          | r -> Alcotest.failf "marker: expected Error, got %a" Serve.Proto.pp_reply r);
+          let lit_handle =
+            match Serve.Client.receive c with
+            | Serve.Proto.Handle { id; _ } -> id
+            | r -> Alcotest.failf "lit: expected Handle, got %a" Serve.Proto.pp_reply r
+          in
+          (* the Lit landed on the pre-attach anonymous session: the
+             attached keyed session must NOT know the handle *)
+          match Serve.Client.call c (Serve.Proto.Fetch { handle = lit_handle }) with
+          | Serve.Proto.Error _ -> ()
+          | r ->
+              Alcotest.failf
+                "pipelined Lit leaked into the attached session: %a"
+                Serve.Proto.pp_reply r))
+
 (* --- admission control -------------------------------------------------- *)
 
 let test_queue_overflow_is_explicit () =
@@ -421,6 +504,10 @@ let tests =
         test_attach_resume_preserves_handles;
       Alcotest.test_case "idempotency tokens dedup to exactly-once" `Quick
         test_idempotency_token_dedups;
+      Alcotest.test_case "error replies are never dedup-replayed" `Quick
+        test_error_replies_are_not_deduped;
+      Alcotest.test_case "a pipelined request stays on its submit-time session"
+        `Quick test_pipelined_request_attach_binding;
       Alcotest.test_case "queue overflow answers Overloaded, never hangs" `Quick
         test_queue_overflow_is_explicit;
       Alcotest.test_case "compile + reach a 4-bit counter exactly" `Quick

@@ -243,6 +243,45 @@ let test_journal_roundtrip_and_corruption () =
   | _ -> Alcotest.fail "corrupt journal decoded"
   | exception Bdd.Corrupt _ -> ()
 
+let test_journal_compacts_only_when_it_shrinks () =
+  (* a session holding more live handles than the compaction cap must not
+     re-compact on every record: compaction rewrites the journal to one
+     entry per live handle, so when that floor is above the cap the old
+     trigger exported every live BDD to bytes on every request.  The
+     deterministic J_lit entries staying as ops proves compaction never
+     fired. *)
+  let sess = Serve.Session.create ~id:7 () in
+  let man = Serve.Session.man sess in
+  let n = 600 in
+  for h = 1 to n do
+    let var = h mod 16 in
+    Serve.Session.put_at sess ~handle:h (Bdd.ithvar man var);
+    Serve.Session.record sess (Serve.Session.J_lit { handle = h; var; phase = true })
+  done;
+  Alcotest.(check int) "no compaction: one entry per live handle" n
+    (Serve.Session.journal_length sess);
+  let exported =
+    List.filter
+      (function Serve.Session.J_bytes _ -> true | _ -> false)
+      (Serve.Session.journal sess)
+  in
+  Alcotest.(check int) "lit entries were never exported to bytes" 0
+    (List.length exported);
+  (* ...while a journal that CAN shrink (few live handles, much churn)
+     still self-compacts past the cap *)
+  let small = Serve.Session.create ~id:8 () in
+  let man2 = Serve.Session.man small in
+  for h = 1 to 8 do
+    Serve.Session.put_at small ~handle:h (Bdd.ithvar man2 h)
+  done;
+  for i = 1 to 600 do
+    let h = 1 + (i mod 8) in
+    Serve.Session.record small
+      (Serve.Session.J_lit { handle = h; var = h; phase = true })
+  done;
+  Alcotest.(check bool) "a shrinkable journal compacted" true
+    (Serve.Session.journal_length small < 200)
+
 (* --- stale socket files -------------------------------------------------- *)
 
 let test_stale_socket_is_reclaimed () =
@@ -292,6 +331,8 @@ let tests =
         test_worker_kill_preserves_sessions;
       Alcotest.test_case "journals round-trip and reject corruption" `Quick
         test_journal_roundtrip_and_corruption;
+      Alcotest.test_case "journal compaction fires only when it shrinks" `Quick
+        test_journal_compacts_only_when_it_shrinks;
       Alcotest.test_case "stale socket files are reclaimed, live ones are not"
         `Quick test_stale_socket_is_reclaimed;
     ] )
