@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke smoke trace-smoke chaos-smoke serve-smoke soak-smoke ooc-smoke par-smoke compress-smoke check clean
+.PHONY: all build test bench bench-smoke smoke trace-smoke chaos-smoke serve-smoke soak-smoke ooc-smoke par-smoke compress-smoke pipeline-smoke check clean
 
 all: build
 
@@ -79,7 +79,16 @@ par-smoke: build
 compress-smoke: build
 	scripts/compress_smoke.sh
 
-check: build test smoke bench-smoke trace-smoke chaos-smoke serve-smoke soak-smoke ooc-smoke par-smoke compress-smoke
+# Shared arena + pipelined wire end to end: a pipelined closed-loop run
+# against an arena-backed server (byte-identity preflight, oracle-checked
+# batches, exactly one publish of the benchmark circuit with catalog
+# hits for every later Compile, validated report + arena.* metrics),
+# then a seeded wire-fault soak that the poll event-loop front end must
+# survive with zero oracle contradictions.
+pipeline-smoke: build
+	scripts/pipeline_smoke.sh
+
+check: build test smoke bench-smoke trace-smoke chaos-smoke serve-smoke soak-smoke ooc-smoke par-smoke compress-smoke pipeline-smoke
 
 bench: build
 	dune exec bench/main.exe

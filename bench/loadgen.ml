@@ -10,6 +10,7 @@
                  [--churn N]              (drop+reconnect every N requests)
                  [--deadline-ms N]        (per-request deadline metadata)
                  [--slo-p99-ms F]         (assert p99 latency, soak)
+                 [--pipeline-depth N]     (batch N requests per frame)
                  [--faults SPEC]          (arm client-side wire faults)
                  [-o FILE]                (write the bdd-serve-bench/v1 report)
      loadgen.exe --validate FILE          (just check a report and exit)
@@ -24,6 +25,16 @@
    deliberately never used: a Compile can grow the server session's
    variable order differently from the mirror's, and only semantic checks
    survive that.
+
+   --pipeline-depth N (closed loop only) packs N requests per batch
+   frame (Serve.Proto.encode_batch): the server executes them in order
+   on the session's worker and streams the replies back, so the oracle
+   discipline survives — every check is built when the batch is, against
+   the mirror state the server will provably be in when the request
+   runs.  A preflight first replays a fixed request sequence both ways
+   and asserts the pipelined reply frames are byte-identical to the
+   unpipelined ones.  When the server runs an arena (--arena), the
+   report also records the arena share ratio read from its counters.
 
    Soak mode drives the retrying client (Serve.Client.connect_retrying)
    against a durable keyed session per connection: arrivals are
@@ -51,7 +62,8 @@ let usage () =
     "usage: loadgen (--socket PATH | --port N) [--connections N]\n\
     \       [--requests M] [--seed S] [--smoke] [--expect-faults]\n\
     \       [--soak SECS] [--arrival-rate RPS] [--churn N]\n\
-    \       [--deadline-ms N] [--slo-p99-ms F] [--faults SPEC] [-o FILE]\n\
+    \       [--deadline-ms N] [--slo-p99-ms F] [--pipeline-depth N]\n\
+    \       [--faults SPEC] [-o FILE]\n\
     \       | loadgen --validate FILE";
   exit 2
 
@@ -150,7 +162,7 @@ type mode =
   | Closed of int  (* this many back-to-back requests *)
   | Soak of { until : float; interval : float; churn_every : int }
 
-let connection ~seed ~mode ~deadline_ms ~bind i st =
+let connection ~seed ~mode ~pipeline ~deadline_ms ~bind i st =
   let rng = Random.State.make [| 0x5e57e; seed; i |] in
   let man = Bdd.create () in
   (* materialize the oracle's variable universe up front: cube/quantify
@@ -424,6 +436,113 @@ let connection ~seed ~mode ~deadline_ms ~bind i st =
     | 63 when not !compiled -> do_compile ()
     | _ -> do_reach ()
   in
+  (* --- pipelined closed loop ---------------------------------------- *)
+  (* Checks are built when the batch is, against the mirror state the
+     server will provably be in when each request executes: the whole
+     batch runs in order on the session's worker, handle arguments only
+     name handles mirrored before the batch was built, and nothing in
+     the pipelined mix mutates or frees an existing handle. *)
+  let account lat reply =
+    st.latencies <- lat :: st.latencies;
+    (match reply with
+    | Serve.Proto.Overloaded -> st.rejected <- st.rejected + 1
+    | _ -> st.completed <- st.completed + 1);
+    match reply with
+    | Serve.Proto.Error _ -> st.errors <- st.errors + 1
+    | Serve.Proto.Handle { cert = Serve.Proto.Degraded _; _ }
+    | Serve.Proto.Reach_done { cert = Serve.Proto.Degraded _; _ } ->
+        st.degraded <- st.degraded + 1
+    | _ -> ()
+  in
+  let pp_r = Format.asprintf "%a" Serve.Proto.pp_reply in
+  let pipelined_item () =
+    let lit_item () =
+      let var = Random.State.int rng nvars in
+      let phase = Random.State.bool rng in
+      ( Serve.Proto.Lit { var; phase },
+        function
+        | Serve.Proto.Handle { id; cert = Serve.Proto.Exact; _ } ->
+            Hashtbl.replace mirror id
+              (if phase then Bdd.ithvar man var else Bdd.nithvar man var)
+        | Serve.Proto.Error _ | Serve.Proto.Overloaded -> ()
+        | r -> wrong st "pipelined lit: unexpected reply %s" (pp_r r) )
+    in
+    match Random.State.int rng 16 with
+    | n when n < 5 -> lit_item ()
+    | n when n < 10 -> (
+        match (pick_handle (), pick_handle ()) with
+        | Some (a, fa), Some (b, fb) ->
+            let op, exact =
+              match Random.State.int rng 4 with
+              | 0 -> (Serve.Proto.Not a, Bdd.bnot man fa)
+              | 1 -> (Serve.Proto.And (a, b), Bdd.band man fa fb)
+              | 2 -> (Serve.Proto.Or (a, b), Bdd.bor man fa fb)
+              | _ -> (Serve.Proto.Xor (a, b), Bdd.bxor man fa fb)
+            in
+            ( Serve.Proto.Apply op,
+              function
+              | Serve.Proto.Handle { id; cert = Serve.Proto.Exact; _ } ->
+                  Hashtbl.replace mirror id exact
+              | Serve.Proto.Handle { cert = Serve.Proto.Degraded _; _ } ->
+                  (* no synchronous resync mid-batch: forget the id *)
+                  ()
+              | Serve.Proto.Error _ | Serve.Proto.Overloaded -> ()
+              | r -> wrong st "pipelined apply: unexpected reply %s" (pp_r r) )
+        | _ -> lit_item ())
+    | n when n < 12 -> (
+        match pick_handle () with
+        | Some (id, f) ->
+            ( Serve.Proto.Count { handle = id; nvars },
+              function
+              | Serve.Proto.Count_is got ->
+                  let want = Bdd.count_minterms man f ~nvars in
+                  if Float.abs (got -. want) > 1e-6 *. Float.max 1.0 want then
+                    wrong st "pipelined count %d: server says %.0f, oracle %.0f"
+                      id got want
+              | Serve.Proto.Error _ | Serve.Proto.Overloaded -> ()
+              | r -> wrong st "pipelined count: unexpected reply %s" (pp_r r) )
+        | None -> lit_item ())
+    | n when n < 14 -> (
+        match pick_handle () with
+        | Some (id, f) ->
+            ( Serve.Proto.Fetch { handle = id },
+              function
+              | Serve.Proto.Bdd_payload { bdd } -> (
+                  match Bdd.import man (Bdd.serialized_of_string bdd) with
+                  | got ->
+                      if not (Bdd.equal got f) then
+                        wrong st
+                          "pipelined fetch %d: server BDD differs from oracle"
+                          id
+                  | exception Bdd.Corrupt m ->
+                      wrong st "pipelined fetch %d: corrupt payload: %s" id m)
+              | Serve.Proto.Error _ | Serve.Proto.Overloaded -> ()
+              | r -> wrong st "pipelined fetch: unexpected reply %s" (pp_r r) )
+        | None -> lit_item ())
+    | 14 ->
+        ( Serve.Proto.Ping,
+          function
+          | Serve.Proto.Pong | Serve.Proto.Overloaded -> ()
+          | r -> wrong st "pipelined ping: unexpected reply %s" (pp_r r) )
+    | 15 when not !compiled ->
+        (* once per connection: against an arena server, every connection
+           after the first hits the catalog — the share ratio the report
+           records *)
+        compiled := true;
+        ( Serve.Proto.Compile { name = "bench"; blif = Lazy.force bench_blif },
+          function
+          | Serve.Proto.Handles hs ->
+              if hs = [] then wrong st "pipelined compile: no output handles"
+          | Serve.Proto.Error _ | Serve.Proto.Overloaded -> ()
+          | r -> wrong st "pipelined compile: unexpected reply %s" (pp_r r) )
+    | _ ->
+        ( Serve.Proto.Stats,
+          function
+          | Serve.Proto.Stats_are _ | Serve.Proto.Error _
+          | Serve.Proto.Overloaded ->
+              ()
+          | r -> wrong st "pipelined stats: unexpected reply %s" (pp_r r) )
+  in
   Fun.protect
     ~finally:(fun () ->
       st.retries <- Serve.Client.retries c.cl;
@@ -431,6 +550,23 @@ let connection ~seed ~mode ~deadline_ms ~bind i st =
       Serve.Client.close c.cl)
     (fun () ->
       match mode with
+      | Closed requests when pipeline > 1 ->
+          let remaining = ref requests in
+          while !remaining > 0 do
+            let n = min pipeline !remaining in
+            remaining := !remaining - n;
+            let items = List.init n (fun _ -> pipelined_item ()) in
+            let t0 = Obs.Timing.wall () in
+            Serve.Client.post_batch c.cl
+              (List.map (fun (r, _) -> (Serve.Proto.no_meta, r)) items);
+            (* per-reply latency: batch send to this reply's arrival *)
+            List.iter
+              (fun (_, check) ->
+                let reply = Serve.Client.receive c.cl in
+                account ((Obs.Timing.wall () -. t0) *. 1e6) reply;
+                check reply)
+              items
+          done
       | Closed requests ->
           for _ = 1 to requests do
             one_request ()
@@ -471,6 +607,7 @@ let () =
   and churn_every = ref 0
   and deadline_ms = ref 0
   and slo_p99_ms = ref 0.0
+  and pipeline_depth = ref 1
   and out = ref None
   and validate = ref None in
   let pos_float flag s =
@@ -529,6 +666,11 @@ let () =
     | "--slo-p99-ms" :: s :: rest ->
         slo_p99_ms := pos_float "--slo-p99-ms" s;
         parse rest
+    | "--pipeline-depth" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some n when n >= 1 -> pipeline_depth := n
+        | _ -> fail "--pipeline-depth wants a positive integer, got %s" n);
+        parse rest
     | "--faults" :: spec :: rest ->
         (* client-side arming: the wire probes mangle *our* sends.  The
            kernel fault keys are inert in this process — the oracle
@@ -559,7 +701,50 @@ let () =
           exit 1)
   | None -> ());
   let bind = match !bind with Some b -> b | None -> usage () in
+  if !pipeline_depth > 1 && (!soak <> None || !deadline_ms > 0) then
+    fail "--pipeline-depth combines with neither --soak nor --deadline-ms";
   let stats = Array.init !connections (fun _ -> new_stats ()) in
+  (* pipelining preflight: the same deterministic request sequence
+     through two fresh sessions, once as singletons and once as one
+     batch — the reply frames must match byte for byte (both sessions
+     are new, so every reply is session-deterministic) *)
+  if !pipeline_depth > 1 then begin
+    let reqs =
+      [
+        Serve.Proto.Lit { var = 0; phase = true };
+        Serve.Proto.Lit { var = 1; phase = false };
+        Serve.Proto.Apply (Serve.Proto.And (1, 2));
+        Serve.Proto.Count { handle = 3; nvars = 2 };
+        Serve.Proto.Fetch { handle = 3 };
+      ]
+    in
+    let run f =
+      let c = Serve.Client.connect bind in
+      Fun.protect ~finally:(fun () -> Serve.Client.close c) (fun () -> f c)
+    in
+    let single =
+      run (fun c ->
+          List.map
+            (fun r ->
+              Serve.Client.post c r;
+              Serve.Client.receive_frame c)
+            reqs)
+    in
+    let batched =
+      run (fun c ->
+          Serve.Client.post_batch c
+            (List.map (fun r -> (Serve.Proto.no_meta, r)) reqs);
+          List.map (fun _ -> Serve.Client.receive_frame c) reqs)
+    in
+    List.iteri
+      (fun i (a, b) ->
+        if a <> b then
+          wrong stats.(0)
+            "preflight: pipelined reply %d is not byte-identical to the \
+             unpipelined frame"
+            i)
+      (List.combine single batched)
+  end;
   let t0 = Obs.Timing.wall () in
   let mode_of i =
     ignore i;
@@ -580,7 +765,8 @@ let () =
           (fun () ->
             try
               connection ~seed:!seed ~mode:(mode_of i)
-                ~deadline_ms:!deadline_ms ~bind i stats.(i)
+                ~pipeline:!pipeline_depth ~deadline_ms:!deadline_ms ~bind i
+                stats.(i)
             with e ->
               wrong stats.(i) "connection %d died: %s" i (Printexc.to_string e))
           ())
@@ -624,6 +810,28 @@ let () =
             slo_met = !slo_p99_ms <= 0.0 || p99_us <= !slo_p99_ms *. 1000.0;
           }
   in
+  (* arena share: read the server's arena.* counters over a fresh
+     connection — absent keys mean the server runs without an arena *)
+  let arena_share =
+    match Serve.Client.connect bind with
+    | exception _ -> None
+    | c ->
+        Fun.protect
+          ~finally:(fun () -> Serve.Client.close c)
+          (fun () ->
+            match Serve.Client.stats c with
+            | kvs -> (
+                match
+                  ( List.assoc_opt "arena.hits" kvs,
+                    List.assoc_opt "arena.published" kvs )
+                with
+                | Some hits, Some published when hits + published > 0 ->
+                    Some
+                      (float_of_int hits /. float_of_int (hits + published))
+                | Some _, Some _ -> Some 0.0
+                | _ -> None)
+            | exception _ -> None)
+  in
   let report =
     {
       Serve.Report.connections = !connections;
@@ -642,6 +850,8 @@ let () =
         (if Array.length latencies = 0 then 0.0
          else latencies.(Array.length latencies - 1));
       peak_rss_kb = Obs.Timing.peak_rss_kb ();
+      pipeline_depth = !pipeline_depth;
+      arena_share;
       soak = soak_section;
     }
   in
@@ -654,6 +864,11 @@ let () =
     report.Serve.Report.p99_us report.Serve.Report.rejected
     report.Serve.Report.degraded report.Serve.Report.errors
     report.Serve.Report.wrong;
+  if !pipeline_depth > 1 then
+    Printf.printf "loadgen: pipelined at depth %d\n" !pipeline_depth;
+  (match arena_share with
+  | Some s -> Printf.printf "loadgen: arena share %.2f\n" s
+  | None -> ());
   (match soak_section with
   | None -> ()
   | Some s ->

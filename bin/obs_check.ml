@@ -110,6 +110,46 @@ let check_metrics path prev =
     (* attaching (resuming) a session needs an accepted connection *)
     subset "serve.resumed_sessions" "serve.accepted"
   end;
+  (* surface the shared-arena story of the run: publishes, dedup hits,
+     zero-copy attaches and reclamation — and reject impossible counter
+     combinations (the documented Arena.stats invariants) *)
+  let arena =
+    List.filter
+      (fun (name, _) ->
+        String.length name >= 6 && String.sub name 0 6 = "arena.")
+      (Obs.Metrics.counters_of_json j)
+  in
+  if arena <> [] then begin
+    Printf.printf "%s: arena %s\n" path
+      (String.concat " "
+         (List.map (fun (n, v) -> Printf.sprintf "%s=%.0f" n v) arena));
+    let v name =
+      match List.assoc_opt name arena with Some v -> v | None -> 0.0
+    in
+    (* dedup can only skip a segment creation, never invent one *)
+    if v "arena.published" > v "arena.publishes" then
+      fail "%s: arena.published (%.0f) exceeds arena.publishes (%.0f)" path
+        (v "arena.published") (v "arena.publishes");
+    (* only a published segment can be reclaimed, and only once *)
+    if v "arena.reclaimed" > v "arena.published" then
+      fail "%s: arena.reclaimed (%.0f) exceeds arena.published (%.0f)" path
+        (v "arena.reclaimed") (v "arena.published");
+    if v "arena.reclaimed_bytes" > v "arena.published_bytes" then
+      fail "%s: arena.reclaimed_bytes (%.0f) exceeds arena.published_bytes (%.0f)"
+        path
+        (v "arena.reclaimed_bytes")
+        (v "arena.published_bytes");
+    (* the live-segment gauge is exactly the survivors *)
+    match List.assoc_opt "arena.live_segments" (Obs.Metrics.gauges_of_json j) with
+    | Some live when live <> v "arena.published" -. v "arena.reclaimed" ->
+        fail
+          "%s: arena.live_segments (%.0f) is not arena.published (%.0f) - \
+           arena.reclaimed (%.0f)"
+          path live
+          (v "arena.published")
+          (v "arena.reclaimed")
+    | _ -> ()
+  end;
   (* surface the out-of-core story of the run: tier migrations, streaming
      apply traffic, and the node-population split (hot unique table vs
      levelized cold tier vs spilled run files) *)

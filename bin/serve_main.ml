@@ -2,6 +2,7 @@
 
      serve_main.exe --socket PATH | --port N
                     [--workers N] [--queue-depth N] [--par-jobs N]
+                    [--frontend poll|threaded] [--arena]
                     [--request-node-budget N] [--request-deadline SECS]
                     [--max-sessions N] [--io-timeout SECS]
                     [--hang-timeout SECS] [--session-linger SECS]
@@ -26,7 +27,8 @@
 let usage () =
   prerr_endline
     "usage: serve_main (--socket PATH | --port N) [--workers N]\n\
-    \       [--queue-depth N] [--par-jobs N] [--request-node-budget N]\n\
+    \       [--queue-depth N] [--par-jobs N] [--frontend poll|threaded]\n\
+    \       [--arena] [--request-node-budget N]\n\
     \       [--request-deadline SECS] [--max-sessions N]\n\
     \       [--io-timeout SECS] [--hang-timeout SECS]\n\
     \       [--session-linger SECS] [--table-capacity N]\n\
@@ -59,6 +61,8 @@ let () =
   and deadline = ref None
   and max_sessions = ref Serve.Server.default_config.max_sessions
   and par_jobs = ref Serve.Server.default_config.par_jobs
+  and frontend = ref Serve.Server.default_config.frontend
+  and arena = ref false
   and io_timeout = ref (Some 30.0)
   and hang_timeout = ref None
   and session_linger = ref Serve.Server.default_config.session_linger
@@ -95,6 +99,15 @@ let () =
         parse rest
     | "--par-jobs" :: n :: rest ->
         par_jobs := pos_int "--par-jobs" n;
+        parse rest
+    | "--frontend" :: f :: rest ->
+        (match f with
+        | "poll" -> frontend := Serve.Server.Poll
+        | "threaded" -> frontend := Serve.Server.Threaded
+        | _ -> fail "--frontend wants poll or threaded, got %s" f);
+        parse rest
+    | "--arena" :: rest ->
+        arena := true;
         parse rest
     | "--io-timeout" :: s :: rest ->
         (* 0 disables: blocking IO, the pre-PR 9 behavior *)
@@ -174,6 +187,8 @@ let () =
   let cfg =
     {
       Serve.Server.bind;
+      frontend = !frontend;
+      arena = !arena;
       workers = !workers;
       queue_depth = !queue_depth;
       limits =
@@ -219,12 +234,13 @@ let () =
   Option.iter (fun path -> Obs.Metrics.write Obs.Metrics.default path) !metrics;
   if !trace <> None then Obs.Trace.stop ();
   Printf.printf
-    "serve_main: drained (accepted=%d requests=%d rejected=%d degraded=%d \
-     errors=%d io_timeouts=%d deduped=%d respawns=%d quarantined=%d \
-     rebuilt=%d faults_injected=%d)\n\
+    "serve_main: drained (accepted=%d requests=%d batches=%d rejected=%d \
+     degraded=%d errors=%d io_timeouts=%d deduped=%d respawns=%d \
+     quarantined=%d rebuilt=%d faults_injected=%d)\n\
      %!"
     (Serve.Server.accepted server)
     (Serve.Server.requests server)
+    (Serve.Server.batches server)
     (Serve.Server.rejected server)
     (Serve.Server.degraded_replies server)
     (Serve.Server.errors server)
@@ -233,4 +249,14 @@ let () =
     (Serve.Server.respawns server)
     (Serve.Server.quarantined server)
     (Serve.Server.rebuilt_sessions server)
-    (Resil.Fault.injected ())
+    (Resil.Fault.injected ());
+  Option.iter
+    (fun a ->
+      let v k = try List.assoc k (Arena.stats a) with Not_found -> 0 in
+      Printf.printf
+        "serve_main: arena (published=%d hits=%d attaches=%d live_segments=%d \
+         reclaimed=%d)\n\
+         %!"
+        (v "arena.published") (v "arena.hits") (v "arena.attaches")
+        (Arena.live_segments a) (v "arena.reclaimed"))
+    (Serve.Server.arena server)

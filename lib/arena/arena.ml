@@ -1,0 +1,308 @@
+(* Refcounted segment registry over one shared manager (see the mli).
+
+   One mutex guards everything: the handle and digest indexes, the
+   catalog, every refcount and every counter.  Refcount traffic is a few
+   dozen ns of critical section, so a single lock is simpler and cheaper
+   than striping until the arena itself shows up in a profile — the hot
+   path the arena exists to serve (kernel work on already-resolved
+   nodes) never touches it.
+
+   Reclamation is two-phase, deliberately: dropping the last reference
+   removes the segment from the registry immediately (any later retain
+   or view raises Not_found — a dead handle is never resurrected), but
+   the nodes stay in the shared table until [reclaim] sweeps it at a
+   quiescent point.  Splitting the phases is what makes release safe to
+   call from any domain at any time: gc on a shared table requires
+   quiescence, registry surgery does not. *)
+
+type handle = int
+
+type segment = {
+  h : handle;
+  name : string;
+  digest : string;
+  bytes : string;  (* canonical form; confirms digest hits exactly *)
+  root : Bdd.t;
+  mutable refcount : int;  (* 0 = dead, gone from every index *)
+}
+
+type t = {
+  man : Bdd.man;
+  lock : Mutex.t;
+  cond : Condition.t;  (* signalled when an in-flight catalog key settles *)
+  by_handle : (handle, segment) Hashtbl.t;
+  by_digest : (string, segment list) Hashtbl.t;
+  catalog : (string, (string * handle) list) Hashtbl.t;
+  in_flight : (string, unit) Hashtbl.t;  (* catalog keys being computed *)
+  mutable next : handle;
+  (* counters (under lock; read via stats) *)
+  mutable publishes : int;
+  mutable published : int;
+  mutable published_bytes : int;
+  mutable hits : int;
+  mutable attaches : int;
+  mutable refs_total : int;
+  mutable reclaimed : int;
+  mutable reclaimed_bytes : int;
+}
+
+module M = struct
+  open Obs
+
+  let reg = Metrics.default
+  let publishes = Metrics.counter reg "arena.publishes"
+  let published = Metrics.counter reg "arena.published"
+  let published_bytes = Metrics.counter reg "arena.published_bytes"
+  let hits = Metrics.counter reg "arena.hits"
+  let attaches = Metrics.counter reg "arena.attaches"
+  let reclaimed = Metrics.counter reg "arena.reclaimed"
+  let reclaimed_bytes = Metrics.counter reg "arena.reclaimed_bytes"
+  let live_segments = Metrics.gauge reg "arena.live_segments"
+  let live_refs = Metrics.gauge reg "arena.live_refs"
+end
+
+let rec_inc c n = if Obs.Metrics.recording () then Obs.Metrics.inc c n
+
+(* call under t.lock *)
+let sync_gauges t =
+  if Obs.Metrics.recording () then begin
+    Obs.Metrics.set M.live_segments (Hashtbl.length t.by_handle);
+    Obs.Metrics.set M.live_refs t.refs_total
+  end
+
+let create ?nvars ?table_capacity () =
+  let man = Bdd.create ?nvars ~shared:true () in
+  (* the arena manager participates in observability and chaos exactly
+     like session managers do *)
+  if Obs.Kernel.observing () then Obs.Kernel.attach man;
+  if Resil.Fault.enabled () then Resil.Fault.attach man;
+  (match table_capacity with
+  | Some cap -> Bdd.set_table_capacity man (Some cap)
+  | None -> ());
+  {
+    man;
+    lock = Mutex.create ();
+    cond = Condition.create ();
+    by_handle = Hashtbl.create 64;
+    by_digest = Hashtbl.create 64;
+    catalog = Hashtbl.create 16;
+    in_flight = Hashtbl.create 4;
+    next = 1;
+    publishes = 0;
+    published = 0;
+    published_bytes = 0;
+    hits = 0;
+    attaches = 0;
+    refs_total = 0;
+    reclaimed = 0;
+    reclaimed_bytes = 0;
+  }
+
+let man t = t.man
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let find_live_locked t h =
+  match Hashtbl.find_opt t.by_handle h with
+  | Some seg -> seg
+  | None -> raise Not_found
+
+let publish_serialized t ?(name = "") bytes =
+  (* decode outside the lock: malformed bytes must not poison the arena,
+     and the import below may be the expensive part of a cold publish *)
+  let s = Bdd.serialized_of_string bytes in
+  let digest = Bdd.serialized_digest s in
+  let reuse =
+    locked t (fun () ->
+        t.publishes <- t.publishes + 1;
+        rec_inc M.publishes 1;
+        match
+          List.find_opt
+            (fun seg -> seg.bytes = bytes)
+            (Option.value ~default:[] (Hashtbl.find_opt t.by_digest digest))
+        with
+        | Some seg ->
+            seg.refcount <- seg.refcount + 1;
+            t.refs_total <- t.refs_total + 1;
+            t.hits <- t.hits + 1;
+            rec_inc M.hits 1;
+            sync_gauges t;
+            Some seg.h
+        | None -> None)
+  in
+  match reuse with
+  | Some h -> h
+  | None ->
+      (* import outside the lock: concurrent publishes of different
+         content may both build nodes (the shared table is made for
+         that); only the registry insert re-checks for a racing twin *)
+      let root = Bdd.import t.man s in
+      locked t (fun () ->
+          match
+            List.find_opt
+              (fun seg -> seg.bytes = bytes)
+              (Option.value ~default:[] (Hashtbl.find_opt t.by_digest digest))
+          with
+          | Some seg ->
+              (* a twin won the race: fold into it (its root is the very
+                 same hash-consed node, so nothing leaks) *)
+              seg.refcount <- seg.refcount + 1;
+              t.refs_total <- t.refs_total + 1;
+              t.hits <- t.hits + 1;
+              rec_inc M.hits 1;
+              sync_gauges t;
+              seg.h
+          | None ->
+              let h = t.next in
+              t.next <- h + 1;
+              let seg = { h; name; digest; bytes; root; refcount = 1 } in
+              Hashtbl.replace t.by_handle h seg;
+              Hashtbl.replace t.by_digest digest
+                (seg
+                :: Option.value ~default:[] (Hashtbl.find_opt t.by_digest digest));
+              t.published <- t.published + 1;
+              t.published_bytes <- t.published_bytes + String.length bytes;
+              t.refs_total <- t.refs_total + 1;
+              rec_inc M.published 1;
+              rec_inc M.published_bytes (String.length bytes);
+              sync_gauges t;
+              h)
+
+let publish t ?name ~src f =
+  publish_serialized t ?name (Bdd.serialized_to_string (Bdd.export src f))
+
+let publish_root t ?name f =
+  publish_serialized t ?name (Bdd.serialized_to_string (Bdd.export t.man f))
+
+let view t h =
+  locked t (fun () ->
+      let seg = find_live_locked t h in
+      t.attaches <- t.attaches + 1;
+      rec_inc M.attaches 1;
+      seg.root)
+
+let retain t h =
+  locked t (fun () ->
+      let seg = find_live_locked t h in
+      seg.refcount <- seg.refcount + 1;
+      t.refs_total <- t.refs_total + 1;
+      sync_gauges t)
+
+let release t h =
+  locked t (fun () ->
+      let seg = find_live_locked t h in
+      if seg.refcount <= 0 then invalid_arg "Arena.release: refcount underflow";
+      seg.refcount <- seg.refcount - 1;
+      t.refs_total <- t.refs_total - 1;
+      if seg.refcount = 0 then begin
+        Hashtbl.remove t.by_handle h;
+        (match Hashtbl.find_opt t.by_digest seg.digest with
+        | Some segs -> (
+            match List.filter (fun s -> s.h <> h) segs with
+            | [] -> Hashtbl.remove t.by_digest seg.digest
+            | rest -> Hashtbl.replace t.by_digest seg.digest rest)
+        | None -> ());
+        t.reclaimed <- t.reclaimed + 1;
+        t.reclaimed_bytes <- t.reclaimed_bytes + String.length seg.bytes;
+        rec_inc M.reclaimed 1;
+        rec_inc M.reclaimed_bytes (String.length seg.bytes)
+      end;
+      sync_gauges t)
+
+let refs t h =
+  locked t (fun () ->
+      Option.map (fun seg -> seg.refcount) (Hashtbl.find_opt t.by_handle h))
+
+let name t h =
+  locked t (fun () ->
+      Option.map (fun seg -> seg.name) (Hashtbl.find_opt t.by_handle h))
+
+let live_segments t = locked t (fun () -> Hashtbl.length t.by_handle)
+let live_refs t = locked t (fun () -> t.refs_total)
+
+let reclaim t ?(roots = []) () =
+  let live =
+    locked t (fun () ->
+        Hashtbl.fold (fun _ seg acc -> seg.root :: acc) t.by_handle [])
+  in
+  Bdd.gc t.man ~roots:(live @ roots)
+
+(* --- catalog ----------------------------------------------------------- *)
+
+let catalog_put t ~key entries =
+  let pinned =
+    locked t (fun () ->
+        Hashtbl.remove t.in_flight key;
+        Condition.broadcast t.cond;
+        if Hashtbl.mem t.catalog key then false
+        else begin
+          List.iter
+            (fun (_, h) ->
+              let seg = find_live_locked t h in
+              seg.refcount <- seg.refcount + 1;
+              t.refs_total <- t.refs_total + 1)
+            entries;
+          Hashtbl.replace t.catalog key entries;
+          sync_gauges t;
+          true
+        end)
+  in
+  ignore pinned
+
+let catalog_abort t ~key =
+  locked t (fun () ->
+      Hashtbl.remove t.in_flight key;
+      Condition.broadcast t.cond)
+
+let catalog_claim t ~key =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      let rec settle () =
+        match Hashtbl.find_opt t.catalog key with
+        | Some entries ->
+            t.hits <- t.hits + List.length entries;
+            rec_inc M.hits (List.length entries);
+            `Found entries
+        | None ->
+            if Hashtbl.mem t.in_flight key then begin
+              (* another publisher is computing this key: wait for it to
+                 settle rather than duplicating the work — under a shared
+                 manager a racing duplicate is not even byte-dedupable,
+                 because the variable order may grow between the two
+                 publishes *)
+              Condition.wait t.cond t.lock;
+              settle ()
+            end
+            else begin
+              Hashtbl.replace t.in_flight key ();
+              `Claimed
+            end
+      in
+      settle ())
+
+let catalog_find t ~key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.catalog key with
+      | None -> None
+      | Some entries ->
+          t.hits <- t.hits + List.length entries;
+          rec_inc M.hits (List.length entries);
+          Some entries)
+
+let stats t =
+  locked t (fun () ->
+      [
+        ("arena.publishes", t.publishes);
+        ("arena.published", t.published);
+        ("arena.published_bytes", t.published_bytes);
+        ("arena.hits", t.hits);
+        ("arena.attaches", t.attaches);
+        ("arena.live_segments", Hashtbl.length t.by_handle);
+        ("arena.live_refs", t.refs_total);
+        ("arena.reclaimed", t.reclaimed);
+        ("arena.reclaimed_bytes", t.reclaimed_bytes);
+      ])

@@ -1,0 +1,125 @@
+(** Process-wide read-only node arena.
+
+    The arena owns one {e shared} kernel manager (the PR 7 striped
+    publish-then-resolve unique table), so its nodes are readable from
+    any worker domain concurrently.  Compiled BDDs are {e published}
+    once into it as immutable segments with stable integer handles;
+    sessions on any domain {e view} a handle zero-copy — the returned
+    [Bdd.t] is the node in the shared table, never a per-session
+    re-import — and layer their own request-local results on top by
+    building further nodes in the same manager (their mutable overlay is
+    their private handle table; the arena itself never changes under
+    them).
+
+    Ownership is refcount-based, ViewStore-style: [publish] hands the
+    caller one reference, [retain]/[release] move ownership across
+    sessions, and the segment is reclaimed from the registry when the
+    last reference drops.  Node {e memory} is returned to the table
+    later, by [reclaim], which requires quiescence (no concurrent kernel
+    operations) — the registry-level reclaim itself is safe at any time.
+
+    All registry and refcount state lives under one internal mutex, so
+    every function here is domain-safe unless its doc says otherwise. *)
+
+type t
+
+type handle = int
+(** Stable integer name of a published segment.  Handles are never
+    reused within one arena. *)
+
+val create : ?nvars:int -> ?table_capacity:int -> unit -> t
+(** A fresh arena around a new shared manager.  [table_capacity] caps
+    the shared unique table exactly as [Bdd.set_table_capacity] does. *)
+
+val man : t -> Bdd.man
+(** The shared manager.  Sessions backed by the arena run their
+    request-local kernel work here; treat published nodes as read-only
+    and never [Bdd.gc] this manager directly — use {!reclaim}. *)
+
+val publish : t -> ?name:string -> src:Bdd.man -> Bdd.t -> handle
+(** Export [f] from [src] and publish it.  Content-deduplicated: if a
+    live segment with identical canonical bytes exists, its refcount is
+    bumped and its handle returned (counted as a hit — the import was
+    avoided).  Otherwise the bytes are imported once into the shared
+    manager.  Either way the caller owns one reference. *)
+
+val publish_serialized : t -> ?name:string -> string -> handle
+(** [publish] from the canonical byte form ([Bdd.serialized_to_string]).
+    @raise Bdd.Corrupt on malformed bytes. *)
+
+val publish_root : t -> ?name:string -> Bdd.t -> handle
+(** Publish a root that already lives in the arena's own manager (e.g. a
+    session-overlay result worth sharing).  No node is copied; the
+    export only computes the canonical bytes for dedup/accounting. *)
+
+val view : t -> handle -> Bdd.t
+(** Zero-copy resolution: the segment's root in the shared manager.
+    Does not transfer ownership.  @raise Not_found if the handle was
+    never published or already reclaimed. *)
+
+val retain : t -> handle -> unit
+(** Take one more reference.  @raise Not_found on a dead handle — a
+    reclaimed segment is never resurrected. *)
+
+val release : t -> handle -> unit
+(** Drop one reference.  At zero the segment leaves the registry
+    (counted in [arena.reclaimed]/[arena.reclaimed_bytes]); its nodes
+    are swept by the next {!reclaim}.  @raise Not_found on a dead
+    handle; @raise Invalid_argument on a double release. *)
+
+val refs : t -> handle -> int option
+(** Live reference count, [None] once reclaimed. *)
+
+val name : t -> handle -> string option
+(** The name given at publish time (possibly [""]), [None] once
+    reclaimed. *)
+
+val live_segments : t -> int
+val live_refs : t -> int
+
+val reclaim : t -> ?roots:Bdd.t list -> unit -> int
+(** Sweep the shared table down to the live segments plus [roots] (any
+    session-overlay state that must survive).  Returns the number of
+    nodes freed.  Requires quiescence: no kernel operation may run on
+    {!man} concurrently. *)
+
+(** {2 Catalog}
+
+    A tiny content-addressed directory on top of segments, used by the
+    serve layer to share compiled models: the first session to compile a
+    model publishes its outputs and files them under the model's content
+    key; later sessions find them and attach zero-copy instead of
+    recompiling.  The catalog holds one pinning reference per filed
+    handle for the arena's lifetime. *)
+
+val catalog_put : t -> key:string -> (string * handle) list -> unit
+(** File named handles under [key] (first writer wins; a concurrent
+    duplicate put releases nothing and is ignored).  Retains each
+    handle, and settles any in-flight {!catalog_claim} on [key]. *)
+
+val catalog_find : t -> key:string -> (string * handle) list option
+(** Look [key] up.  A hit counts one avoided import per filed handle. *)
+
+val catalog_claim : t -> key:string -> [ `Found of (string * handle) list | `Claimed ]
+(** Single-flight lookup: [`Found] is a {!catalog_find} hit; [`Claimed]
+    means the caller now owns the compute for [key] and must settle it
+    with {!catalog_put} (success) or {!catalog_abort} (failure).  A
+    claim racing an in-flight compute blocks until the owner settles,
+    then re-probes — so N sessions compiling the same model do the work
+    exactly once, instead of racing to publish N un-dedupable copies
+    (under a shared manager the variable order can grow between two
+    publishes of the same function, changing its canonical bytes). *)
+
+val catalog_abort : t -> key:string -> unit
+(** Release a [`Claimed] key without filing anything; a blocked claimant
+    (if any) wakes up and takes over the compute. *)
+
+val stats : t -> (string * int) list
+(** Counters, all prefixed [arena.]: [publishes] (calls), [published]
+    (unique segments created), [published_bytes], [hits] (imports
+    avoided: publish dedup + catalog finds), [attaches] (zero-copy
+    views), [live_segments], [live_refs], [reclaimed],
+    [reclaimed_bytes].  Invariants: [published <= publishes],
+    [reclaimed <= published], [reclaimed_bytes <= published_bytes],
+    [live_segments = published - reclaimed].  The same counters feed the
+    [Obs.Metrics] registry when recording. *)

@@ -1579,6 +1579,20 @@ let serialized_to_string s =
   Array.iter (add_varint buf) s.s_roots;
   Buffer.contents buf
 
+(* FNV-1a (64-bit) over the canonical byte encoding: a cheap stable
+   content key for registries that index published BDDs.  Collisions are
+   possible, so any exactness-critical consumer must confirm a digest hit
+   by comparing the full bytes — the digest only narrows the search. *)
+let serialized_digest s =
+  let bytes = serialized_to_string s in
+  let h = ref (-3750763034362895579L) (* 0xcbf29ce484222325 *) in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c)))
+             1099511628211L)
+    bytes;
+  Printf.sprintf "%016Lx" !h
+
 let serialized_of_string str =
   let len = String.length str in
   if len < 4 || String.sub str 0 4 <> magic then

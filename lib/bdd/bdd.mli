@@ -466,6 +466,12 @@ val serialized_to_string : serialized -> string
 val serialized_of_string : string -> serialized
 (** @raise Corrupt on anything {!serialized_to_string} did not produce. *)
 
+val serialized_digest : serialized -> string
+(** Stable 16-hex-char content digest (FNV-1a 64) of the canonical byte
+    encoding.  Cheap index key for registries of published BDDs; it is
+    not collision-free, so exactness-critical consumers must confirm a
+    hit against the full bytes. *)
+
 val save : string -> serialized -> unit
 (** Write the binary encoding to a file. *)
 

@@ -36,10 +36,11 @@ exception Poison
 type shard = {
   lock : Mutex.t;
   nonempty : Condition.t;
-  queue : (string * (unit -> unit)) Queue.t;
+  queue : (string * int * (unit -> unit)) Queue.t;  (* label, weight, work *)
   gen : int Atomic.t;
   busy_label : string option Atomic.t;
   busy_since : float Atomic.t;
+  mutable load : int;  (* sum of queued weights, under [lock] *)
 }
 
 type t = {
@@ -80,7 +81,8 @@ let worker t i my_gen () =
           | None ->
               Mutex.unlock sh.lock;
               () (* stop && empty: queues only drain once stop is set *)
-          | Some (label, work) ->
+          | Some (label, weight, work) ->
+              sh.load <- sh.load - weight;
               (* publish busy state BEFORE releasing the shard lock:
                  [respawn] clears busy_label under the same lock, so a
                  respawn cannot interleave between the pop and these
@@ -120,6 +122,7 @@ let create ?(label = "mt.service") ~workers ~queue_depth () =
           gen = Atomic.make 0;
           busy_label = Atomic.make None;
           busy_since = Atomic.make 0.;
+          load = 0;
         })
   in
   let t =
@@ -139,18 +142,23 @@ let create ?(label = "mt.service") ~workers ~queue_depth () =
   if Obs.Metrics.recording () then Obs.Metrics.set M.workers workers;
   t
 
-let submit t ~shard ?(label = "anon") work =
+(* [weight] is how many queue-depth slots the closure accounts for: a
+   pipelined batch of N requests travels as one closure but must not
+   sneak N requests past admission control as if it were one. *)
+let submit t ~shard ?(label = "anon") ?(weight = 1) work =
+  if weight < 1 then invalid_arg "Mt.Service.submit: weight < 1";
   let sh = t.shards.(((shard mod workers t) + workers t) mod workers t) in
   Mutex.lock sh.lock;
   let accepted =
-    if t.stop || Queue.length sh.queue >= t.depth then false
+    if t.stop || sh.load >= t.depth then false
     else begin
-      Queue.add (label, work) sh.queue;
+      Queue.add (label, weight, work) sh.queue;
+      sh.load <- sh.load + weight;
       Condition.signal sh.nonempty;
       true
     end
   in
-  let depth = Queue.length sh.queue in
+  let depth = sh.load in
   Mutex.unlock sh.lock;
   if Obs.Metrics.recording () then begin
     Obs.Metrics.inc (if accepted then M.submitted else M.rejected) 1;
@@ -162,7 +170,7 @@ let pending t =
   Array.fold_left
     (fun acc sh ->
       Mutex.lock sh.lock;
-      let n = Queue.length sh.queue in
+      let n = sh.load in
       Mutex.unlock sh.lock;
       acc + n)
     0 t.shards

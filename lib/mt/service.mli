@@ -61,14 +61,18 @@ val create : ?label:string -> workers:int -> queue_depth:int -> unit -> t
 
 val workers : t -> int
 
-val submit : t -> shard:int -> ?label:string -> (unit -> unit) -> bool
+val submit : t -> shard:int -> ?label:string -> ?weight:int -> (unit -> unit) -> bool
 (** Enqueue a closure on shard [shard mod workers].  [false] when that
     queue is full or the pool is draining — the closure will never run.
     Never blocks.  [label] (default ["anon"]) names the work for
-    supervision: it is what {!busy} and a quarantine report show. *)
+    supervision: it is what {!busy} and a quarantine report show.
+    [weight] (default 1, >= 1) is how many of the shard's [queue_depth]
+    slots the closure accounts for — a pipelined batch of N requests
+    travels as one closure but must weigh N against admission control.
+    @raise Invalid_argument on [weight < 1]. *)
 
 val pending : t -> int
-(** Total closures queued (not yet started), summed over shards. *)
+(** Total queued weight (not yet started), summed over shards. *)
 
 val completed : t -> int
 (** Closures finished (including ones that raised), over the pool's

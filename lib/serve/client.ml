@@ -189,14 +189,24 @@ let raw_send t fd frame =
 let post_meta t ~meta req = raw_send t (the_fd t) (Proto.encode_request ~meta req)
 let post t req = post_meta t ~meta:Proto.no_meta req
 
-let receive t =
+let receive_frame t =
   match Proto.read_frame (the_fd t) with
   | None -> raise End_of_file
-  | Some frame -> Proto.decode_reply frame
+  | Some frame -> frame
+
+let receive t = Proto.decode_reply (receive_frame t)
 
 let call t req =
   post t req;
   receive t
+
+(* --- pipelining --------------------------------------------------------- *)
+
+let post_batch t items = raw_send t (the_fd t) (Proto.encode_batch items)
+
+let call_batch t items =
+  post_batch t items;
+  List.map (fun _ -> receive t) items
 
 (* --- the retry loop ---------------------------------------------------- *)
 

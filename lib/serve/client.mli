@@ -92,6 +92,28 @@ val post_meta : t -> meta:Proto.meta -> Proto.request -> unit
 val receive : t -> Proto.reply
 (** Block for the next reply. *)
 
+val receive_frame : t -> string
+(** Block for the next reply {e frame}, undecoded — for byte-identity
+    assertions (a pipelined singleton's reply frame must equal the
+    unpipelined one).  @raise End_of_file on hangup. *)
+
+(** {1 Pipelining}
+
+    A batch travels as one {!Proto.encode_batch} frame; the server
+    executes its requests in order on the session's worker and streams
+    back one ordinary reply frame per request (no batch reply envelope).
+    [Attach] cannot ride in a batch (it is connection-level; the server
+    answers it with [Error]); [Ping] can, but is then answered by the
+    worker in order rather than inline. *)
+
+val post_batch : t -> (Proto.meta * Proto.request) list -> unit
+(** Send N requests in one frame without waiting.
+    @raise Invalid_argument on an empty batch. *)
+
+val call_batch : t -> (Proto.meta * Proto.request) list -> Proto.reply list
+(** {!post_batch}, then block for exactly one reply per request, in
+    request order. *)
+
 (** {1 Introspection} *)
 
 val retries : t -> int

@@ -222,18 +222,67 @@ let compile limits session ~name ~blif =
     try Blif.parse_string blif
     with Blif.Parse_error m -> refuse "BLIF parse error: %s" m
   in
-  let compiled, _cert =
-    budgeted limits session ~monotone:false (fun _ ->
-        Compile.compile ~man circuit)
-  in
-  Session.add_model session name circuit;
-  let handles =
-    List.map
-      (fun (out, f) ->
-        (name ^ "." ^ out, Session.put session f, Bdd.size f))
-      compiled.Compile.output_fns
-  in
-  Proto.Handles handles
+  match Session.arena session with
+  | Some arena -> (
+      (* content-addressed sharing: the first session to compile this
+         BLIF publishes its outputs as arena segments; every later
+         session views them zero-copy — no recompile, no re-import.
+         The claim is single-flight: concurrent compiles of the same
+         source block on the first one's publish instead of racing to
+         publish duplicates *)
+      Session.add_model session name circuit;
+      match Arena.catalog_claim arena ~key:blif with
+      | `Found entries ->
+          Proto.Handles
+            (List.map
+               (fun (out, h) ->
+                 Session.retain_arena session h;
+                 let f = Arena.view arena h in
+                 (name ^ "." ^ out, Session.put session f, Bdd.size f))
+               entries)
+      | `Claimed ->
+          let entries =
+            try
+              let compiled, _cert =
+                budgeted limits session ~monotone:false (fun _ ->
+                    Compile.compile ~man circuit)
+              in
+              let entries =
+                List.map
+                  (fun (out, f) ->
+                    let h =
+                      Arena.publish_root arena ~name:(name ^ "." ^ out) f
+                    in
+                    Session.adopt_arena session h;
+                    (out, h))
+                  compiled.Compile.output_fns
+              in
+              Arena.catalog_put arena ~key:blif entries;
+              entries
+            with e ->
+              (* a blocked claimant takes over the compute *)
+              Arena.catalog_abort arena ~key:blif;
+              raise e
+          in
+          Proto.Handles
+            (List.map
+               (fun (out, h) ->
+                 let f = Arena.view arena h in
+                 (name ^ "." ^ out, Session.put session f, Bdd.size f))
+               entries))
+  | None ->
+      let compiled, _cert =
+        budgeted limits session ~monotone:false (fun _ ->
+            Compile.compile ~man circuit)
+      in
+      Session.add_model session name circuit;
+      let handles =
+        List.map
+          (fun (out, f) ->
+            (name ^ "." ^ out, Session.put session f, Bdd.size f))
+          compiled.Compile.output_fns
+      in
+      Proto.Handles handles
 
 let reach ?pool limits session ~model ~max_iter =
   let circuit =
@@ -278,6 +327,11 @@ let reach ?pool limits session ~model ~max_iter =
 
 let handle ?(stats_extra = fun () -> []) ?pool limits session req =
   let man = Session.man session in
+  (* Arena-backed sessions share one manager across concurrent domains;
+     node limits and tick hooks are manager-global, so arming them for
+     one request would cancel its neighbors.  Admission control and the
+     arena's table capacity still bound arena-mode resource use. *)
+  let limits = if Session.arena_backed session then no_limits else limits in
   Session.note_request session;
   try
     (* chaos probe: under --faults this simulates a worker crash at
@@ -295,13 +349,31 @@ let handle ?(stats_extra = fun () -> []) ?pool limits session req =
         let f = if phase then Bdd.ithvar man var else Bdd.nithvar man var in
         Proto.Handle
           { id = Session.put session f; size = Bdd.size f; cert = Proto.Exact }
-    | Proto.Put { bdd } ->
-        let f =
-          with_limits limits man (fun () ->
-              Bdd.import man (Bdd.serialized_of_string bdd))
-        in
-        Proto.Handle
-          { id = Session.put session f; size = Bdd.size f; cert = Proto.Exact }
+    | Proto.Put { bdd } -> (
+        match Session.arena session with
+        | Some arena ->
+            (* published (content-deduplicated) rather than imported: N
+               sessions putting the same payload share one segment *)
+            let h = Arena.publish_serialized arena bdd in
+            Session.adopt_arena session h;
+            let f = Arena.view arena h in
+            Proto.Handle
+              {
+                id = Session.put session f;
+                size = Bdd.size f;
+                cert = Proto.Exact;
+              }
+        | None ->
+            let f =
+              with_limits limits man (fun () ->
+                  Bdd.import man (Bdd.serialized_of_string bdd))
+            in
+            Proto.Handle
+              {
+                id = Session.put session f;
+                size = Bdd.size f;
+                cert = Proto.Exact;
+              })
     | Proto.Fetch { handle } ->
         let f = get session handle in
         Proto.Bdd_payload { bdd = Bdd.serialized_to_string (Bdd.export man f) }

@@ -22,7 +22,20 @@
     [Degraded ["HB\@512"]] and its BDD is a {e sound under-approximation}
     (a subset) of the exact answer; non-monotone requests ([Not], [Xor],
     [Ite], [Forall], [Decomp], [Compile], [Put]) stop after the gc rung
-    and reply [Error] rather than return an unsound result. *)
+    and reply [Error] rather than return an unsound result.
+
+    {2 Arena-backed sessions}
+
+    When the session carries an {!Arena.t} (see [Session.create]'s
+    [arena]), [Compile] consults the arena catalog first — a hit views
+    the published output segments zero-copy instead of recompiling — and
+    a miss publishes what it compiled for the next session; [Put] goes
+    through [Arena.publish_serialized], so identical payloads across
+    sessions share one segment.  Per-request {!limits} are {e not} armed
+    for arena-backed sessions: node limits and tick hooks are
+    manager-global, and the manager is shared by concurrent domains —
+    resource use is bounded by the arena's table capacity and the
+    server's admission control instead. *)
 
 type limits = {
   node_budget : int option;  (** fresh nodes allowed per request *)

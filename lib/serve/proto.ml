@@ -247,6 +247,13 @@ let check_header s =
   if blen > max_frame then bad "announced body of %d bytes over limit" blen;
   blen
 
+(* Incremental variant of [check_header] for the event-loop front end:
+   how long will the frame at the head of [s] be, once complete?  [None]
+   while fewer than [header_len] bytes have arrived. *)
+let frame_size s =
+  if String.length s < header_len then None
+  else Some (header_len + check_header s + trailer_len)
+
 let unframe s =
   let len = String.length s in
   if len < header_len + trailer_len then bad "frame too short (%d bytes)" len;
@@ -269,8 +276,7 @@ let decode_body what s parse =
 
 (* --- requests --------------------------------------------------------- *)
 
-let encode_request ?(meta = no_meta) req =
-  let buf = Buffer.create 64 in
+let add_request buf ~meta req =
   (* Requests carrying a deadline or idempotency token travel inside an
      envelope (opcode 14): the metadata fields, then the plain request
      body.  A request without metadata encodes exactly as it did before
@@ -355,11 +361,35 @@ let encode_request ?(meta = no_meta) req =
   | Stats -> add_varint buf 12
   | Attach { key } ->
       add_varint buf 13;
-      add_str buf key);
+      add_str buf key)
+
+let encode_request ?(meta = no_meta) req =
+  let buf = Buffer.create 64 in
+  add_request buf ~meta req;
   frame (Buffer.contents buf)
 
-let decode_request_meta s =
-  decode_body "request" s (fun r ->
+(* A batch (opcode 15) carries each pipelined request as a
+   length-prefixed copy of the exact body a singleton frame would have
+   carried — metadata envelope and all — so pipelining adds framing, not
+   a second encoding.  Replies stream back as N ordinary reply frames in
+   request order; there is no batch reply envelope. *)
+let batch_opcode = 15
+
+type envelope = Single of meta * request | Batch of (meta * request) list
+
+let encode_batch items =
+  if items = [] then invalid_arg "Serve.Proto.encode_batch: empty batch";
+  let buf = Buffer.create 256 in
+  add_varint buf batch_opcode;
+  add_list buf
+    (fun buf (meta, req) ->
+      let b = Buffer.create 64 in
+      add_request b ~meta req;
+      add_str buf (Buffer.contents b))
+    items;
+  frame (Buffer.contents buf)
+
+let parse_request r =
       let rec go meta depth =
         match r_varint r with
         | 0 -> (meta, Ping)
@@ -429,7 +459,37 @@ let decode_request_meta s =
             go { deadline_ms; token } (depth + 1)
         | n -> bad "unknown request opcode %d" n
       in
-      go no_meta 0)
+      go no_meta 0
+
+let decode_envelope s =
+  decode_body "request" s (fun r ->
+      let saved = r.pos in
+      if r_varint r = batch_opcode then begin
+        let items =
+          r_list r (fun r ->
+              let sub = r_str r in
+              let sr = { body = sub; pos = 0 } in
+              (* a nested batch hits the unknown-opcode arm of the item
+                 parser: batches do not recurse *)
+              let v = parse_request sr in
+              if sr.pos <> String.length sub then
+                bad "%d trailing byte(s) after batch item"
+                  (String.length sub - sr.pos);
+              v)
+        in
+        if items = [] then bad "empty batch";
+        Batch items
+      end
+      else begin
+        r.pos <- saved;
+        let meta, req = parse_request r in
+        Single (meta, req)
+      end)
+
+let decode_request_meta s =
+  match decode_envelope s with
+  | Single (meta, req) -> (meta, req)
+  | Batch _ -> bad "unexpected batch envelope (peer assumed pipelining)"
 
 let decode_request s = snd (decode_request_meta s)
 

@@ -129,7 +129,29 @@ val decode_request : string -> request
 
 val decode_request_meta : string -> meta * request
 (** Like {!decode_request} but returns the request metadata ({!no_meta}
-    when the frame carries no envelope). *)
+    when the frame carries no envelope).  @raise Bad_frame on a batch
+    frame — this is exactly what a pre-batch server does with one, so a
+    pipelining client talking to an old server gets a clean protocol
+    error, never a misparse. *)
+
+(** {2 Pipelining}
+
+    A batch frame (opcode 15) carries N requests at once: a varint
+    count, then each request's body — metadata envelope included — as a
+    length-prefixed blob, bit-for-bit the body a singleton frame would
+    have carried.  The server answers with N ordinary reply frames in
+    request order (no batch reply envelope), so replies to a pipelined
+    singleton are byte-identical to unpipelined ones.  Batches do not
+    nest, and an empty batch is malformed. *)
+
+type envelope = Single of meta * request | Batch of (meta * request) list
+
+val encode_batch : (meta * request) list -> string
+(** @raise Invalid_argument on an empty batch. *)
+
+val decode_envelope : string -> envelope
+(** Decode either frame shape.  A plain request frame decodes to
+    [Single], exactly as {!decode_request_meta} would. *)
 
 val encode_reply : reply -> string
 val decode_reply : string -> reply
@@ -137,6 +159,14 @@ val decode_reply : string -> reply
 val max_frame : int
 (** Hard bound on the body length (64 MB); both ends enforce it before
     trusting a length field. *)
+
+val frame_size : string -> int option
+(** Incremental framing for event-loop readers: given the {e prefix} of
+    a frame stream, the total byte length (header + body + trailer) of
+    the frame at its head, or [None] while fewer than the 9 header bytes
+    have arrived.  @raise Bad_frame on a malformed header or an
+    announced body over {!max_frame} — the stream can never resync, so
+    the connection must be dropped. *)
 
 (** {1 Frame transport} *)
 

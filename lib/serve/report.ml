@@ -27,6 +27,8 @@ type t = {
   p99_us : float;
   max_us : float;
   peak_rss_kb : int;
+  pipeline_depth : int;
+  arena_share : float option;
   soak : soak option;
 }
 
@@ -60,7 +62,11 @@ let to_json r =
       ("p99_us", Obs.Json.Num r.p99_us);
       ("max_us", Obs.Json.Num r.max_us);
       ("peak_rss_kb", Obs.Json.num_int r.peak_rss_kb);
+      ("pipeline_depth", Obs.Json.num_int r.pipeline_depth);
     ]
+    @ (match r.arena_share with
+      | None -> []
+      | Some s -> [ ("arena_share", Obs.Json.Num s) ])
     @ match r.soak with None -> [] | Some s -> [ ("soak", soak_to_json s) ])
 
 let write path r = Obs.Json.write_file path (to_json r)
@@ -111,6 +117,22 @@ let validate j =
     | Some _ ->
         let* _rss = num "peak_rss_kb" in
         Ok ()
+  in
+  let* () =
+    (* optional (pre-pipelining reports); when present, at least 1 *)
+    match Obs.Json.member "pipeline_depth" j with
+    | None -> Ok ()
+    | Some _ ->
+        let* d = num "pipeline_depth" in
+        if d < 1.0 then Error "pipeline_depth must be at least 1" else Ok ()
+  in
+  let* () =
+    (* optional (only arena-backed servers report it); a ratio *)
+    match Obs.Json.member "arena_share" j with
+    | None -> Ok ()
+    | Some _ ->
+        let* s = num "arena_share" in
+        if s > 1.0 then Error "arena_share must be within [0, 1]" else Ok ()
   in
   let* () =
     if p50 <= p95 && p95 <= p99 && p99 <= max_us then Ok ()

@@ -37,6 +37,13 @@ type t = {
   peak_rss_kb : int;
       (** load generator's peak resident set (VmHWM); 0 when the platform
           does not expose it *)
+  pipeline_depth : int;
+      (** requests per batch frame; 1 = classic unpipelined closed loop *)
+  arena_share : float option;
+      (** fraction of server-side publish/lookup traffic served by an
+          existing shared segment, [hits / (hits + published)] from the
+          server's [arena.*] counters; [None] when the server runs
+          without an arena *)
   soak : soak option;  (** [None] for closed-loop benchmark runs *)
 }
 

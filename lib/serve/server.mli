@@ -1,20 +1,43 @@
-(** The BDD service: a Unix-domain / TCP accept loop over {!Proto}
+(** The BDD service: a Unix-domain / TCP front end over {!Proto}
     frames, dispatching onto a session-sharded {!Mt.Service} pool.
 
-    Threading model: the accept loop, one reader thread per connection,
-    a housekeeper and (optionally) the pool supervisor are sys-threads
-    on the main domain (they only do blocking IO and registry work); the
-    [workers] pool shards are OCaml domains.  A session is pinned to
-    shard [session_id mod workers], so its private {!Session} manager is
-    only ever touched by one domain — hash-consing stays lock-free, and
-    requests within a session execute in order.
+    Threading model: the socket front end (see {!frontend}), a
+    housekeeper and (optionally) the pool supervisor are sys-threads on
+    the main domain (they only do IO and registry work); the [workers]
+    pool shards are OCaml domains.  A session is pinned to shard
+    [session_id mod workers], so its {!Session} manager is only ever
+    touched by one domain — hash-consing stays lock-free, and requests
+    within a session execute in order.
+
+    With the default [Poll] front end one event-loop thread multiplexes
+    every connection through [Unix.select]: frames are parsed
+    incrementally off per-connection buffers, so clients may {e
+    pipeline} requests (many frames in flight, or a {!Proto.encode_batch}
+    envelope) and one slow peer costs a buffer, not a thread.  Replies
+    are written opportunistically by the worker that computed them
+    (non-blocking) with the loop flushing any residue — reply {e order}
+    per session is still submission order, because a session's requests
+    all run on one shard.  [Threaded] restores the PR 5/9
+    one-blocking-reader-thread-per-connection shape.
 
     Admission control: each shard queue holds at most [queue_depth]
-    requests.  A request arriving at a full queue is answered
-    {!Proto.Overloaded} immediately by the reader thread — the server
-    sheds load explicitly instead of buffering without bound.  [Ping] is
-    answered inline by the reader (it touches no manager), so liveness
-    probes work even when the compute shards are saturated.
+    weight.  A request arriving at a full queue is answered
+    {!Proto.Overloaded} immediately by the front end — the server sheds
+    load explicitly instead of buffering without bound; a batch of N
+    weighs N (and is refused with N [Overloaded] replies, keeping one
+    reply per request).  [Ping] is answered inline by the front end (it
+    touches no manager), so liveness probes work even when the compute
+    shards are saturated.
+
+    {2 Shared arena}
+
+    [arena = true] backs {e every} session with one process-wide
+    {!Arena.t}: compiled models are published once as refcounted
+    segments and later sessions resolve them zero-copy from the arena
+    catalog (zero re-imports, counted in [arena.hits]); [Put] payloads
+    are content-deduplicated the same way.  Per-request [limits] are not
+    armed in arena mode (they are manager-global; see {!Handler}).
+    [Stats] replies then include the [arena.*] counters.
 
     {2 Robustness}
 
@@ -48,8 +71,22 @@ type bind =
   | Unix_path of string  (** Unix-domain socket at this path *)
   | Tcp of int  (** loopback TCP; [0] picks an ephemeral port *)
 
+(** Socket front end. *)
+type frontend =
+  | Poll
+      (** one event-loop thread multiplexing all connections via
+          [Unix.select]: non-blocking sockets, incremental frame
+          parsing, pipelining-friendly.  The default.  (Bounded by
+          [FD_SETSIZE] — about a thousand concurrent connections; use
+          [max_sessions] to stay under it.) *)
+  | Threaded
+      (** one blocking reader thread per connection with socket-level
+          [SO_RCVTIMEO]/[SO_SNDTIMEO] timeouts — the PR 5/9 shape, kept
+          as a fallback and a differential oracle for [Poll] *)
+
 type config = {
   bind : bind;
+  frontend : frontend;
   workers : int;
   queue_depth : int;
   limits : Handler.limits;  (** per-request budgets *)
@@ -86,12 +123,16 @@ type config = {
       (** directory for {!Session.journal_save} checkpoint files during
           quarantine rebuilds ([None] = rebuild from the in-memory
           journal only) *)
+  arena : bool;
+      (** back every session with one process-wide {!Arena.t} (shared
+          zero-copy segments, compile/put dedup).  Default [false]. *)
 }
 
 val default_config : config
-(** 4 workers, queue depth 64, no limits, 1024 sessions, 1 par job, Unix
-    path ["bdd-serve.sock"], no io/hang timeouts, 30 s session linger,
-    no table capacity, no spool. *)
+(** [Poll] front end, 4 workers, queue depth 64, no limits, 1024
+    sessions, 1 par job, Unix path ["bdd-serve.sock"], no io/hang
+    timeouts, 30 s session linger, no table capacity, no spool, no
+    arena. *)
 
 type t
 
@@ -105,6 +146,10 @@ val start : config -> t
 
 val address : t -> Unix.sockaddr
 (** The bound address — with [Tcp 0], the actual ephemeral port. *)
+
+val arena : t -> Arena.t option
+(** The process-wide arena, when [config.arena] is set — e.g. for
+    in-process inspection of segment/refcount state in tests. *)
 
 val drain : t -> unit
 (** Graceful shutdown: stop accepting, answer everything queued, join
@@ -135,6 +180,7 @@ val sessions : t -> int
 val durable_sessions : t -> int
 val accepted : t -> int
 val requests : t -> int
+val batches : t -> int
 val rejected : t -> int
 val degraded_replies : t -> int
 val errors : t -> int

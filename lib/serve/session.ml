@@ -24,6 +24,12 @@ type t = {
   id : int;
   key : string option;
   man : Bdd.man;
+  arena : Arena.t option;
+      (* when set, [man] IS the arena's shared manager: handles resolve
+         zero-copy, gc is the arena's business ([reclaim]), and the
+         session must give back its retained segment refs at [close] *)
+  mutable arena_handles : Arena.handle list;  (* refs this session owns *)
+  mutable closed : bool;
   handles : (int, Bdd.t) Hashtbl.t;
   models : (string, Circuit.t) Hashtbl.t;
   model_src : (string, string) Hashtbl.t;  (* name -> BLIF text, for journal *)
@@ -36,19 +42,28 @@ type t = {
   mutable dedup_next : int;
 }
 
-let create ?(shared = false) ?table_capacity ?key ~id () =
-  let man = Bdd.create ~shared () in
-  (* sessions participate in observability and chaos exactly like
-     Mt.Runner job managers do *)
-  if Obs.Kernel.observing () then Obs.Kernel.attach man;
-  if Resil.Fault.enabled () then Resil.Fault.attach man;
-  (match table_capacity with
-  | Some cap -> Bdd.set_table_capacity man (Some cap)
-  | None -> ());
+let create ?(shared = false) ?table_capacity ?arena ?key ~id () =
+  let man =
+    match arena with
+    | Some a -> Arena.man a  (* zero-copy: overlay on the shared table *)
+    | None ->
+        let man = Bdd.create ~shared () in
+        (* sessions participate in observability and chaos exactly like
+           Mt.Runner job managers do *)
+        if Obs.Kernel.observing () then Obs.Kernel.attach man;
+        if Resil.Fault.enabled () then Resil.Fault.attach man;
+        (match table_capacity with
+        | Some cap -> Bdd.set_table_capacity man (Some cap)
+        | None -> ());
+        man
+  in
   {
     id;
     key;
     man;
+    arena;
+    arena_handles = [];
+    closed = false;
     handles = Hashtbl.create 64;
     models = Hashtbl.create 4;
     model_src = Hashtbl.create 4;
@@ -64,6 +79,32 @@ let create ?(shared = false) ?table_capacity ?key ~id () =
 let id t = t.id
 let key t = t.key
 let man t = t.man
+let arena t = t.arena
+let arena_backed t = t.arena <> None
+
+let adopt_arena t h =
+  (* take ownership of one existing reference to segment [h]; it is
+     released when the session closes *)
+  t.arena_handles <- h :: t.arena_handles
+
+let retain_arena t h =
+  match t.arena with
+  | None -> invalid_arg "Session.retain_arena: not arena-backed"
+  | Some a ->
+      Arena.retain a h;
+      adopt_arena t h
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    match t.arena with
+    | None -> ()
+    | Some a ->
+        List.iter
+          (fun h -> try Arena.release a h with Not_found | Invalid_argument _ -> ())
+          t.arena_handles;
+        t.arena_handles <- []
+  end
 
 let put t f =
   let h = t.next_handle in
@@ -91,10 +132,16 @@ let handle_count t = Hashtbl.length t.handles
 let add_model t name c = Hashtbl.replace t.models name c
 let model t name = Hashtbl.find_opt t.models name
 let roots t = Hashtbl.fold (fun _ f acc -> f :: acc) t.handles []
-let gc t = Bdd.gc t.man ~roots:(roots t)
+
+(* Arena-backed sessions never collect from request context: their
+   manager is the process-wide shared table, other sessions' overlays
+   live in it concurrently, and a sweep requires quiescence — that is
+   {!Arena.reclaim}'s job, driven by the server at a safe point. *)
+let gc t =
+  if t.arena <> None then 0 else Bdd.gc t.man ~roots:(roots t)
 
 let maybe_gc t =
-  if Bdd.unique_size t.man > t.gc_arm then begin
+  if t.arena = None && Bdd.unique_size t.man > t.gc_arm then begin
     ignore (gc t);
     t.gc_arm <- max gc_arm_floor (2 * Bdd.unique_size t.man)
   end
@@ -230,8 +277,8 @@ let replay t entry =
       Hashtbl.replace t.model_src name blif
   | J_free hs -> ignore (free t hs)
 
-let rebuild ?shared ?table_capacity ?key ~id entries =
-  let t = create ?shared ?table_capacity ?key ~id () in
+let rebuild ?shared ?table_capacity ?arena ?key ~id entries =
+  let t = create ?shared ?table_capacity ?arena ?key ~id () in
   let dropped = ref 0 in
   List.iter
     (fun e ->

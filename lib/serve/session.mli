@@ -40,7 +40,13 @@ type journal_entry =
   | J_free of int list
 
 val create :
-  ?shared:bool -> ?table_capacity:int -> ?key:string -> id:int -> unit -> t
+  ?shared:bool ->
+  ?table_capacity:int ->
+  ?arena:Arena.t ->
+  ?key:string ->
+  id:int ->
+  unit ->
+  t
 (** [shared] (default false) creates the session's manager with
     [Bdd.create ~shared:true] so a parallel-kernel pool may fork requests
     across domains ({!Handler.handle}'s [pool]); single-domain sessions
@@ -48,11 +54,35 @@ val create :
     {!Bdd.set_table_capacity} ceiling on the manager (the serve layer's
     {!Bdd.Table_full} degradation path).  [key] marks the session as
     durable — attachable by name across connections (see
-    {!Proto.Attach}). *)
+    {!Proto.Attach}).
+
+    [arena] makes the session {e arena-backed}: it builds no manager of
+    its own but overlays {!Arena.man} — published segments resolve
+    zero-copy, request-local results are ordinary nodes in the shared
+    table, and [shared]/[table_capacity] are ignored (the arena already
+    fixed both).  {!gc}/{!maybe_gc} become no-ops (reclamation is
+    {!Arena.reclaim}, at quiescence), and segment references the session
+    retains are given back at {!close}. *)
 
 val id : t -> int
 val key : t -> string option
 val man : t -> Bdd.man
+val arena : t -> Arena.t option
+val arena_backed : t -> bool
+
+val adopt_arena : t -> Arena.handle -> unit
+(** Take ownership of one {e existing} reference to an arena segment
+    (e.g. the one {!Arena.publish} hands back); released at {!close}. *)
+
+val retain_arena : t -> Arena.handle -> unit
+(** {!Arena.retain} plus {!adopt_arena}.  @raise Invalid_argument on a
+    session that is not arena-backed. *)
+
+val close : t -> unit
+(** Release every arena reference the session owns.  Idempotent; a
+    no-op for non-arena sessions.  Call when the session is permanently
+    done (connection gone for anonymous sessions, linger expiry or
+    drain for durable ones). *)
 
 val put : t -> Bdd.t -> int
 (** Register a BDD under a fresh handle (handles start at 1 and are never
@@ -125,6 +155,7 @@ val journal_length : t -> int
 val rebuild :
   ?shared:bool ->
   ?table_capacity:int ->
+  ?arena:Arena.t ->
   ?key:string ->
   id:int ->
   journal_entry list ->

@@ -1,0 +1,145 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the shared arena + pipelined wire (make pipeline-smoke).
+#
+# Phase 1 — pipelined benchmark against an arena-backed server: a
+# 4-worker poll-frontend server with --arena, hit by the closed-loop
+# load generator at --pipeline-depth 8 (4 connections x 250 requests,
+# every reply oracle-checked at batch-build time; the loadgen preflight
+# first asserts pipelined reply frames are byte-identical to
+# unpipelined ones).  Assertions:
+#   1. zero oracle contradictions (loadgen exits 1 on any `wrong`);
+#   2. the server really saw batch frames (drain summary batches > 0);
+#   3. the compiled circuit was shared, not re-imported: each connection
+#      issues one Compile of the same benchmark circuit, and the drain
+#      summary must show exactly one publish set with hits > 0 (every
+#      later Compile resolved from the arena catalog zero-copy);
+#   4. the bdd-serve-bench/v1 report validates and records the
+#      pipeline depth and a positive arena share;
+#   5. the metrics snapshot validates, including the arena.*
+#      impossibility rules (obs_check);
+#   6. SIGTERM still drains cleanly (exit 0).
+#
+# Phase 2 — one wire-fault seed against the poll event loop: a short
+# open-loop soak whose client-side wire probes tear, corrupt and stall
+# frames mid-send (same fault family as soak_smoke, fresh seed).  The
+# poll front end must shed the mangled frames as typed errors or
+# connection closes — never an accept-loop stall or a server exit — and
+# the retrying client must keep its oracle discipline (zero wrong).
+# Pipelining is deliberately off here: a torn batch frame kills one
+# connection, and the retrying client that survives that is the soak
+# client, which speaks singletons.
+#
+# Artifacts live under _build/smoke/ (removed by dune clean).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SMOKE=_build/smoke
+SERVE=_build/default/bin/serve_main.exe
+LOADGEN=_build/default/bench/loadgen.exe
+OBS_CHECK=_build/default/bin/obs_check.exe
+
+mkdir -p "$SMOKE"
+rm -f "$SMOKE"/pipeline*.sock "$SMOKE"/pipeline_*.json "$SMOKE"/pipeline_*.log
+
+wait_for_socket() {
+    local sock=$1
+    for _ in $(seq 1 100); do
+        [ -S "$sock" ] && return 0
+        sleep 0.1
+    done
+    echo "pipeline_smoke: server never bound $sock" >&2
+    return 1
+}
+
+terminate() {
+    # SIGTERM must produce a graceful drain and exit status 0
+    local pid=$1 name=$2
+    kill -TERM "$pid"
+    local status=0
+    wait "$pid" || status=$?
+    if [ "$status" -ne 0 ]; then
+        echo "pipeline_smoke: $name exited $status on SIGTERM (want 0)" >&2
+        exit 1
+    fi
+}
+
+summary_field() {
+    # pull field=N out of a drain-summary log line
+    sed -n "s/.*[ (]$2=\([0-9]*\).*/\1/p" "$1" | head -n 1
+}
+
+echo "== phase 1: pipelined closed loop over a shared arena =="
+"$SERVE" --socket "$SMOKE/pipeline.sock" --arena --workers 4 \
+    --queue-depth 64 --metrics "$SMOKE/pipeline_metrics.json" \
+    > "$SMOKE/pipeline_phase1.log" 2>&1 &
+SERVER_PID=$!
+wait_for_socket "$SMOKE/pipeline.sock"
+
+"$LOADGEN" --socket "$SMOKE/pipeline.sock" --smoke --seed 5 \
+    --pipeline-depth 8 -o "$SMOKE/pipeline_bench.json"
+
+terminate "$SERVER_PID" "server"
+cat "$SMOKE/pipeline_phase1.log"
+
+BATCHES=$(summary_field "$SMOKE/pipeline_phase1.log" batches)
+if [ -z "$BATCHES" ] || [ "$BATCHES" -eq 0 ]; then
+    echo "pipeline_smoke: server saw no batch frames" >&2
+    exit 1
+fi
+
+# sharing, not re-importing: one publish set for the benchmark circuit,
+# every other connection's Compile a catalog hit
+ARENA_LINE=$(grep 'serve_main: arena' "$SMOKE/pipeline_phase1.log" | head -n 1)
+PUBLISHED=$(printf '%s\n' "$ARENA_LINE" | sed -n 's/.*[ (]published=\([0-9]*\).*/\1/p')
+HITS=$(printf '%s\n' "$ARENA_LINE" | sed -n 's/.*[ (]hits=\([0-9]*\).*/\1/p')
+if [ -z "$PUBLISHED" ] || [ -z "$HITS" ]; then
+    echo "pipeline_smoke: no arena summary in the drain line" >&2
+    exit 1
+fi
+if [ "$PUBLISHED" -ne 1 ] || [ "$HITS" -eq 0 ]; then
+    echo "pipeline_smoke: expected 1 publish with hits > 0," \
+        "got published=$PUBLISHED hits=$HITS (circuit was re-imported?)" >&2
+    exit 1
+fi
+
+"$OBS_CHECK" --serve-bench "$SMOKE/pipeline_bench.json" \
+    --metrics "$SMOKE/pipeline_metrics.json"
+
+# the report must carry the depth it ran at and a positive arena share
+if ! grep -q '"pipeline_depth": *8' "$SMOKE/pipeline_bench.json"; then
+    echo "pipeline_smoke: report does not record pipeline_depth=8" >&2
+    exit 1
+fi
+if ! grep -q '"arena_share": *0*\.[0-9]*[1-9]' "$SMOKE/pipeline_bench.json"; then
+    echo "pipeline_smoke: report has no positive arena_share" >&2
+    exit 1
+fi
+
+echo "== phase 2: wire-fault seed against the poll front end =="
+"$SERVE" --socket "$SMOKE/pipeline_chaos.sock" --arena --workers 2 \
+    --queue-depth 64 --io-timeout 2 \
+    > "$SMOKE/pipeline_phase2.log" 2>&1 &
+CHAOS_PID=$!
+wait_for_socket "$SMOKE/pipeline_chaos.sock"
+
+"$LOADGEN" --socket "$SMOKE/pipeline_chaos.sock" --connections 4 \
+    --soak "${PIPELINE_FAULT_SECS:-3}" --arrival-rate 250 \
+    --seed 23 --expect-faults \
+    --faults 'seed=23,wire_cut=0.01,wire_flip=0.01,wire_stall=0.005,wire_delay=0.01' \
+    -o "$SMOKE/pipeline_fault.json" | tee "$SMOKE/pipeline_fault.log"
+
+terminate "$CHAOS_PID" "chaos server"
+cat "$SMOKE/pipeline_phase2.log"
+
+# the fault phase is pointless if no wire fault actually bit: the
+# retrying client counts every re-send and re-dial it was forced into
+RETRIES=$(sed -n 's/.*retries=\([0-9]*\).*/\1/p' "$SMOKE/pipeline_fault.log")
+RECONNECTS=$(sed -n 's/.*reconnects=\([0-9]*\).*/\1/p' "$SMOKE/pipeline_fault.log")
+if [ "$((${RETRIES:-0} + ${RECONNECTS:-0}))" -eq 0 ]; then
+    echo "pipeline_smoke: wire-fault phase forced no retries or reconnects" >&2
+    exit 1
+fi
+
+echo "pipeline_smoke: OK (batches=$BATCHES, published=$PUBLISHED," \
+    "hits=$HITS, server survived $RETRIES retries / $RECONNECTS reconnects)"

@@ -1,0 +1,251 @@
+(* The shared arena's ownership story, from the outside: publish dedup
+   is content-exact, views are zero-copy (physically the same node),
+   refcounts move ownership across holders, the catalog pins what it
+   files, and — the load-bearing property — an attach/detach storm
+   across 4 concurrent domains never observes a live segment reclaimed,
+   yet a quiesced arena reclaims *everything* once the last reference
+   drops (no leak: a second sweep finds nothing more to free). *)
+
+let qtest ?(count = 10) name prop_arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name prop_arb prop)
+
+let assoc k kvs =
+  match List.assoc_opt k kvs with
+  | Some v -> v
+  | None -> Alcotest.failf "stats is missing %s" k
+
+(* canonical bytes of a small function, built in a scratch manager *)
+let bytes_of build =
+  let man = Bdd.create ~nvars:8 () in
+  Bdd.serialized_to_string (Bdd.export man (build man))
+
+let conj_bytes i =
+  bytes_of (fun m -> Bdd.band m (Bdd.ithvar m (i mod 8)) (Bdd.ithvar m ((i + 1) mod 8)))
+
+(* --- publish dedup ------------------------------------------------------ *)
+
+let test_publish_dedup () =
+  let a = Arena.create () in
+  let b1 = conj_bytes 0 and b2 = conj_bytes 2 in
+  let h1 = Arena.publish_serialized a ~name:"first" b1 in
+  let h1' = Arena.publish_serialized a b1 in
+  Alcotest.(check int) "identical bytes dedup to one handle" h1 h1';
+  Alcotest.(check (option int)) "both publishes own a reference" (Some 2)
+    (Arena.refs a h1);
+  let h2 = Arena.publish_serialized a b2 in
+  Alcotest.(check bool) "different content gets a fresh handle" true (h1 <> h2);
+  let s = Arena.stats a in
+  Alcotest.(check int) "3 publish calls" 3 (assoc "arena.publishes" s);
+  Alcotest.(check int) "2 unique segments" 2 (assoc "arena.published" s);
+  Alcotest.(check int) "1 dedup hit" 1 (assoc "arena.hits" s);
+  Alcotest.(check int) "live_segments = published - reclaimed"
+    (assoc "arena.published" s - assoc "arena.reclaimed" s)
+    (assoc "arena.live_segments" s);
+  (* the dedup-survivor keeps the first publish's name *)
+  Alcotest.(check (option string)) "name is the first publisher's"
+    (Some "first") (Arena.name a h1)
+
+let test_view_is_zero_copy () =
+  (* nvars pins the canonical byte form: export embeds the manager's
+     variable count and order, so the arena manager must agree with the
+     scratch manager for publish_root's re-export to dedup *)
+  let a = Arena.create ~nvars:8 () in
+  let h = Arena.publish_serialized a (conj_bytes 1) in
+  let f = Arena.view a h in
+  (* hash-consing in the shared manager: two views are the same node *)
+  Alcotest.(check bool) "views are physically equal" true
+    (Arena.view a h == f);
+  (* and publishing a root already in the arena's manager copies nothing,
+     it just folds into the live segment *)
+  let h' = Arena.publish_root a f in
+  Alcotest.(check int) "publish_root of a viewed root dedups" h h';
+  Arena.release a h'
+
+(* --- refcount lifecycle ------------------------------------------------- *)
+
+let test_refcount_lifecycle () =
+  let a = Arena.create () in
+  let h = Arena.publish_serialized a (conj_bytes 3) in
+  Arena.retain a h;
+  Alcotest.(check (option int)) "retain bumps" (Some 2) (Arena.refs a h);
+  Arena.release a h;
+  Alcotest.(check (option int)) "release drops" (Some 1) (Arena.refs a h);
+  Arena.release a h;
+  (* last reference gone: the segment left the registry for good *)
+  Alcotest.(check (option int)) "dead handle has no refs" None (Arena.refs a h);
+  Alcotest.(check int) "no live segments" 0 (Arena.live_segments a);
+  (match Arena.view a h with
+  | (_ : Bdd.t) -> Alcotest.fail "view resurrected a reclaimed handle"
+  | exception Not_found -> ());
+  (match Arena.retain a h with
+  | () -> Alcotest.fail "retain resurrected a reclaimed handle"
+  | exception Not_found -> ());
+  (match Arena.release a h with
+  | () -> Alcotest.fail "double release succeeded"
+  | exception Not_found -> ());
+  let s = Arena.stats a in
+  Alcotest.(check int) "reclaimed <= published" (assoc "arena.published" s)
+    (max (assoc "arena.published" s) (assoc "arena.reclaimed" s));
+  Alcotest.(check int) "everything reclaimed" 1 (assoc "arena.reclaimed" s);
+  (* republishing the same content after reclaim is a fresh segment, not
+     a hit — a reclaimed segment is never resurrected *)
+  let h2 = Arena.publish_serialized a (conj_bytes 3) in
+  Alcotest.(check bool) "handles are never reused" true (h2 <> h);
+  Alcotest.(check int) "republish is not a dedup hit"
+    (assoc "arena.hits" s)
+    (assoc "arena.hits" (Arena.stats a))
+
+(* --- catalog ------------------------------------------------------------ *)
+
+let test_catalog_pins_and_first_writer_wins () =
+  let a = Arena.create () in
+  let h = Arena.publish_serialized a ~name:"m.out" (conj_bytes 4) in
+  Arena.catalog_put a ~key:"model-src" [ ("out", h) ];
+  (* the catalog took its own pinning reference: dropping the publisher's
+     reference must not reclaim the segment *)
+  Arena.release a h;
+  Alcotest.(check (option int)) "catalog pin keeps the segment live"
+    (Some 1) (Arena.refs a h);
+  (match Arena.catalog_find a ~key:"model-src" with
+  | Some [ ("out", h') ] -> Alcotest.(check int) "find returns the handle" h h'
+  | _ -> Alcotest.fail "catalog lookup failed");
+  Alcotest.(check bool) "a catalog find counts avoided imports" true
+    (assoc "arena.hits" (Arena.stats a) >= 1);
+  (* first writer wins: a duplicate put under the same key is ignored *)
+  let h2 = Arena.publish_serialized a (conj_bytes 5) in
+  Arena.catalog_put a ~key:"model-src" [ ("out", h2) ];
+  (match Arena.catalog_find a ~key:"model-src" with
+  | Some [ ("out", h') ] -> Alcotest.(check int) "first entry survives" h h'
+  | _ -> Alcotest.fail "catalog lookup failed");
+  Alcotest.(check (option int)) "the losing put pinned nothing" (Some 1)
+    (Arena.refs a h2);
+  Alcotest.(check (option string)) "miss on an unknown key is None" None
+    (Option.map (fun _ -> "hit") (Arena.catalog_find a ~key:"other"))
+
+let test_catalog_claim_single_flight () =
+  let a = Arena.create ~nvars:8 () in
+  (* cold key: the first claimant owns the compute *)
+  (match Arena.catalog_claim a ~key:"k" with
+  | `Found _ -> Alcotest.fail "claim hit an empty catalog"
+  | `Claimed -> ());
+  (* a racing claimant must block until the owner settles, then find the
+     filed entries — never claim a duplicate compute *)
+  let observed = ref `Blocked in
+  let waiter =
+    Thread.create
+      (fun () ->
+        match Arena.catalog_claim a ~key:"k" with
+        | `Found [ ("out", _) ] -> observed := `Found
+        | `Found _ -> observed := `Wrong_entries
+        | `Claimed -> observed := `Duplicate_claim)
+      ()
+  in
+  Thread.delay 0.05;
+  Alcotest.(check bool) "waiter blocks while the compute is in flight" true
+    (!observed = `Blocked);
+  let h = Arena.publish_serialized a (conj_bytes 6) in
+  Arena.catalog_put a ~key:"k" [ ("out", h) ];
+  Thread.join waiter;
+  Alcotest.(check bool) "settled waiter finds the owner's entries" true
+    (!observed = `Found);
+  (* abort hands the compute over: the blocked claimant wakes `Claimed` *)
+  (match Arena.catalog_claim a ~key:"k2" with
+  | `Found _ -> Alcotest.fail "claim hit an empty catalog"
+  | `Claimed -> ());
+  let taken_over = ref false in
+  let waiter2 =
+    Thread.create
+      (fun () ->
+        match Arena.catalog_claim a ~key:"k2" with
+        | `Claimed -> taken_over := true
+        | `Found _ -> ())
+      ()
+  in
+  Thread.delay 0.02;
+  Arena.catalog_abort a ~key:"k2";
+  Thread.join waiter2;
+  Alcotest.(check bool) "abort wakes a waiter as the new owner" true
+    !taken_over
+
+(* --- the 4-domain storm ------------------------------------------------- *)
+
+(* Each domain retains/views/releases against a fixed set of published
+   segments while the others do the same.  The arena holds one base
+   reference per segment throughout, so every view inside the storm MUST
+   succeed — a Not_found would mean a live segment was reclaimed out
+   from under a reader.  After the storm quiesces, dropping the base
+   references empties the registry and [reclaim] sweeps the shared
+   table; a second sweep freeing nothing is the no-leak certificate. *)
+let storm_prop (seed, ops) =
+  let a = Arena.create ~nvars:8 () in
+  let handles =
+    Array.init 5 (fun i ->
+        Arena.publish_serialized a ~name:(Printf.sprintf "seg%d" i)
+          (conj_bytes i))
+  in
+  let domains = 4 in
+  let failures = Atomic.make 0 in
+  let spawn d =
+    Domain.spawn (fun () ->
+        let state = ref (((seed * 31) + d + 1) land 0x3FFFFFFF) in
+        let rand bound =
+          state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+          !state mod bound
+        in
+        for _ = 1 to ops do
+          let h = handles.(rand (Array.length handles)) in
+          match
+            Arena.retain a h;
+            let f = Arena.view a h in
+            ignore (Bdd.size f);
+            Arena.release a h
+          with
+          | () -> ()
+          | exception _ -> Atomic.incr failures
+        done)
+  in
+  let ds = List.init domains spawn in
+  List.iter Domain.join ds;
+  let live_ok =
+    Atomic.get failures = 0
+    && Arena.live_segments a = Array.length handles
+    && Arena.live_refs a = Array.length handles
+  in
+  (* quiesce: drop the base references, then sweep *)
+  Array.iter (fun h -> Arena.release a h) handles;
+  let s = Arena.stats a in
+  let registry_ok =
+    Arena.live_segments a = 0
+    && Arena.live_refs a = 0
+    && List.assoc "arena.reclaimed" s = List.assoc "arena.published" s
+    && List.assoc "arena.reclaimed_bytes" s
+       = List.assoc "arena.published_bytes" s
+  in
+  let swept = Arena.reclaim a () in
+  let no_leak = swept > 0 && Arena.reclaim a () = 0 in
+  live_ok && registry_ok && no_leak
+
+let storm =
+  qtest ~count:10
+    "4-domain attach/detach storm: live segments survive, quiesce reclaims all"
+    QCheck.(
+      make
+        ~print:(fun (seed, ops) -> Printf.sprintf "seed=%d ops=%d" seed ops)
+        Gen.(pair (int_bound 10_000) (int_range 50 300)))
+    storm_prop
+
+let tests =
+  ( "arena",
+    [
+      Alcotest.test_case "publish dedups identical content" `Quick
+        test_publish_dedup;
+      Alcotest.test_case "view is zero-copy (same hash-consed node)" `Quick
+        test_view_is_zero_copy;
+      Alcotest.test_case "refcounts: retain/release/dead-handle discipline"
+        `Quick test_refcount_lifecycle;
+      Alcotest.test_case "catalog pins its entries; first writer wins" `Quick
+        test_catalog_pins_and_first_writer_wins;
+      Alcotest.test_case "catalog claims are single-flight" `Quick
+        test_catalog_claim_single_flight;
+      storm;
+    ] )

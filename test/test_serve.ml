@@ -450,6 +450,215 @@ let test_queue_overflow_is_explicit () =
           Alcotest.(check int) "server counted 4 rejections" 4
             (Serve.Server.rejected t)))
 
+(* --- pipelined batches --------------------------------------------------- *)
+
+let nm r = (Serve.Proto.no_meta, r)
+
+let test_batch_replies_byte_identical () =
+  (* the same deterministic request sequence, once as singletons and once
+     as a single batch frame, from two fresh sessions: the reply frames
+     must match byte for byte — pipelining changes framing on the way in,
+     nothing on the way out *)
+  let reqs =
+    [
+      Serve.Proto.Lit { var = 0; phase = true };
+      Serve.Proto.Lit { var = 1; phase = false };
+      Serve.Proto.Apply (Serve.Proto.And (1, 2));
+      Serve.Proto.Count { handle = 3; nvars = 2 };
+      Serve.Proto.Fetch { handle = 3 };
+      Serve.Proto.Fetch { handle = 999 } (* an Error rides in order too *);
+    ]
+  in
+  with_server Serve.Server.default_config (fun t ->
+      let singleton_frames =
+        with_client t (fun c ->
+            List.map
+              (fun r ->
+                Serve.Client.post c r;
+                Serve.Client.receive_frame c)
+              reqs)
+      in
+      let batched_frames =
+        with_client t (fun c ->
+            Serve.Client.post_batch c (List.map nm reqs);
+            List.map (fun _ -> Serve.Client.receive_frame c) reqs)
+      in
+      List.iteri
+        (fun i (a, b) ->
+          Alcotest.(check string)
+            (Printf.sprintf "reply %d is byte-identical" i)
+            a b)
+        (List.combine singleton_frames batched_frames);
+      Alcotest.(check int) "the server counted one batch" 1
+        (Serve.Server.batches t))
+
+let test_batch_order_and_call_batch () =
+  with_server Serve.Server.default_config (fun t ->
+      with_client t (fun c ->
+          let replies =
+            Serve.Client.call_batch c
+              (List.map nm
+                 [
+                   Serve.Proto.Ping;
+                   Serve.Proto.Lit { var = 4; phase = true };
+                   Serve.Proto.Apply (Serve.Proto.Not 1);
+                 ])
+          in
+          match replies with
+          | [ Serve.Proto.Pong; Serve.Proto.Handle { id = 1; _ };
+              Serve.Proto.Handle { id = 2; _ } ] ->
+              ()
+          | rs ->
+              Alcotest.failf "replies out of order: %s"
+                (String.concat "; "
+                   (List.map
+                      (Format.asprintf "%a" Serve.Proto.pp_reply)
+                      rs))))
+
+let test_batch_overflow_n_overloaded () =
+  (* a refused batch of N answers N Overloaded frames — one reply per
+     request holds even when admission control sheds the whole envelope.
+     The worker is parked on the marker and a singleton fills the
+     depth-1 queue, so the batch deterministically overflows. *)
+  let gate_m = Mutex.create () in
+  let gate_c = Condition.create () in
+  let entered = ref false in
+  let release = ref false in
+  let marker = 616161 in
+  let on_dispatch = function
+    | Serve.Proto.Fetch { handle } when handle = marker ->
+        Mutex.lock gate_m;
+        entered := true;
+        Condition.broadcast gate_c;
+        while not !release do
+          Condition.wait gate_c gate_m
+        done;
+        Mutex.unlock gate_m
+    | _ -> ()
+  in
+  let cfg =
+    {
+      Serve.Server.default_config with
+      workers = 1;
+      queue_depth = 1;
+      on_dispatch = Some on_dispatch;
+    }
+  in
+  with_server cfg (fun t ->
+      with_client t (fun c ->
+          Serve.Client.post c (Serve.Proto.Fetch { handle = marker });
+          Mutex.lock gate_m;
+          while not !entered do
+            Condition.wait gate_c gate_m
+          done;
+          Mutex.unlock gate_m;
+          (* worker parked; this singleton fills the queue *)
+          Serve.Client.post c Serve.Proto.Stats;
+          let batch =
+            List.map nm
+              [ Serve.Proto.Stats; Serve.Proto.Stats; Serve.Proto.Stats ]
+          in
+          let replies = Serve.Client.call_batch c batch in
+          List.iteri
+            (fun i r ->
+              match r with
+              | Serve.Proto.Overloaded -> ()
+              | r ->
+                  Alcotest.failf "batch reply %d: expected Overloaded, got %a"
+                    i Serve.Proto.pp_reply r)
+            replies;
+          Alcotest.(check int) "exactly N rejections" 3 (List.length replies);
+          Mutex.lock gate_m;
+          release := true;
+          Condition.broadcast gate_c;
+          Mutex.unlock gate_m;
+          (match Serve.Client.receive c with
+          | Serve.Proto.Error _ -> ()
+          | r -> Alcotest.failf "marker: expected Error, got %a" Serve.Proto.pp_reply r);
+          (match Serve.Client.receive c with
+          | Serve.Proto.Stats_are _ -> ()
+          | r ->
+              Alcotest.failf "queued request: expected Stats_are, got %a"
+                Serve.Proto.pp_reply r);
+          Alcotest.(check int) "server counted the batch's rejections" 3
+            (Serve.Server.rejected t)))
+
+(* --- the shared arena over the wire -------------------------------------- *)
+
+let arena_stat t key =
+  match Serve.Server.arena t with
+  | None -> Alcotest.fail "arena mode is on but Server.arena is None"
+  | Some a -> (
+      match List.assoc_opt key (Arena.stats a) with
+      | Some v -> v
+      | None -> Alcotest.failf "arena stats is missing %s" key)
+
+let test_arena_compile_shared_zero_reimports () =
+  (* the acceptance demo: one session compiles a model, N later sessions
+     attach to the very same arena segments — published count frozen,
+     every later compile served from the catalog (zero re-imports) *)
+  let cfg = { Serve.Server.default_config with arena = true } in
+  with_server cfg (fun t ->
+      let blif = Blif.to_string (Generate.counter ~bits:4) in
+      let first =
+        with_client t (fun c -> Serve.Client.compile c ~name:"ctr" ~blif)
+      in
+      Alcotest.(check bool) "compile produced handles" true (first <> []);
+      let published = arena_stat t "arena.published" in
+      Alcotest.(check bool) "the model was published as segments" true
+        (published >= 1 && published <= List.length first);
+      let hits0 = arena_stat t "arena.hits" in
+      let later =
+        List.init 3 (fun _ ->
+            with_client t (fun c -> Serve.Client.compile c ~name:"ctr" ~blif))
+      in
+      List.iter
+        (fun handles ->
+          Alcotest.(check int) "same outputs from the catalog"
+            (List.length first) (List.length handles);
+          List.iter2
+            (fun (n1, _, s1) (n2, _, s2) ->
+              Alcotest.(check string) "same output name" n1 n2;
+              Alcotest.(check int) "same node count (same segment)" s1 s2)
+            first handles)
+        later;
+      Alcotest.(check int) "zero re-imports: published count is frozen"
+        published
+        (arena_stat t "arena.published");
+      Alcotest.(check bool) "every later compile hit the catalog" true
+        (arena_stat t "arena.hits" - hits0 >= 3 * List.length first);
+      (* the arena answer is still correct: reach the model from a
+         catalog-served session and check the exact state count *)
+      with_client t (fun c ->
+          ignore (Serve.Client.compile c ~name:"ctr" ~blif);
+          match
+            Serve.Client.call c (Serve.Proto.Reach { model = "ctr"; max_iter = 0 })
+          with
+          | Serve.Proto.Reach_done { states; cert = Serve.Proto.Exact; _ } ->
+              Alcotest.(check (float 0.0)) "16 states" 16.0 states
+          | r -> Alcotest.failf "expected Reach_done, got %a" Serve.Proto.pp_reply r))
+
+let test_arena_put_dedups_across_sessions () =
+  let cfg = { Serve.Server.default_config with arena = true } in
+  with_server cfg (fun t ->
+      let man = Bdd.create ~nvars:4 () in
+      let payload =
+        Bdd.serialized_to_string
+          (Bdd.export man (Bdd.band man (Bdd.ithvar man 0) (Bdd.ithvar man 3)))
+      in
+      with_client t (fun c1 ->
+          with_client t (fun c2 ->
+              ignore (Serve.Client.put c1 payload);
+              ignore (Serve.Client.put c2 payload);
+              Alcotest.(check int) "one segment for identical payloads" 1
+                (arena_stat t "arena.published");
+              Alcotest.(check bool) "the second put was a dedup hit" true
+                (arena_stat t "arena.hits" >= 1);
+              (* a corrupt payload is still a clean typed error *)
+              match Serve.Client.call c1 (Serve.Proto.Put { bdd = "garbage" }) with
+              | Serve.Proto.Error _ -> ()
+              | r -> Alcotest.failf "expected Error, got %a" Serve.Proto.pp_reply r)))
+
 (* --- compile + reach ---------------------------------------------------- *)
 
 let test_compile_reach_counter () =
@@ -510,6 +719,16 @@ let tests =
         `Quick test_pipelined_request_attach_binding;
       Alcotest.test_case "queue overflow answers Overloaded, never hangs" `Quick
         test_queue_overflow_is_explicit;
+      Alcotest.test_case "pipelined batch replies are byte-identical" `Quick
+        test_batch_replies_byte_identical;
+      Alcotest.test_case "call_batch streams replies in request order" `Quick
+        test_batch_order_and_call_batch;
+      Alcotest.test_case "a refused batch answers N Overloaded frames" `Quick
+        test_batch_overflow_n_overloaded;
+      Alcotest.test_case "arena compile: one segment set, zero re-imports"
+        `Quick test_arena_compile_shared_zero_reimports;
+      Alcotest.test_case "arena put dedups identical payloads across sessions"
+        `Quick test_arena_put_dedups_across_sessions;
       Alcotest.test_case "compile + reach a 4-bit counter exactly" `Quick
         test_compile_reach_counter;
       Alcotest.test_case "ping and graceful, idempotent drain" `Quick

@@ -203,6 +203,78 @@ let prop_reply_bit_flip =
     arb_reply (fun r ->
       bit_flips Serve.Proto.decode_reply (Serve.Proto.encode_reply r))
 
+(* --- batch frames (pipelining) ----------------------------------------- *)
+
+let gen_batch = list_size (int_range 1 6) (pair gen_meta gen_request)
+
+let arb_batch =
+  QCheck.make
+    ~print:(fun items ->
+      String.concat "; "
+        (List.map
+           (fun (m, r) ->
+             Format.asprintf "tok=%d %a" m.Serve.Proto.token
+               Serve.Proto.pp_request r)
+           items))
+    gen_batch
+
+let prop_batch_round_trip =
+  qtest ~count:500 "decode_envelope (encode_batch items) = Batch items"
+    arb_batch (fun items ->
+      Serve.Proto.decode_envelope (Serve.Proto.encode_batch items)
+      = Serve.Proto.Batch items)
+
+(* old client, new server: a singleton frame — plain or meta-wrapped —
+   decodes through the envelope path exactly as decode_request_meta
+   would, so pre-batch clients are served unchanged *)
+let prop_singleton_frames_decode_as_single =
+  qtest ~count:500 "decode_envelope on a singleton frame = Single"
+    arb_meta_request (fun (meta, r) ->
+      Serve.Proto.decode_envelope (Serve.Proto.encode_request ~meta r)
+      = Serve.Proto.Single (meta, r)
+      && Serve.Proto.decode_envelope (Serve.Proto.encode_request r)
+         = Serve.Proto.Single (Serve.Proto.no_meta, r))
+
+(* new client, old server: a pre-batch decoder must reject a batch frame
+   as a clean protocol error (unknown opcode), never misparse it into
+   some other request *)
+let prop_old_server_rejects_batch =
+  qtest ~count:300 "decode_request_meta raises Bad_frame on a batch frame"
+    arb_batch (fun items ->
+      let frame = Serve.Proto.encode_batch items in
+      rejects Serve.Proto.decode_request_meta frame
+      && rejects Serve.Proto.decode_request frame)
+
+let prop_batch_corruption =
+  qtest ~count:60 "batch frames reject truncation and bit flips"
+    arb_batch (fun items ->
+      let frame = Serve.Proto.encode_batch items in
+      truncations Serve.Proto.decode_envelope frame
+      && bit_flips Serve.Proto.decode_envelope frame)
+
+let test_empty_batch_rejected () =
+  match Serve.Proto.encode_batch [] with
+  | (_ : string) -> Alcotest.fail "empty batch encoded"
+  | exception Invalid_argument _ -> ()
+
+(* frame_size is the event-loop reader's incremental framing: on any
+   prefix it either waits (None), answers the exact frame length, or
+   raises on a header that can never resync *)
+let prop_frame_size_incremental =
+  qtest ~count:300 "frame_size: None under 9 bytes, exact length after"
+    arb_batch (fun items ->
+      let frame = Serve.Proto.encode_batch items in
+      let n = String.length frame in
+      let ok = ref true in
+      for len = 0 to n do
+        let prefix = String.sub frame 0 len in
+        match Serve.Proto.frame_size prefix with
+        | None -> if len >= 9 then ok := false
+        | Some sz -> if len < 9 || sz <> n then ok := false
+        | exception Serve.Proto.Bad_frame _ -> ok := false
+      done;
+      !ok)
+
 (* cross-decoding: a request frame is not a reply (opcode spaces differ by
    construction only through the CRC'd tag byte — decode must not confuse
    them silently into nonsense; it may succeed only by producing an
@@ -237,6 +309,13 @@ let tests =
       prop_request_bit_flip;
       prop_reply_bit_flip;
       prop_meta_frame_corruption;
+      prop_batch_round_trip;
+      prop_singleton_frames_decode_as_single;
+      prop_old_server_rejects_batch;
+      prop_batch_corruption;
+      prop_frame_size_incremental;
+      Alcotest.test_case "an empty batch cannot be encoded" `Quick
+        test_empty_batch_rejected;
       Alcotest.test_case "empty/garbage/bad-magic frames" `Quick
         test_empty_and_garbage;
       Alcotest.test_case "oversized announced length" `Quick
